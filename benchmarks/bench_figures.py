@@ -1,0 +1,33 @@
+"""Figure bench: the Theorem 1/2 characterization sweeps.
+
+The paper's evaluation section is table-only; its theory figures (maximum
+noise-safe length behaviour, the Fig. 7 iterated spacing, the Theorem 2
+existence curve) are regenerated here as data series with their shapes
+asserted, and written to ``results/figures.txt``.
+"""
+
+from conftest import write_result
+
+from repro.experiments import build_all_figures, format_figures
+from repro.experiments.figures import (
+    spacing_by_buffer,
+    theorem1_vs_driver_resistance,
+    theorem2_margin_curve,
+)
+
+
+def test_figures_sweeps(benchmark, experiment, results_dir):
+    series = benchmark(build_all_figures, experiment)
+    assert len(series) >= 5
+
+    lmax = theorem1_vs_driver_resistance(experiment)
+    assert all(a > b for a, b in zip(lmax.y, lmax.y[1:]))  # monotone down
+
+    first, repeat, ceiling = spacing_by_buffer(experiment)
+    assert all(y < ceiling.y[0] for y in repeat.y)  # under driverless bound
+
+    t2 = theorem2_margin_curve(experiment)
+    # superlinear growth: doubling the span more than doubles the noise
+    assert t2.y[-1] > 2 * t2.y[len(t2.y) // 2 - 1]
+
+    write_result(results_dir, "figures.txt", format_figures(series))

@@ -1,0 +1,29 @@
+"""Table I bench: workload generation and the sink-distribution table.
+
+Regenerates the paper's Table I (sink distribution of the test nets) and
+times the seeded synthetic-population generator.
+"""
+
+from conftest import write_result
+
+from repro.experiments import build_table1, format_table1
+from repro.workloads import WorkloadConfig, generate_population
+
+
+def test_table1_generation(benchmark, experiment, results_dir):
+    nets = len(experiment.nets)
+
+    def generate():
+        return generate_population(
+            WorkloadConfig(nets=nets, seed=experiment.workload.seed)
+        )
+
+    population = benchmark(generate)
+    assert len(population) == nets
+
+    table = build_table1(experiment)
+    assert sum(table.histogram.values()) == nets
+    # Table-I shape: single-sink nets dominate, a multi-sink tail exists.
+    assert table.histogram.get(1, 0) > 0.4 * nets
+    assert max(table.histogram) >= 8
+    write_result(results_dir, "table1.txt", format_table1(table))

@@ -1,0 +1,25 @@
+"""Table IV bench: delay penalty of noise-aware optimization.
+
+Times the matched-count DelayOpt comparison and regenerates Table IV.
+Asserted shape (paper): DelayOpt's delay reduction upper-bounds BuffOpt's
+at every matched buffer count, and the weighted-average penalty is small
+(paper < 2 %; asserted < 5 % for reduced populations).
+"""
+
+from conftest import write_result
+
+from repro.experiments import build_table4, format_table4
+
+
+def test_table4_delay_penalty(benchmark, experiment, population_run, results_dir):
+    table = benchmark.pedantic(
+        build_table4,
+        args=(experiment, population_run),
+        rounds=1,
+        iterations=1,
+    )
+    assert table.rows
+    for row in table.rows:
+        assert row.delayopt_reduction >= row.buffopt_reduction - 1e-12
+    assert table.average_penalty_percent < 5.0
+    write_result(results_dir, "table4.txt", format_table4(table))

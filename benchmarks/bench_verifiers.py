@@ -1,0 +1,57 @@
+"""Verifier comparison: backward-Euler transient vs AWE moment matching.
+
+Both stand in for the paper's 3dnoise; this bench times them over the
+same nets and asserts they agree on peaks (within reduced-model
+tolerance) and on every violation verdict — the reason either can back
+the Table II sign-off.
+"""
+
+from conftest import write_result
+
+from repro.analysis import AweNoiseAnalyzer, DetailedNoiseAnalyzer
+
+
+def _sample(experiment, count=25):
+    return [net.tree for net in experiment.nets[:count]]
+
+
+def test_transient_verifier(benchmark, experiment):
+    analyzer = DetailedNoiseAnalyzer.estimation_mode(experiment.technology)
+    trees = _sample(experiment)
+
+    def sweep():
+        return [analyzer.analyze(tree).violated for tree in trees]
+
+    verdicts = benchmark(sweep)
+    assert any(verdicts)
+
+
+def test_awe_verifier(benchmark, experiment, results_dir):
+    transient = DetailedNoiseAnalyzer.estimation_mode(experiment.technology)
+    awe = AweNoiseAnalyzer.estimation_mode(experiment.technology)
+    trees = _sample(experiment)
+
+    def sweep():
+        return [awe.analyze(tree) for tree in trees]
+
+    reports = benchmark(sweep)
+
+    lines = [
+        "Verifier cross-check (transient vs AWE moment matching)",
+        f"{'net':<10} {'transient (V)':>14} {'AWE (V)':>10} {'verdicts':>9}",
+    ]
+    disagreements = 0
+    for tree, awe_report in zip(trees, reports):
+        reference = transient.analyze(tree)
+        same = awe_report.violated == reference.violated
+        disagreements += not same
+        lines.append(
+            f"{tree.name:<10} {reference.peak_noise:>14.4f} "
+            f"{awe_report.peak_noise:>10.4f} "
+            f"{'agree' if same else 'DIFFER':>9}"
+        )
+        assert abs(awe_report.peak_noise - reference.peak_noise) <= (
+            0.08 * reference.peak_noise + 2e-3
+        ), tree.name
+    assert disagreements == 0
+    write_result(results_dir, "verifiers.txt", "\n".join(lines))

@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+Population size defaults to 120 nets so ``pytest benchmarks/
+--benchmark-only`` finishes in a few minutes; set ``REPRO_BENCH_NETS=500``
+to regenerate the tables at the paper's full scale.  Each table bench
+writes its regenerated table to ``benchmarks/results/`` so the artifacts
+can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    bench_population_size,
+    default_experiment,
+    run_population,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    return default_experiment(nets=bench_population_size())
+
+
+@pytest.fixture(scope="session")
+def population_run(experiment):
+    """One shared BuffOpt + DelayOpt(1..4) sweep over the population."""
+    return run_population(experiment)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Fig. 2 in action: buffer insertion with known aggressor geometry.
+
+Post-routing, a victim's neighbors are known: aggressors couple only
+along the spans where they run parallel to the victim.  This example
+builds an 11 mm victim crossed by three aggressors of different strength
+and overlap (the paper's Fig. 2 situation), segments it with
+``apply_aggressor_windows``, and compares:
+
+* the **estimation-mode** fix (pre-routing assumption: one aggressor
+  everywhere at coupling ratio 0.7) — conservative, more buffers;
+* the **window-aware** fix — buffers only where the real coupling is.
+
+Run:  python examples/aggressor_windows.py
+"""
+
+from repro import (
+    Aggressor,
+    CouplingModel,
+    DriverCell,
+    analyze_noise,
+    default_buffer_library,
+    default_technology,
+    insert_buffers_single_sink,
+    two_pin_net,
+)
+from repro.noise import AggressorWindow, apply_aggressor_windows
+from repro.units import FF, MM, format_length, format_voltage
+
+
+def main() -> None:
+    technology = default_technology()
+    library = default_buffer_library()
+    estimation = CouplingModel.estimation_mode(technology)
+    silent = CouplingModel.silent()
+
+    victim = two_pin_net(
+        technology, 11 * MM, DriverCell("drv", 250.0),
+        sink_capacitance=18 * FF, noise_margin=0.8, name="victim",
+    )
+
+    print("== aggressor geometry (distance from the driver) ==")
+    windows = [
+        AggressorWindow("so", "si", 0.5 * MM, 4.0 * MM,
+                        Aggressor(0.55, 7.2e9, name="bus_a")),
+        AggressorWindow("so", "si", 3.0 * MM, 6.5 * MM,
+                        Aggressor(0.35, 5.0e9, name="bus_b")),
+        AggressorWindow("so", "si", 8.0 * MM, 9.5 * MM,
+                        Aggressor(0.70, 9.0e9, name="clk_spine")),
+    ]
+    for window in windows:
+        print(f"  {window.aggressor.name:<10} couples over "
+              f"[{window.start / MM:.1f}, {window.end / MM:.1f}] mm "
+              f"(ratio {window.aggressor.coupling_ratio}, "
+              f"slope {window.aggressor.slope / 1e9:.1f} V/ns)")
+
+    windowed = apply_aggressor_windows(victim, windows)
+    print(f"\nFig. 2 segmentation: {sum(1 for _ in windowed.wires())} pieces "
+          "(each coupled to a fixed aggressor set)")
+
+    print("\n== noise under each model ==")
+    est_noise = analyze_noise(victim, estimation)
+    win_noise = analyze_noise(windowed, silent)
+    print(f"estimation mode: peak {format_voltage(est_noise.peak_noise)} "
+          f"({len(est_noise.violations)} violations)")
+    print(f"window-aware:    peak {format_voltage(win_noise.peak_noise)} "
+          f"({len(win_noise.violations)} violations)")
+
+    print("\n== Algorithm 1 fixes, side by side ==")
+    est_fix = insert_buffers_single_sink(victim, library, estimation)
+    win_fix = insert_buffers_single_sink(windowed, library, silent)
+    print(f"estimation mode: {est_fix.buffer_count} buffers")
+    for p in est_fix.placements:
+        print(f"   at {format_length(p.distance_from_child)} above the sink")
+    print(f"window-aware:    {win_fix.buffer_count} buffers")
+    for p in win_fix.placements:
+        print(f"   at {format_length(p.distance_from_child)} above the sink")
+
+    buffered, discrete = win_fix.realize()
+    after = analyze_noise(buffered, silent, discrete.buffer_map())
+    assert not after.violated
+    print("\nwindow-aware fix verified clean; knowing the geometry saved "
+          f"{est_fix.buffer_count - win_fix.buffer_count} buffer(s).")
+
+
+if __name__ == "__main__":
+    main()

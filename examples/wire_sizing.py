@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Simultaneous wire sizing + buffer insertion (the Lillis extension).
+
+The paper's DP descends from Lillis, Cheng and Lin [18], which sizes
+wires and inserts buffers in one dynamic program.  This example runs the
+engine three ways on a 10 mm timing-critical net —
+
+* buffers only (the paper's BuffOpt),
+* wire widths only (no buffers allowed),
+* both together —
+
+and shows the classic result: sizing and buffering are complementary
+(wider wires cut resistance where buffers are not worth their delay),
+with the combined run strictly best, and every run noise-clean.
+
+Run:  python examples/wire_sizing.py
+"""
+
+from repro import (
+    CouplingModel,
+    DPOptions,
+    DriverCell,
+    default_buffer_library,
+    default_technology,
+    run_dp,
+    segment_tree,
+    two_pin_net,
+)
+from repro.core import WireSizingSpec
+from repro.library import BufferLibrary, BufferType
+from repro.noise import has_noise_violation
+from repro.timing import max_sink_delay, source_slack
+from repro.units import FF, MM, NS, PS, UM, format_time
+
+
+def main() -> None:
+    technology = default_technology()
+    library = default_buffer_library()
+    coupling = CouplingModel.estimation_mode(technology)
+    spec = WireSizingSpec(widths=(1.0, 1.5, 2.0), area_fraction=0.7)
+
+    net = two_pin_net(
+        technology, 10 * MM,
+        DriverCell("drv_x4", 190.0, 33 * PS),
+        sink_capacitance=20 * FF, noise_margin=0.8,
+        required_arrival=1.6 * NS, name="sized",
+    )
+    tree = segment_tree(net, 500 * UM)
+    print(f"net: 10 mm, RAT 1.6 ns, unbuffered delay "
+          f"{format_time(max_sink_delay(tree))}\n")
+
+    def report(label, options, lib=library):
+        result = run_dp(tree, lib, coupling, options)
+        outcome = result.best()
+        resized, solution = result.sized_solution(outcome)
+        widened = len(outcome.wire_choices)
+        clean = not has_noise_violation(resized, coupling, solution.buffer_map())
+        print(f"{label:<22} slack {source_slack(resized, solution.buffer_map()) / PS:8.1f} ps   "
+              f"buffers {outcome.buffer_count}   widened wires {widened:2d}   "
+              f"noise {'clean' if clean else 'VIOLATED'}")
+        return outcome
+
+    from repro import InfeasibleError
+
+    buffers_only = report(
+        "buffers only", DPOptions(noise_aware=True)
+    )
+    # widths only: forbid buffers entirely (count capped at zero)
+    try:
+        report(
+            "wire widths only",
+            DPOptions(noise_aware=True, sizing=spec,
+                      track_counts=True, max_buffers=0),
+        )
+    except InfeasibleError:
+        print(f"{'wire widths only':<22} INFEASIBLE — no width assignment "
+              "satisfies the noise margin.")
+        print(f"{'':<22} (Theorem 1: only a restoring gate resets the "
+              "noise budget; sizing alone cannot.)")
+    combined = report(
+        "buffers + widths", DPOptions(noise_aware=True, sizing=spec)
+    )
+
+    assert combined.slack >= buffers_only.slack - 1e-15
+    print("\nthe combined optimization dominates the buffers-only run, as "
+          "the Lillis formulation guarantees; sizing alone cannot even "
+          "reach feasibility on a net this long.")
+
+
+if __name__ == "__main__":
+    main()

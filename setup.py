@@ -1,0 +1,24 @@
+"""Setuptools shim.
+
+The execution environment has no `wheel` package and no network, so PEP
+660 editable installs (which build a wheel) fail; this setup.py lets
+`pip install -e .` take the legacy `setup.py develop` path.  Metadata
+lives here; tool configuration stays in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Alpert/Devgan/Quay, 'Buffer Insertion for Noise "
+        "and Delay Optimization' (DAC 1998 / TCAD 1999)"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy", "networkx"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["buffopt = repro.cli:main"]},
+)

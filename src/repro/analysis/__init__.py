@@ -1,0 +1,40 @@
+"""Detailed (simulation-based) noise verification — the "3dnoise" role."""
+
+from .awe_noise import AweNoiseAnalyzer, AweNoiseReport, AweSinkNoise
+from .netlist_builder import StageCircuit, build_stage_circuit
+from .sensitivity import (
+    SensitivityReport,
+    SinkSensitivity,
+    coupling_sensitivity,
+)
+from .report import (
+    NetNoiseAssessment,
+    PopulationNoiseSummary,
+    assess_net,
+    format_table,
+    summarize_population,
+)
+from .threednoise import (
+    DetailedNoiseAnalyzer,
+    DetailedNoiseReport,
+    DetailedSinkNoise,
+)
+
+__all__ = [
+    "AweNoiseAnalyzer",
+    "AweNoiseReport",
+    "AweSinkNoise",
+    "DetailedNoiseAnalyzer",
+    "DetailedNoiseReport",
+    "DetailedSinkNoise",
+    "NetNoiseAssessment",
+    "PopulationNoiseSummary",
+    "SensitivityReport",
+    "SinkSensitivity",
+    "StageCircuit",
+    "coupling_sensitivity",
+    "assess_net",
+    "build_stage_circuit",
+    "format_table",
+    "summarize_population",
+]

@@ -1,0 +1,178 @@
+"""Build coupled victim/aggressor circuits from tree stages.
+
+Realizes the paper's Fig. 1 configuration for one restoring stage of a
+(possibly buffered) net:
+
+* the stage's driving gate holds the victim quiet through its output
+  resistance (a resistor to ground);
+* every stage wire becomes a ladder of lumped RC segments; of each
+  segment's capacitance, the coupling fraction ``lambda`` connects to the
+  aggressor rail and the remainder to ground (exactly the capacitance
+  split the Devgan metric assumes, eq. 6);
+* the aggressor is an ideal ramp rail (0 -> Vdd at slope ``sigma``) —
+  per-wire slope overrides get their own rails;
+* stage sinks load the line with their pin capacitance.
+
+The resulting linear circuit is what the backward-Euler transient
+simulates; peak voltages at the stage sinks are the detailed noise that
+the Devgan metric upper-bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.stages import Stage
+from ..errors import AnalysisError
+from ..noise.coupling import CouplingModel
+from ..circuit.netlist import Circuit
+from ..circuit.waveform import PiecewiseLinear
+
+
+@dataclass(frozen=True)
+class StageCircuit:
+    """A stage's coupled circuit plus the probe bookkeeping."""
+
+    circuit: Circuit
+    #: stage-sink node name in the tree -> circuit node name to probe.
+    probes: Dict[str, str]
+    #: total capacitance and resistance (for simulation-horizon estimates).
+    total_resistance: float
+    total_capacitance: float
+    rise_time: float
+
+
+def build_stage_circuit(
+    stage: Stage,
+    coupling: CouplingModel,
+    vdd: float,
+    max_segment_length: float,
+    min_segments: int = 1,
+) -> StageCircuit:
+    """Assemble the coupled RC circuit of one stage.
+
+    ``max_segment_length`` controls spatial discretization of the
+    distributed wires (smaller = more accurate, slower); wires shorter
+    than it still get ``min_segments`` lumps.
+    """
+    if vdd <= 0:
+        raise AnalysisError(f"vdd must be positive, got {vdd}")
+    if max_segment_length <= 0:
+        raise AnalysisError(
+            f"max_segment_length must be positive, got {max_segment_length}"
+        )
+
+    circuit = Circuit(name=f"stage_{stage.root.name}")
+    root_node = f"n_{stage.root.name}"
+    circuit.add_resistor(root_node, "0", stage.resistance, name="Rdrv")
+
+    rails: Dict[float, str] = {}
+    total_r = stage.resistance
+    total_c = 0.0
+    max_slope = 0.0
+
+    def rail_for(slope: float) -> str:
+        nonlocal max_slope
+        if slope <= 0:
+            raise AnalysisError(
+                "aggressor slope must be positive for a coupled wire"
+            )
+        max_slope = max(max_slope, slope)
+        if slope not in rails:
+            name = f"aggr{len(rails)}"
+            rails[slope] = name
+            circuit.add_voltage_source(
+                name, "0", PiecewiseLinear.ramp(vdd, vdd / slope), name=f"V{name}"
+            )
+        return rails[slope]
+
+    sink_names = {s.node.name for s in stage.sinks}
+    for wire in stage.wires:
+        upstream = f"n_{wire.parent.name}"
+        downstream = f"n_{wire.child.name}"
+        pieces = (
+            max(min_segments, math.ceil(wire.length / max_segment_length))
+            if wire.length > 0
+            else 1
+        )
+        ratio, slope = _effective_coupling(wire, coupling)
+        total_r += wire.resistance
+        total_c += wire.capacitance
+
+        previous = upstream
+        for piece in range(pieces):
+            node = (
+                downstream
+                if piece == pieces - 1
+                else f"n_{wire.parent.name}_{wire.child.name}_{piece}"
+            )
+            if wire.resistance > 0:
+                circuit.add_resistor(
+                    previous, node, wire.resistance / pieces
+                )
+            elif previous != node:
+                # Zero-resistance wires still need connectivity.
+                circuit.add_resistor(previous, node, 1e-6)
+            # Pi-model per segment: half the segment capacitance at each
+            # end, so the lumped injection is unbiased with respect to the
+            # distributed line (a far-end lump would overshoot the Devgan
+            # bound by ~Rw*Iw/(2*pieces)).
+            seg_cap = wire.capacitance / pieces
+            for endpoint in (previous, node):
+                ground_cap = seg_cap * (1.0 - ratio) / 2.0
+                couple_cap = seg_cap * ratio / 2.0
+                if ground_cap > 0:
+                    circuit.add_capacitor(endpoint, "0", ground_cap)
+                if couple_cap > 0:
+                    circuit.add_capacitor(
+                        endpoint, rail_for(slope), couple_cap
+                    )
+            previous = node
+
+    probes: Dict[str, str] = {}
+    for sink in stage.sinks:
+        probes[sink.node.name] = f"n_{sink.node.name}"
+        if sink.capacitance > 0:
+            circuit.add_capacitor(f"n_{sink.node.name}", "0", sink.capacitance)
+            total_c += sink.capacitance
+
+    if max_slope == 0.0:
+        # No coupled wire in this stage: synthesize a dormant rail so the
+        # circuit still has a source (keeps the simulator interface uniform).
+        circuit.add_voltage_source(
+            "aggr_idle", "0", PiecewiseLinear.constant(0.0), name="Vaggr_idle"
+        )
+        rise_time = vdd  # arbitrary positive; no coupling, so irrelevant
+    else:
+        rise_time = vdd / max_slope
+
+    return StageCircuit(
+        circuit=circuit,
+        probes=probes,
+        total_resistance=total_r,
+        total_capacitance=total_c,
+        rise_time=rise_time,
+    )
+
+
+def _effective_coupling(wire, coupling: CouplingModel) -> Tuple[float, float]:
+    """Per-wire (coupling ratio, slope), honoring explicit overrides.
+
+    An explicit ``wire.current`` is converted back into an equivalent
+    coupling ratio via eq. 6 so the circuit injects the same charge.
+    """
+    slope = coupling.slope if wire.slope is None else wire.slope
+    if wire.current is not None:
+        if wire.current == 0.0:
+            return 0.0, slope
+        if wire.capacitance <= 0 or slope <= 0:
+            raise AnalysisError(
+                f"wire {wire.name} has an explicit current but no "
+                "capacitance/slope to convert it into a coupling capacitor"
+            )
+        ratio = wire.current / (wire.capacitance * slope)
+        return min(ratio, 1.0), slope
+    ratio = coupling.coupling_ratio if wire.coupling_ratio is None else wire.coupling_ratio
+    return ratio, slope

@@ -1,0 +1,101 @@
+"""Combined metric-vs-detailed noise reporting.
+
+Experiments compare the Devgan metric (fast, conservative) against the
+detailed transient verifier (slow, accurate) before and after buffer
+insertion — the structure of the paper's Table II.  This module pairs the
+two reports for a net and formats population-level summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from ..library.buffers import BufferType
+from ..noise.coupling import CouplingModel
+from ..noise.margins import NoiseReport, analyze_noise
+from ..tree.topology import RoutingTree
+from .threednoise import DetailedNoiseAnalyzer, DetailedNoiseReport
+
+
+@dataclass(frozen=True)
+class NetNoiseAssessment:
+    """Metric and detailed reports for one net under one buffering."""
+
+    net: str
+    metric: NoiseReport
+    detailed: DetailedNoiseReport
+
+    @property
+    def metric_violated(self) -> bool:
+        return self.metric.violated
+
+    @property
+    def detailed_violated(self) -> bool:
+        return self.detailed.violated
+
+    @property
+    def metric_is_upper_bound(self) -> bool:
+        """Whether the metric's worst slack lower-bounds the detailed one.
+
+        Per-sink comparison: every detailed peak must be at or below the
+        metric's noise at the same stage sink (tiny tolerance for the
+        transient discretization).
+        """
+        by_node = {entry.node: entry.noise for entry in self.metric.entries}
+        tolerance = 1e-6 + 0.02 * max(by_node.values(), default=0.0)
+        return all(
+            entry.peak <= by_node.get(entry.node, float("inf")) + tolerance
+            for entry in self.detailed.entries
+        )
+
+
+def assess_net(
+    tree: RoutingTree,
+    coupling: CouplingModel,
+    analyzer: DetailedNoiseAnalyzer,
+    buffers: Optional[Mapping[str, BufferType]] = None,
+    driver_resistance: Optional[float] = None,
+) -> NetNoiseAssessment:
+    """Run both analyses on one (possibly buffered) net."""
+    return NetNoiseAssessment(
+        net=tree.name,
+        metric=analyze_noise(tree, coupling, buffers, driver_resistance),
+        detailed=analyzer.analyze(tree, buffers, driver_resistance),
+    )
+
+
+@dataclass(frozen=True)
+class PopulationNoiseSummary:
+    """Violation counts over a net population (one Table-II column)."""
+
+    label: str
+    nets: int
+    metric_violations: int
+    detailed_violations: int
+
+    def row(self) -> str:
+        return (
+            f"{self.label:<28} {self.nets:>6} "
+            f"{self.metric_violations:>16} {self.detailed_violations:>18}"
+        )
+
+
+def summarize_population(
+    label: str, assessments: Sequence[NetNoiseAssessment]
+) -> PopulationNoiseSummary:
+    """Count metric/detailed violating nets across ``assessments``."""
+    return PopulationNoiseSummary(
+        label=label,
+        nets=len(assessments),
+        metric_violations=sum(1 for a in assessments if a.metric_violated),
+        detailed_violations=sum(1 for a in assessments if a.detailed_violated),
+    )
+
+
+def format_table(rows: List[PopulationNoiseSummary]) -> str:
+    header = (
+        f"{'population':<28} {'nets':>6} {'metric violations':>16} "
+        f"{'detailed violations':>18}"
+    )
+    return "\n".join([header, "-" * len(header), *(r.row() for r in rows)])

@@ -1,0 +1,145 @@
+"""Coupling-parameter sensitivity of the Devgan metric.
+
+In estimation mode every wire current is ``lambda * C_w * sigma`` (eq. 6),
+so the metric's noise at any stage sink is *linear* in the coupling ratio
+``lambda`` and in the aggressor slope ``sigma`` separately.  One analysis
+therefore yields, per sink, the exact critical values at which the sink
+first violates:
+
+    lambda_crit = lambda_0 * NM / Noise(lambda_0)
+    sigma_crit  = sigma_0  * NM / Noise(sigma_0)
+
+Designers use this as a robustness margin: "this (buffered) net survives
+coupling ratios up to 0.83" is a much more actionable statement than a
+pass/fail at one assumed ratio.  The linearity only holds when no wire
+carries explicit current/ratio/slope overrides, which the analyzer
+checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from ..errors import AnalysisError
+from ..library.buffers import BufferType
+from ..noise.coupling import CouplingModel
+from ..noise.devgan import sink_noise
+from ..tree.topology import RoutingTree
+
+
+@dataclass(frozen=True)
+class SinkSensitivity:
+    """Critical coupling parameters for one stage sink."""
+
+    node: str
+    noise: float
+    margin: float
+    #: coupling ratio at which this sink first violates (may exceed 1.0,
+    #: meaning no physically possible ratio violates it); inf if immune.
+    critical_ratio: float
+    #: aggressor slope (V/s) at which this sink first violates; inf if immune.
+    critical_slope: float
+
+    @property
+    def safety_factor(self) -> float:
+        """``margin / noise`` — >1 means the sink passes at the assumed
+        parameters, with that much linear headroom."""
+        if self.noise == 0.0:
+            return math.inf
+        return self.margin / self.noise
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Per-sink sensitivities plus net-level minima."""
+
+    net: str
+    assumed_ratio: float
+    assumed_slope: float
+    entries: Sequence[SinkSensitivity]
+
+    @property
+    def critical_ratio(self) -> float:
+        """The net's first-failure coupling ratio (min over sinks)."""
+        return min(e.critical_ratio for e in self.entries)
+
+    @property
+    def critical_slope(self) -> float:
+        return min(e.critical_slope for e in self.entries)
+
+    @property
+    def worst_safety_factor(self) -> float:
+        return min(e.safety_factor for e in self.entries)
+
+    def describe(self) -> str:
+        lines = [
+            f"net {self.net}: coupling sensitivity at ratio="
+            f"{self.assumed_ratio}, slope={self.assumed_slope / 1e9:.2f} V/ns"
+        ]
+        for entry in self.entries:
+            ratio = (
+                "immune" if math.isinf(entry.critical_ratio)
+                else f"{entry.critical_ratio:.3f}"
+            )
+            lines.append(
+                f"  {entry.node}: safety x{entry.safety_factor:.2f}, "
+                f"critical ratio {ratio}"
+            )
+        return "\n".join(lines)
+
+
+def coupling_sensitivity(
+    tree: RoutingTree,
+    coupling: CouplingModel,
+    buffers: Optional[Mapping[str, BufferType]] = None,
+    driver_resistance: Optional[float] = None,
+) -> SensitivityReport:
+    """Exact critical coupling ratio/slope per stage sink.
+
+    Requires pure estimation mode: raises :class:`AnalysisError` when any
+    wire carries an explicit ``current`` / ``coupling_ratio`` / ``slope``
+    override (noise is then no longer homogeneous in the model
+    parameters; sweep manually in that case).
+    """
+    if coupling.coupling_ratio <= 0 or coupling.slope <= 0:
+        raise AnalysisError(
+            "sensitivity needs a positive assumed ratio and slope "
+            f"(got {coupling.coupling_ratio}, {coupling.slope})"
+        )
+    for wire in tree.wires():
+        if (
+            wire.current is not None
+            or wire.coupling_ratio is not None
+            or wire.slope is not None
+        ):
+            raise AnalysisError(
+                f"wire {wire.name} carries coupling overrides; the linear "
+                "sensitivity analysis only applies in pure estimation mode"
+            )
+
+    entries: List[SinkSensitivity] = []
+    for result in sink_noise(tree, coupling, buffers, driver_resistance):
+        if result.noise <= 0.0:
+            critical_ratio = math.inf
+            critical_slope = math.inf
+        else:
+            scale = result.margin / result.noise
+            critical_ratio = coupling.coupling_ratio * scale
+            critical_slope = coupling.slope * scale
+        entries.append(
+            SinkSensitivity(
+                node=result.node,
+                noise=result.noise,
+                margin=result.margin,
+                critical_ratio=critical_ratio,
+                critical_slope=critical_slope,
+            )
+        )
+    return SensitivityReport(
+        net=tree.name,
+        assumed_ratio=coupling.coupling_ratio,
+        assumed_slope=coupling.slope,
+        entries=tuple(entries),
+    )

@@ -1,0 +1,204 @@
+"""Detailed, simulation-based coupled-noise analysis.
+
+Plays the role of the paper's 3dnoise tool [26]: an independent,
+more-accurate-than-metric verifier run before and after buffer insertion.
+Where 3dnoise used RICE-style moment matching, this implementation
+simulates the exact coupled linear circuit (built by
+:mod:`repro.analysis.netlist_builder`) with the backward-Euler engine —
+at least as accurate for peak-noise purposes, and entirely self-contained.
+
+The analyzer decomposes a buffered net into restoring stages, simulates
+each stage under a worst-case simultaneous aggressor ramp, and reports the
+peak noise at every stage sink.  Because the Devgan metric is a provable
+upper bound for such RC circuits, every detailed peak should sit at or
+below the metric value — the relationship the paper exploits in Table II
+(3dnoise flags a *subset* of the metric's violations) and which our
+property tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence
+
+from ..core.stages import decompose_stages
+from ..errors import AnalysisError
+from ..library.buffers import BufferType
+from ..library.technology import Technology
+from ..noise.coupling import CouplingModel
+from ..tree.topology import RoutingTree
+from ..units import UM, format_voltage
+from ..circuit.transient import simulate
+from .netlist_builder import build_stage_circuit
+
+
+@dataclass(frozen=True)
+class DetailedSinkNoise:
+    """Peak simulated noise at one stage sink.
+
+    ``width_at_half_margin`` is the total time the noise waveform spends
+    above half the sink's margin.  The paper notes gate failure depends on
+    both peak amplitude and pulse width but that "peak amplitude dominates
+    pulse width"; reporting the width lets users quantify that second-
+    order term (the metric itself is peak-only).
+    """
+
+    node: str
+    peak: float
+    margin: float
+    stage_root: str
+    is_buffer_input: bool
+    width_at_half_margin: float = 0.0
+    #: the full noise waveform, present when the analyzer was asked to
+    #: keep waveforms (``analyze(..., keep_waveforms=True)``).
+    waveform: object = None
+
+    @property
+    def slack(self) -> float:
+        return self.margin - self.peak
+
+    @property
+    def violated(self) -> bool:
+        return self.peak > self.margin
+
+
+@dataclass(frozen=True)
+class DetailedNoiseReport:
+    """All stage-sink results of one detailed analysis."""
+
+    net: str
+    entries: Sequence[DetailedSinkNoise]
+
+    @property
+    def violations(self) -> List[DetailedSinkNoise]:
+        return [e for e in self.entries if e.violated]
+
+    @property
+    def violated(self) -> bool:
+        return any(e.violated for e in self.entries)
+
+    @property
+    def peak_noise(self) -> float:
+        return max(e.peak for e in self.entries)
+
+    @property
+    def worst_slack(self) -> float:
+        return min(e.slack for e in self.entries)
+
+    def describe(self) -> str:
+        lines = [
+            f"net {self.net} (detailed): {len(self.entries)} stage sinks, "
+            f"{len(self.violations)} violations, peak "
+            f"{format_voltage(self.peak_noise)}"
+        ]
+        for entry in self.violations:
+            lines.append(
+                f"  VIOLATION at {entry.node}: peak "
+                f"{format_voltage(entry.peak)} > margin "
+                f"{format_voltage(entry.margin)} (stage {entry.stage_root})"
+            )
+        return "\n".join(lines)
+
+
+class DetailedNoiseAnalyzer:
+    """Configurable transient noise verifier.
+
+    Parameters
+    ----------
+    coupling:
+        The aggressor model (same object the optimizer used, so both tools
+        see identical coupling assumptions — the paper runs BuffOpt and
+        3dnoise "all in estimation mode").
+    vdd:
+        Aggressor swing.
+    max_segment_length:
+        Spatial discretization of distributed wires (default 50 um).
+    steps_per_rise:
+        Time resolution: backward-Euler steps per aggressor rise time.
+    settle_constants:
+        How many RC time constants past the ramp to simulate.
+    """
+
+    def __init__(
+        self,
+        coupling: CouplingModel,
+        vdd: float,
+        max_segment_length: float = 50 * UM,
+        steps_per_rise: int = 40,
+        settle_constants: float = 5.0,
+    ):
+        if steps_per_rise < 4:
+            raise AnalysisError(
+                f"steps_per_rise must be >= 4, got {steps_per_rise}"
+            )
+        if settle_constants <= 0:
+            raise AnalysisError(
+                f"settle_constants must be positive, got {settle_constants}"
+            )
+        self.coupling = coupling
+        self.vdd = vdd
+        self.max_segment_length = max_segment_length
+        self.steps_per_rise = steps_per_rise
+        self.settle_constants = settle_constants
+
+    @classmethod
+    def estimation_mode(cls, technology: Technology) -> "DetailedNoiseAnalyzer":
+        """Analyzer matching the paper's experimental configuration."""
+        return cls(
+            coupling=CouplingModel.estimation_mode(technology),
+            vdd=technology.vdd,
+        )
+
+    def analyze(
+        self,
+        tree: RoutingTree,
+        buffers: Optional[Mapping[str, BufferType]] = None,
+        driver_resistance: Optional[float] = None,
+        keep_waveforms: bool = False,
+    ) -> DetailedNoiseReport:
+        """Simulate every stage of ``tree`` and report stage-sink peaks.
+
+        ``keep_waveforms`` attaches each sink's full noise waveform to its
+        report entry (for plotting or pulse-shape inspection); off by
+        default to keep population sweeps light.
+        """
+        stages = decompose_stages(tree, buffers, driver_resistance)
+        entries: List[DetailedSinkNoise] = []
+        for stage in stages:
+            if not stage.sinks:
+                continue
+            built = build_stage_circuit(
+                stage,
+                self.coupling,
+                self.vdd,
+                self.max_segment_length,
+            )
+            time_constant = built.total_resistance * built.total_capacitance
+            stop = built.rise_time + self.settle_constants * max(
+                time_constant, built.rise_time * 0.1
+            )
+            step = built.rise_time / self.steps_per_rise
+            result = simulate(
+                built.circuit,
+                stop=stop,
+                step=step,
+                probes=list(built.probes.values()),
+            )
+            for sink in stage.sinks:
+                waveform = result[built.probes[sink.node.name]]
+                entries.append(
+                    DetailedSinkNoise(
+                        node=sink.node.name,
+                        peak=waveform.peak,
+                        margin=sink.noise_margin,
+                        stage_root=stage.root.name,
+                        is_buffer_input=sink.is_buffer_input,
+                        width_at_half_margin=waveform.width_above(
+                            sink.noise_margin / 2.0
+                        ),
+                        waveform=waveform if keep_waveforms else None,
+                    )
+                )
+        if not entries:
+            raise AnalysisError(f"net {tree.name!r} has no stage sinks")
+        return DetailedNoiseReport(net=tree.name, entries=tuple(entries))

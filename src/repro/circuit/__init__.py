@@ -1,0 +1,46 @@
+"""SPICE-lite linear circuit substrate: netlists, MNA, transient, moments."""
+
+from .awe import PadeApproximant, fit_pade, ramp_response_peak, transfer_moments
+from .mna import MNASystem, assemble
+from .moments import (
+    d2m_delay,
+    dominant_time_constant,
+    elmore_from_moments,
+    stage_capacitances,
+    tree_moments,
+)
+from .netlist import (
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    Resistor,
+    VoltageSource,
+    is_ground,
+)
+from .transient import TransientResult, dc_operating_point, simulate
+from .waveform import PiecewiseLinear, Waveform
+
+__all__ = [
+    "PadeApproximant",
+    "fit_pade",
+    "ramp_response_peak",
+    "transfer_moments",
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "MNASystem",
+    "PiecewiseLinear",
+    "Resistor",
+    "TransientResult",
+    "VoltageSource",
+    "Waveform",
+    "assemble",
+    "d2m_delay",
+    "dc_operating_point",
+    "dominant_time_constant",
+    "elmore_from_moments",
+    "is_ground",
+    "simulate",
+    "stage_capacitances",
+    "tree_moments",
+]

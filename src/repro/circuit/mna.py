@@ -1,0 +1,161 @@
+"""Modified nodal analysis (MNA) assembly.
+
+Stamps a :class:`~repro.circuit.netlist.Circuit` into the descriptor form
+
+    G x(t) + C dx/dt = B u(t)
+
+where ``x`` holds node voltages followed by voltage-source branch
+currents, and ``u(t)`` stacks the independent source values.  Matrices are
+scipy CSC sparse, ready for the backward-Euler integrator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import SimulationError
+from .netlist import Circuit, is_ground
+
+
+@dataclass(frozen=True)
+class MNASystem:
+    """Assembled descriptor system plus index maps."""
+
+    conductance: sparse.csc_matrix  # G
+    capacitance: sparse.csc_matrix  # C
+    source_map: sparse.csc_matrix  # B
+    node_index: Dict[str, int]
+    branch_index: Dict[str, int]  # voltage-source name -> row
+    sources: Tuple[Callable[[float], float], ...]  # u(t) entries
+
+    @property
+    def dimension(self) -> int:
+        return self.conductance.shape[0]
+
+    def input_vector(self, t: float) -> np.ndarray:
+        """``u(t)`` evaluated at time ``t``."""
+        return np.array([source(t) for source in self.sources])
+
+    def index_of(self, node: str) -> int:
+        """Row of a node voltage in ``x`` (raises for ground/unknown)."""
+        if is_ground(node):
+            raise SimulationError("ground has no MNA row; its voltage is 0")
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise SimulationError(f"unknown node {node!r}") from None
+
+
+def assemble(circuit: Circuit) -> MNASystem:
+    """Stamp ``circuit`` into an :class:`MNASystem`.
+
+    Every non-ground node must have a DC path to ground through resistors
+    or voltage sources for the backward-Euler matrix to be nonsingular;
+    the integrator reports a factorization failure otherwise.
+    """
+    nodes = circuit.nodes()
+    if not nodes:
+        raise SimulationError(f"circuit {circuit.name!r} has no nodes")
+    node_index = {node: i for i, node in enumerate(nodes)}
+    n_nodes = len(nodes)
+    n_branches = len(circuit.voltage_sources)
+    dim = n_nodes + n_branches
+
+    g_rows: List[int] = []
+    g_cols: List[int] = []
+    g_vals: List[float] = []
+    c_rows: List[int] = []
+    c_cols: List[int] = []
+    c_vals: List[float] = []
+
+    def stamp(rows, cols, vals, i: int, j: int, value: float) -> None:
+        rows.append(i)
+        cols.append(j)
+        vals.append(value)
+
+    def stamp_two_terminal(rows, cols, vals, a: str, b: str, value: float) -> None:
+        ia = None if is_ground(a) else node_index[a]
+        ib = None if is_ground(b) else node_index[b]
+        if ia is not None:
+            stamp(rows, cols, vals, ia, ia, value)
+        if ib is not None:
+            stamp(rows, cols, vals, ib, ib, value)
+        if ia is not None and ib is not None:
+            stamp(rows, cols, vals, ia, ib, -value)
+            stamp(rows, cols, vals, ib, ia, -value)
+
+    for resistor in circuit.resistors:
+        stamp_two_terminal(
+            g_rows, g_cols, g_vals,
+            resistor.node_a, resistor.node_b, 1.0 / resistor.resistance,
+        )
+    for capacitor in circuit.capacitors:
+        if capacitor.capacitance == 0.0:
+            continue
+        stamp_two_terminal(
+            c_rows, c_cols, c_vals,
+            capacitor.node_a, capacitor.node_b, capacitor.capacitance,
+        )
+
+    # Sources populate B; u(t) ordering: voltage sources then current sources.
+    b_rows: List[int] = []
+    b_cols: List[int] = []
+    b_vals: List[float] = []
+    sources: List[Callable[[float], float]] = []
+    branch_index: Dict[str, int] = {}
+
+    for k, vsource in enumerate(circuit.voltage_sources):
+        row = n_nodes + k
+        branch_index[vsource.name] = row
+        ip = None if is_ground(vsource.node_plus) else node_index[vsource.node_plus]
+        im = None if is_ground(vsource.node_minus) else node_index[vsource.node_minus]
+        if ip is not None:
+            stamp(g_rows, g_cols, g_vals, ip, row, 1.0)
+            stamp(g_rows, g_cols, g_vals, row, ip, 1.0)
+        if im is not None:
+            stamp(g_rows, g_cols, g_vals, im, row, -1.0)
+            stamp(g_rows, g_cols, g_vals, row, im, -1.0)
+        column = len(sources)
+        b_rows.append(row)
+        b_cols.append(column)
+        b_vals.append(1.0)
+        sources.append(vsource.waveform)
+
+    for isource in circuit.current_sources:
+        column = len(sources)
+        ip = None if is_ground(isource.node_plus) else node_index[isource.node_plus]
+        im = None if is_ground(isource.node_minus) else node_index[isource.node_minus]
+        if ip is not None:
+            b_rows.append(ip)
+            b_cols.append(column)
+            b_vals.append(1.0)
+        if im is not None:
+            b_rows.append(im)
+            b_cols.append(column)
+            b_vals.append(-1.0)
+        sources.append(isource.waveform)
+
+    shape = (dim, dim)
+    conductance = sparse.csc_matrix(
+        sparse.coo_matrix((g_vals, (g_rows, g_cols)), shape=shape)
+    )
+    capacitance = sparse.csc_matrix(
+        sparse.coo_matrix((c_vals, (c_rows, c_cols)), shape=shape)
+    )
+    source_map = sparse.csc_matrix(
+        sparse.coo_matrix(
+            (b_vals, (b_rows, b_cols)), shape=(dim, max(len(sources), 1))
+        )
+    )
+    return MNASystem(
+        conductance=conductance,
+        capacitance=capacitance,
+        source_map=source_map,
+        node_index=node_index,
+        branch_index=branch_index,
+        sources=tuple(sources),
+    )

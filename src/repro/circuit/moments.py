@@ -1,0 +1,153 @@
+"""RC-tree moment analysis by path tracing (RICE/AWE-lite).
+
+Computes the voltage transfer-function moments of a routing-tree stage
+driven through a driver resistance — the machinery behind the moment-
+matching noise/delay tools the paper cites ([25], [27]).  Only the tree
+case is supported (no coupling), which is all the delay cross-validation
+needs; the coupled-noise verifier uses the full MNA transient instead.
+
+For a step input, the voltage at node ``v`` is characterized by moments
+``m_k(v)`` of its impulse response with ``m_0 = 1`` and
+
+    m_{k+1}(v) = - sum over nodes u of R(path(root, v) ∩ path(root, u))
+                 * C_u * m_k(u)
+
+computed in O(n) per order with one bottom-up and one top-down pass.
+``-m_1`` is exactly the Elmore delay (tested against
+:mod:`repro.timing.elmore`); the D2M metric uses ``m_2`` to sharpen the
+estimate for far-from-lumped nets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import AnalysisError
+from ..library.buffers import BufferType
+from ..tree.topology import Node, RoutingTree
+
+
+def stage_capacitances(
+    tree: RoutingTree,
+    buffers: Optional[Mapping[str, BufferType]] = None,
+) -> Dict[str, float]:
+    """Lumped node capacitances of the *source stage* (pi-model split).
+
+    Each stage wire contributes half its capacitance to each endpoint;
+    sinks add their pin capacitance; buffered nodes terminate the stage
+    with the buffer's input capacitance (their subtrees belong to other
+    stages and are excluded).
+    """
+    buffers = buffers or {}
+    caps: Dict[str, float] = {tree.source.name: 0.0}
+    stack = list(tree.source.children)
+    while stack:
+        node = stack.pop()
+        wire = node.parent_wire
+        assert wire is not None
+        caps[wire.parent.name] = caps.get(wire.parent.name, 0.0) + wire.capacitance / 2
+        caps[node.name] = caps.get(node.name, 0.0) + wire.capacitance / 2
+        if node.name in buffers:
+            caps[node.name] += buffers[node.name].input_capacitance
+            continue
+        if node.is_sink:
+            assert node.sink is not None
+            caps[node.name] += node.sink.capacitance
+            continue
+        stack.extend(node.children)
+    return caps
+
+
+def tree_moments(
+    tree: RoutingTree,
+    order: int = 3,
+    driver_resistance: Optional[float] = None,
+    buffers: Optional[Mapping[str, BufferType]] = None,
+) -> Dict[str, List[float]]:
+    """Moments ``[m_1 .. m_order]`` per source-stage node.
+
+    ``driver_resistance`` defaults to ``tree.driver.resistance``.
+    """
+    if order < 1:
+        raise AnalysisError(f"order must be >= 1, got {order}")
+    if driver_resistance is None:
+        if tree.driver is None:
+            raise AnalysisError(
+                f"tree {tree.name!r} has no driver; pass driver_resistance"
+            )
+        driver_resistance = tree.driver.resistance
+    buffers = buffers or {}
+    caps = stage_capacitances(tree, buffers)
+    members = set(caps)
+
+    # Stage traversal orders (source stage only).
+    top_down: List[Node] = []
+    stack = [tree.source]
+    while stack:
+        node = stack.pop()
+        top_down.append(node)
+        if node is not tree.source and (node.name in buffers or node.is_sink):
+            continue
+        stack.extend(node.children)
+
+    current: Dict[str, float] = {name: 1.0 for name in members}  # m_0
+    moments: Dict[str, List[float]] = {name: [] for name in members}
+    for _ in range(order):
+        # Bottom-up: S(v) = sum of C_u * m_k(u) over the stage subtree at v.
+        subtotal: Dict[str, float] = {}
+        for node in reversed(top_down):
+            total = caps[node.name] * current[node.name]
+            if not (node is not tree.source and (node.name in buffers or node.is_sink)):
+                for child in node.children:
+                    total += subtotal[child.name]
+            subtotal[node.name] = total
+        # Top-down: m_{k+1}(v) = m_{k+1}(parent) - R_wire * S(v).
+        nxt: Dict[str, float] = {}
+        nxt[tree.source.name] = -driver_resistance * subtotal[tree.source.name]
+        for node in top_down:
+            if node is tree.source:
+                continue
+            wire = node.parent_wire
+            assert wire is not None
+            nxt[node.name] = (
+                nxt[wire.parent.name] - wire.resistance * subtotal[node.name]
+            )
+        for name in members:
+            moments[name].append(nxt[name])
+        current = nxt
+    return moments
+
+
+def elmore_from_moments(moments: Mapping[str, List[float]]) -> Dict[str, float]:
+    """Elmore delay per node: ``-m_1``."""
+    return {name: -values[0] for name, values in moments.items()}
+
+
+def d2m_delay(moments_at_node: List[float]) -> float:
+    """The D2M two-moment delay metric ``ln(2) * m1^2 / sqrt(m2)``.
+
+    Tighter than Elmore for nodes far from the driver (Elmore is an upper
+    bound on 50 % delay for RC trees); equals ``ln(2)/|m1|``-scaled Elmore
+    when the response is single-pole (then ``m2 = m1^2``).
+    """
+    if len(moments_at_node) < 2:
+        raise AnalysisError("d2m_delay needs at least two moments")
+    m1, m2 = moments_at_node[0], moments_at_node[1]
+    if m2 <= 0:
+        raise AnalysisError(f"m2 must be positive for an RC tree, got {m2}")
+    return math.log(2.0) * (m1 * m1) / math.sqrt(m2)
+
+
+def dominant_time_constant(moments_at_node: List[float]) -> float:
+    """Dominant-pole time constant estimate ``m2 / |m1|``.
+
+    Exact for single-pole responses; a safe simulation-horizon guide for
+    choosing transient stop times.
+    """
+    if len(moments_at_node) < 2:
+        raise AnalysisError("need at least two moments")
+    m1, m2 = moments_at_node[0], moments_at_node[1]
+    if m1 == 0:
+        return 0.0
+    return m2 / abs(m1)

@@ -1,0 +1,189 @@
+"""Linear circuit netlists for the SPICE-lite simulator.
+
+Supports exactly what coupled-noise verification needs: resistors,
+(coupling) capacitors, independent voltage sources with piecewise-linear
+waveforms, and independent current sources.  Node names are strings;
+``"0"`` and ``"gnd"`` are ground.
+
+The paper's verification tool (3dnoise) analyzed linear RC models of the
+victim/aggressor system — "the problem can be modeled as a linear circuit
+(which it generally can be for most coupled noise problems)" — so a linear
+simulator is the faithful substrate here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .waveform import PiecewiseLinear
+
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+@dataclass(frozen=True)
+class Resistor:
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise SimulationError(
+                f"resistor {self.name!r}: resistance must be positive, "
+                f"got {self.resistance}"
+            )
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    name: str
+    node_a: str
+    node_b: str
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise SimulationError(
+                f"capacitor {self.name!r}: capacitance must be >= 0, "
+                f"got {self.capacitance}"
+            )
+
+
+@dataclass(frozen=True)
+class VoltageSource:
+    """Independent voltage source from ``node_plus`` to ``node_minus``."""
+
+    name: str
+    node_plus: str
+    node_minus: str
+    waveform: PiecewiseLinear
+
+
+@dataclass(frozen=True)
+class CurrentSource:
+    """Independent current source injecting into ``node_plus``."""
+
+    name: str
+    node_plus: str
+    node_minus: str
+    waveform: PiecewiseLinear
+
+
+class Circuit:
+    """An element bag with node bookkeeping.
+
+    Build with the ``add_*`` methods; hand to
+    :func:`repro.circuit.transient.simulate`.  Element names must be
+    unique per kind (auto-generated when omitted).
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.voltage_sources: List[VoltageSource] = []
+        self.current_sources: List[CurrentSource] = []
+        self._names: Dict[str, set] = {}
+
+    # -- builders ---------------------------------------------------------------
+
+    def add_resistor(
+        self, node_a: str, node_b: str, resistance: float, name: Optional[str] = None
+    ) -> Resistor:
+        element = Resistor(
+            self._name("R", name, len(self.resistors)), node_a, node_b, resistance
+        )
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(
+        self, node_a: str, node_b: str, capacitance: float, name: Optional[str] = None
+    ) -> Capacitor:
+        element = Capacitor(
+            self._name("C", name, len(self.capacitors)), node_a, node_b, capacitance
+        )
+        self.capacitors.append(element)
+        return element
+
+    def add_voltage_source(
+        self,
+        node_plus: str,
+        node_minus: str,
+        waveform: PiecewiseLinear,
+        name: Optional[str] = None,
+    ) -> VoltageSource:
+        element = VoltageSource(
+            self._name("V", name, len(self.voltage_sources)),
+            node_plus,
+            node_minus,
+            waveform,
+        )
+        self.voltage_sources.append(element)
+        return element
+
+    def add_current_source(
+        self,
+        node_plus: str,
+        node_minus: str,
+        waveform: PiecewiseLinear,
+        name: Optional[str] = None,
+    ) -> CurrentSource:
+        element = CurrentSource(
+            self._name("I", name, len(self.current_sources)),
+            node_plus,
+            node_minus,
+            waveform,
+        )
+        self.current_sources.append(element)
+        return element
+
+    def _name(self, prefix: str, explicit: Optional[str], index: int) -> str:
+        taken = self._names.setdefault(prefix, set())
+        name = explicit if explicit is not None else f"{prefix}{index}"
+        if name in taken:
+            raise SimulationError(f"duplicate element name {name!r}")
+        taken.add(name)
+        return name
+
+    # -- queries ---------------------------------------------------------------
+
+    def nodes(self) -> Tuple[str, ...]:
+        """All non-ground node names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for element in (
+            *self.resistors,
+            *self.capacitors,
+            *self.voltage_sources,
+            *self.current_sources,
+        ):
+            pair = (
+                (element.node_a, element.node_b)
+                if isinstance(element, (Resistor, Capacitor))
+                else (element.node_plus, element.node_minus)
+            )
+            for node in pair:
+                if node not in GROUND_NAMES:
+                    seen.setdefault(node, None)
+        return tuple(seen)
+
+    def element_count(self) -> int:
+        return (
+            len(self.resistors)
+            + len(self.capacitors)
+            + len(self.voltage_sources)
+            + len(self.current_sources)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.name!r}, R={len(self.resistors)}, "
+            f"C={len(self.capacitors)}, V={len(self.voltage_sources)}, "
+            f"I={len(self.current_sources)})"
+        )
+
+
+def is_ground(node: str) -> bool:
+    return node in GROUND_NAMES

@@ -1,0 +1,140 @@
+"""Backward-Euler transient simulation.
+
+Solves ``G x + C x' = B u(t)`` with the A-stable first-order scheme
+
+    (G + C/h) x_{n+1} = B u(t_{n+1}) + (C/h) x_n
+
+using one sparse LU factorization for the whole run (fixed step).  For the
+stiff, heavily-damped RC systems of coupled-noise analysis, backward Euler
+with a step well below the aggressor rise time is accurate and — unlike
+trapezoidal — never rings.  Its numerical damping *underestimates* peaks
+slightly, which is conservative in exactly the safe direction for
+verifying an upper-bound metric: if even the damped response exceeds a
+margin, the violation is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+from scipy.sparse.linalg import splu
+
+from ..errors import SimulationError
+from .mna import assemble
+from .netlist import Circuit
+from .waveform import Waveform
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Waveforms per probed node, plus run metadata."""
+
+    waveforms: Dict[str, Waveform]
+    step: float
+    stop: float
+
+    def __getitem__(self, node: str) -> Waveform:
+        try:
+            return self.waveforms[node]
+        except KeyError:
+            raise SimulationError(
+                f"node {node!r} was not probed; have {sorted(self.waveforms)}"
+            ) from None
+
+
+def simulate(
+    circuit: Circuit,
+    stop: float,
+    step: float,
+    probes: Optional[Sequence[str]] = None,
+    initial: Optional[Dict[str, float]] = None,
+) -> TransientResult:
+    """Run a fixed-step backward-Euler transient on ``circuit``.
+
+    Parameters
+    ----------
+    stop, step:
+        Total simulated time and time step (seconds).  ``stop/step`` is
+        capped at 2,000,000 points as a runaway guard.
+    probes:
+        Node names to record; default records every non-ground node.
+    initial:
+        Initial node voltages (default all zero — the quiet-victim
+        condition for noise analysis).
+
+    Raises
+    ------
+    SimulationError
+        On singular systems (a node with no DC path to ground) or invalid
+        time parameters.
+    """
+    if step <= 0:
+        raise SimulationError(f"step must be positive, got {step}")
+    if stop <= 0:
+        raise SimulationError(f"stop must be positive, got {stop}")
+    steps = int(np.ceil(stop / step))
+    if steps > 2_000_000:
+        raise SimulationError(
+            f"{steps} time points requested; raise step or lower stop"
+        )
+
+    system = assemble(circuit)
+    matrix = (system.conductance + system.capacitance / step).tocsc()
+    try:
+        lu = splu(matrix)
+    except RuntimeError as exc:
+        raise SimulationError(
+            f"circuit {circuit.name!r}: singular backward-Euler matrix — "
+            "check that every node has a DC path to ground"
+        ) from exc
+
+    dim = system.dimension
+    state = np.zeros(dim)
+    if initial:
+        for node, value in initial.items():
+            state[system.index_of(node)] = value
+
+    probe_nodes = list(probes) if probes is not None else list(system.node_index)
+    probe_rows = [system.index_of(node) for node in probe_nodes]
+
+    times = np.empty(steps + 1)
+    records = np.empty((steps + 1, len(probe_rows)))
+    times[0] = 0.0
+    records[0] = state[probe_rows]
+
+    c_over_h = (system.capacitance / step).tocsc()
+    b_matrix = system.source_map
+    for n in range(1, steps + 1):
+        t = n * step
+        rhs = b_matrix @ system.input_vector(t) + c_over_h @ state
+        state = lu.solve(rhs)
+        times[n] = t
+        records[n] = state[probe_rows]
+
+    waveforms = {
+        node: Waveform(times, records[:, k]) for k, node in enumerate(probe_nodes)
+    }
+    return TransientResult(waveforms=waveforms, step=step, stop=stop)
+
+
+def dc_operating_point(circuit: Circuit) -> Dict[str, float]:
+    """Steady-state node voltages with sources at their t=+inf values.
+
+    Capacitors are open at DC, so this solves ``G x = B u(inf)``.
+    """
+    system = assemble(circuit)
+    late = max(
+        [w.final_time for w in system.sources] or [0.0]
+    )
+    rhs = system.source_map @ system.input_vector(late + 1.0)
+    try:
+        lu = splu(system.conductance.tocsc())
+    except RuntimeError as exc:
+        raise SimulationError(
+            f"circuit {circuit.name!r}: singular DC system — every node "
+            "needs a resistive path to ground"
+        ) from exc
+    solution = lu.solve(rhs)
+    return {node: float(solution[row]) for node, row in system.node_index.items()}

@@ -1,0 +1,246 @@
+"""Command-line driver.
+
+Two families of commands (installed as ``buffopt``; also
+``python -m repro.cli``):
+
+* experiment regeneration — the paper's evaluation::
+
+      buffopt table1                # sink distribution
+      buffopt table2 --nets 120     # noise violations before/after
+      buffopt table3                # BuffOpt vs DelayOpt(k)
+      buffopt table4                # delay penalty
+      buffopt figures               # Theorem 1/2 sweeps
+      buffopt all --nets 500        # the full paper evaluation
+
+* single-net optimization from a JSON description (see :mod:`repro.io`)::
+
+      buffopt fix net.json                       # Problem 3 BuffOpt
+      buffopt fix net.json --mode delay          # DelayOpt
+      buffopt fix net.json --mode noise          # Algorithm 2 (noise only)
+      buffopt fix net.json --out solution.json   # write the assignment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import (
+    build_all_figures,
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    default_experiment,
+    format_figures,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    run_population,
+)
+
+TABLE_TARGETS = (
+    "table1", "table2", "table3", "table4", "figures", "ablations", "all"
+)
+TABLES_NEEDING_RUN = {"table2", "table3", "table4", "all"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="buffopt",
+        description=(
+            "Reproduce the evaluation of 'Buffer Insertion for Noise and "
+            "Delay Optimization' (Alpert/Devgan/Quay) or fix a single net"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="target", required=True)
+
+    for name in TABLE_TARGETS:
+        sub = subparsers.add_parser(
+            name, help=f"regenerate {name} of the paper's evaluation"
+        )
+        sub.add_argument(
+            "--nets", type=int, default=500,
+            help="population size (default: the paper's 500)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=19981101, help="workload seed"
+        )
+
+    fix = subparsers.add_parser(
+        "fix", help="optimize one net from a JSON description"
+    )
+    fix.add_argument("net", help="path to the JSON net description")
+    fix.add_argument(
+        "--mode",
+        choices=["buffopt", "delay", "noise"],
+        default="buffopt",
+        help="buffopt: fewest buffers meeting noise+timing (default); "
+        "delay: slack-optimal DelayOpt; noise: Algorithm 2 noise-only",
+    )
+    fix.add_argument(
+        "--segment", type=float, default=500e-6,
+        help="max wire segment length in meters before optimization "
+        "(ignored by --mode noise, which places buffers continuously)",
+    )
+    fix.add_argument(
+        "--out", default=None, help="write the buffer assignment as JSON"
+    )
+    fix.add_argument(
+        "--svg", default=None,
+        help="render the optimized net (with noise annotation) to this SVG",
+    )
+
+    sens = subparsers.add_parser(
+        "sensitivity",
+        help="coupling-parameter robustness of a JSON-described net",
+    )
+    sens.add_argument("net", help="path to the JSON net description")
+
+    export = subparsers.add_parser(
+        "export",
+        help="write the synthetic workload population as JSON net files",
+    )
+    export.add_argument("directory", help="output directory (created)")
+    export.add_argument("--nets", type=int, default=500)
+    export.add_argument("--seed", type=int, default=19981101)
+    return parser
+
+
+def _run_tables(args: argparse.Namespace) -> int:
+    experiment = default_experiment(nets=args.nets, seed=args.seed)
+    sections: List[str] = []
+    run = None
+    if args.target in TABLES_NEEDING_RUN:
+        print(
+            f"optimizing {args.nets} nets (BuffOpt + DelayOpt(1..4)) ...",
+            file=sys.stderr,
+        )
+        run = run_population(experiment)
+
+    if args.target in ("table1", "all"):
+        sections.append(format_table1(build_table1(experiment)))
+    if args.target in ("table2", "all"):
+        assert run is not None
+        print("running detailed transient verification ...", file=sys.stderr)
+        sections.append(format_table2(build_table2(experiment, run)))
+    if args.target in ("table3", "all"):
+        assert run is not None
+        sections.append(format_table3(build_table3(run)))
+    if args.target in ("table4", "all"):
+        assert run is not None
+        sections.append(format_table4(build_table4(experiment, run)))
+    if args.target in ("figures", "all"):
+        sections.append(format_figures(build_all_figures(experiment)))
+    if args.target == "ablations":
+        from .experiments import run_all_ablations
+
+        print("running ablation studies ...", file=sys.stderr)
+        sections.append(run_all_ablations(experiment))
+
+    print("\n\n".join(sections))
+    return 0
+
+
+def _run_fix(args: argparse.Namespace) -> int:
+    from .core import buffopt_min_buffers, insert_buffers_multi_sink, optimize_delay
+    from .io import load_net, save_solution
+    from .library import default_buffer_library, default_technology
+    from .noise import CouplingModel, analyze_noise
+    from .timing import max_sink_delay
+    from .tree import segment_tree
+    from .units import format_time
+
+    tree, technology = load_net(args.net)
+    technology = technology or default_technology()
+    library = default_buffer_library()
+    coupling = CouplingModel.estimation_mode(technology)
+
+    before = analyze_noise(tree, coupling)
+    print(f"loaded {tree.name}: {len(tree.sinks)} sinks, "
+          f"{tree.total_wire_length() * 1e3:.2f} mm of wire")
+    print(f"before: {len(before.violations)} noise violations, "
+          f"max delay {format_time(max_sink_delay(tree))}")
+
+    if args.mode == "noise":
+        continuous = insert_buffers_multi_sink(tree, library, coupling)
+        work_tree, solution = continuous.realize()
+    else:
+        work_tree = segment_tree(tree, args.segment)
+        if args.mode == "delay":
+            solution = optimize_delay(work_tree, library)
+        else:
+            solution = buffopt_min_buffers(work_tree, library, coupling)
+
+    after = analyze_noise(work_tree, coupling, solution.buffer_map())
+    print(f"after ({args.mode}): {solution.buffer_count} buffers, "
+          f"{len(after.violations)} noise violations, "
+          f"max delay "
+          f"{format_time(max_sink_delay(work_tree, solution.buffer_map()))}")
+    print(solution.describe())
+
+    if args.out:
+        save_solution(solution, args.out)
+        print(f"solution written to {args.out}")
+    if args.svg:
+        from .viz import save_svg
+
+        save_svg(work_tree, args.svg, solution.buffer_map(), coupling)
+        print(f"rendering written to {args.svg}")
+    return 0
+
+
+def _run_sensitivity(args: argparse.Namespace) -> int:
+    from .analysis import coupling_sensitivity
+    from .errors import AnalysisError
+    from .io import load_net
+    from .library import default_technology
+    from .noise import CouplingModel
+
+    tree, technology = load_net(args.net)
+    technology = technology or default_technology()
+    coupling = CouplingModel.estimation_mode(technology)
+    try:
+        report = coupling_sensitivity(tree, coupling)
+    except AnalysisError as exc:
+        print(f"sensitivity unavailable: {exc}", file=sys.stderr)
+        return 1
+    print(report.describe())
+    print(
+        f"net-level critical coupling ratio: {report.critical_ratio:.3f} "
+        f"(assumed {report.assumed_ratio})"
+    )
+    return 0
+
+
+def _run_export(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from .io import save_net
+
+    experiment = default_experiment(nets=args.nets, seed=args.seed)
+    directory = pathlib.Path(args.directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for net in experiment.nets:
+        save_net(
+            net.tree, directory / f"{net.name}.json", experiment.technology
+        )
+    print(f"wrote {len(experiment.nets)} nets to {directory}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.target == "fix":
+        return _run_fix(args)
+    if args.target == "sensitivity":
+        return _run_sensitivity(args)
+    if args.target == "export":
+        return _run_export(args)
+    return _run_tables(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""The paper's algorithms: Theorem 1 closed forms, Algorithms 1–3, DelayOpt."""
+
+from .dp import DPCandidate, DPOptions, DPOutcome, DPResult, Insertion, run_dp
+from .noise_delay import buffopt, buffopt_min_buffers, buffopt_result
+from .noise_multi import (
+    NoiseCandidate,
+    insert_buffers_multi_sink,
+    prune_noise_candidates,
+)
+from .noise_single import insert_buffers_single_sink, select_noise_buffer
+from .noise_sites import noise_aware_segmentation
+from .solution import BufferSolution, ContinuousSolution, PlacedBuffer
+from .stages import Stage, StageSink, decompose_stages
+from .van_ginneken import (
+    best_within_count,
+    delay_opt_result,
+    optimize_delay,
+    optimize_delay_per_count,
+)
+from .wire_sizing import WireChoice, WireSizingSpec, apply_wire_widths
+from .wire_length import (
+    SpacingPlan,
+    max_coupling_ratio,
+    max_safe_length,
+    max_safe_length_estimation,
+    min_separation,
+    uniform_line_spacing,
+    uniform_wire_noise,
+    unloaded_max_length,
+    violating_margin_bound,
+)
+
+__all__ = [
+    "BufferSolution",
+    "ContinuousSolution",
+    "DPCandidate",
+    "DPOptions",
+    "DPOutcome",
+    "DPResult",
+    "Insertion",
+    "NoiseCandidate",
+    "PlacedBuffer",
+    "SpacingPlan",
+    "Stage",
+    "StageSink",
+    "WireChoice",
+    "WireSizingSpec",
+    "apply_wire_widths",
+    "best_within_count",
+    "buffopt",
+    "buffopt_min_buffers",
+    "buffopt_result",
+    "decompose_stages",
+    "delay_opt_result",
+    "insert_buffers_multi_sink",
+    "insert_buffers_single_sink",
+    "max_coupling_ratio",
+    "max_safe_length",
+    "max_safe_length_estimation",
+    "min_separation",
+    "noise_aware_segmentation",
+    "optimize_delay",
+    "optimize_delay_per_count",
+    "prune_noise_candidates",
+    "run_dp",
+    "select_noise_buffer",
+    "uniform_line_spacing",
+    "uniform_wire_noise",
+    "unloaded_max_length",
+    "violating_margin_bound",
+]

@@ -1,0 +1,59 @@
+"""Persistent (shared-tail) linked list for candidate solution bookkeeping.
+
+Van Ginneken-style algorithms create thousands of candidates that mostly
+share their solution prefixes; a cons list makes "append one insertion"
+O(1) and "merge two branches" O(size of one side), instead of copying
+tuples around (the paper's footnote 7 makes the same point with pointers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Chain(Generic[T]):
+    """One cons cell; ``None`` is the empty chain."""
+
+    head: T
+    tail: Optional["Chain[T]"]
+    count: int
+
+    @staticmethod
+    def push(tail: Optional["Chain[T]"], item: T) -> "Chain[T]":
+        return Chain(item, tail, 1 + (tail.count if tail else 0))
+
+    @staticmethod
+    def concat(
+        left: Optional["Chain[T]"], right: Optional["Chain[T]"]
+    ) -> Optional["Chain[T]"]:
+        """All of ``left``'s items pushed (in order) onto ``right``."""
+        if left is None:
+            return right
+        items = []
+        node: Optional[Chain[T]] = left
+        while node is not None:
+            items.append(node.head)
+            node = node.tail
+        out = right
+        for item in reversed(items):
+            out = Chain.push(out, item)
+        return out
+
+    @staticmethod
+    def size(chain: Optional["Chain[T]"]) -> int:
+        return chain.count if chain else 0
+
+    @staticmethod
+    def to_tuple(chain: Optional["Chain[T]"]) -> Tuple[T, ...]:
+        """Items in insertion (push) order."""
+        items = []
+        node: Optional[Chain[T]] = chain
+        while node is not None:
+            items.append(node.head)
+            node = node.tail
+        items.reverse()
+        return tuple(items)

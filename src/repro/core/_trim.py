@@ -1,0 +1,80 @@
+"""Footnote-8 completion: trim buffers made redundant by a strong driver.
+
+The greedy walkers of Algorithms 1 and 2 test deferral against the
+*buffer's* resistance, which the paper justifies by assuming
+``R_so > R_b`` (footnote 8).  When the real driver is stronger than the
+buffer, a span the greedy covered with its topmost buffer might have been
+covered by the driver itself, leaving that buffer redundant.
+
+:func:`trim_redundant` restores minimality in the sense of a 1-minimal
+certificate: it repeatedly removes any placed buffer whose removal keeps
+the net noise-clean (trying source-adjacent buffers first, where the
+footnote-8 slack lives).  For ``R_so > R_b`` the greedy is already
+optimal and this pass is a no-op; otherwise it implements the "test
+whether the current solution will have no noise violations if no more
+buffers are inserted" check the footnote prescribes, generalized to every
+prefix of the solution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..noise.coupling import CouplingModel
+from ..noise.devgan import noise_violations
+from ..tree.topology import RoutingTree
+from .solution import ContinuousSolution, PlacedBuffer
+
+
+def _depth_from_source(tree: RoutingTree, placement: PlacedBuffer) -> float:
+    """Path length from the source to the placement point."""
+    child = tree.node(placement.child)
+    wire = child.parent_wire
+    assert wire is not None
+    depth = 0.0
+    node = wire.parent
+    while node.parent_wire is not None:
+        depth += node.parent_wire.length
+        node = node.parent_wire.parent
+    return depth + (wire.length - placement.distance_from_child)
+
+
+def _is_clean(
+    tree: RoutingTree,
+    placements: Tuple[PlacedBuffer, ...],
+    coupling: CouplingModel,
+    driver_resistance: float,
+) -> bool:
+    buffered, solution = ContinuousSolution(tree, placements).realize()
+    return not noise_violations(
+        buffered, coupling, solution.buffer_map(), driver_resistance
+    )
+
+
+def trim_redundant(
+    tree: RoutingTree,
+    placements: Tuple[PlacedBuffer, ...],
+    coupling: CouplingModel,
+    driver_resistance: float,
+) -> Tuple[PlacedBuffer, ...]:
+    """Drop placements whose removal keeps the net noise-clean.
+
+    Returns a subset of ``placements`` that is 1-minimal: removing any
+    single remaining buffer re-creates a violation.  The input is assumed
+    to be noise-clean as a whole.
+    """
+    if not placements:
+        return placements
+    current: List[PlacedBuffer] = sorted(
+        placements, key=lambda p: _depth_from_source(tree, p)
+    )
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current)):
+            trial = tuple(current[:index] + current[index + 1:])
+            if _is_clean(tree, trial, coupling, driver_resistance):
+                current = list(trial)
+                changed = True
+                break
+    return tuple(current)

@@ -1,0 +1,134 @@
+"""Shared bottom-up wire walker for Algorithms 1 and 2.
+
+Processes one wire from its child end to its parent end, maintaining the
+``(downstream current, noise slack)`` state and inserting buffers at their
+maximal Theorem-1 positions whenever deferral would break the invariant:
+
+    **invariant** — at every state the walker hands back, a buffer placed
+    at that point satisfies the noise constraint (``Rb * I <= NS``).
+
+Both noise-avoidance algorithms reduce their per-wire work to this walker;
+Algorithm 2 additionally forks candidates at branch merges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import InfeasibleError
+from ..library.buffers import BufferType
+from ..noise.coupling import CouplingModel
+from ..tree.topology import Wire
+from .solution import PlacedBuffer
+from .wire_length import max_safe_length
+
+#: sanity cap on buffers per wire (paper nets need at most a handful).
+_MAX_BUFFERS_PER_WIRE = 1000
+
+
+def walk_wire(
+    wire: Wire,
+    buffer: BufferType,
+    coupling: CouplingModel,
+    current: float,
+    slack: float,
+) -> Tuple[float, float, List[PlacedBuffer]]:
+    """Walk ``wire`` bottom-up from state ``(current, slack)``.
+
+    Returns the state at the wire's upstream end plus any buffers placed
+    on this wire (ordered bottom-to-top).  Requires — and re-establishes —
+    the module invariant.  Raises :class:`InfeasibleError` when no buffer
+    position can satisfy the constraint.
+    """
+    placements: List[PlacedBuffer] = []
+    if wire.length <= 0.0:
+        return _walk_lumped(wire, buffer, coupling, current, slack, placements)
+
+    unit_r = wire.resistance / wire.length
+    unit_i = coupling.wire_current(wire) / wire.length
+    remaining = wire.length
+
+    # Progress guard: the steady-state Theorem-1 span with a fresh buffer
+    # state bounds how many buffers this wire can possibly need.  A span
+    # so small that thousands of buffers would be required means the
+    # buffer type cannot realistically fix this wire.
+    if unit_r > 0 and unit_i > 0:
+        steady_span = max_safe_length(
+            buffer.resistance, unit_r, unit_i, 0.0, buffer.noise_margin
+        )
+        if steady_span * _MAX_BUFFERS_PER_WIRE < wire.length:
+            raise InfeasibleError(
+                f"wire {wire.name}: buffer {buffer.name!r} sustains only "
+                f"{steady_span:.3g} m spans ({wire.length / steady_span:.0f} "
+                "buffers would be needed); treat as infeasible"
+            )
+
+    while True:
+        span_current = unit_i * remaining
+        span_resistance = unit_r * remaining
+        top_current = current + span_current
+        top_noise = span_resistance * (span_current / 2.0 + current)
+        if buffer.resistance * top_current <= slack - top_noise:
+            return top_current, slack - top_noise, placements
+        try:
+            distance = max_safe_length(
+                driver_resistance=buffer.resistance,
+                unit_resistance=unit_r,
+                unit_current=unit_i,
+                downstream_current=current,
+                noise_slack=slack,
+            )
+        except InfeasibleError as exc:
+            raise InfeasibleError(f"wire {wire.name}: {exc}") from exc
+        # Back off by 0.1 ppb so the realized placement never rounds to
+        # "noise > margin" when re-analyzed with differently-associated
+        # float arithmetic; the optimality tests tolerate this epsilon.
+        distance *= 1.0 - 1e-10
+        # The deferral test failed, so Theorem 1 cannot really allow the
+        # whole remaining span; equality can slip through in float math.
+        distance = min(distance, remaining)
+        consumed = wire.length - remaining
+        placements.append(
+            PlacedBuffer(
+                parent=wire.parent.name,
+                child=wire.child.name,
+                distance_from_child=consumed + distance,
+                buffer=buffer,
+            )
+        )
+        remaining -= distance
+        current, slack = 0.0, buffer.noise_margin
+        if remaining <= 0.0:
+            return current, slack, placements
+
+
+def _walk_lumped(
+    wire: Wire,
+    buffer: BufferType,
+    coupling: CouplingModel,
+    current: float,
+    slack: float,
+    placements: List[PlacedBuffer],
+) -> Tuple[float, float, List[PlacedBuffer]]:
+    """Zero-length wires: lumped R and current, no interior positions."""
+    wire_i = coupling.wire_current(wire)
+    noise = wire.resistance * (wire_i / 2.0 + current)
+    if buffer.resistance * (current + wire_i) <= slack - noise:
+        return current + wire_i, slack - noise, placements
+    # Buffer at the child end (legal by the entry invariant), then retry.
+    placements.append(
+        PlacedBuffer(
+            parent=wire.parent.name,
+            child=wire.child.name,
+            distance_from_child=0.0,
+            buffer=buffer,
+        )
+    )
+    current, slack = 0.0, buffer.noise_margin
+    noise = wire.resistance * (wire_i / 2.0 + current)
+    if buffer.resistance * (current + wire_i) > slack - noise:
+        raise InfeasibleError(
+            f"lumped wire {wire.name} is too noisy for buffer "
+            f"{buffer.name!r} even when buffered at both ends"
+        )
+    return current + wire_i, slack - noise, placements

@@ -1,0 +1,550 @@
+"""The Van Ginneken dynamic-programming engine (paper Sections II-D and IV).
+
+One engine implements both algorithms:
+
+* **DelayOpt** — the classic Van Ginneken/Lillis DP (``noise_aware=False``):
+  candidates ``(C, q, M)`` propagate bottom-up; buffers maximize slack.
+* **BuffOpt / Algorithm 3** — the paper's extension (``noise_aware=True``):
+  candidates grow to ``(C, q, I, NS, M)`` and a buffer (or the final
+  driver) is only accepted when its output noise ``R * I`` fits within the
+  downstream noise slack ``NS``.  Candidates whose ``NS`` falls below zero
+  are dead (no gate could ever legally drive them) and are dropped, which
+  is why BuffOpt generates *fewer* candidates than DelayOpt (Section V-B).
+
+Supported extensions, all from the paper's toolbox:
+
+* **buffer-count tracking** (Lillis [18]) — keep one candidate frontier per
+  inserted-buffer count, enabling DelayOpt(k) and Problem 3;
+* **polarity tracking** (Lillis [18]) — inverting buffers flip a polarity
+  bit; merges require equal polarity and the source must see parity 0;
+* **pruning rules** — the paper prunes on ``(C, q)`` only (``prune=
+  "timing"``, the Theorem-5 setting); ``prune="pareto"`` keeps the full
+  4-field Pareto frontier (ablation).
+
+The noise state uses exactly the update rules of the Devgan metric module,
+so an engine result re-analyzed by :mod:`repro.noise.devgan` agrees with
+the candidate arithmetic (tested).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import InfeasibleError
+from ..library.buffers import BufferLibrary, BufferType
+from ..library.cells import DriverCell
+from ..noise.coupling import CouplingModel
+from ..tree.topology import Node, RoutingTree, Wire
+from ._chain import Chain
+from .solution import BufferSolution
+from .wire_sizing import WireChoice, WireSizingSpec, apply_wire_widths
+
+
+@dataclass(frozen=True)
+class Insertion:
+    """One buffer assigned to one (existing, feasible) tree node."""
+
+    node: str
+    buffer: BufferType
+
+
+@dataclass(frozen=True)
+class DPCandidate:
+    """The paper's candidate tuple ``(C, q, I, NS, M)`` plus polarity.
+
+    ``wire_chain`` records wire-width decisions when the engine runs with
+    a :class:`~repro.core.wire_sizing.WireSizingSpec` (Lillis-style
+    simultaneous sizing); only non-default widths are recorded.
+    """
+
+    load: float
+    slack: float
+    current: float
+    noise_slack: float
+    polarity: int
+    chain: Optional[Chain[Insertion]]
+    wire_chain: Optional[Chain[WireChoice]] = None
+
+    @property
+    def count(self) -> int:
+        return Chain.size(self.chain)
+
+    def insertions(self) -> Tuple[Insertion, ...]:
+        return Chain.to_tuple(self.chain)
+
+    def wire_choices(self) -> Tuple[WireChoice, ...]:
+        return Chain.to_tuple(self.wire_chain)
+
+
+@dataclass(frozen=True)
+class DPOptions:
+    """Engine configuration; defaults give the plain Van Ginneken setup."""
+
+    noise_aware: bool = False
+    track_counts: bool = False
+    max_buffers: Optional[int] = None
+    prune: str = "timing"  # "timing" (paper) or "pareto" (4-field ablation)
+    enforce_polarity: bool = True
+    #: enable Lillis-style simultaneous wire sizing with this width menu.
+    sizing: Optional[WireSizingSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.prune not in ("timing", "pareto"):
+            raise ValueError(f"unknown prune rule {self.prune!r}")
+        if self.max_buffers is not None and self.max_buffers < 0:
+            raise ValueError(f"max_buffers must be >= 0, got {self.max_buffers}")
+        if self.max_buffers is not None and not self.track_counts:
+            raise ValueError(
+                "max_buffers requires track_counts=True (candidate counts "
+                "must be part of the frontier to cap them soundly)"
+            )
+
+
+@dataclass(frozen=True)
+class DPOutcome:
+    """One finalized source candidate (driver delay and noise applied)."""
+
+    buffer_count: int
+    slack: float
+    noise_feasible: bool
+    insertions: Tuple[Insertion, ...]
+    wire_choices: Tuple[WireChoice, ...] = ()
+
+
+@dataclass(frozen=True)
+class DPResult:
+    """All finalized outcomes, best-per-buffer-count."""
+
+    tree: RoutingTree
+    outcomes: Tuple[DPOutcome, ...]
+    options: DPOptions
+    #: total candidates generated / surviving prunes (for the ablations).
+    candidates_generated: int
+    candidates_kept_peak: int
+
+    def best(self, require_noise: Optional[bool] = None) -> DPOutcome:
+        """Maximum-slack outcome (Problem 2 when ``require_noise``).
+
+        ``require_noise`` defaults to the engine's ``noise_aware`` flag.
+        """
+        require = self.options.noise_aware if require_noise is None else require_noise
+        pool = [o for o in self.outcomes if o.noise_feasible or not require]
+        if not pool:
+            raise InfeasibleError(
+                f"net {self.tree.name!r}: no noise-feasible solution exists "
+                "for this buffer library and segmentation"
+            )
+        return max(pool, key=lambda o: (o.slack, -o.buffer_count))
+
+    def fewest_buffers(
+        self, min_slack: float = 0.0, require_noise: Optional[bool] = None
+    ) -> DPOutcome:
+        """Problem 3: fewest buffers with noise met and slack >= min_slack.
+
+        Falls back to the maximum-slack outcome when no outcome reaches
+        ``min_slack`` (timing-infeasible nets still get their best fix,
+        mirroring how BuffOpt is deployed in Section IV-C).
+        """
+        require = self.options.noise_aware if require_noise is None else require_noise
+        pool = [o for o in self.outcomes if o.noise_feasible or not require]
+        if not pool:
+            raise InfeasibleError(
+                f"net {self.tree.name!r}: no noise-feasible solution exists "
+                "for this buffer library and segmentation"
+            )
+        meeting = [o for o in pool if o.slack >= min_slack]
+        if meeting:
+            return min(meeting, key=lambda o: (o.buffer_count, -o.slack))
+        return max(pool, key=lambda o: (o.slack, -o.buffer_count))
+
+    def minimize_cost(
+        self,
+        cost,
+        min_slack: float = 0.0,
+        require_noise: Optional[bool] = None,
+    ) -> DPOutcome:
+        """Lillis-style power objective over the per-count frontier.
+
+        ``cost`` maps a :class:`~repro.library.BufferType` to a
+        non-negative weight (area, leakage, ...); the outcome minimizing
+        the summed weight of its insertions is returned, among outcomes
+        meeting ``min_slack`` (falling back to the max-slack outcome when
+        none does, like :meth:`fewest_buffers`).  With ``cost = lambda b:
+        1`` this reduces to Problem 3 exactly.
+
+        Note the search runs over the count-indexed best-slack frontier —
+        the DP optimizes slack per count, so a same-count solution with
+        lower cost but worse (still sufficient) slack is not represented;
+        for uniform costs this is exact, for non-uniform costs it is the
+        standard frontier heuristic.
+        """
+        require = self.options.noise_aware if require_noise is None else require_noise
+        pool = [o for o in self.outcomes if o.noise_feasible or not require]
+        if not pool:
+            raise InfeasibleError(
+                f"net {self.tree.name!r}: no noise-feasible solution exists"
+            )
+        meeting = [o for o in pool if o.slack >= min_slack]
+        if not meeting:
+            return max(pool, key=lambda o: (o.slack, -o.buffer_count))
+
+        def total(outcome: DPOutcome) -> float:
+            return sum(cost(ins.buffer) for ins in outcome.insertions)
+
+        return min(meeting, key=lambda o: (total(o), -o.slack))
+
+    def solution(self, outcome: DPOutcome) -> BufferSolution:
+        """Materialize an outcome as a :class:`BufferSolution`.
+
+        For sizing-enabled runs the assignment refers to the *drawn-width*
+        tree; use :meth:`sized_solution` to also realize the wire widths.
+        """
+        return BufferSolution(
+            self.tree, {ins.node: ins.buffer for ins in outcome.insertions}
+        )
+
+    def sized_solution(
+        self, outcome: DPOutcome
+    ) -> Tuple[RoutingTree, BufferSolution]:
+        """Realize an outcome's wire widths and buffers as a new tree.
+
+        Returns ``(resized tree, buffer solution on it)``; for runs
+        without sizing this is just a copy plus :meth:`solution`.
+        """
+        spec = self.options.sizing or WireSizingSpec(widths=(1.0,))
+        widths = {
+            (choice.parent, choice.child): choice.width
+            for choice in outcome.wire_choices
+        }
+        resized = apply_wire_widths(self.tree, widths, spec)
+        return resized, BufferSolution(
+            resized, {ins.node: ins.buffer for ins in outcome.insertions}
+        )
+
+
+# groups: (polarity, count_key) -> candidate list sorted by load ascending.
+_Groups = Dict[Tuple[int, int], List[DPCandidate]]
+
+
+class _Engine:
+    def __init__(
+        self,
+        tree: RoutingTree,
+        library: BufferLibrary,
+        coupling: CouplingModel,
+        options: DPOptions,
+        driver: DriverCell,
+    ):
+        self.tree = tree
+        self.library = library
+        self.coupling = coupling
+        self.options = options
+        self.driver = driver
+        self.generated = 0
+        self.kept_peak = 0
+
+    # -- candidate algebra ---------------------------------------------------
+
+    def _count_key(self, count: int) -> int:
+        return count if self.options.track_counts else 0
+
+    def run(self) -> DPResult:
+        lists: Dict[str, _Groups] = {}
+        for node in self.tree.postorder():
+            if node.is_sink:
+                groups = self._sink_base(node)
+            else:
+                groups = self._merge_children(node, lists)
+                self._insert_buffers(node, groups)
+                for child in node.children:
+                    del lists[child.name]
+            if node.parent_wire is not None:
+                self._apply_wire(node.parent_wire, groups)
+            self._prune(groups)
+            lists[node.name] = groups
+        return self._finalize(lists[self.tree.source.name])
+
+    def _sink_base(self, node: Node) -> _Groups:
+        assert node.sink is not None
+        cand = DPCandidate(
+            load=node.sink.capacitance,
+            slack=node.sink.required_arrival,
+            current=0.0,
+            noise_slack=node.sink.noise_margin,
+            polarity=0,
+            chain=None,
+        )
+        self.generated += 1
+        return {(0, 0): [cand]}
+
+    def _merge_children(
+        self, node: Node, lists: Mapping[str, _Groups]
+    ) -> _Groups:
+        children = node.children
+        assert children, f"internal node {node.name!r} without children"
+        groups = lists[children[0].name]
+        for child in children[1:]:
+            groups = self._merge_pair(groups, lists[child.name])
+        return groups
+
+    def _merge_pair(self, left: _Groups, right: _Groups) -> _Groups:
+        merged: _Groups = {}
+        for (pol_l, count_l), list_l in left.items():
+            for (pol_r, count_r), list_r in right.items():
+                if self.options.enforce_polarity and pol_l != pol_r:
+                    continue
+                count = count_l + count_r
+                if (
+                    self.options.max_buffers is not None
+                    and self.options.track_counts
+                    and count > self.options.max_buffers
+                ):
+                    continue
+                polarity = pol_l if self.options.enforce_polarity else 0
+                key = (polarity, self._count_key(count))
+                merged.setdefault(key, []).extend(
+                    self._linear_merge(list_l, list_r)
+                )
+        return merged
+
+    def _linear_merge(
+        self, left: List[DPCandidate], right: List[DPCandidate]
+    ) -> List[DPCandidate]:
+        """Van Ginneken's |L|+|R| merge over two load-sorted frontiers."""
+        out: List[DPCandidate] = []
+        i = j = 0
+        while i < len(left) and j < len(right):
+            a, b = left[i], right[j]
+            out.append(
+                DPCandidate(
+                    load=a.load + b.load,
+                    slack=min(a.slack, b.slack),
+                    current=a.current + b.current,
+                    noise_slack=min(a.noise_slack, b.noise_slack),
+                    polarity=a.polarity,
+                    chain=Chain.concat(a.chain, b.chain),
+                    wire_chain=Chain.concat(a.wire_chain, b.wire_chain),
+                )
+            )
+            self.generated += 1
+            # Advance the side whose slack binds; it can only improve by
+            # paying more load.  Advancing the other side cannot help.
+            if a.slack < b.slack:
+                i += 1
+            elif b.slack < a.slack:
+                j += 1
+            else:
+                i += 1
+                j += 1
+        return out
+
+    def _insert_buffers(self, node: Node, groups: _Groups) -> None:
+        if not node.feasible or node.is_source:
+            return
+        track = self.options.track_counts
+        noise_aware = self.options.noise_aware
+        max_buffers = self.options.max_buffers
+        inf = math.inf
+        additions: List[Tuple[Tuple[int, int], DPCandidate]] = []
+        for (polarity, group_count), candidates in groups.items():
+            if track and max_buffers is not None and group_count + 1 > max_buffers:
+                continue
+            # Per-candidate scalars, hoisted out of the per-buffer loop.
+            loads = [c.load for c in candidates]
+            slacks = [c.slack for c in candidates]
+            # Largest gate resistance each candidate tolerates: NS / I.
+            if noise_aware:
+                limits = [
+                    (c.noise_slack / c.current) if c.current > 0 else inf
+                    for c in candidates
+                ]
+            else:
+                limits = None
+            counts = None if track else [c.count for c in candidates]
+            for buffer in self.library:
+                resistance = buffer.resistance
+                best_slack = -inf
+                best_index = -1
+                for index in range(len(candidates)):
+                    if limits is not None and resistance > limits[index]:
+                        continue  # Step 5: never create a noisy candidate.
+                    slack = slacks[index] - resistance * loads[index]
+                    if slack > best_slack:
+                        best_slack = slack
+                        best_index = index
+                if best_index < 0:
+                    continue
+                cand = candidates[best_index]
+                new_count = (group_count if track else counts[best_index]) + 1
+                new_pol = (
+                    polarity ^ (1 if buffer.inverting else 0)
+                    if self.options.enforce_polarity
+                    else 0
+                )
+                new = DPCandidate(
+                    load=buffer.input_capacitance,
+                    slack=best_slack - buffer.intrinsic_delay,
+                    current=0.0,
+                    noise_slack=buffer.noise_margin,
+                    polarity=new_pol,
+                    chain=Chain.push(cand.chain, Insertion(node.name, buffer)),
+                    wire_chain=cand.wire_chain,
+                )
+                self.generated += 1
+                additions.append(((new_pol, self._count_key(new_count)), new))
+        for key, cand in additions:
+            groups.setdefault(key, []).append(cand)
+
+    def _apply_wire(self, wire: Wire, groups: _Groups) -> None:
+        base_i = self.coupling.wire_current(wire)
+        sizing = self.options.sizing
+        if sizing is None:
+            variants = [(None, wire.resistance, wire.capacitance, base_i)]
+        else:
+            # Lillis: realize the wire at every menu width; the pruning
+            # pass keeps the (load, slack) frontier of the variants.
+            variants = []
+            for width in sizing.widths:
+                scale = sizing.capacitance_scale(width)
+                variants.append(
+                    (
+                        None if width == 1.0 else width,
+                        sizing.resistance(wire.resistance, width),
+                        sizing.capacitance(wire.capacitance, width),
+                        base_i * scale,
+                    )
+                )
+        for key, candidates in list(groups.items()):
+            updated: List[DPCandidate] = []
+            for cand in candidates:
+                for width, resistance, capacitance, wire_i in variants:
+                    noise_slack = cand.noise_slack - resistance * (
+                        wire_i / 2.0 + cand.current
+                    )
+                    if self.options.noise_aware and noise_slack < 0.0:
+                        continue  # dead: no gate can ever drive it
+                    wire_chain = cand.wire_chain
+                    if width is not None:
+                        wire_chain = Chain.push(
+                            wire_chain,
+                            WireChoice(wire.parent.name, wire.child.name, width),
+                        )
+                    updated.append(
+                        DPCandidate(
+                            load=cand.load + capacitance,
+                            slack=cand.slack
+                            - resistance * (capacitance / 2.0 + cand.load),
+                            current=cand.current + wire_i,
+                            noise_slack=noise_slack,
+                            polarity=cand.polarity,
+                            chain=cand.chain,
+                            wire_chain=wire_chain,
+                        )
+                    )
+                    if sizing is not None:
+                        self.generated += 1
+            if updated:
+                groups[key] = updated
+            else:
+                del groups[key]
+
+    def _prune(self, groups: _Groups) -> None:
+        total = 0
+        for key, candidates in list(groups.items()):
+            if self.options.prune == "timing":
+                groups[key] = self._prune_timing(candidates)
+            else:
+                groups[key] = self._prune_pareto(candidates)
+            total += len(groups[key])
+        self.kept_peak = max(self.kept_peak, total)
+
+    @staticmethod
+    def _prune_timing(candidates: List[DPCandidate]) -> List[DPCandidate]:
+        """Keep the (load, slack) frontier: rising load must buy rising slack."""
+        ordered = sorted(candidates, key=lambda c: (c.load, -c.slack))
+        kept: List[DPCandidate] = []
+        best_slack = -math.inf
+        for cand in ordered:
+            if cand.slack > best_slack:
+                kept.append(cand)
+                best_slack = cand.slack
+        return kept
+
+    @staticmethod
+    def _prune_pareto(candidates: List[DPCandidate]) -> List[DPCandidate]:
+        """4-field dominance (load, slack, current, noise slack) — ablation."""
+        ordered = sorted(
+            candidates,
+            key=lambda c: (c.load, -c.slack, c.current, -c.noise_slack),
+        )
+        kept: List[DPCandidate] = []
+        for cand in ordered:
+            dominated = any(
+                other.load <= cand.load
+                and other.slack >= cand.slack
+                and other.current <= cand.current
+                and other.noise_slack >= cand.noise_slack
+                for other in kept
+            )
+            if not dominated:
+                kept.append(cand)
+        return kept
+
+    def _finalize(self, groups: _Groups) -> DPResult:
+        outcomes: Dict[int, DPOutcome] = {}
+        has_inverters = any(b.inverting for b in self.library)
+        for (polarity, _), candidates in groups.items():
+            if self.options.enforce_polarity and has_inverters and polarity != 0:
+                continue
+            for cand in candidates:
+                slack = cand.slack - self.driver.gate_delay(cand.load)
+                noise_ok = (
+                    self.driver.resistance * cand.current <= cand.noise_slack
+                )
+                if self.options.noise_aware and not noise_ok:
+                    continue  # Step 3/4 of Fig. 10: reject noisy finals.
+                count = cand.count
+                outcome = DPOutcome(
+                    buffer_count=count,
+                    slack=slack,
+                    noise_feasible=noise_ok,
+                    insertions=cand.insertions(),
+                    wire_choices=cand.wire_choices(),
+                )
+                kept = outcomes.get(count)
+                if kept is None or outcome.slack > kept.slack:
+                    outcomes[count] = outcome
+        ordered = tuple(outcomes[k] for k in sorted(outcomes))
+        return DPResult(
+            tree=self.tree,
+            outcomes=ordered,
+            options=self.options,
+            candidates_generated=self.generated,
+            candidates_kept_peak=self.kept_peak,
+        )
+
+
+def run_dp(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    coupling: Optional[CouplingModel] = None,
+    options: Optional[DPOptions] = None,
+    driver: Optional[DriverCell] = None,
+) -> DPResult:
+    """Run the DP over ``tree`` and return per-count best outcomes.
+
+    ``coupling`` defaults to the silent model (all noise currents zero),
+    which is the right setting for pure DelayOpt; ``driver`` defaults to
+    ``tree.driver``.
+    """
+    options = options or DPOptions()
+    coupling = coupling or CouplingModel.silent()
+    if driver is None:
+        if tree.driver is None:
+            raise InfeasibleError(
+                f"tree {tree.name!r} has no driver cell; pass driver="
+            )
+        driver = tree.driver
+    return _Engine(tree, library, coupling, options, driver).run()

@@ -1,0 +1,243 @@
+"""Algorithm 2: optimal noise avoidance for multi-sink trees (Section III-C).
+
+Bottom-up candidate propagation in the spirit of Van Ginneken: a candidate
+at a node ``v`` is ``(I(v), NS(v), M)`` — downstream current, noise slack,
+and the buffers placed so far in the subtree.  Along wires every candidate
+evolves deterministically (buffers at maximal Theorem-1 positions, exactly
+like Algorithm 1).  The interesting point is a two-child merge:
+
+* if ``Rb * (I_l + I_r) <= min(NS_l, NS_r)`` the branches merge without a
+  buffer;
+* otherwise a buffer must go *immediately below the branch node* on one of
+  the two branches, and since the correct choice depends on the yet-unseen
+  upstream, **both** options become candidates (paper Step 6).
+
+Candidate ``a`` is *inferior* to ``b`` iff ``I_a >= I_b`` and
+``NS_a <= NS_b`` (paper) — we additionally require ``|M_a| >= |M_b|`` so
+that pruning provably never discards a fewest-buffer optimum when
+candidates with different buffer counts coexist.
+
+The walker's invariant (a buffer placed at the candidate's node is
+noise-feasible) holds for every candidate, which is what makes the forks
+at merges legal and the final driver fix-up (one buffer right after the
+source) always available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import InfeasibleError
+from ..library.buffers import BufferLibrary, BufferType
+from ..noise.coupling import CouplingModel
+from ..tree.topology import Node, RoutingTree
+from ._chain import Chain
+from ._trim import trim_redundant
+from ._walk import walk_wire
+from .noise_single import select_noise_buffer
+from .solution import ContinuousSolution, PlacedBuffer
+
+
+_Chain = Chain  # placements chain; see repro.core._chain
+
+
+@dataclass(frozen=True)
+class NoiseCandidate:
+    """``(I, NS, M)`` with the buffer count cached for pruning."""
+
+    current: float
+    slack: float
+    chain: Optional[Chain[PlacedBuffer]]
+
+    @property
+    def count(self) -> int:
+        return Chain.size(self.chain)
+
+    def placements(self) -> Tuple[PlacedBuffer, ...]:
+        return Chain.to_tuple(self.chain)
+
+
+def prune_noise_candidates(
+    candidates: List[NoiseCandidate],
+) -> List[NoiseCandidate]:
+    """Drop candidates inferior in (current, slack, count).
+
+    Output is sorted by increasing current; on the kept frontier slack is
+    strictly increasing with current within each count level.
+    """
+    # Sort so better candidates come first at equal current.
+    ordered = sorted(
+        candidates, key=lambda c: (c.current, -c.slack, c.count)
+    )
+    kept: List[NoiseCandidate] = []
+    for cand in ordered:
+        dominated = any(
+            other.current <= cand.current
+            and other.slack >= cand.slack
+            and other.count <= cand.count
+            for other in kept
+        )
+        if not dominated:
+            kept.append(cand)
+    return kept
+
+
+def insert_buffers_multi_sink(
+    tree: RoutingTree,
+    buffers: Union[BufferType, BufferLibrary],
+    coupling: CouplingModel,
+    driver_resistance: Optional[float] = None,
+) -> ContinuousSolution:
+    """Minimum-buffer noise avoidance on an arbitrary tree (Problem 1).
+
+    Accepts single-sink trees too (it then reduces to Algorithm 1, which
+    the test suite verifies).  Returns the fewest-buffer solution; ties
+    break toward larger final noise slack, then smaller current.
+
+    Raises
+    ------
+    InfeasibleError
+        If no buffering of some wire can satisfy the noise constraints.
+    """
+    if driver_resistance is None:
+        if tree.driver is None:
+            raise InfeasibleError(
+                f"tree {tree.name!r} has no driver; pass driver_resistance"
+            )
+        driver_resistance = tree.driver.resistance
+    buffer = select_noise_buffer(buffers)
+
+    lists: Dict[str, List[NoiseCandidate]] = {}
+    for node in tree.postorder():
+        if node.is_sink:
+            assert node.sink is not None
+            lists[node.name] = [NoiseCandidate(0.0, node.sink.noise_margin, None)]
+            continue
+        child_lists = []
+        for child in node.children:
+            wire = child.parent_wire
+            assert wire is not None
+            walked: List[NoiseCandidate] = []
+            for cand in lists.pop(child.name):
+                current, slack, placed = walk_wire(
+                    wire, buffer, coupling, cand.current, cand.slack
+                )
+                chain = cand.chain
+                for item in placed:
+                    chain = _Chain.push(chain, item)
+                walked.append(NoiseCandidate(current, slack, chain))
+            child_lists.append((child, prune_noise_candidates(walked)))
+        if node.is_source and not child_lists:
+            raise InfeasibleError(f"source of {tree.name!r} has no subtree")
+        if len(child_lists) == 1:
+            lists[node.name] = child_lists[0][1]
+        else:
+            lists[node.name] = _merge(node, child_lists, buffer)
+
+    final = lists[tree.source.name]
+    best: Optional[Tuple[int, float, float, NoiseCandidate, bool]] = None
+    for cand in final:
+        needs_buffer = driver_resistance * cand.current > cand.slack
+        cost = cand.count + (1 if needs_buffer else 0)
+        slack = buffer.noise_margin if needs_buffer else cand.slack
+        current = 0.0 if needs_buffer else cand.current
+        key = (cost, -slack, current)
+        if best is None or key < (best[0], -best[1], best[2]):
+            best = (cost, slack, current, cand, needs_buffer)
+    assert best is not None, "candidate lists are never empty"
+    _, _, _, cand, needs_buffer = best
+
+    placements = list(cand.placements())
+    if needs_buffer:
+        top_wire = tree.source.children[0].parent_wire
+        assert top_wire is not None
+        placements.append(
+            PlacedBuffer(
+                parent=top_wire.parent.name,
+                child=top_wire.child.name,
+                distance_from_child=top_wire.length,
+                buffer=buffer,
+            )
+        )
+    result = tuple(placements)
+    if driver_resistance < buffer.resistance:
+        # Footnote 8: a driver stronger than the buffer can make the
+        # topmost placements redundant; trim to a 1-minimal solution.
+        result = trim_redundant(tree, result, coupling, driver_resistance)
+    return ContinuousSolution(tree=tree, placements=result)
+
+
+def _merge(
+    node: Node,
+    child_lists: List[Tuple[Node, List[NoiseCandidate]]],
+    buffer: BufferType,
+) -> List[NoiseCandidate]:
+    """Merge the two branch candidate lists at ``node`` (Steps 4–7)."""
+    (left_child, left), (right_child, right) = child_lists
+    left_wire = left_child.parent_wire
+    right_wire = right_child.parent_wire
+    assert left_wire is not None and right_wire is not None
+
+    merged: List[NoiseCandidate] = []
+    for a in left:
+        for b in right:
+            current = a.current + b.current
+            slack = min(a.slack, b.slack)
+            if buffer.resistance * current <= slack:
+                # Step 7: no violation — plain merge.
+                merged.append(
+                    NoiseCandidate(current, slack, _Chain.concat(a.chain, b.chain))
+                )
+                continue
+            # Step 6: buffer immediately below the branch, on one side.
+            forks = []
+            buffered_left = NoiseCandidate(
+                b.current,
+                min(buffer.noise_margin, b.slack),
+                _Chain.push(
+                    _Chain.concat(a.chain, b.chain),
+                    PlacedBuffer(
+                        left_wire.parent.name,
+                        left_wire.child.name,
+                        left_wire.length,
+                        buffer,
+                    ),
+                ),
+            )
+            buffered_right = NoiseCandidate(
+                a.current,
+                min(buffer.noise_margin, a.slack),
+                _Chain.push(
+                    _Chain.concat(a.chain, b.chain),
+                    PlacedBuffer(
+                        right_wire.parent.name,
+                        right_wire.child.name,
+                        right_wire.length,
+                        buffer,
+                    ),
+                ),
+            )
+            for fork in (buffered_left, buffered_right):
+                if buffer.resistance * fork.current <= fork.slack:
+                    forks.append(fork)
+            if not forks:
+                # Both single-side forks break the invariant (possible only
+                # when the buffer margin is unusually small): buffer both.
+                forks.append(
+                    NoiseCandidate(
+                        0.0,
+                        buffer.noise_margin,
+                        _Chain.push(
+                            buffered_left.chain,
+                            PlacedBuffer(
+                                right_wire.parent.name,
+                                right_wire.child.name,
+                                right_wire.length,
+                                buffer,
+                            ),
+                        ),
+                    )
+                )
+            merged.extend(forks)
+    return prune_noise_candidates(merged)

@@ -1,0 +1,112 @@
+"""Algorithm 1: optimal noise avoidance for single-sink trees (Section III-B).
+
+Walk from the sink toward the source maintaining the downstream current
+``I`` and noise slack ``NS``.  On each wire, as long as a buffer placed at
+the wire's upstream end would satisfy the noise constraint, defer; when it
+would not, insert a buffer at its *maximal* distance up the wire per
+Theorem 1 (which resets ``I = 0`` and ``NS = NM(b)``) and continue.  At the
+source, if the driver itself cannot satisfy ``R_so * I <= NS``, insert one
+final buffer right after the source (only needed when ``R_so > R_b``).
+
+Optimality (Theorem 3): every buffer is inserted as far up the tree as the
+noise constraint allows, so no solution uses fewer buffers.  Run time is
+linear in the number of wires plus the number of inserted buffers.
+
+For a multi-buffer library the optimum is achieved by the smallest-
+resistance buffer (remark after Theorem 3): a smaller ``Rb`` strictly
+increases every Theorem-1 distance, so the min-R buffer maximizes spacing.
+:func:`insert_buffers_single_sink` performs that selection when handed a
+:class:`~repro.library.BufferLibrary`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..errors import InfeasibleError, TreeStructureError
+from ..library.buffers import BufferLibrary, BufferType
+from ..noise.coupling import CouplingModel
+from ..tree.topology import RoutingTree
+from ._trim import trim_redundant
+from ._walk import walk_wire
+from .solution import ContinuousSolution, PlacedBuffer
+
+
+def select_noise_buffer(buffers: Union[BufferType, BufferLibrary]) -> BufferType:
+    """The buffer Algorithms 1/2 use: the library's smallest resistance."""
+    if isinstance(buffers, BufferLibrary):
+        return buffers.smallest_resistance()
+    return buffers
+
+
+def insert_buffers_single_sink(
+    tree: RoutingTree,
+    buffers: Union[BufferType, BufferLibrary],
+    coupling: CouplingModel,
+    driver_resistance: Optional[float] = None,
+) -> ContinuousSolution:
+    """Minimum-buffer noise avoidance on a single-sink tree (Problem 1).
+
+    Parameters
+    ----------
+    tree:
+        A routing tree with exactly one sink.  Intermediate degree-1 chain
+        nodes are fine; buffers are *not* restricted to them — Algorithm 1
+        places buffers continuously along wires.
+    buffers:
+        The buffer type to insert, or a library (collapsed to its
+        smallest-resistance member).
+    coupling:
+        Aggressor model resolving per-wire noise currents.
+    driver_resistance:
+        ``R_so``; defaults to ``tree.driver.resistance``.
+
+    Raises
+    ------
+    InfeasibleError
+        If noise cannot be fixed with this buffer type (e.g. the buffer's
+        own drive of a sink-adjacent span already violates the margin).
+    """
+    sinks = tree.sinks
+    if len(sinks) != 1:
+        raise TreeStructureError(
+            f"Algorithm 1 needs a single-sink tree; {tree.name!r} has "
+            f"{len(sinks)} sinks (use insert_buffers_multi_sink)"
+        )
+    if driver_resistance is None:
+        if tree.driver is None:
+            raise InfeasibleError(
+                f"tree {tree.name!r} has no driver; pass driver_resistance"
+            )
+        driver_resistance = tree.driver.resistance
+    buffer = select_noise_buffer(buffers)
+    sink = sinks[0]
+    assert sink.sink is not None
+
+    current = 0.0
+    slack = sink.sink.noise_margin
+    placements: List[PlacedBuffer] = []
+
+    for wire in tree.path_to_source(sink):
+        current, slack, placed = walk_wire(wire, buffer, coupling, current, slack)
+        placements.extend(placed)
+
+    # Step 5: the real driver replaces the hypothetical buffer at the source.
+    if driver_resistance * current > slack:
+        top_wire = tree.source.children[0].parent_wire
+        assert top_wire is not None
+        # Feasible because the walker's invariant guarantees Rb * I <= NS.
+        placements.append(
+            PlacedBuffer(
+                parent=top_wire.parent.name,
+                child=top_wire.child.name,
+                distance_from_child=top_wire.length,
+                buffer=buffer,
+            )
+        )
+    result = tuple(placements)
+    if driver_resistance < buffer.resistance:
+        # Footnote 8: a driver stronger than the buffer can make the
+        # topmost placements redundant; trim to a 1-minimal solution.
+        result = trim_redundant(tree, result, coupling, driver_resistance)
+    return ContinuousSolution(tree=tree, placements=result)

@@ -1,0 +1,57 @@
+"""Noise-aware wire segmentation (the paper's footnote-3 suggestion).
+
+Uniform segmentation trades solution quality against DP size blindly; the
+paper notes "it may be appropriate to develop a new wire segmenting
+algorithm for the particular formulations we address".  This module does
+exactly that for the noise-constrained formulations: it seeds candidate
+buffer sites at the *exact maximal Theorem-1 positions* computed by
+Algorithm 2 (plus, optionally, a coarse uniform grid for timing
+flexibility).  A noise-feasible solution is then representable with very
+few extra nodes — BuffOpt on the result reaches the continuous minimum
+buffer count at a fraction of the uniform-grid DP cost, which
+``benchmarks/bench_ablations.py`` quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..library.buffers import BufferLibrary, BufferType
+from ..noise.coupling import CouplingModel
+from ..tree.segmenting import segment_tree
+from ..tree.topology import RoutingTree
+from .noise_multi import insert_buffers_multi_sink
+from .solution import ContinuousSolution
+
+
+def noise_aware_segmentation(
+    tree: RoutingTree,
+    buffers: Union[BufferType, BufferLibrary],
+    coupling: CouplingModel,
+    driver_resistance: Optional[float] = None,
+    uniform_extra: Optional[float] = None,
+) -> RoutingTree:
+    """Segment ``tree`` with sites at the Algorithm-2 optimal positions.
+
+    Runs the continuous noise-avoidance algorithm, realizes its buffer
+    positions as *empty* feasible internal nodes (the buffers themselves
+    are not kept — they are DP candidates now), and optionally overlays a
+    coarse uniform segmentation of ``uniform_extra`` meters for
+    delay-driven placements away from the noise-critical spots.
+
+    Raises :class:`~repro.errors.InfeasibleError` when no noise-feasible
+    buffering exists at all (then no segmentation can help either).
+
+    Note: the sites are *tight* for the library's smallest-resistance
+    buffer.  When that buffer is inverting and the downstream DP enforces
+    polarity, a site may be (just) infeasible for the non-inverting
+    alternatives; pass ``buffers=library.non_inverting()`` for
+    polarity-robust sites at a slightly higher count.
+    """
+    solution = insert_buffers_multi_sink(
+        tree, buffers, coupling, driver_resistance=driver_resistance
+    )
+    sited, _ = ContinuousSolution(tree, solution.placements).realize()
+    if uniform_extra is not None:
+        sited = segment_tree(sited, uniform_extra)
+    return sited

@@ -1,0 +1,208 @@
+"""Buffer-insertion solution objects.
+
+Two flavors match the paper's two algorithm families:
+
+* :class:`BufferSolution` — *discrete*: buffers sit on existing internal
+  nodes of a (usually pre-segmented) tree.  Produced by Van Ginneken-style
+  algorithms (DelayOpt, BuffOpt); consumed directly by the timing/noise
+  analyses via :meth:`BufferSolution.buffer_map`.
+* :class:`ContinuousSolution` — buffers sit at computed distances along
+  wires (Algorithms 1 and 2 place each buffer at its exact maximal
+  Theorem-1 position).  :meth:`ContinuousSolution.realize` splits the
+  wires and returns an equivalent ``(tree, BufferSolution)`` pair so the
+  same analyses apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import TreeStructureError
+from ..library.buffers import BufferType
+from ..tree.topology import Node, RoutingTree, Wire
+from ..tree.transform import copy_node, copy_wire, fresh_name
+
+
+@dataclass(frozen=True)
+class BufferSolution:
+    """Buffers assigned to named internal nodes of ``tree``."""
+
+    tree: RoutingTree
+    assignment: Mapping[str, BufferType]
+
+    def __post_init__(self) -> None:
+        for name in self.assignment:
+            node = self.tree.node(name)
+            if not node.is_internal:
+                raise TreeStructureError(
+                    f"buffer assigned to non-internal node {name!r}"
+                )
+            if not node.feasible:
+                raise TreeStructureError(
+                    f"buffer assigned to infeasible node {name!r}"
+                )
+
+    @property
+    def buffer_count(self) -> int:
+        """The paper's |M| — number of inserted buffers."""
+        return len(self.assignment)
+
+    def buffer_map(self) -> Mapping[str, BufferType]:
+        """The mapping consumed by the timing/noise analyses."""
+        return self.assignment
+
+    def sink_inversions(self) -> Dict[str, int]:
+        """Number of inverting buffers on the source-to-sink path, per sink.
+
+        Even parity means the sink sees the source polarity (relevant when
+        the library mixes inverting and non-inverting repeaters).
+        """
+        out: Dict[str, int] = {}
+        for sink in self.tree.sinks:
+            inversions = 0
+            for wire in self.tree.path_to_source(sink):
+                buffer = self.assignment.get(wire.child.name)
+                if buffer is not None and buffer.inverting:
+                    inversions += 1
+            out[sink.name] = inversions
+        return out
+
+    def describe(self) -> str:
+        if not self.assignment:
+            return f"net {self.tree.name}: no buffers"
+        parts = ", ".join(
+            f"{name}:{buf.name}" for name, buf in sorted(self.assignment.items())
+        )
+        return f"net {self.tree.name}: {self.buffer_count} buffers ({parts})"
+
+
+@dataclass(frozen=True)
+class PlacedBuffer:
+    """A buffer at ``distance_from_child`` meters up a specific wire.
+
+    ``0`` puts the buffer right at the wire's child end (just above a sink
+    or branch node); ``wire length`` puts it at the parent end ("right
+    after the source" in Algorithm 1 Step 5).
+    """
+
+    parent: str
+    child: str
+    distance_from_child: float
+    buffer: BufferType
+
+    def __post_init__(self) -> None:
+        if self.distance_from_child < 0:
+            raise TreeStructureError(
+                f"distance_from_child must be >= 0, got {self.distance_from_child}"
+            )
+
+
+@dataclass(frozen=True)
+class ContinuousSolution:
+    """Buffers at exact positions along wires of ``tree``."""
+
+    tree: RoutingTree
+    placements: Tuple[PlacedBuffer, ...]
+
+    @property
+    def buffer_count(self) -> int:
+        return len(self.placements)
+
+    def realize(self) -> Tuple[RoutingTree, BufferSolution]:
+        """Split wires at the placement points; return the buffered tree.
+
+        The returned tree is a copy with one new feasible internal node per
+        placement (named ``<parent>__buf<k>__<child>``); the accompanying
+        :class:`BufferSolution` assigns the buffers to those nodes.
+        """
+        by_wire: Dict[Tuple[str, str], List[PlacedBuffer]] = {}
+        for placement in self.placements:
+            key = (placement.parent, placement.child)
+            by_wire.setdefault(key, []).append(placement)
+
+        copies: Dict[str, Node] = {n.name: copy_node(n) for n in self.tree.nodes()}
+        taken = set(copies)
+        new_nodes: List[Node] = list(copies.values())
+        new_wires: List[Wire] = []
+        assignment: Dict[str, BufferType] = {}
+
+        for wire in self.tree.wires():
+            key = (wire.parent.name, wire.child.name)
+            placements = by_wire.pop(key, [])
+            parent_copy = copies[wire.parent.name]
+            child_copy = copies[wire.child.name]
+            if not placements:
+                new_wires.append(copy_wire(wire, parent_copy, child_copy))
+                continue
+            placements.sort(key=lambda p: p.distance_from_child, reverse=True)
+            for placement in placements:
+                if placement.distance_from_child > wire.length + 1e-12:
+                    raise TreeStructureError(
+                        f"placement {placement} beyond wire length {wire.length}"
+                    )
+            # Walk parent -> child, cutting at each placement.
+            cursor = parent_copy
+            consumed = 0.0
+            for index, placement in enumerate(placements, start=1):
+                span = (wire.length - placement.distance_from_child) - consumed
+                if span < -1e-12:
+                    raise TreeStructureError(
+                        f"placements on wire {wire.name} out of order"
+                    )
+                span = max(span, 0.0)
+                name = fresh_name(
+                    f"{wire.parent.name}__buf{index}__{wire.child.name}", taken
+                )
+                taken.add(name)
+                site = Node(name=name, feasible=True,
+                            position=_interp(wire, consumed + span))
+                new_nodes.append(site)
+                new_wires.append(_piece(wire, cursor, site, span))
+                assignment[name] = placement.buffer
+                cursor = site
+                consumed += span
+            new_wires.append(
+                _piece(wire, cursor, child_copy, wire.length - consumed)
+            )
+        if by_wire:
+            missing = sorted(by_wire)
+            raise TreeStructureError(f"placements on unknown wires: {missing}")
+
+        buffered = RoutingTree(
+            new_nodes, new_wires, driver=self.tree.driver, name=self.tree.name
+        )
+        return buffered, BufferSolution(buffered, assignment)
+
+    def describe(self) -> str:
+        if not self.placements:
+            return f"net {self.tree.name}: no buffers"
+        parts = ", ".join(
+            f"{p.buffer.name}@{p.parent}->{p.child}+{p.distance_from_child:.3g}m"
+            for p in self.placements
+        )
+        return f"net {self.tree.name}: {self.buffer_count} buffers ({parts})"
+
+
+def _piece(wire: Wire, parent: Node, child: Node, length: float) -> Wire:
+    """A proportional slice of ``wire`` between two (new) endpoints."""
+    length = max(length, 0.0)
+    share = 0.0 if wire.length == 0 else length / wire.length
+    return Wire(
+        parent=parent,
+        child=child,
+        length=length,
+        resistance=wire.resistance * share,
+        capacitance=wire.capacitance * share,
+        current=None if wire.current is None else wire.current * share,
+        coupling_ratio=wire.coupling_ratio,
+        slope=wire.slope,
+    )
+
+
+def _interp(wire: Wire, distance_from_parent: float):
+    if wire.parent.position is None or wire.child.position is None or wire.length == 0:
+        return None
+    fraction = distance_from_parent / wire.length
+    (x0, y0), (x1, y1) = wire.parent.position, wire.child.position
+    return (x0 + (x1 - x0) * fraction, y0 + (y1 - y0) * fraction)

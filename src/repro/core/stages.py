@@ -1,0 +1,126 @@
+"""Stage decomposition of a buffered tree.
+
+Assigning buffers to a tree "induces |M|+1 nets" (paper Section II): each
+restoring gate (the source driver or an inserted buffer) drives a maximal
+buffer-free subtree.  The detailed noise verifier simulates each stage as
+its own linear circuit, and several analyses reason per stage, so the
+decomposition lives here as a reusable structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..library.buffers import BufferType
+from ..tree.topology import Node, RoutingTree, Wire
+
+BufferMap = Mapping[str, BufferType]
+
+
+@dataclass(frozen=True)
+class StageSink:
+    """A leaf of a stage: a real sink pin or an inserted buffer's input.
+
+    ``capacitance`` is the load the stage sees at this leaf — the pin
+    capacitance for a real sink, the buffer's input capacitance otherwise.
+    """
+
+    node: Node
+    noise_margin: float
+    is_buffer_input: bool
+    capacitance: float = 0.0
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One restoring gate and the buffer-free subtree it drives.
+
+    ``root`` is the gate's output node (the tree source or a buffered
+    node); ``resistance`` its output resistance.  ``wires`` are in
+    parent-before-child order.
+    """
+
+    root: Node
+    resistance: float
+    gate_name: str
+    wires: Tuple[Wire, ...]
+    sinks: Tuple[StageSink, ...]
+
+    @property
+    def is_source_stage(self) -> bool:
+        return self.root.is_source
+
+    def wire_count(self) -> int:
+        return len(self.wires)
+
+
+def decompose_stages(
+    tree: RoutingTree,
+    buffers: Optional[BufferMap] = None,
+    driver_resistance: Optional[float] = None,
+) -> List[Stage]:
+    """Split ``tree`` into its |M|+1 stages, source stage first.
+
+    ``driver_resistance`` defaults to ``tree.driver.resistance``.
+    """
+    buffers = buffers or {}
+    for name in buffers:
+        if not tree.node(name).is_internal:
+            raise AnalysisError(f"buffer on non-internal node {name!r}")
+    if driver_resistance is None:
+        if tree.driver is None:
+            raise AnalysisError(
+                f"tree {tree.name!r} has no driver; pass driver_resistance"
+            )
+        driver_resistance = tree.driver.resistance
+
+    roots: List[Tuple[Node, float, str]] = [
+        (tree.source, driver_resistance,
+         tree.driver.name if tree.driver else "driver")
+    ]
+    for name, buffer in sorted(buffers.items()):
+        roots.append((tree.node(name), buffer.resistance, buffer.name))
+
+    stages: List[Stage] = []
+    for root, resistance, gate_name in roots:
+        wires: List[Wire] = []
+        sinks: List[StageSink] = []
+        stack = list(root.children)
+        while stack:
+            node = stack.pop()
+            wire = node.parent_wire
+            assert wire is not None
+            wires.append(wire)
+            if node.name in buffers and node is not root:
+                sinks.append(
+                    StageSink(
+                        node=node,
+                        noise_margin=buffers[node.name].noise_margin,
+                        is_buffer_input=True,
+                        capacitance=buffers[node.name].input_capacitance,
+                    )
+                )
+                continue  # the subtree below belongs to the buffer's stage
+            if node.is_sink:
+                assert node.sink is not None
+                sinks.append(
+                    StageSink(
+                        node=node,
+                        noise_margin=node.sink.noise_margin,
+                        is_buffer_input=False,
+                        capacitance=node.sink.capacitance,
+                    )
+                )
+            stack.extend(node.children)
+        stages.append(
+            Stage(
+                root=root,
+                resistance=resistance,
+                gate_name=gate_name,
+                wires=tuple(wires),
+                sinks=tuple(sinks),
+            )
+        )
+    return stages

@@ -1,0 +1,272 @@
+"""Closed-form noise-safe wire lengths (paper Section III-A).
+
+**Theorem 1.** For a uniform wire with resistance ``r`` per meter and
+aggressor-induced current ``i`` per meter, driven by a buffer with output
+resistance ``Rb``, above a point with downstream current ``I`` and noise
+slack ``NS``, the noise constraint
+
+    Rb * (i*l + I)  +  (r*l) * (i*l/2 + I)  <=  NS
+
+is a quadratic in the length ``l``.  The maximal safe length is
+
+    l_max = [ -(r*I + Rb*i) + sqrt( (r*I + Rb*i)^2 + 2*r*i*(NS - Rb*I) ) ]
+            / (r * i)
+
+valid iff ``NS >= Rb * I`` (otherwise it is already too late to fix the
+constraint by buffering above this point).  Corollaries implemented and
+tested here:
+
+* ``NS == Rb*I``  =>  ``l_max == 0``;
+* ``Rb == 0 and I == 0``  =>  ``l_max == sqrt(2*NS / (r*i))``;
+* increasing ``Rb`` strictly decreases ``l_max`` (when ``i > 0``).
+
+Equation (16) substitutes ``i = lambda * c * sigma``; equation (17) solves
+for the aggressor separation distance when ``lambda = K / d``.
+
+**Theorem 2.** A delay-optimal buffering can still violate noise: for any
+fixed electrical parameters there is a noise margin small enough (eq. 19)
+that the wire between two consecutive delay-placed gates is noisy.
+:func:`uniform_wire_noise` gives the noise of such a wire, and
+:func:`violating_margin_bound` the margin threshold of eq. 19.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import InfeasibleError
+
+
+def max_safe_length(
+    driver_resistance: float,
+    unit_resistance: float,
+    unit_current: float,
+    downstream_current: float,
+    noise_slack: float,
+) -> float:
+    """Theorem 1: maximal wire length with no noise violation.
+
+    Parameters are ``Rb`` (ohm), ``r`` (ohm/m), ``i`` (A/m), ``I`` (A) and
+    ``NS`` (V).  Returns ``math.inf`` when the wire can be extended without
+    bound (no resistance or no current anywhere).
+
+    Raises
+    ------
+    InfeasibleError
+        If ``NS < Rb * I`` — no buffer position on the wire satisfies the
+        constraint; a buffer should have been inserted further downstream.
+    """
+    _check_nonneg(
+        driver_resistance=driver_resistance,
+        unit_resistance=unit_resistance,
+        unit_current=unit_current,
+        downstream_current=downstream_current,
+    )
+    r, i = unit_resistance, unit_current
+    rb, big_i, ns = driver_resistance, downstream_current, noise_slack
+    if ns < rb * big_i:
+        raise InfeasibleError(
+            f"noise slack {ns:.6g} V is below Rb*I = {rb * big_i:.6g} V; "
+            "too late to satisfy the constraint on this wire"
+        )
+    quad = r * i  # coefficient of l^2 is quad/2
+    lin = r * big_i + rb * i
+    budget = ns - rb * big_i  # >= 0 here
+    if quad == 0.0:
+        if lin == 0.0:
+            return math.inf
+        return budget / lin
+    discriminant = lin * lin + 2.0 * quad * budget
+    return (-lin + math.sqrt(discriminant)) / quad
+
+
+def max_safe_length_estimation(
+    driver_resistance: float,
+    unit_resistance: float,
+    unit_capacitance: float,
+    coupling_ratio: float,
+    slope: float,
+    downstream_current: float,
+    noise_slack: float,
+) -> float:
+    """Equation (16): Theorem 1 with ``i = lambda * c * sigma`` substituted."""
+    return max_safe_length(
+        driver_resistance=driver_resistance,
+        unit_resistance=unit_resistance,
+        unit_current=coupling_ratio * unit_capacitance * slope,
+        downstream_current=downstream_current,
+        noise_slack=noise_slack,
+    )
+
+
+def unloaded_max_length(
+    unit_resistance: float, unit_current: float, noise_margin: float
+) -> float:
+    """The driverless bound ``sqrt(2*NM / (r*i))`` from the Theorem 1 text.
+
+    Useful as a quick noise-avoidance rule when driver properties are
+    unknown or driver resistance is negligible against wire resistance.
+    """
+    return max_safe_length(0.0, unit_resistance, unit_current, 0.0, noise_margin)
+
+
+def max_coupling_ratio(
+    length: float,
+    driver_resistance: float,
+    unit_resistance: float,
+    unit_capacitance: float,
+    slope: float,
+    downstream_current: float,
+    noise_slack: float,
+) -> float:
+    """Largest coupling ratio ``lambda`` a wire of fixed length tolerates.
+
+    Inverts eq. (16) for ``lambda``; the precursor to the separation
+    distance of eq. (17).  Returns ``math.inf`` when any coupling is fine
+    (no resistance in the path) and raises :class:`InfeasibleError` when
+    even ``lambda = 0`` violates (resistive noise from downstream current
+    alone exceeds the slack).
+    """
+    _check_nonneg(
+        length=length,
+        driver_resistance=driver_resistance,
+        unit_resistance=unit_resistance,
+        unit_capacitance=unit_capacitance,
+        slope=slope,
+        downstream_current=downstream_current,
+    )
+    rb, r, c = driver_resistance, unit_resistance, unit_capacitance
+    big_i, ns, l = downstream_current, noise_slack, length
+    base_noise = (rb + r * l) * big_i  # lambda-independent part
+    if ns < base_noise:
+        raise InfeasibleError(
+            f"even with zero coupling the noise {base_noise:.6g} V exceeds "
+            f"the slack {ns:.6g} V"
+        )
+    denom = c * slope * l * (rb + r * l / 2.0)
+    if denom == 0.0:
+        return math.inf
+    return (ns - base_noise) / denom
+
+
+def min_separation(
+    coupling_constant: float,
+    length: float,
+    driver_resistance: float,
+    unit_resistance: float,
+    unit_capacitance: float,
+    slope: float,
+    downstream_current: float,
+    noise_slack: float,
+) -> float:
+    """Equation (17): minimal aggressor separation distance.
+
+    Models ``lambda = K / d`` (coupling inversely proportional to spacing,
+    the paper's stated relation) and returns the smallest spacing ``d``
+    keeping the wire noise-safe.  Returns 0 when any spacing works.
+    """
+    if coupling_constant < 0:
+        raise ValueError(f"coupling_constant must be >= 0, got {coupling_constant}")
+    lam = max_coupling_ratio(
+        length,
+        driver_resistance,
+        unit_resistance,
+        unit_capacitance,
+        slope,
+        downstream_current,
+        noise_slack,
+    )
+    if math.isinf(lam) or coupling_constant == 0.0:
+        return 0.0
+    if lam == 0.0:
+        raise InfeasibleError(
+            "wire requires zero coupling; no finite separation suffices"
+        )
+    return coupling_constant / lam
+
+
+def uniform_wire_noise(
+    driver_resistance: float,
+    unit_resistance: float,
+    unit_current: float,
+    length: float,
+    downstream_current: float = 0.0,
+) -> float:
+    """Devgan noise at the far end of one uniform wire.
+
+    ``Rb*(i*l + I) + r*l*(i*l/2 + I)`` — the left side of Theorem 1's
+    constraint; also the quantity eq. (18) compares against the margin in
+    the Theorem 2 construction.
+    """
+    _check_nonneg(
+        driver_resistance=driver_resistance,
+        unit_resistance=unit_resistance,
+        unit_current=unit_current,
+        length=length,
+        downstream_current=downstream_current,
+    )
+    rb, r, i = driver_resistance, unit_resistance, unit_current
+    l, big_i = length, downstream_current
+    return rb * (i * l + big_i) + r * l * (i * l / 2.0 + big_i)
+
+
+def violating_margin_bound(
+    driver_resistance: float,
+    unit_resistance: float,
+    unit_current: float,
+    length: float,
+    downstream_current: float = 0.0,
+) -> float:
+    """Theorem 2 / eq. (19): margins strictly below this value are violated.
+
+    Any sink (or gate input) with noise margin below the returned noise of
+    the given delay-chosen wire fails, however the wire was timed — the
+    existence proof that delay-only optimization is insufficient.
+    """
+    return uniform_wire_noise(
+        driver_resistance, unit_resistance, unit_current, length, downstream_current
+    )
+
+
+@dataclass(frozen=True)
+class SpacingPlan:
+    """Buffer spacing plan for an infinitely long uniform line.
+
+    ``first_span`` is the sink-adjacent span (uses the sink margin and
+    load); ``repeat_span`` is the steady-state buffer-to-buffer span.
+    Produced by :func:`uniform_line_spacing`; used by the figure benches to
+    visualize Theorem 1 (the paper's Fig. 7 iterates exactly this).
+    """
+
+    first_span: float
+    repeat_span: float
+
+
+def uniform_line_spacing(
+    buffer_resistance: float,
+    buffer_margin: float,
+    unit_resistance: float,
+    unit_current: float,
+    sink_margin: float,
+) -> SpacingPlan:
+    """Spans produced by iterating Theorem 1 along a uniform line.
+
+    The first buffer goes ``l1 = max_safe_length(Rb, r, i, 0, NM_sink)``
+    above the sink; every subsequent buffer ``l* = max_safe_length(Rb, r,
+    i, 0, NM_b)`` above the previous one (downstream current resets to
+    zero at each restoring stage).
+    """
+    first = max_safe_length(
+        buffer_resistance, unit_resistance, unit_current, 0.0, sink_margin
+    )
+    repeat = max_safe_length(
+        buffer_resistance, unit_resistance, unit_current, 0.0, buffer_margin
+    )
+    return SpacingPlan(first_span=first, repeat_span=repeat)
+
+
+def _check_nonneg(**values: float) -> None:
+    for name, value in values.items():
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")

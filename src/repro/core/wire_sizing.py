@@ -1,0 +1,115 @@
+"""Wire sizing model for simultaneous sizing + buffer insertion.
+
+The paper's DP inherits from Lillis, Cheng and Lin [18], whose algorithm
+"simultaneously perform[s] wire sizing and buffer insertion".  This module
+supplies that extension for our engine:
+
+* :class:`WireSizingSpec` — the discrete width menu and the electrical
+  scaling model.  A wire of base resistance ``R0`` and capacitance ``C0``
+  realized at width multiplier ``w`` has
+
+      R(w) = R0 / w
+      C(w) = C0 * (a * w + (1 - a))
+
+  where ``a`` is the *area fraction* of the wire capacitance (the
+  width-proportional plate component; the remainder is fringe/coupling
+  that stays roughly constant).  Aggressor-induced noise current scales
+  with the capacitance, matching the estimation-mode assumption that a
+  fixed fraction of the total capacitance is coupling (eq. 6).
+* :class:`WireChoice` — one (wire, width) decision recorded in a DP
+  candidate.
+* :func:`apply_wire_widths` — realize a width assignment as a new tree so
+  the ordinary timing/noise analyses can verify the DP's arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..errors import TechnologyError
+from ..tree.topology import Node, RoutingTree
+from ..tree.transform import copy_node, copy_wire
+
+
+@dataclass(frozen=True)
+class WireChoice:
+    """One wire realized at a non-default width."""
+
+    parent: str
+    child: str
+    width: float
+
+
+@dataclass(frozen=True)
+class WireSizingSpec:
+    """Discrete width menu plus the R/C scaling model."""
+
+    widths: Tuple[float, ...] = (1.0, 1.5, 2.0)
+    area_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not self.widths:
+            raise TechnologyError("wire sizing needs at least one width")
+        for width in self.widths:
+            if width <= 0:
+                raise TechnologyError(f"widths must be positive, got {width}")
+        if 1.0 not in self.widths:
+            raise TechnologyError(
+                "the width menu must include 1.0 (the drawn width); got "
+                f"{self.widths}"
+            )
+        if not 0.0 <= self.area_fraction <= 1.0:
+            raise TechnologyError(
+                f"area_fraction must lie in [0, 1], got {self.area_fraction}"
+            )
+
+    def resistance(self, base: float, width: float) -> float:
+        """Wire resistance at the given width multiplier."""
+        return base / width
+
+    def capacitance(self, base: float, width: float) -> float:
+        """Wire capacitance at the given width multiplier."""
+        return base * (self.area_fraction * width + (1.0 - self.area_fraction))
+
+    def capacitance_scale(self, width: float) -> float:
+        """``C(w) / C(1)`` — also the noise-current scale (eq. 6)."""
+        return self.area_fraction * width + (1.0 - self.area_fraction)
+
+
+def apply_wire_widths(
+    tree: RoutingTree,
+    choices: Mapping[Tuple[str, str], float],
+    spec: WireSizingSpec,
+) -> RoutingTree:
+    """Return a copy of ``tree`` with the chosen wires resized.
+
+    ``choices`` maps ``(parent name, child name)`` to a width multiplier;
+    unlisted wires keep their drawn width.  Explicit wire currents scale
+    with the capacitance (the coupled fraction tracks total capacitance).
+    """
+    remaining = dict(choices)
+    copies: Dict[str, Node] = {n.name: copy_node(n) for n in tree.nodes()}
+    new_wires = []
+    for wire in tree.wires():
+        piece = copy_wire(wire, copies[wire.parent.name], copies[wire.child.name])
+        width = remaining.pop((wire.parent.name, wire.child.name), None)
+        if width is not None and width != 1.0:
+            if width not in spec.widths:
+                raise TechnologyError(
+                    f"width {width} for wire {wire.name} is not in the "
+                    f"menu {spec.widths}"
+                )
+            piece.resistance = spec.resistance(wire.resistance, width)
+            piece.capacitance = spec.capacitance(wire.capacitance, width)
+            if wire.current is not None:
+                piece.current = wire.current * spec.capacitance_scale(width)
+        new_wires.append(piece)
+    if remaining:
+        raise TechnologyError(
+            f"width choices reference unknown wires: {sorted(remaining)}"
+        )
+    return RoutingTree(
+        list(copies.values()), new_wires, driver=tree.driver,
+        name=tree.name, allow_nonbinary=not tree.is_binary,
+    )

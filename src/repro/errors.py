@@ -1,0 +1,45 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class.  Subclasses mark the subsystem that failed; they carry
+plain-English messages with the offending values embedded.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TreeStructureError(ReproError):
+    """A routing tree violates a structural invariant.
+
+    Raised for non-binary nodes, cycles, orphan nodes, multiple sources,
+    duplicate node names, or wires whose endpoints are unknown.
+    """
+
+
+class TechnologyError(ReproError):
+    """A technology / library parameter is out of its physical domain."""
+
+
+class InfeasibleError(ReproError):
+    """No legal solution exists for the requested optimization.
+
+    E.g. Algorithm 1 reaches a point where the noise slack is already below
+    ``Rb * I(v)`` and no buffer position can satisfy the constraint, or
+    Algorithm 3 finds no noise-feasible candidate at the source.
+    """
+
+
+class SimulationError(ReproError):
+    """The circuit simulator could not assemble or solve the system."""
+
+
+class AnalysisError(ReproError):
+    """A noise / timing analysis was asked on an invalid configuration."""
+
+
+class WorkloadError(ReproError):
+    """Workload generation received inconsistent parameters."""

@@ -1,0 +1,58 @@
+"""Regeneration of the paper's evaluation: Tables I–IV plus theory figures."""
+
+from .ablations import (
+    NoiseSitesAblation,
+    PruningAblation,
+    SegmentationPoint,
+    SizingAblation,
+    format_ablations,
+    noise_sites_ablation,
+    pruning_ablation,
+    run_all_ablations,
+    segmentation_ablation,
+    sizing_ablation,
+)
+from .config import Experiment, bench_population_size, default_experiment
+from .figures import Series, build_all_figures, format_figures
+from .harness import NetRecord, PopulationRun, matched_count_delays, run_population
+from .table1 import Table1, build_table1, format_table1
+from .table2 import Table2, build_table2, format_table2
+from .table3 import Table3, Table3Row, build_table3, format_table3
+from .table4 import Table4, Table4Row, build_table4, format_table4
+
+__all__ = [
+    "Experiment",
+    "NetRecord",
+    "NoiseSitesAblation",
+    "PruningAblation",
+    "SegmentationPoint",
+    "SizingAblation",
+    "format_ablations",
+    "noise_sites_ablation",
+    "pruning_ablation",
+    "run_all_ablations",
+    "segmentation_ablation",
+    "sizing_ablation",
+    "PopulationRun",
+    "Series",
+    "Table1",
+    "Table2",
+    "Table3",
+    "Table3Row",
+    "Table4",
+    "Table4Row",
+    "bench_population_size",
+    "build_all_figures",
+    "build_table1",
+    "build_table2",
+    "build_table3",
+    "build_table4",
+    "default_experiment",
+    "format_figures",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "matched_count_delays",
+    "run_population",
+]

@@ -1,0 +1,189 @@
+"""Characterization sweeps for the paper's analytical results.
+
+The paper's evaluation section is all tables, but its theory section is
+anchored by three quantitative pictures that these sweeps regenerate as
+data series (printable as aligned columns; plot-ready if desired):
+
+* **Theorem 1 sweep** — maximum noise-safe wire length versus driver
+  resistance and versus downstream current (the observations after
+  Theorem 1: length shrinks as ``Rb`` or ``I`` grow; the driverless bound
+  ``sqrt(2 NS / (r i))`` is the ceiling).
+* **Fig. 7 spacing** — iterating Theorem 1 along a long line: the
+  sink-adjacent span and the steady-state buffer-to-buffer span, per
+  buffer type.
+* **Theorem 2 existence** — the noise of a delay-optimally spaced wire
+  versus its length: any margin below the curve is violated by a
+  delay-only solution (eq. 19), demonstrated on a concrete net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.wire_length import (
+    max_safe_length,
+    uniform_line_spacing,
+    uniform_wire_noise,
+    unloaded_max_length,
+)
+from ..units import MM
+from .config import Experiment
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labeled (x, y) data series."""
+
+    label: str
+    x_name: str
+    y_name: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+
+    def format(self, x_scale: float = 1.0, y_scale: float = 1.0) -> str:
+        lines = [f"-- {self.label} ({self.x_name} vs {self.y_name})"]
+        for xv, yv in zip(self.x, self.y):
+            lines.append(f"   {xv * x_scale:>12.4g} {yv * y_scale:>12.4g}")
+        return "\n".join(lines)
+
+
+def theorem1_vs_driver_resistance(
+    experiment: Experiment,
+    resistances: Sequence[float] = tuple(np.linspace(0.0, 1000.0, 21)),
+    noise_slack: float = 0.8,
+) -> Series:
+    """Max safe length as the driving resistance grows (monotone down)."""
+    technology = experiment.technology
+    unit_r = technology.unit_resistance
+    unit_i = experiment.coupling.unit_current(technology.unit_capacitance)
+    lengths = [
+        max_safe_length(rb, unit_r, unit_i, 0.0, noise_slack)
+        for rb in resistances
+    ]
+    return Series(
+        label="Theorem 1: L_max vs driver resistance",
+        x_name="Rb (ohm)",
+        y_name="L_max (mm)",
+        x=tuple(resistances),
+        y=tuple(lengths),
+    )
+
+
+def theorem1_vs_downstream_current(
+    experiment: Experiment,
+    currents: Sequence[float] = tuple(np.linspace(0.0, 3e-3, 16)),
+    driver_resistance: float = 200.0,
+    noise_slack: float = 0.8,
+) -> Series:
+    """Max safe length as downstream current grows (hits 0 at NS/Rb)."""
+    technology = experiment.technology
+    unit_r = technology.unit_resistance
+    unit_i = experiment.coupling.unit_current(technology.unit_capacitance)
+    xs: List[float] = []
+    ys: List[float] = []
+    for current in currents:
+        if noise_slack < driver_resistance * current:
+            break  # infeasible beyond this point (Theorem 1 side condition)
+        xs.append(current)
+        ys.append(
+            max_safe_length(
+                driver_resistance, unit_r, unit_i, current, noise_slack
+            )
+        )
+    return Series(
+        label="Theorem 1: L_max vs downstream current",
+        x_name="I (A)",
+        y_name="L_max (mm)",
+        x=tuple(xs),
+        y=tuple(ys),
+    )
+
+
+def spacing_by_buffer(experiment: Experiment) -> List[Series]:
+    """Fig.-7-style iterated spacing for every buffer in the library."""
+    technology = experiment.technology
+    unit_r = technology.unit_resistance
+    unit_i = experiment.coupling.unit_current(technology.unit_capacitance)
+    sink_margin = experiment.workload.noise_margin
+    names: List[float] = []
+    first: List[float] = []
+    repeat: List[float] = []
+    resistances: List[float] = []
+    for buffer in experiment.library:
+        plan = uniform_line_spacing(
+            buffer.resistance, buffer.noise_margin, unit_r, unit_i, sink_margin
+        )
+        resistances.append(buffer.resistance)
+        first.append(plan.first_span)
+        repeat.append(plan.repeat_span)
+    ceiling = unloaded_max_length(unit_r, unit_i, sink_margin)
+    return [
+        Series(
+            label="Fig. 7 spacing: first (sink-adjacent) span",
+            x_name="Rb (ohm)",
+            y_name="span (mm)",
+            x=tuple(resistances),
+            y=tuple(first),
+        ),
+        Series(
+            label="Fig. 7 spacing: steady-state span",
+            x_name="Rb (ohm)",
+            y_name="span (mm)",
+            x=tuple(resistances),
+            y=tuple(repeat),
+        ),
+        Series(
+            label="driverless ceiling sqrt(2 NM / (r i))",
+            x_name="Rb (ohm)",
+            y_name="span (mm)",
+            x=(0.0,),
+            y=(ceiling,),
+        ),
+    ]
+
+
+def theorem2_margin_curve(
+    experiment: Experiment,
+    lengths: Sequence[float] = tuple(np.linspace(0.5 * MM, 6 * MM, 12)),
+    driver_resistance: float = 200.0,
+) -> Series:
+    """Noise of a delay-chosen wire vs length (eq. 18/19).
+
+    Margins below a point on this curve are violated by any buffering
+    that places gates that far apart — the Theorem 2 existence argument.
+    """
+    technology = experiment.technology
+    unit_r = technology.unit_resistance
+    unit_i = experiment.coupling.unit_current(technology.unit_capacitance)
+    noises = [
+        uniform_wire_noise(driver_resistance, unit_r, unit_i, length)
+        for length in lengths
+    ]
+    return Series(
+        label="Theorem 2: wire noise vs gate spacing",
+        x_name="length (mm)",
+        y_name="noise (V)",
+        x=tuple(lengths),
+        y=tuple(noises),
+    )
+
+
+def build_all_figures(experiment: Experiment) -> List[Series]:
+    """Every characterization series, for the CLI and the figure bench."""
+    return [
+        theorem1_vs_driver_resistance(experiment),
+        theorem1_vs_downstream_current(experiment),
+        *spacing_by_buffer(experiment),
+        theorem2_margin_curve(experiment),
+    ]
+
+
+def format_figures(series: List[Series]) -> str:
+    parts = ["Characterization figures (Theorems 1-2, Fig. 7)"]
+    for entry in series:
+        scale_y = 1.0 / MM if "mm" in entry.y_name else 1.0
+        parts.append(entry.format(y_scale=scale_y))
+    return "\n".join(parts)

@@ -1,0 +1,249 @@
+"""JSON net descriptions: load routing trees, save solutions.
+
+A small, stable interchange format so the optimizer can be driven from
+files (``buffopt fix net.json``) rather than only from Python.  The
+format mirrors the data model directly::
+
+    {
+      "name": "dispatch_bus",
+      "technology": {"unit_resistance": 7.6e4, "unit_capacitance": 1.18e-10,
+                     "vdd": 1.8, "coupling_ratio": 0.7,
+                     "aggressor_slew": 2.5e-10},
+      "driver": {"name": "drv_x4", "resistance": 190.0,
+                 "intrinsic_delay": 3.3e-11},
+      "source": {"name": "so", "position": [0.0, 0.0]},
+      "sinks": [{"name": "s1", "capacitance": 2e-14, "noise_margin": 0.8,
+                 "required_arrival": 1.5e-9, "position": [5.5e-3, 1e-3]}],
+      "internals": [{"name": "u", "feasible": true}],
+      "wires": [{"parent": "so", "child": "u", "length": 2e-3},
+                {"parent": "u", "child": "s1", "length": 3e-3,
+                 "coupling_ratio": 0.5}]
+    }
+
+All values are SI.  ``required_arrival`` and ``position`` are optional;
+wires may override ``resistance`` / ``capacitance`` / ``current`` /
+``coupling_ratio`` / ``slope`` exactly like :class:`~repro.tree.Wire`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Dict, Optional, Tuple, Union
+
+from .core.solution import BufferSolution
+from .errors import ReproError
+from .library.cells import DriverCell
+from .library.technology import Technology
+from .tree.builder import TreeBuilder
+from .tree.topology import RoutingTree
+
+PathLike = Union[str, pathlib.Path]
+
+
+class NetFormatError(ReproError):
+    """The JSON net description is malformed."""
+
+
+def _position(data: dict) -> Optional[Tuple[float, float]]:
+    value = data.get("position")
+    if value is None:
+        return None
+    if not (isinstance(value, (list, tuple)) and len(value) == 2):
+        raise NetFormatError(
+            f"position must be a [x, y] pair, got {value!r}"
+        )
+    return (float(value[0]), float(value[1]))
+
+
+def _require(mapping: dict, key: str, context: str):
+    try:
+        return mapping[key]
+    except KeyError:
+        raise NetFormatError(f"{context}: missing required key {key!r}") from None
+
+
+def technology_from_dict(data: dict) -> Technology:
+    """Build a :class:`Technology` from the ``technology`` section."""
+    return Technology(
+        name=data.get("name", "from-json"),
+        unit_resistance=_require(data, "unit_resistance", "technology"),
+        unit_capacitance=_require(data, "unit_capacitance", "technology"),
+        vdd=data.get("vdd", 1.8),
+        default_coupling_ratio=data.get("coupling_ratio", 0.7),
+        default_aggressor_slew=data.get("aggressor_slew", 0.25e-9),
+    )
+
+
+def net_from_dict(data: dict) -> Tuple[RoutingTree, Optional[Technology]]:
+    """Build a routing tree (and its technology, when given) from a dict."""
+    technology = (
+        technology_from_dict(data["technology"])
+        if "technology" in data
+        else None
+    )
+    builder = TreeBuilder(technology)
+
+    source = _require(data, "source", "net")
+    driver_data = data.get("driver")
+    driver = None
+    if driver_data is not None:
+        driver = DriverCell(
+            name=driver_data.get("name", "driver"),
+            resistance=_require(driver_data, "resistance", "driver"),
+            intrinsic_delay=driver_data.get("intrinsic_delay", 0.0),
+        )
+    builder.add_source(
+        _require(source, "name", "source"),
+        driver=driver,
+        position=_position(source),
+    )
+
+    for sink in _require(data, "sinks", "net"):
+        builder.add_sink(
+            _require(sink, "name", "sink"),
+            capacitance=_require(sink, "capacitance", "sink"),
+            noise_margin=_require(sink, "noise_margin", "sink"),
+            required_arrival=sink.get("required_arrival", math.inf),
+            position=_position(sink),
+        )
+    for internal in data.get("internals", []):
+        builder.add_internal(
+            _require(internal, "name", "internal"),
+            feasible=internal.get("feasible", True),
+            position=_position(internal),
+        )
+    for wire in _require(data, "wires", "net"):
+        builder.add_wire(
+            _require(wire, "parent", "wire"),
+            _require(wire, "child", "wire"),
+            length=wire.get("length", 0.0),
+            resistance=wire.get("resistance"),
+            capacitance=wire.get("capacitance"),
+            current=wire.get("current"),
+            coupling_ratio=wire.get("coupling_ratio"),
+            slope=wire.get("slope"),
+        )
+    tree = builder.build(
+        data.get("name", "net"),
+        allow_nonbinary=bool(data.get("allow_nonbinary", False)),
+    )
+    return tree, technology
+
+
+def load_net(path: PathLike) -> Tuple[RoutingTree, Optional[Technology]]:
+    """Load a net description from a JSON file."""
+    try:
+        data = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise NetFormatError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(data, dict):
+        raise NetFormatError(f"{path}: top level must be an object")
+    return net_from_dict(data)
+
+
+def net_to_dict(
+    tree: RoutingTree, technology: Optional[Technology] = None
+) -> dict:
+    """Serialize a routing tree back into the JSON structure."""
+    data: Dict[str, object] = {"name": tree.name}
+    if technology is not None:
+        data["technology"] = {
+            "name": technology.name,
+            "unit_resistance": technology.unit_resistance,
+            "unit_capacitance": technology.unit_capacitance,
+            "vdd": technology.vdd,
+            "coupling_ratio": technology.default_coupling_ratio,
+            "aggressor_slew": technology.default_aggressor_slew,
+        }
+    if tree.driver is not None:
+        data["driver"] = {
+            "name": tree.driver.name,
+            "resistance": tree.driver.resistance,
+            "intrinsic_delay": tree.driver.intrinsic_delay,
+        }
+    source: Dict[str, object] = {"name": tree.source.name}
+    if tree.source.position is not None:
+        source["position"] = list(tree.source.position)
+    data["source"] = source
+
+    sinks = []
+    for node in tree.sinks:
+        assert node.sink is not None
+        entry: Dict[str, object] = {
+            "name": node.name,
+            "capacitance": node.sink.capacitance,
+            "noise_margin": node.sink.noise_margin,
+        }
+        if math.isfinite(node.sink.required_arrival):
+            entry["required_arrival"] = node.sink.required_arrival
+        if node.position is not None:
+            entry["position"] = list(node.position)
+        sinks.append(entry)
+    data["sinks"] = sinks
+
+    internals = []
+    for node in tree.nodes():
+        if node.is_internal:
+            entry = {"name": node.name, "feasible": node.feasible}
+            if node.position is not None:
+                entry["position"] = list(node.position)
+            internals.append(entry)
+    data["internals"] = internals
+
+    wires = []
+    for wire in tree.wires():
+        entry = {
+            "parent": wire.parent.name,
+            "child": wire.child.name,
+            "length": wire.length,
+            "resistance": wire.resistance,
+            "capacitance": wire.capacitance,
+        }
+        for key in ("current", "coupling_ratio", "slope"):
+            value = getattr(wire, key)
+            if value is not None:
+                entry[key] = value
+        wires.append(entry)
+    data["wires"] = wires
+    if not tree.is_binary:
+        data["allow_nonbinary"] = True
+    return data
+
+
+def save_net(
+    tree: RoutingTree,
+    path: PathLike,
+    technology: Optional[Technology] = None,
+) -> None:
+    """Write a routing tree as a JSON net description."""
+    pathlib.Path(path).write_text(
+        json.dumps(net_to_dict(tree, technology), indent=2) + "\n"
+    )
+
+
+def solution_to_dict(solution: BufferSolution) -> dict:
+    """Serialize a buffer assignment (for tool hand-off)."""
+    return {
+        "net": solution.tree.name,
+        "buffers": [
+            {
+                "node": name,
+                "cell": buffer.name,
+                "resistance": buffer.resistance,
+                "input_capacitance": buffer.input_capacitance,
+                "intrinsic_delay": buffer.intrinsic_delay,
+                "noise_margin": buffer.noise_margin,
+                "inverting": buffer.inverting,
+            }
+            for name, buffer in sorted(solution.assignment.items())
+        ],
+    }
+
+
+def save_solution(solution: BufferSolution, path: PathLike) -> None:
+    """Write a buffer assignment as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(solution_to_dict(solution), indent=2) + "\n"
+    )

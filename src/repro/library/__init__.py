@@ -1,0 +1,23 @@
+"""Technology, buffer, and cell libraries (the paper's device substrate)."""
+
+from .buffers import (
+    BufferLibrary,
+    BufferType,
+    default_buffer_library,
+    single_buffer_library,
+)
+from .cells import CellLibrary, DriverCell, SinkCell, default_cell_library
+from .technology import Technology, default_technology
+
+__all__ = [
+    "BufferLibrary",
+    "BufferType",
+    "CellLibrary",
+    "DriverCell",
+    "SinkCell",
+    "Technology",
+    "default_buffer_library",
+    "default_cell_library",
+    "default_technology",
+    "single_buffer_library",
+]

@@ -1,0 +1,186 @@
+"""Buffer (repeater) types and buffer libraries.
+
+A :class:`BufferType` is the paper's gate model specialized to repeaters:
+intrinsic delay ``d``, output (driving) resistance ``Rb``, input capacitance
+``Cb``, an input noise margin ``NM`` (the buffer is a restoring stage, so
+noise below ``NM`` at its input does not propagate to its output), and an
+``inverting`` flag (Lillis-style libraries mix inverting and non-inverting
+repeaters; the paper's library holds 5 inverting + 6 non-inverting buffers).
+
+A :class:`BufferLibrary` is an ordered, immutable collection with the
+queries the algorithms need (smallest resistance for Algorithms 1/2,
+polarity-filtered iteration for Algorithm 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import TechnologyError
+from ..units import FF, PS
+
+
+@dataclass(frozen=True)
+class BufferType:
+    """One repeater cell.
+
+    Attributes
+    ----------
+    name:
+        Unique cell name, e.g. ``"buf_x4"``.
+    resistance:
+        Output driving resistance ``Rb`` (ohm).
+    input_capacitance:
+        Input pin capacitance ``Cb`` (F).
+    intrinsic_delay:
+        Intrinsic gate delay ``db`` (s); total gate delay is
+        ``db + Rb * C_load``.
+    noise_margin:
+        Tolerable peak noise at the buffer input (V).
+    inverting:
+        Whether the cell inverts polarity.
+    """
+
+    name: str
+    resistance: float
+    input_capacitance: float
+    intrinsic_delay: float
+    noise_margin: float
+    inverting: bool = False
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise TechnologyError(
+                f"buffer {self.name!r}: resistance must be positive, "
+                f"got {self.resistance}"
+            )
+        if self.input_capacitance < 0:
+            raise TechnologyError(
+                f"buffer {self.name!r}: input capacitance must be >= 0, "
+                f"got {self.input_capacitance}"
+            )
+        if self.intrinsic_delay < 0:
+            raise TechnologyError(
+                f"buffer {self.name!r}: intrinsic delay must be >= 0, "
+                f"got {self.intrinsic_delay}"
+            )
+        if self.noise_margin <= 0:
+            raise TechnologyError(
+                f"buffer {self.name!r}: noise margin must be positive, "
+                f"got {self.noise_margin}"
+            )
+
+    def gate_delay(self, load: float) -> float:
+        """Linear gate delay ``db + Rb * C_load`` (paper eq. 3)."""
+        if load < 0:
+            raise TechnologyError(f"load must be non-negative, got {load}")
+        return self.intrinsic_delay + self.resistance * load
+
+
+class BufferLibrary:
+    """An ordered, immutable collection of :class:`BufferType`.
+
+    Iteration preserves insertion order.  Names must be unique.
+    """
+
+    def __init__(self, buffers: Iterable[BufferType]):
+        items = tuple(buffers)
+        if not items:
+            raise TechnologyError("a buffer library must contain at least one buffer")
+        names = [b.name for b in items]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise TechnologyError(f"duplicate buffer names: {sorted(duplicates)}")
+        self._buffers = items
+        self._by_name = {b.name: b for b in items}
+
+    # -- container protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[BufferType]:
+        return iter(self._buffers)
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> BufferType:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no buffer named {name!r}; have {sorted(self._by_name)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"BufferLibrary({[b.name for b in self._buffers]})"
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def buffers(self) -> Sequence[BufferType]:
+        """All buffers, in library order."""
+        return self._buffers
+
+    def smallest_resistance(self) -> BufferType:
+        """The minimum-``Rb`` buffer.
+
+        Algorithms 1 and 2 remain optimal for multi-buffer libraries when
+        restricted to this buffer (paper, remarks after Theorems 3 and 4):
+        the smallest resistance always yields the maximum buffer spacing.
+        """
+        return min(self._buffers, key=lambda b: b.resistance)
+
+    def non_inverting(self) -> "BufferLibrary":
+        """Sub-library of non-inverting buffers (raises if none exist)."""
+        kept = [b for b in self._buffers if not b.inverting]
+        if not kept:
+            raise TechnologyError("library has no non-inverting buffers")
+        return BufferLibrary(kept)
+
+    def inverting(self) -> "BufferLibrary":
+        """Sub-library of inverting buffers (raises if none exist)."""
+        kept = [b for b in self._buffers if b.inverting]
+        if not kept:
+            raise TechnologyError("library has no inverting buffers")
+        return BufferLibrary(kept)
+
+    def restricted(self, names: Iterable[str]) -> "BufferLibrary":
+        """Sub-library with only the named buffers, in library order."""
+        wanted = set(names)
+        missing = wanted - set(self._by_name)
+        if missing:
+            raise KeyError(f"unknown buffer names: {sorted(missing)}")
+        return BufferLibrary([b for b in self._buffers if b.name in wanted])
+
+
+def single_buffer_library(buffer: BufferType) -> BufferLibrary:
+    """Convenience wrapper for the single-buffer optimality setting."""
+    return BufferLibrary([buffer])
+
+
+def default_buffer_library(noise_margin: float = 0.8) -> BufferLibrary:
+    """The reproduction's 11-buffer library (5 inverting + 6 non-inverting).
+
+    Graded power levels: stronger buffers have lower ``Rb``, higher ``Cb``
+    and slightly lower intrinsic delay, mirroring a real repeater family.
+    All cells share the design's gate noise margin (paper: 0.8 V).
+    """
+    non_inverting = [
+        BufferType("buf_x1", 720.0, 9.0 * FF, 36.0 * PS, noise_margin, False),
+        BufferType("buf_x2", 420.0, 14.0 * FF, 33.0 * PS, noise_margin, False),
+        BufferType("buf_x4", 255.0, 22.0 * FF, 31.0 * PS, noise_margin, False),
+        BufferType("buf_x8", 160.0, 34.0 * FF, 29.0 * PS, noise_margin, False),
+        BufferType("buf_x16", 105.0, 52.0 * FF, 28.0 * PS, noise_margin, False),
+        BufferType("buf_x32", 70.0, 80.0 * FF, 27.0 * PS, noise_margin, False),
+    ]
+    inverting = [
+        BufferType("inv_x2", 360.0, 10.0 * FF, 19.0 * PS, noise_margin, True),
+        BufferType("inv_x4", 215.0, 16.0 * FF, 18.0 * PS, noise_margin, True),
+        BufferType("inv_x8", 135.0, 25.0 * FF, 17.0 * PS, noise_margin, True),
+        BufferType("inv_x16", 88.0, 39.0 * FF, 16.0 * PS, noise_margin, True),
+        BufferType("inv_x32", 60.0, 60.0 * FF, 16.0 * PS, noise_margin, True),
+    ]
+    return BufferLibrary(non_inverting + inverting)

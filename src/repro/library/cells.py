@@ -1,0 +1,139 @@
+"""Driver and sink cells.
+
+The buffer-insertion algorithms only see two kinds of non-repeater gates:
+
+* the **driver** at the net's source — modeled, like any gate in the paper,
+  by an intrinsic delay ``dd`` and an output resistance ``Rd``;
+* **sinks** — input pins with a pin capacitance ``Ci``, a required arrival
+  time ``RAT`` (timing) and a noise margin ``NM`` (noise).
+
+:class:`CellLibrary` provides graded driver/sink cells so workloads can draw
+realistic values.  Per-sink RATs live on the routing tree, not here, because
+they are instance data rather than cell data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import TechnologyError
+from ..units import FF, PS
+
+
+@dataclass(frozen=True)
+class DriverCell:
+    """A source gate: intrinsic delay plus output resistance."""
+
+    name: str
+    resistance: float
+    intrinsic_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise TechnologyError(
+                f"driver {self.name!r}: resistance must be positive, "
+                f"got {self.resistance}"
+            )
+        if self.intrinsic_delay < 0:
+            raise TechnologyError(
+                f"driver {self.name!r}: intrinsic delay must be >= 0, "
+                f"got {self.intrinsic_delay}"
+            )
+
+    def gate_delay(self, load: float) -> float:
+        """Linear gate delay ``dd + Rd * C_load`` (paper eq. 3)."""
+        if load < 0:
+            raise TechnologyError(f"load must be non-negative, got {load}")
+        return self.intrinsic_delay + self.resistance * load
+
+
+@dataclass(frozen=True)
+class SinkCell:
+    """A sink input pin: capacitance plus tolerable noise margin."""
+
+    name: str
+    input_capacitance: float
+    noise_margin: float
+
+    def __post_init__(self) -> None:
+        if self.input_capacitance < 0:
+            raise TechnologyError(
+                f"sink {self.name!r}: input capacitance must be >= 0, "
+                f"got {self.input_capacitance}"
+            )
+        if self.noise_margin <= 0:
+            raise TechnologyError(
+                f"sink {self.name!r}: noise margin must be positive, "
+                f"got {self.noise_margin}"
+            )
+
+
+class CellLibrary:
+    """Graded driver and sink cells for workload generation."""
+
+    def __init__(self, drivers: Iterable[DriverCell], sinks: Iterable[SinkCell]):
+        self._drivers = tuple(drivers)
+        self._sinks = tuple(sinks)
+        if not self._drivers:
+            raise TechnologyError("cell library needs at least one driver")
+        if not self._sinks:
+            raise TechnologyError("cell library needs at least one sink")
+        names = [c.name for c in (*self._drivers, *self._sinks)]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise TechnologyError(f"duplicate cell names: {sorted(duplicates)}")
+
+    @property
+    def drivers(self) -> Sequence[DriverCell]:
+        return self._drivers
+
+    @property
+    def sinks(self) -> Sequence[SinkCell]:
+        return self._sinks
+
+    def driver(self, name: str) -> DriverCell:
+        for cell in self._drivers:
+            if cell.name == name:
+                return cell
+        raise KeyError(f"no driver named {name!r}")
+
+    def sink(self, name: str) -> SinkCell:
+        for cell in self._sinks:
+            if cell.name == name:
+                return cell
+        raise KeyError(f"no sink named {name!r}")
+
+    def __iter__(self) -> Iterator[object]:
+        yield from self._drivers
+        yield from self._sinks
+
+    def __repr__(self) -> str:
+        return (
+            f"CellLibrary(drivers={[d.name for d in self._drivers]}, "
+            f"sinks={[s.name for s in self._sinks]})"
+        )
+
+
+def default_cell_library(noise_margin: float = 0.8) -> CellLibrary:
+    """Graded cells for the synthetic microprocessor workload.
+
+    Driver strengths span weak latch outputs to strong clock-class drivers;
+    sink pins span small-to-large receivers.  All sinks share the paper's
+    0.8 V tolerable noise margin by default.
+    """
+    drivers = [
+        DriverCell("drv_weak", 900.0, 45.0 * PS),
+        DriverCell("drv_x1", 560.0, 40.0 * PS),
+        DriverCell("drv_x2", 330.0, 36.0 * PS),
+        DriverCell("drv_x4", 190.0, 33.0 * PS),
+        DriverCell("drv_x8", 120.0, 30.0 * PS),
+        DriverCell("drv_x16", 80.0, 28.0 * PS),
+    ]
+    sinks = [
+        SinkCell("pin_small", 8.0 * FF, noise_margin),
+        SinkCell("pin_med", 15.0 * FF, noise_margin),
+        SinkCell("pin_large", 28.0 * FF, noise_margin),
+        SinkCell("pin_xlarge", 50.0 * FF, noise_margin),
+    ]
+    return CellLibrary(drivers, sinks)

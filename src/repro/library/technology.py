@@ -1,0 +1,130 @@
+"""Process technology parameters.
+
+A :class:`Technology` bundles everything the algorithms need to turn a
+geometric wire (a length) into electrical quantities:
+
+* ``unit_resistance``  — wire resistance per meter (ohm/m),
+* ``unit_capacitance`` — wire capacitance per meter (F/m),
+* ``vdd``              — supply voltage (V),
+* ``default_coupling_ratio`` — the *estimation mode* ratio ``lambda`` of
+  coupling to total wire capacitance (paper Section II-B assumption 3),
+* ``default_aggressor_slew`` — rise time of the assumed aggressor (s), from
+  which the slope ``sigma = vdd / slew`` follows.
+
+The paper's experiments use ``lambda = 0.7``, rise time 0.25 ns and
+Vdd = 1.8 V (slope 7.2 V/ns); :func:`default_technology` reproduces a
+late-1990s high-performance process consistent with those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import TechnologyError
+from ..units import FF, NS, UM, slope_from_slew
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Electrical parameters of the interconnect process.
+
+    All values are SI.  Instances are immutable; use :meth:`scaled` to
+    derive variants for sweeps.
+    """
+
+    name: str = "generic-0.18um"
+    #: wire resistance per meter (ohm/m).
+    unit_resistance: float = 0.076 / UM
+    #: wire capacitance per meter (F/m).
+    unit_capacitance: float = 0.118 * FF / UM
+    #: supply voltage (V).
+    vdd: float = 1.8
+    #: estimation-mode coupling-to-total-capacitance ratio ``lambda``.
+    default_coupling_ratio: float = 0.7
+    #: assumed aggressor rise time (s).
+    default_aggressor_slew: float = 0.25 * NS
+    #: free-form notes (e.g. calibration provenance).
+    notes: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.unit_resistance <= 0:
+            raise TechnologyError(
+                f"unit_resistance must be positive, got {self.unit_resistance}"
+            )
+        if self.unit_capacitance <= 0:
+            raise TechnologyError(
+                f"unit_capacitance must be positive, got {self.unit_capacitance}"
+            )
+        if self.vdd <= 0:
+            raise TechnologyError(f"vdd must be positive, got {self.vdd}")
+        if not 0.0 <= self.default_coupling_ratio <= 1.0:
+            raise TechnologyError(
+                "default_coupling_ratio must lie in [0, 1], got "
+                f"{self.default_coupling_ratio}"
+            )
+        if self.default_aggressor_slew <= 0:
+            raise TechnologyError(
+                f"default_aggressor_slew must be positive, got "
+                f"{self.default_aggressor_slew}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def default_aggressor_slope(self) -> float:
+        """Aggressor slope ``sigma = Vdd / rise_time`` in V/s."""
+        return slope_from_slew(self.vdd, self.default_aggressor_slew)
+
+    def wire_resistance(self, length: float) -> float:
+        """Total resistance (ohm) of a wire of ``length`` meters."""
+        self._check_length(length)
+        return self.unit_resistance * length
+
+    def wire_capacitance(self, length: float) -> float:
+        """Total capacitance (F) of a wire of ``length`` meters."""
+        self._check_length(length)
+        return self.unit_capacitance * length
+
+    def unit_current(
+        self, coupling_ratio: float | None = None, slope: float | None = None
+    ) -> float:
+        """Estimation-mode aggressor-induced current per meter (A/m).
+
+        Per paper eq. (6) with a single aggressor: ``i = lambda * c * sigma``
+        where ``c`` is wire capacitance per unit length.
+        """
+        ratio = (
+            self.default_coupling_ratio if coupling_ratio is None else coupling_ratio
+        )
+        if not 0.0 <= ratio <= 1.0:
+            raise TechnologyError(f"coupling ratio must lie in [0, 1], got {ratio}")
+        sigma = self.default_aggressor_slope if slope is None else slope
+        if sigma < 0:
+            raise TechnologyError(f"slope must be non-negative, got {sigma}")
+        return ratio * self.unit_capacitance * sigma
+
+    def scaled(self, **overrides: object) -> "Technology":
+        """Return a copy with the given fields replaced (for sweeps)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+    @staticmethod
+    def _check_length(length: float) -> None:
+        if length < 0:
+            raise TechnologyError(f"wire length must be non-negative, got {length}")
+
+
+def default_technology() -> Technology:
+    """The technology used by the reproduction experiments.
+
+    Calibrated so that the paper's estimation-mode numbers hold:
+    slope = 7.2e9 V/s, and the driverless maximum noise-safe length of
+    Theorem 1 (``sqrt(2*NM / (r*i))``) lands in the low-millimeter range
+    for an 0.8 V margin — matching the regime in which the paper's
+    multi-millimeter global nets need one to four buffers.
+    """
+    return Technology(
+        notes=(
+            "Synthetic 0.18um-class global-layer interconnect; see DESIGN.md "
+            "substitution table."
+        )
+    )

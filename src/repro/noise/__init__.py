@@ -1,0 +1,34 @@
+"""Devgan coupled-noise metric and aggressor models (paper Section II-B)."""
+
+from .coupling import Aggressor, CouplingModel, aggressor_current
+from .devgan import (
+    StageSinkNoise,
+    downstream_currents,
+    has_noise_violation,
+    noise_slacks,
+    noise_violations,
+    sink_noise,
+    wire_noise,
+    worst_noise_slack,
+)
+from .margins import NoiseReport, analyze_noise
+from .windows import AggressorWindow, apply_aggressor_windows, uniform_window
+
+__all__ = [
+    "Aggressor",
+    "AggressorWindow",
+    "CouplingModel",
+    "NoiseReport",
+    "StageSinkNoise",
+    "apply_aggressor_windows",
+    "uniform_window",
+    "aggressor_current",
+    "analyze_noise",
+    "downstream_currents",
+    "has_noise_violation",
+    "noise_slacks",
+    "noise_violations",
+    "sink_noise",
+    "wire_noise",
+    "worst_noise_slack",
+]

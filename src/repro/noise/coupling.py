@@ -1,0 +1,108 @@
+"""Aggressor coupling models (paper Section II-B, eq. 6).
+
+The aggressor-induced noise *current* on a victim wire is
+
+    I_w = sum over aggressors j of  k_j * C_w * sigma_j
+
+where ``k_j`` is the coupling-to-wire-capacitance ratio of aggressor ``j``
+and ``sigma_j = Vdd / rise_time`` its switching slope.  Two usage modes:
+
+* **Explicit mode** — wires were segmented so each piece couples to a known
+  aggressor set (paper Fig. 2); each aggressor is an :class:`Aggressor`
+  and :func:`aggressor_current` sums eq. 6.  A wire may also carry a fully
+  explicit ``current`` (the paper's Fig. 3 style).
+* **Estimation mode** — before routing, assume one aggressor everywhere
+  with a fixed coupling ratio ``lambda`` and slope ``sigma`` (Section II-B
+  assumptions 1–3).  :meth:`CouplingModel.estimation_mode` builds this from
+  a :class:`~repro.library.Technology`; the paper's experiments use
+  ``lambda = 0.7`` and ``sigma = 1.8 V / 0.25 ns = 7.2 V/ns``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import AnalysisError
+from ..library.technology import Technology
+from ..tree.topology import Wire
+
+
+@dataclass(frozen=True)
+class Aggressor:
+    """One switching neighbor of a victim wire.
+
+    ``coupling_ratio`` is the ratio of coupling capacitance to the victim
+    wire's own capacitance (``k_j`` in eq. 6); ``slope`` is the aggressor
+    signal slope in V/s.
+    """
+
+    coupling_ratio: float
+    slope: float
+    name: str = "aggressor"
+
+    def __post_init__(self) -> None:
+        if self.coupling_ratio < 0:
+            raise AnalysisError(
+                f"aggressor {self.name!r}: coupling ratio must be >= 0, "
+                f"got {self.coupling_ratio}"
+            )
+        if self.slope < 0:
+            raise AnalysisError(
+                f"aggressor {self.name!r}: slope must be >= 0, got {self.slope}"
+            )
+
+
+def aggressor_current(wire_capacitance: float, aggressors: Sequence[Aggressor]) -> float:
+    """Total induced current on a wire (paper eq. 6)."""
+    if wire_capacitance < 0:
+        raise AnalysisError(
+            f"wire capacitance must be >= 0, got {wire_capacitance}"
+        )
+    return sum(a.coupling_ratio * wire_capacitance * a.slope for a in aggressors)
+
+
+@dataclass(frozen=True)
+class CouplingModel:
+    """Resolves the noise current of any wire.
+
+    Resolution order per wire: an explicit ``wire.current`` wins; otherwise
+    eq. 6 with the wire's own ``coupling_ratio`` / ``slope`` overrides when
+    present, falling back to this model's defaults.
+    """
+
+    coupling_ratio: float
+    slope: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coupling_ratio <= 1.0:
+            raise AnalysisError(
+                f"coupling_ratio must lie in [0, 1], got {self.coupling_ratio}"
+            )
+        if self.slope < 0:
+            raise AnalysisError(f"slope must be >= 0, got {self.slope}")
+
+    @classmethod
+    def estimation_mode(cls, technology: Technology) -> "CouplingModel":
+        """The paper's pre-routing single-aggressor assumption."""
+        return cls(
+            coupling_ratio=technology.default_coupling_ratio,
+            slope=technology.default_aggressor_slope,
+        )
+
+    @classmethod
+    def silent(cls) -> "CouplingModel":
+        """A no-aggressor model (every derived current is zero)."""
+        return cls(coupling_ratio=0.0, slope=0.0)
+
+    def wire_current(self, wire: Wire) -> float:
+        """The total aggressor-induced current ``I_w`` of ``wire`` (A)."""
+        if wire.current is not None:
+            return wire.current
+        ratio = self.coupling_ratio if wire.coupling_ratio is None else wire.coupling_ratio
+        slope = self.slope if wire.slope is None else wire.slope
+        return ratio * wire.capacitance * slope
+
+    def unit_current(self, unit_capacitance: float) -> float:
+        """Current per meter for a wire of the given capacitance per meter."""
+        return self.coupling_ratio * unit_capacitance * self.slope

@@ -1,0 +1,237 @@
+"""The Devgan coupled-noise metric on routing trees (paper Section II-B).
+
+Structure mirrors the Elmore engine — the paper's footnote 5 analogy:
+
+=================  =======================
+Elmore / timing    Devgan / noise
+=================  =======================
+capacitance C(v)   downstream current I(v)
+wire delay         wire noise
+RAT                noise margin NM
+slack q(v)         noise slack NS(v)
+=================  =======================
+
+Per-wire quantities (eqs. 7–9):
+
+* ``I(v)`` — total downstream current at ``v``: the sum of the induced
+  currents of every wire in the (stage-local) subtree below ``v``; a
+  buffer is a cut, since a restoring gate does not pass noise current.
+* ``Noise(w)`` for ``w = (u, v)`` — ``R_w * (I_w / 2 + I(v))``: the wire's
+  own distributed current sees half its resistance (pi-model), and all
+  deeper current crosses the full ``R_w``.
+* Noise at a stage sink ``t`` from the stage's driving gate at ``u`` —
+  ``R_gate(u) * I(u) + sum of Noise(w) along path(u, t)``.
+
+A *stage sink* is a real sink (margin from its :class:`SinkSpec`) or a
+buffer input (margin from the :class:`~repro.library.BufferType`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from ..errors import AnalysisError
+from ..library.buffers import BufferType
+from ..tree.topology import RoutingTree, Wire
+from .coupling import CouplingModel
+
+BufferMap = Mapping[str, BufferType]
+
+
+def wire_noise(wire: Wire, wire_current: float, downstream_current: float) -> float:
+    """Noise added by one wire (paper eq. 8)."""
+    return wire.resistance * (wire_current / 2.0 + downstream_current)
+
+
+def downstream_currents(
+    tree: RoutingTree,
+    coupling: CouplingModel,
+    buffers: Optional[BufferMap] = None,
+) -> Dict[str, float]:
+    """``I(v)`` for every node (paper eq. 7), cut at buffered nodes.
+
+    The value stored for a buffered node is the current *its own output
+    stage* sees (useful for checking the buffer's drive); its contribution
+    to the parent stage is zero.
+    """
+    buffers = buffers or {}
+    currents: Dict[str, float] = {}
+    for node in tree.postorder():
+        total = 0.0
+        for child in node.children:
+            wire = child.parent_wire
+            assert wire is not None
+            child_current = 0.0 if child.name in buffers else currents[child.name]
+            total += coupling.wire_current(wire) + child_current
+        currents[node.name] = total
+    return currents
+
+
+@dataclass(frozen=True)
+class StageSinkNoise:
+    """Noise arriving at one stage sink (a real sink or a buffer input)."""
+
+    node: str
+    noise: float
+    margin: float
+    #: name of the gate node driving this stage ('' means the net's driver).
+    stage_root: str
+
+    @property
+    def slack(self) -> float:
+        return self.margin - self.noise
+
+    @property
+    def violated(self) -> bool:
+        return self.noise > self.margin
+
+
+def sink_noise(
+    tree: RoutingTree,
+    coupling: CouplingModel,
+    buffers: Optional[BufferMap] = None,
+    driver_resistance: Optional[float] = None,
+) -> List[StageSinkNoise]:
+    """Peak Devgan noise at every stage sink of the (buffered) tree.
+
+    ``driver_resistance`` defaults to ``tree.driver.resistance`` and is the
+    ``R_gate`` of the source stage (paper eq. 9).  Buffered internal nodes
+    root their own stages with their own output resistance; their *inputs*
+    are stage sinks of the enclosing stage, with the buffer's noise margin.
+    """
+    buffers = buffers or {}
+    for name in buffers:
+        if not tree.node(name).is_internal:
+            raise AnalysisError(f"buffer on non-internal node {name!r}")
+    if driver_resistance is None:
+        if tree.driver is None:
+            raise AnalysisError(
+                f"tree {tree.name!r} has no driver; pass driver_resistance"
+            )
+        driver_resistance = tree.driver.resistance
+
+    currents = downstream_currents(tree, coupling, buffers)
+    results: List[StageSinkNoise] = []
+
+    # accumulated[v]: noise from the current stage root's output to node v.
+    accumulated: Dict[str, float] = {}
+    stage_root: Dict[str, str] = {}
+    source = tree.source
+    accumulated[source.name] = driver_resistance * currents[source.name]
+    stage_root[source.name] = source.name
+
+    for node in tree.preorder():
+        if node is not source:
+            wire = node.parent_wire
+            assert wire is not None
+            parent = wire.parent
+            wire_i = coupling.wire_current(wire)
+            downstream = 0.0 if node.name in buffers else currents[node.name]
+            noise_here = accumulated[parent.name] + wire_noise(
+                wire, wire_i, downstream
+            )
+            if node.name in buffers:
+                buffer = buffers[node.name]
+                results.append(
+                    StageSinkNoise(
+                        node=node.name,
+                        noise=noise_here,
+                        margin=buffer.noise_margin,
+                        stage_root=stage_root[parent.name],
+                    )
+                )
+                # The buffer restores the signal: a new stage starts here.
+                accumulated[node.name] = buffer.resistance * currents[node.name]
+                stage_root[node.name] = node.name
+            else:
+                accumulated[node.name] = noise_here
+                stage_root[node.name] = stage_root[parent.name]
+                if node.is_sink:
+                    assert node.sink is not None
+                    results.append(
+                        StageSinkNoise(
+                            node=node.name,
+                            noise=noise_here,
+                            margin=node.sink.noise_margin,
+                            stage_root=stage_root[node.name],
+                        )
+                    )
+    return results
+
+
+def noise_slacks(
+    tree: RoutingTree,
+    coupling: CouplingModel,
+    buffers: Optional[BufferMap] = None,
+) -> Dict[str, float]:
+    """``NS(v)`` for every node (paper eq. 12), stage-local.
+
+    ``NS(sink) = NM(sink)``; climbing a wire subtracts its noise; branches
+    take the child minimum.  A buffered child contributes the *buffer's*
+    margin (its input is the stage sink seen from above).  For a buffered
+    node the stored value describes its own downstream stage.
+    """
+    buffers = buffers or {}
+    currents = downstream_currents(tree, coupling, buffers)
+    slacks: Dict[str, float] = {}
+    for node in tree.postorder():
+        if node.is_sink:
+            assert node.sink is not None
+            slacks[node.name] = node.sink.noise_margin
+            continue
+        best = None
+        for child in node.children:
+            wire = child.parent_wire
+            assert wire is not None
+            if child.name in buffers:
+                child_slack = buffers[child.name].noise_margin
+                downstream = 0.0
+            else:
+                child_slack = slacks[child.name]
+                downstream = currents[child.name]
+            value = child_slack - wire_noise(
+                wire, coupling.wire_current(wire), downstream
+            )
+            best = value if best is None else min(best, value)
+        if best is None:
+            raise AnalysisError(
+                f"internal node {node.name!r} has no children; invalid tree"
+            )
+        slacks[node.name] = best
+    return slacks
+
+
+def noise_violations(
+    tree: RoutingTree,
+    coupling: CouplingModel,
+    buffers: Optional[BufferMap] = None,
+    driver_resistance: Optional[float] = None,
+) -> List[StageSinkNoise]:
+    """Stage sinks whose Devgan noise exceeds their margin (eq. 11)."""
+    return [
+        entry
+        for entry in sink_noise(tree, coupling, buffers, driver_resistance)
+        if entry.violated
+    ]
+
+
+def has_noise_violation(
+    tree: RoutingTree,
+    coupling: CouplingModel,
+    buffers: Optional[BufferMap] = None,
+    driver_resistance: Optional[float] = None,
+) -> bool:
+    """Whether any stage sink violates its noise margin."""
+    return bool(noise_violations(tree, coupling, buffers, driver_resistance))
+
+
+def worst_noise_slack(
+    tree: RoutingTree,
+    coupling: CouplingModel,
+    buffers: Optional[BufferMap] = None,
+    driver_resistance: Optional[float] = None,
+) -> float:
+    """The minimum ``margin - noise`` over all stage sinks."""
+    entries = sink_noise(tree, coupling, buffers, driver_resistance)
+    return min(entry.slack for entry in entries)

@@ -1,0 +1,66 @@
+"""Noise-margin bookkeeping and violation reports.
+
+Thin conveniences above :mod:`repro.noise.devgan`: uniform-margin setup for
+experiments, and a :class:`NoiseReport` that experiments and the CLI print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..tree.topology import RoutingTree
+from ..units import format_voltage
+from .coupling import CouplingModel
+from .devgan import BufferMap, StageSinkNoise, sink_noise
+
+
+@dataclass(frozen=True)
+class NoiseReport:
+    """Summary of a noise analysis over one tree."""
+
+    net: str
+    entries: Sequence[StageSinkNoise]
+
+    @property
+    def violations(self) -> List[StageSinkNoise]:
+        return [e for e in self.entries if e.violated]
+
+    @property
+    def violated(self) -> bool:
+        return any(e.violated for e in self.entries)
+
+    @property
+    def worst_slack(self) -> float:
+        return min(e.slack for e in self.entries)
+
+    @property
+    def peak_noise(self) -> float:
+        return max(e.noise for e in self.entries)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [
+            f"net {self.net}: {len(self.entries)} stage sinks, "
+            f"{len(self.violations)} violations, "
+            f"peak noise {format_voltage(self.peak_noise)}, "
+            f"worst slack {format_voltage(self.worst_slack)}"
+        ]
+        for entry in self.violations:
+            lines.append(
+                f"  VIOLATION at {entry.node}: noise "
+                f"{format_voltage(entry.noise)} > margin "
+                f"{format_voltage(entry.margin)} (stage {entry.stage_root})"
+            )
+        return "\n".join(lines)
+
+
+def analyze_noise(
+    tree: RoutingTree,
+    coupling: CouplingModel,
+    buffers: Optional[BufferMap] = None,
+    driver_resistance: Optional[float] = None,
+) -> NoiseReport:
+    """Run the Devgan metric and wrap the result in a :class:`NoiseReport`."""
+    entries = sink_noise(tree, coupling, buffers, driver_resistance)
+    return NoiseReport(net=tree.name, entries=tuple(entries))

@@ -1,0 +1,30 @@
+"""Elmore delay and slack analysis (paper Section II-A)."""
+
+from .elmore import (
+    BufferMap,
+    arrival_times,
+    max_sink_delay,
+    node_loads,
+    sink_delays,
+    stage_count,
+    wire_delay,
+)
+from .rat import budget_from_unbuffered, make_critical, set_uniform_rat
+from .slack import meets_timing, node_slacks, source_slack, worst_sink
+
+__all__ = [
+    "BufferMap",
+    "arrival_times",
+    "budget_from_unbuffered",
+    "make_critical",
+    "set_uniform_rat",
+    "max_sink_delay",
+    "meets_timing",
+    "node_loads",
+    "node_slacks",
+    "sink_delays",
+    "source_slack",
+    "stage_count",
+    "wire_delay",
+    "worst_sink",
+]

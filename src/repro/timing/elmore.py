@@ -1,0 +1,148 @@
+"""Elmore delay analysis of (possibly buffered) routing trees.
+
+The paper's delay model (Section II-A): the Elmore delay of a wire
+``w = (u, v)`` is ``R_w * (C_w / 2 + C(v))`` where ``C(v)`` is the lumped
+downstream load at ``v``; a gate contributes a linear delay
+``d + R * C_load``; a buffer is a *cut* — its input capacitance is what the
+upstream stage sees, and its output resistance drives the downstream stage.
+
+All functions accept an optional ``buffers`` mapping ``node name ->
+BufferType`` (a :class:`~repro.core.solution.BufferSolution` exposes one),
+so the same engine analyzes both raw and buffered trees.  Buffers may only
+sit on internal nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..library.buffers import BufferType
+from ..tree.topology import RoutingTree, Wire
+
+#: ``node name -> buffer type`` for buffered analysis.
+BufferMap = Mapping[str, BufferType]
+
+
+def _check_buffers(tree: RoutingTree, buffers: Optional[BufferMap]) -> BufferMap:
+    if not buffers:
+        return {}
+    for name in buffers:
+        node = tree.node(name)  # raises KeyError on unknown names
+        if not node.is_internal:
+            raise AnalysisError(
+                f"buffer assigned to non-internal node {name!r} "
+                f"({'source' if node.is_source else 'sink'})"
+            )
+    return buffers
+
+
+def wire_delay(wire: Wire, downstream_load: float) -> float:
+    """Elmore delay of one wire given the load at its child end (eq. 2)."""
+    return wire.resistance * (wire.capacitance / 2.0 + downstream_load)
+
+
+def node_loads(
+    tree: RoutingTree, buffers: Optional[BufferMap] = None
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Downstream loads per node, with buffer cuts.
+
+    Returns ``(driven, upward)``:
+
+    * ``driven[v]`` — the load a gate output placed at ``v`` would drive:
+      the subtree hanging below ``v``, cut at any *descendant* buffer
+      (paper eq. 1 applied per stage);
+    * ``upward[v]`` — what the parent wire of ``v`` sees at ``v``: the
+      buffer's input capacitance when ``v`` is buffered, the pin
+      capacitance when ``v`` is a sink, else ``driven[v]``.
+    """
+    buffers = _check_buffers(tree, buffers)
+    driven: Dict[str, float] = {}
+    upward: Dict[str, float] = {}
+    for node in tree.postorder():
+        total = 0.0
+        for child in node.children:
+            wire = child.parent_wire
+            assert wire is not None
+            total += wire.capacitance + upward[child.name]
+        driven[node.name] = total
+        if node.name in buffers:
+            upward[node.name] = buffers[node.name].input_capacitance
+        elif node.is_sink:
+            assert node.sink is not None
+            upward[node.name] = node.sink.capacitance
+        else:
+            upward[node.name] = total
+    return driven, upward
+
+
+def arrival_times(
+    tree: RoutingTree,
+    buffers: Optional[BufferMap] = None,
+    include_driver: bool = True,
+) -> Dict[str, float]:
+    """Signal arrival time at every node's *input*, from a t=0 source input.
+
+    For buffered nodes the stored value is the arrival at the buffer
+    *input*; downstream propagation continues from the buffer output
+    (input arrival plus the buffer's gate delay into its driven load).
+    ``include_driver`` adds the source driver's own gate delay (paper
+    Fig. 4 Step 3); it requires ``tree.driver`` to be set.
+    """
+    buffers = _check_buffers(tree, buffers)
+    driven, upward = node_loads(tree, buffers)
+    arrivals: Dict[str, float] = {}
+    departures: Dict[str, float] = {}
+
+    source = tree.source
+    arrivals[source.name] = 0.0
+    if include_driver:
+        if tree.driver is None:
+            raise AnalysisError(
+                f"tree {tree.name!r} has no driver cell; pass "
+                "include_driver=False or attach a DriverCell"
+            )
+        departures[source.name] = tree.driver.gate_delay(driven[source.name])
+    else:
+        departures[source.name] = 0.0
+
+    for node in tree.preorder():
+        if node is source:
+            continue
+        wire = node.parent_wire
+        assert wire is not None
+        arrival = departures[wire.parent.name] + wire_delay(wire, upward[node.name])
+        arrivals[node.name] = arrival
+        if node.name in buffers:
+            departures[node.name] = arrival + buffers[node.name].gate_delay(
+                driven[node.name]
+            )
+        else:
+            departures[node.name] = arrival
+    return arrivals
+
+
+def sink_delays(
+    tree: RoutingTree,
+    buffers: Optional[BufferMap] = None,
+    include_driver: bool = True,
+) -> Dict[str, float]:
+    """Source-to-sink delay (paper eq. 4) for every sink, by name."""
+    arrivals = arrival_times(tree, buffers, include_driver=include_driver)
+    return {sink.name: arrivals[sink.name] for sink in tree.sinks}
+
+
+def max_sink_delay(
+    tree: RoutingTree,
+    buffers: Optional[BufferMap] = None,
+    include_driver: bool = True,
+) -> float:
+    """The longest source-to-sink delay."""
+    delays = sink_delays(tree, buffers, include_driver=include_driver)
+    return max(delays.values())
+
+
+def stage_count(tree: RoutingTree, buffers: Optional[BufferMap] = None) -> int:
+    """Number of restoring stages: 1 (driver) + number of inserted buffers."""
+    buffers = _check_buffers(tree, buffers)
+    return 1 + len(buffers)

@@ -1,0 +1,71 @@
+"""Required-arrival-time manipulations (paper footnote 6).
+
+"Various formulations can be captured by manipulating the RAT(si)
+values": making one sink the only critical one (all others get infinite
+RATs) turns slack maximization into single-path delay minimization, and
+equal slacks capture minimizing the maximum source-to-sink delay.  These
+helpers produce modified *copies* — input trees are never mutated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import AnalysisError
+from ..tree.topology import RoutingTree, SinkSpec
+from ..tree.transform import clone_tree
+from .elmore import sink_delays
+
+
+def _with_rats(tree: RoutingTree, rats) -> RoutingTree:
+    copy = clone_tree(tree)
+    for sink in copy.sinks:
+        assert sink.sink is not None
+        sink.sink = SinkSpec(
+            capacitance=sink.sink.capacitance,
+            noise_margin=sink.sink.noise_margin,
+            required_arrival=rats(sink.name),
+        )
+    return copy
+
+
+def set_uniform_rat(tree: RoutingTree, value: float) -> RoutingTree:
+    """Every sink gets the same RAT (maximizing slack then minimizes the
+    maximum source-to-sink delay, per footnote 6)."""
+    return _with_rats(tree, lambda _: value)
+
+
+def make_critical(tree: RoutingTree, sink_name: str,
+                  value: float = 0.0) -> RoutingTree:
+    """Only ``sink_name`` is timing-critical; all other RATs become +inf.
+
+    Slack maximization then minimizes the delay to that single sink.
+    ``value`` is the critical sink's RAT (its absolute level only shifts
+    the slack, not the optimizer's choices).
+    """
+    names = {s.name for s in tree.sinks}
+    if sink_name not in names:
+        raise AnalysisError(
+            f"no sink named {sink_name!r} in {tree.name!r}; have {sorted(names)}"
+        )
+    return _with_rats(
+        tree, lambda name: value if name == sink_name else math.inf
+    )
+
+
+def budget_from_unbuffered(
+    tree: RoutingTree, fraction: float, floor: Optional[float] = None
+) -> RoutingTree:
+    """Set a uniform RAT of ``fraction x`` the unbuffered worst delay.
+
+    ``fraction > 1`` makes unbuffered timing feasible (the workload
+    generator's regime); ``fraction < 1`` forces buffering for timing.
+    """
+    if fraction <= 0:
+        raise AnalysisError(f"fraction must be positive, got {fraction}")
+    worst = max(sink_delays(tree).values())
+    budget = fraction * worst
+    if floor is not None:
+        budget = max(budget, floor)
+    return set_uniform_rat(tree, budget)

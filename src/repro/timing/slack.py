@@ -1,0 +1,98 @@
+"""Required-arrival-time propagation and timing slack.
+
+The paper defines the slack at a node ``v`` as
+
+    q(v) = min over downstream sinks si of ( RAT(si) - Delay(v, si) )
+
+with the source slack additionally charged the driver's gate delay.  The
+circuit meets timing iff ``q(so) >= 0`` (paper eq. 5 and surrounding text).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from ..errors import AnalysisError
+from ..tree.topology import RoutingTree
+from .elmore import BufferMap, arrival_times, node_loads, wire_delay
+
+
+def node_slacks(
+    tree: RoutingTree, buffers: Optional[BufferMap] = None
+) -> Dict[str, float]:
+    """Slack ``q(v)`` at every node, excluding the source driver's delay.
+
+    Computed bottom-up: ``q(si) = RAT(si)`` at sinks, and moving up a wire
+    subtracts that wire's Elmore delay; a buffered node additionally pays
+    the buffer's gate delay before presenting slack to its parent.  Branch
+    nodes take the minimum of their children (per-node definition in
+    Section II-A).
+    """
+    driven, upward = node_loads(tree, buffers)
+    buffers = buffers or {}
+    slacks: Dict[str, float] = {}
+    for node in tree.postorder():
+        if node.is_sink:
+            assert node.sink is not None
+            slacks[node.name] = node.sink.required_arrival
+            continue
+        best = math.inf
+        for child in node.children:
+            wire = child.parent_wire
+            assert wire is not None
+            child_slack = slacks[child.name]
+            if child.name in buffers:
+                buffer = buffers[child.name]
+                child_slack -= buffer.gate_delay(driven[child.name])
+            best = min(best, child_slack - wire_delay(wire, upward[child.name]))
+        slacks[node.name] = best
+    return slacks
+
+
+def source_slack(
+    tree: RoutingTree,
+    buffers: Optional[BufferMap] = None,
+    include_driver: bool = True,
+) -> float:
+    """The paper's objective ``q(so)``, including the driver gate delay.
+
+    Equals ``min over sinks (RAT(si) - Delay(so, si))`` — verified against
+    the forward :func:`~repro.timing.elmore.sink_delays` computation in the
+    test suite.
+    """
+    slacks = node_slacks(tree, buffers)
+    value = slacks[tree.source.name]
+    if include_driver:
+        if tree.driver is None:
+            raise AnalysisError(
+                f"tree {tree.name!r} has no driver cell; pass "
+                "include_driver=False or attach a DriverCell"
+            )
+        driven, _ = node_loads(tree, buffers)
+        value -= tree.driver.gate_delay(driven[tree.source.name])
+    return value
+
+
+def meets_timing(
+    tree: RoutingTree,
+    buffers: Optional[BufferMap] = None,
+    include_driver: bool = True,
+) -> bool:
+    """Whether every sink meets its required arrival time (eq. 5)."""
+    if all(math.isinf(s.sink.required_arrival) for s in tree.sinks):
+        return True
+    return source_slack(tree, buffers, include_driver=include_driver) >= 0.0
+
+
+def worst_sink(
+    tree: RoutingTree,
+    buffers: Optional[BufferMap] = None,
+    include_driver: bool = True,
+) -> str:
+    """Name of the sink with the smallest ``RAT - delay`` margin."""
+    arrivals = arrival_times(tree, buffers, include_driver=include_driver)
+    sinks = tree.sinks
+    return min(
+        sinks, key=lambda s: (s.sink.required_arrival - arrivals[s.name], s.name)
+    ).name

@@ -1,0 +1,24 @@
+"""Routing trees: topology, construction, binarization, segmenting, Steiner."""
+
+from .binary import binarize
+from .builder import TreeBuilder, two_pin_net
+from .segmenting import segment_count, segment_tree
+from .steiner import SinkSite, manhattan, steiner_tree
+from .topology import Node, RoutingTree, SinkSpec, Wire
+from .transform import clone_tree
+
+__all__ = [
+    "Node",
+    "RoutingTree",
+    "SinkSite",
+    "SinkSpec",
+    "TreeBuilder",
+    "Wire",
+    "binarize",
+    "clone_tree",
+    "manhattan",
+    "segment_count",
+    "segment_tree",
+    "steiner_tree",
+    "two_pin_net",
+]

@@ -1,0 +1,57 @@
+"""Binarization of Steiner topologies (paper footnote 1).
+
+A routed Steiner topology may contain nodes with three (or, from degenerate
+inputs, more) children.  The algorithms require binary trees, so each node
+``v`` with children ``a, b, c`` is rewritten by inserting a *dummy
+infeasible* node ``w``: two of the children become children of ``w``, and
+``(v, w)`` is a zero-length wire.  Which pair moves under ``w`` does not
+affect any algorithm's output (the wire is electrically nil and the node
+cannot hold a buffer), so we deterministically take the last two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .topology import Node, RoutingTree, Wire
+from .transform import copy_node, copy_wire, fresh_name
+
+
+def binarize(tree: RoutingTree) -> RoutingTree:
+    """Return an equivalent binary tree (a copy; input is untouched).
+
+    Already-binary trees are still copied, so callers can rely on getting
+    an independent object.
+    """
+    copies: Dict[str, Node] = {n.name: copy_node(n) for n in tree.nodes()}
+    taken = set(copies)
+    new_nodes: List[Node] = list(copies.values())
+    new_wires: List[Wire] = []
+
+    for node in tree.preorder():
+        parent_copy = copies[node.name]
+        child_wires = [child.parent_wire for child in node.children]
+        # Chain dummies until at most two children hang off each level.
+        while len(child_wires) > 2:
+            dummy = Node(
+                name=fresh_name(f"{node.name}_bin", taken),
+                feasible=False,
+                position=node.position,
+            )
+            taken.add(dummy.name)
+            new_nodes.append(dummy)
+            # Keep the first child at this level; move the rest under the dummy.
+            kept = child_wires[0]
+            moved = child_wires[1:]
+            assert kept is not None
+            new_wires.append(
+                copy_wire(kept, parent_copy, copies[kept.child.name])
+            )
+            new_wires.append(Wire(parent=parent_copy, child=dummy))  # zero length
+            parent_copy = dummy
+            child_wires = moved
+        for wire in child_wires:
+            assert wire is not None
+            new_wires.append(copy_wire(wire, parent_copy, copies[wire.child.name]))
+
+    return RoutingTree(new_nodes, new_wires, driver=tree.driver, name=tree.name)

@@ -1,0 +1,199 @@
+"""Programmatic routing-tree construction.
+
+:class:`TreeBuilder` accumulates nodes and wires and produces a validated
+:class:`~repro.tree.topology.RoutingTree`.  When a
+:class:`~repro.library.Technology` is supplied, wire resistance and
+capacitance are derived from length; otherwise they must be given
+explicitly (handy for reproducing the paper's abstract examples, e.g.
+Fig. 3, where only ``R`` and ``I`` values are specified).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from ..errors import TreeStructureError
+from ..library.cells import DriverCell
+from ..library.technology import Technology
+from .topology import Node, RoutingTree, SinkSpec, Wire
+
+
+class TreeBuilder:
+    """Incrementally build a :class:`RoutingTree`.
+
+    Example
+    -------
+    >>> from repro.library import default_technology, DriverCell
+    >>> from repro.units import UM, FF
+    >>> builder = TreeBuilder(default_technology())
+    >>> builder.add_source("so", driver=DriverCell("drv", 200.0))
+    >>> builder.add_sink("s1", capacitance=10 * FF, noise_margin=0.8)
+    >>> builder.add_wire("so", "s1", length=2000 * UM)
+    >>> tree = builder.build("two_pin")
+    """
+
+    def __init__(self, technology: Optional[Technology] = None):
+        self.technology = technology
+        self._nodes: list[Node] = []
+        self._names: set[str] = set()
+        self._wires: list[Wire] = []
+        self._driver: Optional[DriverCell] = None
+
+    # -- nodes ------------------------------------------------------------------
+
+    def _register(self, node: Node) -> Node:
+        if node.name in self._names:
+            raise TreeStructureError(f"duplicate node name {node.name!r}")
+        self._names.add(node.name)
+        self._nodes.append(node)
+        return node
+
+    def add_source(
+        self,
+        name: str,
+        driver: Optional[DriverCell] = None,
+        position: Optional[Tuple[float, float]] = None,
+    ) -> Node:
+        """Add the unique source node, optionally with its driver cell."""
+        if any(n.is_source for n in self._nodes):
+            raise TreeStructureError("source already added")
+        self._driver = driver
+        return self._register(
+            Node(name, is_source=True, feasible=False, position=position)
+        )
+
+    def add_sink(
+        self,
+        name: str,
+        capacitance: float,
+        noise_margin: float,
+        required_arrival: float = math.inf,
+        position: Optional[Tuple[float, float]] = None,
+    ) -> Node:
+        """Add a sink pin with its electrical instance data."""
+        spec = SinkSpec(capacitance, noise_margin, required_arrival)
+        return self._register(Node(name, sink=spec, feasible=False, position=position))
+
+    def add_internal(
+        self,
+        name: str,
+        feasible: bool = True,
+        position: Optional[Tuple[float, float]] = None,
+    ) -> Node:
+        """Add an internal node (a potential buffer site when ``feasible``)."""
+        return self._register(Node(name, feasible=feasible, position=position))
+
+    # -- wires ------------------------------------------------------------------
+
+    def add_wire(
+        self,
+        parent: str,
+        child: str,
+        length: float = 0.0,
+        resistance: Optional[float] = None,
+        capacitance: Optional[float] = None,
+        current: Optional[float] = None,
+        coupling_ratio: Optional[float] = None,
+        slope: Optional[float] = None,
+    ) -> Wire:
+        """Connect ``parent`` to ``child``.
+
+        Resistance/capacitance default to ``technology`` values for the
+        given length; passing them explicitly overrides (both must then be
+        provided or derivable).
+        """
+        parent_node = self._lookup(parent)
+        child_node = self._lookup(child)
+        if resistance is None:
+            if self.technology is None and length > 0:
+                raise TreeStructureError(
+                    f"wire {parent}->{child}: no technology given, so "
+                    "resistance must be passed explicitly"
+                )
+            resistance = (
+                self.technology.wire_resistance(length) if self.technology else 0.0
+            )
+        if capacitance is None:
+            if self.technology is None and length > 0:
+                raise TreeStructureError(
+                    f"wire {parent}->{child}: no technology given, so "
+                    "capacitance must be passed explicitly"
+                )
+            capacitance = (
+                self.technology.wire_capacitance(length) if self.technology else 0.0
+            )
+        wire = Wire(
+            parent=parent_node,
+            child=child_node,
+            length=length,
+            resistance=resistance,
+            capacitance=capacitance,
+            current=current,
+            coupling_ratio=coupling_ratio,
+            slope=slope,
+        )
+        self._wires.append(wire)
+        return wire
+
+    def _lookup(self, name: str) -> Node:
+        for node in self._nodes:
+            if node.name == name:
+                return node
+        raise TreeStructureError(f"unknown node {name!r}; add it before wiring")
+
+    # -- finish -------------------------------------------------------------------
+
+    def build(self, name: str = "net", allow_nonbinary: bool = False) -> RoutingTree:
+        """Validate and return the tree.
+
+        ``allow_nonbinary`` admits nodes with more than two children; run
+        :func:`repro.tree.binary.binarize` on the result before handing it
+        to the algorithms.
+        """
+        return RoutingTree(
+            self._nodes,
+            self._wires,
+            driver=self._driver,
+            name=name,
+            allow_nonbinary=allow_nonbinary,
+        )
+
+
+def two_pin_net(
+    technology: Technology,
+    length: float,
+    driver: DriverCell,
+    sink_capacitance: float,
+    noise_margin: float,
+    required_arrival: float = math.inf,
+    segments: int = 1,
+    name: str = "two_pin",
+) -> RoutingTree:
+    """Convenience constructor: a single-sink net of ``length`` meters.
+
+    ``segments`` > 1 pre-segments the wire into that many equal pieces,
+    creating ``segments - 1`` feasible internal buffer sites (the
+    Alpert–Devgan preprocessing for Van Ginneken-style algorithms; the
+    closed-form Algorithm 1 does not need it).
+    """
+    if segments < 1:
+        raise TreeStructureError(f"segments must be >= 1, got {segments}")
+    builder = TreeBuilder(technology)
+    builder.add_source("so", driver=driver, position=(0.0, 0.0))
+    previous = "so"
+    piece = length / segments
+    for index in range(1, segments):
+        node_name = f"n{index}"
+        builder.add_internal(node_name, position=(piece * index, 0.0))
+        builder.add_wire(previous, node_name, length=piece)
+        previous = node_name
+    builder.add_sink(
+        "si",
+        capacitance=sink_capacitance,
+        noise_margin=noise_margin,
+        required_arrival=required_arrival,
+        position=(length, 0.0),
+    )
+    builder.add_wire(previous, "si", length=piece)
+    return builder.build(name)

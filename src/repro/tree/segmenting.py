@@ -1,0 +1,81 @@
+"""Wire segmenting preprocessing (Alpert–Devgan [1], paper footnote 3).
+
+Van Ginneken-style algorithms consider at most one buffer per wire, so a
+long wire must first be cut into shorter pieces, each cut point becoming a
+*feasible* internal node (a legal buffer site).  Solution quality improves
+monotonically with segmentation granularity at the cost of runtime — the
+trade-off the paper cites from [1] and which ``benchmarks/bench_ablations.py``
+sweeps.
+
+:func:`segment_tree` cuts every wire longer than ``max_segment_length``
+into equal pieces.  :func:`segment_count` reports how many pieces a wire
+would get, which tests use to bound the node blow-up.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..errors import TreeStructureError
+from .topology import Node, RoutingTree, Wire
+from .transform import copy_node, copy_wire, fresh_name, split_wire
+
+
+def segment_count(length: float, max_segment_length: float) -> int:
+    """Number of equal pieces a wire of ``length`` is cut into."""
+    if max_segment_length <= 0:
+        raise TreeStructureError(
+            f"max_segment_length must be positive, got {max_segment_length}"
+        )
+    if length <= 0:
+        return 1
+    # Tolerate float dust so e.g. 1000um / 100um is 10 pieces, not 11.
+    return max(1, math.ceil(length / max_segment_length - 1e-9))
+
+
+def segment_tree(tree: RoutingTree, max_segment_length: float) -> RoutingTree:
+    """Return a copy of ``tree`` with no wire longer than the given limit.
+
+    New cut-point nodes are named ``<parent>__seg<k>__<child>`` and are
+    feasible buffer sites.  Zero-length wires (e.g. binarization dummies)
+    pass through untouched.  Positions of new nodes interpolate linearly
+    between the endpoints when both endpoints carry positions.
+    """
+    copies: Dict[str, Node] = {n.name: copy_node(n) for n in tree.nodes()}
+    taken = set(copies)
+    new_nodes: List[Node] = list(copies.values())
+    new_wires: List[Wire] = []
+
+    for wire in tree.wires():
+        pieces = segment_count(wire.length, max_segment_length)
+        parent_copy = copies[wire.parent.name]
+        child_copy = copies[wire.child.name]
+        if pieces == 1:
+            new_wires.append(copy_wire(wire, parent_copy, child_copy))
+            continue
+        fractions = [k / pieces for k in range(1, pieces)]
+        cut_nodes: List[Node] = []
+        for index, fraction in enumerate(fractions, start=1):
+            name = fresh_name(
+                f"{wire.parent.name}__seg{index}__{wire.child.name}", taken
+            )
+            taken.add(name)
+            position = _interpolate(wire, fraction)
+            cut = Node(name=name, feasible=True, position=position)
+            cut_nodes.append(cut)
+            new_nodes.append(cut)
+        rebased = copy_wire(wire, parent_copy, child_copy)
+        new_wires.extend(split_wire(rebased, fractions, cut_nodes))
+
+    return RoutingTree(
+        new_nodes, new_wires, driver=tree.driver, name=tree.name,
+        allow_nonbinary=not tree.is_binary,
+    )
+
+
+def _interpolate(wire: Wire, fraction: float):
+    if wire.parent.position is None or wire.child.position is None:
+        return None
+    (x0, y0), (x1, y1) = wire.parent.position, wire.child.position
+    return (x0 + (x1 - x0) * fraction, y0 + (y1 - y0) * fraction)

@@ -1,0 +1,370 @@
+"""Routing-tree data structures.
+
+A :class:`RoutingTree` is the paper's ``T = (V, E)``: a binary tree with a
+unique *source* node (the driver output), a set of *sink* nodes (gate input
+pins) and *internal* nodes (potential buffer sites, Steiner points, wire
+segmentation points).  Every non-source node has a unique parent wire
+(paper Section II); a node has at most two children, and a single child is
+the *left* child by convention.
+
+Electrical annotations live directly on the structures:
+
+* :class:`Wire` carries its length plus lumped resistance and capacitance
+  (normally derived from a :class:`~repro.library.Technology` by the
+  builder, but settable directly for textbook examples such as the paper's
+  Fig. 3), and optionally an explicit aggressor-induced ``current`` or a
+  :class:`~repro.noise.coupling.CouplingSpec` override.
+* Sink nodes carry a :class:`SinkSpec` (pin capacitance, noise margin,
+  required arrival time).
+* The source carries the :class:`~repro.library.DriverCell` driving it.
+
+Trees are built through :class:`~repro.tree.builder.TreeBuilder` (or the
+transforms in :mod:`repro.tree.binary` / :mod:`repro.tree.segmenting`) and
+validated once; afterwards they are treated as read-only by the algorithms,
+which return :class:`~repro.core.solution.BufferSolution` objects instead of
+mutating the input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import TreeStructureError
+from ..library.cells import DriverCell
+
+
+@dataclass(frozen=True)
+class SinkSpec:
+    """Instance data of a sink pin.
+
+    ``required_arrival`` defaults to ``+inf`` which, per the paper's
+    footnote 6, makes the sink timing-uncritical while keeping it in the
+    noise computation.
+    """
+
+    capacitance: float
+    noise_margin: float
+    required_arrival: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise TreeStructureError(
+                f"sink capacitance must be >= 0, got {self.capacitance}"
+            )
+        if self.noise_margin <= 0:
+            raise TreeStructureError(
+                f"sink noise margin must be positive, got {self.noise_margin}"
+            )
+
+
+@dataclass
+class Node:
+    """A tree node.
+
+    Exactly one of the following holds: the node is the source (``is_source``),
+    a sink (``sink is not None``), or internal.  ``feasible`` marks whether a
+    buffer may be placed here (paper: dummy binarization nodes and sink/source
+    nodes are infeasible; wire-segmentation nodes are feasible).
+    """
+
+    name: str
+    is_source: bool = False
+    sink: Optional[SinkSpec] = None
+    feasible: bool = True
+    position: Optional[Tuple[float, float]] = None
+    # Filled in by RoutingTree; not part of the public constructor contract.
+    parent_wire: Optional["Wire"] = field(default=None, repr=False)
+    children: List["Node"] = field(default_factory=list, repr=False)
+
+    @property
+    def is_sink(self) -> bool:
+        return self.sink is not None
+
+    @property
+    def is_internal(self) -> bool:
+        return not self.is_source and not self.is_sink
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def left(self) -> Optional["Node"]:
+        """Left child (the only child when degree is one)."""
+        return self.children[0] if self.children else None
+
+    @property
+    def right(self) -> Optional["Node"]:
+        return self.children[1] if len(self.children) > 1 else None
+
+    def __repr__(self) -> str:  # keep cycles out of the default repr
+        kind = "source" if self.is_source else ("sink" if self.is_sink else "internal")
+        return f"Node({self.name!r}, {kind})"
+
+
+@dataclass
+class Wire:
+    """A directed wire from ``parent`` to ``child`` (signal flows downward).
+
+    ``resistance`` / ``capacitance`` are the lumped totals for the wire.
+    ``current`` is the total aggressor-induced noise current the wire
+    injects (paper eq. 6); ``None`` means "derive from the coupling model"
+    (see :mod:`repro.noise.coupling`).  ``coupling_ratio`` / ``slope``
+    optionally override the technology defaults for this wire, which is how
+    the Fig. 2 segmentation scheme expresses per-segment aggressor overlap.
+    """
+
+    parent: Node
+    child: Node
+    length: float = 0.0
+    resistance: float = 0.0
+    capacitance: float = 0.0
+    current: Optional[float] = None
+    coupling_ratio: Optional[float] = None
+    slope: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise TreeStructureError(f"wire length must be >= 0, got {self.length}")
+        if self.resistance < 0:
+            raise TreeStructureError(
+                f"wire resistance must be >= 0, got {self.resistance}"
+            )
+        if self.capacitance < 0:
+            raise TreeStructureError(
+                f"wire capacitance must be >= 0, got {self.capacitance}"
+            )
+        if self.current is not None and self.current < 0:
+            raise TreeStructureError(
+                f"wire current must be >= 0, got {self.current}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.parent.name}->{self.child.name}"
+
+    def __repr__(self) -> str:
+        return f"Wire({self.name})"
+
+
+class RoutingTree:
+    """A validated binary routing tree.
+
+    Construction wires up parent/child links and checks every structural
+    invariant from the paper's Section II.  Use :meth:`nodes`,
+    :meth:`wires`, :meth:`postorder` etc. for traversal; node lookup is by
+    name via :meth:`node`.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        wires: Sequence[Wire],
+        driver: Optional[DriverCell] = None,
+        name: str = "net",
+        allow_nonbinary: bool = False,
+    ):
+        self.name = name
+        self.driver = driver
+        self._allow_nonbinary = allow_nonbinary
+        self._nodes: Dict[str, Node] = {}
+        for node in nodes:
+            if node.name in self._nodes:
+                raise TreeStructureError(f"duplicate node name {node.name!r}")
+            node.parent_wire = None
+            node.children = []
+            self._nodes[node.name] = node
+        self._wires: List[Wire] = list(wires)
+        self._link()
+        self._source = self._find_source()
+        self._validate()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _link(self) -> None:
+        for wire in self._wires:
+            for endpoint in (wire.parent, wire.child):
+                if self._nodes.get(endpoint.name) is not endpoint:
+                    raise TreeStructureError(
+                        f"wire {wire.name} references node {endpoint.name!r} "
+                        "that is not in this tree"
+                    )
+            if wire.child.parent_wire is not None:
+                raise TreeStructureError(
+                    f"node {wire.child.name!r} has multiple parent wires"
+                )
+            wire.child.parent_wire = wire
+            wire.parent.children.append(wire.child)
+
+    def _find_source(self) -> Node:
+        sources = [n for n in self._nodes.values() if n.is_source]
+        if len(sources) != 1:
+            raise TreeStructureError(
+                f"tree must have exactly one source, found {len(sources)}"
+            )
+        return sources[0]
+
+    def _validate(self) -> None:
+        source = self._source
+        if source.parent_wire is not None:
+            raise TreeStructureError("the source node may not have a parent wire")
+        if source.is_sink:
+            raise TreeStructureError("the source node may not also be a sink")
+        for node in self._nodes.values():
+            if len(node.children) > 2 and not self._allow_nonbinary:
+                raise TreeStructureError(
+                    f"node {node.name!r} has {len(node.children)} children; "
+                    "binarize the tree first (repro.tree.binary)"
+                )
+            if node is not source and node.parent_wire is None:
+                raise TreeStructureError(
+                    f"node {node.name!r} is disconnected from the source"
+                )
+            if node.is_sink and node.children:
+                raise TreeStructureError(
+                    f"sink {node.name!r} must be a leaf, has "
+                    f"{len(node.children)} children"
+                )
+            if node.is_internal and not node.children:
+                raise TreeStructureError(
+                    f"internal node {node.name!r} is a dangling leaf"
+                )
+        # reachability (also catches cycles among non-source components)
+        seen = set()
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            if node.name in seen:
+                raise TreeStructureError(f"cycle detected at node {node.name!r}")
+            seen.add(node.name)
+            stack.extend(node.children)
+        if len(seen) != len(self._nodes):
+            missing = sorted(set(self._nodes) - seen)
+            raise TreeStructureError(f"nodes unreachable from source: {missing}")
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def source(self) -> Node:
+        """The unique source node."""
+        return self._source
+
+    @property
+    def is_binary(self) -> bool:
+        """Whether every node has at most two children."""
+        return all(len(n.children) <= 2 for n in self._nodes.values())
+
+    @property
+    def sinks(self) -> Tuple[Node, ...]:
+        """All sink nodes, in deterministic (name-sorted) order."""
+        return tuple(
+            sorted((n for n in self._nodes.values() if n.is_sink), key=lambda n: n.name)
+        )
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r} in tree {self.name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def nodes(self) -> Iterator[Node]:
+        """All nodes in insertion order."""
+        return iter(self._nodes.values())
+
+    def wires(self) -> Iterator[Wire]:
+        """All wires in insertion order."""
+        return iter(self._wires)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        n_sinks = sum(1 for n in self._nodes.values() if n.is_sink)
+        return (
+            f"RoutingTree({self.name!r}, nodes={len(self._nodes)}, "
+            f"sinks={n_sinks}, wires={len(self._wires)})"
+        )
+
+    # -- traversals --------------------------------------------------------------
+
+    def postorder(self) -> Iterator[Node]:
+        """Children-before-parent traversal from the source (iterative)."""
+        out: List[Node] = []
+        stack = [self._source]
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children)
+        return reversed(out)
+
+    def preorder(self) -> Iterator[Node]:
+        """Parent-before-children traversal from the source (iterative)."""
+        stack = [self._source]
+        while stack:
+            node = stack.pop()
+            yield node
+            # reversed so the left child is visited first
+            stack.extend(reversed(node.children))
+        return
+
+    def path_to_source(self, node: Node) -> List[Wire]:
+        """Wires from ``node`` up to the source, bottom-up order."""
+        wires: List[Wire] = []
+        current = node
+        while current.parent_wire is not None:
+            wires.append(current.parent_wire)
+            current = current.parent_wire.parent
+        if current is not self._source:
+            raise TreeStructureError(
+                f"node {node.name!r} does not reach the source"
+            )
+        return wires
+
+    def path(self, ancestor: Node, descendant: Node) -> List[Wire]:
+        """Wires on ``path(ancestor, descendant)``, top-down order.
+
+        Raises :class:`TreeStructureError` when ``ancestor`` is not actually
+        an ancestor of ``descendant``.
+        """
+        wires: List[Wire] = []
+        current = descendant
+        while current is not ancestor:
+            if current.parent_wire is None:
+                raise TreeStructureError(
+                    f"{ancestor.name!r} is not an ancestor of {descendant.name!r}"
+                )
+            wires.append(current.parent_wire)
+            current = current.parent_wire.parent
+        wires.reverse()
+        return wires
+
+    def subtree_nodes(self, root: Node) -> Iterator[Node]:
+        """All nodes of the subtree rooted at ``root`` (preorder)."""
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def downstream_sinks(self, node: Node) -> Tuple[Node, ...]:
+        """The paper's ``SI(v)``: sinks in the subtree rooted at ``node``."""
+        return tuple(n for n in self.subtree_nodes(node) if n.is_sink)
+
+    # -- aggregate electrical queries ---------------------------------------------
+
+    def total_wire_length(self) -> float:
+        return sum(w.length for w in self._wires)
+
+    def total_wire_capacitance(self) -> float:
+        return sum(w.capacitance for w in self._wires)
+
+    def total_capacitance(self) -> float:
+        """Wire plus sink pin capacitance (the paper ranked nets by this)."""
+        return self.total_wire_capacitance() + sum(
+            n.sink.capacitance for n in self._nodes.values() if n.sink is not None
+        )

@@ -1,0 +1,99 @@
+"""Shared helpers for tree-rewriting transforms (binarize, segment, buffer).
+
+Transforms never mutate their input: they deep-copy nodes/wires into a new
+:class:`~repro.tree.topology.RoutingTree`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .topology import Node, RoutingTree, Wire
+
+
+def copy_node(node: Node) -> Node:
+    """A fresh, unlinked copy of ``node`` (same name/kind/spec/position)."""
+    return Node(
+        name=node.name,
+        is_source=node.is_source,
+        sink=node.sink,
+        feasible=node.feasible,
+        position=node.position,
+    )
+
+
+def copy_wire(wire: Wire, parent: Node, child: Node) -> Wire:
+    """A copy of ``wire`` re-anchored to the given (copied) endpoints."""
+    return Wire(
+        parent=parent,
+        child=child,
+        length=wire.length,
+        resistance=wire.resistance,
+        capacitance=wire.capacitance,
+        current=wire.current,
+        coupling_ratio=wire.coupling_ratio,
+        slope=wire.slope,
+    )
+
+
+def clone_tree(tree: RoutingTree, name: Optional[str] = None) -> RoutingTree:
+    """An independent structural copy of ``tree``."""
+    copies: Dict[str, Node] = {n.name: copy_node(n) for n in tree.nodes()}
+    wires = [copy_wire(w, copies[w.parent.name], copies[w.child.name])
+             for w in tree.wires()]
+    return RoutingTree(
+        list(copies.values()), wires, driver=tree.driver,
+        name=tree.name if name is None else name,
+        allow_nonbinary=not tree.is_binary,
+    )
+
+
+def fresh_name(base: str, taken: Iterable[str]) -> str:
+    """A node name starting with ``base`` that does not clash with ``taken``."""
+    used = set(taken)
+    if base not in used:
+        return base
+    index = 1
+    while f"{base}_{index}" in used:
+        index += 1
+    return f"{base}_{index}"
+
+
+def split_wire(
+    wire: Wire,
+    fractions: List[float],
+    new_nodes: List[Node],
+) -> List[Wire]:
+    """Split ``wire`` at the given ascending ``fractions`` of its length.
+
+    ``fractions`` are measured from the *parent* end, each strictly inside
+    (0, 1); ``new_nodes`` supplies the (already created, unlinked) nodes at
+    the split points, ordered parent-to-child.  Electrical values and
+    coupling overrides distribute proportionally.  Returns the replacement
+    wires, parent-to-child order.
+    """
+    if len(fractions) != len(new_nodes):
+        raise ValueError(
+            f"{len(fractions)} fractions but {len(new_nodes)} nodes supplied"
+        )
+    bounds = [0.0, *fractions, 1.0]
+    for low, high in zip(bounds, bounds[1:]):
+        if not low < high:
+            raise ValueError(f"fractions must be strictly ascending in (0,1): {fractions}")
+    endpoints = [wire.parent, *new_nodes, wire.child]
+    pieces: List[Wire] = []
+    for index, (low, high) in enumerate(zip(bounds, bounds[1:])):
+        share = high - low
+        pieces.append(
+            Wire(
+                parent=endpoints[index],
+                child=endpoints[index + 1],
+                length=wire.length * share,
+                resistance=wire.resistance * share,
+                capacitance=wire.capacitance * share,
+                current=None if wire.current is None else wire.current * share,
+                coupling_ratio=wire.coupling_ratio,
+                slope=wire.slope,
+            )
+        )
+    return pieces

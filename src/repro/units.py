@@ -1,0 +1,123 @@
+"""Unit conventions and helpers.
+
+Everything inside :mod:`repro` is stored as plain SI floats:
+
+===========  ======  =================================
+Quantity     Unit    Typical magnitude in this domain
+===========  ======  =================================
+resistance   ohm     1e1 .. 1e4   (drivers, buffers)
+capacitance  farad   1e-15 .. 1e-12
+time         second  1e-12 .. 1e-8
+length       meter   1e-6 .. 1e-2
+voltage      volt    0 .. 2
+current      ampere  1e-6 .. 1e-2
+slope        V/s     ~1e9 .. 1e10 (aggressor slew slope)
+===========  ======  =================================
+
+The constants below exist so that call sites read like the paper
+(``25 * PS``, ``0.2 * FF / UM``) instead of bare exponents, and the
+``format_*`` helpers render engineering-friendly strings in reports.
+"""
+
+from __future__ import annotations
+
+# --- scale constants -------------------------------------------------------
+
+#: one femtofarad, in farads.
+FF = 1e-15
+#: one picofarad, in farads.
+PF = 1e-12
+#: one nanofarad, in farads.
+NF = 1e-9
+
+#: one picosecond, in seconds.
+PS = 1e-12
+#: one nanosecond, in seconds.
+NS = 1e-9
+#: one microsecond, in seconds.
+US = 1e-6
+
+#: one micrometer, in meters.
+UM = 1e-6
+#: one millimeter, in meters.
+MM = 1e-3
+
+#: one milliampere, in amperes.
+MA = 1e-3
+#: one microampere, in amperes.
+UA = 1e-6
+
+#: one ohm / one kiloohm, in ohms.
+OHM = 1.0
+KOHM = 1e3
+
+#: one millivolt, in volts.
+MV = 1e-3
+
+
+_PREFIXES = (
+    (1e0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+)
+
+
+def _engineering(value: float, unit: str, digits: int = 3) -> str:
+    """Render *value* with an SI prefix, e.g. ``2.37e-13 F -> '237 fF'``."""
+    if value == 0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in _PREFIXES:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}"
+    scale, prefix = _PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}"
+
+
+def format_time(seconds: float, digits: int = 3) -> str:
+    """Format a time in engineering notation (``'336 ps'``)."""
+    return _engineering(seconds, "s", digits)
+
+
+def format_capacitance(farads: float, digits: int = 3) -> str:
+    """Format a capacitance in engineering notation (``'800 fF'``)."""
+    return _engineering(farads, "F", digits)
+
+
+def format_resistance(ohms: float, digits: int = 3) -> str:
+    """Format a resistance; uses kilo-ohms above 1e3 (``'1.2 kOhm'``)."""
+    if abs(ohms) >= 1e3:
+        return f"{ohms / 1e3:.{digits}g} kOhm"
+    return f"{ohms:.{digits}g} Ohm"
+
+
+def format_voltage(volts: float, digits: int = 3) -> str:
+    """Format a voltage in engineering notation (``'800 mV'``)."""
+    return _engineering(volts, "V", digits)
+
+
+def format_current(amps: float, digits: int = 3) -> str:
+    """Format a current in engineering notation (``'4.03 mA'``)."""
+    return _engineering(amps, "A", digits)
+
+
+def format_length(meters: float, digits: int = 3) -> str:
+    """Format a length; global-net scale prefers micrometers/millimeters."""
+    if abs(meters) >= 1e-3:
+        return f"{meters / MM:.{digits}g} mm"
+    return f"{meters / UM:.{digits}g} um"
+
+
+def slope_from_slew(vdd: float, rise_time: float) -> float:
+    """Aggressor *slope* sigma = Vdd / rise-time (paper Section II-B).
+
+    With the paper's evaluation numbers (Vdd = 1.8 V, rise time = 0.25 ns)
+    this yields 7.2e9 V/s, quoted in the paper as "7.2" (V/ns).
+    """
+    if rise_time <= 0:
+        raise ValueError(f"rise_time must be positive, got {rise_time!r}")
+    return vdd / rise_time

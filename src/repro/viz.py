@@ -1,0 +1,203 @@
+"""SVG rendering of routing trees and buffer-insertion solutions.
+
+Pure-stdlib plotting for quick visual inspection: the tree's wires drawn
+in plan view (using node positions), sinks/sources/buffers as marked
+glyphs, and optional per-sink noise annotation.  Intended for debugging
+and documentation — an optimizer is much easier to trust when you can
+*see* that the buffers sit where Theorem 1 says they should.
+
+Nodes without positions (abstract example nets) are laid out
+automatically with a simple recursive tidy-tree pass, so every net is
+renderable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from .errors import AnalysisError
+from .library.buffers import BufferType
+from .noise.coupling import CouplingModel
+from .noise.devgan import sink_noise
+from .tree.topology import Node, RoutingTree
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class SvgStyle:
+    """Colors and sizes of the rendering."""
+
+    width: int = 900
+    height: int = 640
+    margin: int = 48
+    wire_color: str = "#4a5568"
+    wire_width: float = 2.0
+    source_color: str = "#2b6cb0"
+    sink_color: str = "#2f855a"
+    sink_violation_color: str = "#c53030"
+    buffer_color: str = "#b7791f"
+    font: str = "11px sans-serif"
+    background: str = "#ffffff"
+
+
+def _positions(tree: RoutingTree) -> Dict[str, Tuple[float, float]]:
+    """Real positions when available, else a tidy-tree layout."""
+    placed = {
+        node.name: node.position
+        for node in tree.nodes()
+        if node.position is not None
+    }
+    if len(placed) == len(tree):
+        return placed  # type: ignore[return-value]
+
+    # Tidy layout: leaves get consecutive x slots, parents center over
+    # children; depth becomes y.
+    positions: Dict[str, Tuple[float, float]] = {}
+    next_slot = [0.0]
+
+    def depth_of(node: Node) -> int:
+        depth = 0
+        while node.parent_wire is not None:
+            node = node.parent_wire.parent
+            depth += 1
+        return depth
+
+    def place(node: Node) -> float:
+        if not node.children:
+            x = next_slot[0]
+            next_slot[0] += 1.0
+        else:
+            xs = [place(child) for child in node.children]
+            x = sum(xs) / len(xs)
+        positions[node.name] = (x, float(depth_of(node)))
+        return x
+
+    place(tree.source)
+    return positions
+
+
+def _scale(
+    positions: Mapping[str, Tuple[float, float]], style: SvgStyle
+) -> Dict[str, Tuple[float, float]]:
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+    inner_w = style.width - 2 * style.margin
+    inner_h = style.height - 2 * style.margin
+    return {
+        name: (
+            style.margin + (x - min_x) / span_x * inner_w,
+            style.margin + (y - min_y) / span_y * inner_h,
+        )
+        for name, (x, y) in positions.items()
+    }
+
+
+def render_svg(
+    tree: RoutingTree,
+    buffers: Optional[Mapping[str, BufferType]] = None,
+    coupling: Optional[CouplingModel] = None,
+    style: Optional[SvgStyle] = None,
+) -> str:
+    """Render ``tree`` (optionally buffered) as an SVG string.
+
+    With ``coupling`` given, sinks are annotated with their Devgan noise
+    and colored red when violating.
+    """
+    style = style or SvgStyle()
+    buffers = buffers or {}
+    for name in buffers:
+        if name not in tree:
+            raise AnalysisError(f"buffer map references unknown node {name!r}")
+
+    noise: Dict[str, Tuple[float, bool]] = {}
+    if coupling is not None:
+        for entry in sink_noise(tree, coupling, buffers):
+            noise[entry.node] = (entry.noise, entry.violated)
+
+    points = _scale(_positions(tree), style)
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{style.width}" '
+        f'height="{style.height}" viewBox="0 0 {style.width} {style.height}">',
+        f'<rect width="100%" height="100%" fill="{style.background}"/>',
+        f"<title>{tree.name}</title>",
+    ]
+
+    for wire in tree.wires():
+        (x1, y1) = points[wire.parent.name]
+        (x2, y2) = points[wire.child.name]
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{style.wire_color}" stroke-width="{style.wire_width}"/>'
+        )
+
+    for node in tree.nodes():
+        x, y = points[node.name]
+        if node.is_source:
+            parts.append(
+                f'<rect x="{x - 6:.1f}" y="{y - 6:.1f}" width="12" height="12" '
+                f'fill="{style.source_color}"><title>source {node.name}'
+                "</title></rect>"
+            )
+            parts.append(_label(x + 9, y - 8, node.name, style))
+        elif node.is_sink:
+            hit = noise.get(node.name)
+            color = (
+                style.sink_violation_color
+                if hit is not None and hit[1]
+                else style.sink_color
+            )
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="6" fill="{color}">'
+                f"<title>sink {node.name}</title></circle>"
+            )
+            text = node.name
+            if hit is not None:
+                text += f" ({hit[0] * 1e3:.0f} mV)"
+            parts.append(_label(x + 9, y + 4, text, style))
+        elif node.name in buffers:
+            buffer = buffers[node.name]
+            shape = "polygon" if not buffer.inverting else "polygon"
+            parts.append(
+                f'<polygon points="{x - 7:.1f},{y - 6:.1f} {x - 7:.1f},'
+                f'{y + 6:.1f} {x + 7:.1f},{y:.1f}" '
+                f'fill="{style.buffer_color}">'
+                f"<title>{buffer.name} at {node.name}</title></polygon>"
+            )
+            if buffer.inverting:
+                parts.append(
+                    f'<circle cx="{x + 9:.1f}" cy="{y:.1f}" r="2.5" '
+                    f'fill="{style.buffer_color}"/>'
+                )
+            parts.append(_label(x + 12, y - 6, buffer.name, style))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    tree: RoutingTree,
+    path: PathLike,
+    buffers: Optional[Mapping[str, BufferType]] = None,
+    coupling: Optional[CouplingModel] = None,
+    style: Optional[SvgStyle] = None,
+) -> None:
+    """Render and write the SVG to ``path``."""
+    pathlib.Path(path).write_text(
+        render_svg(tree, buffers, coupling, style) + "\n"
+    )
+
+
+def _label(x: float, y: float, text: str, style: SvgStyle) -> str:
+    safe = (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+    return (
+        f'<text x="{x:.1f}" y="{y:.1f}" style="font:{style.font}" '
+        f'fill="#1a202c">{safe}</text>'
+    )

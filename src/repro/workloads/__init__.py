@@ -1,0 +1,29 @@
+"""Synthetic workload generation (the paper's 500-net population)."""
+
+from .distributions import (
+    DEFAULT_SINK_BUCKETS,
+    SinkDistribution,
+    SpanDistribution,
+    default_sink_distribution,
+    realized_histogram,
+)
+from .generator import (
+    GeneratedNet,
+    WorkloadConfig,
+    generate_population,
+    population_sink_histogram,
+    total_capacitance_rank,
+)
+
+__all__ = [
+    "DEFAULT_SINK_BUCKETS",
+    "GeneratedNet",
+    "SinkDistribution",
+    "SpanDistribution",
+    "WorkloadConfig",
+    "default_sink_distribution",
+    "generate_population",
+    "population_sink_histogram",
+    "realized_histogram",
+    "total_capacitance_rank",
+]

@@ -1,0 +1,137 @@
+"""Population distributions for the synthetic microprocessor workload.
+
+The paper's Table I gives the sink-count distribution of its 500 test
+nets (the 500 largest-total-capacitance nets of a PowerPC design).  The
+exact counts are not recoverable from the available text, so
+:func:`default_sink_distribution` encodes a distribution with the shape
+such global-net populations have — dominated by one- and two-sink nets
+with a heavy-ish tail to a few dozen sinks — normalized to 500 nets.
+Experiments print the realized histogram as our Table I.
+
+Net *span* (the geometric extent that determines wirelength, hence noise)
+follows a log-uniform distribution between ``span_min`` and ``span_max``;
+the defaults are calibrated so the BuffOpt buffers-per-net histogram lands
+in the paper's 0–4 range with the bulk at 1–2 (Section V-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..units import MM
+
+
+#: Table-I-shaped sink-count histogram (sums to 500).
+DEFAULT_SINK_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (1, 284),
+    (2, 96),
+    (3, 44),
+    (4, 26),
+    (5, 18),
+    (6, 10),
+    (8, 8),
+    (10, 6),
+    (12, 4),
+    (16, 2),
+    (20, 1),
+    (32, 1),
+)
+
+
+@dataclass(frozen=True)
+class SinkDistribution:
+    """A histogram of sink counts: ``(sinks, number of nets)`` pairs."""
+
+    buckets: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.buckets:
+            raise WorkloadError("sink distribution needs at least one bucket")
+        for sinks, nets in self.buckets:
+            if sinks < 1:
+                raise WorkloadError(f"sink count must be >= 1, got {sinks}")
+            if nets < 0:
+                raise WorkloadError(f"net count must be >= 0, got {nets}")
+
+    @property
+    def total_nets(self) -> int:
+        return sum(nets for _, nets in self.buckets)
+
+    def expand(self) -> List[int]:
+        """One sink count per net, in bucket order (deterministic)."""
+        out: List[int] = []
+        for sinks, nets in self.buckets:
+            out.extend([sinks] * nets)
+        return out
+
+    def histogram(self) -> Dict[int, int]:
+        return {sinks: nets for sinks, nets in self.buckets if nets > 0}
+
+    def scaled(self, total: int) -> "SinkDistribution":
+        """Rescale the distribution to exactly ``total`` nets.
+
+        Largest-remainder apportionment: proportions are kept as closely
+        as integer counts allow; when ``total`` is smaller than the number
+        of buckets, the least-populated buckets drop out (tiny test
+        populations cannot carry the full Table-I tail).
+        """
+        if total < 1:
+            raise WorkloadError(f"total must be >= 1, got {total}")
+        base = self.total_nets
+        live = [(sinks, nets) for sinks, nets in self.buckets if nets > 0]
+        quotas = [(sinks, nets * total / base) for sinks, nets in live]
+        floors = [(sinks, int(q)) for sinks, q in quotas]
+        remainder = total - sum(nets for _, nets in floors)
+        # Give the leftover nets to the largest fractional parts.
+        by_fraction = sorted(
+            range(len(quotas)),
+            key=lambda i: (quotas[i][1] - floors[i][1], quotas[i][1]),
+            reverse=True,
+        )
+        counts = dict(floors)
+        for index in by_fraction[:remainder]:
+            sinks = floors[index][0]
+            counts[sinks] += 1
+        scaled = tuple(
+            (sinks, counts[sinks]) for sinks, _ in live if counts[sinks] > 0
+        )
+        if not scaled:
+            raise WorkloadError(f"cannot scale distribution to {total} nets")
+        return SinkDistribution(scaled)
+
+
+def default_sink_distribution() -> SinkDistribution:
+    """The reproduction's Table-I population (500 nets)."""
+    return SinkDistribution(DEFAULT_SINK_BUCKETS)
+
+
+@dataclass(frozen=True)
+class SpanDistribution:
+    """Log-uniform net spans (meters) — the length knob of the workload."""
+
+    span_min: float = 1.4 * MM
+    span_max: float = 14.0 * MM
+
+    def __post_init__(self) -> None:
+        if not 0 < self.span_min <= self.span_max:
+            raise WorkloadError(
+                f"need 0 < span_min <= span_max, got "
+                f"({self.span_min}, {self.span_max})"
+            )
+
+    def sample(self, rng: np.random.Generator) -> float:
+        low, high = math.log(self.span_min), math.log(self.span_max)
+        return math.exp(rng.uniform(low, high))
+
+
+def realized_histogram(sink_counts: Sequence[int]) -> Dict[int, int]:
+    """Histogram of realized sink counts (the printed Table I)."""
+    out: Dict[int, int] = {}
+    for count in sink_counts:
+        out[count] = out.get(count, 0) + 1
+    return dict(sorted(out.items()))

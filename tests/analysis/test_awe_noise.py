@@ -1,0 +1,143 @@
+"""Tests for the AWE (moment-matching) noise analyzer and its core."""
+
+import math
+
+import pytest
+
+from repro import AnalysisError, CouplingModel, SimulationError, two_pin_net
+from repro.analysis import DetailedNoiseAnalyzer
+from repro.analysis.awe_noise import AweNoiseAnalyzer
+from repro.circuit import Circuit, PiecewiseLinear, assemble, simulate
+from repro.circuit.awe import fit_pade, ramp_response_peak, transfer_moments
+from repro.units import FF, MM
+
+
+class TestTransferMoments:
+    def single_rc(self, r=500.0, cc=40e-15, cg=20e-15):
+        circuit = Circuit()
+        circuit.add_voltage_source("aggr", "0", PiecewiseLinear.constant(1.0))
+        circuit.add_resistor("victim", "0", r)
+        circuit.add_capacitor("victim", "aggr", cc)
+        circuit.add_capacitor("victim", "0", cg)
+        return assemble(circuit), r, cc, cg
+
+    def test_analytic_single_rc(self):
+        """H(s) = s R Cc / (1 + s R (Cc+Cg)): m0 = 0, m1 = R Cc,
+        m2 = -R^2 (Cc+Cg) Cc."""
+        system, r, cc, cg = self.single_rc()
+        m = transfer_moments(system, 0, "victim", order=3)
+        assert math.isclose(m[0], 0.0, abs_tol=1e-18)
+        assert math.isclose(m[1], r * cc, rel_tol=1e-9)
+        assert math.isclose(m[2], -r * r * (cc + cg) * cc, rel_tol=1e-9)
+
+    def test_bad_source_index(self):
+        system, *_ = self.single_rc()
+        with pytest.raises(SimulationError):
+            transfer_moments(system, 5, "victim")
+
+    def test_bad_order(self):
+        system, *_ = self.single_rc()
+        with pytest.raises(SimulationError):
+            transfer_moments(system, 0, "victim", order=0)
+
+
+class TestFitPade:
+    def test_single_pole_system_exact(self):
+        """A true single-pole transfer collapses the fit to that pole."""
+        r, cc, cg = 500.0, 40e-15, 20e-15
+        tau = r * (cc + cg)
+        p = -1.0 / tau
+        gain = cc / (cc + cg)
+        # moments of H = gain * s / (s - p):  m_k = -gain * p^{-(k-1)} ...
+        moments = [0.0] + [gain * (-1.0) * p ** (-(k)) * (-1) ** (k + 1)
+                           for k in range(1, 5)]
+        # simpler: m_k = -r_res / p^k with r_res = -m1*p => generate directly
+        m1 = r * cc
+        moments = [0.0, m1, m1 / p, m1 / p ** 2, m1 / p ** 3]
+        approximant = fit_pade(moments)
+        assert len(approximant.poles) == 1
+        assert math.isclose(approximant.poles[0], p, rel_tol=1e-9)
+        # step response at 0+ equals the capacitive divider gain
+        assert math.isclose(approximant.step_response(0.0), gain, rel_tol=1e-9)
+        # and decays to the DC gain (0)
+        assert abs(approximant.step_response(20 * tau)) < 1e-6
+
+    def test_requires_five_moments(self):
+        with pytest.raises(SimulationError):
+            fit_pade([0.0, 1.0, 2.0])
+
+    def test_degenerate_all_zero(self):
+        approximant = fit_pade([0.0, 0.0, 0.0, 0.0, 0.0])
+        assert approximant.poles == ()
+        assert approximant.step_response(1.0) == 0.0
+
+    def test_ramp_peak_of_single_rc_matches_transient(self):
+        """Closed-form ramp response vs backward-Euler on the same RC."""
+        r, cc, cg = 500.0, 40e-15, 20e-15
+        slope, vdd = 7.2e9, 1.8
+        rise = vdd / slope
+        circuit = Circuit()
+        circuit.add_voltage_source(
+            "aggr", "0", PiecewiseLinear.ramp(vdd, rise)
+        )
+        circuit.add_resistor("victim", "0", r)
+        circuit.add_capacitor("victim", "aggr", cc)
+        circuit.add_capacitor("victim", "0", cg)
+        system = assemble(circuit)
+        moments = transfer_moments(system, 0, "victim", order=4)
+        approximant = fit_pade(moments)
+        awe_peak = ramp_response_peak(approximant, slope, rise)
+        result = simulate(circuit, stop=rise * 10, step=rise / 400,
+                          probes=["victim"])
+        assert math.isclose(awe_peak, result["victim"].peak, rel_tol=2e-2)
+
+
+class TestAweAnalyzer:
+    @pytest.mark.parametrize("mm", [1, 3, 6, 9])
+    def test_matches_transient_within_tolerance(self, tech, mm):
+        from repro import DriverCell
+
+        net = two_pin_net(
+            tech, mm * MM, DriverCell("d", 250.0), 20 * FF, 0.8, name="a"
+        )
+        detailed = DetailedNoiseAnalyzer.estimation_mode(tech).analyze(net)
+        awe = AweNoiseAnalyzer.estimation_mode(tech).analyze(net)
+        assert math.isclose(
+            awe.peak_noise, detailed.peak_noise, rel_tol=0.05
+        ), mm
+
+    def test_agrees_on_violation_verdicts(self, tech, long_two_pin,
+                                          short_two_pin):
+        detailed = DetailedNoiseAnalyzer.estimation_mode(tech)
+        awe = AweNoiseAnalyzer.estimation_mode(tech)
+        for net in (long_two_pin, short_two_pin):
+            assert awe.analyze(net).violated == detailed.analyze(net).violated
+
+    def test_buffered_net_clean(self, tech, coupling, library, long_two_pin):
+        from repro import insert_buffers_single_sink
+
+        solution = insert_buffers_single_sink(long_two_pin, library, coupling)
+        buffered, discrete = solution.realize()
+        report = AweNoiseAnalyzer.estimation_mode(tech).analyze(
+            buffered, discrete.buffer_map()
+        )
+        assert not report.violated
+
+    def test_multisink(self, tech, y_tree):
+        report = AweNoiseAnalyzer.estimation_mode(tech).analyze(y_tree)
+        assert {e.node for e in report.entries} == {"s1", "s2"}
+        detailed = DetailedNoiseAnalyzer.estimation_mode(tech).analyze(y_tree)
+        by_node = {e.node: e.peak for e in detailed.entries}
+        for entry in report.entries:
+            assert math.isclose(entry.peak, by_node[entry.node], rel_tol=0.08)
+
+    def test_describe(self, tech, long_two_pin):
+        text = AweNoiseAnalyzer.estimation_mode(tech).analyze(
+            long_two_pin
+        ).describe()
+        assert "AWE" in text
+        assert "VIOLATION" in text
+
+    def test_order_validation(self, tech, coupling):
+        with pytest.raises(AnalysisError):
+            AweNoiseAnalyzer(coupling, tech.vdd, order=2)

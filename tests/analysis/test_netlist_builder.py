@@ -1,0 +1,135 @@
+"""Tests for repro.analysis.netlist_builder — stage -> coupled circuit."""
+
+import math
+
+import pytest
+
+from repro import AnalysisError, BufferType, decompose_stages, two_pin_net
+from repro.analysis import build_stage_circuit
+from repro.units import FF, MM, PS, UM
+
+
+def source_stage(tree, buffers=None):
+    return decompose_stages(tree, buffers)[0]
+
+
+class TestBuildStageCircuit:
+    def test_capacitance_split_matches_coupling_ratio(
+        self, tech, driver, coupling
+    ):
+        net = two_pin_net(tech, 2 * MM, driver, 10 * FF, 0.8)
+        built = build_stage_circuit(
+            source_stage(net), coupling, tech.vdd, 100 * UM
+        )
+        couple = sum(
+            c.capacitance for c in built.circuit.capacitors
+            if not c.node_b.startswith("0") and "aggr" in c.node_b
+        )
+        ground = sum(
+            c.capacitance for c in built.circuit.capacitors
+            if c.node_b == "0"
+        )
+        wire_cap = tech.wire_capacitance(2 * MM)
+        assert math.isclose(couple, 0.7 * wire_cap, rel_tol=1e-9)
+        # ground caps = 0.3 * wire + sink pin
+        assert math.isclose(ground, 0.3 * wire_cap + 10 * FF, rel_tol=1e-9)
+
+    def test_total_resistance_preserved(self, tech, driver, coupling):
+        net = two_pin_net(tech, 2 * MM, driver, 10 * FF, 0.8)
+        built = build_stage_circuit(
+            source_stage(net), coupling, tech.vdd, 100 * UM
+        )
+        series = sum(
+            r.resistance for r in built.circuit.resistors if r.name != "Rdrv"
+        )
+        assert math.isclose(series, tech.wire_resistance(2 * MM), rel_tol=1e-9)
+
+    def test_driver_resistor_to_ground(self, tech, driver, coupling):
+        net = two_pin_net(tech, 1 * MM, driver, 10 * FF, 0.8)
+        built = build_stage_circuit(
+            source_stage(net), coupling, tech.vdd, 100 * UM
+        )
+        rdrv = [r for r in built.circuit.resistors if r.name == "Rdrv"]
+        assert len(rdrv) == 1
+        assert rdrv[0].resistance == driver.resistance
+        assert rdrv[0].node_b == "0"
+
+    def test_segmentation_granularity(self, tech, driver, coupling):
+        net = two_pin_net(tech, 1 * MM, driver, 10 * FF, 0.8)
+        coarse = build_stage_circuit(
+            source_stage(net), coupling, tech.vdd, 500 * UM
+        )
+        fine = build_stage_circuit(
+            source_stage(net), coupling, tech.vdd, 50 * UM
+        )
+        assert fine.circuit.element_count() > coarse.circuit.element_count()
+
+    def test_probe_per_stage_sink(self, tech, driver, coupling):
+        buf = BufferType("b", 100.0, 8 * FF, 20 * PS, 0.8)
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8, segments=2)
+        stages = decompose_stages(net, {"n1": buf})
+        built = build_stage_circuit(stages[0], coupling, tech.vdd, 100 * UM)
+        assert set(built.probes) == {"n1"}
+        built2 = build_stage_circuit(stages[1], coupling, tech.vdd, 100 * UM)
+        assert set(built2.probes) == {"si"}
+
+    def test_buffer_input_load_included(self, tech, driver, coupling):
+        buf = BufferType("b", 100.0, 8 * FF, 20 * PS, 0.8)
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8, segments=2)
+        stages = decompose_stages(net, {"n1": buf})
+        built = build_stage_circuit(stages[0], coupling, tech.vdd, 100 * UM)
+        pin_caps = [
+            c for c in built.circuit.capacitors
+            if c.node_a == "n_n1" and c.node_b == "0"
+            and math.isclose(c.capacitance, 8 * FF)
+        ]
+        assert pin_caps
+
+    def test_per_wire_slope_gets_own_rail(self, tech, driver, coupling):
+        from repro import TreeBuilder
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("m")
+        builder.add_sink("s", capacitance=5 * FF, noise_margin=0.8)
+        builder.add_wire("so", "m", length=1 * MM)  # default slope
+        builder.add_wire("m", "s", length=1 * MM, slope=coupling.slope * 2)
+        built = build_stage_circuit(
+            source_stage(builder.build()), coupling, tech.vdd, 500 * UM
+        )
+        assert len(built.circuit.voltage_sources) == 2
+
+    def test_explicit_current_converts_to_coupling(self, tech, driver, coupling):
+        from repro import TreeBuilder
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_sink("s", capacitance=5 * FF, noise_margin=0.8)
+        wire = builder.add_wire("so", "s", length=1 * MM)
+        wire.current = coupling.wire_current(wire) / 2  # half the default
+        built = build_stage_circuit(
+            source_stage(builder.build()), coupling, tech.vdd, 500 * UM
+        )
+        couple = sum(
+            c.capacitance for c in built.circuit.capacitors
+            if "aggr" in c.node_b
+        )
+        assert math.isclose(couple, 0.35 * wire.capacitance, rel_tol=1e-9)
+
+    def test_uncoupled_stage_gets_idle_rail(self, tech, driver):
+        from repro.noise import CouplingModel
+
+        net = two_pin_net(tech, 1 * MM, driver, 10 * FF, 0.8)
+        built = build_stage_circuit(
+            source_stage(net), CouplingModel.silent(), tech.vdd, 100 * UM
+        )
+        names = [v.name for v in built.circuit.voltage_sources]
+        assert names == ["Vaggr_idle"]
+
+    def test_rejects_bad_parameters(self, tech, driver, coupling):
+        net = two_pin_net(tech, 1 * MM, driver, 10 * FF, 0.8)
+        stage = source_stage(net)
+        with pytest.raises(AnalysisError):
+            build_stage_circuit(stage, coupling, 0.0, 100 * UM)
+        with pytest.raises(AnalysisError):
+            build_stage_circuit(stage, coupling, tech.vdd, 0.0)

@@ -1,0 +1,62 @@
+"""Tests for repro.analysis.report — combined assessments and summaries."""
+
+import pytest
+
+from repro.analysis import (
+    DetailedNoiseAnalyzer,
+    assess_net,
+    format_table,
+    summarize_population,
+)
+
+
+@pytest.fixture
+def analyzer(tech):
+    return DetailedNoiseAnalyzer.estimation_mode(tech)
+
+
+class TestAssessNet:
+    def test_violating_net(self, long_two_pin, coupling, analyzer):
+        assessment = assess_net(long_two_pin, coupling, analyzer)
+        assert assessment.metric_violated
+        assert assessment.detailed_violated
+        assert assessment.metric_is_upper_bound
+
+    def test_clean_net(self, short_two_pin, coupling, analyzer):
+        assessment = assess_net(short_two_pin, coupling, analyzer)
+        assert not assessment.metric_violated
+        assert not assessment.detailed_violated
+        assert assessment.metric_is_upper_bound
+
+    def test_buffered_assessment(self, long_two_pin, coupling, analyzer, library):
+        from repro import insert_buffers_single_sink
+
+        solution = insert_buffers_single_sink(long_two_pin, library, coupling)
+        buffered, discrete = solution.realize()
+        assessment = assess_net(
+            buffered, coupling, analyzer, discrete.buffer_map()
+        )
+        assert not assessment.metric_violated
+        assert not assessment.detailed_violated
+
+
+class TestPopulationSummary:
+    def test_counts(self, long_two_pin, short_two_pin, coupling, analyzer):
+        assessments = [
+            assess_net(long_two_pin, coupling, analyzer),
+            assess_net(short_two_pin, coupling, analyzer),
+        ]
+        summary = summarize_population("before", assessments)
+        assert summary.nets == 2
+        assert summary.metric_violations == 1
+        assert summary.detailed_violations == 1
+
+    def test_format_table(self, long_two_pin, coupling, analyzer):
+        summary = summarize_population(
+            "before", [assess_net(long_two_pin, coupling, analyzer)]
+        )
+        text = format_table([summary])
+        assert "before" in text
+        assert "metric violations" in text
+        lines = text.splitlines()
+        assert len(lines) == 3

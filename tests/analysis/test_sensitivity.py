@@ -1,0 +1,82 @@
+"""Tests for repro.analysis.sensitivity."""
+
+import math
+
+import pytest
+
+from repro import AnalysisError, CouplingModel, analyze_noise
+from repro.analysis import coupling_sensitivity
+from repro.units import MM
+
+
+class TestLinearityExactness:
+    def test_critical_ratio_is_exact_boundary(self, long_two_pin, tech):
+        """Re-analyzing at the reported critical ratio lands the worst
+        sink exactly on its margin."""
+        coupling = CouplingModel.estimation_mode(tech)
+        report = coupling_sensitivity(long_two_pin, coupling)
+        critical = report.critical_ratio
+        assert 0 < critical < coupling.coupling_ratio  # net violates at 0.7
+        at_boundary = CouplingModel(
+            coupling_ratio=critical, slope=coupling.slope
+        )
+        noise = analyze_noise(long_two_pin, at_boundary)
+        assert math.isclose(noise.peak_noise, 0.8, rel_tol=1e-9)
+
+    def test_critical_slope_is_exact_boundary(self, long_two_pin, tech):
+        coupling = CouplingModel.estimation_mode(tech)
+        report = coupling_sensitivity(long_two_pin, coupling)
+        at_boundary = CouplingModel(
+            coupling_ratio=coupling.coupling_ratio,
+            slope=report.critical_slope,
+        )
+        noise = analyze_noise(long_two_pin, at_boundary)
+        assert math.isclose(noise.peak_noise, 0.8, rel_tol=1e-9)
+
+    def test_safety_factor_consistency(self, short_two_pin, tech):
+        coupling = CouplingModel.estimation_mode(tech)
+        report = coupling_sensitivity(short_two_pin, coupling)
+        assert report.worst_safety_factor > 1.0  # clean net
+        entry = report.entries[0]
+        assert math.isclose(
+            entry.critical_ratio,
+            coupling.coupling_ratio * entry.safety_factor,
+            rel_tol=1e-12,
+        )
+
+
+class TestBufferedSensitivity:
+    def test_buffering_raises_critical_ratio(self, long_two_pin, tech, library):
+        from repro import insert_buffers_single_sink
+
+        coupling = CouplingModel.estimation_mode(tech)
+        before = coupling_sensitivity(long_two_pin, coupling)
+        solution = insert_buffers_single_sink(long_two_pin, library, coupling)
+        buffered, discrete = solution.realize()
+        after = coupling_sensitivity(
+            buffered, coupling, discrete.buffer_map()
+        )
+        assert after.critical_ratio > before.critical_ratio
+        # the fix is exact-maximal: the critical ratio is ~the assumed one
+        assert after.critical_ratio >= coupling.coupling_ratio * (1 - 1e-9)
+
+
+class TestValidation:
+    def test_rejects_overridden_wires(self, tech, driver):
+        from repro import two_pin_net
+
+        coupling = CouplingModel.estimation_mode(tech)
+        net = two_pin_net(tech, 2 * MM, driver, 1e-14, 0.8)
+        next(net.wires()).current = 1e-3
+        with pytest.raises(AnalysisError):
+            coupling_sensitivity(net, coupling)
+
+    def test_rejects_silent_model(self, long_two_pin):
+        with pytest.raises(AnalysisError):
+            coupling_sensitivity(long_two_pin, CouplingModel.silent())
+
+    def test_describe(self, long_two_pin, tech):
+        coupling = CouplingModel.estimation_mode(tech)
+        text = coupling_sensitivity(long_two_pin, coupling).describe()
+        assert "critical ratio" in text
+        assert "long_two_pin" in text

@@ -1,0 +1,138 @@
+"""Tests for the detailed transient noise verifier (3dnoise role)."""
+
+import math
+
+import pytest
+
+from repro import AnalysisError, analyze_noise, insert_buffers_single_sink, two_pin_net
+from repro.analysis import DetailedNoiseAnalyzer
+from repro.units import FF, MM, UM
+
+
+@pytest.fixture
+def analyzer(tech):
+    return DetailedNoiseAnalyzer.estimation_mode(tech)
+
+
+class TestUpperBoundProperty:
+    def test_metric_bounds_detailed_unbuffered(
+        self, analyzer, coupling, long_two_pin, short_two_pin, y_tree
+    ):
+        """Devgan is a provable upper bound: every simulated peak must sit
+        at or below the metric value for the same stage sink."""
+        for tree in (long_two_pin, short_two_pin, y_tree):
+            metric = {e.node: e.noise for e in
+                      analyze_noise(tree, coupling).entries}
+            detailed = analyzer.analyze(tree)
+            for entry in detailed.entries:
+                assert entry.peak <= metric[entry.node] * (1 + 1e-6), tree.name
+
+    def test_metric_bounds_detailed_buffered(
+        self, analyzer, coupling, library, long_two_pin
+    ):
+        solution = insert_buffers_single_sink(long_two_pin, library, coupling)
+        buffered, discrete = solution.realize()
+        metric = {
+            e.node: e.noise
+            for e in analyze_noise(
+                buffered, coupling, discrete.buffer_map()
+            ).entries
+        }
+        detailed = analyzer.analyze(buffered, discrete.buffer_map())
+        for entry in detailed.entries:
+            assert entry.peak <= metric[entry.node] * (1 + 1e-6)
+
+    def test_detailed_positive_when_coupled(self, analyzer, long_two_pin):
+        report = analyzer.analyze(long_two_pin)
+        assert report.peak_noise > 0.1  # strongly coupled long net
+
+
+class TestViolationDetection:
+    def test_long_net_violates_detailed_too(self, analyzer, long_two_pin):
+        assert analyzer.analyze(long_two_pin).violated
+
+    def test_short_net_clean(self, analyzer, short_two_pin):
+        assert not analyzer.analyze(short_two_pin).violated
+
+    def test_buffered_long_net_clean(
+        self, analyzer, coupling, library, long_two_pin
+    ):
+        solution = insert_buffers_single_sink(long_two_pin, library, coupling)
+        buffered, discrete = solution.realize()
+        assert not analyzer.analyze(buffered, discrete.buffer_map()).violated
+
+    def test_borderline_nets_split_metric_vs_detailed(
+        self, analyzer, tech, driver, coupling
+    ):
+        """Table-II structure: there exist nets the metric flags but the
+        detailed analysis clears (the conservative band)."""
+        found_split = False
+        for mm in (2.4, 2.8, 3.2, 3.6):
+            net = two_pin_net(tech, mm * MM, driver, 15 * FF, 0.8,
+                              name=f"edge{mm}")
+            metric_hit = analyze_noise(net, coupling).violated
+            detailed_hit = analyzer.analyze(net).violated
+            assert not (detailed_hit and not metric_hit)  # bound direction
+            if metric_hit and not detailed_hit:
+                found_split = True
+        assert found_split
+
+
+class TestReportShape:
+    def test_report_fields(self, analyzer, y_tree):
+        report = analyzer.analyze(y_tree)
+        assert report.net == "y_tree"
+        assert {e.node for e in report.entries} == {"s1", "s2"}
+        for entry in report.entries:
+            assert math.isclose(entry.slack, entry.margin - entry.peak)
+        assert report.worst_slack == min(e.slack for e in report.entries)
+
+    def test_describe(self, analyzer, long_two_pin):
+        text = analyzer.analyze(long_two_pin).describe()
+        assert "VIOLATION" in text
+
+    def test_buffer_inputs_reported(self, analyzer, coupling, library, long_two_pin):
+        solution = insert_buffers_single_sink(long_two_pin, library, coupling)
+        buffered, discrete = solution.realize()
+        report = analyzer.analyze(buffered, discrete.buffer_map())
+        assert any(e.is_buffer_input for e in report.entries)
+
+
+class TestWaveformRetention:
+    def test_waveforms_off_by_default(self, analyzer, y_tree):
+        report = analyzer.analyze(y_tree)
+        assert all(e.waveform is None for e in report.entries)
+
+    def test_keep_waveforms(self, analyzer, y_tree):
+        report = analyzer.analyze(y_tree, keep_waveforms=True)
+        for entry in report.entries:
+            assert entry.waveform is not None
+            assert math.isclose(entry.waveform.peak, entry.peak)
+
+    def test_pulse_width_reported(self, analyzer, long_two_pin):
+        report = analyzer.analyze(long_two_pin)
+        violating = [e for e in report.entries if e.violated]
+        assert violating
+        # a violating pulse spends real time above half the margin
+        assert all(e.width_at_half_margin > 0 for e in violating)
+
+
+class TestConfiguration:
+    def test_resolution_parameters_validated(self, coupling, tech):
+        with pytest.raises(AnalysisError):
+            DetailedNoiseAnalyzer(coupling, tech.vdd, steps_per_rise=1)
+        with pytest.raises(AnalysisError):
+            DetailedNoiseAnalyzer(coupling, tech.vdd, settle_constants=0.0)
+
+    def test_finer_discretization_converges(self, tech, coupling, long_two_pin):
+        coarse = DetailedNoiseAnalyzer(
+            coupling, tech.vdd, max_segment_length=400 * UM, steps_per_rise=10
+        ).analyze(long_two_pin).peak_noise
+        fine = DetailedNoiseAnalyzer(
+            coupling, tech.vdd, max_segment_length=50 * UM, steps_per_rise=80
+        ).analyze(long_two_pin).peak_noise
+        finer = DetailedNoiseAnalyzer(
+            coupling, tech.vdd, max_segment_length=25 * UM, steps_per_rise=160
+        ).analyze(long_two_pin).peak_noise
+        assert abs(finer - fine) < abs(finer - coarse) + 1e-12
+        assert abs(finer - fine) / finer < 0.05

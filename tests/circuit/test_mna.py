@@ -1,0 +1,106 @@
+"""Tests for repro.circuit.mna — stamp correctness on analytic circuits."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.sparse.linalg import spsolve
+
+from repro import SimulationError
+from repro.circuit import Circuit, PiecewiseLinear, assemble
+
+
+def solve_dc(circuit, t=1e3):
+    system = assemble(circuit)
+    rhs = system.source_map @ system.input_vector(t)
+    solution = spsolve(system.conductance.tocsc(), rhs)
+    return system, np.atleast_1d(solution)
+
+
+class TestResistiveNetworks:
+    def test_voltage_divider(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "0", PiecewiseLinear.constant(2.0))
+        circuit.add_resistor("in", "mid", 1000.0)
+        circuit.add_resistor("mid", "0", 3000.0)
+        system, x = solve_dc(circuit)
+        assert math.isclose(x[system.index_of("mid")], 1.5)
+
+    def test_current_source_into_resistor(self):
+        circuit = Circuit()
+        circuit.add_current_source("a", "0", PiecewiseLinear.constant(2e-3))
+        circuit.add_resistor("a", "0", 500.0)
+        system, x = solve_dc(circuit)
+        assert math.isclose(x[system.index_of("a")], 1.0)
+
+    def test_branch_current_of_voltage_source(self):
+        """MNA extra row: the source's branch current is solved too."""
+        circuit = Circuit()
+        vs = circuit.add_voltage_source("in", "0", PiecewiseLinear.constant(1.0))
+        circuit.add_resistor("in", "0", 100.0)
+        system, x = solve_dc(circuit)
+        branch = x[system.branch_index[vs.name]]
+        assert math.isclose(abs(branch), 1.0 / 100.0)
+
+    def test_wheatstone_like_mesh(self):
+        """3-node mesh with two sources; checked against hand nodal math."""
+        circuit = Circuit()
+        circuit.add_voltage_source("s", "0", PiecewiseLinear.constant(10.0))
+        circuit.add_resistor("s", "a", 1000.0)
+        circuit.add_resistor("a", "b", 2000.0)
+        circuit.add_resistor("a", "0", 2000.0)
+        circuit.add_resistor("b", "0", 1000.0)
+        system, x = solve_dc(circuit)
+        va = x[system.index_of("a")]
+        vb = x[system.index_of("b")]
+        # node a: (va-10)/1k + va/2k + (va-vb)/2k = 0
+        # node b: (vb-va)/2k + vb/1k = 0  => vb = va/3
+        assert math.isclose(vb, va / 3.0, rel_tol=1e-9)
+        assert math.isclose(va, 10.0 * (6.0 / 11.0), rel_tol=1e-9)
+
+
+class TestStampStructure:
+    def test_dimension_counts_nodes_plus_branches(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("a", "0", PiecewiseLinear.constant(1.0))
+        circuit.add_resistor("a", "b", 1.0)
+        circuit.add_resistor("b", "0", 1.0)
+        system = assemble(circuit)
+        assert system.dimension == 2 + 1
+
+    def test_conductance_row_sums_zero_without_ground(self):
+        """Conservation: rows of G for internal nodes not touching ground
+        or sources sum to zero (KCL stamp symmetry)."""
+        circuit = Circuit()
+        circuit.add_voltage_source("a", "0", PiecewiseLinear.constant(1.0))
+        circuit.add_resistor("a", "m", 10.0)
+        circuit.add_resistor("m", "b", 20.0)
+        circuit.add_resistor("b", "0", 30.0)
+        system = assemble(circuit)
+        dense = system.conductance.toarray()
+        m = system.index_of("m")
+        node_cols = len(system.node_index)
+        assert math.isclose(dense[m, :node_cols].sum(), 0.0, abs_tol=1e-15)
+
+    def test_capacitance_matrix_symmetric(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("a", "0", PiecewiseLinear.constant(1.0))
+        circuit.add_resistor("a", "b", 1.0)
+        circuit.add_capacitor("a", "b", 2e-15)
+        circuit.add_capacitor("b", "0", 3e-15)
+        system = assemble(circuit)
+        dense = system.capacitance.toarray()
+        assert np.allclose(dense, dense.T)
+
+    def test_ground_has_no_row(self):
+        circuit = Circuit()
+        circuit.add_resistor("a", "0", 1.0)
+        system = assemble(circuit)
+        with pytest.raises(SimulationError):
+            system.index_of("0")
+        with pytest.raises(SimulationError):
+            system.index_of("missing")
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(SimulationError):
+            assemble(Circuit())

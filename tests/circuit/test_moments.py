@@ -1,0 +1,134 @@
+"""Tests for repro.circuit.moments — path-tracing moments vs Elmore and
+the transient simulator."""
+
+import math
+
+import pytest
+
+from repro import AnalysisError, BufferType, two_pin_net
+from repro.circuit import (
+    d2m_delay,
+    dominant_time_constant,
+    elmore_from_moments,
+    stage_capacitances,
+    tree_moments,
+)
+from repro.timing import sink_delays
+from repro.units import FF, MM
+
+
+class TestStageCapacitances:
+    def test_total_matches_tree(self, y_tree):
+        caps = stage_capacitances(y_tree)
+        assert math.isclose(sum(caps.values()), y_tree.total_capacitance())
+
+    def test_buffer_cuts_subtree(self, tech, driver):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8, segments=2)
+        buf = BufferType("b", 100.0, 7 * FF, 0.0, 0.8)
+        caps = stage_capacitances(net, {"n1": buf})
+        half_wire = tech.wire_capacitance(2 * MM)
+        expected = half_wire + 7 * FF  # first wire + buffer pin
+        assert math.isclose(sum(caps.values()), expected)
+
+
+class TestFirstMoment:
+    def test_minus_m1_equals_elmore_two_pin(self, tech, driver):
+        net = two_pin_net(tech, 3 * MM, driver, 12 * FF, 0.8)
+        moments = tree_moments(net, order=1)
+        elmore = elmore_from_moments(moments)
+        expected = sink_delays(net)["si"] - driver.intrinsic_delay
+        assert math.isclose(elmore["si"], expected, rel_tol=1e-12)
+
+    def test_minus_m1_equals_elmore_branching(self, y_tree):
+        moments = tree_moments(y_tree, order=2)
+        elmore = elmore_from_moments(moments)
+        delays = sink_delays(y_tree)
+        for sink in ("s1", "s2"):
+            expected = delays[sink] - y_tree.driver.intrinsic_delay
+            assert math.isclose(elmore[sink], expected, rel_tol=1e-12)
+
+    def test_buffered_source_stage_only(self, tech, driver):
+        net = two_pin_net(tech, 6 * MM, driver, 10 * FF, 0.8, segments=2)
+        buf = BufferType("b", 100.0, 7 * FF, 0.0, 0.8)
+        moments = tree_moments(net, order=1, buffers={"n1": buf})
+        assert set(moments) == {"so", "n1"}  # stage members only
+
+
+class TestHigherMoments:
+    def test_moment_signs_alternate(self, y_tree):
+        """RC-tree impulse-response moments alternate in sign: m1<0, m2>0."""
+        moments = tree_moments(y_tree, order=3)
+        for values in moments.values():
+            if values[0] == 0.0:
+                continue
+            assert values[0] < 0
+            assert values[1] > 0
+            assert values[2] < 0
+
+    def test_single_pole_identity(self, tech):
+        """For one lumped RC (driver R, single cap): m_k = (-RC)^k, so
+        m2 == m1^2 and D2M == ln2 * RC == exact 50 % delay."""
+        from repro import DriverCell, TreeBuilder
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=DriverCell("d", 1000.0))
+        builder.add_sink("s", capacitance=100 * FF, noise_margin=0.8)
+        builder.add_wire("so", "s", length=0.0)  # no wire: pure lumped load
+        tree = builder.build()
+        moments = tree_moments(tree, order=2)["s"]
+        rc = 1000.0 * 100 * FF
+        assert math.isclose(moments[0], -rc, rel_tol=1e-12)
+        assert math.isclose(moments[1], rc * rc, rel_tol=1e-12)
+        assert math.isclose(d2m_delay(moments), math.log(2) * rc, rel_tol=1e-12)
+        assert math.isclose(dominant_time_constant(moments), rc, rel_tol=1e-12)
+
+    def test_d2m_at_most_elmore_far_from_driver(self, tech, driver):
+        """D2M <= Elmore at the far sink of a distributed line (the metric
+        was designed to correct Elmore's far-node pessimism)."""
+        net = two_pin_net(tech, 6 * MM, driver, 10 * FF, 0.8)
+        moments = tree_moments(net, order=2)["si"]
+        assert d2m_delay(moments) <= -moments[0] + 1e-18
+
+
+class TestAgainstTransient:
+    def test_elmore_upper_bounds_50pct_delay(self, tech):
+        """Elmore is a provable upper bound on the 50 % step delay for RC
+        trees; D2M should sit closer to the simulated truth."""
+        from repro import DriverCell
+        from repro.circuit import Circuit, PiecewiseLinear, simulate
+
+        r_drv, length = 200.0, 4 * MM
+        net = two_pin_net(tech, length, DriverCell("d", r_drv), 20 * FF, 0.8)
+        moments = tree_moments(net, order=2)["si"]
+        elmore = -moments[0]
+        d2m = d2m_delay(moments)
+
+        # distributed ladder simulation
+        segments = 40
+        rw = tech.wire_resistance(length) / segments
+        cw = tech.wire_capacitance(length) / segments
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "0", PiecewiseLinear.constant(1.0))
+        circuit.add_resistor("in", "n0", r_drv)
+        previous = "n0"
+        for i in range(segments):
+            circuit.add_capacitor(previous, "0", cw / 2)
+            node = f"n{i + 1}"
+            circuit.add_resistor(previous, node, rw)
+            circuit.add_capacitor(node, "0", cw / 2)
+            previous = node
+        circuit.add_capacitor(previous, "0", 20 * FF)
+        result = simulate(circuit, stop=6 * elmore, step=elmore / 400,
+                          probes=[previous])
+        wave = result[previous]
+        crossing = wave.times[wave.values >= 0.5][0]
+        assert crossing <= elmore  # Elmore upper bound
+        assert abs(d2m - crossing) <= abs(elmore - crossing)
+
+    def test_order_validation(self, y_tree):
+        with pytest.raises(AnalysisError):
+            tree_moments(y_tree, order=0)
+        with pytest.raises(AnalysisError):
+            d2m_delay([1.0])
+        with pytest.raises(AnalysisError):
+            dominant_time_constant([-1.0])

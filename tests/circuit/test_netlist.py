@@ -1,0 +1,67 @@
+"""Tests for repro.circuit.netlist."""
+
+import pytest
+
+from repro import SimulationError
+from repro.circuit import Circuit, PiecewiseLinear, is_ground
+
+
+class TestElements:
+    def test_resistor_must_be_positive(self):
+        circuit = Circuit()
+        with pytest.raises(SimulationError):
+            circuit.add_resistor("a", "0", 0.0)
+        with pytest.raises(SimulationError):
+            circuit.add_resistor("a", "0", -5.0)
+
+    def test_capacitor_may_be_zero(self):
+        circuit = Circuit()
+        circuit.add_capacitor("a", "0", 0.0)
+        with pytest.raises(SimulationError):
+            circuit.add_capacitor("a", "0", -1e-15)
+
+    def test_auto_naming(self):
+        circuit = Circuit()
+        r0 = circuit.add_resistor("a", "0", 1.0)
+        r1 = circuit.add_resistor("b", "0", 1.0)
+        assert r0.name == "R0"
+        assert r1.name == "R1"
+
+    def test_explicit_names_unique(self):
+        circuit = Circuit()
+        circuit.add_resistor("a", "0", 1.0, name="Rx")
+        with pytest.raises(SimulationError):
+            circuit.add_resistor("b", "0", 1.0, name="Rx")
+
+    def test_name_spaces_per_kind(self):
+        circuit = Circuit()
+        circuit.add_resistor("a", "0", 1.0, name="X")
+        circuit.add_capacitor("a", "0", 1e-15, name="X")  # different kind: OK
+
+
+class TestCircuitQueries:
+    def test_nodes_excludes_ground(self):
+        circuit = Circuit()
+        circuit.add_resistor("a", "0", 1.0)
+        circuit.add_resistor("b", "gnd", 1.0)
+        circuit.add_capacitor("a", "b", 1e-15)
+        assert set(circuit.nodes()) == {"a", "b"}
+
+    def test_nodes_in_first_appearance_order(self):
+        circuit = Circuit()
+        circuit.add_resistor("z", "a", 1.0)
+        circuit.add_resistor("a", "m", 1.0)
+        assert circuit.nodes() == ("z", "a", "m")
+
+    def test_element_count(self):
+        circuit = Circuit()
+        circuit.add_resistor("a", "0", 1.0)
+        circuit.add_capacitor("a", "0", 1e-15)
+        circuit.add_voltage_source("a", "0", PiecewiseLinear.constant(1.0))
+        assert circuit.element_count() == 3
+
+    def test_is_ground(self):
+        assert is_ground("0")
+        assert is_ground("gnd")
+        assert is_ground("GND")
+        assert not is_ground("n1")

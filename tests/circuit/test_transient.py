@@ -1,0 +1,162 @@
+"""Tests for repro.circuit.transient — backward Euler vs analytic RC."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import SimulationError
+from repro.circuit import (
+    Circuit,
+    PiecewiseLinear,
+    dc_operating_point,
+    simulate,
+)
+
+
+def rc_step_circuit(r=1000.0, c=1e-12, vdd=1.0):
+    circuit = Circuit()
+    circuit.add_voltage_source("in", "0", PiecewiseLinear((0.0,), (vdd,)))
+    circuit.add_resistor("in", "out", r)
+    circuit.add_capacitor("out", "0", c)
+    return circuit
+
+
+class TestRCStep:
+    def test_matches_analytic_exponential(self):
+        r, c, vdd = 1000.0, 1e-12, 1.0
+        tau = r * c
+        result = simulate(rc_step_circuit(r, c, vdd), stop=5 * tau,
+                          step=tau / 200, probes=["out"])
+        wave = result["out"]
+        for frac in (0.5, 1.0, 2.0, 4.0):
+            t = frac * tau
+            expected = vdd * (1.0 - math.exp(-t / tau))
+            assert math.isclose(wave.at(t), expected, rel_tol=2e-2), frac
+
+    def test_converges_first_order_in_step(self):
+        """Halving the step roughly halves the error (backward Euler)."""
+        r, c = 1000.0, 1e-12
+        tau = r * c
+        errors = []
+        for divisor in (20, 40, 80):
+            result = simulate(rc_step_circuit(r, c), stop=2 * tau,
+                              step=tau / divisor, probes=["out"])
+            t = tau
+            expected = 1.0 - math.exp(-1.0)
+            errors.append(abs(result["out"].at(t) - expected))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[0] / errors[2] > 2.5  # ~4x for first order
+
+    def test_settles_to_dc(self):
+        result = simulate(rc_step_circuit(), stop=20e-9, step=0.05e-9,
+                          probes=["out"])
+        assert math.isclose(result["out"].final, 1.0, rel_tol=1e-3)
+
+    def test_no_overshoot(self):
+        """Backward Euler on a monotone RC response never overshoots."""
+        result = simulate(rc_step_circuit(), stop=10e-9, step=0.1e-9,
+                          probes=["out"])
+        assert result["out"].peak <= 1.0 + 1e-12
+
+
+class TestCoupledNoise:
+    def test_ramp_coupling_peak_below_devgan_bound(self):
+        """A single coupled segment: the transient peak must sit below the
+        Devgan estimate R * I (with I = C_c * slope)."""
+        r_drv, c_couple, c_gnd = 500.0, 40e-15, 20e-15
+        slope = 7.2e9
+        vdd = 1.8
+        circuit = Circuit()
+        circuit.add_voltage_source(
+            "aggr", "0", PiecewiseLinear.ramp(vdd, vdd / slope)
+        )
+        circuit.add_resistor("victim", "0", r_drv)
+        circuit.add_capacitor("victim", "aggr", c_couple)
+        circuit.add_capacitor("victim", "0", c_gnd)
+        rise = vdd / slope
+        result = simulate(circuit, stop=rise * 8, step=rise / 200,
+                          probes=["victim"])
+        peak = result["victim"].peak
+        devgan = r_drv * c_couple * slope
+        assert 0 < peak <= devgan * (1 + 1e-6)
+        # and for this strongly-driven case the bound is reasonably tight
+        assert peak > 0.4 * devgan
+
+    def test_noise_returns_to_zero(self):
+        circuit = Circuit()
+        circuit.add_voltage_source(
+            "aggr", "0", PiecewiseLinear.ramp(1.8, 0.25e-9)
+        )
+        circuit.add_resistor("victim", "0", 500.0)
+        circuit.add_capacitor("victim", "aggr", 40e-15)
+        result = simulate(circuit, stop=5e-9, step=0.01e-9, probes=["victim"])
+        assert abs(result["victim"].final) < 1e-3
+
+
+class TestInterface:
+    def test_probe_selection(self):
+        result = simulate(rc_step_circuit(), stop=1e-9, step=0.1e-9,
+                          probes=["out"])
+        assert "out" in result.waveforms
+        with pytest.raises(SimulationError):
+            result["in"]
+
+    def test_default_probes_all_nodes(self):
+        result = simulate(rc_step_circuit(), stop=1e-9, step=0.1e-9)
+        assert set(result.waveforms) == {"in", "out"}
+
+    def test_initial_conditions(self):
+        circuit = Circuit()
+        circuit.add_resistor("out", "0", 1000.0)
+        circuit.add_capacitor("out", "0", 1e-12)
+        # keep assembly happy with a dormant source
+        circuit.add_voltage_source("x", "0", PiecewiseLinear.constant(0.0))
+        circuit.add_resistor("x", "out", 1e9)
+        result = simulate(circuit, stop=5e-9, step=0.01e-9,
+                          probes=["out"], initial={"out": 1.0})
+        wave = result["out"]
+        assert wave.values[0] == 1.0
+        assert wave.final < 0.01  # discharged
+
+    def test_bad_time_parameters(self):
+        circuit = rc_step_circuit()
+        with pytest.raises(SimulationError):
+            simulate(circuit, stop=0.0, step=1e-12)
+        with pytest.raises(SimulationError):
+            simulate(circuit, stop=1e-9, step=0.0)
+        with pytest.raises(SimulationError):
+            simulate(circuit, stop=1.0, step=1e-12)  # too many points
+
+    def test_floating_node_reported_at_dc(self):
+        """A node with no resistive path to ground is fine in transient
+        (the C/h term regularizes it) but singular at DC."""
+        circuit = Circuit()
+        circuit.add_voltage_source("a", "0", PiecewiseLinear.constant(1.0))
+        circuit.add_resistor("a", "b", 10.0)
+        circuit.add_capacitor("c", "0", 1e-15)  # 'c' floats (no DC path)
+        circuit.add_resistor("b", "0", 10.0)
+        result = simulate(circuit, stop=1e-10, step=1e-11, probes=["c"])
+        assert result["c"].peak == 0.0  # stays at its initial voltage
+        with pytest.raises(SimulationError):
+            dc_operating_point(circuit)
+
+
+class TestDCOperatingPoint:
+    def test_divider(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "0", PiecewiseLinear.constant(2.0))
+        circuit.add_resistor("in", "mid", 1000.0)
+        circuit.add_resistor("mid", "0", 1000.0)
+        dc = dc_operating_point(circuit)
+        assert math.isclose(dc["mid"], 1.0)
+
+    def test_uses_late_source_values(self):
+        circuit = Circuit()
+        circuit.add_voltage_source(
+            "in", "0", PiecewiseLinear.ramp(1.8, 1e-9)
+        )
+        circuit.add_resistor("in", "out", 10.0)
+        circuit.add_resistor("out", "0", 1e12)
+        dc = dc_operating_point(circuit)
+        assert math.isclose(dc["out"], 1.8, rel_tol=1e-6)

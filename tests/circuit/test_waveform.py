@@ -1,0 +1,98 @@
+"""Tests for repro.circuit.waveform."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import SimulationError
+from repro.circuit import PiecewiseLinear, Waveform
+
+
+class TestPiecewiseLinear:
+    def test_constant(self):
+        src = PiecewiseLinear.constant(1.8)
+        assert src(0.0) == 1.8
+        assert src(1e9) == 1.8
+        assert src.max_slope == 0.0
+
+    def test_ramp_values(self):
+        ramp = PiecewiseLinear.ramp(vdd=1.8, rise_time=0.25e-9)
+        assert ramp(0.0) == 0.0
+        assert math.isclose(ramp(0.125e-9), 0.9)
+        assert ramp(0.25e-9) == 1.8
+        assert ramp(1.0) == 1.8  # constant extrapolation
+
+    def test_ramp_slope(self):
+        ramp = PiecewiseLinear.ramp(vdd=1.8, rise_time=0.25e-9)
+        assert math.isclose(ramp.max_slope, 7.2e9)
+
+    def test_delayed_ramp(self):
+        ramp = PiecewiseLinear.ramp(vdd=1.0, rise_time=1e-9, start=2e-9)
+        assert ramp(1e-9) == 0.0
+        assert math.isclose(ramp(2.5e-9), 0.5)
+
+    def test_interpolation_between_points(self):
+        pwl = PiecewiseLinear((0.0, 1.0, 2.0), (0.0, 2.0, 0.0))
+        assert math.isclose(pwl(0.5), 1.0)
+        assert math.isclose(pwl(1.5), 1.0)
+
+    def test_before_first_point_constant(self):
+        pwl = PiecewiseLinear((1.0, 2.0), (5.0, 6.0))
+        assert pwl(0.0) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PiecewiseLinear((), ())
+        with pytest.raises(SimulationError):
+            PiecewiseLinear((0.0, 1.0), (0.0,))
+        with pytest.raises(SimulationError):
+            PiecewiseLinear((1.0, 0.0), (0.0, 1.0))
+        with pytest.raises(SimulationError):
+            PiecewiseLinear.ramp(1.8, 0.0)
+
+
+class TestWaveform:
+    def test_peak_uses_absolute_value(self):
+        wave = Waveform([0.0, 1.0, 2.0], [0.0, -0.5, 0.2])
+        assert wave.peak == 0.5
+        assert wave.peak_time == 1.0
+
+    def test_at_interpolates(self):
+        wave = Waveform([0.0, 1.0], [0.0, 2.0])
+        assert math.isclose(wave.at(0.25), 0.5)
+
+    def test_at_clamps(self):
+        wave = Waveform([0.0, 1.0], [0.0, 2.0])
+        assert wave.at(-1.0) == 0.0
+        assert wave.at(9.0) == 2.0
+
+    def test_final_and_settle(self):
+        values = np.concatenate([np.linspace(0, 1, 50), np.full(50, 1.0)])
+        wave = Waveform(np.linspace(0, 1, 100), values)
+        assert wave.final == 1.0
+        assert math.isclose(wave.settle_value(0.2), 1.0)
+
+    def test_width_above(self):
+        times = np.linspace(0.0, 1.0, 101)
+        values = np.where((times > 0.3) & (times < 0.5), 1.0, 0.0)
+        wave = Waveform(times, values)
+        width = wave.width_above(0.5)
+        assert 0.15 < width < 0.25
+
+    def test_width_above_nothing(self):
+        wave = Waveform([0.0, 1.0], [0.1, 0.1])
+        assert wave.width_above(0.5) == 0.0
+
+    def test_width_rejects_negative_threshold(self):
+        with pytest.raises(SimulationError):
+            Waveform([0.0], [0.0]).width_above(-1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError):
+            Waveform([0.0, 1.0], [0.0])
+        with pytest.raises(SimulationError):
+            Waveform([], [])
+
+    def test_len(self):
+        assert len(Waveform([0.0, 1.0, 2.0], [0.0, 0.0, 0.0])) == 3

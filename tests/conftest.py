@@ -1,0 +1,115 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import (
+    BufferType,
+    CouplingModel,
+    DriverCell,
+    TreeBuilder,
+    default_buffer_library,
+    default_cell_library,
+    default_technology,
+    two_pin_net,
+)
+from repro.units import FF, PS, UM
+
+
+@pytest.fixture
+def tech():
+    return default_technology()
+
+
+@pytest.fixture
+def library():
+    return default_buffer_library()
+
+
+@pytest.fixture
+def cells():
+    return default_cell_library()
+
+
+@pytest.fixture
+def coupling(tech):
+    return CouplingModel.estimation_mode(tech)
+
+
+@pytest.fixture
+def silent():
+    return CouplingModel.silent()
+
+
+@pytest.fixture
+def driver():
+    return DriverCell("drv", resistance=250.0, intrinsic_delay=30 * PS)
+
+
+@pytest.fixture
+def single_buffer():
+    return BufferType(
+        "b1",
+        resistance=150.0,
+        input_capacitance=20 * FF,
+        intrinsic_delay=25 * PS,
+        noise_margin=0.8,
+    )
+
+
+@pytest.fixture
+def long_two_pin(tech, driver):
+    """A 9 mm two-pin net that clearly violates noise unbuffered."""
+    return two_pin_net(
+        tech,
+        9000 * UM,
+        driver,
+        sink_capacitance=20 * FF,
+        noise_margin=0.8,
+        required_arrival=2000 * PS,
+        name="long_two_pin",
+    )
+
+
+@pytest.fixture
+def short_two_pin(tech, driver):
+    """A 1 mm two-pin net with no noise problem."""
+    return two_pin_net(
+        tech,
+        1000 * UM,
+        driver,
+        sink_capacitance=15 * FF,
+        noise_margin=0.8,
+        required_arrival=500 * PS,
+        name="short_two_pin",
+    )
+
+
+@pytest.fixture
+def y_tree(tech, driver):
+    """A symmetric-ish Y: source -> branch -> two sinks, 3+4 mm arms."""
+    builder = TreeBuilder(tech)
+    builder.add_source("so", driver=driver, position=(0.0, 0.0))
+    builder.add_internal("u", position=(2000 * UM, 0.0))
+    builder.add_sink(
+        "s1", capacitance=15 * FF, noise_margin=0.8,
+        required_arrival=2000 * PS, position=(5000 * UM, 0.0),
+    )
+    builder.add_sink(
+        "s2", capacitance=25 * FF, noise_margin=0.8,
+        required_arrival=2500 * PS, position=(2000 * UM, 4000 * UM),
+    )
+    builder.add_wire("so", "u", length=2000 * UM)
+    builder.add_wire("u", "s1", length=3000 * UM)
+    builder.add_wire("u", "s2", length=4000 * UM)
+    return builder.build("y_tree")
+
+
+def assert_close(actual, expected, rel=1e-9, abs_tol=0.0, msg=""):
+    """Tight relative comparison helper for analytic identities."""
+    assert math.isclose(actual, expected, rel_tol=rel, abs_tol=abs_tol), (
+        f"{msg} actual={actual!r} expected={expected!r}"
+    )

@@ -1,0 +1,42 @@
+"""Tests for repro.core._chain — the persistent cons list."""
+
+from repro.core._chain import Chain
+
+
+class TestChain:
+    def test_empty(self):
+        assert Chain.size(None) == 0
+        assert Chain.to_tuple(None) == ()
+
+    def test_push_order(self):
+        chain = Chain.push(Chain.push(None, "a"), "b")
+        assert Chain.to_tuple(chain) == ("a", "b")
+        assert Chain.size(chain) == 2
+
+    def test_concat(self):
+        left = Chain.push(Chain.push(None, "a"), "b")
+        right = Chain.push(None, "c")
+        merged = Chain.concat(left, right)
+        assert Chain.to_tuple(merged) == ("c", "a", "b")
+        assert Chain.size(merged) == 3
+
+    def test_concat_with_empty(self):
+        chain = Chain.push(None, "x")
+        assert Chain.concat(None, chain) is chain
+        assert Chain.to_tuple(Chain.concat(chain, None)) == ("x",)
+
+    def test_structural_sharing(self):
+        base = Chain.push(None, "shared")
+        a = Chain.push(base, "a")
+        b = Chain.push(base, "b")
+        assert a.tail is base and b.tail is base
+        assert Chain.to_tuple(a) == ("shared", "a")
+        assert Chain.to_tuple(b) == ("shared", "b")
+
+    def test_long_chain(self):
+        chain = None
+        for i in range(1000):
+            chain = Chain.push(chain, i)
+        assert Chain.size(chain) == 1000
+        assert Chain.to_tuple(chain)[0] == 0
+        assert Chain.to_tuple(chain)[-1] == 999

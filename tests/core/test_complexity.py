@@ -1,0 +1,111 @@
+"""Deterministic complexity checks via the engine's candidate counters.
+
+Wall-clock scaling belongs to the benchmark suite; these tests pin the
+*candidate counts*, which are deterministic, to the complexity story the
+paper tells: pruning keeps per-node lists small, so total work grows
+essentially linearly with tree size for realistic nets (the O(n^2) bound
+is a worst case).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CouplingModel,
+    DPOptions,
+    DriverCell,
+    SinkSite,
+    default_buffer_library,
+    default_technology,
+    run_dp,
+    segment_tree,
+    steiner_tree,
+    two_pin_net,
+)
+from repro.units import FF, MM, NS, UM
+
+TECH = default_technology()
+LIBRARY = default_buffer_library()
+COUPLING = CouplingModel.estimation_mode(TECH)
+DRIVER = DriverCell("d", 250.0, 30e-12)
+
+
+def chain(segments):
+    return two_pin_net(
+        TECH, 12 * MM, DRIVER, 20 * FF, 0.8,
+        required_arrival=3 * NS, segments=segments,
+    )
+
+
+def fan(sinks):
+    rng = np.random.default_rng(sinks)
+    sites = [
+        SinkSite(
+            f"s{i}",
+            (float(rng.uniform(0, 8 * MM)), float(rng.uniform(0, 8 * MM))),
+            15 * FF, 0.8, 3 * NS,
+        )
+        for i in range(sinks)
+    ]
+    return segment_tree(
+        steiner_tree(TECH, (0.0, 0.0), sites, driver=DRIVER), 500 * UM
+    )
+
+
+class TestChainScaling:
+    def test_generated_grows_linearly_on_chains(self):
+        small = run_dp(chain(16), LIBRARY, COUPLING).candidates_generated
+        large = run_dp(chain(128), LIBRARY, COUPLING).candidates_generated
+        ratio = large / small
+        assert ratio <= (128 / 16) * 1.5  # near-linear, not quadratic
+
+    def test_kept_lists_stay_bounded(self):
+        for segments in (16, 64, 128):
+            result = run_dp(chain(segments), LIBRARY, COUPLING)
+            assert result.candidates_kept_peak < 40 * segments ** 0.5 + 200
+
+    def test_noise_mode_generates_no_more(self):
+        plain = run_dp(chain(64), LIBRARY, COUPLING)
+        noisy = run_dp(
+            chain(64), LIBRARY, COUPLING, DPOptions(noise_aware=True)
+        )
+        assert noisy.candidates_generated <= plain.candidates_generated
+
+
+class TestFanoutScaling:
+    def test_generated_tracks_node_count(self):
+        trees = [fan(8), fan(32)]
+        counts = [
+            run_dp(t, LIBRARY, COUPLING).candidates_generated for t in trees
+        ]
+        node_ratio = len(trees[1]) / len(trees[0])
+        assert counts[1] / counts[0] <= node_ratio * 2.0
+
+    def test_count_tracking_costs_more_but_bounded(self):
+        tree = fan(16)
+        plain = run_dp(tree, LIBRARY, COUPLING)
+        tracked = run_dp(
+            tree, LIBRARY, COUPLING,
+            DPOptions(track_counts=True, max_buffers=4),
+        )
+        assert tracked.candidates_generated >= plain.candidates_generated / 2
+        # capped counts keep the blow-up bounded
+        assert tracked.candidates_generated <= plain.candidates_generated * 30
+
+
+class TestSizingScaling:
+    def test_width_menu_multiplies_generation_linearly(self):
+        from repro.core import WireSizingSpec
+
+        tree = chain(32)
+        plain = run_dp(tree, LIBRARY, COUPLING).candidates_generated
+        sized_result = run_dp(
+            tree, LIBRARY, COUPLING,
+            DPOptions(sizing=WireSizingSpec(widths=(1.0, 1.5, 2.0))),
+        )
+        # generation counts each wire variant (plain wire application is
+        # not counted), so allow a generous constant; the *kept* frontier
+        # is the real memory cost and must stay within ~2x per width.
+        assert sized_result.candidates_generated <= plain * 25
+        plain_kept = run_dp(tree, LIBRARY, COUPLING).candidates_kept_peak
+        assert sized_result.candidates_kept_peak <= plain_kept * 6

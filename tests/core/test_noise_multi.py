@@ -1,0 +1,225 @@
+"""Tests for Algorithm 2 — optimal multi-sink noise avoidance."""
+
+import math
+
+import pytest
+
+from repro import (
+    TreeBuilder,
+    analyze_noise,
+    insert_buffers_multi_sink,
+    insert_buffers_single_sink,
+    two_pin_net,
+)
+from repro.core import NoiseCandidate, prune_noise_candidates
+from repro.units import FF, MM, UM
+
+
+def realize_and_check(tree, buffer, coupling):
+    solution = insert_buffers_multi_sink(tree, buffer, coupling)
+    buffered, discrete = solution.realize()
+    report = analyze_noise(buffered, coupling, discrete.buffer_map())
+    return solution, buffered, discrete, report
+
+
+def wide_tree(tech, driver, arm_mm, n_arms=2, margin=0.8):
+    builder = TreeBuilder(tech)
+    builder.add_source("so", driver=driver)
+    builder.add_internal("u")
+    builder.add_wire("so", "u", length=1 * MM)
+    prev = "u"
+    for i in range(n_arms - 1):
+        builder.add_internal(f"v{i}")
+        builder.add_wire(prev, f"v{i}", length=0.3 * MM)
+        builder.add_sink(f"s{i}", capacitance=15 * FF, noise_margin=margin)
+        builder.add_wire(f"v{i}" if False else prev, f"s{i}", length=arm_mm * MM)
+        prev = f"v{i}"
+    builder.add_sink(f"s{n_arms - 1}", capacitance=15 * FF, noise_margin=margin)
+    builder.add_wire(prev, f"s{n_arms - 1}", length=arm_mm * MM)
+    return builder.build("wide")
+
+
+class TestPruning:
+    def test_dominated_candidate_dropped(self):
+        good = NoiseCandidate(current=1.0, slack=0.5, chain=None)
+        bad = NoiseCandidate(current=2.0, slack=0.4, chain=None)
+        kept = prune_noise_candidates([bad, good])
+        assert kept == [good]
+
+    def test_incomparable_candidates_kept(self):
+        a = NoiseCandidate(current=1.0, slack=0.4, chain=None)
+        b = NoiseCandidate(current=2.0, slack=0.6, chain=None)
+        kept = prune_noise_candidates([a, b])
+        assert len(kept) == 2
+        assert kept[0].current <= kept[1].current  # sorted by current
+
+    def test_equal_candidates_collapse(self):
+        a = NoiseCandidate(current=1.0, slack=0.5, chain=None)
+        b = NoiseCandidate(current=1.0, slack=0.5, chain=None)
+        assert len(prune_noise_candidates([a, b])) == 1
+
+    def test_lower_count_dominates(self):
+        from repro.core._chain import Chain
+        from repro.core.solution import PlacedBuffer
+        from repro import BufferType
+
+        buf = BufferType("b", 100.0, 1 * FF, 0.0, 0.8)
+        chain = Chain.push(None, PlacedBuffer("a", "b", 0.0, buf))
+        cheap = NoiseCandidate(current=1.0, slack=0.5, chain=None)
+        pricey = NoiseCandidate(current=1.0, slack=0.5, chain=chain)
+        assert prune_noise_candidates([pricey, cheap]) == [cheap]
+
+    def test_higher_count_with_better_metrics_survives(self):
+        from repro.core._chain import Chain
+        from repro.core.solution import PlacedBuffer
+        from repro import BufferType
+
+        buf = BufferType("b", 100.0, 1 * FF, 0.0, 0.8)
+        chain = Chain.push(None, PlacedBuffer("a", "b", 0.0, buf))
+        cheap = NoiseCandidate(current=2.0, slack=0.3, chain=None)
+        pricey = NoiseCandidate(current=1.0, slack=0.6, chain=chain)
+        assert len(prune_noise_candidates([pricey, cheap])) == 2
+
+
+class TestAgreementWithAlgorithm1:
+    @pytest.mark.parametrize("length_mm", [2, 5, 9, 13])
+    def test_same_result_on_chains(
+        self, tech, driver, single_buffer, coupling, length_mm
+    ):
+        """On single-sink trees Algorithm 2 must reduce to Algorithm 1."""
+        net = two_pin_net(tech, length_mm * MM, driver, 20 * FF, 0.8)
+        alg1 = insert_buffers_single_sink(net, single_buffer, coupling)
+        alg2 = insert_buffers_multi_sink(net, single_buffer, coupling)
+        assert alg2.buffer_count == alg1.buffer_count
+        for p1, p2 in zip(
+            sorted(alg1.placements, key=lambda p: p.distance_from_child),
+            sorted(alg2.placements, key=lambda p: p.distance_from_child),
+        ):
+            assert math.isclose(
+                p1.distance_from_child, p2.distance_from_child, rel_tol=1e-9
+            )
+
+
+class TestMultiSink:
+    def test_fixes_y_tree(self, y_tree, single_buffer, coupling):
+        _, _, _, report = realize_and_check(y_tree, single_buffer, coupling)
+        assert not report.violated
+
+    def test_clean_tree_needs_nothing(self, tech, driver, single_buffer, coupling):
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("u")
+        builder.add_wire("so", "u", length=200 * UM)
+        for i in range(2):
+            builder.add_sink(f"s{i}", capacitance=5 * FF, noise_margin=0.8)
+            builder.add_wire("u", f"s{i}", length=300 * UM)
+        solution = insert_buffers_multi_sink(builder.build(), single_buffer, coupling)
+        assert solution.buffer_count == 0
+
+    def test_minimality_certificate(self, tech, driver, single_buffer, coupling):
+        """Removing any buffer from the solution must create a violation."""
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("u")
+        builder.add_wire("so", "u", length=3 * MM)
+        for i, arm in enumerate((5 * MM, 7 * MM)):
+            builder.add_sink(f"s{i}", capacitance=20 * FF, noise_margin=0.8)
+            builder.add_wire("u", f"s{i}", length=arm)
+        tree = builder.build("deep_y")
+        _, buffered, discrete, report = realize_and_check(
+            tree, single_buffer, coupling
+        )
+        assert not report.violated
+        assert discrete.buffer_count >= 2
+        full = dict(discrete.buffer_map())
+        for name in full:
+            reduced = {k: v for k, v in full.items() if k != name}
+            assert analyze_noise(buffered, coupling, reduced).violated, name
+
+    def test_branch_fork_when_merge_violates(self, tech, driver, single_buffer, coupling):
+        """Two hot arms whose union is too noisy for a gate right above the
+        branch: Algorithm 2 must buffer at least one arm top."""
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("u")
+        builder.add_wire("so", "u", length=100 * UM)
+        for i in range(2):
+            builder.add_sink(f"s{i}", capacitance=20 * FF, noise_margin=0.8)
+            builder.add_wire("u", f"s{i}", length=3.4 * MM)
+        tree = builder.build("hot_y")
+        solution, _, _, report = realize_and_check(tree, single_buffer, coupling)
+        assert not report.violated
+        arm_tops = [
+            p for p in solution.placements
+            if p.parent == "u" and math.isclose(p.distance_from_child, 3.4 * MM)
+        ]
+        assert arm_tops, "expected a buffer immediately below the branch"
+
+    def test_wide_fanout_tree(self, tech, driver, single_buffer, coupling):
+        from repro import binarize
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("hub")
+        builder.add_wire("so", "hub", length=2 * MM)
+        for i in range(5):
+            builder.add_sink(f"s{i}", capacitance=10 * FF, noise_margin=0.8)
+            builder.add_wire("hub", f"s{i}", length=(2 + i) * MM)
+        tree = binarize(builder.build("fan", allow_nonbinary=True))
+        _, _, _, report = realize_and_check(tree, single_buffer, coupling)
+        assert not report.violated
+
+    def test_library_uses_smallest_resistance(self, y_tree, library, coupling):
+        solution = insert_buffers_multi_sink(y_tree, library, coupling)
+        best = library.smallest_resistance()
+        assert all(p.buffer is best for p in solution.placements)
+
+    def test_weak_driver_fixup(self, tech, single_buffer, coupling):
+        from repro import DriverCell
+
+        weak = DriverCell("weak", resistance=6000.0)
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=weak)
+        builder.add_internal("u")
+        builder.add_wire("so", "u", length=1 * MM)
+        for i in range(2):
+            builder.add_sink(f"s{i}", capacitance=10 * FF, noise_margin=0.8)
+            builder.add_wire("u", f"s{i}", length=1 * MM)
+        tree = builder.build()
+        _, _, _, report = realize_and_check(tree, single_buffer, coupling)
+        assert not report.violated
+
+
+class TestCountOptimality:
+    def test_not_worse_than_discrete_brute_force(
+        self, tech, driver, single_buffer, coupling
+    ):
+        """Algorithm 2's count lower-bounds a discrete exhaustive search
+        over a fine segmentation (continuous optimum <= discrete optimum)."""
+        import itertools
+
+        from repro import segment_tree
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("u")
+        builder.add_wire("so", "u", length=2 * MM)
+        for i, arm in enumerate((3 * MM, 4 * MM)):
+            builder.add_sink(f"s{i}", capacitance=15 * FF, noise_margin=0.8)
+            builder.add_wire("u", f"s{i}", length=arm)
+        tree = builder.build("bf")
+        solution = insert_buffers_multi_sink(tree, single_buffer, coupling)
+
+        fine = segment_tree(tree, 450 * UM)
+        sites = [n.name for n in fine.nodes() if n.is_internal and n.feasible]
+        best = None
+        for k in range(0, solution.buffer_count + 1):
+            for combo in itertools.combinations(sites, k):
+                buffers = {name: single_buffer for name in combo}
+                if not analyze_noise(fine, coupling, buffers).violated:
+                    best = k
+                    break
+            if best is not None:
+                break
+        assert best is not None, "brute force found no solution at all?"
+        assert solution.buffer_count <= best

@@ -1,0 +1,253 @@
+"""Tests for Algorithm 1 — optimal single-sink noise avoidance."""
+
+import math
+
+import pytest
+
+from repro import (
+    BufferType,
+    InfeasibleError,
+    TreeStructureError,
+    analyze_noise,
+    insert_buffers_single_sink,
+    two_pin_net,
+)
+from repro.core import max_safe_length, select_noise_buffer
+from repro.units import FF, MM
+
+
+def run(tree, buffer, coupling):
+    solution = insert_buffers_single_sink(tree, buffer, coupling)
+    buffered, discrete = solution.realize()
+    return solution, buffered, discrete
+
+
+class TestBasics:
+    def test_clean_net_gets_no_buffers(self, short_two_pin, single_buffer, coupling):
+        solution = insert_buffers_single_sink(
+            short_two_pin, single_buffer, coupling
+        )
+        assert solution.buffer_count == 0
+
+    def test_fixes_all_violations(self, long_two_pin, single_buffer, coupling):
+        _, buffered, discrete = run(long_two_pin, single_buffer, coupling)
+        report = analyze_noise(buffered, coupling, discrete.buffer_map())
+        assert not report.violated
+
+    def test_rejects_multi_sink_tree(self, y_tree, single_buffer, coupling):
+        with pytest.raises(TreeStructureError):
+            insert_buffers_single_sink(y_tree, single_buffer, coupling)
+
+    def test_works_on_presegmented_chain(self, tech, driver, single_buffer, coupling):
+        net = two_pin_net(tech, 9 * MM, driver, 20 * FF, 0.8, segments=6)
+        _, buffered, discrete = run(net, single_buffer, coupling)
+        assert not analyze_noise(buffered, coupling, discrete.buffer_map()).violated
+
+    def test_library_collapses_to_smallest_resistance(
+        self, long_two_pin, library, coupling
+    ):
+        solution = insert_buffers_single_sink(long_two_pin, library, coupling)
+        best = library.smallest_resistance()
+        assert all(p.buffer is best for p in solution.placements)
+
+    def test_select_noise_buffer(self, library, single_buffer):
+        assert select_noise_buffer(library) is library.smallest_resistance()
+        assert select_noise_buffer(single_buffer) is single_buffer
+
+
+class TestMaximalPlacement:
+    def test_first_buffer_at_theorem1_distance(
+        self, tech, driver, single_buffer, coupling
+    ):
+        """The sink-adjacent buffer sits exactly l_max above the sink."""
+        net = two_pin_net(tech, 9 * MM, driver, 20 * FF, 0.8, name="n")
+        solution = insert_buffers_single_sink(net, single_buffer, coupling)
+        assert solution.buffer_count >= 1
+        first = min(solution.placements, key=lambda p: p.distance_from_child)
+        expected = max_safe_length(
+            single_buffer.resistance,
+            tech.unit_resistance,
+            coupling.unit_current(tech.unit_capacitance),
+            0.0,
+            0.8,
+        )
+        assert math.isclose(first.distance_from_child, expected, rel_tol=1e-9)
+
+    def test_buffer_inputs_have_zero_noise_slack(
+        self, tech, driver, single_buffer, coupling
+    ):
+        """Maximality: every interior buffer input is driven exactly at its
+        margin (slack 0) when the spans are noise-limited."""
+        net = two_pin_net(tech, 12 * MM, driver, 20 * FF, 0.8, name="n")
+        _, buffered, discrete = run(net, single_buffer, coupling)
+        report = analyze_noise(buffered, coupling, discrete.buffer_map())
+        interior = [
+            e for e in report.entries
+            if e.node in discrete.assignment and e.stage_root != buffered.source.name
+        ]
+        assert interior
+        for entry in interior:
+            assert entry.slack >= -1e-9
+            assert entry.slack < 1e-6  # placed at the maximal position
+
+    def test_minimality_removing_any_buffer_violates(
+        self, tech, driver, single_buffer, coupling
+    ):
+        """Certificate of optimality: no buffer is redundant."""
+        net = two_pin_net(tech, 11 * MM, driver, 20 * FF, 0.8, name="n")
+        solution = insert_buffers_single_sink(net, single_buffer, coupling)
+        assert solution.buffer_count >= 2
+        _, buffered, discrete = run(net, single_buffer, coupling)
+        full_map = dict(discrete.buffer_map())
+        for name in list(full_map):
+            reduced = {k: v for k, v in full_map.items() if k != name}
+            assert analyze_noise(buffered, coupling, reduced).violated, (
+                f"buffer {name} is redundant — not a minimal solution"
+            )
+
+    def test_count_matches_span_arithmetic(
+        self, tech, driver, single_buffer, coupling
+    ):
+        """Buffer count equals the covering count from Theorem 1 spans."""
+        unit_i = coupling.unit_current(tech.unit_capacitance)
+        for length_mm in (3, 5, 8, 11, 14):
+            net = two_pin_net(
+                tech, length_mm * MM, driver, 20 * FF, 0.8, name="n"
+            )
+            solution = insert_buffers_single_sink(net, single_buffer, coupling)
+            # Simulate the greedy walk analytically.
+            spans = 0
+            current, slack = 20 * FF * 0.0, 0.8  # sink pin injects no current
+            remaining = length_mm * MM
+            while True:
+                # can the (hypothetical) next gate cover what's left?
+                top_i = unit_i * remaining
+                noise = tech.unit_resistance * remaining * (top_i / 2)
+                gate_r = single_buffer.resistance
+                if gate_r * top_i <= slack - noise or spans > 20:
+                    break
+                step = max_safe_length(
+                    gate_r, tech.unit_resistance, unit_i, 0.0, slack
+                )
+                spans += 1
+                remaining -= min(step, remaining)
+                slack = single_buffer.noise_margin
+            driver_extra = 0
+            top_i = unit_i * remaining
+            noise = tech.unit_resistance * remaining * (top_i / 2)
+            if driver.resistance * top_i > slack - noise:
+                driver_extra = 1
+            assert solution.buffer_count == spans + driver_extra, length_mm
+
+
+class TestSourceFixup:
+    def test_weak_driver_gets_buffer_after_source(
+        self, tech, single_buffer, coupling
+    ):
+        from repro import DriverCell
+
+        weak = DriverCell("weak", resistance=5000.0)
+        net = two_pin_net(tech, 3 * MM, weak, 20 * FF, 0.8, name="n")
+        solution = insert_buffers_single_sink(net, single_buffer, coupling)
+        top = max(p.distance_from_child for p in solution.placements)
+        # one placement sits at the very top of the first wire
+        assert math.isclose(top, 3 * MM)
+        _, buffered, discrete = run(net, single_buffer, coupling)
+        assert not analyze_noise(buffered, coupling, discrete.buffer_map()).violated
+
+    def test_strong_driver_needs_no_fixup(self, tech, single_buffer, coupling):
+        from repro import DriverCell
+
+        strong = DriverCell("strong", resistance=50.0)
+        net = two_pin_net(tech, 3 * MM, strong, 20 * FF, 0.8, name="n")
+        solution = insert_buffers_single_sink(net, strong_or(single_buffer), coupling)
+        tops = [p.distance_from_child for p in solution.placements]
+        assert all(t < 3 * MM for t in tops)
+
+
+def strong_or(buffer):
+    return buffer
+
+
+class TestLumpedWires:
+    """Zero-length wires with lumped R/current (abstract example nets)."""
+
+    def _chain(self, resistances, currents, margin=50.0):
+        from repro import TreeBuilder
+
+        builder = TreeBuilder()
+        builder.add_source("so")
+        previous = "so"
+        names = []
+        for k in range(len(resistances) - 1):
+            builder.add_internal(f"m{k}")
+            names.append(f"m{k}")
+        builder.add_sink("s", capacitance=0.0, noise_margin=margin)
+        nodes = [*names, "s"]
+        for node, r, i in zip(nodes, resistances, currents):
+            builder.add_wire(previous, node, resistance=r, capacitance=0.0,
+                             current=i)
+            previous = node
+        return builder.build("lumped")
+
+    def test_defers_over_quiet_lumped_wires(self, single_buffer, silent):
+        tree = self._chain([1.0, 1.0], [0.1, 0.1], margin=50.0)
+        solution = insert_buffers_single_sink(
+            tree, single_buffer, silent, driver_resistance=10.0
+        )
+        assert solution.buffer_count == 0
+
+    def test_buffers_at_child_end_when_lump_too_noisy(
+        self, single_buffer, silent
+    ):
+        """A lumped element that breaks the invariant forces a buffer at
+        its child end (distance 0); a weak driver forces the source fixup
+        as well."""
+        # Buffer R = 150, NM = 0.8.  The hot lump (R=10, I=3e-3) fails the
+        # 0.2 V sink margin check (0.45 + 0.015 > 0.185) but passes after
+        # the reset to the buffer margin (0.465 <= 0.785).
+        hot = self._chain([1.0, 10.0], [1e-4, 3e-3], margin=0.2)
+        solution = insert_buffers_single_sink(
+            hot, single_buffer, silent, driver_resistance=500.0
+        )
+        assert solution.buffer_count == 2  # lump fix + source fixup
+        assert all(p.distance_from_child == 0.0 for p in solution.placements)
+        buffered, discrete = solution.realize()
+        from repro.noise import noise_violations
+
+        assert not noise_violations(
+            buffered, silent, discrete.buffer_map(), driver_resistance=500.0
+        )
+
+    def test_hopeless_lump_raises(self, single_buffer, silent):
+        """Even buffering both ends of the lump cannot satisfy the margin."""
+        hopeless = self._chain([1.0, 1000.0], [1e-4, 1.0], margin=0.2)
+        with pytest.raises(InfeasibleError):
+            insert_buffers_single_sink(
+                hopeless, single_buffer, silent, driver_resistance=10.0
+            )
+
+
+class TestInfeasible:
+    def test_hopeless_margin_raises(self, tech, driver, coupling):
+        """A buffer whose own drive exceeds the margin cannot fix noise."""
+        hopeless = BufferType("h", resistance=1e7, input_capacitance=1 * FF,
+                              intrinsic_delay=0.0, noise_margin=1e-3)
+        net = two_pin_net(tech, 10 * MM, driver, 20 * FF, 1e-3, name="n")
+        with pytest.raises(InfeasibleError):
+            insert_buffers_single_sink(net, hopeless, coupling)
+
+    def test_missing_driver_requires_resistance(self, tech, single_buffer, coupling):
+        from repro import TreeBuilder
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        builder.add_wire("so", "s", length=1 * MM)
+        tree = builder.build()
+        with pytest.raises(InfeasibleError):
+            insert_buffers_single_sink(tree, single_buffer, coupling)
+        solution = insert_buffers_single_sink(
+            tree, single_buffer, coupling, driver_resistance=100.0
+        )
+        assert solution.buffer_count == 0

@@ -1,0 +1,93 @@
+"""Tests for noise-aware segmentation (footnote-3 extension)."""
+
+import pytest
+
+from repro import (
+    InfeasibleError,
+    analyze_noise,
+    buffopt_min_buffers,
+    insert_buffers_multi_sink,
+    segment_tree,
+    two_pin_net,
+)
+from repro.core import noise_aware_segmentation
+from repro.units import FF, MM, NS, UM
+
+
+class TestNoiseAwareSegmentation:
+    def test_reaches_continuous_minimum_count(
+        self, tech, driver, library, coupling
+    ):
+        """BuffOpt on the noise-aware sites achieves the Algorithm-2
+        (continuous-optimal) buffer count exactly."""
+        for mm in (5, 9, 13):
+            net = two_pin_net(
+                tech, mm * MM, driver, 20 * FF, 0.8,
+                required_arrival=5 * NS, name=f"na{mm}",
+            )
+            continuous = insert_buffers_multi_sink(net, library, coupling)
+            sited = noise_aware_segmentation(net, library, coupling)
+            solution = buffopt_min_buffers(sited, library, coupling)
+            assert solution.buffer_count == continuous.buffer_count, mm
+            assert not analyze_noise(
+                sited, coupling, solution.buffer_map()
+            ).violated
+
+    def test_far_fewer_nodes_than_fine_uniform(
+        self, tech, driver, library, coupling
+    ):
+        net = two_pin_net(
+            tech, 12 * MM, driver, 20 * FF, 0.8, required_arrival=5 * NS
+        )
+        sited = noise_aware_segmentation(net, library, coupling)
+        uniform = segment_tree(net, 200 * UM)
+        assert len(sited) < len(uniform) / 5
+
+    def test_sites_carry_no_buffers(self, tech, driver, library, coupling):
+        net = two_pin_net(
+            tech, 9 * MM, driver, 20 * FF, 0.8, required_arrival=5 * NS
+        )
+        sited = noise_aware_segmentation(net, library, coupling)
+        # it's a plain tree: noise analysis shows the original violation
+        assert analyze_noise(sited, coupling).violated
+
+    def test_uniform_extra_overlay(self, tech, driver, library, coupling):
+        net = two_pin_net(
+            tech, 9 * MM, driver, 20 * FF, 0.8, required_arrival=5 * NS
+        )
+        bare = noise_aware_segmentation(net, library, coupling)
+        rich = noise_aware_segmentation(
+            net, library, coupling, uniform_extra=1 * MM
+        )
+        assert len(rich) > len(bare)
+        assert all(w.length <= 1 * MM + 1e-12 for w in rich.wires())
+
+    def test_timing_quality_with_overlay(self, tech, driver, library, coupling):
+        """The coarse overlay restores delay-optimization freedom: slack
+        on the noise-aware tree is close to the fine-uniform slack."""
+        from repro import buffopt
+        from repro.timing import source_slack
+
+        net = two_pin_net(
+            tech, 9 * MM, driver, 20 * FF, 0.8, required_arrival=2 * NS
+        )
+        sited = noise_aware_segmentation(
+            net, library, coupling, uniform_extra=1 * MM
+        )
+        fine = segment_tree(net, 300 * UM)
+        s_sited = buffopt(sited, library, coupling)
+        s_fine = buffopt(fine, library, coupling)
+        q_sited = source_slack(sited, s_sited.buffer_map())
+        q_fine = source_slack(fine, s_fine.buffer_map())
+        assert q_sited >= q_fine - abs(q_fine) * 0.1 - 20e-12
+
+    def test_infeasible_propagates(self, tech, driver, coupling):
+        from repro import BufferType
+        from repro.library import single_buffer_library
+
+        hopeless = single_buffer_library(
+            BufferType("h", 1e7, 1 * FF, 0.0, 1e-3)
+        )
+        net = two_pin_net(tech, 10 * MM, driver, 20 * FF, 1e-3)
+        with pytest.raises(InfeasibleError):
+            noise_aware_segmentation(net, hopeless, coupling)

@@ -1,0 +1,142 @@
+"""Tests for repro.core.solution — discrete and continuous solutions."""
+
+import math
+
+import pytest
+
+from repro import BufferType, TreeStructureError, two_pin_net
+from repro.core import BufferSolution, ContinuousSolution, PlacedBuffer
+from repro.units import FF, MM, PS
+
+
+@pytest.fixture
+def buf():
+    return BufferType("b", 100.0, 10 * FF, 20 * PS, 0.8)
+
+
+@pytest.fixture
+def inv():
+    return BufferType("i", 100.0, 10 * FF, 20 * PS, 0.8, inverting=True)
+
+
+class TestBufferSolution:
+    def test_counts(self, tech, driver, buf):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8, segments=4)
+        solution = BufferSolution(net, {"n1": buf, "n3": buf})
+        assert solution.buffer_count == 2
+        assert solution.buffer_map() == {"n1": buf, "n3": buf}
+
+    def test_rejects_sink_assignment(self, tech, driver, buf):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8, segments=2)
+        with pytest.raises(TreeStructureError):
+            BufferSolution(net, {"si": buf})
+
+    def test_rejects_infeasible_node(self, tech, driver, buf):
+        from repro import TreeBuilder
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("x", feasible=False)
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        builder.add_wire("so", "x", length=1 * MM)
+        builder.add_wire("x", "s", length=1 * MM)
+        with pytest.raises(TreeStructureError):
+            BufferSolution(builder.build(), {"x": buf})
+
+    def test_sink_inversions(self, tech, driver, buf, inv):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8, segments=4)
+        solution = BufferSolution(net, {"n1": inv, "n2": inv, "n3": buf})
+        assert solution.sink_inversions() == {"si": 2}
+
+    def test_describe(self, tech, driver, buf):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8, segments=2)
+        assert "no buffers" in BufferSolution(net, {}).describe()
+        text = BufferSolution(net, {"n1": buf}).describe()
+        assert "n1" in text and "b" in text
+
+
+class TestContinuousRealize:
+    def test_single_placement_splits_wire(self, tech, driver, buf):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8)
+        placement = PlacedBuffer("so", "si", 1 * MM, buf)
+        buffered, solution = ContinuousSolution(net, (placement,)).realize()
+        assert solution.buffer_count == 1
+        assert math.isclose(buffered.total_wire_length(), 4 * MM)
+        site = next(iter(solution.buffer_map()))
+        wire_below = buffered.node("si").parent_wire
+        assert wire_below.parent.name == site
+        assert math.isclose(wire_below.length, 1 * MM)
+
+    def test_multiple_placements_ordered(self, tech, driver, buf):
+        net = two_pin_net(tech, 6 * MM, driver, 10 * FF, 0.8)
+        placements = (
+            PlacedBuffer("so", "si", 1 * MM, buf),
+            PlacedBuffer("so", "si", 4 * MM, buf),
+        )
+        buffered, solution = ContinuousSolution(net, placements).realize()
+        assert solution.buffer_count == 2
+        lengths = sorted(w.length for w in buffered.wires())
+        assert [round(l / MM, 6) for l in lengths] == [1.0, 2.0, 3.0]
+
+    def test_electricals_distribute_proportionally(self, tech, driver, buf):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8)
+        original = next(net.wires())
+        buffered, _ = ContinuousSolution(
+            net, (PlacedBuffer("so", "si", 1 * MM, buf),)
+        ).realize()
+        total_r = sum(w.resistance for w in buffered.wires())
+        total_c = sum(w.capacitance for w in buffered.wires())
+        assert math.isclose(total_r, original.resistance, rel_tol=1e-12)
+        assert math.isclose(total_c, original.capacitance, rel_tol=1e-12)
+
+    def test_zero_distance_placement(self, tech, driver, buf):
+        """Buffer right above the sink: zero-length lower piece."""
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8)
+        buffered, solution = ContinuousSolution(
+            net, (PlacedBuffer("so", "si", 0.0, buf),)
+        ).realize()
+        wire_below = buffered.node("si").parent_wire
+        assert wire_below.length == 0.0
+        assert wire_below.parent.name in solution.buffer_map()
+
+    def test_full_length_placement(self, tech, driver, buf):
+        """Buffer right after the source: zero-length upper piece."""
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8)
+        buffered, solution = ContinuousSolution(
+            net, (PlacedBuffer("so", "si", 4 * MM, buf),)
+        ).realize()
+        site = next(iter(solution.buffer_map()))
+        upper = buffered.node(site).parent_wire
+        assert upper.parent.name == "so"
+        assert upper.length == 0.0
+
+    def test_beyond_length_rejected(self, tech, driver, buf):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8)
+        with pytest.raises(TreeStructureError):
+            ContinuousSolution(
+                net, (PlacedBuffer("so", "si", 5 * MM, buf),)
+            ).realize()
+
+    def test_unknown_wire_rejected(self, tech, driver, buf):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8)
+        with pytest.raises(TreeStructureError):
+            ContinuousSolution(
+                net, (PlacedBuffer("a", "b", 1 * MM, buf),)
+            ).realize()
+
+    def test_negative_distance_rejected(self, buf):
+        with pytest.raises(TreeStructureError):
+            PlacedBuffer("a", "b", -1.0, buf)
+
+    def test_empty_solution_realizes_to_copy(self, tech, driver):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8)
+        buffered, solution = ContinuousSolution(net, ()).realize()
+        assert solution.buffer_count == 0
+        assert len(buffered) == len(net)
+
+    def test_describe(self, tech, driver, buf):
+        net = two_pin_net(tech, 4 * MM, driver, 10 * FF, 0.8)
+        empty = ContinuousSolution(net, ())
+        assert "no buffers" in empty.describe()
+        full = ContinuousSolution(net, (PlacedBuffer("so", "si", 1 * MM, buf),))
+        assert "b@so->si" in full.describe()

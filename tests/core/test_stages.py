@@ -1,0 +1,85 @@
+"""Tests for repro.core.stages — restoring-stage decomposition."""
+
+import math
+
+import pytest
+
+from repro import AnalysisError, BufferType, decompose_stages, two_pin_net
+from repro.units import FF, MM, PS
+
+
+@pytest.fixture
+def buf():
+    return BufferType("b", 120.0, 12 * FF, 20 * PS, 0.8)
+
+
+class TestDecompose:
+    def test_unbuffered_single_stage(self, y_tree):
+        stages = decompose_stages(y_tree)
+        assert len(stages) == 1
+        stage = stages[0]
+        assert stage.is_source_stage
+        assert stage.resistance == y_tree.driver.resistance
+        assert {s.node.name for s in stage.sinks} == {"s1", "s2"}
+        assert stage.wire_count() == 3
+
+    def test_buffered_creates_m_plus_1_stages(self, tech, driver, buf):
+        net = two_pin_net(tech, 6 * MM, driver, 10 * FF, 0.8, segments=3)
+        stages = decompose_stages(net, {"n1": buf, "n2": buf})
+        assert len(stages) == 3
+
+    def test_source_stage_first(self, tech, driver, buf):
+        net = two_pin_net(tech, 6 * MM, driver, 10 * FF, 0.8, segments=3)
+        stages = decompose_stages(net, {"n1": buf})
+        assert stages[0].is_source_stage
+        assert not stages[1].is_source_stage
+        assert stages[1].resistance == buf.resistance
+
+    def test_buffer_input_is_stage_sink(self, tech, driver, buf):
+        net = two_pin_net(tech, 6 * MM, driver, 10 * FF, 0.8, segments=3)
+        stages = decompose_stages(net, {"n1": buf})
+        source_stage = stages[0]
+        assert len(source_stage.sinks) == 1
+        sink = source_stage.sinks[0]
+        assert sink.node.name == "n1"
+        assert sink.is_buffer_input
+        assert sink.noise_margin == buf.noise_margin
+        assert sink.capacitance == buf.input_capacitance
+
+    def test_stage_wires_partition_tree(self, tech, driver, buf):
+        net = two_pin_net(tech, 8 * MM, driver, 10 * FF, 0.8, segments=4)
+        stages = decompose_stages(net, {"n1": buf, "n3": buf})
+        all_wires = [w.name for stage in stages for w in stage.wires]
+        assert sorted(all_wires) == sorted(w.name for w in net.wires())
+
+    def test_wires_in_parent_before_child_order(self, tech, driver, buf):
+        net = two_pin_net(tech, 8 * MM, driver, 10 * FF, 0.8, segments=4)
+        for stage in decompose_stages(net, {"n2": buf}):
+            seen = {stage.root.name}
+            for wire in stage.wires:
+                assert wire.parent.name in seen
+                seen.add(wire.child.name)
+
+    def test_explicit_driver_resistance(self, y_tree):
+        stages = decompose_stages(y_tree, driver_resistance=777.0)
+        assert stages[0].resistance == 777.0
+
+    def test_missing_driver_raises(self, tech, buf):
+        from repro import TreeBuilder
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        builder.add_wire("so", "s", length=1 * MM)
+        with pytest.raises(AnalysisError):
+            decompose_stages(builder.build())
+
+    def test_buffer_on_sink_rejected(self, y_tree, buf):
+        with pytest.raises(AnalysisError):
+            decompose_stages(y_tree, {"s1": buf})
+
+    def test_real_sink_capacitance_carried(self, y_tree):
+        stage = decompose_stages(y_tree)[0]
+        caps = {s.node.name: s.capacitance for s in stage.sinks}
+        assert math.isclose(caps["s1"], 15 * FF)
+        assert math.isclose(caps["s2"], 25 * FF)

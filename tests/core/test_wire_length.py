@@ -1,0 +1,185 @@
+"""Tests for repro.core.wire_length — Theorem 1 and its corollaries."""
+
+import math
+
+import pytest
+
+from repro import InfeasibleError, max_safe_length, unloaded_max_length
+from repro.core import (
+    max_coupling_ratio,
+    max_safe_length_estimation,
+    min_separation,
+    uniform_line_spacing,
+    uniform_wire_noise,
+    violating_margin_bound,
+)
+
+R = 7.6e4  # ohm/m
+I = 0.6  # A/m
+NM = 0.8  # V
+
+
+class TestMaxSafeLength:
+    def test_noise_at_lmax_exactly_exhausts_slack(self):
+        """The defining property: plugging l_max back into the noise
+        expression gives exactly the slack."""
+        for rb in (0.0, 50.0, 200.0, 800.0):
+            for big_i in (0.0, 1e-3, 5e-3):
+                slack = NM
+                if slack < rb * big_i:
+                    continue
+                length = max_safe_length(rb, R, I, big_i, slack)
+                noise = uniform_wire_noise(rb, R, I, length, big_i)
+                assert math.isclose(noise, slack, rel_tol=1e-9), (rb, big_i)
+
+    def test_zero_slack_boundary_gives_zero_length(self):
+        """Paper: 'if the noise slack equals Rb*I then the length is 0'."""
+        assert max_safe_length(100.0, R, I, 3e-3, 100.0 * 3e-3) == 0.0
+
+    def test_below_boundary_is_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            max_safe_length(100.0, R, I, 3e-3, 100.0 * 3e-3 * 0.99)
+
+    def test_driverless_closed_form(self):
+        """Paper: max length at Rb = I = 0 is sqrt(2*NS/(r*i))."""
+        expected = math.sqrt(2 * NM / (R * I))
+        assert math.isclose(unloaded_max_length(R, I, NM), expected)
+
+    def test_monotone_decreasing_in_driver_resistance(self):
+        lengths = [max_safe_length(rb, R, I, 0.0, NM)
+                   for rb in (0.0, 100.0, 300.0, 900.0)]
+        assert all(a > b for a, b in zip(lengths, lengths[1:]))
+
+    def test_monotone_decreasing_in_downstream_current(self):
+        lengths = [max_safe_length(150.0, R, I, c, NM)
+                   for c in (0.0, 1e-3, 3e-3, 5e-3)]
+        assert all(a > b for a, b in zip(lengths, lengths[1:]))
+
+    def test_monotone_increasing_in_slack(self):
+        lengths = [max_safe_length(150.0, R, I, 0.0, ns)
+                   for ns in (0.2, 0.5, 0.8, 1.2)]
+        assert all(a < b for a, b in zip(lengths, lengths[1:]))
+
+    def test_infinite_when_no_noise_possible(self):
+        assert math.isinf(max_safe_length(100.0, R, 0.0, 0.0, NM))
+        assert math.isinf(max_safe_length(0.0, 0.0, 0.0, 0.0, NM))
+
+    def test_linear_case_no_wire_resistance(self):
+        """r = 0: budget is linear, l = (NS - Rb*I) / (Rb*i)."""
+        rb, big_i = 200.0, 1e-3
+        length = max_safe_length(rb, 0.0, I, big_i, NM)
+        expected = (NM - rb * big_i) / (rb * I)
+        assert math.isclose(length, expected)
+
+    def test_linear_case_no_wire_current(self):
+        """i = 0 but downstream current: l = (NS - Rb*I) / (r*I)."""
+        rb, big_i = 200.0, 1e-3
+        length = max_safe_length(rb, R, 0.0, big_i, NM)
+        expected = (NM - rb * big_i) / (R * big_i)
+        assert math.isclose(length, expected)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            max_safe_length(-1.0, R, I, 0.0, NM)
+        with pytest.raises(ValueError):
+            max_safe_length(1.0, R, I, -1e-3, NM)
+
+    def test_estimation_form_matches_direct(self, tech):
+        """Eq. 16 == Theorem 1 with i = lambda*c*sigma substituted."""
+        lam, sigma = 0.7, 7.2e9
+        direct = max_safe_length(
+            200.0, tech.unit_resistance,
+            lam * tech.unit_capacitance * sigma, 1e-3, NM,
+        )
+        est = max_safe_length_estimation(
+            200.0, tech.unit_resistance, tech.unit_capacitance,
+            lam, sigma, 1e-3, NM,
+        )
+        assert math.isclose(direct, est)
+
+
+class TestMaxCouplingRatio:
+    def test_roundtrip_with_max_length(self, tech):
+        """lambda_max at length l_max(lambda) recovers lambda."""
+        lam = 0.5
+        sigma = 7.2e9
+        length = max_safe_length_estimation(
+            150.0, tech.unit_resistance, tech.unit_capacitance,
+            lam, sigma, 0.0, NM,
+        )
+        back = max_coupling_ratio(
+            length, 150.0, tech.unit_resistance, tech.unit_capacitance,
+            sigma, 0.0, NM,
+        )
+        assert math.isclose(back, lam, rel_tol=1e-9)
+
+    def test_infeasible_when_base_noise_exceeds_slack(self, tech):
+        with pytest.raises(InfeasibleError):
+            max_coupling_ratio(
+                1e-3, 1000.0, tech.unit_resistance, tech.unit_capacitance,
+                7.2e9, 1.0, NM,  # 1 A downstream: hopeless
+            )
+
+    def test_infinite_when_no_resistance(self, tech):
+        assert math.isinf(
+            max_coupling_ratio(
+                0.0, 0.0, 0.0, tech.unit_capacitance, 7.2e9, 0.0, NM
+            )
+        )
+
+
+class TestMinSeparation:
+    def test_separation_scales_with_coupling_constant(self, tech):
+        args = (2e-3, 150.0, tech.unit_resistance, tech.unit_capacitance,
+                7.2e9, 0.0, NM)
+        d1 = min_separation(1e-7, *args)
+        d2 = min_separation(2e-7, *args)
+        assert math.isclose(d2, 2 * d1)
+
+    def test_longer_wire_needs_more_separation(self, tech):
+        base = (150.0, tech.unit_resistance, tech.unit_capacitance,
+                7.2e9, 0.0, NM)
+        near = min_separation(1e-7, 1e-3, *base)
+        far = min_separation(1e-7, 4e-3, *base)
+        assert far > near
+
+    def test_zero_constant_means_no_constraint(self, tech):
+        assert min_separation(
+            0.0, 1e-3, 150.0, tech.unit_resistance, tech.unit_capacitance,
+            7.2e9, 0.0, NM,
+        ) == 0.0
+
+
+class TestTheorem2Bound:
+    def test_margin_below_bound_is_violated(self):
+        """Any margin below the wire's noise fails (eq. 19 existence)."""
+        noise = violating_margin_bound(200.0, R, I, 4e-3)
+        assert noise > 0
+        # the bound is exactly the uniform wire noise
+        assert math.isclose(noise, uniform_wire_noise(200.0, R, I, 4e-3))
+
+    def test_bound_grows_with_length(self):
+        values = [violating_margin_bound(200.0, R, I, l)
+                  for l in (1e-3, 2e-3, 4e-3)]
+        assert values[0] < values[1] < values[2]
+
+    def test_superlinear_growth(self):
+        """Wire noise grows faster than linearly in length (the r*i*l^2/2
+        term) — the reason delay-spacing cannot cap noise."""
+        v1 = violating_margin_bound(0.0, R, I, 2e-3)
+        v2 = violating_margin_bound(0.0, R, I, 4e-3)
+        assert v2 > 2 * v1
+
+
+class TestUniformLineSpacing:
+    def test_equal_margins_give_equal_spans(self):
+        plan = uniform_line_spacing(150.0, NM, R, I, NM)
+        assert math.isclose(plan.first_span, plan.repeat_span)
+
+    def test_larger_buffer_margin_stretches_repeat_span(self):
+        plan = uniform_line_spacing(150.0, 2 * NM, R, I, NM)
+        assert plan.repeat_span > plan.first_span
+
+    def test_spans_below_driverless_ceiling(self):
+        plan = uniform_line_spacing(150.0, NM, R, I, NM)
+        assert plan.repeat_span < unloaded_max_length(R, I, NM)

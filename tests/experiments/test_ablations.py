@@ -1,0 +1,78 @@
+"""Tests for repro.experiments.ablations."""
+
+import pytest
+
+from repro.experiments import (
+    default_experiment,
+    format_ablations,
+    noise_sites_ablation,
+    pruning_ablation,
+    segmentation_ablation,
+    sizing_ablation,
+)
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return default_experiment(nets=10, seed=99)
+
+
+class TestPruningAblation:
+    def test_pareto_never_loses_slack(self, experiment):
+        result = pruning_ablation(experiment, sample=6)
+        assert result.nets == 6
+        assert result.mean_slack_delta >= -1e-15
+        assert result.pareto_kept_peak >= result.timing_kept_peak
+
+
+class TestSegmentationAblation:
+    def test_finer_improves_slack_and_grows_nodes(self, experiment):
+        points = segmentation_ablation(
+            experiment, granularities=(2000 * UM, 500 * UM), sample=6
+        )
+        coarse, fine = points
+        assert fine.mean_slack >= coarse.mean_slack - 1e-15
+        assert fine.mean_nodes > coarse.mean_nodes
+
+
+class TestNoiseSitesAblation:
+    def test_mostly_matches_continuous_with_fewer_nodes(self, experiment):
+        result = noise_sites_ablation(experiment, sample=8)
+        assert result.nets > 0
+        # The continuous optimum ignores polarity; the DP enforces it with
+        # the mixed library, so tight sites (placed for the inverting
+        # min-R buffer) can cost one extra buffer on rare nets.
+        assert result.matched_counts >= result.nets - 1
+        assert result.mean_site_nodes < result.mean_uniform_nodes
+
+
+class TestSizingAblation:
+    def test_sizing_never_hurts(self, experiment):
+        result = sizing_ablation(experiment, sample=5)
+        assert result.mean_slack_gain >= -1e-15
+        assert 0 <= result.improved <= result.nets
+
+
+class TestRunAll:
+    def test_run_all_produces_full_report(self):
+        from repro.experiments import run_all_ablations
+
+        text = run_all_ablations(default_experiment(nets=8, seed=2))
+        assert "Ablation studies" in text
+        assert "[wire sizing]" in text
+
+
+class TestFormatting:
+    def test_report_contains_all_sections(self, experiment):
+        text = format_ablations(
+            pruning_ablation(experiment, sample=4),
+            segmentation_ablation(
+                experiment, granularities=(2000 * UM, 1000 * UM), sample=4
+            ),
+            noise_sites_ablation(experiment, sample=4),
+            sizing_ablation(experiment, sample=4),
+        )
+        for section in ("pruning rule", "segmentation granularity",
+                        "noise-aware sites", "wire sizing"):
+            assert section in text

@@ -1,0 +1,44 @@
+"""Tests for the buffopt CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_targets(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.target == "table1"
+        assert args.nets == 500
+
+    def test_nets_flag(self):
+        args = build_parser().parse_args(["table3", "--nets", "25"])
+        assert args.nets == 25
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+
+class TestMain:
+    def test_table1(self, capsys):
+        assert main(["table1", "--nets", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures", "--nets", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+
+    def test_table3_small(self, capsys):
+        assert main(["table3", "--nets", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "BuffOpt" in out
+        assert "DelayOpt(4)" in out
+
+    def test_table4_small(self, capsys):
+        assert main(["table4", "--nets", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "penalty" in out

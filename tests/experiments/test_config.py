@@ -1,0 +1,49 @@
+"""Tests for repro.experiments.config."""
+
+import math
+
+import pytest
+
+from repro.experiments import bench_population_size, default_experiment
+
+
+class TestDefaultExperiment:
+    def test_paper_constants(self):
+        experiment = default_experiment(nets=10)
+        assert experiment.technology.vdd == 1.8
+        assert experiment.coupling.coupling_ratio == 0.7
+        assert math.isclose(experiment.coupling.slope, 7.2e9)
+        assert experiment.workload.noise_margin == 0.8
+        assert len(experiment.library) == 11
+
+    def test_population_lazy_and_cached(self):
+        experiment = default_experiment(nets=8)
+        first = experiment.nets
+        assert len(first) == 8
+        assert experiment.nets is first
+
+    def test_population_size_parameter(self):
+        assert len(default_experiment(nets=12).nets) == 12
+
+    def test_seed_changes_population(self):
+        a = default_experiment(nets=10, seed=1).nets
+        b = default_experiment(nets=10, seed=2).nets
+        assert any(
+            x.tree.total_wire_length() != y.tree.total_wire_length()
+            for x, y in zip(a, b)
+        )
+
+
+class TestBenchPopulationSize:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_NETS", raising=False)
+        assert bench_population_size(77) == 77
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_NETS", "250")
+        assert bench_population_size() == 250
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_NETS", "0")
+        with pytest.raises(ValueError):
+            bench_population_size()

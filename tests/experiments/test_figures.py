@@ -1,0 +1,85 @@
+"""Tests for repro.experiments.figures — the characterization sweeps."""
+
+import math
+
+import pytest
+
+from repro.experiments import build_all_figures, default_experiment, format_figures
+from repro.experiments.figures import (
+    spacing_by_buffer,
+    theorem1_vs_downstream_current,
+    theorem1_vs_driver_resistance,
+    theorem2_margin_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return default_experiment(nets=5)
+
+
+class TestTheorem1Sweeps:
+    def test_length_decreases_with_resistance(self, experiment):
+        series = theorem1_vs_driver_resistance(experiment)
+        assert all(a > b for a, b in zip(series.y, series.y[1:]))
+
+    def test_zero_resistance_hits_driverless_ceiling(self, experiment):
+        from repro import unloaded_max_length
+
+        series = theorem1_vs_driver_resistance(experiment)
+        tech = experiment.technology
+        ceiling = unloaded_max_length(
+            tech.unit_resistance,
+            experiment.coupling.unit_current(tech.unit_capacitance),
+            0.8,
+        )
+        assert series.x[0] == 0.0
+        assert math.isclose(series.y[0], ceiling, rel_tol=1e-12)
+
+    def test_length_decreases_with_current(self, experiment):
+        series = theorem1_vs_downstream_current(experiment)
+        assert all(a > b for a, b in zip(series.y, series.y[1:]))
+
+    def test_current_sweep_stops_at_infeasibility(self, experiment):
+        series = theorem1_vs_downstream_current(
+            experiment, currents=[0.0, 1e-3, 3e-3, 5e-3, 8e-3],
+            driver_resistance=200.0, noise_slack=0.8,
+        )
+        # 0.8/200 = 4 mA: the 5 and 8 mA points must be dropped
+        assert max(series.x) <= 4e-3
+
+
+class TestSpacing:
+    def test_stronger_buffers_space_further(self, experiment):
+        first, repeat, ceiling = spacing_by_buffer(experiment)
+        pairs = sorted(zip(repeat.x, repeat.y))
+        spans = [y for _, y in pairs]
+        assert all(a >= b for a, b in zip(spans, spans[1:]))  # Rb up, span down
+
+    def test_spans_below_ceiling(self, experiment):
+        first, repeat, ceiling = spacing_by_buffer(experiment)
+        assert all(y < ceiling.y[0] for y in repeat.y)
+
+
+class TestTheorem2Curve:
+    def test_monotone_superlinear(self, experiment):
+        series = theorem2_margin_curve(experiment)
+        assert all(a < b for a, b in zip(series.y, series.y[1:]))
+        # noise at 2x length is more than 2x noise (quadratic term)
+        half = series.y[len(series.y) // 2 - 1]
+
+
+class TestFormatting:
+    def test_build_all(self, experiment):
+        series = build_all_figures(experiment)
+        assert len(series) >= 5
+        text = format_figures(series)
+        assert "Theorem 1" in text
+        assert "Theorem 2" in text
+        assert "Fig. 7" in text
+
+    def test_series_format(self, experiment):
+        series = theorem1_vs_driver_resistance(experiment)
+        text = series.format(y_scale=1e3)
+        assert series.label in text
+        assert len(text.splitlines()) == len(series.x) + 1

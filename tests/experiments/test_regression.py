@@ -1,0 +1,49 @@
+"""Pinned regression values for the deterministic pipeline.
+
+The workload is seeded and every algorithm is deterministic, so these
+exact numbers must not drift under refactoring.  If an *intentional*
+algorithmic change moves them, re-derive the constants (the test header
+of each assertion explains what it pins) and re-record EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import build_table4, default_experiment, run_population
+
+
+@pytest.fixture(scope="module")
+def run_and_experiment():
+    experiment = default_experiment(nets=40, seed=42)
+    return run_population(experiment), experiment
+
+
+class TestPinnedPipeline:
+    def test_buffer_histogram(self, run_and_experiment):
+        run, _ = run_and_experiment
+        assert run.buffer_histogram() == {0: 3, 1: 30, 2: 7}
+
+    def test_violations_before(self, run_and_experiment):
+        run, _ = run_and_experiment
+        assert run.nets_with_violations_before() == 37
+
+    def test_buffopt_fixes_everything(self, run_and_experiment):
+        run, _ = run_and_experiment
+        assert run.nets_with_violations_after_buffopt() == 0
+
+    def test_delayopt1_violations(self, run_and_experiment):
+        run, _ = run_and_experiment
+        assert run.nets_with_violations_after_delayopt(1) == 10
+
+    def test_delayopt4_total_buffers(self, run_and_experiment):
+        run, _ = run_and_experiment
+        assert run.total_delayopt_buffers(4) == 100
+
+    def test_delay_penalty(self, run_and_experiment):
+        run, experiment = run_and_experiment
+        table = build_table4(experiment, run)
+        assert table.average_penalty_percent == pytest.approx(
+            0.718454, abs=1e-3
+        )
+        assert table.weighted_buffopt * 1e12 == pytest.approx(
+            219.981, abs=0.01
+        )

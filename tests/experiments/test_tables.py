@@ -1,0 +1,145 @@
+"""End-to-end tests for the Table I–IV builders (small population).
+
+These assert the *shapes* the paper reports, on a reduced seeded
+population so the suite stays fast; the benchmarks regenerate the full
+tables.
+"""
+
+import pytest
+
+from repro.experiments import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    default_experiment,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    run_population,
+)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return default_experiment(nets=40, seed=42)
+
+
+@pytest.fixture(scope="module")
+def run(experiment):
+    return run_population(experiment)
+
+
+class TestTable1:
+    def test_histogram_covers_population(self, experiment):
+        table = build_table1(experiment)
+        assert sum(table.histogram.values()) == 40
+        assert table.total_nets == 40
+        assert table.mean_wirelength > 1e-3  # multi-mm regime
+
+    def test_format(self, experiment):
+        text = format_table1(build_table1(experiment))
+        assert "Table I" in text
+        assert "total |    40" in text
+
+
+class TestTable2:
+    def test_paper_shape(self, experiment, run):
+        table = build_table2(experiment, run)
+        # most nets violate before; the detailed count is a subset
+        assert table.metric_before > 0.5 * table.nets
+        assert table.detailed_before <= table.metric_before
+        assert table.detailed_only_before == 0  # upper-bound direction
+        # BuffOpt fixes everything, under both analyses
+        assert table.metric_after == 0
+        assert table.detailed_after == 0
+
+    def test_format(self, experiment, run):
+        text = format_table2(build_table2(experiment, run))
+        assert "Table II" in text
+        assert "after BuffOpt" in text
+
+
+class TestTable3:
+    def test_paper_shape(self, run):
+        table = build_table3(run)
+        by_method = {row.method: row for row in table.rows}
+        buffopt = by_method["BuffOpt"]
+        delayopt4 = by_method["DelayOpt(4)"]
+        # BuffOpt: zero remaining violations, bounded counts
+        assert buffopt.violations == 0
+        assert max(buffopt.histogram) <= 8
+        # DelayOpt(k) inserts more buffers in total at k=4
+        assert delayopt4.total_buffers > buffopt.total_buffers
+        # DelayOpt(1) leaves violations (Theorem 2 empirically)
+        assert by_method["DelayOpt(1)"].violations > 0
+        # the broad trend: more allowed buffers, fewer violations.  (Not
+        # strictly monotone — a k-buffer max-slack solution can be noisier
+        # than the (k-1)-buffer one — so compare the endpoints.)
+        violations = [by_method[f"DelayOpt({k})"].violations for k in (1, 2, 3, 4)]
+        assert violations[0] >= violations[-1]
+        assert violations[0] > violations[2]
+
+    def test_cpu_times_recorded(self, run):
+        table = build_table3(run)
+        assert all(row.cpu_seconds > 0 for row in table.rows)
+
+    def test_format(self, run):
+        text = format_table3(build_table3(run))
+        assert "Table III" in text
+        assert "BuffOpt" in text and "DelayOpt(4)" in text
+
+
+class TestTable4:
+    def test_paper_shape(self, experiment, run):
+        table = build_table4(experiment, run)
+        assert table.rows, "some nets must have received buffers"
+        # DelayOpt's reduction upper-bounds BuffOpt's at matched counts
+        for row in table.rows:
+            assert row.delayopt_reduction >= row.buffopt_reduction - 1e-12
+        # the paper's headline: the penalty is small (<2 %; allow 5 % on
+        # the reduced population)
+        assert table.average_penalty_percent < 5.0
+        assert table.weighted_buffopt > 0
+
+    def test_format(self, experiment, run):
+        text = format_table4(build_table4(experiment, run))
+        assert "Table IV" in text
+        assert "penalty" in text
+
+
+class TestSeparateDelayoptTiming:
+    def test_per_k_seconds_recorded_and_used(self, experiment):
+        from repro.experiments import run_population as run_pop
+
+        timed = run_pop(
+            default_experiment(nets=6, seed=13),
+            separate_delayopt_timing=True,
+        )
+        assert set(timed.delayopt_seconds_per_k) == {1, 2, 3, 4}
+        assert all(v > 0 for v in timed.delayopt_seconds_per_k.values())
+        table = build_table3(timed)
+        by_method = {row.method: row for row in table.rows}
+        for k in (1, 2, 3, 4):
+            assert by_method[f"DelayOpt({k})"].cpu_seconds == pytest.approx(
+                timed.delayopt_seconds_per_k[k]
+            )
+
+    def test_default_run_has_no_per_k(self, run):
+        assert run.delayopt_seconds_per_k == {}
+
+
+class TestPopulationRunAccessors:
+    def test_histogram_and_totals_consistent(self, run):
+        histogram = run.buffer_histogram()
+        assert sum(histogram.values()) == len(run.records)
+        assert run.total_buffopt_buffers() == sum(
+            count * nets for count, nets in histogram.items()
+        )
+
+    def test_violation_counters(self, run):
+        before = run.nets_with_violations_before()
+        assert before > 0
+        assert run.nets_with_violations_after_buffopt() == 0
+        assert run.nets_with_violations_after_delayopt(1) <= before

@@ -1,0 +1,114 @@
+"""Tests for repro.library.buffers."""
+
+import math
+
+import pytest
+
+from repro import BufferLibrary, BufferType, TechnologyError, default_buffer_library
+from repro.units import FF, PS
+
+
+def make(name="b", r=100.0, c=10 * FF, d=20 * PS, nm=0.8, inv=False):
+    return BufferType(name, r, c, d, nm, inv)
+
+
+class TestBufferType:
+    def test_gate_delay_is_linear(self):
+        buf = make(r=200.0, d=10 * PS)
+        assert math.isclose(buf.gate_delay(0.0), 10 * PS)
+        assert math.isclose(buf.gate_delay(50 * FF), 10 * PS + 200.0 * 50 * FF)
+
+    def test_gate_delay_rejects_negative_load(self):
+        with pytest.raises(TechnologyError):
+            make().gate_delay(-1 * FF)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"r": 0.0},
+        {"r": -5.0},
+        {"c": -1 * FF},
+        {"d": -1 * PS},
+        {"nm": 0.0},
+        {"nm": -0.8},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(TechnologyError):
+            make(**kwargs)
+
+    def test_frozen(self):
+        buf = make()
+        with pytest.raises(AttributeError):
+            buf.resistance = 1.0
+
+
+class TestBufferLibrary:
+    def test_empty_library_rejected(self):
+        with pytest.raises(TechnologyError):
+            BufferLibrary([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TechnologyError):
+            BufferLibrary([make("x"), make("x", r=50.0)])
+
+    def test_iteration_preserves_order(self):
+        lib = BufferLibrary([make("a"), make("b", r=50.0), make("c", r=75.0)])
+        assert [b.name for b in lib] == ["a", "b", "c"]
+
+    def test_lookup_by_name(self):
+        lib = BufferLibrary([make("a"), make("b", r=50.0)])
+        assert lib["b"].resistance == 50.0
+        assert "a" in lib
+        assert "zzz" not in lib
+        with pytest.raises(KeyError):
+            lib["zzz"]
+
+    def test_smallest_resistance(self):
+        lib = BufferLibrary([make("a", r=300.0), make("b", r=50.0), make("c", r=75.0)])
+        assert lib.smallest_resistance().name == "b"
+
+    def test_polarity_filters(self):
+        lib = BufferLibrary([make("a"), make("i", inv=True)])
+        assert [b.name for b in lib.non_inverting()] == ["a"]
+        assert [b.name for b in lib.inverting()] == ["i"]
+
+    def test_polarity_filter_raises_when_empty(self):
+        lib = BufferLibrary([make("a")])
+        with pytest.raises(TechnologyError):
+            lib.inverting()
+
+    def test_restricted(self):
+        lib = BufferLibrary([make("a"), make("b", r=50.0), make("c", r=75.0)])
+        sub = lib.restricted(["c", "a"])
+        assert [b.name for b in sub] == ["a", "c"]  # library order kept
+        with pytest.raises(KeyError):
+            lib.restricted(["nope"])
+
+    def test_len(self):
+        assert len(BufferLibrary([make("a"), make("b", r=9.0)])) == 2
+
+
+class TestDefaultLibrary:
+    def test_paper_composition_5_inverting_6_noninverting(self):
+        lib = default_buffer_library()
+        assert len(lib) == 11
+        assert len(lib.inverting()) == 5
+        assert len(lib.non_inverting()) == 6
+
+    def test_strength_grading(self):
+        """Stronger buffers: lower resistance, higher input capacitance."""
+        lib = default_buffer_library()
+        for family in (lib.non_inverting(), lib.inverting()):
+            buffers = list(family)
+            resistances = [b.resistance for b in buffers]
+            caps = [b.input_capacitance for b in buffers]
+            assert resistances == sorted(resistances, reverse=True)
+            assert caps == sorted(caps)
+
+    def test_uniform_noise_margin(self):
+        lib = default_buffer_library(noise_margin=0.73)
+        assert all(b.noise_margin == 0.73 for b in lib)
+
+    def test_smallest_input_capacitance_is_small(self):
+        """Algorithm 3 practicality: a small-Cin buffer must exist
+        (Section IV-C discussion)."""
+        lib = default_buffer_library()
+        assert min(b.input_capacitance for b in lib) <= 10 * FF

@@ -1,0 +1,78 @@
+"""Tests for repro.library.cells."""
+
+import math
+
+import pytest
+
+from repro import CellLibrary, DriverCell, SinkCell, TechnologyError, default_cell_library
+from repro.units import FF, PS
+
+
+class TestDriverCell:
+    def test_gate_delay(self):
+        drv = DriverCell("d", resistance=300.0, intrinsic_delay=15 * PS)
+        assert math.isclose(drv.gate_delay(10 * FF), 15 * PS + 300.0 * 10 * FF)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(TechnologyError):
+            DriverCell("d", resistance=0.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(TechnologyError):
+            DriverCell("d", resistance=10.0, intrinsic_delay=-1.0)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(TechnologyError):
+            DriverCell("d", resistance=10.0).gate_delay(-1.0)
+
+
+class TestSinkCell:
+    def test_valid(self):
+        sink = SinkCell("s", input_capacitance=12 * FF, noise_margin=0.8)
+        assert sink.input_capacitance == 12 * FF
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(TechnologyError):
+            SinkCell("s", input_capacitance=-1.0, noise_margin=0.8)
+
+    def test_rejects_nonpositive_margin(self):
+        with pytest.raises(TechnologyError):
+            SinkCell("s", input_capacitance=1 * FF, noise_margin=0.0)
+
+
+class TestCellLibrary:
+    def test_default_composition(self):
+        lib = default_cell_library()
+        assert len(lib.drivers) >= 4
+        assert len(lib.sinks) >= 3
+
+    def test_lookup(self):
+        lib = default_cell_library()
+        name = lib.drivers[0].name
+        assert lib.driver(name) is lib.drivers[0]
+        with pytest.raises(KeyError):
+            lib.driver("missing")
+        with pytest.raises(KeyError):
+            lib.sink("missing")
+
+    def test_needs_drivers_and_sinks(self):
+        drv = DriverCell("d", resistance=10.0)
+        sink = SinkCell("s", input_capacitance=1 * FF, noise_margin=0.8)
+        with pytest.raises(TechnologyError):
+            CellLibrary([], [sink])
+        with pytest.raises(TechnologyError):
+            CellLibrary([drv], [])
+
+    def test_duplicate_names_rejected(self):
+        drv = DriverCell("x", resistance=10.0)
+        sink = SinkCell("x", input_capacitance=1 * FF, noise_margin=0.8)
+        with pytest.raises(TechnologyError):
+            CellLibrary([drv], [sink])
+
+    def test_margin_propagates(self):
+        lib = default_cell_library(noise_margin=0.65)
+        assert all(s.noise_margin == 0.65 for s in lib.sinks)
+
+    def test_iteration_yields_all_cells(self):
+        lib = default_cell_library()
+        assert len(list(lib)) == len(lib.drivers) + len(lib.sinks)

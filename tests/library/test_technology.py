@@ -1,0 +1,99 @@
+"""Tests for repro.library.technology."""
+
+import math
+
+import pytest
+
+from repro import TechnologyError, default_technology
+from repro.units import NS, UM
+
+
+class TestTechnologyValidation:
+    def test_default_is_valid(self):
+        tech = default_technology()
+        assert tech.unit_resistance > 0
+        assert tech.unit_capacitance > 0
+
+    @pytest.mark.parametrize("field,value", [
+        ("unit_resistance", 0.0),
+        ("unit_resistance", -1.0),
+        ("unit_capacitance", 0.0),
+        ("vdd", 0.0),
+        ("vdd", -1.8),
+        ("default_coupling_ratio", -0.1),
+        ("default_coupling_ratio", 1.1),
+        ("default_aggressor_slew", 0.0),
+    ])
+    def test_rejects_out_of_domain(self, field, value):
+        with pytest.raises(TechnologyError):
+            default_technology().scaled(**{field: value})
+
+    def test_scaled_returns_new_instance(self):
+        tech = default_technology()
+        other = tech.scaled(vdd=2.5)
+        assert other.vdd == 2.5
+        assert tech.vdd != 2.5  # immutable original
+
+
+class TestDerivedQuantities:
+    def test_paper_slope_is_7_2_volts_per_ns(self):
+        tech = default_technology().scaled(
+            vdd=1.8, default_aggressor_slew=0.25 * NS
+        )
+        assert math.isclose(tech.default_aggressor_slope, 7.2e9)
+
+    def test_wire_resistance_scales_linearly(self):
+        tech = default_technology()
+        r1 = tech.wire_resistance(1000 * UM)
+        r2 = tech.wire_resistance(2000 * UM)
+        assert math.isclose(r2, 2 * r1)
+
+    def test_wire_capacitance_scales_linearly(self):
+        tech = default_technology()
+        c1 = tech.wire_capacitance(1000 * UM)
+        assert math.isclose(c1, tech.unit_capacitance * 1000 * UM)
+
+    def test_zero_length_wire_is_zero(self):
+        tech = default_technology()
+        assert tech.wire_resistance(0.0) == 0.0
+        assert tech.wire_capacitance(0.0) == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(TechnologyError):
+            default_technology().wire_resistance(-1.0)
+
+    def test_unit_current_formula(self):
+        """Eq. 6 per unit length: i = lambda * c * sigma."""
+        tech = default_technology()
+        expected = (
+            tech.default_coupling_ratio
+            * tech.unit_capacitance
+            * tech.default_aggressor_slope
+        )
+        assert math.isclose(tech.unit_current(), expected)
+
+    def test_unit_current_with_overrides(self):
+        tech = default_technology()
+        assert tech.unit_current(coupling_ratio=0.0) == 0.0
+        half = tech.unit_current(coupling_ratio=tech.default_coupling_ratio / 2)
+        assert math.isclose(half, tech.unit_current() / 2)
+
+    def test_unit_current_rejects_bad_ratio(self):
+        with pytest.raises(TechnologyError):
+            default_technology().unit_current(coupling_ratio=1.5)
+
+    def test_unit_current_rejects_negative_slope(self):
+        with pytest.raises(TechnologyError):
+            default_technology().unit_current(slope=-1.0)
+
+
+class TestRegime:
+    def test_driverless_noise_safe_length_is_millimeters(self):
+        """The calibration note in default_technology()."""
+        from repro import unloaded_max_length
+
+        tech = default_technology()
+        length = unloaded_max_length(
+            tech.unit_resistance, tech.unit_current(), 0.8
+        )
+        assert 3e-3 < length < 10e-3  # low millimeters

@@ -1,0 +1,88 @@
+"""Tests for repro.noise.coupling — eq. 6 and the estimation mode."""
+
+import math
+
+import pytest
+
+from repro import Aggressor, AnalysisError, CouplingModel, TreeBuilder
+from repro.noise.coupling import aggressor_current
+from repro.units import FF, UM
+
+
+class TestAggressor:
+    def test_rejects_negative_ratio(self):
+        with pytest.raises(AnalysisError):
+            Aggressor(coupling_ratio=-0.1, slope=1e9)
+
+    def test_rejects_negative_slope(self):
+        with pytest.raises(AnalysisError):
+            Aggressor(coupling_ratio=0.5, slope=-1e9)
+
+
+class TestAggressorCurrent:
+    def test_single_aggressor_eq6(self):
+        current = aggressor_current(100 * FF, [Aggressor(0.7, 7.2e9)])
+        assert math.isclose(current, 0.7 * 100 * FF * 7.2e9)
+
+    def test_multiple_aggressors_sum(self):
+        aggressors = [Aggressor(0.3, 5e9), Aggressor(0.4, 7e9)]
+        expected = 0.3 * 50 * FF * 5e9 + 0.4 * 50 * FF * 7e9
+        assert math.isclose(aggressor_current(50 * FF, aggressors), expected)
+
+    def test_no_aggressors_zero(self):
+        assert aggressor_current(100 * FF, []) == 0.0
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(AnalysisError):
+            aggressor_current(-1.0, [])
+
+
+class TestCouplingModel:
+    def test_estimation_mode_uses_technology_defaults(self, tech):
+        model = CouplingModel.estimation_mode(tech)
+        assert model.coupling_ratio == tech.default_coupling_ratio
+        assert math.isclose(model.slope, tech.default_aggressor_slope)
+
+    def test_silent_model_gives_zero_current(self, tech, y_tree):
+        model = CouplingModel.silent()
+        for wire in y_tree.wires():
+            assert model.wire_current(wire) == 0.0
+
+    def test_wire_current_from_capacitance(self, tech, y_tree, coupling):
+        wire = y_tree.node("u").parent_wire
+        expected = coupling.coupling_ratio * wire.capacitance * coupling.slope
+        assert math.isclose(coupling.wire_current(wire), expected)
+
+    def test_explicit_current_wins(self, tech, coupling):
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        wire = builder.add_wire("so", "s", length=1000 * UM, current=3.3e-3)
+        assert coupling.wire_current(wire) == 3.3e-3
+
+    def test_per_wire_ratio_override(self, tech, coupling):
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        wire = builder.add_wire("so", "s", length=1000 * UM, coupling_ratio=0.0)
+        assert coupling.wire_current(wire) == 0.0
+
+    def test_per_wire_slope_override(self, tech, coupling):
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        wire = builder.add_wire("so", "s", length=1000 * UM, slope=coupling.slope * 2)
+        base = coupling.coupling_ratio * wire.capacitance * coupling.slope
+        assert math.isclose(coupling.wire_current(wire), 2 * base)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(AnalysisError):
+            CouplingModel(coupling_ratio=1.5, slope=1e9)
+        with pytest.raises(AnalysisError):
+            CouplingModel(coupling_ratio=0.5, slope=-1.0)
+
+    def test_unit_current(self, tech, coupling):
+        expected = coupling.coupling_ratio * tech.unit_capacitance * coupling.slope
+        assert math.isclose(
+            coupling.unit_current(tech.unit_capacitance), expected
+        )

@@ -1,0 +1,159 @@
+"""Tests for repro.noise.devgan — the metric's arithmetic, Fig. 3 style.
+
+The worked example mirrors the paper's Fig. 3: an abstract victim net with
+explicit per-wire resistances and aggressor-induced currents, driver at
+``so`` and sinks ``s1``, ``s2``; every number below is hand-computed from
+eqs. 7–9.
+"""
+
+import math
+
+import pytest
+
+from repro import BufferType, CouplingModel, TreeBuilder
+from repro.noise import (
+    downstream_currents,
+    has_noise_violation,
+    noise_slacks,
+    noise_violations,
+    sink_noise,
+    wire_noise,
+    worst_noise_slack,
+)
+
+
+@pytest.fixture
+def fig3_tree():
+    """so --(R=4, I=1)--> a --(R=6, I=2)--> s1
+                           \\--(R=10, I=3)--> s2, driver R = 2."""
+    builder = TreeBuilder()
+    builder.add_source("so")
+    builder.add_internal("a")
+    builder.add_sink("s1", capacitance=0.0, noise_margin=50.0)
+    builder.add_sink("s2", capacitance=0.0, noise_margin=50.0)
+    builder.add_wire("so", "a", resistance=4.0, capacitance=0.0, current=1.0)
+    builder.add_wire("a", "s1", resistance=6.0, capacitance=0.0, current=2.0)
+    builder.add_wire("a", "s2", resistance=10.0, capacitance=0.0, current=3.0)
+    return builder.build("fig3")
+
+
+@pytest.fixture
+def model():
+    return CouplingModel.silent()  # all currents are explicit on the wires
+
+
+class TestDownstreamCurrents:
+    def test_eq7(self, fig3_tree, model):
+        currents = downstream_currents(fig3_tree, model)
+        assert currents["s1"] == 0.0
+        assert currents["s2"] == 0.0
+        assert currents["a"] == 5.0  # I2 + I3
+        assert currents["so"] == 6.0  # I1 + I2 + I3
+
+    def test_buffer_cuts_current(self, fig3_tree, model):
+        buffer = BufferType("b", 1.0, 0.0, 0.0, 50.0)
+        currents = downstream_currents(fig3_tree, model, {"a": buffer})
+        assert currents["a"] == 5.0  # what the buffer's own stage sees
+        assert currents["so"] == 1.0  # only the top wire's current remains
+
+
+class TestWireNoise:
+    def test_eq8(self):
+        class W:  # minimal stand-in
+            resistance = 4.0
+
+        assert math.isclose(wire_noise(W(), 1.0, 5.0), 4.0 * (0.5 + 5.0))
+
+
+class TestSinkNoise:
+    def test_hand_computed_example(self, fig3_tree, model):
+        """Noise(s1) = 2*6 + 4*(0.5+5) + 6*(1) = 40;
+        Noise(s2) = 2*6 + 4*(0.5+5) + 10*(1.5) = 49."""
+        entries = {
+            e.node: e for e in sink_noise(fig3_tree, model, driver_resistance=2.0)
+        }
+        assert math.isclose(entries["s1"].noise, 40.0)
+        assert math.isclose(entries["s2"].noise, 49.0)
+        assert entries["s1"].stage_root == "so"
+
+    def test_violation_flags(self, fig3_tree, model):
+        entries = sink_noise(fig3_tree, model, driver_resistance=2.0)
+        assert not any(e.violated for e in entries)  # margins are 50
+        hot = sink_noise(fig3_tree, model, driver_resistance=10.0)
+        # noise(s2) = 10*6 + 22 + 15 = 97 > 50
+        assert any(e.violated for e in hot)
+
+    def test_slack_is_margin_minus_noise(self, fig3_tree, model):
+        entries = sink_noise(fig3_tree, model, driver_resistance=2.0)
+        for entry in entries:
+            assert math.isclose(entry.slack, entry.margin - entry.noise)
+
+    def test_buffer_resets_stage(self, fig3_tree, model):
+        """With a buffer at 'a': buffer input sees Rd*I1 + R1*(I1/2);
+        sinks see Rb*(I2+I3) + own wire noise."""
+        buffer = BufferType("b", 3.0, 0.0, 0.0, 50.0)
+        entries = {
+            e.node: e
+            for e in sink_noise(
+                fig3_tree, model, {"a": buffer}, driver_resistance=2.0
+            )
+        }
+        assert math.isclose(entries["a"].noise, 2.0 * 1.0 + 4.0 * 0.5)
+        assert entries["a"].margin == 50.0
+        assert math.isclose(entries["s1"].noise, 3.0 * 5.0 + 6.0 * 1.0)
+        assert math.isclose(entries["s2"].noise, 3.0 * 5.0 + 10.0 * 1.5)
+        assert entries["s1"].stage_root == "a"
+
+
+class TestNoiseSlacks:
+    def test_eq12_bottom_up(self, fig3_tree, model):
+        slacks = noise_slacks(fig3_tree, model)
+        assert slacks["s1"] == 50.0
+        # NS(a) = min(50 - 6*1, 50 - 10*1.5) = min(44, 35) = 35
+        assert math.isclose(slacks["a"], 35.0)
+        # NS(so) = NS(a) - 4*(0.5+5) = 35 - 22 = 13
+        assert math.isclose(slacks["so"], 13.0)
+
+    def test_feasibility_identity(self, fig3_tree, model):
+        """No violation at driver R iff Rd * I(so) <= NS(so)."""
+        slacks = noise_slacks(fig3_tree, model)
+        currents = downstream_currents(fig3_tree, model)
+        boundary = slacks["so"] / currents["so"]  # 13/6
+        assert not has_noise_violation(
+            fig3_tree, model, driver_resistance=boundary * 0.999
+        )
+        assert has_noise_violation(
+            fig3_tree, model, driver_resistance=boundary * 1.001
+        )
+
+    def test_buffered_child_contributes_its_margin(self, fig3_tree, model):
+        buffer = BufferType("b", 3.0, 0.0, 0.0, 7.0)
+        slacks = noise_slacks(fig3_tree, model, {"a": buffer})
+        # NS(so) = NM(b) - Noise(w1) = 7 - 4*(0.5 + 0) = 5
+        assert math.isclose(slacks["so"], 5.0)
+
+
+class TestHelpers:
+    def test_worst_noise_slack(self, fig3_tree, model):
+        worst = worst_noise_slack(fig3_tree, model, driver_resistance=2.0)
+        assert math.isclose(worst, 50.0 - 49.0)
+
+    def test_noise_violations_list(self, fig3_tree, model):
+        assert noise_violations(fig3_tree, model, driver_resistance=2.0) == []
+        # Rd=10: noise(s1) = 60+22+6 = 88, noise(s2) = 60+22+15 = 97
+        hot = noise_violations(fig3_tree, model, driver_resistance=10.0)
+        assert [e.node for e in hot] == ["s1", "s2"]
+
+    def test_estimation_mode_on_real_tree(self, y_tree, coupling):
+        """On a physical tree, currents derive from wire capacitance."""
+        currents = downstream_currents(y_tree, coupling)
+        w1 = y_tree.node("s1").parent_wire
+        w2 = y_tree.node("s2").parent_wire
+        expected_u = coupling.wire_current(w1) + coupling.wire_current(w2)
+        assert math.isclose(currents["u"], expected_u)
+
+    def test_long_net_violates_short_does_not(
+        self, long_two_pin, short_two_pin, coupling
+    ):
+        assert has_noise_violation(long_two_pin, coupling)
+        assert not has_noise_violation(short_two_pin, coupling)

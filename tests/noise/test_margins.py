@@ -1,0 +1,39 @@
+"""Tests for repro.noise.margins — NoiseReport."""
+
+import math
+
+from repro import analyze_noise
+
+
+class TestNoiseReport:
+    def test_violated_long_net(self, long_two_pin, coupling):
+        report = analyze_noise(long_two_pin, coupling)
+        assert report.violated
+        assert report.violations
+        assert report.worst_slack < 0
+        assert report.peak_noise > 0.8
+
+    def test_clean_short_net(self, short_two_pin, coupling):
+        report = analyze_noise(short_two_pin, coupling)
+        assert not report.violated
+        assert report.violations == []
+        assert report.worst_slack > 0
+
+    def test_describe_mentions_violations(self, long_two_pin, coupling):
+        text = analyze_noise(long_two_pin, coupling).describe()
+        assert "VIOLATION" in text
+        assert "long_two_pin" in text
+
+    def test_describe_clean(self, short_two_pin, coupling):
+        text = analyze_noise(short_two_pin, coupling).describe()
+        assert "VIOLATION" not in text
+        assert "0 violations" in text
+
+    def test_worst_slack_matches_entries(self, y_tree, coupling):
+        report = analyze_noise(y_tree, coupling)
+        assert math.isclose(
+            report.worst_slack, min(e.slack for e in report.entries)
+        )
+        assert math.isclose(
+            report.peak_noise, max(e.noise for e in report.entries)
+        )

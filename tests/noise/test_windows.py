@@ -1,0 +1,194 @@
+"""Tests for the Fig. 2 aggressor-window segmentation scheme."""
+
+import math
+
+import pytest
+
+from repro import (
+    Aggressor,
+    AnalysisError,
+    CouplingModel,
+    DriverCell,
+    two_pin_net,
+)
+from repro.noise import (
+    AggressorWindow,
+    apply_aggressor_windows,
+    sink_noise,
+    uniform_window,
+)
+from repro.units import FF, MM
+
+SILENT = CouplingModel.silent()
+
+
+@pytest.fixture
+def net(tech):
+    return two_pin_net(
+        tech, 4 * MM, DriverCell("d", 200.0), 10 * FF, 0.8, name="win"
+    )
+
+
+class TestSegmentationStructure:
+    def test_splits_at_window_boundaries(self, net):
+        agg = Aggressor(0.6, 7.2e9, name="a1")
+        tree = apply_aggressor_windows(
+            net, [AggressorWindow("so", "si", 1 * MM, 3 * MM, agg)]
+        )
+        lengths = sorted(w.length for w in tree.wires())
+        assert [round(l / MM, 9) for l in lengths] == [1.0, 1.0, 2.0]
+
+    def test_totals_preserved(self, net):
+        agg = Aggressor(0.6, 7.2e9)
+        tree = apply_aggressor_windows(
+            net, [AggressorWindow("so", "si", 0.5 * MM, 2 * MM, agg)]
+        )
+        assert math.isclose(tree.total_wire_length(), 4 * MM, rel_tol=1e-12)
+        assert math.isclose(
+            sum(w.resistance for w in tree.wires()),
+            sum(w.resistance for w in net.wires()),
+            rel_tol=1e-12,
+        )
+
+    def test_uncovered_spans_are_silent(self, net):
+        agg = Aggressor(0.6, 7.2e9)
+        tree = apply_aggressor_windows(
+            net, [AggressorWindow("so", "si", 1 * MM, 3 * MM, agg)]
+        )
+        silent = [w for w in tree.wires() if w.current == 0.0]
+        assert len(silent) == 2
+
+    def test_windowless_wire_is_fully_silent(self, net):
+        tree = apply_aggressor_windows(net, [])
+        assert all(w.current == 0.0 for w in tree.wires())
+        entries = sink_noise(tree, SILENT)
+        assert all(e.noise == 0.0 for e in entries)
+
+    def test_split_nodes_are_feasible(self, net):
+        agg = Aggressor(0.6, 7.2e9)
+        tree = apply_aggressor_windows(
+            net, [AggressorWindow("so", "si", 1 * MM, 3 * MM, agg)]
+        )
+        new = [n for n in tree.nodes() if "__win" in n.name]
+        assert len(new) == 2
+        assert all(n.feasible for n in new)
+
+
+class TestCurrents:
+    def test_single_window_current_eq6(self, net, tech):
+        agg = Aggressor(0.5, 6e9)
+        tree = apply_aggressor_windows(
+            net, [AggressorWindow("so", "si", 1 * MM, 3 * MM, agg)]
+        )
+        covered = [
+            w for w in tree.wires()
+            if w.current and math.isclose(w.length, 2 * MM)
+        ]
+        assert len(covered) == 1
+        expected = 0.5 * tech.wire_capacitance(2 * MM) * 6e9
+        assert math.isclose(covered[0].current, expected, rel_tol=1e-12)
+
+    def test_overlapping_windows_sum(self, net, tech):
+        a1 = Aggressor(0.3, 5e9, name="a1")
+        a2 = Aggressor(0.4, 8e9, name="a2")
+        tree = apply_aggressor_windows(
+            net,
+            [
+                AggressorWindow("so", "si", 0.0, 2 * MM, a1),
+                AggressorWindow("so", "si", 1 * MM, 4 * MM, a2),
+            ],
+        )
+        # pieces: [0,1] a1; [1,2] a1+a2; [2,4] a2
+        pieces = sorted(tree.wires(), key=lambda w: w.length)
+        by_len = {round(w.length / MM, 6): w for w in tree.wires()}
+        cap_per_m = tech.unit_capacitance
+        middle = by_len[1.0 if by_len[1.0].current else 1.0]
+        overlap = [w for w in tree.wires()
+                   if math.isclose(w.length, 1 * MM) and w.current]
+        # the overlap piece carries both aggressors
+        expected_both = (0.3 * 5e9 + 0.4 * 8e9) * cap_per_m * 1 * MM
+        assert any(
+            math.isclose(w.current, expected_both, rel_tol=1e-12)
+            for w in overlap
+        )
+
+    def test_total_current_matches_window_charge(self, net, tech):
+        """Sum of piece currents == eq. 6 applied to each window span."""
+        a1 = Aggressor(0.3, 5e9)
+        a2 = Aggressor(0.7, 7.2e9)
+        windows = [
+            AggressorWindow("so", "si", 0.2 * MM, 1.7 * MM, a1),
+            AggressorWindow("so", "si", 2.5 * MM, 3.9 * MM, a2),
+        ]
+        tree = apply_aggressor_windows(net, windows)
+        total = sum(w.current or 0.0 for w in tree.wires())
+        expected = (
+            0.3 * tech.wire_capacitance(1.5 * MM) * 5e9
+            + 0.7 * tech.wire_capacitance(1.4 * MM) * 7.2e9
+        )
+        assert math.isclose(total, expected, rel_tol=1e-9)
+
+
+class TestEndToEnd:
+    def test_window_noise_below_estimation_mode(self, net, tech, coupling):
+        """A partial window injects less noise than the everything-coupled
+        estimation-mode assumption."""
+        agg = Aggressor(coupling.coupling_ratio, coupling.slope)
+        tree = apply_aggressor_windows(
+            net, [AggressorWindow("so", "si", 1 * MM, 2.5 * MM, agg)]
+        )
+        windowed = sink_noise(tree, SILENT)[0].noise
+        estimated = sink_noise(net, coupling)[0].noise
+        assert 0 < windowed < estimated
+
+    def test_algorithm1_on_windowed_tree(self, tech, coupling, library):
+        """Buffering a windowed victim fixes its (localized) violation."""
+        from repro import analyze_noise, insert_buffers_single_sink
+
+        net = two_pin_net(
+            tech, 10 * MM, DriverCell("d", 300.0), 10 * FF, 0.8, name="w10"
+        )
+        hot = Aggressor(0.9, 9e9, name="hot")
+        tree = apply_aggressor_windows(
+            net, [AggressorWindow("so", "si", 2 * MM, 9 * MM, hot)]
+        )
+        assert analyze_noise(tree, SILENT).violated
+        solution = insert_buffers_single_sink(tree, library, SILENT)
+        buffered, discrete = solution.realize()
+        assert not analyze_noise(
+            buffered, SILENT, discrete.buffer_map()
+        ).violated
+        # the fix is cheaper than under the all-coupled assumption
+        full = insert_buffers_single_sink(net, library, coupling)
+        assert solution.buffer_count <= full.buffer_count
+
+
+class TestValidation:
+    def test_unknown_wire_rejected(self, net):
+        agg = Aggressor(0.5, 5e9)
+        with pytest.raises(AnalysisError):
+            apply_aggressor_windows(
+                net, [AggressorWindow("a", "b", 0.0, 1 * MM, agg)]
+            )
+
+    def test_window_beyond_wire_rejected(self, net):
+        agg = Aggressor(0.5, 5e9)
+        with pytest.raises(AnalysisError):
+            apply_aggressor_windows(
+                net, [AggressorWindow("so", "si", 0.0, 5 * MM, agg)]
+            )
+
+    def test_degenerate_window_rejected(self):
+        agg = Aggressor(0.5, 5e9)
+        with pytest.raises(AnalysisError):
+            AggressorWindow("so", "si", 1 * MM, 1 * MM, agg)
+        with pytest.raises(AnalysisError):
+            AggressorWindow("so", "si", -1.0, 1 * MM, agg)
+
+    def test_uniform_window_helper(self, net):
+        agg = Aggressor(0.5, 5e9)
+        window = uniform_window(net, "so", "si", agg)
+        assert window.start == 0.0
+        assert math.isclose(window.end, 4 * MM)
+        with pytest.raises(AnalysisError):
+            uniform_window(net, "x", "y", agg)

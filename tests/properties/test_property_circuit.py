@@ -1,0 +1,138 @@
+"""Property-based tests for the circuit substrate."""
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    Circuit,
+    PiecewiseLinear,
+    Waveform,
+    dc_operating_point,
+    simulate,
+    tree_moments,
+)
+from repro.timing import sink_delays
+from treegen import random_trees
+
+default_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestWaveformProperties:
+    @default_settings
+    @given(
+        values=st.lists(
+            st.floats(min_value=-10, max_value=10), min_size=2, max_size=50
+        ),
+        t=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_interpolation_within_range(self, values, t):
+        times = np.linspace(0.0, 1.0, len(values))
+        wave = Waveform(times, values)
+        assert min(values) - 1e-12 <= wave.at(t) <= max(values) + 1e-12
+
+    @default_settings
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),
+                st.floats(min_value=-5.0, max_value=5.0),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        t=st.floats(min_value=-1.0, max_value=2.0),
+    )
+    def test_pwl_bounded_by_its_values(self, points, t):
+        points.sort()
+        times = tuple(p[0] for p in points)
+        values = tuple(p[1] for p in points)
+        pwl = PiecewiseLinear(times, values)
+        assert min(values) - 1e-12 <= pwl(t) <= max(values) + 1e-12
+
+
+class TestLadderProperties:
+    ladder = st.lists(
+        st.tuples(
+            st.floats(min_value=10.0, max_value=5000.0),  # series R
+            st.floats(min_value=1e-15, max_value=200e-15),  # shunt C
+        ),
+        min_size=1,
+        max_size=8,
+    )
+
+    @default_settings
+    @given(stages=ladder, vdd=st.floats(min_value=0.5, max_value=3.0))
+    def test_dc_maximum_principle(self, stages, vdd):
+        """All DC node voltages of a driven RC ladder lie in [0, vdd]."""
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "0", PiecewiseLinear.constant(vdd))
+        previous = "in"
+        for index, (r, c) in enumerate(stages):
+            node = f"n{index}"
+            circuit.add_resistor(previous, node, r)
+            circuit.add_capacitor(node, "0", c)
+            previous = node
+        circuit.add_resistor(previous, "0", 1e6)  # DC path for all nodes
+        dc = dc_operating_point(circuit)
+        for node, value in dc.items():
+            assert -1e-9 <= value <= vdd + 1e-9
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(stages=ladder, vdd=st.floats(min_value=0.5, max_value=3.0))
+    def test_transient_bounded_and_monotone_settling(self, stages, vdd):
+        """Step response of an RC ladder: bounded by vdd and converging to
+        it at every internal node (no DC leak here)."""
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "0", PiecewiseLinear.constant(vdd))
+        previous = "in"
+        tau = 0.0
+        for index, (r, c) in enumerate(stages):
+            node = f"n{index}"
+            circuit.add_resistor(previous, node, r)
+            circuit.add_capacitor(node, "0", c)
+            tau += r * sum(cc for _, cc in stages[index:])
+            previous = node
+        tau = max(tau, 1e-12)
+        result = simulate(circuit, stop=8 * tau, step=tau / 100,
+                          probes=[previous])
+        wave = result[previous]
+        assert wave.peak <= vdd * (1 + 1e-9)
+        assert math.isclose(wave.final, vdd, rel_tol=2e-2)
+
+
+class TestMomentProperties:
+    @default_settings
+    @given(tree=random_trees(max_internal=4))
+    def test_first_moment_equals_elmore_everywhere(self, tree):
+        moments = tree_moments(tree, order=1)
+        delays = sink_delays(tree, include_driver=True)
+        intrinsic = tree.driver.intrinsic_delay
+        for sink in tree.sinks:
+            assert math.isclose(
+                -moments[sink.name][0],
+                delays[sink.name] - intrinsic,
+                rel_tol=1e-9,
+                abs_tol=1e-18,
+            )
+
+    @default_settings
+    @given(tree=random_trees(max_internal=4))
+    def test_second_moment_positive(self, tree):
+        moments = tree_moments(tree, order=2)
+        for sink in tree.sinks:
+            m1, m2 = moments[sink.name]
+            if m1 == 0.0:
+                continue
+            assert m2 > 0
+            # Taylor moments relate to distribution moments as m1 = -mu1,
+            # m2 = mu2/2; nonnegative impulse response gives mu2 >= mu1^2,
+            # i.e. m2 >= m1^2 / 2 (single-pole responses sit at m2 = m1^2).
+            assert m2 >= m1 * m1 / 2.0 * (1 - 1e-9)

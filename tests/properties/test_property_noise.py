@@ -1,0 +1,119 @@
+"""Property-based tests for the Devgan metric (hypothesis)."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CouplingModel, segment_tree
+from repro.analysis import DetailedNoiseAnalyzer
+from repro.noise import downstream_currents, noise_slacks, sink_noise
+from repro.timing import sink_delays
+from repro.units import MM, UM
+from treegen import TECH, random_trees
+
+COUPLING = CouplingModel.estimation_mode(TECH)
+
+default_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestMetricStructure:
+    @default_settings
+    @given(tree=random_trees())
+    def test_currents_nonnegative_and_monotone_upstream(self, tree):
+        """I(parent) >= I(child): current accumulates toward the source."""
+        currents = downstream_currents(tree, COUPLING)
+        for node in tree.nodes():
+            assert currents[node.name] >= 0
+            for child in node.children:
+                assert currents[node.name] >= currents[child.name] - 1e-18
+
+    @default_settings
+    @given(tree=random_trees())
+    def test_noise_slack_nonincreasing_upstream(self, tree):
+        """Climbing toward the source can only consume noise slack."""
+        slacks = noise_slacks(tree, COUPLING)
+        for node in tree.nodes():
+            for child in node.children:
+                if child.is_sink or child.name not in slacks:
+                    continue
+                assert slacks[node.name] <= slacks[child.name] + 1e-15
+
+    @default_settings
+    @given(tree=random_trees())
+    def test_feasibility_identity(self, tree):
+        """Violation at the sinks iff Rd * I(so) > NS(so) (eq. 11/12)."""
+        slacks = noise_slacks(tree, COUPLING)
+        currents = downstream_currents(tree, COUPLING)
+        rd = tree.driver.resistance
+        entries = sink_noise(tree, COUPLING)
+        violated = any(e.violated for e in entries)
+        predicted = rd * currents[tree.source.name] > slacks[tree.source.name]
+        assert violated == predicted
+
+    @default_settings
+    @given(tree=random_trees(), cut=st.floats(min_value=0.1, max_value=2.0))
+    def test_segmentation_invariance(self, tree, cut):
+        """Wire segmenting changes neither noise nor delay (pi split)."""
+        segmented = segment_tree(tree, cut * MM)
+        before = {e.node: e.noise for e in sink_noise(tree, COUPLING)}
+        after = {e.node: e.noise for e in sink_noise(segmented, COUPLING)}
+        for name, value in before.items():
+            assert math.isclose(after[name], value, rel_tol=1e-9, abs_tol=1e-15)
+        d_before = sink_delays(tree)
+        d_after = sink_delays(segmented)
+        for name, value in d_before.items():
+            assert math.isclose(d_after[name], value, rel_tol=1e-9)
+
+    @default_settings
+    @given(tree=random_trees(), scale=st.floats(min_value=0.0, max_value=1.0))
+    def test_noise_monotone_in_coupling_ratio(self, tree, scale):
+        """Weaker coupling can only reduce every sink's noise."""
+        weaker = CouplingModel(
+            coupling_ratio=COUPLING.coupling_ratio * scale,
+            slope=COUPLING.slope,
+        )
+        strong = {e.node: e.noise for e in sink_noise(tree, COUPLING)}
+        weak = {e.node: e.noise for e in sink_noise(tree, weaker)}
+        for name in strong:
+            assert weak[name] <= strong[name] + 1e-15
+
+
+class TestUpperBound:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(tree=random_trees(max_internal=3))
+    def test_metric_upper_bounds_transient_peak(self, tree):
+        """The headline property: Devgan >= simulated peak, per stage sink,
+        on arbitrary victim trees."""
+        analyzer = DetailedNoiseAnalyzer(
+            COUPLING, TECH.vdd, max_segment_length=100 * UM, steps_per_rise=30
+        )
+        metric = {e.node: e.noise for e in sink_noise(tree, COUPLING)}
+        detailed = analyzer.analyze(tree)
+        for entry in detailed.entries:
+            assert entry.peak <= metric[entry.node] * (1 + 1e-6) + 1e-12
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(tree=random_trees(max_internal=3))
+    def test_awe_agrees_with_transient(self, tree):
+        """The two independent detailed verifiers agree per stage sink."""
+        from repro.analysis import AweNoiseAnalyzer
+
+        transient = DetailedNoiseAnalyzer(
+            COUPLING, TECH.vdd, max_segment_length=100 * UM, steps_per_rise=40
+        ).analyze(tree)
+        awe = AweNoiseAnalyzer(
+            COUPLING, TECH.vdd, max_segment_length=100 * UM
+        ).analyze(tree)
+        peaks = {e.node: e.peak for e in transient.entries}
+        for entry in awe.entries:
+            reference = peaks[entry.node]
+            assert abs(entry.peak - reference) <= 0.08 * reference + 2e-3, (
+                entry.node
+            )

@@ -1,0 +1,170 @@
+"""Property-based tests for structural transforms and the DP merge."""
+
+import math
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro import Aggressor, BufferType, CouplingModel, segment_tree
+from repro.core import ContinuousSolution, PlacedBuffer
+from repro.core.dp import DPCandidate, DPOptions, _Engine
+from repro.library import BufferLibrary, DriverCell
+from repro.noise import apply_aggressor_windows, uniform_window
+from repro.noise.windows import AggressorWindow
+from repro.units import FF, MM, PS
+from treegen import TECH, random_trees
+
+default_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+BUFFER = BufferType("pb", 120.0, 15 * FF, 25 * PS, 0.8)
+
+
+def make_engine(prune="timing"):
+    return _Engine(
+        tree=None,  # merge/prune don't touch the tree
+        library=BufferLibrary([BUFFER]),
+        coupling=CouplingModel.silent(),
+        options=DPOptions(prune=prune),
+        driver=DriverCell("d", 100.0),
+    )
+
+
+def frontier(raw):
+    """Build a load-sorted pruned frontier from raw (load, slack) pairs."""
+    candidates = [
+        DPCandidate(load, slack, 0.0, 1.0, 0, None) for load, slack in raw
+    ]
+    return _Engine._prune_timing(candidates)
+
+
+class TestLinearMergeProperty:
+    pairs = st.lists(
+        st.tuples(
+            st.floats(min_value=1e-15, max_value=1e-12),
+            st.floats(min_value=-1e-9, max_value=1e-9),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+    @default_settings
+    @given(left=pairs, right=pairs)
+    def test_merge_covers_cartesian_frontier(self, left, right):
+        """The |L|+|R| linear merge must dominate every Cartesian pair:
+        for any (a, b), some merged candidate has load <= a.load+b.load
+        and slack >= min(a.slack, b.slack)."""
+        lf, rf = frontier(left), frontier(right)
+        engine = make_engine()
+        merged = _Engine._prune_timing(engine._linear_merge(lf, rf))
+        for a in lf:
+            for b in rf:
+                load = a.load + b.load
+                slack = min(a.slack, b.slack)
+                assert any(
+                    m.load <= load + 1e-24 and m.slack >= slack - 1e-18
+                    for m in merged
+                ), (load, slack)
+
+    @default_settings
+    @given(left=pairs, right=pairs)
+    def test_merged_candidates_are_realizable_pairs(self, left, right):
+        """Every merged candidate equals some Cartesian combination."""
+        lf, rf = frontier(left), frontier(right)
+        engine = make_engine()
+        merged = engine._linear_merge(lf, rf)
+        cartesian = {
+            (round(a.load + b.load, 24), round(min(a.slack, b.slack), 18))
+            for a in lf
+            for b in rf
+        }
+        for m in merged:
+            assert (round(m.load, 24), round(m.slack, 18)) in cartesian
+
+
+class TestContinuousRealizeProperties:
+    @default_settings
+    @given(
+        tree=random_trees(max_internal=3),
+        data=st.data(),
+    )
+    def test_realize_preserves_totals(self, tree, data):
+        wires = [w for w in tree.wires() if w.length > 0]
+        assume(wires)
+        placements = []
+        for index in range(data.draw(st.integers(min_value=1, max_value=3))):
+            wire = data.draw(st.sampled_from(wires))
+            distance = data.draw(
+                st.floats(min_value=0.0, max_value=wire.length)
+            )
+            placements.append(
+                PlacedBuffer(wire.parent.name, wire.child.name,
+                             distance, BUFFER)
+            )
+        buffered, solution = ContinuousSolution(
+            tree, tuple(placements)
+        ).realize()
+        assert solution.buffer_count == len(placements)
+        assert math.isclose(
+            buffered.total_wire_length(), tree.total_wire_length(),
+            rel_tol=1e-9, abs_tol=1e-18,
+        )
+        total_r = sum(w.resistance for w in buffered.wires())
+        orig_r = sum(w.resistance for w in tree.wires())
+        assert math.isclose(total_r, orig_r, rel_tol=1e-9, abs_tol=1e-18)
+
+
+class TestWindowProperties:
+    @default_settings
+    @given(
+        tree=random_trees(max_internal=3),
+        data=st.data(),
+    )
+    def test_window_charge_conservation(self, tree, data):
+        """Total stamped current equals eq. 6 summed over the windows."""
+        wires = [w for w in tree.wires() if w.length > 0]
+        assume(wires)
+        windows = []
+        expected = 0.0
+        for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+            wire = data.draw(st.sampled_from(wires))
+            a = data.draw(st.floats(min_value=0.0, max_value=wire.length * 0.9))
+            b = data.draw(st.floats(min_value=a + wire.length * 0.05,
+                                    max_value=wire.length))
+            ratio = data.draw(st.floats(min_value=0.05, max_value=1.0))
+            slope = data.draw(st.floats(min_value=1e9, max_value=1e10))
+            windows.append(
+                AggressorWindow(wire.parent.name, wire.child.name, a, b,
+                                Aggressor(ratio, slope))
+            )
+            expected += ratio * slope * wire.capacitance * (b - a) / wire.length
+        out = apply_aggressor_windows(tree, windows)
+        total = sum(w.current or 0.0 for w in out.wires())
+        assert math.isclose(total, expected, rel_tol=1e-9, abs_tol=1e-15)
+
+    @default_settings
+    @given(tree=random_trees(max_internal=3))
+    def test_full_windows_match_estimation_mode(self, tree):
+        """Covering every wire with the estimation-mode aggressor gives
+        the same noise as estimation mode itself."""
+        from repro.noise import sink_noise
+
+        coupling = CouplingModel.estimation_mode(TECH)
+        agg = Aggressor(coupling.coupling_ratio, coupling.slope)
+        windows = [
+            uniform_window(tree, w.parent.name, w.child.name, agg)
+            for w in tree.wires()
+            if w.length > 0
+        ]
+        assume(windows)
+        covered = apply_aggressor_windows(tree, windows)
+        a = {e.node: e.noise for e in sink_noise(tree, coupling)}
+        b = {e.node: e.noise
+             for e in sink_noise(covered, CouplingModel.silent())}
+        for name, value in a.items():
+            # zero-length wires are silent in the windowed tree; their
+            # contribution in estimation mode is also zero (C = 0)
+            assert math.isclose(b[name], value, rel_tol=1e-9, abs_tol=1e-15)

@@ -1,0 +1,85 @@
+"""Shared hypothesis strategies: random routing trees and parameters."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import DriverCell, TreeBuilder, default_technology
+from repro.units import FF, MM, NS
+
+TECH = default_technology()
+
+resistances = st.floats(min_value=30.0, max_value=2000.0)
+margins = st.floats(min_value=0.2, max_value=1.5)
+sink_caps = st.floats(min_value=1 * FF, max_value=80 * FF)
+wire_lengths = st.floats(min_value=0.05 * MM, max_value=6 * MM)
+
+
+@st.composite
+def random_trees(draw, max_internal=5, with_rats=False):
+    """A random valid binary routing tree with a driver.
+
+    Grows from the source: each step attaches a new node (internal with
+    probability ~1/2, else sink) under a random node that still has room.
+    Guarantees at least one sink and every internal node has a child.
+    """
+    driver = DriverCell("drv", draw(resistances), 0.0)
+    builder = TreeBuilder(TECH)
+    builder.add_source("so", driver=driver)
+
+    open_slots = {"so": 1}  # node -> children it may still take (source: 1)
+    internal_budget = draw(st.integers(min_value=0, max_value=max_internal))
+    names: list = []
+
+    def rat():
+        return draw(st.floats(min_value=0.1 * NS, max_value=5 * NS)) \
+            if with_rats else float("inf")
+
+    count = 0
+    while internal_budget > 0 and open_slots:
+        parent = draw(st.sampled_from(sorted(open_slots)))
+        name = f"i{count}"
+        count += 1
+        builder.add_internal(name)
+        builder.add_wire(parent, name, length=draw(wire_lengths))
+        open_slots[parent] -= 1
+        if open_slots[parent] == 0:
+            del open_slots[parent]
+        open_slots[name] = 2
+        internal_budget -= 1
+        names.append(name)
+
+    # Every open slot that must be filled gets a sink; internal nodes
+    # need at least one child, the source needs its single child.
+    sink_index = 0
+    for parent in sorted(open_slots):
+        builder.add_sink(
+            f"s{sink_index}",
+            capacitance=draw(sink_caps),
+            noise_margin=draw(margins),
+            required_arrival=rat(),
+        )
+        builder.add_wire(parent, f"s{sink_index}", length=draw(wire_lengths))
+        sink_index += 1
+    return builder.build("random")
+
+
+@st.composite
+def random_chains(draw, max_hops=4):
+    """A random single-sink chain (for Algorithm 1/2 agreement)."""
+    driver = DriverCell("drv", draw(resistances), 0.0)
+    builder = TreeBuilder(TECH)
+    builder.add_source("so", driver=driver)
+    previous = "so"
+    for index in range(draw(st.integers(min_value=0, max_value=max_hops))):
+        name = f"m{index}"
+        builder.add_internal(name)
+        builder.add_wire(previous, name, length=draw(wire_lengths))
+        previous = name
+    builder.add_sink(
+        "s",
+        capacitance=draw(sink_caps),
+        noise_margin=draw(margins),
+    )
+    builder.add_wire(previous, "s", length=draw(wire_lengths))
+    return builder.build("chain")

@@ -1,0 +1,82 @@
+"""Tests for repro.units — constants and formatters."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_scales(self):
+        assert units.FF == 1e-15
+        assert units.PF == 1e-12
+        assert units.PS == 1e-12
+        assert units.NS == 1e-9
+        assert units.UM == 1e-6
+        assert units.MM == 1e-3
+        assert units.KOHM == 1e3
+
+
+class TestFormatters:
+    @pytest.mark.parametrize("value,expected", [
+        (336e-12, "336 ps"),
+        (1.5e-9, "1.5 ns"),
+        (0.0, "0 s"),
+    ])
+    def test_format_time(self, value, expected):
+        assert units.format_time(value) == expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (800e-15, "800 fF"),
+        (1.2e-12, "1.2 pF"),
+    ])
+    def test_format_capacitance(self, value, expected):
+        assert units.format_capacitance(value) == expected
+
+    def test_format_resistance(self):
+        assert units.format_resistance(250.0) == "250 Ohm"
+        assert units.format_resistance(1500.0) == "1.5 kOhm"
+
+    def test_format_voltage(self):
+        assert units.format_voltage(0.8) == "800 mV"
+        assert units.format_voltage(1.8) == "1.8 V"
+
+    def test_format_current(self):
+        assert units.format_current(4.03e-3) == "4.03 mA"
+
+    def test_format_length(self):
+        assert units.format_length(9e-3) == "9 mm"
+        assert units.format_length(250e-6) == "250 um"
+
+    def test_negative_values(self):
+        assert units.format_voltage(-0.5) == "-500 mV"
+
+    def test_tiny_values_use_smallest_prefix(self):
+        text = units.format_capacitance(1e-19)
+        assert "aF" in text
+
+
+class TestSlope:
+    def test_paper_value(self):
+        assert math.isclose(units.slope_from_slew(1.8, 0.25e-9), 7.2e9)
+
+    def test_rejects_nonpositive_rise(self):
+        with pytest.raises(ValueError):
+            units.slope_from_slew(1.8, 0.0)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro import errors
+
+        for cls in (
+            errors.TreeStructureError,
+            errors.TechnologyError,
+            errors.InfeasibleError,
+            errors.SimulationError,
+            errors.AnalysisError,
+            errors.WorkloadError,
+        ):
+            assert issubclass(cls, errors.ReproError)
+            assert issubclass(cls, Exception)

@@ -1,0 +1,82 @@
+"""Tests for repro.viz — SVG rendering."""
+
+import pytest
+
+from repro import AnalysisError, BufferType
+from repro.units import FF, PS
+from repro.viz import SvgStyle, render_svg, save_svg
+
+
+@pytest.fixture
+def buffer_b():
+    return BufferType("bufX", 100.0, 10 * FF, 20 * PS, 0.8)
+
+
+class TestRenderSvg:
+    def test_contains_all_nodes(self, y_tree):
+        svg = render_svg(y_tree)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "sink s1" in svg
+        assert "sink s2" in svg
+        assert "source so" in svg
+        assert svg.count("<line") == 3  # one per wire
+
+    def test_buffers_drawn_as_triangles(self, y_tree, buffer_b):
+        svg = render_svg(y_tree, buffers={"u": buffer_b})
+        assert "<polygon" in svg
+        assert "bufX at u" in svg
+
+    def test_inverting_buffer_gets_bubble(self, y_tree):
+        inv = BufferType("invX", 100.0, 10 * FF, 20 * PS, 0.8, inverting=True)
+        plain = render_svg(y_tree, buffers={"u": inv})
+        assert plain.count("<circle") > render_svg(y_tree).count("<circle")
+
+    def test_noise_annotation_and_violation_color(
+        self, long_two_pin, coupling
+    ):
+        style = SvgStyle()
+        svg = render_svg(long_two_pin, coupling=coupling)
+        assert "mV)" in svg
+        assert style.sink_violation_color in svg
+
+    def test_clean_net_uses_ok_color(self, short_two_pin, coupling):
+        style = SvgStyle()
+        svg = render_svg(short_two_pin, coupling=coupling)
+        assert style.sink_color in svg
+        assert style.sink_violation_color not in svg
+
+    def test_positionless_tree_gets_layout(self):
+        from repro import TreeBuilder
+
+        builder = TreeBuilder()
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        builder.add_wire("so", "s", resistance=1.0, capacitance=0.0)
+        svg = render_svg(builder.build())
+        assert "<line" in svg
+
+    def test_unknown_buffer_node_rejected(self, y_tree, buffer_b):
+        with pytest.raises(AnalysisError):
+            render_svg(y_tree, buffers={"ghost": buffer_b})
+
+    def test_label_escaping(self, tech):
+        from repro import DriverCell, TreeBuilder
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=DriverCell("d", 10.0))
+        builder.add_sink("a<b", capacitance=1 * FF, noise_margin=0.8)
+        builder.add_wire("so", "a<b", length=1e-3)
+        svg = render_svg(builder.build())
+        assert "a&lt;b" in svg
+        assert "a<b</text>" not in svg
+
+    def test_save_svg(self, y_tree, tmp_path):
+        path = tmp_path / "net.svg"
+        save_svg(y_tree, path)
+        assert path.read_text().startswith("<svg")
+
+    def test_custom_style_dimensions(self, y_tree):
+        svg = render_svg(y_tree, style=SvgStyle(width=400, height=300))
+        assert 'width="400"' in svg
+        assert 'height="300"' in svg

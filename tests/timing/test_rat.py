@@ -1,0 +1,73 @@
+"""Tests for repro.timing.rat — footnote-6 RAT manipulations."""
+
+import math
+
+import pytest
+
+from repro import AnalysisError, optimize_delay, segment_tree
+from repro.timing import (
+    budget_from_unbuffered,
+    make_critical,
+    set_uniform_rat,
+    sink_delays,
+    source_slack,
+)
+from repro.units import NS, UM
+
+
+class TestSetUniformRat:
+    def test_all_sinks_updated(self, y_tree):
+        tree = set_uniform_rat(y_tree, 3 * NS)
+        assert all(s.sink.required_arrival == 3 * NS for s in tree.sinks)
+
+    def test_original_untouched(self, y_tree):
+        original = [s.sink.required_arrival for s in y_tree.sinks]
+        set_uniform_rat(y_tree, 3 * NS)
+        assert [s.sink.required_arrival for s in y_tree.sinks] == original
+
+    def test_uniform_rat_slack_is_rat_minus_worst_delay(self, y_tree):
+        tree = set_uniform_rat(y_tree, 3 * NS)
+        expected = 3 * NS - max(sink_delays(tree).values())
+        assert math.isclose(source_slack(tree), expected, rel_tol=1e-12)
+
+
+class TestMakeCritical:
+    def test_single_finite_rat(self, y_tree):
+        tree = make_critical(y_tree, "s2")
+        rats = {s.name: s.sink.required_arrival for s in tree.sinks}
+        assert math.isfinite(rats["s2"])
+        assert math.isinf(rats["s1"])
+
+    def test_unknown_sink_rejected(self, y_tree):
+        with pytest.raises(AnalysisError):
+            make_critical(y_tree, "nope")
+
+    def test_optimizer_targets_critical_sink(self, y_tree, library):
+        """Slack maximization with one critical sink minimizes that
+        sink's delay; the optimum differs per chosen sink on an
+        asymmetric tree (or at least never worsens it)."""
+        base = segment_tree(y_tree, 400 * UM)
+        for name in ("s1", "s2"):
+            tree = make_critical(base, name)
+            solution = optimize_delay(tree, library)
+            optimized = sink_delays(tree, solution.buffer_map())[name]
+            unbuffered = sink_delays(tree)[name]
+            assert optimized <= unbuffered + 1e-15
+
+
+class TestBudgetFromUnbuffered:
+    def test_fraction_above_one_is_feasible(self, y_tree):
+        tree = budget_from_unbuffered(y_tree, 1.1)
+        assert source_slack(tree) > 0
+
+    def test_fraction_below_one_is_infeasible_unbuffered(self, y_tree):
+        tree = budget_from_unbuffered(y_tree, 0.8)
+        assert source_slack(tree) < 0
+
+    def test_floor_applies(self, y_tree):
+        tree = budget_from_unbuffered(y_tree, 0.0001, floor=5 * NS)
+        assert all(s.sink.required_arrival == 5 * NS for s in tree.sinks)
+
+    def test_rejects_nonpositive_fraction(self, y_tree):
+        with pytest.raises(AnalysisError):
+            budget_from_unbuffered(y_tree, 0.0)

@@ -1,0 +1,115 @@
+"""Tests for repro.timing.slack — RAT propagation and q(so)."""
+
+import math
+
+import pytest
+
+from repro import AnalysisError, BufferType, TreeBuilder
+from repro.timing import (
+    meets_timing,
+    node_slacks,
+    sink_delays,
+    source_slack,
+    worst_sink,
+)
+from repro.units import FF, NS, PS, UM
+
+
+class TestSourceSlack:
+    def test_equals_min_rat_minus_delay(self, y_tree):
+        """The backward and forward computations must agree exactly."""
+        delays = sink_delays(y_tree)
+        expected = min(
+            sink.sink.required_arrival - delays[sink.name]
+            for sink in y_tree.sinks
+        )
+        assert math.isclose(source_slack(y_tree), expected, rel_tol=1e-12)
+
+    def test_agreement_with_buffers(self, y_tree):
+        buffer = BufferType("b", 150.0, 12 * FF, 20 * PS, 0.8)
+        buffers = {"u": buffer}
+        delays = sink_delays(y_tree, buffers)
+        expected = min(
+            sink.sink.required_arrival - delays[sink.name]
+            for sink in y_tree.sinks
+        )
+        assert math.isclose(
+            source_slack(y_tree, buffers), expected, rel_tol=1e-12
+        )
+
+    def test_infinite_rat_gives_infinite_slack(self, tech, driver):
+        from repro import two_pin_net
+
+        net = two_pin_net(tech, 1000 * UM, driver, 10 * FF, 0.8)
+        assert math.isinf(source_slack(net))
+
+    def test_missing_driver_raises(self, tech):
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8,
+                         required_arrival=1 * NS)
+        builder.add_wire("so", "s", length=10 * UM)
+        with pytest.raises(AnalysisError):
+            source_slack(builder.build())
+
+
+class TestNodeSlacks:
+    def test_sink_slack_is_rat(self, y_tree):
+        slacks = node_slacks(y_tree)
+        assert slacks["s1"] == y_tree.node("s1").sink.required_arrival
+
+    def test_branch_takes_minimum(self, y_tree):
+        slacks = node_slacks(y_tree)
+        from repro.timing import node_loads, wire_delay
+
+        _, upward = node_loads(y_tree)
+        w1 = y_tree.node("s1").parent_wire
+        w2 = y_tree.node("s2").parent_wire
+        expected = min(
+            slacks["s1"] - wire_delay(w1, upward["s1"]),
+            slacks["s2"] - wire_delay(w2, upward["s2"]),
+        )
+        assert math.isclose(slacks["u"], expected, rel_tol=1e-12)
+
+    def test_slack_decreases_upstream(self, y_tree):
+        slacks = node_slacks(y_tree)
+        assert slacks["so"] < slacks["u"] < max(slacks["s1"], slacks["s2"])
+
+
+class TestMeetsTiming:
+    def test_infinite_rats_always_met(self, tech, driver):
+        from repro import two_pin_net
+
+        net = two_pin_net(tech, 9000 * UM, driver, 10 * FF, 0.8)
+        assert meets_timing(net)
+
+    def test_tight_rat_fails(self, tech, driver):
+        from repro import two_pin_net
+
+        net = two_pin_net(
+            tech, 9000 * UM, driver, 10 * FF, 0.8, required_arrival=1 * PS
+        )
+        assert not meets_timing(net)
+
+    def test_loose_rat_passes(self, tech, driver):
+        from repro import two_pin_net
+
+        net = two_pin_net(
+            tech, 1000 * UM, driver, 10 * FF, 0.8, required_arrival=100 * NS
+        )
+        assert meets_timing(net)
+
+
+class TestWorstSink:
+    def test_identifies_binding_sink(self, tech, driver):
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("u")
+        builder.add_wire("so", "u", length=100 * UM)
+        builder.add_sink("near", capacitance=5 * FF, noise_margin=0.8,
+                         required_arrival=1 * PS)  # tiny budget => binding
+        builder.add_sink("far", capacitance=5 * FF, noise_margin=0.8,
+                         required_arrival=10 * NS)
+        builder.add_wire("u", "near", length=100 * UM)
+        builder.add_wire("u", "far", length=5000 * UM)
+        assert worst_sink(builder.build()) == "near"

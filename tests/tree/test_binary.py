@@ -1,0 +1,91 @@
+"""Tests for repro.tree.binary — footnote-1 binarization."""
+
+import math
+
+import pytest
+
+from repro import TreeBuilder, binarize
+from repro.units import FF, UM
+
+
+def star_tree(tech, fanout):
+    builder = TreeBuilder(tech)
+    builder.add_source("so")
+    builder.add_internal("hub")
+    builder.add_wire("so", "hub", length=500 * UM)
+    for i in range(fanout):
+        builder.add_sink(f"s{i}", capacitance=5 * FF, noise_margin=0.8)
+        builder.add_wire("hub", f"s{i}", length=(300 + 100 * i) * UM)
+    return builder.build("star", allow_nonbinary=True)
+
+
+class TestBinarize:
+    @pytest.mark.parametrize("fanout", [3, 4, 5, 7])
+    def test_result_is_binary(self, tech, fanout):
+        tree = binarize(star_tree(tech, fanout))
+        assert tree.is_binary
+
+    @pytest.mark.parametrize("fanout", [3, 4, 5])
+    def test_sinks_preserved(self, tech, fanout):
+        tree = binarize(star_tree(tech, fanout))
+        assert [s.name for s in tree.sinks] == [f"s{i}" for i in range(fanout)]
+
+    def test_dummy_nodes_are_infeasible(self, tech):
+        tree = binarize(star_tree(tech, 4))
+        dummies = [n for n in tree.nodes() if "_bin" in n.name]
+        assert dummies, "binarization must introduce dummy nodes"
+        assert all(not n.feasible for n in dummies)
+
+    def test_dummy_wires_are_electrically_nil(self, tech):
+        tree = binarize(star_tree(tech, 5))
+        for wire in tree.wires():
+            if "_bin" in wire.child.name:
+                assert wire.length == 0.0
+                assert wire.resistance == 0.0
+                assert wire.capacitance == 0.0
+
+    def test_total_electricals_preserved(self, tech):
+        original = star_tree(tech, 6)
+        tree = binarize(original)
+        assert math.isclose(
+            tree.total_wire_length(), original.total_wire_length()
+        )
+        assert math.isclose(
+            tree.total_capacitance(), original.total_capacitance()
+        )
+
+    def test_binary_input_passes_through_as_copy(self, tech, y_tree):
+        copy = binarize(y_tree)
+        assert copy.is_binary
+        assert copy is not y_tree
+        assert {n.name for n in copy.nodes()} == {n.name for n in y_tree.nodes()}
+        # independence: the copy's nodes are fresh objects
+        assert copy.node("u") is not y_tree.node("u")
+
+    def test_preserves_driver(self, tech, driver):
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("hub")
+        builder.add_wire("so", "hub", length=10 * UM)
+        for i in range(3):
+            builder.add_sink(f"s{i}", capacitance=5 * FF, noise_margin=0.8)
+            builder.add_wire("hub", f"s{i}", length=10 * UM)
+        tree = binarize(builder.build("t", allow_nonbinary=True))
+        assert tree.driver is driver
+
+    def test_elmore_delays_unchanged(self, tech, driver):
+        """Binarization must not change any sink's Elmore delay."""
+        from repro.timing import sink_delays
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=driver)
+        builder.add_internal("hub")
+        builder.add_wire("so", "hub", length=800 * UM)
+        for i in range(4):
+            builder.add_sink(f"s{i}", capacitance=(5 + i) * FF, noise_margin=0.8)
+            builder.add_wire("hub", f"s{i}", length=(200 + 150 * i) * UM)
+        raw = builder.build("t", allow_nonbinary=True)
+        before = sink_delays(raw)
+        after = sink_delays(binarize(raw))
+        for name, delay in before.items():
+            assert math.isclose(after[name], delay, rel_tol=1e-12)

@@ -1,0 +1,108 @@
+"""Tests for repro.tree.builder."""
+
+import math
+
+import pytest
+
+from repro import DriverCell, TreeBuilder, TreeStructureError, two_pin_net
+from repro.units import FF, UM
+
+
+class TestTreeBuilder:
+    def test_technology_derives_wire_rc(self, tech):
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        wire = builder.add_wire("so", "s", length=1000 * UM)
+        assert math.isclose(wire.resistance, tech.wire_resistance(1000 * UM))
+        assert math.isclose(wire.capacitance, tech.wire_capacitance(1000 * UM))
+
+    def test_explicit_rc_overrides(self, tech):
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        wire = builder.add_wire(
+            "so", "s", length=1000 * UM, resistance=42.0, capacitance=7 * FF
+        )
+        assert wire.resistance == 42.0
+        assert wire.capacitance == 7 * FF
+
+    def test_no_technology_requires_explicit_rc(self):
+        builder = TreeBuilder()
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        with pytest.raises(TreeStructureError):
+            builder.add_wire("so", "s", length=1000 * UM)
+
+    def test_no_technology_zero_length_ok(self):
+        builder = TreeBuilder()
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        builder.add_wire("so", "s")  # abstract zero-length wire
+        tree = builder.build()
+        assert tree.total_wire_length() == 0.0
+
+    def test_duplicate_source_rejected(self, tech):
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        with pytest.raises(TreeStructureError):
+            builder.add_source("so2")
+
+    def test_duplicate_name_rejected(self, tech):
+        builder = TreeBuilder(tech)
+        builder.add_source("x")
+        with pytest.raises(TreeStructureError):
+            builder.add_internal("x")
+
+    def test_wiring_unknown_node_rejected(self, tech):
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        with pytest.raises(TreeStructureError):
+            builder.add_wire("so", "ghost", length=1 * UM)
+
+    def test_driver_attached(self, tech):
+        drv = DriverCell("d", resistance=100.0)
+        builder = TreeBuilder(tech)
+        builder.add_source("so", driver=drv)
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        builder.add_wire("so", "s", length=10 * UM)
+        assert builder.build().driver is drv
+
+    def test_source_and_sink_infeasible_for_buffers(self, tech):
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        builder.add_wire("so", "s", length=10 * UM)
+        tree = builder.build()
+        assert not tree.source.feasible
+        assert not tree.node("s").feasible
+
+
+class TestTwoPinNet:
+    def test_unsegmented(self, tech, driver):
+        net = two_pin_net(tech, 5000 * UM, driver, 10 * FF, 0.8)
+        assert len(net) == 2
+        assert math.isclose(net.total_wire_length(), 5000 * UM)
+
+    def test_segments_create_feasible_sites(self, tech, driver):
+        net = two_pin_net(tech, 6000 * UM, driver, 10 * FF, 0.8, segments=4)
+        internals = [n for n in net.nodes() if n.is_internal]
+        assert len(internals) == 3
+        assert all(n.feasible for n in internals)
+        lengths = [w.length for w in net.wires()]
+        assert all(math.isclose(l, 1500 * UM) for l in lengths)
+
+    def test_required_arrival_propagates(self, tech, driver):
+        net = two_pin_net(tech, 100 * UM, driver, 10 * FF, 0.8,
+                          required_arrival=123.0)
+        assert net.sinks[0].sink.required_arrival == 123.0
+
+    def test_rejects_zero_segments(self, tech, driver):
+        with pytest.raises(TreeStructureError):
+            two_pin_net(tech, 100 * UM, driver, 10 * FF, 0.8, segments=0)
+
+    def test_positions_interpolate(self, tech, driver):
+        net = two_pin_net(tech, 4000 * UM, driver, 10 * FF, 0.8, segments=2)
+        mid = net.node("n1")
+        assert mid.position is not None
+        assert math.isclose(mid.position[0], 2000 * UM)

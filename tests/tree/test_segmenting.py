@@ -1,0 +1,111 @@
+"""Tests for repro.tree.segmenting — the Alpert–Devgan preprocessing."""
+
+import math
+
+import pytest
+
+from repro import TreeStructureError, segment_tree, two_pin_net
+from repro.tree.segmenting import segment_count
+from repro.units import FF, UM
+
+
+class TestSegmentCount:
+    @pytest.mark.parametrize("length,limit,expected", [
+        (0.0, 100 * UM, 1),
+        (50 * UM, 100 * UM, 1),
+        (100 * UM, 100 * UM, 1),
+        (101 * UM, 100 * UM, 2),
+        (1000 * UM, 100 * UM, 10),
+        (1001 * UM, 100 * UM, 11),
+    ])
+    def test_values(self, length, limit, expected):
+        assert segment_count(length, limit) == expected
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(TreeStructureError):
+            segment_count(1.0, 0.0)
+
+
+class TestSegmentTree:
+    def test_no_wire_exceeds_limit(self, tech, driver, y_tree):
+        limit = 700 * UM
+        tree = segment_tree(y_tree, limit)
+        assert all(w.length <= limit + 1e-12 for w in tree.wires())
+
+    def test_total_electricals_preserved(self, y_tree):
+        tree = segment_tree(y_tree, 333 * UM)
+        assert math.isclose(
+            tree.total_wire_length(), y_tree.total_wire_length(), rel_tol=1e-12
+        )
+        assert math.isclose(
+            tree.total_capacitance(), y_tree.total_capacitance(), rel_tol=1e-12
+        )
+        total_r = sum(w.resistance for w in tree.wires())
+        orig_r = sum(w.resistance for w in y_tree.wires())
+        assert math.isclose(total_r, orig_r, rel_tol=1e-12)
+
+    def test_new_nodes_are_feasible_buffer_sites(self, y_tree):
+        tree = segment_tree(y_tree, 500 * UM)
+        new = [n for n in tree.nodes() if "__seg" in n.name]
+        assert new and all(n.feasible for n in new)
+
+    def test_equal_pieces(self, tech, driver):
+        net = two_pin_net(tech, 3000 * UM, driver, 10 * FF, 0.8)
+        tree = segment_tree(net, 1000 * UM)
+        lengths = sorted(w.length for w in tree.wires())
+        assert len(lengths) == 3
+        assert all(math.isclose(l, 1000 * UM) for l in lengths)
+
+    def test_input_untouched(self, y_tree):
+        node_count = len(y_tree)
+        segment_tree(y_tree, 100 * UM)
+        assert len(y_tree) == node_count
+
+    def test_elmore_delay_invariant_under_segmentation(self, y_tree):
+        """Splitting a wire into pi-model pieces preserves Elmore delay
+        exactly (distributed RC line property)."""
+        from repro.timing import sink_delays
+
+        before = sink_delays(y_tree)
+        after = sink_delays(segment_tree(y_tree, 250 * UM))
+        for name, value in before.items():
+            assert math.isclose(after[name], value, rel_tol=1e-9)
+
+    def test_devgan_noise_invariant_under_segmentation(self, y_tree, coupling):
+        """Same invariance for the noise metric (footnote 5 analogy)."""
+        from repro.noise import sink_noise
+
+        before = {e.node: e.noise for e in sink_noise(y_tree, coupling)}
+        after = {e.node: e.noise
+                 for e in sink_noise(segment_tree(y_tree, 250 * UM), coupling)}
+        for name, value in before.items():
+            assert math.isclose(after[name], value, rel_tol=1e-9)
+
+    def test_finer_segmentation_never_hurts_delayopt(self, tech, driver, library):
+        """The [1] trade-off: more segments => equal or better slack."""
+        from repro.core import optimize_delay
+        from repro.timing import source_slack
+
+        net = two_pin_net(
+            tech, 8000 * UM, driver, 20 * FF, 0.8, required_arrival=2e-9
+        )
+        slacks = []
+        for limit in (4000 * UM, 2000 * UM, 1000 * UM, 500 * UM):
+            tree = segment_tree(net, limit)
+            solution = optimize_delay(tree, library)
+            slacks.append(source_slack(tree, solution.buffer_map()))
+        for coarse, fine in zip(slacks, slacks[1:]):
+            assert fine >= coarse - 1e-15
+
+    def test_zero_length_wires_pass_through(self, tech):
+        from repro import TreeBuilder
+
+        builder = TreeBuilder(tech)
+        builder.add_source("so")
+        builder.add_internal("a")
+        builder.add_sink("s", capacitance=1 * FF, noise_margin=0.8)
+        builder.add_wire("so", "a", length=0.0)
+        builder.add_wire("a", "s", length=100 * UM)
+        tree = segment_tree(builder.build(), 10 * UM)
+        zero = [w for w in tree.wires() if w.length == 0.0]
+        assert len(zero) == 1

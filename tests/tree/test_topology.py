@@ -1,0 +1,190 @@
+"""Tests for repro.tree.topology — structural invariants and traversals."""
+
+import math
+
+import pytest
+
+from repro import TreeBuilder, TreeStructureError
+from repro.tree.topology import Node, RoutingTree, SinkSpec, Wire
+from repro.units import FF, UM
+
+
+def chain_tree(tech, driver=None):
+    builder = TreeBuilder(tech)
+    builder.add_source("so", driver=driver)
+    builder.add_internal("a")
+    builder.add_internal("b")
+    builder.add_sink("s", capacitance=10 * FF, noise_margin=0.8)
+    builder.add_wire("so", "a", length=100 * UM)
+    builder.add_wire("a", "b", length=100 * UM)
+    builder.add_wire("b", "s", length=100 * UM)
+    return builder.build("chain")
+
+
+class TestSinkSpec:
+    def test_defaults_infinite_rat(self):
+        spec = SinkSpec(capacitance=1 * FF, noise_margin=0.8)
+        assert math.isinf(spec.required_arrival)
+
+    def test_rejects_negative_capacitance(self):
+        with pytest.raises(TreeStructureError):
+            SinkSpec(capacitance=-1.0, noise_margin=0.8)
+
+    def test_rejects_nonpositive_margin(self):
+        with pytest.raises(TreeStructureError):
+            SinkSpec(capacitance=1 * FF, noise_margin=0.0)
+
+
+class TestStructuralValidation:
+    def test_two_sources_rejected(self):
+        a = Node("a", is_source=True)
+        b = Node("b", is_source=True)
+        with pytest.raises(TreeStructureError):
+            RoutingTree([a, b], [Wire(a, b)])
+
+    def test_no_source_rejected(self):
+        a = Node("a")
+        with pytest.raises(TreeStructureError):
+            RoutingTree([a], [])
+
+    def test_duplicate_names_rejected(self):
+        a = Node("x", is_source=True)
+        b = Node("x", sink=SinkSpec(1 * FF, 0.8))
+        with pytest.raises(TreeStructureError):
+            RoutingTree([a, b], [Wire(a, b)])
+
+    def test_disconnected_node_rejected(self):
+        a = Node("a", is_source=True)
+        b = Node("b", sink=SinkSpec(1 * FF, 0.8))
+        c = Node("c", sink=SinkSpec(1 * FF, 0.8))
+        with pytest.raises(TreeStructureError):
+            RoutingTree([a, b, c], [Wire(a, b)])
+
+    def test_multiple_parents_rejected(self):
+        a = Node("a", is_source=True)
+        b = Node("b")
+        c = Node("c", sink=SinkSpec(1 * FF, 0.8))
+        with pytest.raises(TreeStructureError):
+            RoutingTree([a, b, c], [Wire(a, c), Wire(b, c), Wire(a, b)])
+
+    def test_sink_with_children_rejected(self):
+        a = Node("a", is_source=True)
+        b = Node("b", sink=SinkSpec(1 * FF, 0.8))
+        c = Node("c", sink=SinkSpec(1 * FF, 0.8))
+        with pytest.raises(TreeStructureError):
+            RoutingTree([a, b, c], [Wire(a, b), Wire(b, c)])
+
+    def test_dangling_internal_rejected(self):
+        a = Node("a", is_source=True)
+        b = Node("b")  # internal leaf
+        with pytest.raises(TreeStructureError):
+            RoutingTree([a, b], [Wire(a, b)])
+
+    def test_ternary_rejected_unless_allowed(self):
+        a = Node("a", is_source=True)
+        kids = [Node(f"s{i}", sink=SinkSpec(1 * FF, 0.8)) for i in range(3)]
+        wires = [Wire(a, k) for k in kids]
+        with pytest.raises(TreeStructureError):
+            RoutingTree([a, *kids], wires)
+        tree = RoutingTree([a, *kids], wires, allow_nonbinary=True)
+        assert not tree.is_binary
+
+    def test_wire_with_foreign_node_rejected(self):
+        a = Node("a", is_source=True)
+        b = Node("b", sink=SinkSpec(1 * FF, 0.8))
+        ghost = Node("ghost", sink=SinkSpec(1 * FF, 0.8))
+        with pytest.raises(TreeStructureError):
+            RoutingTree([a, b], [Wire(a, ghost)])
+
+    def test_negative_wire_values_rejected(self):
+        a = Node("a", is_source=True)
+        b = Node("b", sink=SinkSpec(1 * FF, 0.8))
+        with pytest.raises(TreeStructureError):
+            Wire(a, b, length=-1.0)
+        with pytest.raises(TreeStructureError):
+            Wire(a, b, resistance=-1.0)
+        with pytest.raises(TreeStructureError):
+            Wire(a, b, capacitance=-1.0)
+        with pytest.raises(TreeStructureError):
+            Wire(a, b, current=-1.0)
+
+
+class TestTraversals:
+    def test_postorder_children_before_parents(self, tech):
+        tree = chain_tree(tech)
+        order = [n.name for n in tree.postorder()]
+        assert order.index("s") < order.index("b") < order.index("a")
+        assert order[-1] == "so"
+
+    def test_preorder_parents_before_children(self, tech):
+        tree = chain_tree(tech)
+        order = [n.name for n in tree.preorder()]
+        assert order[0] == "so"
+        assert order.index("a") < order.index("b") < order.index("s")
+
+    def test_path_to_source(self, tech):
+        tree = chain_tree(tech)
+        wires = tree.path_to_source(tree.node("s"))
+        assert [w.name for w in wires] == ["b->s", "a->b", "so->a"]
+
+    def test_path_top_down(self, tech):
+        tree = chain_tree(tech)
+        wires = tree.path(tree.node("a"), tree.node("s"))
+        assert [w.name for w in wires] == ["a->b", "b->s"]
+
+    def test_path_rejects_non_ancestor(self, y_tree):
+        with pytest.raises(TreeStructureError):
+            y_tree.path(y_tree.node("s1"), y_tree.node("s2"))
+
+    def test_downstream_sinks(self, y_tree):
+        names = {n.name for n in y_tree.downstream_sinks(y_tree.node("u"))}
+        assert names == {"s1", "s2"}
+        assert [n.name for n in y_tree.downstream_sinks(y_tree.node("s1"))] == ["s1"]
+
+    def test_left_right_convention(self, y_tree):
+        u = y_tree.node("u")
+        assert u.left is not None and u.right is not None
+        source = y_tree.source
+        assert source.left is not None and source.right is None
+
+
+class TestQueries:
+    def test_sinks_sorted_by_name(self, y_tree):
+        assert [s.name for s in y_tree.sinks] == ["s1", "s2"]
+
+    def test_node_lookup_and_contains(self, y_tree):
+        assert y_tree.node("u").is_internal
+        assert "u" in y_tree
+        assert "nope" not in y_tree
+        with pytest.raises(KeyError):
+            y_tree.node("nope")
+
+    def test_len_counts_nodes(self, y_tree):
+        assert len(y_tree) == 4
+
+    def test_total_wire_length(self, y_tree):
+        assert math.isclose(y_tree.total_wire_length(), 9000 * UM)
+
+    def test_total_capacitance_includes_pins(self, y_tree, tech):
+        wire_cap = tech.wire_capacitance(9000 * UM)
+        assert math.isclose(
+            y_tree.total_capacitance(), wire_cap + 15 * FF + 25 * FF
+        )
+
+    def test_subtree_nodes(self, y_tree):
+        names = {n.name for n in y_tree.subtree_nodes(y_tree.node("u"))}
+        assert names == {"u", "s1", "s2"}
+        assert {n.name for n in y_tree.subtree_nodes(y_tree.source)} == {
+            "so", "u", "s1", "s2"
+        }
+
+    def test_total_wire_capacitance(self, y_tree, tech):
+        assert math.isclose(
+            y_tree.total_wire_capacitance(),
+            tech.wire_capacitance(9000 * UM),
+        )
+
+    def test_node_kinds(self, y_tree):
+        assert y_tree.source.is_source and not y_tree.source.is_sink
+        assert y_tree.node("s1").is_sink and y_tree.node("s1").is_leaf
+        assert y_tree.node("u").is_internal

@@ -1,0 +1,81 @@
+"""Tests for repro.tree.transform — clone/split helpers."""
+
+import math
+
+import pytest
+
+from repro.tree.transform import clone_tree, fresh_name, split_wire
+from repro.tree.topology import Node
+
+
+class TestCloneTree:
+    def test_structure_preserved(self, y_tree):
+        copy = clone_tree(y_tree)
+        assert {n.name for n in copy.nodes()} == {n.name for n in y_tree.nodes()}
+        assert [w.name for w in copy.wires()] == [w.name for w in y_tree.wires()]
+        assert copy.driver is y_tree.driver
+
+    def test_deep_independence(self, y_tree):
+        copy = clone_tree(y_tree)
+        assert copy.node("u") is not y_tree.node("u")
+        assert copy.source.children[0] is copy.node("u")
+
+    def test_rename(self, y_tree):
+        assert clone_tree(y_tree, name="other").name == "other"
+
+
+class TestFreshName:
+    def test_no_clash_returns_base(self):
+        assert fresh_name("x", {"a", "b"}) == "x"
+
+    def test_clash_appends_counter(self):
+        assert fresh_name("x", {"x"}) == "x_1"
+        assert fresh_name("x", {"x", "x_1", "x_2"}) == "x_3"
+
+
+class TestSplitWire:
+    def _wire(self, y_tree):
+        return y_tree.node("s1").parent_wire
+
+    def test_split_preserves_totals(self, y_tree):
+        wire = self._wire(y_tree)
+        nodes = [Node("m1"), Node("m2")]
+        pieces = split_wire(wire, [0.25, 0.75], nodes)
+        assert len(pieces) == 3
+        assert math.isclose(sum(p.length for p in pieces), wire.length)
+        assert math.isclose(sum(p.resistance for p in pieces), wire.resistance)
+        assert math.isclose(sum(p.capacitance for p in pieces), wire.capacitance)
+
+    def test_split_endpoints_chain(self, y_tree):
+        wire = self._wire(y_tree)
+        middle = Node("m")
+        a, b = split_wire(wire, [0.5], [middle])
+        assert a.parent is wire.parent
+        assert a.child is middle
+        assert b.parent is middle
+        assert b.child is wire.child
+
+    def test_explicit_current_distributes(self, y_tree):
+        wire = self._wire(y_tree)
+        wire.current = 1e-3
+        a, b = split_wire(wire, [0.25], [Node("m")])
+        assert math.isclose(a.current, 0.25e-3)
+        assert math.isclose(b.current, 0.75e-3)
+
+    def test_mismatched_nodes_rejected(self, y_tree):
+        with pytest.raises(ValueError):
+            split_wire(self._wire(y_tree), [0.5], [])
+
+    @pytest.mark.parametrize("fractions", [[0.0], [1.0], [0.6, 0.4], [0.5, 0.5]])
+    def test_bad_fractions_rejected(self, y_tree, fractions):
+        nodes = [Node(f"m{i}") for i in range(len(fractions))]
+        with pytest.raises(ValueError):
+            split_wire(self._wire(y_tree), fractions, nodes)
+
+    def test_coupling_overrides_inherited(self, y_tree):
+        wire = self._wire(y_tree)
+        wire.coupling_ratio = 0.5
+        wire.slope = 3e9
+        pieces = split_wire(wire, [0.5], [Node("m")])
+        assert all(p.coupling_ratio == 0.5 for p in pieces)
+        assert all(p.slope == 3e9 for p in pieces)

@@ -1,0 +1,85 @@
+"""Tests for repro.workloads.distributions."""
+
+import numpy as np
+import pytest
+
+from repro import WorkloadError
+from repro.workloads import (
+    SinkDistribution,
+    SpanDistribution,
+    default_sink_distribution,
+    realized_histogram,
+)
+
+
+class TestSinkDistribution:
+    def test_default_sums_to_500(self):
+        assert default_sink_distribution().total_nets == 500
+
+    def test_default_dominated_by_small_nets(self):
+        """Table-I shape: one- and two-sink nets are the majority."""
+        histogram = default_sink_distribution().histogram()
+        small = histogram.get(1, 0) + histogram.get(2, 0)
+        assert small > 0.6 * 500
+        assert max(histogram) >= 20  # heavy tail exists
+
+    def test_expand_matches_histogram(self):
+        dist = default_sink_distribution()
+        counts = dist.expand()
+        assert len(counts) == 500
+        assert realized_histogram(counts) == dist.histogram()
+
+    def test_scaled_preserves_total(self):
+        for total in (50, 120, 1000):
+            scaled = default_sink_distribution().scaled(total)
+            assert scaled.total_nets == total
+
+    def test_scaled_keeps_proportions(self):
+        scaled = default_sink_distribution().scaled(100).histogram()
+        # 284/500 single-sink nets ~ 57 of 100
+        assert 50 <= scaled[1] <= 64
+        assert scaled[2] >= 15
+
+    def test_scaled_tiny_population_drops_tail(self):
+        scaled = default_sink_distribution().scaled(5)
+        assert scaled.total_nets == 5
+        assert 1 in scaled.histogram()  # the dominant bucket survives
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            default_sink_distribution().scaled(0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SinkDistribution(())
+        with pytest.raises(WorkloadError):
+            SinkDistribution(((0, 5),))
+        with pytest.raises(WorkloadError):
+            SinkDistribution(((1, -1),))
+
+
+class TestSpanDistribution:
+    def test_samples_within_bounds(self):
+        dist = SpanDistribution()
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            span = dist.sample(rng)
+            assert dist.span_min <= span <= dist.span_max
+
+    def test_log_uniform_median(self):
+        dist = SpanDistribution(span_min=1e-3, span_max=16e-3)
+        rng = np.random.default_rng(1)
+        samples = [dist.sample(rng) for _ in range(4000)]
+        median = float(np.median(samples))
+        assert 3.2e-3 < median < 5.0e-3  # geometric mean = 4 mm
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SpanDistribution(span_min=0.0, span_max=1.0)
+        with pytest.raises(WorkloadError):
+            SpanDistribution(span_min=2.0, span_max=1.0)
+
+
+class TestRealizedHistogram:
+    def test_sorted_and_counted(self):
+        assert realized_histogram([3, 1, 1, 2, 3, 3]) == {1: 2, 2: 1, 3: 3}

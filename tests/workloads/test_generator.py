@@ -1,0 +1,154 @@
+"""Tests for repro.workloads.generator — the synthetic net population."""
+
+import math
+
+import pytest
+
+from repro import WorkloadError, analyze_noise
+from repro.timing import meets_timing
+from repro.workloads import (
+    WorkloadConfig,
+    generate_population,
+    population_sink_histogram,
+    total_capacitance_rank,
+)
+
+
+@pytest.fixture(scope="module")
+def population():
+    return generate_population(WorkloadConfig(nets=60, seed=123))
+
+
+class TestDeterminism:
+    def test_same_seed_same_nets(self):
+        a = generate_population(WorkloadConfig(nets=25, seed=9))
+        b = generate_population(WorkloadConfig(nets=25, seed=9))
+        for net_a, net_b in zip(a, b):
+            assert net_a.name == net_b.name
+            assert net_a.sink_count == net_b.sink_count
+            assert math.isclose(
+                net_a.tree.total_wire_length(), net_b.tree.total_wire_length()
+            )
+
+    def test_different_seed_differs(self):
+        a = generate_population(WorkloadConfig(nets=25, seed=9))
+        b = generate_population(WorkloadConfig(nets=25, seed=10))
+        assert any(
+            not math.isclose(
+                x.tree.total_wire_length(), y.tree.total_wire_length()
+            )
+            for x, y in zip(a, b)
+        )
+
+
+class TestPopulationShape:
+    def test_count(self, population):
+        assert len(population) == 60
+
+    def test_all_trees_valid_binary(self, population):
+        for net in population:
+            assert net.tree.is_binary
+            assert net.tree.driver is not None
+            assert len(net.tree.sinks) == net.sink_count
+
+    def test_histogram_matches_scaled_table1(self, population):
+        histogram = population_sink_histogram(population)
+        assert sum(histogram.values()) == 60
+        assert histogram[1] >= 20  # single-sink majority preserved
+
+    def test_spans_are_multi_millimeter(self, population):
+        spans = [net.span for net in population]
+        assert min(spans) >= 1.0e-3
+        assert max(spans) <= 15.0e-3
+        assert max(spans) > 8e-3  # the tail exists
+
+    def test_majority_violate_noise_before_buffering(self, population, coupling):
+        violating = sum(
+            1 for net in population
+            if analyze_noise(net.tree, coupling).violated
+        )
+        assert 0.6 * len(population) < violating < len(population)
+
+    def test_unbuffered_timing_met(self, population):
+        """rat_fraction > 1: every net meets timing before buffering, so
+        Problem-3 BuffOpt buffers only for noise (paper's 77 clean nets)."""
+        for net in population[:20]:
+            assert meets_timing(net.tree)
+
+    def test_rats_uniform_per_net(self, population):
+        for net in population[:10]:
+            rats = {s.sink.required_arrival for s in net.tree.sinks}
+            assert len(rats) == 1
+            assert math.isfinite(rats.pop())
+
+
+class TestDynamicSinks:
+    def test_dynamic_fraction_lowers_some_margins(self):
+        nets = generate_population(
+            WorkloadConfig(nets=30, seed=3, dynamic_sink_fraction=0.4)
+        )
+        margins = {
+            s.sink.noise_margin for net in nets for s in net.tree.sinks
+        }
+        assert margins == {0.8, 0.55}
+
+    def test_zero_fraction_keeps_uniform_margin(self):
+        nets = generate_population(
+            WorkloadConfig(nets=20, seed=3, dynamic_sink_fraction=0.0)
+        )
+        margins = {
+            s.sink.noise_margin for net in nets for s in net.tree.sinks
+        }
+        assert margins == {0.8}
+
+    def test_dynamic_sinks_increase_violations(self, coupling):
+        base = generate_population(WorkloadConfig(nets=40, seed=11))
+        hot = generate_population(
+            WorkloadConfig(nets=40, seed=11, dynamic_sink_fraction=0.8)
+        )
+        count = lambda nets: sum(  # noqa: E731
+            1 for n in nets if analyze_noise(n.tree, coupling).violated
+        )
+        assert count(hot) >= count(base)
+
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(dynamic_sink_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(dynamic_noise_margin=0.0)
+
+    def test_buffopt_still_fixes_dynamic_population(self, coupling):
+        from repro import buffopt_min_buffers, segment_tree
+        from repro.library import default_buffer_library
+        from repro.units import UM
+
+        library = default_buffer_library()
+        nets = generate_population(
+            WorkloadConfig(nets=12, seed=4, dynamic_sink_fraction=0.5)
+        )
+        for net in nets:
+            tree = segment_tree(net.tree, 500 * UM)
+            solution = buffopt_min_buffers(tree, library, coupling)
+            assert not analyze_noise(
+                tree, coupling, solution.buffer_map()
+            ).violated, net.name
+
+
+class TestHelpers:
+    def test_capacitance_rank_descending(self, population):
+        ranked = total_capacitance_rank(population)
+        caps = [net.tree.total_capacitance() for net in ranked]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(nets=0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(noise_margin=0.0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(rat_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(die_size=-1.0)
+
+    def test_generated_net_name(self, population):
+        assert population[0].name == population[0].tree.name
