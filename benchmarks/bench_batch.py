@@ -1,0 +1,163 @@
+"""Batch engine bench: serial vs multiprocessing throughput.
+
+Two entry points:
+
+* standalone script (what CI runs in ``--smoke`` mode)::
+
+      PYTHONPATH=src python benchmarks/bench_batch.py            # 200 nets
+      PYTHONPATH=src python benchmarks/bench_batch.py --smoke    # quick CI
+
+  Runs the same generated workload through the serial, process, and
+  chunked executors, checks the three report signatures are identical,
+  and prints a throughput comparison.  Exits non-zero if the executors
+  disagree, or if multiprocessing fails to beat serial on a multi-core
+  host for a full-size (>= 200 net) run.  On single-CPU hosts the
+  speedup is reported but not asserted — there is nothing to win.
+
+* pytest bench (rides the existing suite)::
+
+      pytest benchmarks/bench_batch.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from time import perf_counter
+
+from repro.batch import (
+    BatchConfig,
+    BatchOptimizer,
+    default_worker_count,
+    make_executor,
+)
+from repro.workloads import WorkloadConfig, population_specs
+
+
+def run_fleet(specs, workload, executor, mode="buffopt", collect_stats=False):
+    optimizer = BatchOptimizer(
+        config=BatchConfig(
+            mode=mode,
+            max_buffers=4,
+            collect_stats=collect_stats,
+            keep_trees=False,
+        ),
+        executor=executor,
+        workload=workload,
+    )
+    return optimizer.optimize(specs)
+
+
+def compare_executors(nets, seed, workers, chunk_size, mode):
+    workload = WorkloadConfig(nets=nets, seed=seed)
+    specs = population_specs(workload)
+    reports = {}
+    for executor in (
+        make_executor("serial"),
+        make_executor("process", workers=workers),
+        make_executor("chunked", workers=workers, chunk_size=chunk_size),
+    ):
+        start = perf_counter()
+        report = run_fleet(specs, workload, executor, mode=mode)
+        elapsed = perf_counter() - start
+        reports[executor.name] = (report, elapsed)
+        print(
+            f"{executor.describe():34s} {nets / elapsed:8.2f} nets/s  "
+            f"({elapsed:.2f} s, {report.total_buffers()} buffers, "
+            f"{report.failure_count} infeasible)"
+        )
+    return reports
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nets", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=19981101)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="pool size for the parallel executors (default: all CPUs, "
+        "min 2 so the pool machinery is always exercised)",
+    )
+    parser.add_argument("--chunk-size", type=int, default=None)
+    parser.add_argument("--mode", choices=["buffopt", "delay"],
+                        default="buffopt")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny fleet, correctness-only (CI gate, no perf assertions)",
+    )
+    args = parser.parse_args(argv)
+
+    nets = 24 if args.smoke else args.nets
+    cpus = default_worker_count()
+    # Always exercise a real pool, even on one CPU: correctness of the
+    # process path matters everywhere; its speed only where cores exist.
+    workers = args.workers or max(2, cpus)
+
+    print(f"batch bench: {nets} nets, mode={args.mode}, "
+          f"{cpus} CPUs, {workers} workers")
+    reports = compare_executors(
+        nets, args.seed, workers, args.chunk_size, args.mode
+    )
+
+    signatures = {
+        name: report.signatures() for name, (report, _) in reports.items()
+    }
+    baseline = signatures["serial"]
+    for name, signature in signatures.items():
+        if signature != baseline:
+            print(f"FAIL: executor {name!r} diverged from serial results",
+                  file=sys.stderr)
+            return 1
+    print("all executors returned identical solutions")
+
+    serial_s = reports["serial"][1]
+    best_parallel = min(reports["process"][1], reports["chunked"][1])
+    speedup = serial_s / best_parallel
+    print(f"best parallel speedup over serial: {speedup:.2f}x")
+    if args.smoke:
+        return 0
+    if cpus > 1 and nets >= 200 and speedup <= 1.0:
+        print(
+            f"FAIL: multiprocessing did not beat serial on {cpus} CPUs",
+            file=sys.stderr,
+        )
+        return 1
+    if cpus == 1:
+        print("single-CPU host: speedup not asserted "
+              "(pool overhead only; re-run on a multi-core machine)")
+    return 0
+
+
+# -- pytest-benchmark integration (shares the suite's fixtures) ------------
+
+
+def test_batch_serial_vs_process(benchmark, experiment, results_dir):
+    from conftest import write_result
+
+    # Reuse the session experiment's workload but a small fleet: this
+    # bench times executor overhead, not the DP itself.
+    workload = WorkloadConfig(nets=min(60, len(experiment.nets)),
+                             seed=experiment.workload.seed)
+    specs = population_specs(workload)
+
+    serial = benchmark(
+        lambda: run_fleet(specs, workload, make_executor("serial"))
+    )
+    start = perf_counter()
+    parallel = run_fleet(
+        specs, workload, make_executor("process", workers=max(2, default_worker_count()))
+    )
+    parallel_s = perf_counter() - start
+    assert parallel.signatures() == serial.signatures()
+
+    text = "\n".join([
+        f"batch bench ({len(specs)} nets, buffopt, max_buffers=4)",
+        f"serial:  {serial.nets_per_second():8.2f} nets/s",
+        f"process: {len(specs) / parallel_s:8.2f} nets/s "
+        f"({default_worker_count()} CPUs)",
+    ])
+    write_result(results_dir, "batch.txt", text)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

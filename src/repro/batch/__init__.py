@@ -1,0 +1,38 @@
+"""Batch optimization: fleets of nets through the DP engine.
+
+The paper optimizes one net at a time; real deployments (Albrecht et
+al.'s buffered global routing) face thousands of nets per design.  This
+package scales the engine out: :class:`BatchOptimizer` maps a pluggable
+executor over net specs or built trees, and :class:`BatchReport`
+aggregates solutions, throughput, and pruning telemetry.
+"""
+
+from .executors import (
+    ChunkedExecutor,
+    MultiprocessExecutor,
+    SerialExecutor,
+    default_worker_count,
+    make_executor,
+)
+from .optimizer import (
+    BatchConfig,
+    BatchItem,
+    BatchOptimizer,
+    BatchReport,
+    NetResult,
+    optimize_net,
+)
+
+__all__ = [
+    "BatchConfig",
+    "BatchItem",
+    "BatchOptimizer",
+    "BatchReport",
+    "ChunkedExecutor",
+    "MultiprocessExecutor",
+    "NetResult",
+    "SerialExecutor",
+    "default_worker_count",
+    "make_executor",
+    "optimize_net",
+]

@@ -1,0 +1,137 @@
+"""Pluggable map backends for the batch optimizer.
+
+Three executors share one tiny interface — ``map(fn, items) -> list`` with
+results in input order:
+
+* :class:`SerialExecutor` — a plain loop in the calling process.  Zero
+  overhead, the baseline every parallel backend must beat.
+* :class:`MultiprocessExecutor` — a ``multiprocessing.Pool`` with one task
+  per item (finest-grained load balancing; best when per-net cost varies
+  wildly, as it does across the workload's span distribution).
+* :class:`ChunkedExecutor` — the same pool with a configurable chunk
+  size, amortizing task dispatch and pickling over ``chunk_size`` nets
+  (best when nets are small and dispatch overhead dominates).
+
+``fn`` and every item must be picklable for the process-backed executors
+(the batch work units are; see :mod:`repro.batch.optimizer`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..errors import WorkloadError
+
+_Item = TypeVar("_Item")
+_Out = TypeVar("_Out")
+
+
+def default_worker_count() -> int:
+    """Worker processes to use when unspecified (the schedulable CPUs)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity (macOS, Windows)
+        return os.cpu_count() or 1
+
+
+class SerialExecutor:
+    """In-process loop; the baseline and the debugging backend."""
+
+    name = "serial"
+
+    def map(
+        self, fn: Callable[[_Item], _Out], items: Sequence[_Item]
+    ) -> List[_Out]:
+        return [fn(item) for item in items]
+
+    def describe(self) -> str:
+        return "serial (in-process)"
+
+
+class MultiprocessExecutor:
+    """``multiprocessing.Pool`` backend, one task per item.
+
+    ``workers=None`` uses every schedulable CPU.  Each ``map`` call owns a
+    fresh pool, so no state leaks between batches and workers never carry
+    inherited RNG state (determinism relies on explicit per-net seeds, see
+    :class:`~repro.workloads.NetSpec`).
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise WorkloadError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    @property
+    def effective_workers(self) -> int:
+        return self.workers or default_worker_count()
+
+    def _chunksize(self, item_count: int) -> int:
+        return 1
+
+    def map(
+        self, fn: Callable[[_Item], _Out], items: Sequence[_Item]
+    ) -> List[_Out]:
+        items = list(items)
+        if not items:
+            return []
+        # A pool is pure overhead when it could only hold one worker.
+        if self.effective_workers == 1:
+            return [fn(item) for item in items]
+        with multiprocessing.Pool(self.effective_workers) as pool:
+            return pool.map(fn, items, chunksize=self._chunksize(len(items)))
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.effective_workers} workers)"
+
+
+class ChunkedExecutor(MultiprocessExecutor):
+    """Pool backend shipping ``chunk_size`` items per task.
+
+    ``chunk_size=None`` picks ``ceil(items / (4 * workers))`` — big enough
+    to amortize dispatch, small enough to keep every worker busy through
+    the tail.
+    """
+
+    name = "chunked"
+
+    def __init__(
+        self, workers: Optional[int] = None, chunk_size: Optional[int] = None
+    ):
+        super().__init__(workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise WorkloadError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+
+    def _chunksize(self, item_count: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-item_count // (4 * self.effective_workers)))
+
+    def describe(self) -> str:
+        chunk = self.chunk_size if self.chunk_size is not None else "auto"
+        return f"chunked ({self.effective_workers} workers, chunk={chunk})"
+
+
+def make_executor(
+    kind: str,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+):
+    """Executor factory for the CLI and benchmarks.
+
+    ``kind`` is one of ``"serial"``, ``"process"``, ``"chunked"``.
+    """
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "process":
+        return MultiprocessExecutor(workers=workers)
+    if kind == "chunked":
+        return ChunkedExecutor(workers=workers, chunk_size=chunk_size)
+    raise WorkloadError(
+        f"unknown executor {kind!r} (expected serial, process, or chunked)"
+    )

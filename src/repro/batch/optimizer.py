@@ -1,0 +1,407 @@
+"""Fleet-scale buffer optimization: many nets, one call.
+
+:class:`BatchOptimizer` runs the DP engine over an iterable of nets —
+pre-built :class:`~repro.tree.topology.RoutingTree`s /
+:class:`~repro.workloads.GeneratedNet`s, or deferred
+:class:`~repro.workloads.NetSpec`s materialized inside the workers — with
+a pluggable executor (:mod:`repro.batch.executors`), and returns per-net
+results plus an aggregate :class:`BatchReport`.
+
+Design points:
+
+* **Bit-identical to single-net calls.**  Each worker runs exactly
+  :func:`optimize_net`, which wraps the same public entry points
+  (:func:`~repro.core.noise_delay.buffopt_result` /
+  :func:`~repro.core.van_ginneken.delay_opt_result`) a caller would use
+  directly; the differential harness asserts equality for every executor.
+* **Deterministic under multiprocessing.**  Spec items carry explicit
+  per-net seeds (:class:`~repro.workloads.NetSpec`), so worker-side
+  generation never depends on inherited RNG state or scheduling order.
+* **Telemetry.**  With ``BatchConfig(collect_stats=True)`` every result
+  carries an :class:`~repro.core.stats.EngineStats` record and the report
+  aggregates them, making ``prune="timing"`` vs ``prune="pareto"``
+  ablations measurable at population scale.
+* **Light on the wire.**  Workers return assignments and telemetry, not
+  solutions-with-trees, unless ``keep_trees`` asks for reconstruction
+  material; infeasible nets come back as recorded errors instead of
+  poisoning the whole batch.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..core.noise_delay import buffopt_result
+from ..core.solution import BufferSolution
+from ..core.stats import EngineStats
+from ..core.van_ginneken import delay_opt_result
+from ..errors import InfeasibleError, WorkloadError
+from ..library.buffers import BufferLibrary, BufferType, default_buffer_library
+from ..library.cells import CellLibrary, default_cell_library
+from ..library.technology import Technology, default_technology
+from ..noise.coupling import CouplingModel
+from ..tree.segmenting import segment_tree
+from ..tree.topology import RoutingTree
+from ..units import UM
+from ..workloads.generator import (
+    GeneratedNet,
+    NetSpec,
+    WorkloadConfig,
+    generate_net_from_spec,
+    population_specs,
+)
+from .executors import SerialExecutor
+
+#: accepted item types for :meth:`BatchOptimizer.optimize`.
+BatchItem = Union[RoutingTree, GeneratedNet, NetSpec]
+
+MODES = ("buffopt", "delay")
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Per-net optimization policy shared across the whole batch."""
+
+    #: ``"buffopt"`` — Problem 3 (fewest buffers meeting noise + timing);
+    #: ``"delay"`` — DelayOpt (maximum slack, noise ignored).
+    mode: str = "buffopt"
+    #: wire segmentation applied before the DP; ``None`` skips it (the
+    #: trees are then expected to be segmented already).
+    max_segment_length: Optional[float] = 500 * UM
+    #: Lillis count cap forwarded to the engine (``None`` = uncapped).
+    max_buffers: Optional[int] = None
+    #: engine pruning rule: ``"timing"`` (paper) or ``"pareto"`` (ablation).
+    prune: str = "timing"
+    #: BuffOpt slack floor for the fewest-buffers selection.
+    min_slack: float = 0.0
+    #: collect :class:`~repro.core.stats.EngineStats` per net.
+    collect_stats: bool = False
+    #: ship each (segmented) tree back so solutions can be materialized.
+    keep_trees: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise WorkloadError(
+                f"unknown batch mode {self.mode!r} (expected one of {MODES})"
+            )
+        if (
+            self.max_segment_length is not None
+            and self.max_segment_length <= 0
+        ):
+            raise WorkloadError(
+                "max_segment_length must be positive or None, got "
+                f"{self.max_segment_length}"
+            )
+
+
+@dataclass(frozen=True)
+class NetResult:
+    """One net's outcome, picklable and tree-free unless trees were kept.
+
+    ``error`` records an :class:`~repro.errors.InfeasibleError` message
+    when no legal buffering exists (``ok`` is then False and the solution
+    fields are ``None``).
+    """
+
+    name: str
+    sink_count: int
+    node_count: int
+    seconds: float
+    buffer_count: Optional[int]
+    slack: Optional[float]
+    noise_feasible: Optional[bool]
+    assignment: Optional[Mapping[str, BufferType]]
+    candidates_generated: int
+    candidates_kept_peak: int
+    stats: Optional[EngineStats] = None
+    error: Optional[str] = None
+    tree: Optional[RoutingTree] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def solution(self, tree: Optional[RoutingTree] = None) -> BufferSolution:
+        """Materialize the :class:`BufferSolution` on ``tree`` (defaults
+        to the result's own kept tree)."""
+        if not self.ok:
+            raise InfeasibleError(f"net {self.name!r}: {self.error}")
+        target = tree if tree is not None else self.tree
+        if target is None:
+            raise WorkloadError(
+                f"net {self.name!r}: no tree kept (keep_trees=False); "
+                "pass the segmented tree explicitly"
+            )
+        assert self.assignment is not None
+        return BufferSolution(target, dict(self.assignment))
+
+    def signature(self) -> Tuple:
+        """Deterministic comparison key (excludes wall-clock and trees).
+
+        Two runs of the same batch — any executor, any process count —
+        must produce equal signatures; the determinism tests assert this.
+        """
+        buffers = (
+            None
+            if self.assignment is None
+            else tuple(
+                (node, buffer.name)
+                for node, buffer in sorted(self.assignment.items())
+            )
+        )
+        return (
+            self.name,
+            self.sink_count,
+            self.node_count,
+            self.buffer_count,
+            self.slack,
+            self.noise_feasible,
+            buffers,
+            self.candidates_generated,
+            self.candidates_kept_peak,
+            self.error,
+        )
+
+
+@dataclass
+class BatchReport:
+    """Per-net results plus batch-level aggregates."""
+
+    results: List[NetResult]
+    wall_seconds: float
+    executor: str
+    mode: str
+    #: summed single-net optimization time (excludes dispatch/pickling).
+    net_seconds: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.net_seconds = sum(r.seconds for r in self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def ok_results(self) -> List[NetResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failure_count(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    def nets_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return len(self.results) / self.wall_seconds
+
+    def total_buffers(self) -> int:
+        return sum(r.buffer_count or 0 for r in self.ok_results)
+
+    def buffer_histogram(self) -> Dict[int, int]:
+        histogram: Dict[int, int] = {}
+        for result in self.ok_results:
+            assert result.buffer_count is not None
+            histogram[result.buffer_count] = (
+                histogram.get(result.buffer_count, 0) + 1
+            )
+        return dict(sorted(histogram.items()))
+
+    def total_candidates(self) -> int:
+        return sum(r.candidates_generated for r in self.results)
+
+    def aggregate_stats(self) -> Optional[EngineStats]:
+        """Fold every net's telemetry into one record (None if absent)."""
+        collected = [r.stats for r in self.results if r.stats is not None]
+        if not collected:
+            return None
+        total = EngineStats()
+        for stats in collected:
+            total.merge_with(stats)
+        return total
+
+    def solutions(self) -> Dict[str, BufferSolution]:
+        """Materialized solutions for every feasible net (needs kept trees)."""
+        return {r.name: r.solution() for r in self.ok_results}
+
+    def signatures(self) -> Tuple[Tuple, ...]:
+        return tuple(r.signature() for r in self.results)
+
+    def describe(self) -> str:
+        lines = [
+            f"batch: {len(self.results)} nets, mode={self.mode}, "
+            f"executor={self.executor}",
+            f"throughput: {self.nets_per_second():.2f} nets/s "
+            f"({self.wall_seconds:.2f} s wall, {self.net_seconds:.2f} s "
+            "summed net time)",
+            f"buffers inserted: {self.total_buffers()} "
+            f"(histogram {self.buffer_histogram()})",
+            f"candidates generated: {self.total_candidates()}",
+        ]
+        if self.failure_count:
+            lines.append(f"infeasible nets: {self.failure_count}")
+        stats = self.aggregate_stats()
+        if stats is not None:
+            lines.append("telemetry:")
+            lines.extend("  " + line for line in stats.describe().splitlines())
+        return "\n".join(lines)
+
+
+def optimize_net(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    coupling: CouplingModel,
+    config: BatchConfig,
+) -> NetResult:
+    """Optimize one net under ``config`` — the exact per-item worker body.
+
+    This is public on purpose: `BatchOptimizer(...).optimize([tree])` and
+    `optimize_net(tree, ...)` run the same code path, which is what the
+    differential harness pins down.
+    """
+    start = perf_counter()
+    if config.max_segment_length is not None:
+        work_tree = segment_tree(tree, config.max_segment_length)
+    else:
+        work_tree = tree
+    error: Optional[str] = None
+    outcome = None
+    result = None
+    try:
+        if config.mode == "buffopt":
+            result = buffopt_result(
+                work_tree,
+                library,
+                coupling,
+                max_buffers=config.max_buffers,
+                prune=config.prune,
+                collect_stats=config.collect_stats,
+            )
+            outcome = result.fewest_buffers(min_slack=config.min_slack)
+        else:
+            result = delay_opt_result(
+                work_tree,
+                library,
+                max_buffers=config.max_buffers,
+                prune=config.prune,
+                collect_stats=config.collect_stats,
+            )
+            outcome = result.best(require_noise=False)
+    except InfeasibleError as exc:
+        error = str(exc)
+    seconds = perf_counter() - start
+    return NetResult(
+        name=work_tree.name,
+        sink_count=len(work_tree.sinks),
+        node_count=sum(1 for _ in work_tree.nodes()),
+        seconds=seconds,
+        buffer_count=None if outcome is None else outcome.buffer_count,
+        slack=None if outcome is None else outcome.slack,
+        noise_feasible=None if outcome is None else outcome.noise_feasible,
+        assignment=(
+            None
+            if outcome is None
+            else {ins.node: ins.buffer for ins in outcome.insertions}
+        ),
+        candidates_generated=0 if result is None else result.candidates_generated,
+        candidates_kept_peak=0 if result is None else result.candidates_kept_peak,
+        stats=None if result is None else result.stats,
+        error=error,
+        tree=work_tree if config.keep_trees else None,
+    )
+
+
+@dataclass(frozen=True)
+class _WorkerSetup:
+    """Everything a worker needs beyond the item itself (pickled once per
+    dispatch chunk, not once per net)."""
+
+    library: BufferLibrary
+    coupling: CouplingModel
+    config: BatchConfig
+    workload: WorkloadConfig
+    technology: Technology
+    cells: CellLibrary
+
+
+def _optimize_item(setup: _WorkerSetup, item: BatchItem) -> NetResult:
+    """Module-level worker entry (must stay picklable for Pool.map)."""
+    if isinstance(item, NetSpec):
+        item = generate_net_from_spec(
+            item, setup.workload, setup.technology, setup.cells
+        )
+    tree = item.tree if isinstance(item, GeneratedNet) else item
+    return optimize_net(tree, setup.library, setup.coupling, setup.config)
+
+
+class BatchOptimizer:
+    """Optimize a fleet of nets with one engine configuration.
+
+    Parameters default to the paper's estimation-mode setup: the 11-buffer
+    library, ``lambda = 0.7`` coupling, and the synthetic workload's
+    technology/cells for spec materialization.
+    """
+
+    def __init__(
+        self,
+        library: Optional[BufferLibrary] = None,
+        coupling: Optional[CouplingModel] = None,
+        config: Optional[BatchConfig] = None,
+        executor=None,
+        technology: Optional[Technology] = None,
+        cells: Optional[CellLibrary] = None,
+        workload: Optional[WorkloadConfig] = None,
+    ):
+        self.technology = technology or default_technology()
+        self.library = library or default_buffer_library()
+        self.coupling = coupling or CouplingModel.estimation_mode(
+            self.technology
+        )
+        self.config = config or BatchConfig()
+        self.executor = executor or SerialExecutor()
+        self.workload = workload or WorkloadConfig()
+        self.cells = cells or default_cell_library(
+            noise_margin=self.workload.noise_margin
+        )
+
+    def _setup(self) -> _WorkerSetup:
+        return _WorkerSetup(
+            library=self.library,
+            coupling=self.coupling,
+            config=self.config,
+            workload=self.workload,
+            technology=self.technology,
+            cells=self.cells,
+        )
+
+    def optimize(self, items: Iterable[BatchItem]) -> BatchReport:
+        """Run the configured optimization over every item, in order.
+
+        Items may mix trees, generated nets, and specs; specs are
+        materialized inside the workers from their explicit seeds.
+        """
+        units = list(items)
+        worker = functools.partial(_optimize_item, self._setup())
+        start = perf_counter()
+        results = self.executor.map(worker, units)
+        wall = perf_counter() - start
+        return BatchReport(
+            results=results,
+            wall_seconds=wall,
+            executor=getattr(self.executor, "name", type(self.executor).__name__),
+            mode=self.config.mode,
+        )
+
+    def optimize_specs(
+        self, specs: Optional[Sequence[NetSpec]] = None
+    ) -> BatchReport:
+        """Optimize the workload population from deferred specs.
+
+        ``specs`` defaults to :func:`~repro.workloads.population_specs` of
+        this optimizer's workload config — generation then happens inside
+        the workers, seeded explicitly per net.
+        """
+        if specs is None:
+            specs = population_specs(self.workload)
+        return self.optimize(specs)

@@ -18,6 +18,13 @@ Two families of commands (installed as ``buffopt``; also
       buffopt fix net.json --mode delay          # DelayOpt
       buffopt fix net.json --mode noise          # Algorithm 2 (noise only)
       buffopt fix net.json --out solution.json   # write the assignment
+
+* batch optimization of a generated fleet (see :mod:`repro.batch`)::
+
+      buffopt batch --nets 200                           # serial BuffOpt
+      buffopt batch --nets 200 --executor process        # multiprocessing
+      buffopt batch --executor chunked --chunk-size 8    # chunked map
+      buffopt batch --stats --mode delay                 # with telemetry
 """
 
 from __future__ import annotations
@@ -106,6 +113,46 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("directory", help="output directory (created)")
     export.add_argument("--nets", type=int, default=500)
     export.add_argument("--seed", type=int, default=19981101)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="optimize a generated net fleet with a pluggable executor",
+    )
+    batch.add_argument("--nets", type=int, default=200, help="fleet size")
+    batch.add_argument("--seed", type=int, default=19981101)
+    batch.add_argument(
+        "--mode", choices=["buffopt", "delay"], default="buffopt",
+        help="buffopt: fewest buffers meeting noise+timing (default); "
+        "delay: slack-optimal DelayOpt",
+    )
+    batch.add_argument(
+        "--executor", choices=["serial", "process", "chunked"],
+        default="serial", help="map backend (default: serial)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: all schedulable CPUs)",
+    )
+    batch.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="nets per task for --executor chunked (default: auto)",
+    )
+    batch.add_argument(
+        "--segment", type=float, default=500e-6,
+        help="max wire segment length in meters before optimization",
+    )
+    batch.add_argument(
+        "--max-buffers", type=int, default=4,
+        help="engine count cap per net (0 = uncapped; default 4)",
+    )
+    batch.add_argument(
+        "--prune", choices=["timing", "pareto"], default="timing",
+        help="engine pruning rule (pareto = 4-field ablation)",
+    )
+    batch.add_argument(
+        "--stats", action="store_true",
+        help="collect and print engine pruning telemetry",
+    )
     return parser
 
 
@@ -215,6 +262,36 @@ def _run_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_batch(args: argparse.Namespace) -> int:
+    from .batch import BatchConfig, BatchOptimizer, make_executor
+    from .workloads import WorkloadConfig, population_specs
+
+    workload = WorkloadConfig(nets=args.nets, seed=args.seed)
+    executor = make_executor(
+        args.executor, workers=args.workers, chunk_size=args.chunk_size
+    )
+    optimizer = BatchOptimizer(
+        config=BatchConfig(
+            mode=args.mode,
+            max_segment_length=args.segment,
+            max_buffers=args.max_buffers or None,
+            prune=args.prune,
+            collect_stats=args.stats,
+            keep_trees=False,
+        ),
+        executor=executor,
+        workload=workload,
+    )
+    print(
+        f"optimizing {args.nets} nets ({args.mode}, "
+        f"{executor.describe()}) ...",
+        file=sys.stderr,
+    )
+    report = optimizer.optimize_specs(population_specs(workload))
+    print(report.describe())
+    return 1 if report.failure_count == len(report) else 0
+
+
 def _run_export(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -239,6 +316,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sensitivity(args)
     if args.target == "export":
         return _run_export(args)
+    if args.target == "batch":
+        return _run_batch(args)
     return _run_tables(args)
 
 

@@ -11,6 +11,7 @@ from .noise_single import insert_buffers_single_sink, select_noise_buffer
 from .noise_sites import noise_aware_segmentation
 from .solution import BufferSolution, ContinuousSolution, PlacedBuffer
 from .stages import Stage, StageSink, decompose_stages
+from .stats import EngineStats, NodeStats
 from .van_ginneken import (
     best_within_count,
     delay_opt_result,
@@ -37,7 +38,9 @@ __all__ = [
     "DPOptions",
     "DPOutcome",
     "DPResult",
+    "EngineStats",
     "Insertion",
+    "NodeStats",
     "NoiseCandidate",
     "PlacedBuffer",
     "SpacingPlan",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import InfeasibleError
@@ -39,6 +40,7 @@ from ..noise.coupling import CouplingModel
 from ..tree.topology import Node, RoutingTree, Wire
 from ._chain import Chain
 from .solution import BufferSolution
+from .stats import EngineStats
 from .wire_sizing import WireChoice, WireSizingSpec, apply_wire_widths
 
 
@@ -89,6 +91,9 @@ class DPOptions:
     enforce_polarity: bool = True
     #: enable Lillis-style simultaneous wire sizing with this width menu.
     sizing: Optional[WireSizingSpec] = None
+    #: collect an :class:`~repro.core.stats.EngineStats` telemetry record
+    #: on the result (never changes the candidate arithmetic).
+    collect_stats: bool = False
 
     def __post_init__(self) -> None:
         if self.prune not in ("timing", "pareto"):
@@ -123,6 +128,8 @@ class DPResult:
     #: total candidates generated / surviving prunes (for the ablations).
     candidates_generated: int
     candidates_kept_peak: int
+    #: telemetry record, present when run with ``collect_stats=True``.
+    stats: Optional[EngineStats] = None
 
     def best(self, require_noise: Optional[bool] = None) -> DPOutcome:
         """Maximum-slack outcome (Problem 2 when ``require_noise``).
@@ -244,6 +251,11 @@ class _Engine:
         self.driver = driver
         self.generated = 0
         self.kept_peak = 0
+        self.dead = 0
+        self.merge_forks = 0
+        self.stats: Optional[EngineStats] = (
+            EngineStats() if options.collect_stats else None
+        )
 
     # -- candidate algebra ---------------------------------------------------
 
@@ -251,6 +263,8 @@ class _Engine:
         return count if self.options.track_counts else 0
 
     def run(self) -> DPResult:
+        if self.stats is not None:
+            return self._run_instrumented()
         lists: Dict[str, _Groups] = {}
         for node in self.tree.postorder():
             if node.is_sink:
@@ -265,6 +279,53 @@ class _Engine:
             self._prune(groups)
             lists[node.name] = groups
         return self._finalize(lists[self.tree.source.name])
+
+    def _run_instrumented(self) -> DPResult:
+        """The same visit loop as :meth:`run`, with telemetry around each
+        phase.  Kept separate so plain runs pay zero instrumentation cost;
+        candidate arithmetic is shared, so both paths return identical
+        solutions (asserted by the differential harness)."""
+        stats = self.stats
+        assert stats is not None
+        lists: Dict[str, _Groups] = {}
+        for node in self.tree.postorder():
+            record = stats.open_node(node.name)
+            generated_before = self.generated
+            dead_before = self.dead
+            forks_before = self.merge_forks
+            if node.is_sink:
+                groups = self._sink_base(node)
+            else:
+                start = perf_counter()
+                groups = self._merge_children(node, lists)
+                stats.add_phase("merge", perf_counter() - start)
+                start = perf_counter()
+                self._insert_buffers(node, groups)
+                stats.add_phase("buffering", perf_counter() - start)
+                for child in node.children:
+                    del lists[child.name]
+            if node.parent_wire is not None:
+                start = perf_counter()
+                self._apply_wire(node.parent_wire, groups)
+                stats.add_phase("wire", perf_counter() - start)
+            start = perf_counter()
+            dropped, frontier = self._prune(groups)
+            stats.add_phase("prune", perf_counter() - start)
+            record.generated = self.generated - generated_before
+            record.dead = self.dead - dead_before
+            record.merge_forks = self.merge_forks - forks_before
+            record.pruned = dropped
+            record.frontier = frontier
+            stats.candidates_pruned += dropped
+            stats.frontier_peak = max(stats.frontier_peak, frontier)
+            lists[node.name] = groups
+        start = perf_counter()
+        result = self._finalize(lists[self.tree.source.name])
+        stats.add_phase("finalize", perf_counter() - start)
+        stats.candidates_generated = self.generated
+        stats.candidates_dead = self.dead
+        stats.merge_forks = self.merge_forks
+        return result
 
     def _sink_base(self, node: Node) -> _Groups:
         assert node.sink is not None
@@ -304,6 +365,7 @@ class _Engine:
                     continue
                 polarity = pol_l if self.options.enforce_polarity else 0
                 key = (polarity, self._count_key(count))
+                self.merge_forks += 1
                 merged.setdefault(key, []).extend(
                     self._linear_merge(list_l, list_r)
                 )
@@ -424,6 +486,7 @@ class _Engine:
                         wire_i / 2.0 + cand.current
                     )
                     if self.options.noise_aware and noise_slack < 0.0:
+                        self.dead += 1
                         continue  # dead: no gate can ever drive it
                     wire_chain = cand.wire_chain
                     if width is not None:
@@ -450,15 +513,20 @@ class _Engine:
             else:
                 del groups[key]
 
-    def _prune(self, groups: _Groups) -> None:
+    def _prune(self, groups: _Groups) -> Tuple[int, int]:
+        """Prune every group in place; return (dropped, surviving) counts."""
         total = 0
+        dropped = 0
         for key, candidates in list(groups.items()):
             if self.options.prune == "timing":
-                groups[key] = self._prune_timing(candidates)
+                kept = self._prune_timing(candidates)
             else:
-                groups[key] = self._prune_pareto(candidates)
-            total += len(groups[key])
+                kept = self._prune_pareto(candidates)
+            dropped += len(candidates) - len(kept)
+            groups[key] = kept
+            total += len(kept)
         self.kept_peak = max(self.kept_peak, total)
+        return dropped, total
 
     @staticmethod
     def _prune_timing(candidates: List[DPCandidate]) -> List[DPCandidate]:
@@ -523,6 +591,7 @@ class _Engine:
             options=self.options,
             candidates_generated=self.generated,
             candidates_kept_peak=self.kept_peak,
+            stats=self.stats,
         )
 
 

@@ -39,6 +39,7 @@ def buffopt_result(
     max_buffers: Optional[int] = None,
     enforce_polarity: bool = True,
     prune: str = "timing",
+    collect_stats: bool = False,
 ) -> DPResult:
     """Noise-constrained count-tracking DP run (per-count outcomes)."""
     return run_dp(
@@ -51,6 +52,7 @@ def buffopt_result(
             max_buffers=max_buffers,
             enforce_polarity=enforce_polarity,
             prune=prune,
+            collect_stats=collect_stats,
         ),
         driver=driver,
     )

@@ -49,6 +49,8 @@ def delay_opt_result(
     driver: Optional[DriverCell] = None,
     max_buffers: Optional[int] = None,
     enforce_polarity: bool = True,
+    prune: str = "timing",
+    collect_stats: bool = False,
 ) -> DPResult:
     """Count-tracking DelayOpt run exposing the per-count outcomes."""
     return run_dp(
@@ -60,6 +62,8 @@ def delay_opt_result(
             track_counts=True,
             max_buffers=max_buffers,
             enforce_polarity=enforce_polarity,
+            prune=prune,
+            collect_stats=collect_stats,
         ),
         driver=driver,
     )

@@ -9,21 +9,27 @@ from .distributions import (
 )
 from .generator import (
     GeneratedNet,
+    NetSpec,
     WorkloadConfig,
+    generate_net_from_spec,
     generate_population,
     population_sink_histogram,
+    population_specs,
     total_capacitance_rank,
 )
 
 __all__ = [
     "DEFAULT_SINK_BUCKETS",
     "GeneratedNet",
+    "NetSpec",
     "SinkDistribution",
     "SpanDistribution",
     "WorkloadConfig",
     "default_sink_distribution",
+    "generate_net_from_spec",
     "generate_population",
     "population_sink_histogram",
+    "population_specs",
     "realized_histogram",
     "total_capacitance_rank",
 ]

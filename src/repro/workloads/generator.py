@@ -96,6 +96,87 @@ class GeneratedNet:
         return self.tree.name
 
 
+@dataclass(frozen=True)
+class NetSpec:
+    """A deferred net: everything needed to generate one net, anywhere.
+
+    A spec carries its own explicit ``seed``, so materializing it is a
+    pure function of ``(spec, config, technology, cells)`` — no inherited
+    RNG state, which is what makes spec-based generation safe to fan out
+    across ``multiprocessing`` workers (each worker seeds a fresh
+    generator from ``spec.seed`` and produces the identical net no matter
+    which process, or how many sibling specs, ran before it).
+    """
+
+    name: str
+    sink_count: int
+    span: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.sink_count < 1:
+            raise WorkloadError(
+                f"spec {self.name!r}: sink_count must be >= 1, "
+                f"got {self.sink_count}"
+            )
+        if self.span <= 0:
+            raise WorkloadError(
+                f"spec {self.name!r}: span must be positive, got {self.span}"
+            )
+
+
+def population_specs(config: Optional[WorkloadConfig] = None) -> List[NetSpec]:
+    """The seeded population as :class:`NetSpec`s instead of built trees.
+
+    Sink counts and spans follow the same distributions as
+    :func:`generate_population`; each spec additionally gets an
+    independent per-net seed drawn from the population seed, so
+    :func:`generate_net_from_spec` reproduces any single net without
+    generating the nets before it.  (The per-net RNG streams differ from
+    :func:`generate_population`'s single shared stream, so the two
+    populations are each deterministic but not identical to one another.)
+    """
+    config = config or WorkloadConfig()
+    distribution = default_sink_distribution()
+    if distribution.total_nets != config.nets:
+        distribution = distribution.scaled(config.nets)
+    spans = SpanDistribution()
+
+    rng = np.random.default_rng(config.seed)
+    sink_counts = distribution.expand()
+    rng.shuffle(sink_counts)
+    seeds = rng.integers(0, 2**63, size=len(sink_counts))
+    return [
+        NetSpec(
+            name=f"net{index:04d}",
+            sink_count=int(sink_count),
+            span=float(spans.sample(rng)),
+            seed=int(seeds[index]),
+        )
+        for index, sink_count in enumerate(sink_counts)
+    ]
+
+
+def generate_net_from_spec(
+    spec: NetSpec,
+    config: Optional[WorkloadConfig] = None,
+    technology: Optional[Technology] = None,
+    cells: Optional[CellLibrary] = None,
+) -> GeneratedNet:
+    """Materialize one :class:`NetSpec` deterministically.
+
+    Seeds a fresh generator from ``spec.seed`` — repeat calls (in any
+    process) yield bit-identical trees.
+    """
+    config = config or WorkloadConfig()
+    technology = technology or default_technology()
+    cells = cells or default_cell_library(noise_margin=config.noise_margin)
+    rng = np.random.default_rng(spec.seed)
+    return _generate_net(
+        spec.name, spec.sink_count, spec.span, rng, config, technology, cells
+    )
+
+
 def generate_population(
     config: Optional[WorkloadConfig] = None,
     technology: Optional[Technology] = None,

@@ -190,6 +190,83 @@ class TestWireSizingProperties:
                                 rel_tol=1e-9, abs_tol=1e-18)
 
 
+class TestEngineStatsProperties:
+    """Invariants of the telemetry collector (Section V-B made testable)."""
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.filter_too_much])
+    @given(tree=random_trees(max_internal=3, with_rats=True),
+           cut=st.floats(min_value=0.4, max_value=1.5),
+           noise_aware=st.booleans())
+    def test_accounting_invariants(self, tree, cut, noise_aware):
+        library = single_buffer_library(BUFFER)
+        segmented = segment_tree(tree, cut * MM)
+        result = run_dp(
+            segmented, library, COUPLING,
+            DPOptions(noise_aware=noise_aware, collect_stats=True),
+        )
+        stats = result.stats
+        assert stats is not None
+        # Pruned (and dead-dropped) candidates were all generated first.
+        assert stats.candidates_pruned <= stats.candidates_generated
+        assert (stats.candidates_pruned + stats.candidates_dead
+                <= stats.candidates_generated)
+        assert stats.candidates_kept >= 0
+        # Telemetry agrees with the engine's own counters.
+        assert stats.candidates_generated == result.candidates_generated
+        assert stats.frontier_peak == result.candidates_kept_peak
+        # One record per tree node, each internally consistent.
+        assert len(stats.nodes) == sum(1 for _ in segmented.nodes())
+        assert sum(n.generated for n in stats.nodes) == stats.candidates_generated
+        assert sum(n.pruned for n in stats.nodes) == stats.candidates_pruned
+        assert sum(n.dead for n in stats.nodes) == stats.candidates_dead
+        if result.outcomes:
+            # A feasible run means no node's frontier ever died out.
+            assert all(n.frontier >= 1 for n in stats.nodes)
+        if not noise_aware:
+            assert stats.candidates_dead == 0
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.filter_too_much])
+    @given(tree=random_trees(max_internal=3, with_rats=True),
+           cut=st.floats(min_value=0.4, max_value=1.5))
+    def test_collection_never_changes_results(self, tree, cut):
+        library = single_buffer_library(BUFFER)
+        segmented = segment_tree(tree, cut * MM)
+        options = DPOptions(noise_aware=True, track_counts=True)
+        plain = run_dp(segmented, library, COUPLING, options)
+        instrumented = run_dp(
+            segmented, library, COUPLING,
+            DPOptions(noise_aware=True, track_counts=True,
+                      collect_stats=True),
+        )
+        assert plain.outcomes == instrumented.outcomes
+        assert plain.candidates_generated == instrumented.candidates_generated
+        assert plain.candidates_kept_peak == instrumented.candidates_kept_peak
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.filter_too_much])
+    @given(tree=random_trees(max_internal=3, with_rats=True),
+           cut=st.floats(min_value=0.4, max_value=1.5))
+    def test_timing_prune_generates_no_more_than_pareto(self, tree, cut):
+        """The paper's Theorem-5 (C, q) pruning keeps a subset of the
+        4-field Pareto frontier at every node, so the noise-aware run
+        generates no more candidates than its prune="pareto" ablation."""
+        library = single_buffer_library(BUFFER)
+        segmented = segment_tree(tree, cut * MM)
+        timing = run_dp(
+            segmented, library, COUPLING, DPOptions(noise_aware=True)
+        )
+        pareto = run_dp(
+            segmented, library, COUPLING,
+            DPOptions(noise_aware=True, prune="pareto"),
+        )
+        assert timing.candidates_generated <= pareto.candidates_generated
+
+
 class TestPruneProperties:
     candidates = st.lists(
         st.tuples(

@@ -7,9 +7,12 @@ import pytest
 from repro import WorkloadError, analyze_noise
 from repro.timing import meets_timing
 from repro.workloads import (
+    NetSpec,
     WorkloadConfig,
+    generate_net_from_spec,
     generate_population,
     population_sink_histogram,
+    population_specs,
     total_capacitance_rank,
 )
 
@@ -152,3 +155,37 @@ class TestHelpers:
 
     def test_generated_net_name(self, population):
         assert population[0].name == population[0].tree.name
+
+
+class TestNetSpecs:
+    def test_specs_match_population_shape(self):
+        config = WorkloadConfig(nets=30, seed=77)
+        specs = population_specs(config)
+        nets = generate_population(config)
+        assert len(specs) == 30
+        # Sink counts follow the same seeded shuffle as the eager
+        # population; spans share the distribution but not the stream
+        # (spec generation draws per-net seeds instead of net internals).
+        assert [s.sink_count for s in specs] == [n.sink_count for n in nets]
+        span_lo = min(n.span for n in nets)
+        span_hi = max(n.span for n in nets)
+        assert all(0.5 * span_lo <= s.span <= 2.0 * span_hi for s in specs)
+
+    def test_spec_materialization_is_deterministic(self):
+        config = WorkloadConfig(nets=6, seed=3)
+        spec = population_specs(config)[2]
+        a = generate_net_from_spec(spec, config)
+        b = generate_net_from_spec(spec, config)
+        assert a.tree.name == b.tree.name == spec.name
+        wires = lambda net: [
+            (w.parent.name, w.child.name, w.length, w.capacitance)
+            for w in net.tree.wires()
+        ]
+        assert wires(a) == wires(b)
+        assert a.sink_count == spec.sink_count
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            NetSpec(name="bad", sink_count=0, span=1e-3, seed=1)
+        with pytest.raises(WorkloadError):
+            NetSpec(name="bad", sink_count=1, span=0.0, seed=1)
