@@ -14,6 +14,12 @@ Two entry points:
   host for a full-size (>= 200 net) run.  On single-CPU hosts the
   speedup is reported but not asserted — there is nothing to win.
 
+  Two resilience measurements ride along: the happy-path overhead of
+  the per-net :class:`~repro.core.budget.RunBudget` guard (target
+  < 3 %, asserted only against gross regression), and a drill run with
+  1 % injected faults through the :class:`~repro.batch.ResilientExecutor`
+  (healthy nets must stay bit-identical to the serial baseline).
+
 * pytest bench (rides the existing suite)::
 
       pytest benchmarks/bench_batch.py --benchmark-only
@@ -34,16 +40,26 @@ from repro.batch import (
 from repro.workloads import WorkloadConfig, population_specs
 
 
-def run_fleet(specs, workload, executor, mode="buffopt", collect_stats=False):
+def run_fleet(
+    specs,
+    workload,
+    executor,
+    mode="buffopt",
+    collect_stats=False,
+    faults=None,
+    **config_kwargs,
+):
     optimizer = BatchOptimizer(
         config=BatchConfig(
             mode=mode,
             max_buffers=4,
             collect_stats=collect_stats,
             keep_trees=False,
+            **config_kwargs,
         ),
         executor=executor,
         workload=workload,
+        faults=faults,
     )
     return optimizer.optimize(specs)
 
@@ -67,6 +83,73 @@ def compare_executors(nets, seed, workers, chunk_size, mode):
             f"{report.failure_count} infeasible)"
         )
     return reports
+
+
+def budget_overhead(specs, workload, mode, repeats=3):
+    """Happy-path cost of the per-node budget check, in percent.
+
+    Times the serial fleet with budgets disabled and with a generous
+    (never-tripping) budget enabled, best-of-``repeats`` each to shave
+    scheduler noise, and verifies the guarded run is bit-identical.
+    """
+    def best_of(**config_kwargs):
+        times, report = [], None
+        for _ in range(repeats):
+            start = perf_counter()
+            report = run_fleet(
+                specs, workload, make_executor("serial"), mode=mode,
+                **config_kwargs,
+            )
+            times.append(perf_counter() - start)
+        return min(times), report
+
+    bare_s, bare = best_of()
+    guarded_s, guarded = best_of(
+        net_deadline=3600.0, net_max_candidates=10**9
+    )
+    if guarded.signatures() != bare.signatures():
+        return None, bare
+    overhead = (guarded_s - bare_s) / bare_s * 100.0
+    print(
+        f"budget-guard overhead: {overhead:+.2f}% "
+        f"({bare_s:.3f} s bare vs {guarded_s:.3f} s guarded, "
+        f"best of {repeats}; target < 3%)"
+    )
+    return overhead, bare
+
+
+def fault_drill(specs, workload, mode, baseline, rate=0.01):
+    """Run the fleet with ``rate`` injected transient faults through the
+    resilient executor; healthy-net signatures must match ``baseline``."""
+    from repro.batch import FaultPlan, ResilientExecutor, RetryPolicy
+
+    # At least one fault, even on smoke-size fleets where 1% rounds to 0.
+    plan = FaultPlan.sample(
+        [spec.name for spec in specs],
+        rate=max(rate, 1.0 / len(specs)),
+        seed=7,
+        kind="raise",
+    )
+    executor = ResilientExecutor(
+        workers=max(2, default_worker_count()),
+        retry=RetryPolicy(max_attempts=3, backoff_seconds=0.005),
+    )
+    start = perf_counter()
+    report = run_fleet(specs, workload, executor, mode=mode, faults=plan)
+    elapsed = perf_counter() - start
+    print(
+        f"fault drill ({plan.describe()}): "
+        f"{len(specs) / elapsed:8.2f} nets/s  ({elapsed:.2f} s, "
+        f"{report.retry_count()} retries, "
+        f"{report.failure_count} unrecovered)"
+    )
+    ok = report.failure_count == 0 and (
+        report.signatures() == baseline.signatures()
+    )
+    if not ok:
+        print("FAIL: fault drill diverged from the serial baseline",
+              file=sys.stderr)
+    return ok
 
 
 def main(argv=None) -> int:
@@ -114,6 +197,30 @@ def main(argv=None) -> int:
     best_parallel = min(reports["process"][1], reports["chunked"][1])
     speedup = serial_s / best_parallel
     print(f"best parallel speedup over serial: {speedup:.2f}x")
+
+    workload = WorkloadConfig(nets=nets, seed=args.seed)
+    specs = population_specs(workload)
+    overhead, baseline = budget_overhead(
+        specs, workload, args.mode, repeats=1 if args.smoke else 3
+    )
+    if overhead is None:
+        print("FAIL: budget-guarded run diverged from the bare run",
+              file=sys.stderr)
+        return 1
+    # The 3% number is the target; only a gross regression (the guard
+    # visibly dominating the DP) fails the bench — small fleets on noisy
+    # CI boxes jitter by more than the guard costs.
+    if not args.smoke and overhead > 10.0:
+        print(
+            f"FAIL: budget-guard overhead {overhead:.2f}% is grossly over "
+            "the 3% target",
+            file=sys.stderr,
+        )
+        return 1
+
+    if not fault_drill(specs, workload, args.mode, baseline):
+        return 1
+
     if args.smoke:
         return 0
     if cpus > 1 and nets >= 200 and speedup <= 1.0:

@@ -43,6 +43,7 @@ from .core import (
     DPOptions,
     DPResult,
     PlacedBuffer,
+    RunBudget,
     buffopt,
     buffopt_min_buffers,
     buffopt_result,
@@ -57,11 +58,14 @@ from .core import (
 )
 from .errors import (
     AnalysisError,
+    BudgetExceededError,
     InfeasibleError,
     ReproError,
     SimulationError,
     TechnologyError,
+    TimeoutError,
     TreeStructureError,
+    WorkerCrashError,
     WorkloadError,
 )
 from .library import (
@@ -100,6 +104,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Aggressor",
     "AnalysisError",
+    "BudgetExceededError",
     "BufferLibrary",
     "BufferSolution",
     "BufferType",
@@ -114,13 +119,16 @@ __all__ = [
     "PlacedBuffer",
     "ReproError",
     "RoutingTree",
+    "RunBudget",
     "SimulationError",
     "SinkCell",
     "SinkSite",
     "Technology",
     "TechnologyError",
+    "TimeoutError",
     "TreeBuilder",
     "TreeStructureError",
+    "WorkerCrashError",
     "WorkloadError",
     "analyze_noise",
     "binarize",

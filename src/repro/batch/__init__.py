@@ -2,11 +2,32 @@
 
 The paper optimizes one net at a time; real deployments (Albrecht et
 al.'s buffered global routing) face thousands of nets per design.  This
-package scales the engine out: :class:`BatchOptimizer` maps a pluggable
-executor over net specs or built trees, and :class:`BatchReport`
-aggregates solutions, throughput, and pruning telemetry.
+package scales the engine out — and keeps it alive when individual nets
+misbehave:
+
+* :class:`BatchOptimizer` maps a pluggable executor over net specs or
+  built trees; :class:`BatchReport` aggregates solutions, throughput,
+  pruning telemetry, and failure taxonomies.
+* Per-net guards (:class:`~repro.core.budget.RunBudget` deadline /
+  candidate budget, configured on :class:`BatchConfig`) turn
+  pathological nets into structured :class:`FailureRecord`\\ s instead of
+  stalled fleets.
+* :class:`ResilientExecutor` + :class:`RetryPolicy` survive worker
+  crashes, hangs, and unexpected exceptions with bounded retries,
+  quarantine, and optional fallback re-execution.
+* ``optimize(..., checkpoint=path)`` journals finished nets to JSONL so
+  an interrupted run resumes (``resume=True``) without recomputation.
+* :mod:`repro.batch.faults` injects deterministic raise/hang/exit
+  faults so every recovery path stays testable.
 """
 
+from .checkpoint import (
+    CheckpointJournal,
+    load_checkpoint,
+    read_checkpoint_header,
+    result_from_json,
+    result_to_json,
+)
 from .executors import (
     ChunkedExecutor,
     MultiprocessExecutor,
@@ -14,13 +35,23 @@ from .executors import (
     default_worker_count,
     make_executor,
 )
+from .faults import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
 from .optimizer import (
     BatchConfig,
     BatchItem,
     BatchOptimizer,
     BatchReport,
+    FAILURE_PHASES,
+    FailureRecord,
     NetResult,
+    failure_net_result,
+    item_identity,
     optimize_net,
+)
+from .resilience import (
+    ResilientExecutor,
+    RetryPolicy,
+    WorkItemFailure,
 )
 
 __all__ = [
@@ -28,11 +59,27 @@ __all__ = [
     "BatchItem",
     "BatchOptimizer",
     "BatchReport",
+    "CheckpointJournal",
     "ChunkedExecutor",
+    "FAILURE_PHASES",
+    "FAULT_KINDS",
+    "FailureRecord",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "MultiprocessExecutor",
     "NetResult",
+    "ResilientExecutor",
+    "RetryPolicy",
     "SerialExecutor",
+    "WorkItemFailure",
     "default_worker_count",
+    "failure_net_result",
+    "item_identity",
+    "load_checkpoint",
     "make_executor",
     "optimize_net",
+    "read_checkpoint_header",
+    "result_from_json",
+    "result_to_json",
 ]

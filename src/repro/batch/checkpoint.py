@@ -1,0 +1,231 @@
+"""Checkpoint/resume for batch runs: a JSONL journal of finished nets.
+
+A population run over millions of nets will be interrupted — preemption,
+OOM, a deploy — and recomputing everything is the one cost a resilient
+engine must not pay.  ``BatchOptimizer.optimize(..., checkpoint=path)``
+appends one JSON line per completed :class:`~repro.batch.NetResult`
+(success *or* structured failure), flushed per line so a ``kill -9``
+loses at most the nets in flight; ``resume=True`` reloads the journal
+and recomputes only the missing nets.
+
+Format: line 1 is a header carrying a version and a *fingerprint* of the
+solution-relevant configuration (mode, segmentation, count cap, pruning
+rule, slack floor, workload seed).  Resuming under a different
+fingerprint would silently mix incompatible solutions, so it raises
+:class:`~repro.errors.WorkloadError` instead.  Every further line is one
+result keyed by net name; if a net appears twice (e.g. a fallback pass
+upgraded a failure), the *last* line wins.  A torn trailing line —  the
+writer was killed mid-``write`` — is ignored on load.
+
+Journaled results are deliberately lean: buffer assignments are stored
+by buffer *name* and rebound against the optimizer's library on load;
+trees and :class:`~repro.core.stats.EngineStats` are not persisted
+(signatures — the determinism currency of the batch layer — survive the
+round trip bit-identically, which the checkpoint tests pin down).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, Optional, TextIO, Union
+
+from ..errors import WorkloadError
+from ..library.buffers import BufferLibrary
+
+#: bump when the journal schema changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+def result_to_json(result) -> Dict[str, Any]:
+    """Plain-JSON view of a :class:`~repro.batch.NetResult` (no trees/stats)."""
+    failure = None if result.failure is None else asdict(result.failure)
+    assignment = (
+        None
+        if result.assignment is None
+        else {node: buffer.name for node, buffer in result.assignment.items()}
+    )
+    return {
+        "kind": "result",
+        "name": result.name,
+        "sink_count": result.sink_count,
+        "node_count": result.node_count,
+        "seconds": result.seconds,
+        "buffer_count": result.buffer_count,
+        "slack": result.slack,
+        "noise_feasible": result.noise_feasible,
+        "assignment": assignment,
+        "candidates_generated": result.candidates_generated,
+        "candidates_kept_peak": result.candidates_kept_peak,
+        "error": result.error,
+        "attempts": result.attempts,
+        "failure": failure,
+    }
+
+
+def result_from_json(record: Dict[str, Any], library: BufferLibrary):
+    """Rebuild a :class:`~repro.batch.NetResult` journaled by
+    :func:`result_to_json`, rebinding buffer names against ``library``."""
+    from .optimizer import FailureRecord, NetResult  # circular at import time
+
+    by_name = {buffer.name: buffer for buffer in library}
+    assignment = record["assignment"]
+    if assignment is not None:
+        try:
+            assignment = {
+                node: by_name[name] for node, name in assignment.items()
+            }
+        except KeyError as exc:
+            raise WorkloadError(
+                f"checkpoint for net {record['name']!r} references buffer "
+                f"{exc.args[0]!r}, which this library does not define"
+            ) from None
+    failure = record.get("failure")
+    if failure is not None:
+        failure = FailureRecord(**failure)
+    return NetResult(
+        name=record["name"],
+        sink_count=record["sink_count"],
+        node_count=record["node_count"],
+        seconds=record["seconds"],
+        buffer_count=record["buffer_count"],
+        slack=record["slack"],
+        noise_feasible=record["noise_feasible"],
+        assignment=assignment,
+        candidates_generated=record["candidates_generated"],
+        candidates_kept_peak=record["candidates_kept_peak"],
+        error=record["error"],
+        attempts=record.get("attempts", 1),
+        failure=failure,
+    )
+
+
+class CheckpointJournal:
+    """Append-only JSONL writer, flushed (and fsync-able) per record."""
+
+    def __init__(self, path: Union[str, Path], handle: TextIO):
+        self.path = Path(path)
+        self._handle = handle
+
+    @classmethod
+    def create(
+        cls, path: Union[str, Path], fingerprint: Dict[str, Any]
+    ) -> "CheckpointJournal":
+        """Start a fresh journal (truncating any previous file)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = path.open("w", encoding="utf-8")
+        journal = cls(path, handle)
+        journal._write({
+            "kind": "header",
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": fingerprint,
+        })
+        return journal
+
+    @classmethod
+    def append_to(
+        cls, path: Union[str, Path], fingerprint: Dict[str, Any]
+    ) -> "CheckpointJournal":
+        """Reopen an existing journal for appending (header must match)."""
+        path = Path(path)
+        header = read_checkpoint_header(path)
+        check_fingerprint(header["fingerprint"], fingerprint, path)
+        return cls(path, path.open("a", encoding="utf-8"))
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def append(self, result) -> None:
+        self._write(result_to_json(result))
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_checkpoint_header(path: Union[str, Path]) -> Dict[str, Any]:
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError:
+        raise WorkloadError(
+            f"checkpoint {path} has no readable header line"
+        ) from None
+    if header.get("kind") != "header":
+        raise WorkloadError(
+            f"checkpoint {path} does not start with a header record"
+        )
+    if header.get("version") != CHECKPOINT_VERSION:
+        raise WorkloadError(
+            f"checkpoint {path} is version {header.get('version')!r}; this "
+            f"build reads version {CHECKPOINT_VERSION}"
+        )
+    return header
+
+
+def check_fingerprint(
+    found: Dict[str, Any], expected: Dict[str, Any], path: Union[str, Path]
+) -> None:
+    if found != expected:
+        differing = sorted(
+            key
+            for key in set(found) | set(expected)
+            if found.get(key) != expected.get(key)
+        )
+        raise WorkloadError(
+            f"checkpoint {path} was written under a different batch "
+            f"configuration (differs on: {', '.join(differing)}); resuming "
+            "would mix incompatible solutions — delete the checkpoint or "
+            "rerun with the original configuration"
+        )
+
+
+def load_checkpoint(
+    path: Union[str, Path],
+    library: BufferLibrary,
+    fingerprint: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Load completed results keyed by net name (last line per net wins).
+
+    ``fingerprint`` (when given) must match the journal header.  Torn
+    trailing lines are skipped; torn *interior* lines raise, because
+    they indicate corruption rather than an interrupted write.
+    """
+    path = Path(path)
+    header = read_checkpoint_header(path)
+    if fingerprint is not None:
+        check_fingerprint(header["fingerprint"], fingerprint, path)
+    results: Dict[str, Any] = {}
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines):
+                break  # torn final line: the writer was killed mid-write
+            raise WorkloadError(
+                f"checkpoint {path} line {number} is corrupt"
+            ) from None
+        if record.get("kind") != "result":
+            raise WorkloadError(
+                f"checkpoint {path} line {number} has unexpected kind "
+                f"{record.get('kind')!r}"
+            )
+        results[record["name"]] = result_from_json(record, library)
+    return results

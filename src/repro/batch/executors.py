@@ -20,12 +20,17 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 from ..errors import WorkloadError
 
 _Item = TypeVar("_Item")
 _Out = TypeVar("_Out")
+
+#: optional streaming hook: ``on_result(index, value)`` is invoked as
+#: each item completes (in input order for the pool executors), letting
+#: the batch layer journal checkpoints incrementally.
+OnResult = Optional[Callable[[int, Any], None]]
 
 
 def default_worker_count() -> int:
@@ -42,9 +47,18 @@ class SerialExecutor:
     name = "serial"
 
     def map(
-        self, fn: Callable[[_Item], _Out], items: Sequence[_Item]
+        self,
+        fn: Callable[[_Item], _Out],
+        items: Sequence[_Item],
+        on_result: OnResult = None,
     ) -> List[_Out]:
-        return [fn(item) for item in items]
+        results: List[_Out] = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
 
     def describe(self) -> str:
         return "serial (in-process)"
@@ -74,16 +88,30 @@ class MultiprocessExecutor:
         return 1
 
     def map(
-        self, fn: Callable[[_Item], _Out], items: Sequence[_Item]
+        self,
+        fn: Callable[[_Item], _Out],
+        items: Sequence[_Item],
+        on_result: OnResult = None,
     ) -> List[_Out]:
         items = list(items)
         if not items:
             return []
         # A pool is pure overhead when it could only hold one worker.
         if self.effective_workers == 1:
-            return [fn(item) for item in items]
+            return SerialExecutor().map(fn, items, on_result=on_result)
+        chunksize = self._chunksize(len(items))
         with multiprocessing.Pool(self.effective_workers) as pool:
-            return pool.map(fn, items, chunksize=self._chunksize(len(items)))
+            if on_result is None:
+                return pool.map(fn, items, chunksize=chunksize)
+            # imap streams completed items in input order, so callers
+            # can checkpoint incrementally at chunk granularity.
+            results: List[_Out] = []
+            for index, result in enumerate(
+                pool.imap(fn, items, chunksize=chunksize)
+            ):
+                results.append(result)
+                on_result(index, result)
+            return results
 
     def describe(self) -> str:
         return f"{self.name} ({self.effective_workers} workers)"
@@ -121,10 +149,15 @@ def make_executor(
     kind: str,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    retry=None,
+    deadline: Optional[float] = None,
 ):
     """Executor factory for the CLI and benchmarks.
 
-    ``kind`` is one of ``"serial"``, ``"process"``, ``"chunked"``.
+    ``kind`` is one of ``"serial"``, ``"process"``, ``"chunked"``, or
+    ``"resilient"``; ``retry`` (a
+    :class:`~repro.batch.resilience.RetryPolicy`) and ``deadline`` only
+    apply to the resilient supervisor.
     """
     if kind == "serial":
         return SerialExecutor()
@@ -132,6 +165,13 @@ def make_executor(
         return MultiprocessExecutor(workers=workers)
     if kind == "chunked":
         return ChunkedExecutor(workers=workers, chunk_size=chunk_size)
+    if kind == "resilient":
+        from .resilience import ResilientExecutor  # avoid an import cycle
+
+        return ResilientExecutor(
+            workers=workers, retry=retry, deadline=deadline
+        )
     raise WorkloadError(
-        f"unknown executor {kind!r} (expected serial, process, or chunked)"
+        f"unknown executor {kind!r} "
+        "(expected serial, process, chunked, or resilient)"
     )

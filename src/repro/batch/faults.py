@@ -1,0 +1,156 @@
+"""Deterministic fault injection for the batch workers.
+
+Recovery code that only runs when production breaks is recovery code
+that does not work.  This module lets tests (and the benchmark's
+fault-rate mode) make chosen nets misbehave *inside the worker*, on
+chosen attempts, in the three ways a real fleet run fails:
+
+* ``"raise"`` — the worker raises :class:`InjectedFault` (a plain
+  ``RuntimeError``, deliberately *not* a :class:`~repro.errors.ReproError`,
+  so it exercises the unexpected-exception path);
+* ``"hang"`` — the worker sleeps ``seconds`` before proceeding,
+  simulating a stuck net that only a hard deadline can reclaim;
+* ``"exit"`` — the worker calls ``os._exit``, simulating a segfault /
+  OOM kill that leaves no Python-level trace.
+
+Everything is deterministic: a :class:`FaultPlan` maps net names to
+:class:`FaultSpec`\\ s, each spec lists the *attempt numbers* on which it
+fires, and :meth:`FaultPlan.sample` derives a plan from a seed.  Because
+attempt numbers travel with the work item (no shared state), the plan
+behaves identically in-process, across pool workers, and across retries
+— a spec with ``attempts=(1,)`` fails once and then succeeds, which is
+exactly what a retry test needs.
+
+The plan is shipped to workers inside the batch dispatch payload; a
+``None`` plan costs one attribute check per net.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..errors import WorkloadError
+
+#: supported fault kinds, in the order the docs discuss them.
+FAULT_KINDS = ("raise", "hang", "exit")
+
+
+class InjectedFault(RuntimeError):
+    """The exception thrown by ``kind="raise"`` faults.
+
+    Deliberately outside the :class:`~repro.errors.ReproError` hierarchy:
+    injected raises must travel the same recovery path as any unexpected
+    worker exception, not the handled engine-error path.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One net's scripted misbehavior."""
+
+    #: one of :data:`FAULT_KINDS`.
+    kind: str
+    #: attempt numbers (1-based) on which the fault fires; attempts not
+    #: listed run clean, so ``(1,)`` models a transient failure and
+    #: ``(1, 2, 3)`` a permanent one.
+    attempts: Tuple[int, ...] = (1,)
+    #: sleep duration for ``"hang"`` (choose it well past the supervisor
+    #: deadline under test).
+    seconds: float = 3600.0
+    #: status for ``"exit"`` (nonzero, so the death is visibly abnormal).
+    exit_code: int = 17
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise WorkloadError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {FAULT_KINDS})"
+            )
+        if not self.attempts or any(a < 1 for a in self.attempts):
+            raise WorkloadError(
+                f"fault attempts must be >= 1, got {self.attempts}"
+            )
+        if self.seconds <= 0:
+            raise WorkloadError(
+                f"fault seconds must be positive, got {self.seconds}"
+            )
+        if self.exit_code == 0:
+            raise WorkloadError("fault exit_code must be nonzero")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Net-name -> :class:`FaultSpec` schedule, picklable and immutable."""
+
+    faults: Mapping[str, FaultSpec] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def spec_for(self, name: str) -> Optional[FaultSpec]:
+        return self.faults.get(name)
+
+    def fires_on(self, name: str, attempt: int) -> bool:
+        spec = self.faults.get(name)
+        return spec is not None and attempt in spec.attempts
+
+    def fire(self, name: str, attempt: int) -> None:
+        """Misbehave if ``name`` is scheduled to fail on ``attempt``.
+
+        Called at worker entry, before net generation.  ``"raise"``
+        raises, ``"exit"`` never returns, ``"hang"`` sleeps then returns
+        (so a hang without a deadline still completes, just late).
+        """
+        spec = self.faults.get(name)
+        if spec is None or attempt not in spec.attempts:
+            return
+        if spec.kind == "raise":
+            raise InjectedFault(
+                f"{spec.message} (net {name!r}, attempt {attempt})"
+            )
+        if spec.kind == "hang":
+            time.sleep(spec.seconds)
+            return
+        # "exit": bypass every handler, like a segfault would.
+        os._exit(spec.exit_code)
+
+    @staticmethod
+    def sample(
+        names: Iterable[str],
+        rate: float,
+        seed: int = 0,
+        kind: str = "raise",
+        attempts: Tuple[int, ...] = (1,),
+        seconds: float = 3600.0,
+    ) -> "FaultPlan":
+        """Deterministically afflict a ``rate`` fraction of ``names``.
+
+        Uses its own :class:`random.Random` stream seeded by ``seed``;
+        the same inputs always select the same nets (the benchmark's
+        "1% injected faults" run relies on this).
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise WorkloadError(f"fault rate must be in [0, 1], got {rate}")
+        ordered = list(names)
+        count = round(len(ordered) * rate)
+        picked = random.Random(seed).sample(ordered, count)
+        spec = FaultSpec(
+            kind=kind, attempts=attempts, seconds=seconds
+        )
+        return FaultPlan(faults={name: spec for name in sorted(picked)})
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "fault plan: empty"
+        kinds: Dict[str, int] = {}
+        for spec in self.faults.values():
+            kinds[spec.kind] = kinds.get(spec.kind, 0) + 1
+        summary = ", ".join(
+            f"{count} {kind}" for kind, count in sorted(kinds.items())
+        )
+        return f"fault plan: {len(self.faults)} nets ({summary})"

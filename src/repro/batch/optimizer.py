@@ -30,15 +30,34 @@ Design points:
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
+import inspect
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from time import perf_counter
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from ..core.budget import RunBudget
 from ..core.noise_delay import buffopt_result
 from ..core.solution import BufferSolution
 from ..core.stats import EngineStats
 from ..core.van_ginneken import delay_opt_result
-from ..errors import InfeasibleError, WorkloadError
+from ..errors import (
+    BudgetExceededError,
+    InfeasibleError,
+    ReproError,
+    TimeoutError,
+    WorkloadError,
+)
 from ..library.buffers import BufferLibrary, BufferType, default_buffer_library
 from ..library.cells import CellLibrary, default_cell_library
 from ..library.technology import Technology, default_technology
@@ -53,7 +72,10 @@ from ..workloads.generator import (
     generate_net_from_spec,
     population_specs,
 )
+from .checkpoint import CheckpointJournal, load_checkpoint
 from .executors import SerialExecutor
+from .faults import FaultPlan
+from .resilience import RetryPolicy, WorkItemFailure
 
 #: accepted item types for :meth:`BatchOptimizer.optimize`.
 BatchItem = Union[RoutingTree, GeneratedNet, NetSpec]
@@ -81,6 +103,20 @@ class BatchConfig:
     collect_stats: bool = False
     #: ship each (segmented) tree back so solutions can be materialized.
     keep_trees: bool = True
+    #: cooperative per-net wall-clock deadline in seconds (``None`` =
+    #: unbounded); enforced inside the DP loop via
+    #: :class:`~repro.core.budget.RunBudget`, recorded as a structured
+    #: ``TimeoutError`` failure instead of aborting the batch.
+    net_deadline: Optional[float] = None
+    #: per-net generated-candidate budget, the engine's memory proxy
+    #: (``None`` = uncapped); overruns become ``BudgetExceededError``
+    #: failures.
+    net_max_candidates: Optional[int] = None
+    #: retry/fallback policy the optimizer applies after the map (and
+    #: that callers typically share with a
+    #: :class:`~repro.batch.ResilientExecutor`); ``None`` disables the
+    #: fallback pass.
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -95,15 +131,81 @@ class BatchConfig:
                 "max_segment_length must be positive or None, got "
                 f"{self.max_segment_length}"
             )
+        if self.net_deadline is not None and self.net_deadline <= 0:
+            raise WorkloadError(
+                "net_deadline must be a positive number of seconds or "
+                f"None, got {self.net_deadline}"
+            )
+        if self.net_max_candidates is not None and self.net_max_candidates < 1:
+            raise WorkloadError(
+                "net_max_candidates must be >= 1 or None, got "
+                f"{self.net_max_candidates}"
+            )
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            # RetryPolicy itself rejects zero max-attempts and negative
+            # backoffs; this catches the wrong-type case early.
+            raise WorkloadError(
+                f"retry must be a RetryPolicy or None, got {self.retry!r}"
+            )
+
+    def run_budget(self) -> Optional[RunBudget]:
+        """A fresh per-run budget from this config (``None`` if unbounded).
+
+        Budgets are stateful, so every net gets its own instance."""
+        if self.net_deadline is None and self.net_max_candidates is None:
+            return None
+        return RunBudget(
+            deadline_seconds=self.net_deadline,
+            max_candidates=self.net_max_candidates,
+        )
+
+
+#: pipeline phases a failure can be attributed to: ``"generate"`` (spec
+#: materialization), ``"optimize"`` (the DP / outcome selection),
+#: ``"worker"`` (an unexpected exception inside the worker),
+#: ``"dispatch"`` (the worker process crashed or was killed by the
+#: supervisor), ``"fallback"`` (the post-map fallback pass itself failed).
+FAILURE_PHASES = ("generate", "optimize", "worker", "dispatch", "fallback")
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """Structured description of why (and how) one net failed.
+
+    Failures are data, not exceptions: a fleet run aggregates these into
+    a taxonomy (:meth:`BatchReport.failure_taxonomy`) instead of dying on
+    the first pathological net.
+    """
+
+    #: exception class name (``"InfeasibleError"``, ``"TimeoutError"``,
+    #: ``"BudgetExceededError"``, ``"WorkerCrashError"``, ...).
+    error: str
+    #: the human-readable message.
+    message: str
+    #: one of :data:`FAILURE_PHASES`.
+    phase: str
+    #: attempts consumed when the failure was recorded (>= 1).
+    attempts: int = 1
+    #: wall-clock seconds spent across those attempts.
+    elapsed: float = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.error} in {self.phase} after {self.attempts} "
+            f"attempt(s), {self.elapsed:.3f} s: {self.message}"
+        )
 
 
 @dataclass(frozen=True)
 class NetResult:
     """One net's outcome, picklable and tree-free unless trees were kept.
 
-    ``error`` records an :class:`~repro.errors.InfeasibleError` message
-    when no legal buffering exists (``ok`` is then False and the solution
-    fields are ``None``).
+    ``failure`` (mirrored by the legacy ``error`` message) records a
+    structured :class:`FailureRecord` when the net did not produce a
+    solution — infeasibility, budget/deadline overrun, worker crash —
+    with ``ok`` False and the solution fields ``None``.  ``attempts``
+    counts the tries the resilience layer spent on this net (1 on the
+    happy path).
     """
 
     name: str
@@ -119,10 +221,12 @@ class NetResult:
     stats: Optional[EngineStats] = None
     error: Optional[str] = None
     tree: Optional[RoutingTree] = None
+    attempts: int = 1
+    failure: Optional[FailureRecord] = None
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.error is None and self.failure is None
 
     def solution(self, tree: Optional[RoutingTree] = None) -> BufferSolution:
         """Materialize the :class:`BufferSolution` on ``tree`` (defaults
@@ -191,6 +295,29 @@ class BatchReport:
     def failure_count(self) -> int:
         return sum(1 for r in self.results if not r.ok)
 
+    def failure_taxonomy(self) -> Dict[str, int]:
+        """Failed-net counts keyed by error class name.
+
+        Structured failures use their recorded class; legacy
+        error-message-only results count as ``"InfeasibleError"`` (the
+        only failure the pre-resilience layer could record).
+        """
+        taxonomy: Dict[str, int] = {}
+        for result in self.results:
+            if result.ok:
+                continue
+            key = (
+                result.failure.error
+                if result.failure is not None
+                else "InfeasibleError"
+            )
+            taxonomy[key] = taxonomy.get(key, 0) + 1
+        return dict(sorted(taxonomy.items()))
+
+    def retry_count(self) -> int:
+        """Total attempts spent beyond each net's first try."""
+        return sum(max(0, r.attempts - 1) for r in self.results)
+
     def nets_per_second(self) -> float:
         if self.wall_seconds <= 0.0:
             return float("inf")
@@ -240,7 +367,14 @@ class BatchReport:
             f"candidates generated: {self.total_candidates()}",
         ]
         if self.failure_count:
-            lines.append(f"infeasible nets: {self.failure_count}")
+            taxonomy = ", ".join(
+                f"{count} {error}"
+                for error, count in self.failure_taxonomy().items()
+            )
+            lines.append(f"failed nets: {self.failure_count} ({taxonomy})")
+        retries = self.retry_count()
+        if retries:
+            lines.append(f"retries: {retries} extra attempt(s)")
         stats = self.aggregate_stats()
         if stats is not None:
             lines.append("telemetry:")
@@ -253,19 +387,29 @@ def optimize_net(
     library: BufferLibrary,
     coupling: CouplingModel,
     config: BatchConfig,
+    attempt: int = 1,
 ) -> NetResult:
     """Optimize one net under ``config`` — the exact per-item worker body.
 
     This is public on purpose: `BatchOptimizer(...).optimize([tree])` and
     `optimize_net(tree, ...)` run the same code path, which is what the
     differential harness pins down.
+
+    Engine-level failures — infeasibility, a tripped
+    :class:`~repro.core.budget.RunBudget` deadline or candidate budget —
+    are *recorded* as structured :class:`FailureRecord`\\ s, never
+    raised; unexpected exceptions still propagate (the resilience layer
+    handles those at the process boundary).
     """
     start = perf_counter()
+    budget = config.run_budget()
+    if budget is not None:
+        budget.start()  # the deadline covers segmentation too
     if config.max_segment_length is not None:
         work_tree = segment_tree(tree, config.max_segment_length)
     else:
         work_tree = tree
-    error: Optional[str] = None
+    failure: Optional[FailureRecord] = None
     outcome = None
     result = None
     try:
@@ -277,6 +421,7 @@ def optimize_net(
                 max_buffers=config.max_buffers,
                 prune=config.prune,
                 collect_stats=config.collect_stats,
+                budget=budget,
             )
             outcome = result.fewest_buffers(min_slack=config.min_slack)
         else:
@@ -286,10 +431,17 @@ def optimize_net(
                 max_buffers=config.max_buffers,
                 prune=config.prune,
                 collect_stats=config.collect_stats,
+                budget=budget,
             )
             outcome = result.best(require_noise=False)
-    except InfeasibleError as exc:
-        error = str(exc)
+    except (InfeasibleError, BudgetExceededError, TimeoutError) as exc:
+        failure = FailureRecord(
+            error=type(exc).__name__,
+            message=str(exc),
+            phase="optimize",
+            attempts=attempt,
+            elapsed=perf_counter() - start,
+        )
     seconds = perf_counter() - start
     return NetResult(
         name=work_tree.name,
@@ -307,8 +459,10 @@ def optimize_net(
         candidates_generated=0 if result is None else result.candidates_generated,
         candidates_kept_peak=0 if result is None else result.candidates_kept_peak,
         stats=None if result is None else result.stats,
-        error=error,
+        error=None if failure is None else failure.message,
         tree=work_tree if config.keep_trees else None,
+        attempts=attempt,
+        failure=failure,
     )
 
 
@@ -323,16 +477,75 @@ class _WorkerSetup:
     workload: WorkloadConfig
     technology: Technology
     cells: CellLibrary
+    faults: Optional[FaultPlan] = None
 
 
-def _optimize_item(setup: _WorkerSetup, item: BatchItem) -> NetResult:
-    """Module-level worker entry (must stay picklable for Pool.map)."""
+def item_identity(item: BatchItem) -> Tuple[str, int, int]:
+    """``(name, sink_count, node_count)`` without materializing specs
+    (a spec's node count is unknown until generation; reported as 0)."""
     if isinstance(item, NetSpec):
-        item = generate_net_from_spec(
-            item, setup.workload, setup.technology, setup.cells
-        )
+        return item.name, item.sink_count, 0
     tree = item.tree if isinstance(item, GeneratedNet) else item
-    return optimize_net(tree, setup.library, setup.coupling, setup.config)
+    return tree.name, len(tree.sinks), sum(1 for _ in tree.nodes())
+
+
+def failure_net_result(
+    item: BatchItem, failure: FailureRecord
+) -> NetResult:
+    """A solution-less :class:`NetResult` carrying a structured failure."""
+    name, sink_count, node_count = item_identity(item)
+    return NetResult(
+        name=name,
+        sink_count=sink_count,
+        node_count=node_count,
+        seconds=failure.elapsed,
+        buffer_count=None,
+        slack=None,
+        noise_feasible=None,
+        assignment=None,
+        candidates_generated=0,
+        candidates_kept_peak=0,
+        stats=None,
+        error=failure.message,
+        tree=None,
+        attempts=failure.attempts,
+        failure=failure,
+    )
+
+
+def _optimize_item(
+    setup: _WorkerSetup, item: BatchItem, attempt: int = 1
+) -> NetResult:
+    """Module-level worker entry (must stay picklable for Pool.map).
+
+    Fires any scheduled fault first (so injected raises/hangs/exits look
+    like real worker misbehavior, upstream of all handling), records
+    generation-phase :class:`~repro.errors.ReproError`\\ s as structured
+    failures, and lets unexpected exceptions propagate to the executor —
+    fail-fast on the plain executors, retried/quarantined under
+    :class:`~repro.batch.ResilientExecutor`.
+    """
+    name, _, _ = item_identity(item)
+    if setup.faults is not None:
+        setup.faults.fire(name, attempt)
+    start = perf_counter()
+    if isinstance(item, NetSpec):
+        try:
+            item = generate_net_from_spec(
+                item, setup.workload, setup.technology, setup.cells
+            )
+        except ReproError as exc:
+            return failure_net_result(item, FailureRecord(
+                error=type(exc).__name__,
+                message=str(exc),
+                phase="generate",
+                attempts=attempt,
+                elapsed=perf_counter() - start,
+            ))
+    tree = item.tree if isinstance(item, GeneratedNet) else item
+    return optimize_net(
+        tree, setup.library, setup.coupling, setup.config, attempt=attempt
+    )
 
 
 class BatchOptimizer:
@@ -352,6 +565,7 @@ class BatchOptimizer:
         technology: Optional[Technology] = None,
         cells: Optional[CellLibrary] = None,
         workload: Optional[WorkloadConfig] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         self.technology = technology or default_technology()
         self.library = library or default_buffer_library()
@@ -364,28 +578,85 @@ class BatchOptimizer:
         self.cells = cells or default_cell_library(
             noise_margin=self.workload.noise_margin
         )
+        #: deterministic fault-injection schedule (tests / chaos drills).
+        self.faults = faults
 
-    def _setup(self) -> _WorkerSetup:
+    def _setup(
+        self, config: Optional[BatchConfig] = None
+    ) -> _WorkerSetup:
         return _WorkerSetup(
             library=self.library,
             coupling=self.coupling,
-            config=self.config,
+            config=config or self.config,
             workload=self.workload,
             technology=self.technology,
             cells=self.cells,
+            faults=self.faults,
         )
 
-    def optimize(self, items: Iterable[BatchItem]) -> BatchReport:
+    def _fingerprint(self) -> Dict[str, Any]:
+        """Solution-relevant configuration, for checkpoint compatibility."""
+        return {
+            "mode": self.config.mode,
+            "max_segment_length": self.config.max_segment_length,
+            "max_buffers": self.config.max_buffers,
+            "prune": self.config.prune,
+            "min_slack": self.config.min_slack,
+            "workload_seed": self.workload.seed,
+            "workload_nets": self.workload.nets,
+        }
+
+    def optimize(
+        self,
+        items: Iterable[BatchItem],
+        checkpoint: Optional[Union[str, Path]] = None,
+        resume: bool = False,
+    ) -> BatchReport:
         """Run the configured optimization over every item, in order.
 
         Items may mix trees, generated nets, and specs; specs are
         materialized inside the workers from their explicit seeds.
+
+        ``checkpoint`` journals every completed :class:`NetResult`
+        (success or structured failure) to a JSONL file, flushed per
+        line; ``resume=True`` reloads that journal first and recomputes
+        only the nets it does not cover.  Resumed results are placed at
+        their original positions, so the report's order — and every
+        recomputed net's signature — matches an uninterrupted run
+        (resumed entries carry no trees or stats).
         """
         units = list(items)
+        if resume and checkpoint is None:
+            raise WorkloadError("resume=True requires a checkpoint path")
+        fingerprint = self._fingerprint()
+        done: Dict[str, NetResult] = {}
+        journal: Optional[CheckpointJournal] = None
+        if checkpoint is not None:
+            path = Path(checkpoint)
+            if resume and path.exists():
+                done = load_checkpoint(path, self.library, fingerprint)
+                journal = CheckpointJournal.append_to(path, fingerprint)
+            else:
+                journal = CheckpointJournal.create(path, fingerprint)
+
+        names = [item_identity(unit)[0] for unit in units]
+        results: List[Optional[NetResult]] = [
+            done.get(name) for name in names
+        ]
+        pending = [
+            index for index, name in enumerate(names) if name not in done
+        ]
         worker = functools.partial(_optimize_item, self._setup())
         start = perf_counter()
-        results = self.executor.map(worker, units)
+        try:
+            if pending:
+                self._run_pending(worker, units, pending, results, journal)
+            self._fallback_pass(units, results, journal)
+        finally:
+            if journal is not None:
+                journal.close()
         wall = perf_counter() - start
+        assert all(result is not None for result in results)
         return BatchReport(
             results=results,
             wall_seconds=wall,
@@ -393,15 +664,134 @@ class BatchOptimizer:
             mode=self.config.mode,
         )
 
+    def _run_pending(
+        self,
+        worker,
+        units: List[BatchItem],
+        pending: List[int],
+        results: List[Optional[NetResult]],
+        journal: Optional[CheckpointJournal],
+    ) -> None:
+        """Map the outstanding items, recording (and journaling) each
+        result as it completes; executor sentinels become failures."""
+
+        def record(sub_index: int, value) -> None:
+            index = pending[sub_index]
+            if isinstance(value, WorkItemFailure):
+                value = self._wrap_sentinel(units[index], value)
+            results[index] = value
+            if journal is not None:
+                journal.append(value)
+
+        payload = [units[index] for index in pending]
+        if "on_result" in inspect.signature(self.executor.map).parameters:
+            self.executor.map(worker, payload, on_result=record)
+        else:
+            # Third-party executor without streaming: journal afterwards.
+            for sub_index, value in enumerate(
+                self.executor.map(worker, payload)
+            ):
+                record(sub_index, value)
+
+    @staticmethod
+    def _wrap_sentinel(
+        item: BatchItem, sentinel: WorkItemFailure
+    ) -> NetResult:
+        """Turn an executor-side failure sentinel into a structured
+        :class:`NetResult` (crash/hang -> ``dispatch`` phase, worker
+        exception -> ``worker`` phase)."""
+        phase = "worker" if sentinel.kind == "error" else "dispatch"
+        error = (
+            "WorkerCrashError" if sentinel.kind == "crash"
+            else "TimeoutError" if sentinel.kind == "hang"
+            else sentinel.error
+        )
+        return failure_net_result(item, FailureRecord(
+            error=error,
+            message=sentinel.message,
+            phase=phase,
+            attempts=sentinel.attempts,
+            elapsed=sentinel.elapsed,
+        ))
+
+    def _fallback_pass(
+        self,
+        units: List[BatchItem],
+        results: List[Optional[NetResult]],
+        journal: Optional[CheckpointJournal],
+    ) -> None:
+        """Last-resort recovery after the map, per ``config.retry.fallback``.
+
+        ``"serial"`` re-runs crash/hang/worker-exception failures inline
+        in the calling process (useful when the pool itself — not the
+        net — was the problem; beware that a net which genuinely kills
+        its process will now do so here).  ``"aggressive"`` re-runs
+        budget- and deadline-failures with a degraded engine
+        configuration that slashes the candidate population: the
+        ``"pareto"`` rule falls back to ``"timing"``; already-``timing``
+        runs fall back to a single-buffer count cap.
+        """
+        retry = self.config.retry
+        if retry is None or retry.fallback is None:
+            return
+        if retry.fallback == "serial":
+            eligible_phases = ("worker", "dispatch")
+            setup = self._setup()
+        else:  # "aggressive"
+            eligible_phases = ("optimize",)
+            degraded = replace(
+                self.config,
+                prune="timing",
+                max_buffers=(
+                    1 if self.config.prune == "timing"
+                    else self.config.max_buffers
+                ),
+                net_max_candidates=(
+                    retry.fallback_max_candidates
+                    or self.config.net_max_candidates
+                ),
+            )
+            setup = self._setup(degraded)
+        for index, result in enumerate(results):
+            if result is None or result.failure is None:
+                continue
+            failure = result.failure
+            if failure.phase not in eligible_phases:
+                continue
+            if retry.fallback == "aggressive" and failure.error not in (
+                "BudgetExceededError", "TimeoutError"
+            ):
+                continue
+            attempt = result.attempts + 1
+            try:
+                replacement = _optimize_item(
+                    setup, units[index], attempt=attempt
+                )
+            except Exception as exc:  # noqa: BLE001 - keep the fleet alive
+                replacement = failure_net_result(units[index], FailureRecord(
+                    error=type(exc).__name__,
+                    message=str(exc),
+                    phase="fallback",
+                    attempts=attempt,
+                    elapsed=failure.elapsed,
+                ))
+            results[index] = replacement
+            if journal is not None:
+                journal.append(replacement)
+
     def optimize_specs(
-        self, specs: Optional[Sequence[NetSpec]] = None
+        self,
+        specs: Optional[Sequence[NetSpec]] = None,
+        checkpoint: Optional[Union[str, Path]] = None,
+        resume: bool = False,
     ) -> BatchReport:
         """Optimize the workload population from deferred specs.
 
         ``specs`` defaults to :func:`~repro.workloads.population_specs` of
         this optimizer's workload config — generation then happens inside
-        the workers, seeded explicitly per net.
+        the workers, seeded explicitly per net.  ``checkpoint`` /
+        ``resume`` behave as in :meth:`optimize`.
         """
         if specs is None:
             specs = population_specs(self.workload)
-        return self.optimize(specs)
+        return self.optimize(specs, checkpoint=checkpoint, resume=resume)

@@ -1,0 +1,397 @@
+"""Fault-tolerant execution: retries, worker-crash recovery, hard deadlines.
+
+The plain pool executors (:mod:`repro.batch.executors`) are fail-fast: a
+worker that raises an unexpected exception, hangs, or dies takes the
+whole ``map`` with it (``multiprocessing.Pool`` surfaces a dead worker
+about as gracefully as ``concurrent.futures`` surfaces
+``BrokenProcessPool`` — by poisoning every in-flight item).  This module
+adds the opposite discipline for fleet runs that must degrade per item:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  deterministic jitter, plus an optional *fallback* step the
+  :class:`~repro.batch.BatchOptimizer` applies after the map (serial
+  re-execution of crashed items, or an aggressive-pruning re-run of
+  budget-blown items).
+* :class:`ResilientExecutor` — a supervisor that runs **one item per
+  child process**, at most ``workers`` concurrently.  Process-per-item
+  is what makes recovery exact: when a child dies the supervisor knows
+  *which* net killed it (a shared pool only knows that *someone* did),
+  quarantines that item after its retries are spent, and simply forks a
+  replacement worker — the "rebuild the pool" step collapses to
+  spawning the next child.  A hard ``deadline`` lets the supervisor
+  ``terminate``/``kill`` a wedged child and reclaim the slot, covering
+  hangs the cooperative :class:`~repro.core.budget.RunBudget` cannot
+  reach (e.g. a stuck syscall).
+
+Items that exhaust their attempts come back as :class:`WorkItemFailure`
+sentinels in the result list — the executor stays generic; the batch
+optimizer turns sentinels into structured
+:class:`~repro.batch.NetResult` failures.
+"""
+
+from __future__ import annotations
+
+import inspect
+import multiprocessing
+import random
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import WorkloadError
+from .executors import default_worker_count
+
+#: fallback modes a :class:`RetryPolicy` may request (applied by the
+#: batch optimizer after the map, not by the executor).
+FALLBACK_MODES = (None, "serial", "aggressive")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``delay(attempt, key)`` is a pure function of ``(seed, key,
+    attempt)``, so reruns schedule byte-identical backoffs — determinism
+    extends to the recovery path, not just the happy path.
+    """
+
+    #: total tries per item (1 = no retries).
+    max_attempts: int = 3
+    #: delay before the second attempt; later attempts multiply.
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    #: +/- fraction of jitter applied to each delay (0 disables).
+    jitter: float = 0.25
+    #: jitter stream seed (per-item keys decorrelate within a run).
+    seed: int = 0
+    #: retry items whose worker raised an unexpected exception.
+    retry_errors: bool = True
+    #: retry items whose worker process died (crash / exit / signal).
+    retry_crashes: bool = True
+    #: retry items the supervisor had to kill at the hard deadline.
+    retry_hangs: bool = True
+    #: post-map fallback: ``"serial"`` re-runs crashed/hung items inline
+    #: in the parent process; ``"aggressive"`` re-runs budget- and
+    #: deadline-failed items with a degraded (harder-pruning) engine
+    #: configuration; ``None`` disables the pass.
+    fallback: Optional[str] = None
+    #: candidate budget for the ``"aggressive"`` fallback re-run
+    #: (``None`` keeps the original budget).
+    fallback_max_candidates: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise WorkloadError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_seconds < 0:
+            raise WorkloadError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise WorkloadError(
+                "backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise WorkloadError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        if self.fallback not in FALLBACK_MODES:
+            raise WorkloadError(
+                f"unknown fallback {self.fallback!r} "
+                f"(expected one of {FALLBACK_MODES})"
+            )
+        if (
+            self.fallback_max_candidates is not None
+            and self.fallback_max_candidates < 1
+        ):
+            raise WorkloadError(
+                "fallback_max_candidates must be >= 1 or None, got "
+                f"{self.fallback_max_candidates}"
+            )
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Backoff before attempt ``attempt`` (1-based; attempt 1 is 0)."""
+        if attempt <= 1:
+            return 0.0
+        base = self.backoff_seconds * (
+            self.backoff_multiplier ** (attempt - 2)
+        )
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        stream = random.Random(
+            (self.seed * 1_000_003 + key) * 1_000_033 + attempt
+        )
+        return base * (1.0 + self.jitter * (2.0 * stream.random() - 1.0))
+
+    def should_retry(self, kind: str, attempt: int) -> bool:
+        if attempt >= self.max_attempts:
+            return False
+        return {
+            "error": self.retry_errors,
+            "crash": self.retry_crashes,
+            "hang": self.retry_hangs,
+        }[kind]
+
+
+@dataclass(frozen=True)
+class WorkItemFailure:
+    """Sentinel left in the result slot of an item that never completed.
+
+    ``kind`` is ``"error"`` (worker raised), ``"crash"`` (worker process
+    died), or ``"hang"`` (killed at the hard deadline); ``error`` is the
+    raising exception's class name for ``"error"``, a process-exit
+    description otherwise.  ``attempts`` counts every try, ``elapsed``
+    sums their wall-clock.
+    """
+
+    index: int
+    kind: str
+    error: str
+    message: str
+    attempts: int
+    elapsed: float
+
+
+def _child_main(conn, fn, item, attempt: int, pass_attempt: bool) -> None:
+    """Worker body: run one item, ship (tag, payload) back, exit."""
+    try:
+        if pass_attempt:
+            value = fn(item, attempt=attempt)
+        else:
+            value = fn(item)
+        payload = ("ok", value)
+    except BaseException as exc:  # noqa: BLE001 - the wire is the handler
+        payload = ("error", type(exc).__name__, str(exc))
+    try:
+        conn.send(payload)
+    except Exception as exc:  # unpicklable result / broken pipe
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _accepts_attempt(fn: Callable) -> bool:
+    """Does ``fn`` take an ``attempt`` keyword? (checked once per map)."""
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):
+        return False
+    if "attempt" in parameters:
+        return True
+    return any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+class _Running:
+    __slots__ = ("process", "conn", "index", "attempt", "started", "kill_at")
+
+    def __init__(self, process, conn, index, attempt, started, kill_at):
+        self.process = process
+        self.conn = conn
+        self.index = index
+        self.attempt = attempt
+        self.started = started
+        self.kill_at = kill_at
+
+
+class ResilientExecutor:
+    """Crash-, hang-, and exception-surviving map over child processes.
+
+    Satisfies the executor interface (``map(fn, items) -> list`` in
+    input order) but never lets one item poison the run: each item runs
+    in its own child, failures are retried per ``retry``, and items that
+    exhaust their attempts yield :class:`WorkItemFailure` sentinels.
+
+    ``deadline`` is the hard per-attempt wall-clock limit (seconds)
+    after which a child is terminated; ``None`` disables the kill and
+    leaves hang protection to the cooperative
+    :class:`~repro.core.budget.RunBudget` inside the worker.
+    """
+
+    name = "resilient"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        deadline: Optional[float] = None,
+        poll_seconds: float = 0.02,
+    ):
+        if workers is not None and workers < 1:
+            raise WorkloadError(f"workers must be >= 1, got {workers}")
+        if deadline is not None and deadline <= 0:
+            raise WorkloadError(
+                f"deadline must be positive or None, got {deadline}"
+            )
+        if poll_seconds <= 0:
+            raise WorkloadError(
+                f"poll_seconds must be positive, got {poll_seconds}"
+            )
+        self.workers = workers
+        self.retry = retry or RetryPolicy()
+        self.deadline = deadline
+        self.poll_seconds = poll_seconds
+
+    @property
+    def effective_workers(self) -> int:
+        return self.workers or default_worker_count()
+
+    def describe(self) -> str:
+        deadline = (
+            "no deadline" if self.deadline is None
+            else f"{self.deadline:g} s deadline"
+        )
+        return (
+            f"resilient ({self.effective_workers} workers, "
+            f"{self.retry.max_attempts} attempts, {deadline})"
+        )
+
+    # -- the supervisor ----------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence,
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        pass_attempt = _accepts_attempt(fn)
+        context = multiprocessing.get_context()
+        results: List[Any] = [None] * len(items)
+        resolved = [False] * len(items)
+        elapsed: Dict[int, float] = {i: 0.0 for i in range(len(items))}
+        pending = deque((index, 1) for index in range(len(items)))
+        waiting: List[tuple] = []  # (ready_at, index, attempt)
+        running: Dict[int, _Running] = {}
+
+        def resolve(index: int, value: Any) -> None:
+            results[index] = value
+            resolved[index] = True
+            if on_result is not None:
+                on_result(index, value)
+
+        def settle(index: int, attempt: int, kind: str, error: str,
+                   message: str) -> None:
+            """Retry a failed attempt or quarantine the item for good."""
+            if self.retry.should_retry(kind, attempt):
+                ready_at = time.monotonic() + self.retry.delay(
+                    attempt + 1, key=index
+                )
+                waiting.append((ready_at, index, attempt + 1))
+            else:
+                resolve(index, WorkItemFailure(
+                    index=index, kind=kind, error=error, message=message,
+                    attempts=attempt, elapsed=elapsed[index],
+                ))
+
+        def reap(run: _Running) -> None:
+            run.conn.close()
+            run.process.join(timeout=5.0)
+            if run.process.is_alive():
+                run.process.kill()
+                run.process.join()
+            del running[run.index]
+            elapsed[run.index] += time.monotonic() - run.started
+
+        try:
+            while pending or waiting or running:
+                now = time.monotonic()
+                if waiting:
+                    due = [w for w in waiting if w[0] <= now]
+                    for entry in due:
+                        waiting.remove(entry)
+                        pending.append((entry[1], entry[2]))
+                while pending and len(running) < self.effective_workers:
+                    index, attempt = pending.popleft()
+                    parent_conn, child_conn = context.Pipe(duplex=False)
+                    process = context.Process(
+                        target=_child_main,
+                        args=(child_conn, fn, items[index], attempt,
+                              pass_attempt),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    started = time.monotonic()
+                    running[index] = _Running(
+                        process, parent_conn, index, attempt, started,
+                        None if self.deadline is None
+                        else started + self.deadline,
+                    )
+                if not running:
+                    if waiting:
+                        time.sleep(max(
+                            0.0, min(w[0] for w in waiting) - time.monotonic()
+                        ))
+                    continue
+
+                timeout = self.poll_seconds
+                kills = [r.kill_at for r in running.values()
+                         if r.kill_at is not None]
+                if kills:
+                    timeout = min(timeout, max(
+                        0.0, min(kills) - time.monotonic()
+                    ))
+                ready = _wait_connections(
+                    [run.conn for run in running.values()], timeout=timeout
+                )
+                by_conn = {run.conn: run for run in running.values()}
+                for conn in ready:
+                    run = by_conn[conn]
+                    try:
+                        message = conn.recv()
+                    except EOFError:
+                        # The pipe died before a result: the worker
+                        # crashed (os._exit, segfault, kill -9, ...).
+                        reap(run)
+                        code = run.process.exitcode
+                        settle(
+                            run.index, run.attempt, "crash",
+                            "WorkerCrashError",
+                            "worker process died with exit code "
+                            f"{code} before returning a result",
+                        )
+                        continue
+                    reap(run)
+                    if message[0] == "ok":
+                        resolve(run.index, message[1])
+                    else:
+                        settle(
+                            run.index, run.attempt, "error",
+                            message[1], message[2],
+                        )
+
+                if self.deadline is not None:
+                    now = time.monotonic()
+                    for run in list(running.values()):
+                        if run.kill_at is not None and now >= run.kill_at:
+                            run.process.terminate()
+                            run.process.join(timeout=1.0)
+                            if run.process.is_alive():
+                                run.process.kill()
+                            reap(run)
+                            settle(
+                                run.index, run.attempt, "hang",
+                                "TimeoutError",
+                                "worker killed after exceeding the "
+                                f"{self.deadline:g} s hard deadline",
+                            )
+        finally:
+            # Never leak children, whatever interrupted the loop.
+            for run in list(running.values()):
+                run.process.kill()
+                run.process.join()
+                run.conn.close()
+
+        assert all(resolved), "supervisor ended with unresolved items"
+        return results

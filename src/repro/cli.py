@@ -25,6 +25,14 @@ Two families of commands (installed as ``buffopt``; also
       buffopt batch --nets 200 --executor process        # multiprocessing
       buffopt batch --executor chunked --chunk-size 8    # chunked map
       buffopt batch --stats --mode delay                 # with telemetry
+
+  and fault-tolerant variants (see ``docs/usage.md``)::
+
+      buffopt batch --executor resilient --hard-deadline 30   # survive hangs
+      buffopt batch --net-timeout 5 --max-candidates 200000   # per-net budgets
+      buffopt batch --checkpoint run.jsonl                    # journal results
+      buffopt batch --checkpoint run.jsonl --resume           # finish the rest
+      buffopt batch --inject-faults 0.01 --executor resilient # drill recovery
 """
 
 from __future__ import annotations
@@ -126,8 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
         "delay: slack-optimal DelayOpt",
     )
     batch.add_argument(
-        "--executor", choices=["serial", "process", "chunked"],
-        default="serial", help="map backend (default: serial)",
+        "--executor", choices=["serial", "process", "chunked", "resilient"],
+        default="serial",
+        help="map backend (default: serial; resilient survives worker "
+        "crashes and hangs)",
     )
     batch.add_argument(
         "--workers", type=int, default=None,
@@ -152,6 +162,53 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--stats", action="store_true",
         help="collect and print engine pruning telemetry",
+    )
+    batch.add_argument(
+        "--net-timeout", type=float, default=None, metavar="SECONDS",
+        help="cooperative per-net deadline enforced inside the DP loop",
+    )
+    batch.add_argument(
+        "--max-candidates", type=int, default=None, metavar="N",
+        help="per-net candidate budget (memory proxy) enforced in the DP loop",
+    )
+    batch.add_argument(
+        "--hard-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-net wall-clock kill deadline for --executor resilient "
+        "(catches hangs the cooperative --net-timeout cannot)",
+    )
+    batch.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="retry budget per net for --executor resilient (default 3)",
+    )
+    batch.add_argument(
+        "--backoff", type=float, default=None, metavar="SECONDS",
+        help="base retry backoff for --executor resilient (default 0.05)",
+    )
+    batch.add_argument(
+        "--fallback", choices=["serial", "aggressive"], default=None,
+        help="after retries: re-run crashed/hung nets inline (serial) or "
+        "re-run budget-blown nets with degraded pruning (aggressive)",
+    )
+    batch.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed nets to this JSONL file as they finish",
+    )
+    batch.add_argument(
+        "--resume", action="store_true",
+        help="reload --checkpoint and recompute only unfinished nets",
+    )
+    batch.add_argument(
+        "--inject-faults", type=float, default=None, metavar="RATE",
+        help="fault-injection harness: make this fraction of nets "
+        "misbehave (testing/demo only)",
+    )
+    batch.add_argument(
+        "--fault-kind", choices=["raise", "hang", "exit"], default="raise",
+        help="what injected faults do (default: raise)",
+    )
+    batch.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed selecting which nets are faulted (default 0)",
     )
     return parser
 
@@ -263,13 +320,41 @@ def _run_sensitivity(args: argparse.Namespace) -> int:
 
 
 def _run_batch(args: argparse.Namespace) -> int:
-    from .batch import BatchConfig, BatchOptimizer, make_executor
+    from .batch import BatchConfig, BatchOptimizer, FaultPlan, make_executor
+    from .batch.resilience import RetryPolicy
+    from .errors import WorkloadError
     from .workloads import WorkloadConfig, population_specs
 
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+
+    retry = None
+    if args.max_attempts is not None or args.backoff is not None \
+            or args.fallback is not None:
+        retry = RetryPolicy(
+            max_attempts=args.max_attempts or 3,
+            backoff_seconds=args.backoff if args.backoff is not None else 0.05,
+            fallback=args.fallback,
+        )
     workload = WorkloadConfig(nets=args.nets, seed=args.seed)
     executor = make_executor(
-        args.executor, workers=args.workers, chunk_size=args.chunk_size
+        args.executor,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        retry=retry,
+        deadline=args.hard_deadline,
     )
+    specs = population_specs(workload)
+    faults = None
+    if args.inject_faults:
+        faults = FaultPlan.sample(
+            [spec.name for spec in specs],
+            rate=args.inject_faults,
+            seed=args.fault_seed,
+            kind=args.fault_kind,
+        )
+        print(f"injecting faults: {faults.describe()}", file=sys.stderr)
     optimizer = BatchOptimizer(
         config=BatchConfig(
             mode=args.mode,
@@ -278,16 +363,26 @@ def _run_batch(args: argparse.Namespace) -> int:
             prune=args.prune,
             collect_stats=args.stats,
             keep_trees=False,
+            net_deadline=args.net_timeout,
+            net_max_candidates=args.max_candidates,
+            retry=retry,
         ),
         executor=executor,
         workload=workload,
+        faults=faults,
     )
     print(
         f"optimizing {args.nets} nets ({args.mode}, "
         f"{executor.describe()}) ...",
         file=sys.stderr,
     )
-    report = optimizer.optimize_specs(population_specs(workload))
+    try:
+        report = optimizer.optimize_specs(
+            specs, checkpoint=args.checkpoint, resume=args.resume
+        )
+    except WorkloadError as exc:
+        print(f"batch failed: {exc}", file=sys.stderr)
+        return 2
     print(report.describe())
     return 1 if report.failure_count == len(report) else 0
 

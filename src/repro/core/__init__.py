@@ -1,5 +1,6 @@
 """The paper's algorithms: Theorem 1 closed forms, Algorithms 1–3, DelayOpt."""
 
+from .budget import RunBudget
 from .dp import DPCandidate, DPOptions, DPOutcome, DPResult, Insertion, run_dp
 from .noise_delay import buffopt, buffopt_min_buffers, buffopt_result
 from .noise_multi import (
@@ -43,6 +44,7 @@ __all__ = [
     "NodeStats",
     "NoiseCandidate",
     "PlacedBuffer",
+    "RunBudget",
     "SpacingPlan",
     "Stage",
     "StageSink",

@@ -1,0 +1,166 @@
+"""Cooperative per-run resource guards for the DP engine.
+
+The Li & Shi O(bn^2) analysis bounds the DP's worst case, but a
+pathological net — a huge candidate frontier, an adversarial topology —
+can still make one run arbitrarily expensive in practice.  At fleet
+scale (the :mod:`repro.batch` subsystem) a single such net must not take
+the whole population run down, so the engine accepts an optional
+:class:`RunBudget` and *checks it cooperatively* between node visits:
+
+* **wall-clock deadline** — raises :class:`~repro.errors.TimeoutError`
+  once the run has been live longer than ``deadline_seconds``;
+* **candidate budget** — raises
+  :class:`~repro.errors.BudgetExceededError` once the run has generated
+  more than ``max_candidates`` candidates.  Candidate count is the
+  engine's memory proxy: every live candidate is a constant-size tuple,
+  so capping generation caps the resident set.
+
+Checks run once per tree node (plus once before finalization), so the
+engine overshoots a budget by at most one node's work — bounded, because
+pruning also runs per node.  The happy-path cost is one comparison and
+one ``perf_counter`` call per node, which the batch benchmark pins
+under a few percent of end-to-end runtime.
+
+A budget is *stateful* (it remembers when it started and the peak charge
+seen) and must not be shared between concurrent runs; batch workers
+build a fresh one per net from the plain numbers in
+:class:`~repro.batch.BatchConfig`.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Optional
+
+from ..errors import BudgetExceededError, TimeoutError
+
+
+class RunBudget:
+    """Deadline + candidate-count guard, charged cooperatively by the DP.
+
+    Either limit may be ``None`` (unlimited).  The engine calls
+    :meth:`charge` with its running generated-candidate total; the first
+    charge starts the clock unless :meth:`start` was called earlier (the
+    batch layer starts it before segmentation so the deadline covers the
+    whole per-net pipeline, not just the DP).
+    """
+
+    __slots__ = (
+        "deadline_seconds",
+        "max_candidates",
+        "_started_at",
+        "_checks",
+        "_peak_candidates",
+        "_peak_elapsed",
+    )
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        max_candidates: Optional[int] = None,
+    ):
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive or None, got "
+                f"{deadline_seconds}"
+            )
+        if max_candidates is not None and max_candidates < 1:
+            raise ValueError(
+                f"max_candidates must be >= 1 or None, got {max_candidates}"
+            )
+        self.deadline_seconds = deadline_seconds
+        self.max_candidates = max_candidates
+        self._started_at: Optional[float] = None
+        self._checks = 0
+        self._peak_candidates = 0
+        self._peak_elapsed = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "RunBudget":
+        """Start (or restart) the deadline clock; returns self."""
+        self._started_at = perf_counter()
+        self._checks = 0
+        self._peak_candidates = 0
+        self._peak_elapsed = 0.0
+        return self
+
+    @property
+    def started(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return perf_counter() - self._started_at
+
+    @property
+    def checks(self) -> int:
+        """How many times :meth:`charge` ran (telemetry)."""
+        return self._checks
+
+    # -- enforcement -------------------------------------------------------
+
+    def charge(
+        self, candidates: int, net: str = "?", node: str = "?"
+    ) -> None:
+        """Account ``candidates`` generated so far; raise when over budget.
+
+        ``net`` / ``node`` only feed the error message — they are not
+        formatted on the happy path.
+        """
+        if self._started_at is None:
+            self.start()
+        self._checks += 1
+        if candidates > self._peak_candidates:
+            self._peak_candidates = candidates
+        if (
+            self.max_candidates is not None
+            and candidates > self.max_candidates
+        ):
+            raise BudgetExceededError(
+                f"net {net!r}: DP generated {candidates} candidates at node "
+                f"{node!r}, exceeding the budget of {self.max_candidates}"
+            )
+        if self.deadline_seconds is not None:
+            elapsed = perf_counter() - self._started_at
+            if elapsed > self._peak_elapsed:
+                self._peak_elapsed = elapsed
+            if elapsed > self.deadline_seconds:
+                raise TimeoutError(
+                    f"net {net!r}: optimization ran {elapsed:.3f} s at node "
+                    f"{node!r}, past the {self.deadline_seconds:.3f} s "
+                    "deadline"
+                )
+
+    # -- pressure telemetry ------------------------------------------------
+
+    @property
+    def candidate_pressure(self) -> float:
+        """Peak charged candidates as a fraction of the budget (0 if
+        uncapped)."""
+        if self.max_candidates is None or self.max_candidates == 0:
+            return 0.0
+        return self._peak_candidates / self.max_candidates
+
+    @property
+    def time_pressure(self) -> float:
+        """Peak observed elapsed time as a fraction of the deadline (0 if
+        no deadline)."""
+        if self.deadline_seconds is None:
+            return 0.0
+        return self._peak_elapsed / self.deadline_seconds
+
+    def describe(self) -> str:
+        deadline = (
+            "no deadline"
+            if self.deadline_seconds is None
+            else f"deadline {self.deadline_seconds:g} s"
+        )
+        cap = (
+            "uncapped candidates"
+            if self.max_candidates is None
+            else f"<= {self.max_candidates} candidates"
+        )
+        return f"budget({deadline}, {cap})"

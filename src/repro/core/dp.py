@@ -39,6 +39,7 @@ from ..library.cells import DriverCell
 from ..noise.coupling import CouplingModel
 from ..tree.topology import Node, RoutingTree, Wire
 from ._chain import Chain
+from .budget import RunBudget
 from .solution import BufferSolution
 from .stats import EngineStats
 from .wire_sizing import WireChoice, WireSizingSpec, apply_wire_widths
@@ -94,10 +95,18 @@ class DPOptions:
     #: collect an :class:`~repro.core.stats.EngineStats` telemetry record
     #: on the result (never changes the candidate arithmetic).
     collect_stats: bool = False
+    #: cooperative deadline / candidate budget, checked once per node
+    #: visit; ``None`` runs unguarded.  Budgets are stateful — pass a
+    #: fresh (or restarted) one per run.
+    budget: Optional[RunBudget] = None
 
     def __post_init__(self) -> None:
         if self.prune not in ("timing", "pareto"):
             raise ValueError(f"unknown prune rule {self.prune!r}")
+        if self.budget is not None and not isinstance(self.budget, RunBudget):
+            raise ValueError(
+                f"budget must be a RunBudget or None, got {self.budget!r}"
+            )
         if self.max_buffers is not None and self.max_buffers < 0:
             raise ValueError(f"max_buffers must be >= 0, got {self.max_buffers}")
         if self.max_buffers is not None and not self.track_counts:
@@ -265,6 +274,7 @@ class _Engine:
     def run(self) -> DPResult:
         if self.stats is not None:
             return self._run_instrumented()
+        budget = self.options.budget
         lists: Dict[str, _Groups] = {}
         for node in self.tree.postorder():
             if node.is_sink:
@@ -277,6 +287,8 @@ class _Engine:
             if node.parent_wire is not None:
                 self._apply_wire(node.parent_wire, groups)
             self._prune(groups)
+            if budget is not None:
+                budget.charge(self.generated, self.tree.name, node.name)
             lists[node.name] = groups
         return self._finalize(lists[self.tree.source.name])
 
@@ -287,6 +299,7 @@ class _Engine:
         solutions (asserted by the differential harness)."""
         stats = self.stats
         assert stats is not None
+        budget = self.options.budget
         lists: Dict[str, _Groups] = {}
         for node in self.tree.postorder():
             record = stats.open_node(node.name)
@@ -318,6 +331,8 @@ class _Engine:
             record.frontier = frontier
             stats.candidates_pruned += dropped
             stats.frontier_peak = max(stats.frontier_peak, frontier)
+            if budget is not None:
+                budget.charge(self.generated, self.tree.name, node.name)
             lists[node.name] = groups
         start = perf_counter()
         result = self._finalize(lists[self.tree.source.name])
@@ -325,6 +340,10 @@ class _Engine:
         stats.candidates_generated = self.generated
         stats.candidates_dead = self.dead
         stats.merge_forks = self.merge_forks
+        if budget is not None:
+            stats.budget_checks = budget.checks
+            stats.budget_candidate_pressure = budget.candidate_pressure
+            stats.budget_time_pressure = budget.time_pressure
         return result
 
     def _sink_base(self, node: Node) -> _Groups:

@@ -27,6 +27,7 @@ from ..library.buffers import BufferLibrary
 from ..library.cells import DriverCell
 from ..noise.coupling import CouplingModel
 from ..tree.topology import RoutingTree
+from .budget import RunBudget
 from .dp import DPOptions, DPResult, run_dp
 from .solution import BufferSolution
 
@@ -40,6 +41,7 @@ def buffopt_result(
     enforce_polarity: bool = True,
     prune: str = "timing",
     collect_stats: bool = False,
+    budget: Optional[RunBudget] = None,
 ) -> DPResult:
     """Noise-constrained count-tracking DP run (per-count outcomes)."""
     return run_dp(
@@ -53,6 +55,7 @@ def buffopt_result(
             enforce_polarity=enforce_polarity,
             prune=prune,
             collect_stats=collect_stats,
+            budget=budget,
         ),
         driver=driver,
     )

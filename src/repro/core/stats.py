@@ -73,6 +73,17 @@ class EngineStats:
         Wall-clock spent per engine phase, keyed by :data:`PHASES`.
     nodes:
         Per-node breakdowns in postorder visit order.
+    budget_checks:
+        How many cooperative :class:`~repro.core.budget.RunBudget`
+        checks ran (0 when the run was unguarded).
+    budget_candidate_pressure:
+        Peak generated-candidate count as a fraction of the candidate
+        budget — how close the run came to a
+        :class:`~repro.errors.BudgetExceededError` (0 when uncapped).
+    budget_time_pressure:
+        Peak observed elapsed time as a fraction of the deadline — how
+        close the run came to a :class:`~repro.errors.TimeoutError`
+        (0 when no deadline).
     """
 
     candidates_generated: int = 0
@@ -80,6 +91,9 @@ class EngineStats:
     candidates_dead: int = 0
     frontier_peak: int = 0
     merge_forks: int = 0
+    budget_checks: int = 0
+    budget_candidate_pressure: float = 0.0
+    budget_time_pressure: float = 0.0
     phase_seconds: Dict[str, float] = field(
         default_factory=lambda: {phase: 0.0 for phase in PHASES}
     )
@@ -127,6 +141,13 @@ class EngineStats:
         self.candidates_dead += other.candidates_dead
         self.frontier_peak = max(self.frontier_peak, other.frontier_peak)
         self.merge_forks += other.merge_forks
+        self.budget_checks += other.budget_checks
+        self.budget_candidate_pressure = max(
+            self.budget_candidate_pressure, other.budget_candidate_pressure
+        )
+        self.budget_time_pressure = max(
+            self.budget_time_pressure, other.budget_time_pressure
+        )
         for phase, seconds in other.phase_seconds.items():
             self.add_phase(phase, seconds)
         self.nodes.extend(other.nodes)
@@ -141,6 +162,13 @@ class EngineStats:
             f"frontier peak: {self.frontier_peak}   "
             f"merge forks: {self.merge_forks}",
         ]
+        if self.budget_checks:
+            lines.append(
+                f"budget: {self.budget_checks} checks, peak pressure "
+                f"{100.0 * self.budget_candidate_pressure:.1f}% of "
+                "candidate budget, "
+                f"{100.0 * self.budget_time_pressure:.1f}% of deadline"
+            )
         timed = {p: s for p, s in self.phase_seconds.items() if s > 0.0}
         if timed:
             total = self.total_seconds()

@@ -18,6 +18,7 @@ from ..library.buffers import BufferLibrary
 from ..library.cells import DriverCell
 from ..noise.coupling import CouplingModel
 from ..tree.topology import RoutingTree
+from .budget import RunBudget
 from .dp import DPOptions, DPResult, run_dp
 from .solution import BufferSolution
 
@@ -51,6 +52,7 @@ def delay_opt_result(
     enforce_polarity: bool = True,
     prune: str = "timing",
     collect_stats: bool = False,
+    budget: Optional[RunBudget] = None,
 ) -> DPResult:
     """Count-tracking DelayOpt run exposing the per-count outcomes."""
     return run_dp(
@@ -64,6 +66,7 @@ def delay_opt_result(
             enforce_polarity=enforce_polarity,
             prune=prune,
             collect_stats=collect_stats,
+            budget=budget,
         ),
         driver=driver,
     )

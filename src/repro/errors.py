@@ -33,6 +33,38 @@ class InfeasibleError(ReproError):
     """
 
 
+class BudgetExceededError(ReproError):
+    """A cooperative resource budget was exhausted mid-optimization.
+
+    Raised by :class:`~repro.core.budget.RunBudget` when the DP engine
+    generates more candidates than the run's candidate budget allows
+    (the candidate count is the engine's memory proxy: every live
+    candidate is a constant-size tuple).  The message names the net, the
+    node being processed, and both the observed and budgeted counts.
+    """
+
+
+class TimeoutError(ReproError):  # noqa: A001 - deliberate, scoped to repro.errors
+    """A per-run wall-clock deadline elapsed.
+
+    Raised cooperatively by :class:`~repro.core.budget.RunBudget` between
+    DP node visits, or recorded by the batch layer when a supervisor had
+    to kill a worker that blew past its hard deadline.  Shadows the
+    builtin on purpose — catch ``repro.errors.TimeoutError`` (or
+    :class:`ReproError`) to handle engine deadlines specifically.
+    """
+
+
+class WorkerCrashError(ReproError):
+    """A batch worker process died without returning a result.
+
+    Recorded (never raised inside the dead worker, which cannot speak)
+    by :class:`~repro.batch.ResilientExecutor` when a child process
+    exits abnormally — segfault, ``os._exit``, OOM kill — while
+    optimizing one net.  The message carries the exit code or signal.
+    """
+
+
 class SimulationError(ReproError):
     """The circuit simulator could not assemble or solve the system."""
 

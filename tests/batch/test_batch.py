@@ -77,6 +77,42 @@ class TestBatchConfig:
         with pytest.raises(WorkloadError):
             BatchConfig(max_segment_length=0.0)
 
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            BatchConfig(net_deadline=-5.0)
+        assert "net_deadline" in str(excinfo.value)
+        with pytest.raises(WorkloadError):
+            BatchConfig(net_deadline=0.0)
+
+    def test_rejects_bad_candidate_budget(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            BatchConfig(net_max_candidates=0)
+        assert "net_max_candidates" in str(excinfo.value)
+
+    def test_rejects_non_policy_retry(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            BatchConfig(retry="3 times")
+        assert "RetryPolicy" in str(excinfo.value)
+
+    def test_zero_max_attempts_rejected_at_policy_level(self):
+        from repro.batch import RetryPolicy
+
+        with pytest.raises(WorkloadError) as excinfo:
+            BatchConfig(retry=RetryPolicy(max_attempts=0))
+        assert "max_attempts" in str(excinfo.value)
+
+    def test_run_budget_reflects_limits(self):
+        assert BatchConfig().run_budget() is None
+        budget = BatchConfig(
+            net_deadline=5.0, net_max_candidates=100
+        ).run_budget()
+        assert budget is not None
+        assert budget.deadline_seconds == 5.0
+        assert budget.max_candidates == 100
+        # Budgets are stateful: every call must mint a fresh one.
+        config = BatchConfig(net_max_candidates=100)
+        assert config.run_budget() is not config.run_budget()
+
 
 class TestOptimizeNet:
     def _net(self, length=9000 * UM, margin=0.8):

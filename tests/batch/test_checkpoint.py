@@ -1,0 +1,249 @@
+"""Tests for checkpoint/resume: the JSONL journal and its CLI surface.
+
+The interrupt test kills a real batch process with SIGKILL mid-run and
+resumes from whatever the journal managed to record — the exact scenario
+the per-line flush + torn-tail tolerance exists for.
+
+When ``REPRO_CHECKPOINT_DIR`` is set (the CI fault-injection job sets it
+so failed runs upload their journals as artifacts), checkpoints are
+written there instead of the per-test tmp dir.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import WorkloadError
+from repro.batch import (
+    BatchConfig,
+    BatchOptimizer,
+    CheckpointJournal,
+    FailureRecord,
+    load_checkpoint,
+    read_checkpoint_header,
+    result_from_json,
+    result_to_json,
+)
+from repro.cli import main as cli_main
+from repro.workloads import WorkloadConfig, population_specs
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def ckpt_dir(tmp_path, request):
+    """Checkpoint directory: CI artifact dir when configured, tmp otherwise."""
+    override = os.environ.get("REPRO_CHECKPOINT_DIR")
+    if not override:
+        return tmp_path
+    directory = Path(override) / request.node.name
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+class TestJournalRoundtrip:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        workload = WorkloadConfig(nets=10, seed=3)
+        config = BatchConfig(max_buffers=4, keep_trees=False)
+        optimizer = BatchOptimizer(config=config, workload=workload)
+        specs = population_specs(workload)
+        return workload, config, optimizer, specs
+
+    def test_signatures_survive_the_roundtrip(self, batch, ckpt_dir):
+        workload, config, optimizer, specs = batch
+        path = ckpt_dir / "journal.jsonl"
+        report = optimizer.optimize(specs, checkpoint=path)
+        loaded = load_checkpoint(path, optimizer.library)
+        assert set(loaded) == {r.name for r in report.results}
+        assert tuple(
+            loaded[r.name].signature() for r in report.results
+        ) == report.signatures()
+
+    def test_failure_records_roundtrip(self, batch):
+        _, _, optimizer, _ = batch
+        from repro.batch import failure_net_result
+        from repro.workloads import population_specs as ps
+
+        spec = population_specs(WorkloadConfig(nets=1, seed=3))[0]
+        failed = failure_net_result(spec, FailureRecord(
+            error="WorkerCrashError",
+            message="worker process died with exit code 17",
+            phase="dispatch",
+            attempts=3,
+            elapsed=1.25,
+        ))
+        rebuilt = result_from_json(
+            result_to_json(failed), optimizer.library
+        )
+        assert rebuilt.failure == failed.failure
+        assert rebuilt.attempts == 3
+        assert not rebuilt.ok
+        assert rebuilt.signature() == failed.signature()
+
+    def test_header_and_version_checks(self, batch, tmp_path):
+        _, _, optimizer, _ = batch
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(WorkloadError):
+            read_checkpoint_header(path)
+        path.write_text(json.dumps({"kind": "header", "version": 99}) + "\n")
+        with pytest.raises(WorkloadError):
+            read_checkpoint_header(path)
+
+    def test_fingerprint_mismatch_is_rejected(self, batch, tmp_path):
+        workload, config, optimizer, specs = batch
+        path = tmp_path / "journal.jsonl"
+        optimizer.optimize(specs, checkpoint=path)
+        other = BatchOptimizer(
+            config=BatchConfig(max_buffers=2, keep_trees=False),
+            workload=workload,
+        )
+        with pytest.raises(WorkloadError) as excinfo:
+            other.optimize(specs, checkpoint=path, resume=True)
+        assert "max_buffers" in str(excinfo.value)
+
+    def test_torn_tail_is_tolerated_torn_interior_is_not(
+        self, batch, tmp_path
+    ):
+        workload, config, optimizer, specs = batch
+        path = tmp_path / "journal.jsonl"
+        optimizer.optimize(specs, checkpoint=path)
+        with path.open("a") as handle:
+            handle.write('{"kind": "result", "name": "to')
+        assert len(load_checkpoint(path, optimizer.library)) == 10
+        lines = path.read_text().splitlines(keepends=True)
+        lines[3] = lines[3][:20] + "\n"  # corrupt an interior record
+        path.write_text("".join(lines))
+        with pytest.raises(WorkloadError):
+            load_checkpoint(path, optimizer.library)
+
+    def test_resume_requires_checkpoint_path(self, batch):
+        _, _, optimizer, specs = batch
+        with pytest.raises(WorkloadError):
+            optimizer.optimize(specs, resume=True)
+
+    def test_unknown_buffer_name_is_rejected(self, batch, tmp_path):
+        _, _, optimizer, _ = batch
+        record = result_to_json(
+            BatchOptimizer(
+                config=BatchConfig(max_buffers=4, keep_trees=False),
+                workload=WorkloadConfig(nets=1, seed=3),
+            ).optimize_specs()
+            .results[0]
+        )
+        if record["assignment"]:
+            key = next(iter(record["assignment"]))
+            record["assignment"][key] = "no_such_buffer"
+            with pytest.raises(WorkloadError):
+                result_from_json(record, optimizer.library)
+
+
+class TestKillThenResume:
+    NETS = 30
+
+    def test_sigkill_mid_run_then_resume(self, ckpt_dir):
+        """Kill a real run with SIGKILL, resume, verify only the
+        unfinished nets are recomputed and the final report matches an
+        uninterrupted one bit-for-bit."""
+        path = ckpt_dir / "killed.jsonl"
+        script = (
+            "import sys\n"
+            f"sys.path.insert(0, {REPO_SRC!r})\n"
+            "from repro.batch import BatchConfig, BatchOptimizer\n"
+            "from repro.workloads import WorkloadConfig, population_specs\n"
+            f"w = WorkloadConfig(nets={self.NETS}, seed=11)\n"
+            "cfg = BatchConfig(max_buffers=4, keep_trees=False)\n"
+            "BatchOptimizer(config=cfg, workload=w).optimize_specs(\n"
+            f"    population_specs(w), checkpoint={str(path)!r})\n"
+        )
+        process = subprocess.Popen([sys.executable, "-c", script])
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if path.exists() and sum(
+                    1 for _ in path.open()
+                ) >= 6:  # header + >= 5 results journaled
+                    break
+                if process.poll() is not None:
+                    pytest.fail("batch finished before it could be killed")
+                time.sleep(0.01)
+            else:
+                pytest.fail("journal never reached 5 results")
+            os.kill(process.pid, signal.SIGKILL)
+        finally:
+            process.wait()
+
+        workload = WorkloadConfig(nets=self.NETS, seed=11)
+        config = BatchConfig(max_buffers=4, keep_trees=False)
+        specs = population_specs(workload)
+        optimizer = BatchOptimizer(config=config, workload=workload)
+        survivors = set(load_checkpoint(path, optimizer.library))
+        assert 0 < len(survivors) < self.NETS
+
+        before = path.read_text().splitlines()
+        resumed = optimizer.optimize(specs, checkpoint=path, resume=True)
+        after = path.read_text().splitlines()
+
+        # Only the unfinished nets were recomputed and appended.
+        appended = [json.loads(line)["name"] for line in after[len(before):]]
+        assert set(appended) == {s.name for s in specs} - survivors
+        assert len(appended) == self.NETS - len(survivors)
+
+        # And the stitched-together report equals an uninterrupted run.
+        uninterrupted = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs)
+        assert resumed.signatures() == uninterrupted.signatures()
+
+
+class TestCheckpointCLI:
+    def test_checkpoint_then_resume(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        code = cli_main([
+            "batch", "--nets", "6", "--seed", "3",
+            "--checkpoint", str(path),
+        ])
+        assert code == 0
+        assert path.exists()
+        full = path.read_text().splitlines()
+        assert len(full) == 7  # header + 6 results
+
+        # Drop the last two results, resume, and expect exactly those
+        # two nets to be recomputed.
+        path.write_text("\n".join(full[:5]) + "\n")
+        code = cli_main([
+            "batch", "--nets", "6", "--seed", "3",
+            "--checkpoint", str(path), "--resume",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "6 nets" in out
+        resumed = path.read_text().splitlines()
+        assert len(resumed) == 7
+        recomputed = [json.loads(line)["name"] for line in resumed[5:]]
+        assert recomputed == [
+            json.loads(line)["name"] for line in full[5:]
+        ]
+
+    def test_resume_without_checkpoint_is_an_error(self, capsys):
+        assert cli_main(["batch", "--nets", "2", "--resume"]) == 2
+
+    def test_mismatched_resume_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "cli.jsonl"
+        assert cli_main([
+            "batch", "--nets", "4", "--seed", "3",
+            "--checkpoint", str(path),
+        ]) == 0
+        assert cli_main([
+            "batch", "--nets", "4", "--seed", "4",
+            "--checkpoint", str(path), "--resume",
+        ]) == 2

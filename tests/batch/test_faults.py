@@ -1,0 +1,95 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WorkloadError
+from repro.batch import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            FaultSpec(kind="segfault")
+
+    def test_rejects_bad_attempts(self):
+        with pytest.raises(WorkloadError):
+            FaultSpec(kind="raise", attempts=())
+        with pytest.raises(WorkloadError):
+            FaultSpec(kind="raise", attempts=(0,))
+
+    def test_rejects_bad_hang_duration(self):
+        with pytest.raises(WorkloadError):
+            FaultSpec(kind="hang", seconds=0.0)
+
+    def test_rejects_clean_exit_code(self):
+        with pytest.raises(WorkloadError):
+            FaultSpec(kind="exit", exit_code=0)
+
+    def test_all_kinds_constructible(self):
+        for kind in FAULT_KINDS:
+            FaultSpec(kind=kind)
+
+
+class TestFaultPlan:
+    def test_fires_only_on_listed_attempts(self):
+        plan = FaultPlan(
+            faults={"netA": FaultSpec(kind="raise", attempts=(1, 3))}
+        )
+        assert plan.fires_on("netA", 1)
+        assert not plan.fires_on("netA", 2)
+        assert plan.fires_on("netA", 3)
+        assert not plan.fires_on("netB", 1)
+        assert plan.spec_for("netB") is None
+
+    def test_fire_raises_with_context(self):
+        plan = FaultPlan(faults={"netA": FaultSpec(kind="raise")})
+        with pytest.raises(InjectedFault) as excinfo:
+            plan.fire("netA", 1)
+        assert "netA" in str(excinfo.value)
+        # Clean attempts and unlisted nets are no-ops.
+        plan.fire("netA", 2)
+        plan.fire("netB", 1)
+
+    def test_injected_fault_is_not_a_repro_error(self):
+        # The whole point: injected raises must travel the
+        # unexpected-exception path, not the handled-engine-error path.
+        from repro.errors import ReproError
+
+        assert issubclass(InjectedFault, RuntimeError)
+        assert not issubclass(InjectedFault, ReproError)
+
+    def test_hang_sleeps_then_returns(self):
+        plan = FaultPlan(
+            faults={"netA": FaultSpec(kind="hang", seconds=0.01)}
+        )
+        plan.fire("netA", 1)  # returns after the (tiny) sleep
+
+    def test_sample_is_deterministic(self):
+        names = [f"net{i:04d}" for i in range(100)]
+        a = FaultPlan.sample(names, rate=0.1, seed=7)
+        b = FaultPlan.sample(names, rate=0.1, seed=7)
+        c = FaultPlan.sample(names, rate=0.1, seed=8)
+        assert set(a.faults) == set(b.faults)
+        assert len(a) == 10
+        assert set(a.faults) != set(c.faults)
+
+    def test_sample_rate_bounds(self):
+        names = ["a", "b"]
+        assert len(FaultPlan.sample(names, rate=0.0)) == 0
+        assert len(FaultPlan.sample(names, rate=1.0)) == 2
+        with pytest.raises(WorkloadError):
+            FaultPlan.sample(names, rate=1.5)
+
+    def test_describe(self):
+        assert "empty" in FaultPlan().describe()
+        plan = FaultPlan(
+            faults={
+                "a": FaultSpec(kind="raise"),
+                "b": FaultSpec(kind="exit"),
+                "c": FaultSpec(kind="raise"),
+            }
+        )
+        text = plan.describe()
+        assert "3 nets" in text and "2 raise" in text and "1 exit" in text

@@ -1,0 +1,426 @@
+"""Tests for the fault-tolerant execution layer.
+
+Covers the :class:`RetryPolicy` contract, the :class:`ResilientExecutor`
+supervisor (retry, crash recovery, hard-deadline kills), engine-error
+propagation through every executor, and the acceptance-scale
+fault-injected fleet: healthy nets bit-identical to a fault-free serial
+run, every injected failure captured as a structured record.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import InfeasibleError, WorkloadError, two_pin_net
+from repro.batch import (
+    BatchConfig,
+    BatchOptimizer,
+    ChunkedExecutor,
+    FaultPlan,
+    FaultSpec,
+    MultiprocessExecutor,
+    ResilientExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    WorkItemFailure,
+    make_executor,
+    optimize_net,
+)
+from repro.library import (
+    DriverCell,
+    default_buffer_library,
+    default_technology,
+)
+from repro.noise import CouplingModel
+from repro.units import FF, PS, UM
+from repro.workloads import WorkloadConfig, population_specs
+
+TECH = default_technology()
+COUPLING = CouplingModel.estimation_mode(TECH)
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_seconds=0.005)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(WorkloadError):
+            RetryPolicy(backoff_seconds=-0.1)
+        with pytest.raises(WorkloadError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(WorkloadError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(WorkloadError):
+            RetryPolicy(fallback="panic")
+        with pytest.raises(WorkloadError):
+            RetryPolicy(fallback_max_candidates=0)
+
+    def test_first_attempt_has_no_delay(self):
+        assert RetryPolicy().delay(1) == 0.0
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_seconds=0.1, backoff_multiplier=2.0, jitter=0.0
+        )
+        assert policy.delay(2) == pytest.approx(0.1)
+        assert policy.delay(3) == pytest.approx(0.2)
+        assert policy.delay(4) == pytest.approx(0.4)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_seconds=0.1, jitter=0.25, seed=3)
+        for attempt in (2, 3, 4):
+            for key in (0, 1, 17):
+                first = policy.delay(attempt, key=key)
+                assert first == policy.delay(attempt, key=key)
+                base = 0.1 * 2.0 ** (attempt - 2)
+                assert 0.75 * base <= first <= 1.25 * base
+        # Different keys decorrelate the jitter stream.
+        assert policy.delay(2, key=0) != policy.delay(2, key=1)
+
+    def test_should_retry_respects_budget_and_kind(self):
+        policy = RetryPolicy(max_attempts=2, retry_crashes=False)
+        assert policy.should_retry("error", 1)
+        assert not policy.should_retry("error", 2)  # budget spent
+        assert not policy.should_retry("crash", 1)  # kind disabled
+        assert policy.should_retry("hang", 1)
+
+
+# -- picklable worker functions for the executor tests ---------------------
+
+def _square(x):
+    return x * x
+
+
+def _flaky(x, attempt=1):
+    """Fails on the first attempt for odd items, then succeeds."""
+    if x % 2 == 1 and attempt == 1:
+        raise RuntimeError(f"flaky item {x}")
+    return x * x
+
+
+def _always_raises(x):
+    raise ValueError(f"hopeless item {x}")
+
+
+def _exits(x):
+    os._exit(23)
+
+
+def _sleeps(x):
+    time.sleep(30.0)
+    return x
+
+
+class TestResilientExecutor:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ResilientExecutor(workers=0)
+        with pytest.raises(WorkloadError):
+            ResilientExecutor(deadline=0.0)
+        with pytest.raises(WorkloadError):
+            ResilientExecutor(poll_seconds=0.0)
+
+    def test_make_executor_builds_it(self):
+        executor = make_executor(
+            "resilient", workers=2, retry=FAST_RETRY, deadline=5.0
+        )
+        assert isinstance(executor, ResilientExecutor)
+        assert executor.retry is FAST_RETRY
+        assert "resilient" in executor.describe()
+
+    def test_plain_map_matches_serial(self):
+        items = list(range(13))
+        executor = ResilientExecutor(workers=3, retry=FAST_RETRY)
+        assert executor.map(_square, items) == [i * i for i in items]
+
+    def test_empty_map(self):
+        assert ResilientExecutor(workers=2).map(_square, []) == []
+
+    def test_streaming_callback_sees_every_item(self):
+        seen = {}
+        ResilientExecutor(workers=2, retry=FAST_RETRY).map(
+            _square, [3, 4, 5], on_result=lambda i, v: seen.__setitem__(i, v)
+        )
+        assert seen == {0: 9, 1: 16, 2: 25}
+
+    def test_transient_errors_are_retried(self):
+        items = list(range(6))
+        results = ResilientExecutor(workers=2, retry=FAST_RETRY).map(
+            _flaky, items
+        )
+        assert results == [i * i for i in items]
+
+    def test_exhausted_retries_become_sentinels(self):
+        results = ResilientExecutor(
+            workers=2, retry=RetryPolicy(max_attempts=2, backoff_seconds=0.005)
+        ).map(_always_raises, [7])
+        failure = results[0]
+        assert isinstance(failure, WorkItemFailure)
+        assert failure.kind == "error"
+        assert failure.error == "ValueError"
+        assert "hopeless item 7" in failure.message
+        assert failure.attempts == 2
+
+    def test_worker_crash_is_contained(self):
+        # One worker os._exits; its neighbors must still complete.
+        results = ResilientExecutor(
+            workers=2, retry=RetryPolicy(max_attempts=2, backoff_seconds=0.005)
+        ).map(_crash_on_five, [4, 5, 6])
+        assert results[0] == 16 and results[2] == 36
+        failure = results[1]
+        assert isinstance(failure, WorkItemFailure)
+        assert failure.kind == "crash"
+        assert failure.error == "WorkerCrashError"
+        assert "23" in failure.message  # the exit code is reported
+
+    def test_hang_is_killed_at_the_deadline(self):
+        start = time.monotonic()
+        results = ResilientExecutor(
+            workers=2,
+            retry=RetryPolicy(max_attempts=1),
+            deadline=0.3,
+        ).map(_sleeps, [1])
+        took = time.monotonic() - start
+        failure = results[0]
+        assert isinstance(failure, WorkItemFailure)
+        assert failure.kind == "hang"
+        assert failure.error == "TimeoutError"
+        assert took < 10.0  # killed, not slept out
+
+    def test_no_retry_for_disabled_kind(self):
+        results = ResilientExecutor(
+            workers=1,
+            retry=RetryPolicy(max_attempts=3, retry_errors=False),
+        ).map(_always_raises, [1])
+        assert results[0].attempts == 1
+
+
+def _crash_on_five(item):
+    if item == 5:
+        os._exit(23)
+    return item * item
+
+
+# -- engine errors must land in NetResult.failure, on every executor -------
+
+def _infeasible_items():
+    """Two healthy nets around one whose margin no buffering can meet."""
+
+    def net(name, margin):
+        return two_pin_net(
+            TECH,
+            9000 * UM,
+            DriverCell("drv", 250.0, 30 * PS),
+            sink_capacitance=20 * FF,
+            noise_margin=margin,
+            required_arrival=2000 * PS,
+            name=name,
+        )
+
+    return [net("good0", 0.8), net("bad", 0.02), net("good1", 0.8)]
+
+
+class TestInfeasibleErrorPropagation:
+    def test_optimize_net_records_structured_failure(self):
+        trees = _infeasible_items()
+        result = optimize_net(
+            trees[1], default_buffer_library(), COUPLING, BatchConfig()
+        )
+        assert not result.ok
+        assert result.failure is not None
+        assert result.failure.error == "InfeasibleError"
+        assert result.failure.phase == "optimize"
+        assert result.error == result.failure.message
+        with pytest.raises(InfeasibleError):
+            result.solution()
+
+    @pytest.mark.parametrize(
+        "executor",
+        [
+            SerialExecutor(),
+            MultiprocessExecutor(workers=2),
+            ChunkedExecutor(workers=2, chunk_size=1),
+            ResilientExecutor(workers=2, retry=FAST_RETRY),
+        ],
+        ids=["serial", "process", "chunked", "resilient"],
+    )
+    def test_every_executor_carries_it_as_data(self, executor):
+        trees = _infeasible_items()
+        optimizer = BatchOptimizer(
+            config=BatchConfig(keep_trees=False),
+            executor=executor,
+        )
+        report = optimizer.optimize(trees)
+        assert len(report) == 3
+        # The batch completed; only the hopeless net failed, and it
+        # failed as data, not as an aborted run.
+        assert [r.ok for r in report.results] == [True, False, True]
+        failure = report.results[1].failure
+        assert failure is not None
+        assert failure.error == "InfeasibleError"
+        assert report.failure_taxonomy() == {"InfeasibleError": 1}
+
+
+# -- budget failures flow through the batch layer --------------------------
+
+class TestBudgetFailuresInBatch:
+    def test_candidate_budget_becomes_failure_record(self):
+        workload = WorkloadConfig(nets=4, seed=5)
+        report = BatchOptimizer(
+            config=BatchConfig(
+                max_buffers=4, keep_trees=False, net_max_candidates=50
+            ),
+            workload=workload,
+        ).optimize_specs(population_specs(workload))
+        assert report.failure_count == 4
+        for result in report.results:
+            assert result.failure.error == "BudgetExceededError"
+            assert result.failure.phase == "optimize"
+        assert report.failure_taxonomy() == {"BudgetExceededError": 4}
+
+    def test_net_deadline_becomes_timeout_record(self):
+        workload = WorkloadConfig(nets=2, seed=5)
+        report = BatchOptimizer(
+            config=BatchConfig(
+                max_buffers=4, keep_trees=False, net_deadline=1e-9
+            ),
+            workload=workload,
+        ).optimize_specs(population_specs(workload))
+        assert report.failure_count == 2
+        assert report.failure_taxonomy() == {"TimeoutError": 2}
+
+    def test_aggressive_fallback_recovers_budget_failures(self):
+        workload = WorkloadConfig(nets=4, seed=5)
+        config = BatchConfig(
+            max_buffers=4,
+            keep_trees=False,
+            net_max_candidates=50,
+            retry=RetryPolicy(
+                fallback="aggressive", fallback_max_candidates=10**9
+            ),
+        )
+        report = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize_specs(population_specs(workload))
+        # Every budget-blown net was re-run under the degraded config
+        # (attempt 2, lifted candidate cap): no BudgetExceededError
+        # survives.  A degraded run may still be infeasible — the
+        # single-buffer cap loses solutions — but that comes back as an
+        # honest InfeasibleError, not a stale budget failure.
+        assert "BudgetExceededError" not in report.failure_taxonomy()
+        assert all(r.attempts == 2 for r in report.results)
+        assert sum(r.ok for r in report.results) >= 3
+
+
+# -- the acceptance fleet: faults on, healthy nets bit-identical -----------
+
+class TestFaultInjectedFleet:
+    NETS = 200
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        workload = WorkloadConfig(nets=self.NETS, seed=42)
+        specs = population_specs(workload)
+        config = BatchConfig(max_buffers=4, keep_trees=False)
+        report = BatchOptimizer(config=config, workload=workload).optimize(
+            specs
+        )
+        return workload, specs, config, report
+
+    def test_fault_free_resilient_run_is_bit_identical(self, baseline):
+        workload, specs, config, base = baseline
+        report = BatchOptimizer(
+            config=config,
+            workload=workload,
+            executor=ResilientExecutor(workers=2, retry=FAST_RETRY),
+        ).optimize(specs)
+        assert report.signatures() == base.signatures()
+        assert report.failure_count == 0
+
+    def test_fleet_survives_raise_hang_and_exit(self, baseline):
+        workload, specs, config, base = baseline
+        names = [spec.name for spec in specs]
+        transient = names[5]
+        permanent_raise = names[10]
+        permanent_exit = names[20]
+        hanging = names[30]
+        plan = FaultPlan(faults={
+            transient: FaultSpec(kind="raise", attempts=(1,)),
+            permanent_raise: FaultSpec(kind="raise", attempts=(1, 2)),
+            permanent_exit: FaultSpec(kind="exit", attempts=(1, 2)),
+            hanging: FaultSpec(kind="hang", attempts=(1,), seconds=30.0),
+        })
+        report = BatchOptimizer(
+            config=config,
+            workload=workload,
+            executor=ResilientExecutor(
+                workers=2,
+                retry=RetryPolicy(
+                    max_attempts=2, backoff_seconds=0.005, retry_hangs=False
+                ),
+                deadline=1.0,
+            ),
+            faults=plan,
+        ).optimize(specs)
+
+        # The run completed: every net has a result, ordered as input.
+        assert len(report) == self.NETS
+        assert [r.name for r in report.results] == names
+
+        # Every injected failure is a structured record, not an abort.
+        by_name = {r.name: r for r in report.results}
+        assert by_name[permanent_raise].failure.error == "InjectedFault"
+        assert by_name[permanent_raise].failure.phase == "worker"
+        assert by_name[permanent_raise].failure.attempts == 2
+        assert by_name[permanent_exit].failure.error == "WorkerCrashError"
+        assert by_name[permanent_exit].failure.phase == "dispatch"
+        assert by_name[hanging].failure.error == "TimeoutError"
+        assert by_name[hanging].failure.phase == "dispatch"
+        taxonomy = report.failure_taxonomy()
+        assert taxonomy == {
+            "InjectedFault": 1,
+            "WorkerCrashError": 1,
+            "TimeoutError": 1,
+        }
+
+        # The transient net recovered on attempt 2 ...
+        assert by_name[transient].ok
+        assert by_name[transient].attempts == 2
+
+        # ... and every healthy net (transient included) is bit-identical
+        # to the fault-free serial baseline.
+        failed = {permanent_raise, permanent_exit, hanging}
+        for mine, theirs in zip(report.signatures(), base.signatures()):
+            if mine[0] in failed:
+                continue
+            assert mine == theirs
+
+    def test_serial_fallback_recovers_crashed_nets(self, baseline):
+        workload, specs, config, base = baseline
+        subset = specs[:12]
+        victim = subset[4].name
+        plan = FaultPlan(faults={
+            # Crashes in the worker on every attempt; the serial
+            # fallback runs in the parent, where faults do not fire on
+            # attempt numbers beyond the spec.
+            victim: FaultSpec(kind="exit", attempts=(1, 2)),
+        })
+        retry = RetryPolicy(
+            max_attempts=2, backoff_seconds=0.005, fallback="serial"
+        )
+        report = BatchOptimizer(
+            config=BatchConfig(
+                max_buffers=4, keep_trees=False, retry=retry
+            ),
+            workload=workload,
+            executor=ResilientExecutor(workers=2, retry=retry),
+            faults=plan,
+        ).optimize(subset)
+        assert report.failure_count == 0
+        by_name = {r.name: r for r in report.results}
+        assert by_name[victim].ok
+        assert report.signatures() == base.signatures()[:12]
