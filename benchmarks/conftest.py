@@ -9,7 +9,9 @@ can be diffed against EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import subprocess
 
 import pytest
 
@@ -18,8 +20,27 @@ from repro.experiments import (
     default_experiment,
     run_population,
 )
+from repro.workloads import WorkloadConfig
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _git_sha() -> str:
+    """Current commit SHA (with a -dirty suffix), or "unknown"."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        return sha + ("-dirty" if dirty else "")
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 
 @pytest.fixture(scope="session")
@@ -39,7 +60,27 @@ def results_dir():
     return RESULTS_DIR
 
 
-def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+def write_result(
+    results_dir: pathlib.Path,
+    name: str,
+    text: str,
+    seed: int = WorkloadConfig.seed,
+) -> None:
+    """Persist one benchmark artifact plus an attribution sidecar.
+
+    Alongside the plain-text table, ``<name>.meta.json`` records the git
+    SHA and the RNG seed (plus the population size) that produced it, so
+    bench trajectories stay attributable across PRs.
+    """
     (results_dir / name).write_text(text + "\n")
+    meta = {
+        "name": name,
+        "git_sha": _git_sha(),
+        "seed": seed,
+        "nets": bench_population_size(),
+    }
+    (results_dir / f"{name}.meta.json").write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n"
+    )
     print()
     print(text)

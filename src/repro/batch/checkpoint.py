@@ -62,6 +62,7 @@ def result_to_json(result) -> Dict[str, Any]:
         "error": result.error,
         "attempts": result.attempts,
         "failure": failure,
+        "certified": result.certified,
     }
 
 
@@ -99,6 +100,7 @@ def result_from_json(record: Dict[str, Any], library: BufferLibrary):
         error=record["error"],
         attempts=record.get("attempts", 1),
         failure=failure,
+        certified=record.get("certified"),
     )
 
 

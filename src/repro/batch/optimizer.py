@@ -53,6 +53,7 @@ from ..core.stats import EngineStats
 from ..core.van_ginneken import delay_opt_result
 from ..errors import (
     BudgetExceededError,
+    CertificateError,
     InfeasibleError,
     ReproError,
     TimeoutError,
@@ -117,6 +118,11 @@ class BatchConfig:
     #: :class:`~repro.batch.ResilientExecutor`); ``None`` disables the
     #: fallback pass.
     retry: Optional[RetryPolicy] = None
+    #: independently re-derive each selected outcome's claims with the
+    #: certificate checker (:mod:`repro.verify`); a refuted claim becomes
+    #: a structured ``CertificateError`` failure in the ``"certify"``
+    #: phase instead of a silently wrong solution.
+    certify: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -162,10 +168,13 @@ class BatchConfig:
 
 #: pipeline phases a failure can be attributed to: ``"generate"`` (spec
 #: materialization), ``"optimize"`` (the DP / outcome selection),
+#: ``"certify"`` (the independent certificate checker refuted a claim),
 #: ``"worker"`` (an unexpected exception inside the worker),
 #: ``"dispatch"`` (the worker process crashed or was killed by the
 #: supervisor), ``"fallback"`` (the post-map fallback pass itself failed).
-FAILURE_PHASES = ("generate", "optimize", "worker", "dispatch", "fallback")
+FAILURE_PHASES = (
+    "generate", "optimize", "certify", "worker", "dispatch", "fallback"
+)
 
 
 @dataclass(frozen=True)
@@ -223,6 +232,10 @@ class NetResult:
     tree: Optional[RoutingTree] = None
     attempts: int = 1
     failure: Optional[FailureRecord] = None
+    #: ``True`` when the outcome passed independent certification,
+    #: ``None`` when certification was not requested (excluded from
+    #: :meth:`signature` — it re-derives, never changes, the solution).
+    certified: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
@@ -318,6 +331,11 @@ class BatchReport:
         """Total attempts spent beyond each net's first try."""
         return sum(max(0, r.attempts - 1) for r in self.results)
 
+    @property
+    def certified_count(self) -> int:
+        """Nets whose outcome passed independent certification."""
+        return sum(1 for r in self.results if r.certified is True)
+
     def nets_per_second(self) -> float:
         if self.wall_seconds <= 0.0:
             return float("inf")
@@ -366,6 +384,11 @@ class BatchReport:
             f"(histogram {self.buffer_histogram()})",
             f"candidates generated: {self.total_candidates()}",
         ]
+        if any(r.certified is not None for r in self.results):
+            lines.append(
+                f"certified: {self.certified_count}/{len(self.results)} "
+                "nets passed independent re-derivation"
+            )
         if self.failure_count:
             taxonomy = ", ".join(
                 f"{count} {error}"
@@ -442,6 +465,36 @@ def optimize_net(
             attempts=attempt,
             elapsed=perf_counter() - start,
         )
+    certified: Optional[bool] = None
+    if config.certify and outcome is not None:
+        from ..verify.certificate import certify_or_raise
+
+        # DelayOpt runs the engine with silent coupling; certify against
+        # the same physics the claims were computed under.
+        cert_coupling = (
+            coupling if config.mode == "buffopt" else CouplingModel.silent()
+        )
+        try:
+            certify_or_raise(
+                work_tree,
+                {ins.node: ins.buffer for ins in outcome.insertions},
+                cert_coupling,
+                claimed_slack=outcome.slack,
+                claimed_noise_feasible=outcome.noise_feasible,
+                claimed_buffer_count=outcome.buffer_count,
+                require_noise=config.mode == "buffopt",
+            )
+            certified = True
+        except CertificateError as exc:
+            certified = False
+            outcome = None
+            failure = FailureRecord(
+                error=type(exc).__name__,
+                message=str(exc),
+                phase="certify",
+                attempts=attempt,
+                elapsed=perf_counter() - start,
+            )
     seconds = perf_counter() - start
     return NetResult(
         name=work_tree.name,
@@ -463,6 +516,7 @@ def optimize_net(
         tree=work_tree if config.keep_trees else None,
         attempts=attempt,
         failure=failure,
+        certified=certified,
     )
 
 
@@ -602,6 +656,7 @@ class BatchOptimizer:
             "max_buffers": self.config.max_buffers,
             "prune": self.config.prune,
             "min_slack": self.config.min_slack,
+            "certify": self.config.certify,
             "workload_seed": self.workload.seed,
             "workload_nets": self.workload.nets,
         }

@@ -33,6 +33,14 @@ Two families of commands (installed as ``buffopt``; also
       buffopt batch --checkpoint run.jsonl                    # journal results
       buffopt batch --checkpoint run.jsonl --resume           # finish the rest
       buffopt batch --inject-faults 0.01 --executor resilient # drill recovery
+      buffopt batch --certify                                 # self-audit
+
+* fuzzing the engine against the independent checkers
+  (see :mod:`repro.verify`)::
+
+      buffopt fuzz --iters 200 --seed 7           # seeded campaign
+      buffopt fuzz --out repros/                  # write shrunk repro JSONs
+      buffopt fuzz --replay repros/repro_....json # re-check a counterexample
 """
 
 from __future__ import annotations
@@ -210,6 +218,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed selecting which nets are faulted (default 0)",
     )
+    batch.add_argument(
+        "--certify", action="store_true",
+        help="independently re-derive every reported outcome with the "
+        "certificate checker; certification failures join the failure "
+        "taxonomy under the 'certify' phase",
+    )
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="fuzz the DP engine against the independent certificate "
+        "checker and exhaustive oracle (see repro.verify)",
+    )
+    fuzz.add_argument(
+        "--iters", type=int, default=100,
+        help="fuzz iterations (random nets) to run (default 100)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--max-internal", type=int, default=5,
+        help="max internal nodes per generated net (default 5)",
+    )
+    fuzz.add_argument(
+        "--oracle-sites", type=int, default=4,
+        help="run exhaustive oracle comparisons on nets with at most "
+        "this many buffer sites (0 disables; default 4)",
+    )
+    fuzz.add_argument(
+        "--max-counterexamples", type=int, default=10,
+        help="stop the campaign after this many failures (default 10)",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="emit raw counterexample nets without minimization",
+    )
+    fuzz.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write replayable counterexample JSON files to this directory",
+    )
+    fuzz.add_argument(
+        "--replay", default=None, metavar="PATH",
+        help="re-run the checks recorded in a counterexample file "
+        "instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--plant-bug", action="store_true",
+        help="run against a deliberately broken engine (self-test: the "
+        "campaign must fail and shrink the counterexample)",
+    )
     return parser
 
 
@@ -366,6 +422,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             net_deadline=args.net_timeout,
             net_max_candidates=args.max_candidates,
             retry=retry,
+            certify=args.certify,
         ),
         executor=executor,
         workload=workload,
@@ -403,6 +460,40 @@ def _run_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from .verify import FuzzConfig, planted_buggy_engine, replay_file, run_fuzz
+
+    engine = planted_buggy_engine() if args.plant_bug else None
+    if args.replay:
+        failures = replay_file(args.replay, engine=engine)
+        if not failures:
+            print(f"{args.replay}: no longer reproduces")
+            return 0
+        for failure in failures:
+            print(f"{failure.mode}/{failure.check} still fails:")
+            for message in failure.messages:
+                print(f"  {message}")
+        return 1
+
+    config = FuzzConfig(
+        iterations=args.iters,
+        seed=args.seed,
+        max_internal=args.max_internal,
+        oracle_sites=args.oracle_sites,
+        shrink=not args.no_shrink,
+        out_dir=args.out,
+        max_counterexamples=args.max_counterexamples,
+    )
+    print(
+        f"fuzzing {args.iters} random nets (seed {args.seed}, "
+        f"oracle on <= {args.oracle_sites} sites) ...",
+        file=sys.stderr,
+    )
+    report = run_fuzz(config, engine=engine)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.target == "fix":
@@ -413,6 +504,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_export(args)
     if args.target == "batch":
         return _run_batch(args)
+    if args.target == "fuzz":
+        return _run_fuzz(args)
     return _run_tables(args)
 
 

@@ -65,6 +65,17 @@ class WorkerCrashError(ReproError):
     """
 
 
+class CertificateError(ReproError):
+    """An optimization result failed independent certification.
+
+    Raised by :mod:`repro.verify` when the bottom-up recomputation of
+    ``(C, q, I, NS)`` disagrees with a claimed slack, noise-feasibility
+    flag, or buffer count, or when a solution is structurally illegal
+    (buffer on an infeasible site, odd inversion parity at a sink).  The
+    message enumerates every :class:`~repro.verify.CertificateViolation`.
+    """
+
+
 class SimulationError(ReproError):
     """The circuit simulator could not assemble or solve the system."""
 

@@ -1,0 +1,521 @@
+"""Independent certificate checking for buffer-insertion solutions.
+
+The DP engine (:mod:`repro.core.dp`) *claims* an outcome: a buffer
+assignment plus its source slack, buffer count, and noise feasibility.
+This module re-derives every claim from first principles — the routing
+tree, the buffer library's cell parameters, and the coupling model —
+using straight-line bottom-up recursions that share **no code** with the
+engine (no candidate frontiers, no pruning, no merge tricks).  If the
+engine has a bug in its candidate algebra, its pruning rule, or its
+finalization, the recomputation here disagrees and the disagreement is
+reported as a structured :class:`CertificateViolation`.
+
+The recomputed quantities are exactly the paper's candidate tuple:
+
+* ``C(v)`` — downstream load, cut at buffer inputs (paper eq. 1);
+* ``q(v)`` — timing slack ``min over sinks (RAT - delay)`` (eq. 5);
+* ``I(v)`` — downstream aggressor-induced current, cut at restoring
+  gates (eq. 7);
+* ``NS(v)`` — noise slack, the margin left for the stage's driving gate
+  (eq. 12).
+
+Violation kinds (``CertificateViolation.kind``):
+
+=================  =====================================================
+``structure``      buffer on an unknown / non-internal / infeasible node
+``polarity``       a sink sees an odd number of inverting buffers
+``noise``          a gate's injected noise ``R * I`` exceeds the
+                   downstream noise slack (the solution is *actually*
+                   noisy, whatever was claimed)
+``noise-claim``    the outcome's ``noise_feasible`` flag contradicts the
+                   recomputation
+``slack``          the outcome's claimed slack differs from the
+                   recomputed ``q(source)``
+``count``          ``buffer_count`` differs from the assignment size
+``cap``            an outcome exceeds the engine's ``max_buffers`` cap
+``pareto``         the per-count outcome frontier is malformed
+                   (duplicate or unsorted counts)
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import CertificateError
+from ..library.buffers import BufferType
+from ..library.cells import DriverCell
+from ..noise.coupling import CouplingModel
+from ..tree.topology import Node, RoutingTree
+
+#: default tolerance for comparing recomputed floats against claims.
+REL_TOL = 1e-9
+ABS_TOL = 1e-15
+
+
+@dataclass(frozen=True)
+class CertificateViolation:
+    """One inconsistency between a claim and the recomputation."""
+
+    kind: str
+    node: str
+    message: str
+    expected: Optional[float] = None
+    actual: Optional[float] = None
+
+    def describe(self) -> str:
+        extra = ""
+        if self.expected is not None or self.actual is not None:
+            extra = f" (expected {self.expected!r}, got {self.actual!r})"
+        return f"[{self.kind}] {self.node}: {self.message}{extra}"
+
+
+@dataclass(frozen=True)
+class NodeCertificate:
+    """The recomputed candidate tuple ``(C, q, I, NS)`` at one node.
+
+    Values describe what the node presents *upward* (after any buffer at
+    the node itself has been applied, before its parent wire).
+    """
+
+    load: float
+    slack: float
+    current: float
+    noise_slack: float
+    #: parity of inverting buffers at-or-below this node (0 = even).
+    polarity: int
+
+
+@dataclass(frozen=True)
+class SolutionCertificate:
+    """Full recomputation of one assignment on one tree."""
+
+    tree_name: str
+    #: recomputed source slack including the driver's gate delay.
+    slack: float
+    #: ``True`` iff every restoring gate (buffers and the source driver)
+    #: injects no more noise than its downstream stage tolerates.
+    noise_feasible: bool
+    buffer_count: int
+    #: per-node recomputed states (by node name).
+    states: Mapping[str, NodeCertificate]
+    violations: Tuple[CertificateViolation, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        head = (
+            f"certificate for {self.tree_name!r}: slack={self.slack:.6g}, "
+            f"noise_feasible={self.noise_feasible}, "
+            f"buffers={self.buffer_count}"
+        )
+        if self.ok:
+            return head + " — OK"
+        lines = [head + f" — {len(self.violations)} violation(s)"]
+        lines.extend("  " + v.describe() for v in self.violations)
+        return "\n".join(lines)
+
+
+def _close(a: float, b: float, rel_tol: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=ABS_TOL)
+
+
+def _structural_violations(
+    tree: RoutingTree, assignment: Mapping[str, BufferType]
+) -> List[CertificateViolation]:
+    violations: List[CertificateViolation] = []
+    for name in sorted(assignment):
+        if name not in tree:
+            violations.append(CertificateViolation(
+                kind="structure", node=name,
+                message="buffer assigned to a node not in the tree",
+            ))
+            continue
+        node = tree.node(name)
+        if not node.is_internal:
+            kind = "source" if node.is_source else "sink"
+            violations.append(CertificateViolation(
+                kind="structure", node=name,
+                message=f"buffer assigned to a {kind} node",
+            ))
+        elif not node.feasible:
+            violations.append(CertificateViolation(
+                kind="structure", node=name,
+                message="buffer assigned to an infeasible site",
+            ))
+    return violations
+
+
+def evaluate_assignment(
+    tree: RoutingTree,
+    assignment: Mapping[str, BufferType],
+    coupling: CouplingModel,
+    driver: Optional[DriverCell] = None,
+    check_polarity: bool = True,
+    noise_tolerance: float = ABS_TOL,
+) -> SolutionCertificate:
+    """Recompute ``(C, q, I, NS)`` bottom-up for one buffer assignment.
+
+    This is the certifier's core: a single postorder walk applying the
+    paper's recurrences directly (sink base case; wire updates; branch
+    merges take min-slack / min-noise-slack and sum loads / currents;
+    a buffer restores the signal, cutting load and current and paying
+    its gate delay).  Noise feasibility requires every restoring gate —
+    each inserted buffer and the source driver — to satisfy
+    ``R_gate * I <= NS``; violations beyond ``noise_tolerance`` are
+    recorded with the offending node.
+
+    ``driver`` defaults to ``tree.driver``.  The returned certificate
+    carries recomputed per-node states for deeper inspection.
+    """
+    if driver is None:
+        driver = tree.driver
+    if driver is None:
+        raise CertificateError(
+            f"tree {tree.name!r} has no driver cell; pass driver="
+        )
+    violations = _structural_violations(tree, assignment)
+    valid = {
+        name: buffer for name, buffer in assignment.items()
+        if name in tree
+        and tree.node(name).is_internal
+        and tree.node(name).feasible
+    }
+
+    states: Dict[str, NodeCertificate] = {}
+    for node in tree.postorder():
+        state = _node_state(node, states, valid, coupling, violations,
+                            noise_tolerance)
+        states[node.name] = state
+
+    source_state = states[tree.source.name]
+    slack = source_state.slack - driver.gate_delay(source_state.load)
+    driver_noise = driver.resistance * source_state.current
+    driver_ok = driver_noise <= source_state.noise_slack + noise_tolerance
+    if not driver_ok:
+        violations.append(CertificateViolation(
+            kind="noise", node=tree.source.name,
+            message=(
+                "driver noise R_d * I exceeds the source noise slack"
+            ),
+            expected=source_state.noise_slack, actual=driver_noise,
+        ))
+    if check_polarity and source_state.polarity != 0:
+        violations.append(CertificateViolation(
+            kind="polarity", node=tree.source.name,
+            message="sinks see an odd number of inverting buffers",
+        ))
+
+    # noise feasibility = driver fits AND no buffer-level noise violation
+    noisy = any(v.kind == "noise" for v in violations)
+    return SolutionCertificate(
+        tree_name=tree.name,
+        slack=slack,
+        noise_feasible=not noisy,
+        buffer_count=len(valid),
+        states=states,
+        violations=tuple(violations),
+    )
+
+
+def _node_state(
+    node: Node,
+    states: Mapping[str, NodeCertificate],
+    assignment: Mapping[str, BufferType],
+    coupling: CouplingModel,
+    violations: List[CertificateViolation],
+    noise_tolerance: float,
+) -> NodeCertificate:
+    """One step of the bottom-up recurrence (paper eqs. 1, 5, 7, 12)."""
+    if node.is_sink:
+        assert node.sink is not None
+        return NodeCertificate(
+            load=node.sink.capacitance,
+            slack=node.sink.required_arrival,
+            current=0.0,
+            noise_slack=node.sink.noise_margin,
+            polarity=0,
+        )
+
+    load = 0.0
+    slack = math.inf
+    current = 0.0
+    noise_slack = math.inf
+    polarity: Optional[int] = None
+    for child in node.children:
+        wire = child.parent_wire
+        assert wire is not None
+        below = states[child.name]
+        wire_i = coupling.wire_current(wire)
+        load += below.load + wire.capacitance
+        slack = min(
+            slack,
+            below.slack
+            - wire.resistance * (wire.capacitance / 2.0 + below.load),
+        )
+        current += below.current + wire_i
+        noise_slack = min(
+            noise_slack,
+            below.noise_slack
+            - wire.resistance * (wire_i / 2.0 + below.current),
+        )
+        if polarity is None:
+            polarity = below.polarity
+        elif polarity != below.polarity:
+            # children disagree on inversion parity; certify against the
+            # worst case and flag it (a legal engine solution never
+            # merges unequal parities).
+            violations.append(CertificateViolation(
+                kind="polarity", node=node.name,
+                message="children present unequal inversion parity",
+            ))
+    assert polarity is not None, f"internal node {node.name!r} without children"
+
+    buffer = assignment.get(node.name)
+    if buffer is None:
+        return NodeCertificate(load, slack, current, noise_slack, polarity)
+
+    injected = buffer.resistance * current
+    if injected > noise_slack + noise_tolerance:
+        violations.append(CertificateViolation(
+            kind="noise", node=node.name,
+            message=(
+                f"buffer {buffer.name!r} noise R_b * I exceeds the "
+                "downstream noise slack"
+            ),
+            expected=noise_slack, actual=injected,
+        ))
+    return NodeCertificate(
+        load=buffer.input_capacitance,
+        slack=slack - buffer.resistance * load - buffer.intrinsic_delay,
+        current=0.0,
+        noise_slack=buffer.noise_margin,
+        polarity=polarity ^ (1 if buffer.inverting else 0),
+    )
+
+
+def certify_claim(
+    tree: RoutingTree,
+    assignment: Mapping[str, BufferType],
+    coupling: CouplingModel,
+    claimed_slack: Optional[float] = None,
+    claimed_noise_feasible: Optional[bool] = None,
+    claimed_buffer_count: Optional[int] = None,
+    driver: Optional[DriverCell] = None,
+    require_noise: bool = False,
+    check_polarity: bool = True,
+    rel_tol: float = REL_TOL,
+) -> SolutionCertificate:
+    """Certify an assignment against the claims made about it.
+
+    Beyond :func:`evaluate_assignment`'s internal consistency checks,
+    this compares the claimed slack / noise flag / buffer count against
+    the recomputation, and — with ``require_noise`` — demands actual
+    noise feasibility regardless of any claim.
+    """
+    certificate = evaluate_assignment(
+        tree, assignment, coupling, driver=driver,
+        check_polarity=check_polarity,
+    )
+    violations = list(certificate.violations)
+    if claimed_slack is not None and not _close(
+        certificate.slack, claimed_slack, rel_tol
+    ):
+        violations.append(CertificateViolation(
+            kind="slack", node=tree.source.name,
+            message="claimed source slack differs from the recomputation",
+            expected=certificate.slack, actual=claimed_slack,
+        ))
+    if (
+        claimed_noise_feasible is not None
+        and claimed_noise_feasible != certificate.noise_feasible
+    ):
+        violations.append(CertificateViolation(
+            kind="noise-claim", node=tree.source.name,
+            message=(
+                f"claimed noise_feasible={claimed_noise_feasible} but the "
+                f"recomputation says {certificate.noise_feasible}"
+            ),
+        ))
+    if (
+        claimed_buffer_count is not None
+        and claimed_buffer_count != len(assignment)
+    ):
+        violations.append(CertificateViolation(
+            kind="count", node=tree.source.name,
+            message="claimed buffer count differs from the assignment size",
+            expected=float(len(assignment)),
+            actual=float(claimed_buffer_count),
+        ))
+    if require_noise and not certificate.noise_feasible:
+        # already recorded as 'noise' violations by the evaluation;
+        # nothing further to add, but ensure it is not silently ok.
+        pass
+    return SolutionCertificate(
+        tree_name=certificate.tree_name,
+        slack=certificate.slack,
+        noise_feasible=certificate.noise_feasible,
+        buffer_count=certificate.buffer_count,
+        states=certificate.states,
+        violations=tuple(violations),
+    )
+
+
+@dataclass(frozen=True)
+class ResultCertificate:
+    """Certification of a whole :class:`~repro.core.dp.DPResult`."""
+
+    tree_name: str
+    outcome_certificates: Tuple[SolutionCertificate, ...]
+    violations: Tuple[CertificateViolation, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return not self.all_violations()
+
+    def all_violations(self) -> Tuple[CertificateViolation, ...]:
+        out: List[CertificateViolation] = list(self.violations)
+        for certificate in self.outcome_certificates:
+            out.extend(certificate.violations)
+        return tuple(out)
+
+    def describe(self) -> str:
+        violations = self.all_violations()
+        if not violations:
+            return (
+                f"result certificate for {self.tree_name!r}: "
+                f"{len(self.outcome_certificates)} outcome(s) — OK"
+            )
+        lines = [
+            f"result certificate for {self.tree_name!r}: "
+            f"{len(violations)} violation(s)"
+        ]
+        lines.extend("  " + v.describe() for v in violations)
+        return "\n".join(lines)
+
+
+def certify_result(
+    result,
+    coupling: CouplingModel,
+    driver: Optional[DriverCell] = None,
+    rel_tol: float = REL_TOL,
+) -> ResultCertificate:
+    """Certify every outcome of a DP run plus its frontier invariants.
+
+    ``result`` is a :class:`~repro.core.dp.DPResult` (typed loosely to
+    keep this module import-independent of the engine).  Checks, per
+    outcome: assignment structure, recomputed slack vs claim, noise
+    feasibility vs claim, buffer count vs insertions; across outcomes:
+    counts strictly increasing (the per-count frontier is well-formed),
+    the ``max_buffers`` cap respected, and — for noise-aware runs —
+    every surviving outcome actually noise-feasible.
+
+    Runs with wire sizing enabled are certified on the *realized* tree
+    of each outcome (widths applied), matching what the claim is about.
+    """
+    options = result.options
+    tree = result.tree
+    frontier_violations: List[CertificateViolation] = []
+    counts = [o.buffer_count for o in result.outcomes]
+    if counts != sorted(set(counts)):
+        frontier_violations.append(CertificateViolation(
+            kind="pareto", node=tree.source.name,
+            message=(
+                "outcome counts are not strictly increasing: "
+                f"{counts}"
+            ),
+        ))
+    if options.max_buffers is not None:
+        for outcome in result.outcomes:
+            if outcome.buffer_count > options.max_buffers:
+                frontier_violations.append(CertificateViolation(
+                    kind="cap", node=tree.source.name,
+                    message=(
+                        f"outcome with {outcome.buffer_count} buffers "
+                        f"exceeds max_buffers={options.max_buffers}"
+                    ),
+                ))
+
+    certificates: List[SolutionCertificate] = []
+    for outcome in result.outcomes:
+        assignment = {ins.node: ins.buffer for ins in outcome.insertions}
+        if options.sizing is not None:
+            work_tree, solution = result.sized_solution(outcome)
+            assignment = dict(solution.assignment)
+        else:
+            work_tree = tree
+        certificate = certify_claim(
+            work_tree,
+            assignment,
+            coupling,
+            claimed_slack=outcome.slack,
+            claimed_noise_feasible=outcome.noise_feasible,
+            claimed_buffer_count=outcome.buffer_count,
+            driver=driver,
+            require_noise=options.noise_aware,
+            check_polarity=options.enforce_polarity,
+            rel_tol=rel_tol,
+        )
+        violations = list(certificate.violations)
+        if options.noise_aware and not outcome.noise_feasible:
+            violations.append(CertificateViolation(
+                kind="noise-claim", node=work_tree.source.name,
+                message=(
+                    "noise-aware run kept an outcome it itself flags "
+                    "as noise-infeasible"
+                ),
+            ))
+        certificates.append(SolutionCertificate(
+            tree_name=certificate.tree_name,
+            slack=certificate.slack,
+            noise_feasible=certificate.noise_feasible,
+            buffer_count=certificate.buffer_count,
+            states=certificate.states,
+            violations=tuple(violations),
+        ))
+    return ResultCertificate(
+        tree_name=tree.name,
+        outcome_certificates=tuple(certificates),
+        violations=tuple(frontier_violations),
+    )
+
+
+def certify_or_raise(
+    tree: RoutingTree,
+    assignment: Mapping[str, BufferType],
+    coupling: CouplingModel,
+    claimed_slack: Optional[float] = None,
+    claimed_noise_feasible: Optional[bool] = None,
+    claimed_buffer_count: Optional[int] = None,
+    driver: Optional[DriverCell] = None,
+    require_noise: bool = False,
+    rel_tol: float = REL_TOL,
+) -> SolutionCertificate:
+    """:func:`certify_claim`, raising :class:`CertificateError` on failure.
+
+    The batch pipeline's ``--certify`` path uses this so a certification
+    failure flows through the standard structured-failure machinery.
+    """
+    certificate = certify_claim(
+        tree,
+        assignment,
+        coupling,
+        claimed_slack=claimed_slack,
+        claimed_noise_feasible=claimed_noise_feasible,
+        claimed_buffer_count=claimed_buffer_count,
+        driver=driver,
+        require_noise=require_noise,
+        rel_tol=rel_tol,
+    )
+    if not certificate.ok:
+        summary = "; ".join(v.describe() for v in certificate.violations)
+        raise CertificateError(
+            f"net {tree.name!r} failed certification: {summary}"
+        )
+    return certificate

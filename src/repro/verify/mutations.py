@@ -1,0 +1,199 @@
+"""Mutation-style self-tests for the certificate checker.
+
+A certifier is only trustworthy if it *fails* when it should.  This
+module takes a known-good solution (an assignment plus the claims the
+engine made about it) and produces systematically corrupted variants —
+moved buffers, dropped buffers, swapped cells, inflated slack claims,
+false noise claims, buffers on illegal nodes.  The self-test suite
+asserts the certificate checker flags **every** mutation class; a
+mutation that sails through certification means the checker has a blind
+spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..library.buffers import BufferLibrary, BufferType
+from ..noise.coupling import CouplingModel
+from ..tree.topology import RoutingTree
+from .certificate import SolutionCertificate, certify_claim, evaluate_assignment
+
+#: every mutation class this module can generate.
+MUTATION_CLASSES = (
+    "move-buffer",
+    "drop-buffer",
+    "swap-buffer",
+    "inflate-slack",
+    "flip-noise-claim",
+    "illegal-site",
+)
+
+
+@dataclass(frozen=True)
+class MutatedClaim:
+    """One corrupted (assignment, claims) pair."""
+
+    mutation: str
+    description: str
+    assignment: Mapping[str, BufferType]
+    claimed_slack: float
+    claimed_noise_feasible: bool
+    claimed_buffer_count: int
+
+
+def mutate_claims(
+    tree: RoutingTree,
+    assignment: Mapping[str, BufferType],
+    coupling: CouplingModel,
+    library: BufferLibrary,
+    driver=None,
+) -> List[MutatedClaim]:
+    """All applicable mutations of a known-good solution.
+
+    The truth (claims) is recomputed first via
+    :func:`~repro.verify.certificate.evaluate_assignment`, so the
+    mutations corrupt *verified* claims — each mutated pair keeps the
+    original claims while silently changing the assignment (stale-claim
+    bugs), or keeps the assignment while lying about the claims.
+    """
+    truth = evaluate_assignment(tree, assignment, coupling, driver=driver)
+    slack = truth.slack
+    noise_feasible = truth.noise_feasible
+    count = len(assignment)
+    mutations: List[MutatedClaim] = []
+
+    sites = sorted(
+        node.name for node in tree.nodes()
+        if node.is_internal and node.feasible
+    )
+    occupied = sorted(assignment)
+    empty = [s for s in sites if s not in assignment]
+
+    if occupied and empty:
+        victim = occupied[0]
+        target = empty[0]
+        moved: Dict[str, BufferType] = dict(assignment)
+        moved[target] = moved.pop(victim)
+        mutations.append(MutatedClaim(
+            mutation="move-buffer",
+            description=f"buffer moved from {victim!r} to {target!r}, "
+                        "claims unchanged",
+            assignment=moved,
+            claimed_slack=slack,
+            claimed_noise_feasible=noise_feasible,
+            claimed_buffer_count=count,
+        ))
+
+    if occupied:
+        victim = occupied[0]
+        dropped = dict(assignment)
+        del dropped[victim]
+        mutations.append(MutatedClaim(
+            mutation="drop-buffer",
+            description=f"buffer at {victim!r} dropped, claims unchanged",
+            assignment=dropped,
+            claimed_slack=slack,
+            claimed_noise_feasible=noise_feasible,
+            claimed_buffer_count=count,
+        ))
+
+    if occupied:
+        victim = occupied[0]
+        current = assignment[victim]
+        replacement = next(
+            (b for b in library
+             if b.name != current.name and b.inverting == current.inverting),
+            None,
+        )
+        if replacement is not None:
+            swapped = dict(assignment)
+            swapped[victim] = replacement
+            mutations.append(MutatedClaim(
+                mutation="swap-buffer",
+                description=(
+                    f"buffer at {victim!r} swapped {current.name!r} -> "
+                    f"{replacement.name!r}, claims unchanged"
+                ),
+                assignment=swapped,
+                claimed_slack=slack,
+                claimed_noise_feasible=noise_feasible,
+                claimed_buffer_count=count,
+            ))
+
+    inflated = slack + max(abs(slack) * 0.05, 1e-12)
+    mutations.append(MutatedClaim(
+        mutation="inflate-slack",
+        description=f"claimed slack inflated {slack!r} -> {inflated!r}",
+        assignment=dict(assignment),
+        claimed_slack=inflated,
+        claimed_noise_feasible=noise_feasible,
+        claimed_buffer_count=count,
+    ))
+
+    mutations.append(MutatedClaim(
+        mutation="flip-noise-claim",
+        description=(
+            f"noise_feasible claim flipped to {not noise_feasible} "
+            "(a noise-margin lie)"
+        ),
+        assignment=dict(assignment),
+        claimed_slack=slack,
+        claimed_noise_feasible=not noise_feasible,
+        claimed_buffer_count=count,
+    ))
+
+    illegal_site = tree.sinks[0].name
+    buffer = assignment[occupied[0]] if occupied else next(iter(library))
+    on_sink = dict(assignment)
+    on_sink[illegal_site] = buffer
+    mutations.append(MutatedClaim(
+        mutation="illegal-site",
+        description=f"buffer added on sink node {illegal_site!r}",
+        assignment=on_sink,
+        claimed_slack=slack,
+        claimed_noise_feasible=noise_feasible,
+        claimed_buffer_count=count,
+    ))
+    return mutations
+
+
+def certificate_for_mutation(
+    tree: RoutingTree,
+    mutated: MutatedClaim,
+    coupling: CouplingModel,
+    driver=None,
+) -> SolutionCertificate:
+    """Certify one mutated claim (violations expected)."""
+    return certify_claim(
+        tree,
+        mutated.assignment,
+        coupling,
+        claimed_slack=mutated.claimed_slack,
+        claimed_noise_feasible=mutated.claimed_noise_feasible,
+        claimed_buffer_count=mutated.claimed_buffer_count,
+        driver=driver,
+    )
+
+
+def surviving_mutations(
+    tree: RoutingTree,
+    assignment: Mapping[str, BufferType],
+    coupling: CouplingModel,
+    library: BufferLibrary,
+    driver=None,
+) -> Tuple[List[MutatedClaim], List[MutatedClaim]]:
+    """Partition mutations into ``(caught, escaped)`` by the certifier.
+
+    A healthy certifier returns an empty ``escaped`` list.
+    """
+    caught: List[MutatedClaim] = []
+    escaped: List[MutatedClaim] = []
+    for mutated in mutate_claims(tree, assignment, coupling, library,
+                                 driver=driver):
+        certificate = certificate_for_mutation(
+            tree, mutated, coupling, driver=driver
+        )
+        (caught if not certificate.ok else escaped).append(mutated)
+    return caught, escaped

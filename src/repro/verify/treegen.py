@@ -1,0 +1,126 @@
+"""Seeded random routing-tree generation for fuzzing and oracles.
+
+Promoted from ``tests/properties/treegen.py`` so the ``buffopt fuzz``
+CLI (and any batch self-audit) can generate the same family of nets
+without depending on hypothesis.  The hypothesis strategies in the test
+tree now import the range constants from here, keeping the two
+generators drawing from one distribution.
+
+Everything is driven by a caller-supplied :class:`random.Random`, so a
+single integer seed reproduces a whole fuzz campaign.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..library.cells import DriverCell
+from ..library.technology import default_technology
+from ..tree.builder import TreeBuilder
+from ..tree.topology import RoutingTree
+from ..units import FF, MM, NS
+
+#: parameter ranges shared with the hypothesis strategies.
+RESISTANCE_RANGE = (30.0, 2000.0)
+MARGIN_RANGE = (0.2, 1.5)
+SINK_CAP_RANGE = (1 * FF, 80 * FF)
+WIRE_LENGTH_RANGE = (0.05 * MM, 6 * MM)
+RAT_RANGE = (0.1 * NS, 5 * NS)
+
+
+def random_tree(
+    rng: random.Random,
+    max_internal: int = 5,
+    with_rats: bool = False,
+    name: str = "random",
+    tech=None,
+) -> RoutingTree:
+    """A random valid binary routing tree with a driver.
+
+    Grows from the source: each step attaches a new internal node under
+    a random node that still has room, then every remaining open slot is
+    closed with a sink.  Guarantees at least one sink and that every
+    internal node has a child — the same construction as the hypothesis
+    strategy ``random_trees``.
+    """
+    if tech is None:
+        tech = default_technology()
+    driver = DriverCell("drv", rng.uniform(*RESISTANCE_RANGE), 0.0)
+    builder = TreeBuilder(tech)
+    builder.add_source("so", driver=driver)
+
+    open_slots = {"so": 1}  # node -> children it may still take
+    internal_budget = rng.randint(0, max_internal)
+
+    count = 0
+    while internal_budget > 0 and open_slots:
+        parent = rng.choice(sorted(open_slots))
+        node = f"i{count}"
+        count += 1
+        builder.add_internal(node)
+        builder.add_wire(parent, node, length=rng.uniform(*WIRE_LENGTH_RANGE))
+        open_slots[parent] -= 1
+        if open_slots[parent] == 0:
+            del open_slots[parent]
+        open_slots[node] = 2
+        internal_budget -= 1
+
+    sink_index = 0
+    for parent in sorted(open_slots):
+        sink = f"s{sink_index}"
+        builder.add_sink(
+            sink,
+            capacitance=rng.uniform(*SINK_CAP_RANGE),
+            noise_margin=rng.uniform(*MARGIN_RANGE),
+            required_arrival=(
+                rng.uniform(*RAT_RANGE) if with_rats else float("inf")
+            ),
+        )
+        builder.add_wire(parent, sink, length=rng.uniform(*WIRE_LENGTH_RANGE))
+        sink_index += 1
+    return builder.build(name)
+
+
+def random_chain(
+    rng: random.Random,
+    max_hops: int = 4,
+    name: str = "chain",
+    tech=None,
+) -> RoutingTree:
+    """A random single-sink chain (for Algorithm 1/2 agreement checks)."""
+    if tech is None:
+        tech = default_technology()
+    driver = DriverCell("drv", rng.uniform(*RESISTANCE_RANGE), 0.0)
+    builder = TreeBuilder(tech)
+    builder.add_source("so", driver=driver)
+    previous = "so"
+    for index in range(rng.randint(0, max_hops)):
+        node = f"m{index}"
+        builder.add_internal(node)
+        builder.add_wire(
+            previous, node, length=rng.uniform(*WIRE_LENGTH_RANGE)
+        )
+        previous = node
+    builder.add_sink(
+        "s",
+        capacitance=rng.uniform(*SINK_CAP_RANGE),
+        noise_margin=rng.uniform(*MARGIN_RANGE),
+    )
+    builder.add_wire(previous, "s", length=rng.uniform(*WIRE_LENGTH_RANGE))
+    return builder.build(name)
+
+
+def seeded_tree(
+    seed: int,
+    max_internal: int = 5,
+    with_rats: bool = False,
+    name: Optional[str] = None,
+) -> RoutingTree:
+    """Convenience: the tree a fresh ``Random(seed)`` would generate."""
+    return random_tree(
+        random.Random(seed),
+        max_internal=max_internal,
+        with_rats=with_rats,
+        name=name or f"seed{seed}",
+    )

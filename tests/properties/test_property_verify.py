@@ -1,0 +1,148 @@
+"""Theorem 1 boundary properties: the safe-length formula vs the certifier.
+
+Theorem 1's closed form and the certificate checker's bottom-up noise
+recurrence are two independent derivations of the same constraint
+``Rb*(i*l + I) + r*l*(i*l/2 + I) <= NS``.  At the computed ``l_max``
+boundary they must agree: a wire fractionally shorter certifies as
+noise-feasible, fractionally longer fails.  Edge cases pinned here:
+``NS == Rb*I`` gives zero length, ``NS < Rb*I`` is infeasible outright,
+and the driverless bound collapses to ``sqrt(2*NS / (r*i))``.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CouplingModel, DriverCell, TreeBuilder
+from repro.core.wire_length import (
+    max_safe_length,
+    uniform_wire_noise,
+    unloaded_max_length,
+)
+from repro.errors import InfeasibleError
+from repro.units import FF
+from repro.verify import evaluate_assignment
+
+SILENT = CouplingModel.silent()
+EPS = 1e-6
+
+default_settings = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+driver_resistances = st.floats(min_value=30.0, max_value=2000.0)
+unit_resistances = st.floats(min_value=1e3, max_value=1e6)  # ohm/m
+unit_currents = st.floats(min_value=1e-6, max_value=1e-2)  # A/m
+noise_margins = st.floats(min_value=0.2, max_value=1.5)
+
+
+def _single_wire_net(driver_resistance, length, resistance, current, margin):
+    """``source --wire--> sink`` with fully explicit wire parameters."""
+    builder = TreeBuilder(None)
+    builder.add_source(
+        "so", driver=DriverCell("drv", driver_resistance, 0.0)
+    )
+    builder.add_sink("s", capacitance=10 * FF, noise_margin=margin)
+    builder.add_wire(
+        "so", "s", length=length,
+        resistance=resistance, capacitance=1 * FF, current=current,
+    )
+    return builder.build("theorem1")
+
+
+def _certified_feasible(driver_resistance, r, i, length, margin):
+    net = _single_wire_net(
+        driver_resistance, length, r * length, i * length, margin
+    )
+    return evaluate_assignment(net, {}, SILENT).noise_feasible
+
+
+class TestBoundaryAgreement:
+    @default_settings
+    @given(
+        rd=driver_resistances, r=unit_resistances,
+        i=unit_currents, margin=noise_margins,
+    )
+    def test_formula_and_certifier_agree_at_l_max(self, rd, r, i, margin):
+        l_max = max_safe_length(rd, r, i, 0.0, margin)
+        assert 0.0 < l_max < math.inf
+        # the closed form claims equality exactly at l_max
+        assert uniform_wire_noise(rd, r, i, l_max) == pytest.approx(
+            margin, rel=1e-9
+        )
+        assert _certified_feasible(rd, r, i, l_max * (1 - EPS), margin)
+        assert not _certified_feasible(rd, r, i, l_max * (1 + EPS), margin)
+
+    @default_settings
+    @given(
+        rd=driver_resistances, r=unit_resistances,
+        i=unit_currents, margin=noise_margins,
+        lower=st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_agreement_with_downstream_current(
+        self, rd, r, i, margin, lower
+    ):
+        """Two-segment chain: the lower wire supplies ``(I, NS)``."""
+        total = max_safe_length(rd, r, i, 0.0, margin)
+        l2 = total * lower  # sink-adjacent segment, fixed
+        current2 = i * l2
+        ns_above = margin - (r * l2) * (current2 / 2.0)
+        l1_max = max_safe_length(rd, r, i, current2, ns_above)
+        assert 0.0 < l1_max < math.inf
+
+        def chain_feasible(l1):
+            builder = TreeBuilder(None)
+            builder.add_source("so", driver=DriverCell("drv", rd, 0.0))
+            builder.add_internal("m")
+            builder.add_sink("s", capacitance=10 * FF, noise_margin=margin)
+            builder.add_wire(
+                "so", "m", length=l1,
+                resistance=r * l1, capacitance=1 * FF, current=i * l1,
+            )
+            builder.add_wire(
+                "m", "s", length=l2,
+                resistance=r * l2, capacitance=1 * FF, current=current2,
+            )
+            net = builder.build("theorem1_chain")
+            return evaluate_assignment(net, {}, SILENT).noise_feasible
+
+        assert chain_feasible(l1_max * (1 - EPS))
+        assert not chain_feasible(l1_max * (1 + EPS))
+
+
+class TestEdgeCases:
+    @default_settings
+    @given(
+        rd=driver_resistances, r=unit_resistances,
+        i=unit_currents, current=st.floats(min_value=1e-6, max_value=1e-2),
+    )
+    def test_zero_budget_means_zero_length(self, rd, r, i, current):
+        # NS == Rb*I exactly: buffering here is exactly marginal
+        assert max_safe_length(rd, r, i, current, rd * current) == 0.0
+
+    @default_settings
+    @given(
+        rd=driver_resistances, r=unit_resistances,
+        i=unit_currents, current=st.floats(min_value=1e-6, max_value=1e-2),
+        deficit=st.floats(min_value=1e-6, max_value=0.5),
+    )
+    def test_negative_budget_is_infeasible(self, rd, r, i, current, deficit):
+        with pytest.raises(InfeasibleError):
+            max_safe_length(rd, r, i, current, rd * current * (1 - deficit))
+
+    @default_settings
+    @given(r=unit_resistances, i=unit_currents, margin=noise_margins)
+    def test_driverless_bound_closed_form(self, r, i, margin):
+        bound = unloaded_max_length(r, i, margin)
+        assert bound == pytest.approx(
+            math.sqrt(2.0 * margin / (r * i)), rel=1e-9
+        )
+        # the certifier agrees in the driverless limit (negligible Rb)
+        assert _certified_feasible(1e-12, r, i, bound * (1 - EPS), margin)
+        assert not _certified_feasible(
+            1e-12, r, i, bound * (1 + EPS), margin
+        )

@@ -1,18 +1,29 @@
-"""Shared hypothesis strategies: random routing trees and parameters."""
+"""Shared hypothesis strategies: random routing trees and parameters.
+
+The parameter ranges live in :mod:`repro.verify.treegen` (the seeded
+``random.Random`` twin of these strategies used by ``buffopt fuzz``), so
+the fuzz driver and the property suite always explore the same space.
+"""
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
 from repro import DriverCell, TreeBuilder, default_technology
-from repro.units import FF, MM, NS
+from repro.verify.treegen import (
+    MARGIN_RANGE,
+    RAT_RANGE,
+    RESISTANCE_RANGE,
+    SINK_CAP_RANGE,
+    WIRE_LENGTH_RANGE,
+)
 
 TECH = default_technology()
 
-resistances = st.floats(min_value=30.0, max_value=2000.0)
-margins = st.floats(min_value=0.2, max_value=1.5)
-sink_caps = st.floats(min_value=1 * FF, max_value=80 * FF)
-wire_lengths = st.floats(min_value=0.05 * MM, max_value=6 * MM)
+resistances = st.floats(*RESISTANCE_RANGE)
+margins = st.floats(*MARGIN_RANGE)
+sink_caps = st.floats(*SINK_CAP_RANGE)
+wire_lengths = st.floats(*WIRE_LENGTH_RANGE)
 
 
 @st.composite
@@ -32,8 +43,7 @@ def random_trees(draw, max_internal=5, with_rats=False):
     names: list = []
 
     def rat():
-        return draw(st.floats(min_value=0.1 * NS, max_value=5 * NS)) \
-            if with_rats else float("inf")
+        return draw(st.floats(*RAT_RANGE)) if with_rats else float("inf")
 
     count = 0
     while internal_budget > 0 and open_slots:
