@@ -1,0 +1,237 @@
+"""Engine bench: reference vs fast DP, head-to-head and at fleet scale.
+
+Two entry points:
+
+* standalone script (what CI runs in ``--smoke`` mode)::
+
+      PYTHONPATH=src python benchmarks/bench_engines.py           # full
+      PYTHONPATH=src python benchmarks/bench_engines.py --smoke   # quick CI
+
+  Two measurements:
+
+  1. **Head-to-head** — one 500-sink net (60 in smoke) with an 8-buffer
+     library, timed under both engines in delay and noise-aware modes.
+     Outcomes must be bit-identical; the full run additionally asserts
+     the fast engine is >= 2x faster (the ISSUE acceptance bar).
+  2. **Seeded regression family** — the 200-net generated workload
+     (24 in smoke) run through :class:`~repro.batch.BatchOptimizer`
+     under both engines in both modes with ``certify=True``: every
+     result signature must match between engines and every net must
+     pass independent certification.
+
+* pytest bench (rides the existing suite)::
+
+      pytest benchmarks/bench_engines.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from time import perf_counter
+
+from repro.batch import BatchConfig, BatchOptimizer, SerialExecutor
+from repro.core.dp import DPOptions, run_dp
+from repro.library.buffers import default_buffer_library
+from repro.library.cells import DriverCell
+from repro.library.technology import default_technology
+from repro.noise.coupling import CouplingModel
+from repro.tree.builder import TreeBuilder
+from repro.units import FF, MM
+from repro.workloads import WorkloadConfig, population_specs
+
+#: the 8-cell library the head-to-head runs under (6 buffers, 2 inverters).
+EIGHT_BUFFER_NAMES = (
+    "buf_x1", "buf_x2", "buf_x4", "buf_x8",
+    "buf_x16", "buf_x32", "inv_x2", "inv_x4",
+)
+
+MODES = ("delay", "buffopt")
+
+
+def chain_net(sinks: int, seed: int = 19981101):
+    """A ``sinks``-sink spine: one stub sink per segment, paper-style."""
+    rng = random.Random(seed)
+    builder = TreeBuilder(default_technology())
+    builder.add_source("src", driver=DriverCell("drv", 120.0))
+    previous = "src"
+    for index in range(sinks):
+        internal = f"n{index}"
+        builder.add_internal(internal)
+        builder.add_wire(
+            previous, internal, length=rng.uniform(0.05 * MM, 0.4 * MM)
+        )
+        sink = f"s{index}"
+        builder.add_sink(
+            sink,
+            capacitance=rng.uniform(2 * FF, 40 * FF),
+            required_arrival=rng.uniform(0.5, 3.0),
+            noise_margin=rng.uniform(0.3, 1.2),
+        )
+        builder.add_wire(internal, sink, length=rng.uniform(0.05 * MM, 0.3 * MM))
+        previous = internal
+    return builder.build(f"chain{sinks}")
+
+
+def head_to_head(sinks: int, repeats: int):
+    """Best-of-``repeats`` engine timings per mode on one big net.
+
+    Returns ``{mode: (reference_s, fast_s)}``; asserts outcome equality
+    (raises AssertionError on divergence — that is the whole point).
+    """
+    library = default_buffer_library().restricted(list(EIGHT_BUFFER_NAMES))
+    coupling = CouplingModel.estimation_mode(default_technology())
+    tree = chain_net(sinks)
+    timings = {}
+    for mode in MODES:
+        noise_aware = mode == "buffopt"
+        results = {}
+        seconds = {}
+        for engine in ("reference", "fast"):
+            options = DPOptions(
+                noise_aware=noise_aware,
+                track_counts=True,
+                max_buffers=4,
+                engine=engine,
+            )
+            best = float("inf")
+            for _ in range(repeats):
+                start = perf_counter()
+                result = run_dp(tree, library, coupling, options)
+                best = min(best, perf_counter() - start)
+            results[engine] = result
+            seconds[engine] = best
+        assert results["reference"].outcomes == results["fast"].outcomes, (
+            f"{mode}: engines disagree on {tree.name}"
+        )
+        assert (
+            results["reference"].candidates_generated
+            == results["fast"].candidates_generated
+        )
+        timings[mode] = (seconds["reference"], seconds["fast"])
+    return timings
+
+
+def regression_family(nets: int, seed: int):
+    """Both engines over the seeded fleet, certified; returns True if OK."""
+    workload = WorkloadConfig(nets=nets, seed=seed)
+    specs = population_specs(workload)
+    ok = True
+    for mode in MODES:
+        signatures = {}
+        certified = {}
+        for engine in ("reference", "fast"):
+            optimizer = BatchOptimizer(
+                config=BatchConfig(
+                    mode=mode,
+                    max_buffers=4,
+                    keep_trees=False,
+                    certify=True,
+                    engine=engine,
+                ),
+                executor=SerialExecutor(),
+                workload=workload,
+            )
+            report = optimizer.optimize_specs(specs)
+            signatures[engine] = report.signatures()
+            certified[engine] = report.certified_count
+        if signatures["reference"] != signatures["fast"]:
+            print(
+                f"FAIL: {mode}: fast engine diverged from reference on "
+                f"the {nets}-net family",
+                file=sys.stderr,
+            )
+            ok = False
+        if certified["fast"] != nets or certified["reference"] != nets:
+            print(
+                f"FAIL: {mode}: certification not clean "
+                f"(reference {certified['reference']}/{nets}, "
+                f"fast {certified['fast']}/{nets})",
+                file=sys.stderr,
+            )
+            ok = False
+        if ok:
+            print(
+                f"{mode}: {nets} nets bit-identical across engines, "
+                f"{certified['fast']}/{nets} certificate-clean"
+            )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sinks", type=int, default=500)
+    parser.add_argument("--nets", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=19981101)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small net + fleet, correctness-only (CI gate, no perf "
+        "assertions)",
+    )
+    args = parser.parse_args(argv)
+
+    sinks = 60 if args.smoke else args.sinks
+    nets = 24 if args.smoke else args.nets
+    repeats = 2 if args.smoke else args.repeats
+
+    print(f"engine bench: {sinks}-sink chain, 8-buffer library, "
+          f"best of {repeats}")
+    timings = head_to_head(sinks, repeats)
+    worst = float("inf")
+    for mode, (reference_s, fast_s) in timings.items():
+        speedup = reference_s / fast_s if fast_s > 0 else float("inf")
+        worst = min(worst, speedup)
+        print(f"{mode:8s}: reference {reference_s * 1e3:9.2f} ms   "
+              f"fast {fast_s * 1e3:9.2f} ms   speedup {speedup:.2f}x")
+    print("head-to-head outcomes identical in both modes")
+
+    if not regression_family(nets, args.seed):
+        return 1
+
+    if args.smoke:
+        return 0
+    if worst < 2.0:
+        print(
+            f"FAIL: fast engine speedup {worst:.2f}x is under the 2x bar "
+            f"on the {sinks}-sink net",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+# -- pytest-benchmark integration (shares the suite's fixtures) ------------
+
+
+def test_fast_engine_head_to_head(benchmark, results_dir):
+    from conftest import write_result
+
+    library = default_buffer_library().restricted(list(EIGHT_BUFFER_NAMES))
+    coupling = CouplingModel.estimation_mode(default_technology())
+    tree = chain_net(120)
+    options = dict(noise_aware=True, track_counts=True, max_buffers=4)
+
+    fast = benchmark(
+        lambda: run_dp(
+            tree, library, coupling, DPOptions(engine="fast", **options)
+        )
+    )
+    start = perf_counter()
+    reference = run_dp(
+        tree, library, coupling, DPOptions(engine="reference", **options)
+    )
+    reference_s = perf_counter() - start
+    assert reference.outcomes == fast.outcomes
+
+    text = "\n".join([
+        "engine bench (120-sink chain, buffopt, 8-buffer library)",
+        f"reference: {reference_s * 1e3:8.2f} ms (single run)",
+        "fast:      see pytest-benchmark stats",
+    ])
+    write_result(results_dir, "engines.txt", text)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

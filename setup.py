@@ -19,6 +19,8 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=["numpy", "scipy", "networkx"],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "pytest-cov"],
+    },
     entry_points={"console_scripts": ["buffopt = repro.cli:main"]},
 )

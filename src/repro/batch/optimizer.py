@@ -123,11 +123,20 @@ class BatchConfig:
     #: a structured ``CertificateError`` failure in the ``"certify"``
     #: phase instead of a silently wrong solution.
     certify: bool = False
+    #: DP implementation: ``"reference"`` or ``"fast"`` (bit-identical
+    #: results; see :mod:`repro.core.fast_engine`).  Excluded from the
+    #: checkpoint fingerprint, so a resumed batch may switch engines.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise WorkloadError(
                 f"unknown batch mode {self.mode!r} (expected one of {MODES})"
+            )
+        if self.engine not in ("reference", "fast"):
+            raise WorkloadError(
+                f"unknown engine {self.engine!r} "
+                "(expected 'reference' or 'fast')"
             )
         if (
             self.max_segment_length is not None
@@ -445,6 +454,7 @@ def optimize_net(
                 prune=config.prune,
                 collect_stats=config.collect_stats,
                 budget=budget,
+                engine=config.engine,
             )
             outcome = result.fewest_buffers(min_slack=config.min_slack)
         else:
@@ -455,6 +465,7 @@ def optimize_net(
                 prune=config.prune,
                 collect_stats=config.collect_stats,
                 budget=budget,
+                engine=config.engine,
             )
             outcome = result.best(require_noise=False)
     except (InfeasibleError, BudgetExceededError, TimeoutError) as exc:

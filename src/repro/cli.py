@@ -168,6 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine pruning rule (pareto = 4-field ablation)",
     )
     batch.add_argument(
+        "--engine", choices=["reference", "fast"], default="reference",
+        help="DP implementation: the readable reference engine or the "
+        "Li-Shi-style fast engine (bit-identical results, ~2-3x faster)",
+    )
+    batch.add_argument(
         "--stats", action="store_true",
         help="collect and print engine pruning telemetry",
     )
@@ -262,9 +267,15 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of fuzzing",
     )
     fuzz.add_argument(
+        "--engine", choices=["reference", "fast"], default="reference",
+        help="DP implementation under test (default: reference)",
+    )
+    fuzz.add_argument(
         "--plant-bug", action="store_true",
         help="run against a deliberately broken engine (self-test: the "
-        "campaign must fail and shrink the counterexample)",
+        "campaign must fail and shrink the counterexample); with "
+        "--engine fast the bug is an over-pruning fast-engine rule the "
+        "oracle comparison must catch",
     )
     return parser
 
@@ -423,6 +434,7 @@ def _run_batch(args: argparse.Namespace) -> int:
             net_max_candidates=args.max_candidates,
             retry=retry,
             certify=args.certify,
+            engine=args.engine,
         ),
         executor=executor,
         workload=workload,
@@ -461,9 +473,23 @@ def _run_export(args: argparse.Namespace) -> int:
 
 
 def _run_fuzz(args: argparse.Namespace) -> int:
-    from .verify import FuzzConfig, planted_buggy_engine, replay_file, run_fuzz
+    from .verify import (
+        FuzzConfig,
+        engine_for,
+        planted_buggy_engine,
+        planted_buggy_fast_engine,
+        replay_file,
+        run_fuzz,
+    )
 
-    engine = planted_buggy_engine() if args.plant_bug else None
+    if args.plant_bug:
+        engine = (
+            planted_buggy_fast_engine()
+            if args.engine == "fast"
+            else planted_buggy_engine()
+        )
+    else:
+        engine = engine_for(args.engine)
     if args.replay:
         failures = replay_file(args.replay, engine=engine)
         if not failures:
@@ -483,10 +509,12 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         out_dir=args.out,
         max_counterexamples=args.max_counterexamples,
+        engine=args.engine,
     )
     print(
         f"fuzzing {args.iters} random nets (seed {args.seed}, "
-        f"oracle on <= {args.oracle_sites} sites) ...",
+        f"engine {args.engine}, oracle on <= {args.oracle_sites} "
+        "sites) ...",
         file=sys.stderr,
     )
     report = run_fuzz(config, engine=engine)

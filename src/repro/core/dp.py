@@ -90,6 +90,13 @@ class DPOptions:
     max_buffers: Optional[int] = None
     prune: str = "timing"  # "timing" (paper) or "pareto" (4-field ablation)
     enforce_polarity: bool = True
+    #: which DP implementation runs the recurrence: ``"reference"`` (this
+    #: module, the readable dataclass-per-candidate engine) or ``"fast"``
+    #: (:mod:`repro.core.fast_engine`, the Li–Shi-style tuple engine).
+    #: Both produce bit-identical :class:`DPOutcome`\ s — asserted by the
+    #: differential suite — so the choice is purely a speed/readability
+    #: trade.
+    engine: str = "reference"
     #: enable Lillis-style simultaneous wire sizing with this width menu.
     sizing: Optional[WireSizingSpec] = None
     #: collect an :class:`~repro.core.stats.EngineStats` telemetry record
@@ -103,6 +110,11 @@ class DPOptions:
     def __post_init__(self) -> None:
         if self.prune not in ("timing", "pareto"):
             raise ValueError(f"unknown prune rule {self.prune!r}")
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} "
+                "(expected 'reference' or 'fast')"
+            )
         if self.budget is not None and not isinstance(self.budget, RunBudget):
             raise ValueError(
                 f"budget must be a RunBudget or None, got {self.budget!r}"
@@ -244,6 +256,37 @@ class DPResult:
 _Groups = Dict[Tuple[int, int], List[DPCandidate]]
 
 
+def _presorted_timing_frontier(
+    candidates: List[DPCandidate],
+) -> Optional[List[DPCandidate]]:
+    """The (load, slack) frontier of an already-sorted candidate list.
+
+    Merge outputs and wire updates keep frontiers load-sorted, so most
+    prune passes see a list already ordered by ``(load, -slack)`` — this
+    scans it once, pruning on the fly, and returns ``None`` the moment
+    an out-of-order pair shows up (the caller then falls back to the
+    full sort).  The returned frontier is exactly what sort-then-scan
+    would keep: ``sorted`` is stable, so a list already ordered by the
+    key comes back unchanged.
+    """
+    kept: List[DPCandidate] = []
+    append = kept.append
+    best_slack = -math.inf
+    prev_load = -math.inf
+    prev_slack = math.inf
+    for cand in candidates:
+        load = cand.load
+        slack = cand.slack
+        if load < prev_load or (load == prev_load and slack > prev_slack):
+            return None
+        prev_load = load
+        prev_slack = slack
+        if slack > best_slack:
+            append(cand)
+            best_slack = slack
+    return kept
+
+
 class _Engine:
     def __init__(
         self,
@@ -262,8 +305,10 @@ class _Engine:
         self.kept_peak = 0
         self.dead = 0
         self.merge_forks = 0
+        self.prune_presorted = 0
+        self.prune_sorts = 0
         self.stats: Optional[EngineStats] = (
-            EngineStats() if options.collect_stats else None
+            EngineStats(engine="reference") if options.collect_stats else None
         )
 
     # -- candidate algebra ---------------------------------------------------
@@ -340,6 +385,8 @@ class _Engine:
         stats.candidates_generated = self.generated
         stats.candidates_dead = self.dead
         stats.merge_forks = self.merge_forks
+        stats.prune_presorted = self.prune_presorted
+        stats.prune_sorts = self.prune_sorts
         if budget is not None:
             stats.budget_checks = budget.checks
             stats.budget_candidate_pressure = budget.candidate_pressure
@@ -536,9 +583,15 @@ class _Engine:
         """Prune every group in place; return (dropped, surviving) counts."""
         total = 0
         dropped = 0
+        timing = self.options.prune == "timing"
         for key, candidates in list(groups.items()):
-            if self.options.prune == "timing":
-                kept = self._prune_timing(candidates)
+            if timing:
+                kept = _presorted_timing_frontier(candidates)
+                if kept is None:
+                    self.prune_sorts += 1
+                    kept = self._sorted_timing_frontier(candidates)
+                else:
+                    self.prune_presorted += 1
             else:
                 kept = self._prune_pareto(candidates)
             dropped += len(candidates) - len(kept)
@@ -549,7 +602,24 @@ class _Engine:
 
     @staticmethod
     def _prune_timing(candidates: List[DPCandidate]) -> List[DPCandidate]:
-        """Keep the (load, slack) frontier: rising load must buy rising slack."""
+        """Keep the (load, slack) frontier: rising load must buy rising slack.
+
+        Frontiers are maintained load-sorted by the merge and wire
+        passes, so the common case is a single pruning scan with no sort
+        at all (:func:`_presorted_timing_frontier`); only lists thrown
+        out of order — buffered candidates appended at the tail, or
+        equal-load ties reordered by a wire update — pay the sort.
+        """
+        kept = _presorted_timing_frontier(candidates)
+        if kept is not None:
+            return kept
+        return _Engine._sorted_timing_frontier(candidates)
+
+    @staticmethod
+    def _sorted_timing_frontier(
+        candidates: List[DPCandidate],
+    ) -> List[DPCandidate]:
+        """The sort-then-scan fallback for out-of-order candidate lists."""
         ordered = sorted(candidates, key=lambda c: (c.load, -c.slack))
         kept: List[DPCandidate] = []
         best_slack = -math.inf
@@ -625,7 +695,9 @@ def run_dp(
 
     ``coupling`` defaults to the silent model (all noise currents zero),
     which is the right setting for pure DelayOpt; ``driver`` defaults to
-    ``tree.driver``.
+    ``tree.driver``.  ``options.engine`` selects the implementation:
+    ``"reference"`` (this module) or ``"fast"``
+    (:mod:`repro.core.fast_engine`); both return bit-identical outcomes.
     """
     options = options or DPOptions()
     coupling = coupling or CouplingModel.silent()
@@ -635,4 +707,8 @@ def run_dp(
                 f"tree {tree.name!r} has no driver cell; pass driver="
             )
         driver = tree.driver
+    if options.engine == "fast":
+        from .fast_engine import FastEngine
+
+        return FastEngine(tree, library, coupling, options, driver).run()
     return _Engine(tree, library, coupling, options, driver).run()

@@ -42,6 +42,7 @@ def buffopt_result(
     prune: str = "timing",
     collect_stats: bool = False,
     budget: Optional[RunBudget] = None,
+    engine: str = "reference",
 ) -> DPResult:
     """Noise-constrained count-tracking DP run (per-count outcomes)."""
     return run_dp(
@@ -56,6 +57,7 @@ def buffopt_result(
             prune=prune,
             collect_stats=collect_stats,
             budget=budget,
+            engine=engine,
         ),
         driver=driver,
     )

@@ -84,6 +84,17 @@ class EngineStats:
         Peak observed elapsed time as a fraction of the deadline — how
         close the run came to a :class:`~repro.errors.TimeoutError`
         (0 when no deadline).
+    engine:
+        Which DP engine produced this record (``"reference"`` or
+        ``"fast"``; ``"mixed"`` after aggregating across engines).
+    prune_presorted:
+        Timing-prune passes that found their frontier already
+        ``(load, -slack)``-sorted and skipped the sort entirely — the
+        incremental-sorted-frontier fast path.  The reference and fast
+        engines report the same counter, so their pruning behaviour is
+        directly comparable.
+    prune_sorts:
+        Timing-prune passes that had to fall back to a full sort.
     """
 
     candidates_generated: int = 0
@@ -94,6 +105,9 @@ class EngineStats:
     budget_checks: int = 0
     budget_candidate_pressure: float = 0.0
     budget_time_pressure: float = 0.0
+    engine: str = ""
+    prune_presorted: int = 0
+    prune_sorts: int = 0
     phase_seconds: Dict[str, float] = field(
         default_factory=lambda: {phase: 0.0 for phase in PHASES}
     )
@@ -141,6 +155,12 @@ class EngineStats:
         self.candidates_dead += other.candidates_dead
         self.frontier_peak = max(self.frontier_peak, other.frontier_peak)
         self.merge_forks += other.merge_forks
+        self.prune_presorted += other.prune_presorted
+        self.prune_sorts += other.prune_sorts
+        if not self.engine:
+            self.engine = other.engine
+        elif other.engine and other.engine != self.engine:
+            self.engine = "mixed"
         self.budget_checks += other.budget_checks
         self.budget_candidate_pressure = max(
             self.budget_candidate_pressure, other.budget_candidate_pressure
@@ -153,8 +173,9 @@ class EngineStats:
         self.nodes.extend(other.nodes)
 
     def describe(self) -> str:
+        engine = f" [{self.engine}]" if self.engine else ""
         lines = [
-            f"candidates: {self.candidates_generated} generated, "
+            f"candidates{engine}: {self.candidates_generated} generated, "
             f"{self.candidates_pruned} pruned "
             f"({100.0 * self.prune_rate:.1f}%), "
             f"{self.candidates_dead} noise-dead, "
@@ -162,6 +183,11 @@ class EngineStats:
             f"frontier peak: {self.frontier_peak}   "
             f"merge forks: {self.merge_forks}",
         ]
+        if self.prune_presorted or self.prune_sorts:
+            lines.append(
+                f"timing prunes: {self.prune_presorted} presorted "
+                f"(sort skipped), {self.prune_sorts} sorted"
+            )
         if self.budget_checks:
             lines.append(
                 f"budget: {self.budget_checks} checks, peak pressure "

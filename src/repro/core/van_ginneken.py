@@ -53,6 +53,7 @@ def delay_opt_result(
     prune: str = "timing",
     collect_stats: bool = False,
     budget: Optional[RunBudget] = None,
+    engine: str = "reference",
 ) -> DPResult:
     """Count-tracking DelayOpt run exposing the per-count outcomes."""
     return run_dp(
@@ -67,6 +68,7 @@ def delay_opt_result(
             prune=prune,
             collect_stats=collect_stats,
             budget=budget,
+            engine=engine,
         ),
         driver=driver,
     )

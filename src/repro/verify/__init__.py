@@ -33,7 +33,9 @@ from .fuzz import (
     FuzzConfig,
     FuzzReport,
     default_engine,
+    engine_for,
     planted_buggy_engine,
+    planted_buggy_fast_engine,
     replay_file,
     run_fuzz,
     shrink_tree,
@@ -74,7 +76,9 @@ __all__ = [
     "FuzzReport",
     "Counterexample",
     "default_engine",
+    "engine_for",
     "planted_buggy_engine",
+    "planted_buggy_fast_engine",
     "replay_file",
     "run_fuzz",
     "shrink_tree",

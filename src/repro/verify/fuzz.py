@@ -48,12 +48,33 @@ def default_engine(
     coupling: CouplingModel,
     noise_aware: bool,
     max_buffers: Optional[int] = None,
+    dp_engine: str = "reference",
 ) -> DPResult:
-    """The real engine, configured the way the fuzzer checks it."""
+    """The real engine, configured the way the fuzzer checks it.
+
+    ``dp_engine`` selects the DP implementation (``"reference"`` or
+    ``"fast"``) — ``buffopt fuzz --engine fast`` points the whole
+    campaign at the fast engine's code paths.
+    """
     options = DPOptions(
-        noise_aware=noise_aware, track_counts=True, max_buffers=max_buffers
+        noise_aware=noise_aware,
+        track_counts=True,
+        max_buffers=max_buffers,
+        engine=dp_engine,
     )
     return run_dp(tree, library, coupling=coupling, options=options)
+
+
+def engine_for(dp_engine: str) -> Engine:
+    """An :data:`Engine` callable bound to one DP implementation."""
+
+    def engine(tree, library, coupling, noise_aware, max_buffers=None):
+        return default_engine(
+            tree, library, coupling, noise_aware, max_buffers,
+            dp_engine=dp_engine,
+        )
+
+    return engine
 
 
 def planted_buggy_engine(
@@ -82,6 +103,48 @@ def planted_buggy_engine(
     return engine
 
 
+def planted_buggy_fast_engine(min_sinks: int = 2) -> Engine:
+    """A fast engine with a deliberately broken pruning rule.
+
+    On trees with at least ``min_sinks`` sinks the timing prune keeps
+    only the min-load candidate of every group, discarding the rest of
+    the frontier.  Over-pruning is *self-consistent* — every surviving
+    candidate's claims are still correct, so the certificate passes —
+    which is exactly why the fuzzer needs the exhaustive oracle: only a
+    ground-truth comparison notices the optimum went missing.  The
+    self-test asserts the fuzz/shrink loop catches this.
+    """
+    from ..core.fast_engine import FastEngine
+
+    class _OverPruningFastEngine(FastEngine):
+        def _prune_timing(self, candidates):
+            kept = super()._prune_timing(candidates)
+            return kept[:1]
+
+    def engine(tree, library, coupling, noise_aware, max_buffers=None):
+        if len(tree.sinks) < min_sinks:
+            return default_engine(
+                tree, library, coupling, noise_aware, max_buffers,
+                dp_engine="fast",
+            )
+        options = DPOptions(
+            noise_aware=noise_aware,
+            track_counts=True,
+            max_buffers=max_buffers,
+            engine="fast",
+        )
+        driver = tree.driver
+        if driver is None:
+            raise InfeasibleError(
+                f"tree {tree.name!r} has no driver cell; pass driver="
+            )
+        return _OverPruningFastEngine(
+            tree, library, coupling, options, driver
+        ).run()
+
+    return engine
+
+
 @dataclass(frozen=True)
 class FuzzConfig:
     """One fuzz campaign: sizes, seeds, and which checks run."""
@@ -105,6 +168,9 @@ class FuzzConfig:
     #: directory for counterexample JSON files (None: don't write).
     out_dir: Optional[str] = None
     max_counterexamples: int = 10
+    #: DP implementation under test (``"reference"`` or ``"fast"``) when
+    #: no explicit engine callable is passed to :func:`run_fuzz`.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.iterations < 1:
@@ -112,6 +178,11 @@ class FuzzConfig:
         for mode in self.modes:
             if mode not in ("delay", "buffopt"):
                 raise ValueError(f"unknown fuzz mode {mode!r}")
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} "
+                "(expected 'reference' or 'fast')"
+            )
 
 
 @dataclass(frozen=True)
@@ -421,12 +492,13 @@ def run_fuzz(
 ) -> FuzzReport:
     """Run a seeded fuzz campaign; see :class:`FuzzConfig`.
 
-    ``engine`` defaults to the real DP (:func:`default_engine`); the
-    self-test suite passes :func:`planted_buggy_engine` instead and
-    asserts the campaign catches it.
+    ``engine`` defaults to the real DP in the implementation
+    ``config.engine`` names; the self-test suite passes
+    :func:`planted_buggy_engine` / :func:`planted_buggy_fast_engine`
+    instead and asserts the campaign catches them.
     """
     if engine is None:
-        engine = default_engine
+        engine = engine_for(config.engine)
     if library is None:
         library = default_buffer_library()
     if coupling is None:

@@ -93,6 +93,78 @@ class TestFanoutScaling:
         assert tracked.candidates_generated <= plain.candidates_generated * 30
 
 
+class TestFastEngineScaling:
+    """The fast engine's candidate population scales like the reference's.
+
+    Bit-identity (asserted elsewhere) already implies the *generated*
+    counts match; these tests pin the empirical growth rate itself, so a
+    future fast-engine change that kept the answers right but regressed
+    the pruning discipline (e.g. pruning later, generating more) would
+    fail here before it showed up as wall-clock.
+    """
+
+    def test_generated_matches_reference_on_doubling_chains(self):
+        for segments in (16, 32, 64, 128):
+            tree = chain(segments)
+            reference = run_dp(tree, LIBRARY, COUPLING)
+            fast = run_dp(
+                tree, LIBRARY, COUPLING, DPOptions(engine="fast")
+            )
+            assert fast.candidates_generated == reference.candidates_generated
+            assert fast.candidates_kept_peak == reference.candidates_kept_peak
+
+    def test_fast_growth_no_worse_than_reference(self):
+        sizes = (16, 32, 64, 128)
+        generated = {"reference": [], "fast": []}
+        for engine in generated:
+            for segments in sizes:
+                result = run_dp(
+                    chain(segments), LIBRARY, COUPLING,
+                    DPOptions(engine=engine),
+                )
+                generated[engine].append(result.candidates_generated)
+        # Per-doubling growth factors must not exceed the reference's
+        # (they are equal today; <= keeps the test meaningful if the
+        # engines ever legitimately diverge in generation order).
+        for step in range(len(sizes) - 1):
+            fast_ratio = generated["fast"][step + 1] / generated["fast"][step]
+            ref_ratio = (
+                generated["reference"][step + 1]
+                / generated["reference"][step]
+            )
+            assert fast_ratio <= ref_ratio * 1.01
+
+    def test_fast_generated_grows_linearly_on_chains(self):
+        small = run_dp(
+            chain(16), LIBRARY, COUPLING, DPOptions(engine="fast")
+        ).candidates_generated
+        large = run_dp(
+            chain(128), LIBRARY, COUPLING, DPOptions(engine="fast")
+        ).candidates_generated
+        assert large / small <= (128 / 16) * 1.5  # near-linear, like ref
+
+    def test_fast_noise_mode_generates_no_more(self):
+        plain = run_dp(
+            chain(64), LIBRARY, COUPLING, DPOptions(engine="fast")
+        )
+        noisy = run_dp(
+            chain(64), LIBRARY, COUPLING,
+            DPOptions(noise_aware=True, engine="fast"),
+        )
+        assert noisy.candidates_generated <= plain.candidates_generated
+
+    def test_fast_fanout_tracks_node_count(self):
+        trees = [fan(8), fan(32)]
+        counts = [
+            run_dp(
+                t, LIBRARY, COUPLING, DPOptions(engine="fast")
+            ).candidates_generated
+            for t in trees
+        ]
+        node_ratio = len(trees[1]) / len(trees[0])
+        assert counts[1] / counts[0] <= node_ratio * 2.0
+
+
 class TestSizingScaling:
     def test_width_menu_multiplies_generation_linearly(self):
         from repro.core import WireSizingSpec

@@ -1,0 +1,228 @@
+"""Differential suite: the fast engine is bit-identical to the reference.
+
+The fast engine (:mod:`repro.core.fast_engine`) promises *bit-identical*
+:class:`~repro.core.dp.DPOutcome` frontiers — same floats, same
+selections, same order — not merely tolerance-equal ones.  These tests
+hold it to that across:
+
+* hypothesis-generated random trees (both prune rules, both polarity
+  settings, both modes, with and without count tracking),
+* the seeded regression family at the batch level (result signatures),
+* the independent certificate and the exhaustive oracle, so the pair
+  cannot drift together into a shared wrong answer.
+
+The property tests reuse the shared strategies in
+``tests/properties/treegen.py``; the test dirs are not packages, so the
+path is inserted explicitly.
+"""
+
+import pathlib
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "properties")
+)
+from treegen import random_trees  # noqa: E402
+
+from repro import (  # noqa: E402
+    CouplingModel,
+    DPOptions,
+    default_buffer_library,
+    default_technology,
+    run_dp,
+)
+from repro.batch import BatchConfig, BatchOptimizer, SerialExecutor  # noqa: E402
+from repro.core import WireSizingSpec  # noqa: E402
+from repro.verify import (  # noqa: E402
+    certify_result,
+    compare_result_to_oracle,
+    exhaustive_oracle,
+)
+from repro.verify.treegen import seeded_tree  # noqa: E402
+from repro.workloads import WorkloadConfig, population_specs  # noqa: E402
+
+LIBRARY = default_buffer_library()
+COUPLING = CouplingModel.estimation_mode(default_technology())
+
+default_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def both_engines(tree, **option_kwargs):
+    reference = run_dp(
+        tree, LIBRARY, COUPLING,
+        DPOptions(engine="reference", **option_kwargs),
+    )
+    fast = run_dp(
+        tree, LIBRARY, COUPLING,
+        DPOptions(engine="fast", **option_kwargs),
+    )
+    return reference, fast
+
+
+def assert_identical(reference, fast, context=""):
+    # DPOutcome equality is exact float equality field by field, and the
+    # tuple comparison is order-sensitive: this is the bit-identity bar.
+    assert reference.outcomes == fast.outcomes, context
+    assert reference.candidates_generated == fast.candidates_generated, context
+    assert reference.candidates_kept_peak == fast.candidates_kept_peak, context
+
+
+class TestPropertyDifferential:
+    @default_settings
+    @given(tree=random_trees(with_rats=True))
+    def test_delay_mode_identical(self, tree):
+        assert_identical(*both_engines(tree))
+
+    @default_settings
+    @given(tree=random_trees(with_rats=True))
+    def test_noise_mode_identical(self, tree):
+        assert_identical(*both_engines(tree, noise_aware=True))
+
+    @default_settings
+    @given(tree=random_trees(with_rats=True))
+    def test_pareto_prune_identical(self, tree):
+        assert_identical(
+            *both_engines(tree, noise_aware=True, prune="pareto")
+        )
+
+    @default_settings
+    @given(tree=random_trees(with_rats=True))
+    def test_polarity_free_identical(self, tree):
+        assert_identical(
+            *both_engines(tree, noise_aware=True, enforce_polarity=False)
+        )
+
+    @default_settings
+    @given(tree=random_trees(with_rats=True))
+    def test_count_tracking_identical(self, tree):
+        assert_identical(
+            *both_engines(
+                tree, noise_aware=True, track_counts=True, max_buffers=3
+            )
+        )
+
+    @default_settings
+    @given(tree=random_trees(with_rats=True))
+    def test_wire_sizing_identical(self, tree):
+        assert_identical(
+            *both_engines(tree, sizing=WireSizingSpec(widths=(1.0, 1.6)))
+        )
+
+
+class TestSeededDifferential:
+    def test_seeded_family_identical_with_telemetry(self):
+        """Per-node telemetry matches too, not just the final frontier."""
+        for seed in range(20):
+            tree = seeded_tree(seed, with_rats=True)
+            for noise_aware in (False, True):
+                reference, fast = both_engines(
+                    tree,
+                    noise_aware=noise_aware,
+                    track_counts=True,
+                    collect_stats=True,
+                )
+                assert_identical(
+                    reference, fast,
+                    f"seed {seed} noise_aware={noise_aware}",
+                )
+                ref_stats, fast_stats = reference.stats, fast.stats
+                assert ref_stats.engine == "reference"
+                assert fast_stats.engine == "fast"
+                ref_nodes = {n.name: n for n in ref_stats.nodes}
+                fast_nodes = {n.name: n for n in fast_stats.nodes}
+                assert ref_nodes.keys() == fast_nodes.keys()
+                for name, ref_node in ref_nodes.items():
+                    fast_node = fast_nodes[name]
+                    assert ref_node.generated == fast_node.generated
+                    assert ref_node.pruned == fast_node.pruned
+                    assert ref_node.dead == fast_node.dead
+                    assert ref_node.frontier == fast_node.frontier
+                    assert ref_node.merge_forks == fast_node.merge_forks
+
+    def test_batch_signatures_identical(self):
+        workload = WorkloadConfig(nets=12, seed=404)
+        specs = population_specs(workload)
+        for mode in ("delay", "buffopt"):
+            reports = {}
+            for engine in ("reference", "fast"):
+                optimizer = BatchOptimizer(
+                    config=BatchConfig(
+                        mode=mode,
+                        max_buffers=4,
+                        keep_trees=False,
+                        engine=engine,
+                    ),
+                    executor=SerialExecutor(),
+                    workload=workload,
+                )
+                reports[engine] = optimizer.optimize_specs(specs)
+            assert (
+                reports["reference"].signatures()
+                == reports["fast"].signatures()
+            ), f"mode {mode}: batch results diverged between engines"
+
+
+class TestFastEngineIndependentChecks:
+    """Fast results against the *independent* validators.
+
+    Bit-identity alone could hide a shared bug; the certificate re-derives
+    every claim from the physics and the oracle enumerates assignments.
+    """
+
+    def test_fast_results_certify(self):
+        for seed in range(8):
+            tree = seeded_tree(seed, with_rats=True)
+            result = run_dp(
+                tree, LIBRARY, COUPLING,
+                DPOptions(noise_aware=True, engine="fast"),
+            )
+            certificate = certify_result(result, COUPLING, tree.driver)
+            assert certificate.ok, (
+                f"seed {seed}: {certificate.describe()}"
+            )
+
+    def test_fast_matches_oracle_on_small_nets(self):
+        small = LIBRARY.restricted(["buf_x1", "inv_x2"])
+        checked = 0
+        seed = 0
+        while checked < 10:
+            tree = seeded_tree(seed, max_internal=3, with_rats=True)
+            seed += 1
+            sites = sum(
+                1 for n in tree.nodes() if n.is_internal and n.feasible
+            )
+            if not 1 <= sites <= 6:
+                continue
+            checked += 1
+            result = run_dp(
+                tree, small, COUPLING,
+                DPOptions(
+                    noise_aware=True, track_counts=True, engine="fast"
+                ),
+            )
+            oracle = exhaustive_oracle(
+                tree, small, COUPLING, noise_aware=True, max_sites=6
+            )
+            disagreements = compare_result_to_oracle(
+                result, oracle, exact=True
+            )
+            assert not disagreements, (
+                f"{tree.name}: "
+                + "; ".join(d.describe() for d in disagreements)
+            )
+
+
+class TestEngineOption:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            DPOptions(engine="turbo")
+
+    def test_default_engine_is_reference(self):
+        assert DPOptions().engine == "reference"

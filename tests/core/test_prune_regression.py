@@ -1,0 +1,138 @@
+"""Regression: the sort-free `_prune_timing` equals the old sorted one.
+
+`_prune_timing` used to `sorted()` every candidate list before scanning;
+it now skips the sort whenever the list is already ``(load, -slack)``
+ordered (the common case — merge and wire passes preserve load order)
+and only falls back to sorting when the buffering pass threw the list
+out of order.  These tests pin the new implementation to the *old* one,
+byte for byte, on frontiers harvested from real engine runs over seeded
+nets — not synthetic lists, so every shape the engine actually produces
+is covered.
+"""
+
+import math
+import random
+
+from repro import (
+    CouplingModel,
+    DPOptions,
+    default_buffer_library,
+    default_technology,
+    run_dp,
+)
+from repro.core.dp import (
+    DPCandidate,
+    _Engine,
+    _presorted_timing_frontier,
+)
+from repro.verify.treegen import seeded_tree
+
+LIBRARY = default_buffer_library()
+COUPLING = CouplingModel.estimation_mode(default_technology())
+
+
+def old_prune_timing(candidates):
+    """The pre-optimization implementation: always sort, then scan."""
+    ordered = sorted(candidates, key=lambda c: (c.load, -c.slack))
+    kept = []
+    best_slack = -math.inf
+    for cand in ordered:
+        if cand.slack > best_slack:
+            kept.append(cand)
+            best_slack = cand.slack
+    return kept
+
+
+class _HarvestingEngine(_Engine):
+    """Records every candidate list the prune pass sees, pre-prune."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.harvested = []
+
+    def _prune(self, groups):
+        for candidates in groups.values():
+            self.harvested.append(list(candidates))
+        return super()._prune(groups)
+
+
+def harvest(seed, noise_aware):
+    tree = seeded_tree(seed, with_rats=True)
+    options = DPOptions(noise_aware=noise_aware, track_counts=True)
+    engine = _HarvestingEngine(
+        tree, LIBRARY, COUPLING, options, tree.driver
+    )
+    engine.run()
+    return engine.harvested
+
+
+class TestPruneRegression:
+    def test_identical_to_old_on_harvested_frontiers(self):
+        lists = 0
+        for seed in range(12):
+            for noise_aware in (False, True):
+                for candidates in harvest(seed, noise_aware):
+                    new = _Engine._prune_timing(list(candidates))
+                    old = old_prune_timing(list(candidates))
+                    # Same candidate *objects* in the same order — not
+                    # merely equal values.
+                    assert [id(c) for c in new] == [id(c) for c in old]
+                    lists += 1
+        assert lists > 200  # the harvest actually exercised the engine
+
+    def test_identical_on_shuffled_frontiers(self):
+        """Out-of-order lists must take the sort fallback and still agree."""
+        rng = random.Random(7)
+        checked = 0
+        for seed in range(6):
+            for candidates in harvest(seed, noise_aware=False):
+                shuffled = list(candidates)
+                rng.shuffle(shuffled)
+                new = _Engine._prune_timing(list(shuffled))
+                old = old_prune_timing(list(shuffled))
+                assert [id(c) for c in new] == [id(c) for c in old]
+                checked += 1
+        assert checked > 50
+
+    def test_presorted_helper_bails_on_disorder(self):
+        def cand(load, slack):
+            return DPCandidate(load, slack, 0.0, 1.0, 0, None)
+
+        ordered = [cand(1.0, 0.1), cand(2.0, 0.5), cand(3.0, 0.2)]
+        assert _presorted_timing_frontier(ordered) == old_prune_timing(ordered)
+        # load decreases -> not sorted -> must refuse, not mis-prune.
+        assert _presorted_timing_frontier(
+            [cand(2.0, 0.5), cand(1.0, 0.1)]
+        ) is None
+        # equal loads with *rising* slack violate (load, -slack) order.
+        assert _presorted_timing_frontier(
+            [cand(1.0, 0.1), cand(1.0, 0.5)]
+        ) is None
+        # equal loads with falling slack are in order; dominated one goes.
+        kept = _presorted_timing_frontier([cand(1.0, 0.5), cand(1.0, 0.1)])
+        assert kept is not None and len(kept) == 1
+
+    def test_prune_telemetry_counts_both_paths(self):
+        tree = seeded_tree(3, with_rats=True)
+        result = run_dp(
+            tree, LIBRARY, COUPLING,
+            DPOptions(noise_aware=True, track_counts=True,
+                      collect_stats=True),
+        )
+        stats = result.stats
+        assert stats is not None
+        assert stats.engine == "reference"
+        # Buffered candidates are appended out of load order at nearly
+        # every internal node, so both paths must actually fire.
+        assert stats.prune_presorted > 0
+        assert stats.prune_sorts > 0
+        assert "timing prunes" in stats.describe()
+
+    def test_pareto_runs_count_no_timing_prunes(self):
+        tree = seeded_tree(3, with_rats=True)
+        result = run_dp(
+            tree, LIBRARY, COUPLING,
+            DPOptions(prune="pareto", collect_stats=True),
+        )
+        assert result.stats.prune_presorted == 0
+        assert result.stats.prune_sorts == 0

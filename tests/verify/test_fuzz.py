@@ -16,7 +16,9 @@ from repro.cli import main
 from repro.io import net_from_dict, net_to_dict
 from repro.verify import (
     FuzzConfig,
+    engine_for,
     planted_buggy_engine,
+    planted_buggy_fast_engine,
     replay_file,
     run_fuzz,
     shrink_tree,
@@ -77,6 +79,44 @@ class TestCampaign:
         assert net_to_dict(net) == shrunk
 
 
+class TestFastEngineCampaign:
+    """The fuzz loop exercised through the fast engine seam.
+
+    The planted fast-engine bug over-prunes the frontier, which keeps the
+    surviving claims self-consistent (the certificate passes) — only the
+    oracle cross-check catches it.  This proves the campaign's oracle leg
+    pulls its weight for the fast engine, not just the reference one.
+    """
+
+    def test_clean_fast_engine_survives_seeded_campaign(self):
+        report = run_fuzz(
+            FuzzConfig(iterations=25, seed=11, engine="fast")
+        )
+        assert report.ok, report.describe()
+        assert report.iterations_run == 25
+
+    def test_planted_fast_bug_is_caught_and_shrunk(self, tmp_path):
+        config = FuzzConfig(
+            iterations=40, seed=5, out_dir=str(tmp_path),
+            max_counterexamples=2,
+        )
+        report = run_fuzz(config, engine=planted_buggy_fast_engine())
+        assert not report.ok
+        example = report.counterexamples[0]
+        assert example.shrunk_nodes <= example.original_nodes
+        assert report.written_files
+        # the repro replays against the buggy fast engine and passes
+        # against both healthy engines
+        path = report.written_files[0]
+        assert replay_file(path, engine=planted_buggy_fast_engine())
+        assert replay_file(path, engine=engine_for("fast")) == []
+        assert replay_file(path) == []
+
+    def test_fuzz_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            FuzzConfig(iterations=5, engine="turbo")
+
+
 class TestShrinker:
     def test_shrinks_to_sink_count_predicate(self):
         tree = seeded_tree(0, max_internal=6, with_rats=True)
@@ -124,6 +164,23 @@ class TestCli:
         code = main(["fuzz", "--iters", "10", "--seed", "11"])
         assert code == 0
         assert "OK" in capsys.readouterr().out
+
+    def test_fuzz_cli_fast_engine_clean_and_planted(self, tmp_path, capsys):
+        code = main([
+            "fuzz", "--iters", "10", "--seed", "11", "--engine", "fast",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "OK" in captured.out
+        assert "engine fast" in captured.err  # progress line names it
+
+        out = tmp_path / "repros"
+        code = main([
+            "fuzz", "--iters", "40", "--seed", "5", "--engine", "fast",
+            "--plant-bug", "--out", str(out), "--max-counterexamples", "1",
+        ])
+        assert code == 1
+        assert sorted(out.glob("*.json"))
 
 
 @pytest.mark.fuzz
