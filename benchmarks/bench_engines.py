@@ -113,6 +113,68 @@ def head_to_head(sinks: int, repeats: int):
     return timings
 
 
+def overhead_gate(sinks: int, repeats: int, budget: float = 0.02) -> bool:
+    """The no-overhead-when-off contract, measured and gated.
+
+    Baseline is the raw ``run_dp`` call; the candidate is the
+    :func:`repro.api.dp_result` facade with all instrumentation
+    disabled — it must stay within ``budget`` (2 %) of the baseline,
+    best-of-``repeats`` each, interleaved to even out thermal drift.
+    The traced+profiled run is measured and reported alongside (not
+    gated) so regressions in *enabled* overhead stay visible too.
+    """
+    from repro.api import dp_result
+    from repro.obs import PhaseProfiler
+
+    library = default_buffer_library().restricted(list(EIGHT_BUFFER_NAMES))
+    coupling = CouplingModel.estimation_mode(default_technology())
+    tree = chain_net(sinks)
+    options = DPOptions(
+        noise_aware=True, track_counts=True, max_buffers=4,
+        engine="reference",
+    )
+    profiler = PhaseProfiler()
+    raw_best = facade_best = traced_best = float("inf")
+    for _ in range(repeats):
+        start = perf_counter()
+        raw = run_dp(tree, library, coupling, options)
+        raw_best = min(raw_best, perf_counter() - start)
+
+        start = perf_counter()
+        plain = dp_result(
+            tree, library, coupling, mode="buffopt", max_buffers=4
+        )
+        facade_best = min(facade_best, perf_counter() - start)
+
+        start = perf_counter()
+        traced = dp_result(
+            tree, library, coupling, mode="buffopt", max_buffers=4,
+            profile=profiler,
+        )
+        traced_best = min(traced_best, perf_counter() - start)
+        profiler.finish()
+
+    assert raw.outcomes == plain.outcomes == traced.outcomes, (
+        "facade/profiled runs diverged from the raw engine"
+    )
+    overhead = facade_best / raw_best - 1.0
+    traced_overhead = traced_best / raw_best - 1.0
+    print(
+        f"facade overhead (obs disabled): {overhead * 100:+5.2f}% "
+        f"(gate: <= {budget * 100:.0f}%)   "
+        f"traced+profiled: {traced_overhead * 100:+5.2f}% (reported only)"
+    )
+    if overhead > budget:
+        print(
+            f"FAIL: disabled-instrumentation facade overhead "
+            f"{overhead * 100:.2f}% exceeds the {budget * 100:.0f}% budget "
+            f"on the {sinks}-sink net",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def regression_family(nets: int, seed: int):
     """Both engines over the seeded fleet, certified; returns True if OK."""
     workload = WorkloadConfig(nets=nets, seed=seed)
@@ -186,6 +248,9 @@ def main(argv=None) -> int:
         print(f"{mode:8s}: reference {reference_s * 1e3:9.2f} ms   "
               f"fast {fast_s * 1e3:9.2f} ms   speedup {speedup:.2f}x")
     print("head-to-head outcomes identical in both modes")
+
+    if not overhead_gate(sinks, max(repeats, 5)):
+        return 1
 
     if not regression_family(nets, args.seed):
         return 1

@@ -20,7 +20,21 @@ every substrate they need:
 * :mod:`repro.experiments` — regeneration of the paper's Tables I–IV and
   characterization figures.
 
-Quickstart::
+The stable programmatic surface is :mod:`repro.api` — a
+:class:`~repro.api.Session` facade unifying BuffOpt and DelayOpt behind
+one call, with optional tracing/metrics from :mod:`repro.obs`::
+
+    from repro import Session, SessionOptions
+    from repro.experiments import default_experiment
+
+    experiment = default_experiment(nets=10)
+    with Session(SessionOptions(mode="buffopt"),
+                 library=experiment.library,
+                 coupling=experiment.coupling) as session:
+        outcome = session.optimize(experiment.nets[0].tree)
+        print(outcome.describe())
+
+Quickstart (low-level single-sink entry point)::
 
     from repro import (
         default_technology, default_buffer_library, DriverCell,
@@ -37,6 +51,7 @@ Quickstart::
     print(solution.describe())
 """
 
+from .api import OptimizeResult, Session, SessionOptions, dp_result
 from .core import (
     BufferSolution,
     ContinuousSolution,
@@ -60,6 +75,7 @@ from .errors import (
     AnalysisError,
     BudgetExceededError,
     InfeasibleError,
+    ObservabilityError,
     ReproError,
     SimulationError,
     TechnologyError,
@@ -116,10 +132,14 @@ __all__ = [
     "DriverCell",
     "InfeasibleError",
     "NoiseReport",
+    "ObservabilityError",
+    "OptimizeResult",
     "PlacedBuffer",
     "ReproError",
     "RoutingTree",
     "RunBudget",
+    "Session",
+    "SessionOptions",
     "SimulationError",
     "SinkCell",
     "SinkSite",
@@ -139,6 +159,7 @@ __all__ = [
     "default_buffer_library",
     "default_cell_library",
     "default_technology",
+    "dp_result",
     "has_noise_violation",
     "insert_buffers_multi_sink",
     "insert_buffers_single_sink",

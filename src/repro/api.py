@@ -1,0 +1,385 @@
+"""The stable public API: one session, one optimize call, one result.
+
+PRs 1–4 grew four overlapping entry points (``run_dp``,
+``buffopt_result``, ``delay_opt_result``, ``BatchConfig`` + four CLI
+subcommands); this module is the consolidation seam on top of them:
+
+* :func:`dp_result` — the unified functional entry: one signature, a
+  ``mode`` switch (``"buffopt"`` / ``"delay"``), every engine knob.
+  ``buffopt_result`` and ``delay_opt_result`` are now deprecation shims
+  over it (bit-identical, pinned by the parity tests), and the batch
+  layer calls it directly.
+* :class:`Session` — the object facade owning the observability wiring
+  (:class:`~repro.obs.Tracer`, :class:`~repro.obs.MetricsRegistry`,
+  optional JSONL trace / Prometheus exports) plus the library /
+  coupling / technology defaults, so ``Session(options).optimize(net)``
+  is the whole quickstart::
+
+      from repro.api import Session, SessionOptions
+
+      with Session(SessionOptions(mode="buffopt", engine="fast")) as s:
+          result = s.optimize(tree)
+          print(result.describe())
+
+All observability is opt-in: a default ``Session`` traces nothing,
+meters into an in-memory registry only, and runs the engines byte-for-
+byte identically to the raw entry points (the bench gate enforces ≤2 %
+facade overhead with instrumentation disabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Optional
+
+from .core.budget import RunBudget
+from .core.dp import DPOptions, DPOutcome, DPResult, run_dp
+from .core.solution import BufferSolution
+from .errors import ReproError
+from .library.buffers import BufferLibrary, default_buffer_library
+from .library.cells import DriverCell
+from .library.technology import Technology, default_technology
+from .noise.coupling import CouplingModel
+from .obs import (
+    NULL_TRACER,
+    EventSink,
+    MetricsRegistry,
+    PhaseProfiler,
+    Tracer,
+)
+from .tree.segmenting import segment_tree
+from .tree.topology import RoutingTree
+from .units import UM
+
+#: the two DP modes the facade exposes (Algorithm 3 vs the baseline).
+API_MODES = ("buffopt", "delay")
+
+
+def dp_result(
+    tree: RoutingTree,
+    library: BufferLibrary,
+    coupling: Optional[CouplingModel] = None,
+    *,
+    mode: str = "buffopt",
+    driver: Optional[DriverCell] = None,
+    max_buffers: Optional[int] = None,
+    enforce_polarity: bool = True,
+    prune: str = "timing",
+    collect_stats: bool = False,
+    budget: Optional[RunBudget] = None,
+    engine: str = "reference",
+    profile: Optional[PhaseProfiler] = None,
+) -> DPResult:
+    """One count-tracking DP run; the union of the legacy entry points.
+
+    ``mode="buffopt"`` is the paper's Algorithm 3 (noise-aware; a
+    ``coupling`` model is required), ``mode="delay"`` the DelayOpt
+    baseline (``coupling`` is ignored — the engine runs silent).
+    ``profile`` optionally installs a
+    :class:`~repro.obs.PhaseProfiler` on the engine; ``None`` (the
+    default) leaves both engines byte-for-byte uninstrumented.
+    """
+    if mode not in API_MODES:
+        raise ValueError(
+            f"unknown mode {mode!r} (expected one of {API_MODES})"
+        )
+    noise_aware = mode == "buffopt"
+    if noise_aware:
+        if coupling is None:
+            raise ValueError(
+                "mode='buffopt' requires a coupling model (pass "
+                "CouplingModel.estimation_mode(technology) or similar)"
+            )
+    else:
+        coupling = CouplingModel.silent()
+    options = DPOptions(
+        noise_aware=noise_aware,
+        track_counts=True,
+        max_buffers=max_buffers,
+        enforce_polarity=enforce_polarity,
+        prune=prune,
+        collect_stats=collect_stats,
+        budget=budget,
+        engine=engine,
+        profile=profile,
+    )
+    return run_dp(tree, library, coupling=coupling, options=options,
+                  driver=driver)
+
+
+@dataclass(frozen=True)
+class SessionOptions:
+    """Per-session optimization + observability policy.
+
+    The optimization fields mirror :class:`~repro.batch.BatchConfig`
+    (same names, same semantics) so a session and a batch configured
+    alike produce identical solutions.
+    """
+
+    #: ``"buffopt"`` (Problem 3: fewest buffers meeting noise + timing)
+    #: or ``"delay"`` (DelayOpt: maximum slack, noise ignored).
+    mode: str = "buffopt"
+    #: DP implementation, ``"reference"`` or ``"fast"`` (bit-identical).
+    engine: str = "reference"
+    #: Lillis count cap (``None`` = uncapped).
+    max_buffers: Optional[int] = None
+    #: engine pruning rule: ``"timing"`` (paper) or ``"pareto"``.
+    prune: str = "timing"
+    #: BuffOpt slack floor for the fewest-buffers selection.
+    min_slack: float = 0.0
+    #: wire segmentation applied before the DP; ``None`` skips it.
+    max_segment_length: Optional[float] = 500 * UM
+    enforce_polarity: bool = True
+    #: collect :class:`~repro.core.stats.EngineStats` per net.
+    collect_stats: bool = False
+    #: cooperative per-net deadline / candidate budget (as in batch).
+    net_deadline: Optional[float] = None
+    net_max_candidates: Optional[int] = None
+    #: wrap the DP phase methods with a per-session
+    #: :class:`~repro.obs.PhaseProfiler` (per-phase wall time on every
+    #: :class:`OptimizeResult`; ``False`` = engines untouched).
+    profile_phases: bool = False
+    #: write a JSONL span/event trace of the session here (``None`` =
+    #: no trace; in-memory spans are kept only when tracing is on).
+    trace_path: Optional[str] = None
+    #: write Prometheus text metrics here on :meth:`Session.close`.
+    metrics_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in API_MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r} (expected one of {API_MODES})"
+            )
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} "
+                "(expected 'reference' or 'fast')"
+            )
+        if self.prune not in ("timing", "pareto"):
+            raise ValueError(f"unknown prune rule {self.prune!r}")
+        if (
+            self.max_segment_length is not None
+            and self.max_segment_length <= 0
+        ):
+            raise ValueError(
+                "max_segment_length must be positive or None, got "
+                f"{self.max_segment_length}"
+            )
+
+
+@dataclass(frozen=True)
+class OptimizeResult:
+    """One net's outcome through the facade: selection plus provenance.
+
+    Wraps the full per-count :class:`~repro.core.dp.DPResult` (so every
+    outcome stays reachable) together with the mode's selected
+    :class:`~repro.core.dp.DPOutcome` and the segmented work tree the
+    assignment refers to.
+    """
+
+    name: str
+    mode: str
+    seconds: float
+    tree: RoutingTree
+    result: DPResult
+    outcome: DPOutcome
+    #: per-phase engine wall time, present when the session profiles.
+    phase_seconds: Optional[Dict[str, float]] = None
+
+    @property
+    def buffer_count(self) -> int:
+        return self.outcome.buffer_count
+
+    @property
+    def slack(self) -> float:
+        return self.outcome.slack
+
+    @property
+    def noise_feasible(self) -> bool:
+        return self.outcome.noise_feasible
+
+    def solution(self) -> BufferSolution:
+        """The selected assignment, materialized on the work tree."""
+        return self.result.solution(self.outcome)
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.name} ({self.mode}): {self.buffer_count} buffer(s), "
+            f"slack {self.slack:.4g}, "
+            f"noise {'ok' if self.noise_feasible else 'violated'}, "
+            f"{self.seconds * 1e3:.2f} ms"
+        ]
+        if self.phase_seconds:
+            shares = "  ".join(
+                f"{phase}: {spent * 1e3:.2f} ms"
+                for phase, spent in self.phase_seconds.items()
+                if spent > 0.0
+            )
+            if shares:
+                lines.append(f"  phases: {shares}")
+        return "\n".join(lines)
+
+
+class Session:
+    """The stable facade: defaults, observability, and one entry point.
+
+    Parameters beyond ``options`` override the paper-default substrate
+    (11-buffer library, estimation-mode coupling).  ``tracer`` /
+    ``metrics`` inject externally owned instrumentation — e.g. the CLI
+    shares one registry between a session and a batch — otherwise the
+    session builds its own from ``options.trace_path`` /
+    ``options.metrics_path``.
+
+    Sessions are context managers; :meth:`close` flushes the Prometheus
+    export and closes an owned trace sink.
+    """
+
+    def __init__(
+        self,
+        options: Optional[SessionOptions] = None,
+        *,
+        library: Optional[BufferLibrary] = None,
+        coupling: Optional[CouplingModel] = None,
+        technology: Optional[Technology] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.options = options or SessionOptions()
+        self.technology = technology or default_technology()
+        self.library = library or default_buffer_library()
+        self.coupling = coupling or CouplingModel.estimation_mode(
+            self.technology
+        )
+        self._owns_tracer = tracer is None
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.options.trace_path is not None:
+            self.tracer = Tracer(sink=EventSink(self.options.trace_path))
+        else:
+            self.tracer = NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.profiler = (
+            PhaseProfiler(metrics=self.metrics)
+            if self.options.profile_phases
+            else None
+        )
+        self._nets = self.metrics.counter(
+            "buffopt_session_nets_total",
+            "nets optimized through the session facade",
+        )
+        self._seconds = self.metrics.histogram(
+            "buffopt_session_optimize_seconds",
+            "wall-clock seconds per Session.optimize call",
+        )
+        self._closed = False
+
+    def _budget(self) -> Optional[RunBudget]:
+        if (
+            self.options.net_deadline is None
+            and self.options.net_max_candidates is None
+        ):
+            return None
+        budget = RunBudget(
+            deadline_seconds=self.options.net_deadline,
+            max_candidates=self.options.net_max_candidates,
+        )
+        budget.start()
+        return budget
+
+    def optimize(
+        self,
+        tree: RoutingTree,
+        driver: Optional[DriverCell] = None,
+    ) -> OptimizeResult:
+        """Segment, run the DP, select the mode's outcome, meter it all.
+
+        Raises the engine's own errors (:class:`InfeasibleError`,
+        budget/deadline errors) unchanged — the facade adds telemetry,
+        never failure semantics.
+        """
+        options = self.options
+        start = perf_counter()
+        with self.tracer.span(
+            "session.optimize",
+            net=tree.name,
+            mode=options.mode,
+            engine=options.engine,
+        ) as span:
+            try:
+                budget = self._budget()
+                if options.max_segment_length is not None:
+                    work_tree = segment_tree(
+                        tree, options.max_segment_length
+                    )
+                else:
+                    work_tree = tree
+                result = dp_result(
+                    work_tree,
+                    self.library,
+                    self.coupling if options.mode == "buffopt" else None,
+                    mode=options.mode,
+                    driver=driver,
+                    max_buffers=options.max_buffers,
+                    enforce_polarity=options.enforce_polarity,
+                    prune=options.prune,
+                    collect_stats=options.collect_stats,
+                    budget=budget,
+                    engine=options.engine,
+                    profile=self.profiler,
+                )
+                if options.mode == "buffopt":
+                    outcome = result.fewest_buffers(
+                        min_slack=options.min_slack
+                    )
+                else:
+                    outcome = result.best(require_noise=False)
+            except ReproError as exc:
+                self._nets.inc(
+                    mode=options.mode, engine=options.engine,
+                    status=type(exc).__name__,
+                )
+                raise
+            seconds = perf_counter() - start
+            phase_seconds = (
+                None if self.profiler is None else self.profiler.finish()
+            )
+            span.annotate(
+                buffer_count=outcome.buffer_count,
+                slack=outcome.slack,
+                noise_feasible=outcome.noise_feasible,
+                candidates_generated=result.candidates_generated,
+            )
+        self._nets.inc(mode=options.mode, engine=options.engine, status="ok")
+        self._seconds.observe(
+            seconds, mode=options.mode, engine=options.engine
+        )
+        return OptimizeResult(
+            name=work_tree.name,
+            mode=options.mode,
+            seconds=seconds,
+            tree=work_tree,
+            result=result,
+            outcome=outcome,
+            phase_seconds=phase_seconds,
+        )
+
+    def export_metrics(self) -> str:
+        """The session's metrics in Prometheus text format."""
+        return self.metrics.to_prometheus()
+
+    def close(self) -> None:
+        """Write the Prometheus export (if configured), close the trace."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.options.metrics_path is not None:
+            self.metrics.write_prometheus(self.options.metrics_path)
+        if self._owns_tracer:
+            self.tracer.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

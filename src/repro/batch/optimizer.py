@@ -10,10 +10,15 @@ results plus an aggregate :class:`BatchReport`.
 Design points:
 
 * **Bit-identical to single-net calls.**  Each worker runs exactly
-  :func:`optimize_net`, which wraps the same public entry points
-  (:func:`~repro.core.noise_delay.buffopt_result` /
-  :func:`~repro.core.van_ginneken.delay_opt_result`) a caller would use
+  :func:`optimize_net`, which wraps the same public entry point
+  (:func:`repro.api.dp_result`, the facade behind the legacy
+  ``buffopt_result`` / ``delay_opt_result`` shims) a caller would use
   directly; the differential harness asserts equality for every executor.
+* **Observable.**  Passing a :class:`~repro.obs.Tracer` and/or
+  :class:`~repro.obs.MetricsRegistry` to :class:`BatchOptimizer` emits
+  batch/map/fallback spans, one event per completed net, and
+  fleet-level counters/histograms (``buffopt batch --trace/--metrics``
+  rides this); omitting both keeps every call site on the no-op path.
 * **Deterministic under multiprocessing.**  Spec items carry explicit
   per-net seeds (:class:`~repro.workloads.NetSpec`), so worker-side
   generation never depends on inherited RNG state or scheduling order.
@@ -46,11 +51,10 @@ from typing import (
     Union,
 )
 
+from ..api import dp_result
 from ..core.budget import RunBudget
-from ..core.noise_delay import buffopt_result
 from ..core.solution import BufferSolution
 from ..core.stats import EngineStats
-from ..core.van_ginneken import delay_opt_result
 from ..errors import (
     BudgetExceededError,
     CertificateError,
@@ -63,6 +67,7 @@ from ..library.buffers import BufferLibrary, BufferType, default_buffer_library
 from ..library.cells import CellLibrary, default_cell_library
 from ..library.technology import Technology, default_technology
 from ..noise.coupling import CouplingModel
+from ..obs import NULL_TRACER, MetricsRegistry, Tracer
 from ..tree.segmenting import segment_tree
 from ..tree.topology import RoutingTree
 from ..units import UM
@@ -382,6 +387,33 @@ class BatchReport:
     def signatures(self) -> Tuple[Tuple, ...]:
         return tuple(r.signature() for r in self.results)
 
+    def to_json(self) -> Dict[str, Any]:
+        """Machine-readable fleet summary (``buffopt batch --json``)."""
+        return {
+            "kind": "buffopt-batch-report",
+            "mode": self.mode,
+            "executor": self.executor,
+            "nets": len(self.results),
+            "ok": len(self.ok_results),
+            "failed": self.failure_count,
+            "failure_taxonomy": self.failure_taxonomy(),
+            "retries": self.retry_count(),
+            "wall_seconds": self.wall_seconds,
+            "net_seconds": self.net_seconds,
+            "nets_per_second": self.nets_per_second(),
+            "total_buffers": self.total_buffers(),
+            "buffer_histogram": {
+                str(count): nets
+                for count, nets in self.buffer_histogram().items()
+            },
+            "total_candidates": self.total_candidates(),
+            "certified": (
+                self.certified_count
+                if any(r.certified is not None for r in self.results)
+                else None
+            ),
+        }
+
     def describe(self) -> str:
         lines = [
             f"batch: {len(self.results)} nets, mode={self.mode}, "
@@ -445,28 +477,20 @@ def optimize_net(
     outcome = None
     result = None
     try:
+        result = dp_result(
+            work_tree,
+            library,
+            coupling if config.mode == "buffopt" else None,
+            mode=config.mode,
+            max_buffers=config.max_buffers,
+            prune=config.prune,
+            collect_stats=config.collect_stats,
+            budget=budget,
+            engine=config.engine,
+        )
         if config.mode == "buffopt":
-            result = buffopt_result(
-                work_tree,
-                library,
-                coupling,
-                max_buffers=config.max_buffers,
-                prune=config.prune,
-                collect_stats=config.collect_stats,
-                budget=budget,
-                engine=config.engine,
-            )
             outcome = result.fewest_buffers(min_slack=config.min_slack)
         else:
-            result = delay_opt_result(
-                work_tree,
-                library,
-                max_buffers=config.max_buffers,
-                prune=config.prune,
-                collect_stats=config.collect_stats,
-                budget=budget,
-                engine=config.engine,
-            )
             outcome = result.best(require_noise=False)
     except (InfeasibleError, BudgetExceededError, TimeoutError) as exc:
         failure = FailureRecord(
@@ -631,6 +655,8 @@ class BatchOptimizer:
         cells: Optional[CellLibrary] = None,
         workload: Optional[WorkloadConfig] = None,
         faults: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.technology = technology or default_technology()
         self.library = library or default_buffer_library()
@@ -645,6 +671,10 @@ class BatchOptimizer:
         )
         #: deterministic fault-injection schedule (tests / chaos drills).
         self.faults = faults
+        #: span/event collector; ``None`` collapses to the no-op tracer.
+        self.tracer = tracer or NULL_TRACER
+        #: fleet metrics registry; ``None`` disables metering entirely.
+        self.metrics = metrics
 
     def _setup(
         self, config: Optional[BatchConfig] = None
@@ -713,20 +743,70 @@ class BatchOptimizer:
             index for index, name in enumerate(names) if name not in done
         ]
         worker = functools.partial(_optimize_item, self._setup())
+        executor_name = getattr(
+            self.executor, "name", type(self.executor).__name__
+        )
+        # Adopt an un-wired observability-aware executor (the resilient
+        # one) into this run's telemetry: per-attempt spans then nest
+        # under batch.map and retry counters land in the same registry.
+        if (
+            getattr(self.executor, "tracer", None) is NULL_TRACER
+            and self.tracer is not NULL_TRACER
+        ):
+            self.executor.tracer = self.tracer
+        if (
+            hasattr(self.executor, "metrics")
+            and self.executor.metrics is None
+        ):
+            self.executor.metrics = self.metrics
+        phase_seconds = {"map": 0.0, "fallback": 0.0}
         start = perf_counter()
-        try:
-            if pending:
-                self._run_pending(worker, units, pending, results, journal)
-            self._fallback_pass(units, results, journal)
-        finally:
-            if journal is not None:
-                journal.close()
+        with self.tracer.span(
+            "batch",
+            nets=len(units),
+            pending=len(pending),
+            mode=self.config.mode,
+            engine=self.config.engine,
+            executor=executor_name,
+        ):
+            try:
+                if pending:
+                    with self.tracer.span("batch.map", nets=len(pending)):
+                        t0 = perf_counter()
+                        self._run_pending(
+                            worker, units, pending, results, journal
+                        )
+                        phase_seconds["map"] = perf_counter() - t0
+                with self.tracer.span("batch.fallback"):
+                    t0 = perf_counter()
+                    self._fallback_pass(units, results, journal)
+                    phase_seconds["fallback"] = perf_counter() - t0
+            finally:
+                if journal is not None:
+                    journal.close()
         wall = perf_counter() - start
+        # Overhead closes the accounting: checkpoint/journal glue and
+        # dispatch bookkeeping, so the exported phases sum to the wall.
+        phase_seconds["overhead"] = max(
+            0.0, wall - phase_seconds["map"] - phase_seconds["fallback"]
+        )
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "buffopt_batch_wall_seconds",
+                "total wall-clock of the last batch run",
+            ).set(wall, mode=self.config.mode, executor=executor_name)
+            phase_gauge = self.metrics.gauge(
+                "buffopt_batch_phase_seconds",
+                "wall-clock of the last batch run, split by phase "
+                "(phases sum to buffopt_batch_wall_seconds)",
+            )
+            for phase, seconds in phase_seconds.items():
+                phase_gauge.set(seconds, phase=phase)
         assert all(result is not None for result in results)
         return BatchReport(
             results=results,
             wall_seconds=wall,
-            executor=getattr(self.executor, "name", type(self.executor).__name__),
+            executor=executor_name,
             mode=self.config.mode,
         )
 
@@ -748,6 +828,7 @@ class BatchOptimizer:
             results[index] = value
             if journal is not None:
                 journal.append(value)
+            self._observe_result(value)
 
         payload = [units[index] for index in pending]
         if "on_result" in inspect.signature(self.executor.map).parameters:
@@ -758,6 +839,63 @@ class BatchOptimizer:
                 self.executor.map(worker, payload)
             ):
                 record(sub_index, value)
+
+    def _observe_result(
+        self, result: NetResult, phase: str = "map"
+    ) -> None:
+        """One completed net: a trace event plus fleet-level metrics.
+
+        Collapses to an early return when neither a tracer nor a
+        registry was configured, keeping the unobserved path free."""
+        metrics = self.metrics
+        if self.tracer is NULL_TRACER and metrics is None:
+            return
+        status = (
+            "ok" if result.ok
+            else result.failure.error if result.failure is not None
+            else "error"
+        )
+        self.tracer.event(
+            "batch.net",
+            net=result.name,
+            phase=phase,
+            status=status,
+            seconds=result.seconds,
+            attempts=result.attempts,
+            buffer_count=result.buffer_count,
+            candidates_generated=result.candidates_generated,
+        )
+        if metrics is None:
+            return
+        metrics.counter(
+            "buffopt_nets_total",
+            "nets completed, by mode and terminal status",
+        ).inc(mode=self.config.mode, status=status)
+        metrics.histogram(
+            "buffopt_net_seconds",
+            "single-net optimization wall-clock",
+        ).observe(result.seconds, mode=self.config.mode)
+        metrics.counter(
+            "buffopt_candidates_generated_total",
+            "DP candidates generated across the fleet",
+        ).inc(result.candidates_generated)
+        if result.attempts > 1:
+            metrics.counter(
+                "buffopt_net_retries_total",
+                "extra attempts spent beyond each net's first try",
+            ).inc(result.attempts - 1)
+        if result.stats is not None:
+            pressure = metrics.gauge(
+                "buffopt_budget_pressure_peak",
+                "peak budget pressure across the fleet (fraction of "
+                "the candidate budget / deadline consumed)",
+            )
+            pressure.set_max(
+                result.stats.budget_candidate_pressure, resource="candidates"
+            )
+            pressure.set_max(
+                result.stats.budget_time_pressure, resource="deadline"
+            )
 
     @staticmethod
     def _wrap_sentinel(
@@ -844,6 +982,7 @@ class BatchOptimizer:
             results[index] = replacement
             if journal is not None:
                 journal.append(replacement)
+            self._observe_result(replacement, phase="fallback")
 
     def optimize_specs(
         self,

@@ -41,6 +41,7 @@ from multiprocessing.connection import wait as _wait_connections
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import WorkloadError
+from ..obs import NULL_TRACER
 from .executors import default_worker_count
 
 #: fallback modes a :class:`RetryPolicy` may request (applied by the
@@ -191,15 +192,19 @@ def _accepts_attempt(fn: Callable) -> bool:
 
 
 class _Running:
-    __slots__ = ("process", "conn", "index", "attempt", "started", "kill_at")
+    __slots__ = (
+        "process", "conn", "index", "attempt", "started", "kill_at", "span"
+    )
 
-    def __init__(self, process, conn, index, attempt, started, kill_at):
+    def __init__(self, process, conn, index, attempt, started, kill_at,
+                 span=None):
         self.process = process
         self.conn = conn
         self.index = index
         self.attempt = attempt
         self.started = started
         self.kill_at = kill_at
+        self.span = span
 
 
 class ResilientExecutor:
@@ -224,6 +229,8 @@ class ResilientExecutor:
         retry: Optional[RetryPolicy] = None,
         deadline: Optional[float] = None,
         poll_seconds: float = 0.02,
+        tracer=None,
+        metrics=None,
     ):
         if workers is not None and workers < 1:
             raise WorkloadError(f"workers must be >= 1, got {workers}")
@@ -239,6 +246,11 @@ class ResilientExecutor:
         self.retry = retry or RetryPolicy()
         self.deadline = deadline
         self.poll_seconds = poll_seconds
+        #: per-attempt spans and retry/backoff telemetry land here; the
+        #: batch optimizer adopts un-wired executors into its own
+        #: tracer/registry so CLI ``--trace`` reaches attempt level.
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics
 
     @property
     def effective_workers(self) -> int:
@@ -274,6 +286,24 @@ class ResilientExecutor:
         waiting: List[tuple] = []  # (ready_at, index, attempt)
         running: Dict[int, _Running] = {}
 
+        tracer = self.tracer
+        metrics = self.metrics
+        if metrics is not None:
+            attempts_total = metrics.counter(
+                "buffopt_worker_attempts_total",
+                "worker attempts, by terminal outcome of each attempt",
+            )
+            retries_total = metrics.counter(
+                "buffopt_worker_retries_total",
+                "attempts re-queued after a retryable failure",
+            )
+            backoff_total = metrics.counter(
+                "buffopt_backoff_seconds_total",
+                "backoff delay scheduled before retry attempts",
+            )
+        else:
+            attempts_total = retries_total = backoff_total = None
+
         def resolve(index: int, value: Any) -> None:
             results[index] = value
             resolved[index] = True
@@ -284,17 +314,24 @@ class ResilientExecutor:
                    message: str) -> None:
             """Retry a failed attempt or quarantine the item for good."""
             if self.retry.should_retry(kind, attempt):
-                ready_at = time.monotonic() + self.retry.delay(
-                    attempt + 1, key=index
+                backoff = self.retry.delay(attempt + 1, key=index)
+                waiting.append((
+                    time.monotonic() + backoff, index, attempt + 1
+                ))
+                tracer.event(
+                    "attempt.retry", index=index, kind=kind,
+                    next_attempt=attempt + 1, backoff_seconds=backoff,
                 )
-                waiting.append((ready_at, index, attempt + 1))
+                if retries_total is not None:
+                    retries_total.inc()
+                    backoff_total.inc(backoff)
             else:
                 resolve(index, WorkItemFailure(
                     index=index, kind=kind, error=error, message=message,
                     attempts=attempt, elapsed=elapsed[index],
                 ))
 
-        def reap(run: _Running) -> None:
+        def reap(run: _Running, outcome: str) -> None:
             run.conn.close()
             run.process.join(timeout=5.0)
             if run.process.is_alive():
@@ -302,6 +339,9 @@ class ResilientExecutor:
                 run.process.join()
             del running[run.index]
             elapsed[run.index] += time.monotonic() - run.started
+            tracer.end_span(run.span, outcome=outcome)
+            if attempts_total is not None:
+                attempts_total.inc(outcome=outcome)
 
         try:
             while pending or waiting or running:
@@ -327,6 +367,9 @@ class ResilientExecutor:
                         process, parent_conn, index, attempt, started,
                         None if self.deadline is None
                         else started + self.deadline,
+                        tracer.start_span(
+                            "attempt", index=index, attempt=attempt
+                        ),
                     )
                 if not running:
                     if waiting:
@@ -353,7 +396,7 @@ class ResilientExecutor:
                     except EOFError:
                         # The pipe died before a result: the worker
                         # crashed (os._exit, segfault, kill -9, ...).
-                        reap(run)
+                        reap(run, "crash")
                         code = run.process.exitcode
                         settle(
                             run.index, run.attempt, "crash",
@@ -362,10 +405,11 @@ class ResilientExecutor:
                             f"{code} before returning a result",
                         )
                         continue
-                    reap(run)
                     if message[0] == "ok":
+                        reap(run, "ok")
                         resolve(run.index, message[1])
                     else:
+                        reap(run, "error")
                         settle(
                             run.index, run.attempt, "error",
                             message[1], message[2],
@@ -379,7 +423,7 @@ class ResilientExecutor:
                             run.process.join(timeout=1.0)
                             if run.process.is_alive():
                                 run.process.kill()
-                            reap(run)
+                            reap(run, "hang")
                             settle(
                                 run.index, run.attempt, "hang",
                                 "TimeoutError",
@@ -392,6 +436,7 @@ class ResilientExecutor:
                 run.process.kill()
                 run.process.join()
                 run.conn.close()
+                tracer.end_span(run.span, outcome="aborted")
 
         assert all(resolved), "supervisor ended with unresolved items"
         return results

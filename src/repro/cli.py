@@ -41,14 +41,38 @@ Two families of commands (installed as ``buffopt``; also
       buffopt fuzz --iters 200 --seed 7           # seeded campaign
       buffopt fuzz --out repros/                  # write shrunk repro JSONs
       buffopt fuzz --replay repros/repro_....json # re-check a counterexample
+
+* observability (see :mod:`repro.obs` and ``docs/observability.md``)::
+
+      buffopt batch --trace run.jsonl --metrics run.prom
+      buffopt fuzz --trace fuzz.jsonl
+      buffopt trace summarize run.jsonl           # per-span time table
+
+Uniform interface: every subcommand accepts ``--engine``, ``--seed``
+and ``--json`` (commands that have no use for a knob accept and ignore
+it — scripts can set them unconditionally), and ``buffopt --version``
+prints the package version.
+
+Exit codes (the single source of truth; pinned by the CLI tests):
+
+* ``0`` (:data:`EXIT_OK`) — success: tables built, net optimized, no
+  fuzz counterexamples, at least one batch net succeeded.
+* ``1`` (:data:`EXIT_FAILURE`) — the command ran but the outcome is a
+  failure: fuzz counterexamples found, a replay still reproduces,
+  every batch net failed, an analysis is unavailable.
+* ``2`` (:data:`EXIT_USAGE`) — bad invocation or configuration
+  (argparse's own errors also exit 2): ``--resume`` without
+  ``--checkpoint``, an invalid workload, an unreadable trace file.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .experiments import (
     build_all_figures,
     build_table1,
@@ -69,6 +93,36 @@ TABLE_TARGETS = (
 )
 TABLES_NEEDING_RUN = {"table2", "table3", "table4", "all"}
 
+#: see the module docstring ("Exit codes") for the full contract.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+
+_UNUSED = " (accepted for interface uniformity; unused by this command)"
+
+
+def _add_common_options(
+    sub: argparse.ArgumentParser,
+    *,
+    seed_default: int = 19981101,
+    seed_help: str = "workload seed",
+    engine_help: str = (
+        "DP implementation: the readable reference engine or the "
+        "Li-Shi-style fast engine (bit-identical results, ~2-3x faster)"
+    ),
+) -> None:
+    """The uniform trio every subcommand carries."""
+    sub.add_argument(
+        "--engine", choices=["reference", "fast"], default="reference",
+        help=engine_help,
+    )
+    sub.add_argument("--seed", type=int, default=seed_default, help=seed_help)
+    sub.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report on stdout "
+        "(progress still goes to stderr)",
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -77,6 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce the evaluation of 'Buffer Insertion for Noise and "
             "Delay Optimization' (Alpert/Devgan/Quay) or fix a single net"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="target", required=True)
 
@@ -88,9 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--nets", type=int, default=500,
             help="population size (default: the paper's 500)",
         )
-        sub.add_argument(
-            "--seed", type=int, default=19981101, help="workload seed"
-        )
+        _add_common_options(sub)
 
     fix = subparsers.add_parser(
         "fix", help="optimize one net from a JSON description"
@@ -115,12 +170,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--svg", default=None,
         help="render the optimized net (with noise annotation) to this SVG",
     )
+    _add_common_options(
+        fix,
+        seed_help="workload seed" + _UNUSED,
+        engine_help="DP implementation for --mode buffopt/delay "
+        "(bit-identical results; ignored by --mode noise)",
+    )
 
     sens = subparsers.add_parser(
         "sensitivity",
         help="coupling-parameter robustness of a JSON-described net",
     )
     sens.add_argument("net", help="path to the JSON net description")
+    _add_common_options(
+        sens,
+        seed_help="workload seed" + _UNUSED,
+        engine_help="DP implementation" + _UNUSED,
+    )
 
     export = subparsers.add_parser(
         "export",
@@ -128,14 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.add_argument("directory", help="output directory (created)")
     export.add_argument("--nets", type=int, default=500)
-    export.add_argument("--seed", type=int, default=19981101)
+    _add_common_options(
+        export, engine_help="DP implementation" + _UNUSED
+    )
 
     batch = subparsers.add_parser(
         "batch",
         help="optimize a generated net fleet with a pluggable executor",
     )
     batch.add_argument("--nets", type=int, default=200, help="fleet size")
-    batch.add_argument("--seed", type=int, default=19981101)
     batch.add_argument(
         "--mode", choices=["buffopt", "delay"], default="buffopt",
         help="buffopt: fewest buffers meeting noise+timing (default); "
@@ -166,11 +233,6 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--prune", choices=["timing", "pareto"], default="timing",
         help="engine pruning rule (pareto = 4-field ablation)",
-    )
-    batch.add_argument(
-        "--engine", choices=["reference", "fast"], default="reference",
-        help="DP implementation: the readable reference engine or the "
-        "Li-Shi-style fast engine (bit-identical results, ~2-3x faster)",
     )
     batch.add_argument(
         "--stats", action="store_true",
@@ -229,6 +291,16 @@ def build_parser() -> argparse.ArgumentParser:
         "certificate checker; certification failures join the failure "
         "taxonomy under the 'certify' phase",
     )
+    batch.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="journal a JSONL span/event trace of the run to this file "
+        "(summarize it with 'buffopt trace summarize PATH')",
+    )
+    batch.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write Prometheus text-format fleet metrics to this file",
+    )
+    _add_common_options(batch)
 
     fuzz = subparsers.add_parser(
         "fuzz",
@@ -239,7 +311,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--iters", type=int, default=100,
         help="fuzz iterations (random nets) to run (default 100)",
     )
-    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
     fuzz.add_argument(
         "--max-internal", type=int, default=5,
         help="max internal nodes per generated net (default 5)",
@@ -267,21 +338,46 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of fuzzing",
     )
     fuzz.add_argument(
-        "--engine", choices=["reference", "fast"], default="reference",
-        help="DP implementation under test (default: reference)",
-    )
-    fuzz.add_argument(
         "--plant-bug", action="store_true",
         help="run against a deliberately broken engine (self-test: the "
         "campaign must fail and shrink the counterexample); with "
         "--engine fast the bug is an over-pruning fast-engine rule the "
         "oracle comparison must catch",
     )
+    fuzz.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="journal a JSONL span/event trace of the campaign here",
+    )
+    fuzz.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write Prometheus text-format campaign metrics to this file",
+    )
+    _add_common_options(
+        fuzz, seed_default=0, seed_help="campaign seed",
+        engine_help="DP implementation under test (default: reference)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect JSONL traces written by --trace (see repro.obs)",
+    )
+    trace.add_argument(
+        "action", choices=["summarize"],
+        help="summarize: aggregate per-span wall time and counters",
+    )
+    trace.add_argument("file", help="path to a JSONL trace file")
+    _add_common_options(
+        trace,
+        seed_help="workload seed" + _UNUSED,
+        engine_help="DP implementation" + _UNUSED,
+    )
     return parser
 
 
 def _run_tables(args: argparse.Namespace) -> int:
-    experiment = default_experiment(nets=args.nets, seed=args.seed)
+    experiment = default_experiment(
+        nets=args.nets, seed=args.seed, engine=args.engine
+    )
     sections: List[str] = []
     run = None
     if args.target in TABLES_NEEDING_RUN:
@@ -311,17 +407,27 @@ def _run_tables(args: argparse.Namespace) -> int:
         print("running ablation studies ...", file=sys.stderr)
         sections.append(run_all_ablations(experiment))
 
-    print("\n\n".join(sections))
-    return 0
+    if args.json:
+        print(json.dumps({
+            "kind": "buffopt-tables-report",
+            "target": args.target,
+            "nets": args.nets,
+            "seed": args.seed,
+            "engine": args.engine,
+            "sections": sections,
+        }, indent=2))
+    else:
+        print("\n\n".join(sections))
+    return EXIT_OK
 
 
 def _run_fix(args: argparse.Namespace) -> int:
-    from .core import buffopt_min_buffers, insert_buffers_multi_sink, optimize_delay
+    from .api import Session, SessionOptions
+    from .core import insert_buffers_multi_sink
     from .io import load_net, save_solution
     from .library import default_buffer_library, default_technology
     from .noise import CouplingModel, analyze_noise
     from .timing import max_sink_delay
-    from .tree import segment_tree
     from .units import format_time
 
     tree, technology = load_net(args.net)
@@ -329,38 +435,69 @@ def _run_fix(args: argparse.Namespace) -> int:
     library = default_buffer_library()
     coupling = CouplingModel.estimation_mode(technology)
 
+    out = sys.stderr if args.json else sys.stdout
     before = analyze_noise(tree, coupling)
+    before_delay = max_sink_delay(tree)
     print(f"loaded {tree.name}: {len(tree.sinks)} sinks, "
-          f"{tree.total_wire_length() * 1e3:.2f} mm of wire")
+          f"{tree.total_wire_length() * 1e3:.2f} mm of wire", file=out)
     print(f"before: {len(before.violations)} noise violations, "
-          f"max delay {format_time(max_sink_delay(tree))}")
+          f"max delay {format_time(before_delay)}", file=out)
 
     if args.mode == "noise":
+        # Algorithm 2 places buffers continuously; the DP facade (and
+        # its --engine switch) does not apply.
         continuous = insert_buffers_multi_sink(tree, library, coupling)
         work_tree, solution = continuous.realize()
     else:
-        work_tree = segment_tree(tree, args.segment)
-        if args.mode == "delay":
-            solution = optimize_delay(work_tree, library)
-        else:
-            solution = buffopt_min_buffers(work_tree, library, coupling)
+        options = SessionOptions(
+            mode=args.mode,
+            engine=args.engine,
+            max_segment_length=args.segment,
+        )
+        with Session(
+            options, library=library, coupling=coupling,
+            technology=technology,
+        ) as session:
+            optimized = session.optimize(tree)
+        work_tree = optimized.tree
+        solution = optimized.solution()
 
     after = analyze_noise(work_tree, coupling, solution.buffer_map())
+    after_delay = max_sink_delay(work_tree, solution.buffer_map())
     print(f"after ({args.mode}): {solution.buffer_count} buffers, "
           f"{len(after.violations)} noise violations, "
-          f"max delay "
-          f"{format_time(max_sink_delay(work_tree, solution.buffer_map()))}")
-    print(solution.describe())
+          f"max delay {format_time(after_delay)}", file=out)
+    print(solution.describe(), file=out)
 
     if args.out:
         save_solution(solution, args.out)
-        print(f"solution written to {args.out}")
+        print(f"solution written to {args.out}", file=out)
     if args.svg:
         from .viz import save_svg
 
         save_svg(work_tree, args.svg, solution.buffer_map(), coupling)
-        print(f"rendering written to {args.svg}")
-    return 0
+        print(f"rendering written to {args.svg}", file=out)
+    if args.json:
+        print(json.dumps({
+            "kind": "buffopt-fix-report",
+            "net": tree.name,
+            "mode": args.mode,
+            "engine": args.engine if args.mode != "noise" else None,
+            "before": {
+                "violations": len(before.violations),
+                "max_delay": before_delay,
+            },
+            "after": {
+                "violations": len(after.violations),
+                "max_delay": after_delay,
+                "buffers": solution.buffer_count,
+            },
+            "assignment": {
+                node: buffer.name
+                for node, buffer in sorted(solution.buffer_map().items())
+            },
+        }, indent=2))
+    return EXIT_OK
 
 
 def _run_sensitivity(args: argparse.Namespace) -> int:
@@ -377,13 +514,21 @@ def _run_sensitivity(args: argparse.Namespace) -> int:
         report = coupling_sensitivity(tree, coupling)
     except AnalysisError as exc:
         print(f"sensitivity unavailable: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
+    if args.json:
+        print(json.dumps({
+            "kind": "buffopt-sensitivity-report",
+            "net": tree.name,
+            "critical_ratio": report.critical_ratio,
+            "assumed_ratio": report.assumed_ratio,
+        }, indent=2))
+        return EXIT_OK
     print(report.describe())
     print(
         f"net-level critical coupling ratio: {report.critical_ratio:.3f} "
         f"(assumed {report.assumed_ratio})"
     )
-    return 0
+    return EXIT_OK
 
 
 def _run_batch(args: argparse.Namespace) -> int:
@@ -394,7 +539,18 @@ def _run_batch(args: argparse.Namespace) -> int:
 
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+
+    tracer = None
+    metrics = None
+    if args.trace:
+        from .obs import EventSink, Tracer
+
+        tracer = Tracer(sink=EventSink(args.trace))
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
 
     retry = None
     if args.max_attempts is not None or args.backoff is not None \
@@ -439,6 +595,8 @@ def _run_batch(args: argparse.Namespace) -> int:
         executor=executor,
         workload=workload,
         faults=faults,
+        tracer=tracer,
+        metrics=metrics,
     )
     print(
         f"optimizing {args.nets} nets ({args.mode}, "
@@ -451,9 +609,19 @@ def _run_batch(args: argparse.Namespace) -> int:
         )
     except WorkloadError as exc:
         print(f"batch failed: {exc}", file=sys.stderr)
-        return 2
-    print(report.describe())
-    return 1 if report.failure_count == len(report) else 0
+        return EXIT_USAGE
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace}", file=sys.stderr)
+    if metrics is not None:
+        metrics.write_prometheus(args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.describe())
+    return EXIT_FAILURE if report.failure_count == len(report) else EXIT_OK
 
 
 def _run_export(args: argparse.Namespace) -> int:
@@ -468,8 +636,16 @@ def _run_export(args: argparse.Namespace) -> int:
         save_net(
             net.tree, directory / f"{net.name}.json", experiment.technology
         )
-    print(f"wrote {len(experiment.nets)} nets to {directory}")
-    return 0
+    if args.json:
+        print(json.dumps({
+            "kind": "buffopt-export-report",
+            "directory": str(directory),
+            "nets": len(experiment.nets),
+            "seed": args.seed,
+        }, indent=2))
+    else:
+        print(f"wrote {len(experiment.nets)} nets to {directory}")
+    return EXIT_OK
 
 
 def _run_fuzz(args: argparse.Namespace) -> int:
@@ -492,14 +668,40 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         engine = engine_for(args.engine)
     if args.replay:
         failures = replay_file(args.replay, engine=engine)
+        if args.json:
+            print(json.dumps({
+                "kind": "buffopt-fuzz-replay",
+                "file": args.replay,
+                "reproduces": bool(failures),
+                "failures": [
+                    {
+                        "mode": f.mode,
+                        "check": f.check,
+                        "messages": list(f.messages),
+                    }
+                    for f in failures
+                ],
+            }, indent=2))
+            return EXIT_FAILURE if failures else EXIT_OK
         if not failures:
             print(f"{args.replay}: no longer reproduces")
-            return 0
+            return EXIT_OK
         for failure in failures:
             print(f"{failure.mode}/{failure.check} still fails:")
             for message in failure.messages:
                 print(f"  {message}")
-        return 1
+        return EXIT_FAILURE
+
+    tracer = None
+    metrics = None
+    if args.trace:
+        from .obs import EventSink, Tracer
+
+        tracer = Tracer(sink=EventSink(args.trace))
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
 
     config = FuzzConfig(
         iterations=args.iters,
@@ -517,9 +719,37 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         "sites) ...",
         file=sys.stderr,
     )
-    report = run_fuzz(config, engine=engine)
-    print(report.describe())
-    return 0 if report.ok else 1
+    try:
+        report = run_fuzz(config, engine=engine, tracer=tracer,
+                          metrics=metrics)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace}", file=sys.stderr)
+    if metrics is not None:
+        metrics.write_prometheus(args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.describe())
+    return EXIT_OK if report.ok else EXIT_FAILURE
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from .errors import ObservabilityError
+    from .obs import summarize_trace
+
+    try:
+        summary = summarize_trace(args.file)
+    except (OSError, ObservabilityError) as exc:
+        print(f"trace unreadable: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.json:
+        print(json.dumps(summary.to_json(), indent=2))
+    else:
+        print(summary.describe())
+    return EXIT_OK
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -534,6 +764,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_batch(args)
     if args.target == "fuzz":
         return _run_fuzz(args)
+    if args.target == "trace":
+        return _run_trace(args)
     return _run_tables(args)
 
 

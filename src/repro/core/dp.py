@@ -106,6 +106,14 @@ class DPOptions:
     #: visit; ``None`` runs unguarded.  Budgets are stateful — pass a
     #: fresh (or restarted) one per run.
     budget: Optional[RunBudget] = None
+    #: opt-in phase profiler (any object with an ``install(engine)``
+    #: method, canonically :class:`~repro.obs.PhaseProfiler`) wrapping
+    #: the engine's phase methods.  ``None`` — the default — leaves the
+    #: engine byte-for-byte uninstrumented: the only cost of the hook
+    #: is one ``is None`` check per :func:`run_dp` call (the bench
+    #: overhead gate pins this).  Profiling never changes candidate
+    #: arithmetic, so profiled runs stay bit-identical.
+    profile: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.prune not in ("timing", "pareto"):
@@ -125,6 +133,13 @@ class DPOptions:
             raise ValueError(
                 "max_buffers requires track_counts=True (candidate counts "
                 "must be part of the frontier to cap them soundly)"
+            )
+        if self.profile is not None and not callable(
+            getattr(self.profile, "install", None)
+        ):
+            raise ValueError(
+                "profile must expose an install(engine) method (use "
+                f"repro.obs.PhaseProfiler), got {self.profile!r}"
             )
 
 
@@ -710,5 +725,11 @@ def run_dp(
     if options.engine == "fast":
         from .fast_engine import FastEngine
 
-        return FastEngine(tree, library, coupling, options, driver).run()
-    return _Engine(tree, library, coupling, options, driver).run()
+        engine = FastEngine(tree, library, coupling, options, driver)
+    else:
+        engine = _Engine(tree, library, coupling, options, driver)
+    if options.profile is not None:
+        # Wraps this instance's phase methods only; unprofiled runs skip
+        # the whole branch (the no-overhead-when-off contract).
+        options.profile.install(engine)
+    return engine.run()

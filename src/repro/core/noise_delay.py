@@ -21,6 +21,7 @@ Entry points:
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 from ..library.buffers import BufferLibrary
@@ -44,22 +45,33 @@ def buffopt_result(
     budget: Optional[RunBudget] = None,
     engine: str = "reference",
 ) -> DPResult:
-    """Noise-constrained count-tracking DP run (per-count outcomes)."""
-    return run_dp(
+    """Noise-constrained count-tracking DP run (per-count outcomes).
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.dp_result` with ``mode="buffopt"`` (or the
+        :class:`repro.api.Session` facade).  This shim forwards there
+        and returns bit-identical results — pinned by the parity tests.
+    """
+    warnings.warn(
+        "buffopt_result is deprecated; use repro.api.dp_result("
+        "mode='buffopt') or repro.api.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import dp_result
+
+    return dp_result(
         tree,
         library,
-        coupling=coupling,
-        options=DPOptions(
-            noise_aware=True,
-            track_counts=True,
-            max_buffers=max_buffers,
-            enforce_polarity=enforce_polarity,
-            prune=prune,
-            collect_stats=collect_stats,
-            budget=budget,
-            engine=engine,
-        ),
+        coupling,
+        mode="buffopt",
         driver=driver,
+        max_buffers=max_buffers,
+        enforce_polarity=enforce_polarity,
+        prune=prune,
+        collect_stats=collect_stats,
+        budget=budget,
+        engine=engine,
     )
 
 
@@ -104,10 +116,13 @@ def buffopt_min_buffers(
     net is timing-infeasible), the max-slack noise-feasible solution is
     returned instead.
     """
-    result = buffopt_result(
+    from ..api import dp_result
+
+    result = dp_result(
         tree,
         library,
         coupling,
+        mode="buffopt",
         driver=driver,
         max_buffers=max_buffers,
         enforce_polarity=enforce_polarity,

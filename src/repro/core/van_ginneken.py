@@ -12,6 +12,7 @@ shared DP engine with ``noise_aware=False``:
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional
 
 from ..library.buffers import BufferLibrary
@@ -55,22 +56,32 @@ def delay_opt_result(
     budget: Optional[RunBudget] = None,
     engine: str = "reference",
 ) -> DPResult:
-    """Count-tracking DelayOpt run exposing the per-count outcomes."""
-    return run_dp(
+    """Count-tracking DelayOpt run exposing the per-count outcomes.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.dp_result` with ``mode="delay"`` (or the
+        :class:`repro.api.Session` facade).  This shim forwards there
+        and returns bit-identical results — pinned by the parity tests.
+    """
+    warnings.warn(
+        "delay_opt_result is deprecated; use repro.api.dp_result("
+        "mode='delay') or repro.api.Session instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..api import dp_result
+
+    return dp_result(
         tree,
         library,
-        coupling=CouplingModel.silent(),
-        options=DPOptions(
-            noise_aware=False,
-            track_counts=True,
-            max_buffers=max_buffers,
-            enforce_polarity=enforce_polarity,
-            prune=prune,
-            collect_stats=collect_stats,
-            budget=budget,
-            engine=engine,
-        ),
+        mode="delay",
         driver=driver,
+        max_buffers=max_buffers,
+        enforce_polarity=enforce_polarity,
+        prune=prune,
+        collect_stats=collect_stats,
+        budget=budget,
+        engine=engine,
     )
 
 
@@ -86,8 +97,15 @@ def optimize_delay_per_count(
     ``DelayOpt(k)`` in the paper's tables is the max-slack entry among
     counts ``<= k`` — see :func:`best_within_count`.
     """
-    result = delay_opt_result(
-        tree, library, driver, max_buffers, enforce_polarity
+    from ..api import dp_result
+
+    result = dp_result(
+        tree,
+        library,
+        mode="delay",
+        driver=driver,
+        max_buffers=max_buffers,
+        enforce_polarity=enforce_polarity,
     )
     return {
         outcome.buffer_count: result.solution(outcome)

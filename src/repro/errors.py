@@ -86,3 +86,14 @@ class AnalysisError(ReproError):
 
 class WorkloadError(ReproError):
     """Workload generation received inconsistent parameters."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing / metrics layer was misused or hit corrupt data.
+
+    Raised by :mod:`repro.obs` for unbalanced span stacks, writes to a
+    closed event sink, invalid metric or label names, re-registration of
+    a metric under a different type, and corrupt (non-torn-tail) trace
+    files.  Never raised by disabled instrumentation — the no-op path
+    cannot fail.
+    """

@@ -47,6 +47,9 @@ class Experiment:
     coupling: CouplingModel
     workload: WorkloadConfig
     max_segment_length: float
+    #: DP implementation the table/figure builders run with
+    #: (``"reference"`` or ``"fast"`` — results are bit-identical).
+    engine: str = "reference"
     _nets: Optional[List[GeneratedNet]] = field(default=None, repr=False)
 
     @property
@@ -63,6 +66,7 @@ def default_experiment(
     nets: int = POPULATION,
     seed: int = WorkloadConfig.seed,
     max_segment_length: float = 500 * UM,
+    engine: str = "reference",
 ) -> Experiment:
     """The reproduction's estimation-mode experiment."""
     technology = default_technology().scaled(
@@ -77,6 +81,7 @@ def default_experiment(
         coupling=CouplingModel.estimation_mode(technology),
         workload=WorkloadConfig(nets=nets, seed=seed, noise_margin=NOISE_MARGIN),
         max_segment_length=max_segment_length,
+        engine=engine,
     )
 
 

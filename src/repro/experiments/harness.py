@@ -13,9 +13,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core.noise_delay import buffopt_result
+from ..api import dp_result
 from ..core.solution import BufferSolution
-from ..core.van_ginneken import best_within_count, delay_opt_result
+from ..core.van_ginneken import best_within_count
 from ..noise.devgan import noise_violations
 from ..timing.elmore import max_sink_delay
 from ..tree.segmenting import segment_tree
@@ -132,8 +132,9 @@ def run_population(
         )
 
         start = time.perf_counter()
-        delay_result = delay_opt_result(
-            tree, experiment.library, max_buffers=max_delayopt_buffers
+        delay_result = dp_result(
+            tree, experiment.library, mode="delay",
+            max_buffers=max_delayopt_buffers, engine=experiment.engine,
         )
         for k in ks:
             dsolution = best_within_count(delay_result, k)
@@ -151,7 +152,10 @@ def run_population(
         if separate_delayopt_timing:
             for k in ks:
                 start = time.perf_counter()
-                delay_opt_result(tree, experiment.library, max_buffers=k)
+                dp_result(
+                    tree, experiment.library, mode="delay",
+                    max_buffers=k, engine=experiment.engine,
+                )
                 per_k_totals[k] += time.perf_counter() - start
         records.append(record)
 
@@ -178,8 +182,9 @@ def _buffopt_fewest(tree: RoutingTree, experiment: Experiment) -> BufferSolution
 
     for cap in BUFFOPT_COUNT_CAPS:
         try:
-            result = buffopt_result(
-                tree, experiment.library, experiment.coupling, max_buffers=cap
+            result = dp_result(
+                tree, experiment.library, experiment.coupling,
+                mode="buffopt", max_buffers=cap, engine=experiment.engine,
             )
             return result.solution(result.fewest_buffers())
         except InfeasibleError:
@@ -205,8 +210,9 @@ def matched_count_delays(
         if count in record.delayopt_delay:
             matched_delay = record.delayopt_delay[count]
         else:
-            delay_result = delay_opt_result(
-                record.tree, experiment.library, max_buffers=count
+            delay_result = dp_result(
+                record.tree, experiment.library, mode="delay",
+                max_buffers=count, engine=experiment.engine,
             )
             matched = best_within_count(delay_result, count)
             matched_delay = max_sink_delay(record.tree, matched.buffer_map())

@@ -1,0 +1,103 @@
+"""JSONL event sink: the durable backend of the tracing layer.
+
+One :class:`EventSink` owns one append-only JSONL file.  The writer
+discipline is the same torn-tail-tolerant one the batch checkpoint
+journal uses (:mod:`repro.batch.checkpoint`): every record is a single
+``json.dumps`` line flushed per write, so a ``kill -9`` loses at most
+the record in flight; :func:`read_events` skips a torn *final* line but
+raises on interior corruption, which indicates real damage rather than
+an interrupted write.
+
+Records are plain dicts; the tracing layer writes ``{"type": "span",
+...}`` and ``{"type": "event", ...}`` records (see
+:mod:`repro.obs.tracing`), but the sink itself is schema-agnostic so
+other subsystems can journal through it too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, TextIO, Union
+
+from ..errors import ObservabilityError
+
+#: bump when the trace record schema changes incompatibly.
+TRACE_VERSION = 1
+
+
+class EventSink:
+    """Append-only JSONL writer, flushed per record.
+
+    ``fsync=True`` additionally fsyncs every record (the checkpoint
+    journal's durability level); the default leaves durability to the
+    OS because traces are diagnostics, not recovery state.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        append: bool = False,
+        fsync: bool = False,
+    ):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._handle: TextIO = self.path.open(
+            "a" if append else "w", encoding="utf-8"
+        )
+        self.emitted = 0
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        """Write one record as one flushed JSONL line."""
+        if self._handle.closed:
+            raise ObservabilityError(
+                f"event sink {self.path} is closed; no further records "
+                "can be written"
+            )
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        self.emitted += 1
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load every record of a JSONL trace, tolerating a torn tail.
+
+    A torn *final* line (the writer was killed mid-``write``) is
+    silently dropped; a torn interior line raises
+    :class:`~repro.errors.ObservabilityError` because it means the file
+    was corrupted, not merely interrupted.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    records: List[Dict[str, Any]] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if number == len(lines):
+                break  # torn final line: the writer was killed mid-write
+            raise ObservabilityError(
+                f"trace {path} line {number} is corrupt"
+            ) from None
+    return records

@@ -1,0 +1,346 @@
+"""Zero-dependency counters / gauges / histograms with two exporters.
+
+A :class:`MetricsRegistry` holds named metrics; each metric holds one
+value (or histogram state) per label set.  Exporters:
+
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text exposition
+  format (``# HELP`` / ``# TYPE`` comments, ``name{label="v"} value``
+  samples, histogram ``_bucket``/``_sum``/``_count`` series with
+  cumulative ``le`` buckets);
+* :meth:`MetricsRegistry.to_json` — a plain-dict view for programmatic
+  consumers (``buffopt batch --json`` rides this).
+
+:func:`parse_prometheus` parses the text format back into samples — the
+round-trip is pinned by the obs test suite and powers
+``buffopt trace summarize`` on ``.prom`` files.
+
+Everything is process-local and single-threaded by design: the DP and
+batch layers meter from the supervising process, and worker-side
+telemetry travels through :class:`~repro.core.stats.EngineStats` as it
+always has.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: histogram bucket bounds in seconds, tuned for DP phase / net timings.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: a label set, normalized to a sorted tuple of (name, value) pairs.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ObservabilityError(f"invalid label name {name!r}")
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in key)
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared naming / label plumbing of the three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def samples(self) -> Iterator[Tuple[str, LabelKey, float]]:
+        """Yield ``(sample_name, label_key, value)`` triples."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, candidates, retries)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[Tuple[str, LabelKey, float]]:
+        for key, value in self._values.items():
+            yield self.name, key, value
+
+
+class Gauge(_Metric):
+    """A value that can go anywhere (pressure ratios, frontier peaks)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """Keep the running maximum (peaks across many runs)."""
+        key = _label_key(labels)
+        self._values[key] = max(self._values.get(key, -math.inf), float(value))
+
+    def add(self, amount: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def samples(self) -> Iterator[Tuple[str, LabelKey, float]]:
+        for key, value in self._values.items():
+            yield self.name, key, value
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]):
+        self.bucket_counts = [0] * len(buckets)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds in ascending order; an implicit
+    ``+Inf`` bucket always exists, so ``observe`` never loses a sample.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        ordered = tuple(float(b) for b in buckets)
+        if list(ordered) != sorted(set(ordered)):
+            raise ObservabilityError(
+                f"histogram {name} buckets must be strictly increasing, "
+                f"got {buckets}"
+            )
+        self.buckets = ordered
+        self._states: Dict[LabelKey, _HistogramState] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(self.buckets)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                state.bucket_counts[index] += 1
+        state.sum += value
+        state.count += 1
+
+    def count(self, **labels: Any) -> int:
+        state = self._states.get(_label_key(labels))
+        return 0 if state is None else state.count
+
+    def sum(self, **labels: Any) -> float:
+        state = self._states.get(_label_key(labels))
+        return 0.0 if state is None else state.sum
+
+    def samples(self) -> Iterator[Tuple[str, LabelKey, float]]:
+        for key, state in self._states.items():
+            for bound, bucket_count in zip(self.buckets, state.bucket_counts):
+                le = key + (("le", _format_value(bound)),)
+                yield f"{self.name}_bucket", tuple(sorted(le)), bucket_count
+            inf = key + (("le", "+Inf"),)
+            yield f"{self.name}_bucket", tuple(sorted(inf)), state.count
+            yield f"{self.name}_sum", key, state.sum
+            yield f"{self.name}_count", key, state.count
+
+
+class MetricsRegistry:
+    """An ordered collection of metrics with idempotent registration.
+
+    ``counter``/``gauge``/``histogram`` return the existing metric when
+    the name is already registered under the same kind (so call sites
+    don't have to thread metric handles around) and raise when the name
+    is reused under a different kind.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter(self._metrics.values())
+
+    def _register(self, cls, name: str, help: str, **kwargs) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ObservabilityError(
+                    f"metric {name!r} is already registered as a "
+                    f"{existing.kind}, cannot re-register as a "
+                    f"{cls.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for metric in self._metrics.values():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for sample_name, key, value in metric.samples():
+                lines.append(
+                    f"{sample_name}{_format_labels(key)} "
+                    f"{_format_value(value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> Dict[str, Any]:
+        """A plain-dict view: ``{name: {type, help, samples: [...]}}``."""
+        out: Dict[str, Any] = {}
+        for metric in self._metrics.values():
+            out[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "samples": [
+                    {
+                        "name": sample_name,
+                        "labels": dict(key),
+                        "value": value,
+                    }
+                    for sample_name, key, value in metric.samples()
+                ],
+            }
+        return out
+
+    def write_prometheus(self, path) -> None:
+        from pathlib import Path
+
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_prometheus(), encoding="utf-8")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[LabelKey, float]]:
+    """Parse exposition text into ``{sample_name: {label_key: value}}``.
+
+    Covers exactly what :meth:`MetricsRegistry.to_prometheus` emits
+    (including histogram ``_bucket``/``_sum``/``_count`` series and
+    escaped label values); malformed sample lines raise
+    :class:`~repro.errors.ObservabilityError`.
+    """
+    samples: Dict[str, Dict[LabelKey, float]] = {}
+    for number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(stripped)
+        if match is None:
+            raise ObservabilityError(
+                f"unparseable exposition line {number}: {line!r}"
+            )
+        labels: Dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            for name, value in _LABEL_PAIR_RE.findall(raw):
+                labels[name] = _unescape(value)
+        key = tuple(sorted(labels.items()))
+        samples.setdefault(match.group("name"), {})[key] = _parse_number(
+            match.group("value")
+        )
+    return samples

@@ -1,0 +1,134 @@
+"""Trace digestion for ``buffopt trace summarize``.
+
+Reads a JSONL trace written by :class:`~repro.obs.tracing.Tracer` (via
+an :class:`~repro.obs.events.EventSink`) and folds it into per-span-name
+aggregates — count, total/mean/min/max wall time, plus any candidate
+counters the spans captured — and per-event-name counts.  The rendered
+table is the per-phase time breakdown the ISSUE's tentpole asks for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+from .events import read_events
+
+
+@dataclass
+class SpanAggregate:
+    """All spans of one name, folded."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = math.inf
+    max_seconds: float = 0.0
+    candidates_generated: int = 0
+    candidates_pruned: int = 0
+
+    def add(self, record: Dict[str, Any]) -> None:
+        duration = record.get("duration")
+        if duration is None:
+            return
+        self.count += 1
+        self.total_seconds += duration
+        self.min_seconds = min(self.min_seconds, duration)
+        self.max_seconds = max(self.max_seconds, duration)
+        attributes = record.get("attributes") or {}
+        self.candidates_generated += attributes.get(
+            "candidates_generated", 0
+        ) or 0
+        self.candidates_pruned += attributes.get("candidates_pruned", 0) or 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return 0.0 if self.count == 0 else self.total_seconds / self.count
+
+
+@dataclass
+class TraceSummary:
+    """One trace file, digested."""
+
+    path: str
+    records: int
+    spans: Dict[str, SpanAggregate] = field(default_factory=dict)
+    events: Dict[str, int] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "records": self.records,
+            "spans": {
+                name: {
+                    "count": agg.count,
+                    "total_seconds": agg.total_seconds,
+                    "mean_seconds": agg.mean_seconds,
+                    "min_seconds": (
+                        0.0 if agg.count == 0 else agg.min_seconds
+                    ),
+                    "max_seconds": agg.max_seconds,
+                    "candidates_generated": agg.candidates_generated,
+                    "candidates_pruned": agg.candidates_pruned,
+                }
+                for name, agg in sorted(self.spans.items())
+            },
+            "events": dict(sorted(self.events.items())),
+        }
+
+    def describe(self) -> str:
+        lines = [f"trace {self.path}: {self.records} record(s)"]
+        if self.spans:
+            ordered = sorted(
+                self.spans.values(), key=lambda a: -a.total_seconds
+            )
+            grand_total = sum(a.total_seconds for a in ordered)
+            lines.append(
+                f"{'span':28s} {'count':>7s} {'total':>10s} {'mean':>10s} "
+                f"{'max':>10s} {'share':>6s}"
+            )
+            for agg in ordered:
+                share = (
+                    0.0 if grand_total <= 0
+                    else 100.0 * agg.total_seconds / grand_total
+                )
+                lines.append(
+                    f"{agg.name:28s} {agg.count:7d} "
+                    f"{agg.total_seconds * 1e3:8.2f}ms "
+                    f"{agg.mean_seconds * 1e3:8.2f}ms "
+                    f"{agg.max_seconds * 1e3:8.2f}ms "
+                    f"{share:5.1f}%"
+                )
+            generated = sum(a.candidates_generated for a in ordered)
+            pruned = sum(a.candidates_pruned for a in ordered)
+            if generated or pruned:
+                lines.append(
+                    f"candidates: {generated} generated, {pruned} pruned "
+                    "(from span counters)"
+                )
+        if self.events:
+            counts = "  ".join(
+                f"{name}: {count}"
+                for name, count in sorted(self.events.items())
+            )
+            lines.append(f"events: {counts}")
+        return "\n".join(lines)
+
+
+def summarize_trace(path: Union[str, "Any"]) -> TraceSummary:
+    """Digest one JSONL trace file (torn tails tolerated on read)."""
+    records = read_events(path)
+    summary = TraceSummary(path=str(path), records=len(records))
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            name = str(record.get("name", "?"))
+            aggregate = summary.spans.get(name)
+            if aggregate is None:
+                aggregate = summary.spans[name] = SpanAggregate(name=name)
+            aggregate.add(record)
+        elif kind == "event":
+            name = str(record.get("name", "?"))
+            summary.events[name] = summary.events.get(name, 0) + 1
+    return summary

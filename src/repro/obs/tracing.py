@@ -1,0 +1,296 @@
+"""Nested wall-clock spans and point events over a JSONL sink.
+
+A :class:`Tracer` hands out :class:`Span`\\ s two ways:
+
+* ``with tracer.span("batch.map") as span:`` — the common case: the
+  span joins a stack, so nested ``span()`` calls parent automatically
+  and the span ends (and is journaled) when the block exits, even on
+  exceptions (the span is then annotated with the error class).
+* ``tracer.start_span(...)`` / ``tracer.end_span(span)`` — explicit
+  lifetimes for overlapping work (the resilient executor runs many
+  per-attempt spans concurrently; a stack cannot model that).
+
+Spans measure ``time.monotonic`` wall time.  Passing an
+:class:`~repro.core.stats.EngineStats` record to ``span(...,
+stats=...)`` snapshots its candidate counters at entry and annotates
+the span with the deltas at exit — "this merge pass generated 1 204
+candidates and pruned 890" falls out of the span record directly.
+
+Everything is in-memory unless the tracer owns an
+:class:`~repro.obs.events.EventSink`; then every finished span and
+every event is also journaled as one JSONL record.  A
+:data:`NULL_TRACER` no-op twin keeps call sites branch-free when
+tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import ObservabilityError
+from .events import TRACE_VERSION, EventSink
+
+#: EngineStats counters snapshot at span boundaries (entry vs exit).
+_STATS_COUNTERS = (
+    "candidates_generated", "candidates_pruned", "candidates_dead"
+)
+
+
+@dataclass
+class Span:
+    """One named, timed region of work."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    _stats: Any = field(default=None, repr=False)
+    _stats_entry: Optional[Dict[str, int]] = field(default=None, repr=False)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ObservabilityError(
+                f"span {self.name!r} (id {self.span_id}) has not ended"
+            )
+        return self.end - self.start
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach attributes to the span (merged into the record)."""
+        self.attributes.update(attributes)
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "v": TRACE_VERSION,
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": None if self.end is None else self.duration,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _SpanContext:
+    """Context manager binding one stacked span to a ``with`` block."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        if exc_type is not None:
+            self._span.annotate(error=exc_type.__name__)
+        self._tracer._end_stacked(self._span)
+
+
+class Tracer:
+    """Span/event collector; optionally journals to an event sink.
+
+    ``clock`` defaults to ``time.monotonic`` (wall time immune to NTP
+    steps); tests inject a fake clock for deterministic timings.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Optional[EventSink] = None,
+        clock=time.monotonic,
+    ):
+        self.sink = sink
+        self._clock = clock
+        self._next_id = 1
+        self._stack: List[Span] = []
+        #: finished spans, in end order (the natural JSONL order).
+        self.spans: List[Span] = []
+        #: point events, in emission order.
+        self.events: List[Dict[str, Any]] = []
+
+    # -- span lifecycle ----------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open stacked span (parent of new spans)."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, stats: Any = None, **attributes: Any):
+        """Open a stacked span; use as ``with tracer.span(...) as s:``."""
+        opened = self.start_span(name, stats=stats, **attributes)
+        self._stack.append(opened)
+        return _SpanContext(self, opened)
+
+    def start_span(
+        self,
+        name: str,
+        parent: Optional[Span] = None,
+        stats: Any = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a free-standing span (explicit ``end_span`` required).
+
+        ``parent`` defaults to the innermost stacked span, so explicit
+        per-attempt spans still nest under the batch span.
+        """
+        if parent is None:
+            parent = self.current
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            start=self._clock(),
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        if stats is not None:
+            span._stats = stats
+            span._stats_entry = {
+                counter: getattr(stats, counter)
+                for counter in _STATS_COUNTERS
+            }
+        return span
+
+    def end_span(self, span: Span, **attributes: Any) -> Span:
+        """Finish a span: stamp the end time, capture stats deltas,
+        record it, and journal it to the sink (if any)."""
+        if not span.open:
+            raise ObservabilityError(
+                f"span {span.name!r} (id {span.span_id}) already ended"
+            )
+        if attributes:
+            span.annotate(**attributes)
+        span.end = self._clock()
+        if span._stats is not None and span._stats_entry is not None:
+            for counter, entry in span._stats_entry.items():
+                span.attributes[counter] = (
+                    getattr(span._stats, counter) - entry
+                )
+            span._stats = None
+        self.spans.append(span)
+        if self.sink is not None:
+            self.sink.emit(span.to_record())
+        return span
+
+    def _end_stacked(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} (id {span.span_id}) is not the "
+                "innermost stacked span; span() blocks must nest"
+            )
+        self._stack.pop()
+        self.end_span(span)
+
+    # -- point events ------------------------------------------------------
+
+    def event(self, name: str, **attributes: Any) -> Dict[str, Any]:
+        """Emit a point-in-time event under the current span (if any)."""
+        record = {
+            "type": "event",
+            "v": TRACE_VERSION,
+            "name": name,
+            "time": self._clock(),
+            "span_id": None if self.current is None else self.current.span_id,
+            "attributes": attributes,
+        }
+        self.events.append(record)
+        if self.sink is not None:
+            self.sink.emit(record)
+        return record
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the owned sink; open stacked spans are a caller bug."""
+        if self._stack:
+            raise ObservabilityError(
+                "tracer closed with open span(s): "
+                + ", ".join(s.name for s in self._stack)
+            )
+        if self.sink is not None:
+            self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """The do-nothing span the null tracer hands out everywhere."""
+
+    __slots__ = ()
+    name = ""
+    span_id = None
+    parent_id = None
+    attributes: Dict[str, Any] = {}
+    open = False
+    duration = 0.0
+
+    def annotate(self, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """API-compatible no-op tracer: every call collapses to a constant.
+
+    Call sites write ``tracer = tracer or NULL_TRACER`` once and then
+    trace unconditionally; with the null tracer each call is a bare
+    attribute lookup plus an immediate return, so disabled tracing adds
+    no measurable cost (enforced by the bench overhead gate).
+    """
+
+    enabled = False
+    sink = None
+    spans: List[Span] = []
+    events: List[Dict[str, Any]] = []
+    current = None
+
+    def span(self, name: str, stats: Any = None, **attributes: Any):
+        return _NULL_SPAN
+
+    def start_span(self, name, parent=None, stats=None, **attributes):
+        return _NULL_SPAN
+
+    def end_span(self, span, **attributes):
+        return _NULL_SPAN
+
+    def event(self, name: str, **attributes: Any) -> Dict[str, Any]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+#: the shared no-op tracer (stateless, so one instance serves everyone).
+NULL_TRACER = NullTracer()

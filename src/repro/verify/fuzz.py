@@ -259,6 +259,22 @@ class FuzzReport:
         lines.extend(f"  wrote {p}" for p in self.written_files)
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        """Machine-readable campaign summary (``buffopt fuzz --json``)."""
+        return {
+            "kind": "buffopt-fuzz-report",
+            "ok": self.ok,
+            "seed": self.config.seed,
+            "engine": self.config.engine,
+            "modes": list(self.config.modes),
+            "iterations_run": self.iterations_run,
+            "skipped_infeasible": self.skipped_infeasible,
+            "counterexamples": [
+                c.to_json() for c in self.counterexamples
+            ],
+            "written_files": list(self.written_files),
+        }
+
 
 def _oracle_library(library: BufferLibrary, cells: int) -> BufferLibrary:
     """A small, deterministic sub-library for exhaustive comparisons."""
@@ -489,6 +505,8 @@ def run_fuzz(
     engine: Optional[Engine] = None,
     library: Optional[BufferLibrary] = None,
     coupling: Optional[CouplingModel] = None,
+    tracer=None,
+    metrics=None,
 ) -> FuzzReport:
     """Run a seeded fuzz campaign; see :class:`FuzzConfig`.
 
@@ -496,19 +514,46 @@ def run_fuzz(
     ``config.engine`` names; the self-test suite passes
     :func:`planted_buggy_engine` / :func:`planted_buggy_fast_engine`
     instead and asserts the campaign catches them.
+
+    ``tracer``/``metrics`` (see :mod:`repro.obs`) journal campaign
+    progress: a ``fuzz`` span wrapping the run, one ``fuzz.iteration``
+    event per net, a ``fuzz.counterexample`` event per confirmed
+    failure, and the ``buffopt_fuzz_*`` counters.
     """
+    from ..obs import NULL_TRACER
+
+    tracer = tracer or NULL_TRACER
     if engine is None:
         engine = engine_for(config.engine)
     if library is None:
         library = default_buffer_library()
     if coupling is None:
         coupling = CouplingModel.estimation_mode(default_technology())
+    if metrics is not None:
+        iterations_total = metrics.counter(
+            "buffopt_fuzz_iterations_total",
+            "fuzz iterations executed (one random net each)",
+        )
+        counterexamples_total = metrics.counter(
+            "buffopt_fuzz_counterexamples_total",
+            "confirmed fuzz counterexamples, by mode and check",
+        )
+        skips_total = metrics.counter(
+            "buffopt_fuzz_skips_total",
+            "mode checks skipped on legitimately infeasible nets",
+        )
+    else:
+        iterations_total = counterexamples_total = skips_total = None
 
     rng = random.Random(config.seed)
     counterexamples: List[Counterexample] = []
     written: List[str] = []
     skipped = 0
     iterations_run = 0
+    campaign = tracer.start_span(
+        "fuzz", seed=config.seed, iterations=config.iterations,
+        engine=config.engine, modes=list(config.modes),
+    )
     for iteration in range(config.iterations):
         iterations_run += 1
         tree_seed = rng.getrandbits(32)
@@ -522,6 +567,14 @@ def run_fuzz(
             tree, config, engine, library, coupling
         )
         skipped += mode_skips
+        tracer.event(
+            "fuzz.iteration", iteration=iteration, tree_seed=tree_seed,
+            failures=len(failures), skips=mode_skips,
+        )
+        if iterations_total is not None:
+            iterations_total.inc()
+            if mode_skips:
+                skips_total.inc(mode_skips)
         for failure in failures:
             shrunk = tree
             if config.shrink:
@@ -548,6 +601,17 @@ def run_fuzz(
                 shrunk_nodes=len(list(shrunk.nodes())),
             )
             counterexamples.append(example)
+            tracer.event(
+                "fuzz.counterexample", iteration=iteration,
+                tree_seed=tree_seed, mode=failure.mode,
+                check=failure.check,
+                shrunk_nodes=example.shrunk_nodes,
+                original_nodes=example.original_nodes,
+            )
+            if counterexamples_total is not None:
+                counterexamples_total.inc(
+                    mode=failure.mode, check=failure.check
+                )
             if config.out_dir is not None:
                 out_dir = pathlib.Path(config.out_dir)
                 out_dir.mkdir(parents=True, exist_ok=True)
@@ -559,6 +623,10 @@ def run_fuzz(
                 written.append(str(path))
         if len(counterexamples) >= config.max_counterexamples:
             break
+    tracer.end_span(
+        campaign, iterations_run=iterations_run,
+        counterexamples=len(counterexamples), skips=skipped,
+    )
     return FuzzReport(
         config=config,
         iterations_run=iterations_run,

@@ -1,0 +1,154 @@
+"""Counters / gauges / histograms and the Prometheus round-trip."""
+
+import math
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import MetricsRegistry, parse_prometheus
+
+
+def test_counter_inc_and_labels():
+    registry = MetricsRegistry()
+    nets = registry.counter("nets_total", "nets processed")
+    nets.inc()
+    nets.inc(2.0)
+    nets.inc(mode="delay")
+    assert nets.value() == 3.0
+    assert nets.value(mode="delay") == 1.0
+    assert nets.value(mode="buffopt") == 0.0
+
+
+def test_counter_rejects_decrease():
+    counter = MetricsRegistry().counter("c_total")
+    with pytest.raises(ObservabilityError, match="cannot decrease"):
+        counter.inc(-1.0)
+
+
+def test_gauge_set_add_and_set_max():
+    gauge = MetricsRegistry().gauge("pressure")
+    gauge.set(0.4)
+    gauge.set(0.2)
+    assert gauge.value() == 0.2
+    gauge.set_max(0.9, resource="candidates")
+    gauge.set_max(0.5, resource="candidates")
+    assert gauge.value(resource="candidates") == 0.9
+    gauge.add(1.0)
+    gauge.add(0.5)
+    assert gauge.value() == pytest.approx(1.7)
+
+
+def test_histogram_cumulative_buckets():
+    histogram = MetricsRegistry().histogram(
+        "seconds", buckets=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    assert histogram.count() == 4
+    assert histogram.sum() == pytest.approx(55.55)
+    samples = {
+        (name, key): value
+        for name, key, value in histogram.samples()
+    }
+    assert samples[("seconds_bucket", (("le", "0.1"),))] == 1
+    assert samples[("seconds_bucket", (("le", "1"),))] == 2
+    assert samples[("seconds_bucket", (("le", "10"),))] == 3
+    assert samples[("seconds_bucket", (("le", "+Inf"),))] == 4
+
+
+def test_histogram_rejects_unsorted_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ObservabilityError, match="strictly increasing"):
+        registry.histogram("bad", buckets=(1.0, 0.5))
+    with pytest.raises(ObservabilityError, match="strictly increasing"):
+        registry.histogram("dup", buckets=(1.0, 1.0, 2.0))
+
+
+def test_registration_is_idempotent_per_kind():
+    registry = MetricsRegistry()
+    first = registry.counter("hits_total")
+    first.inc(5)
+    # same name + kind returns the existing metric (state preserved)
+    assert registry.counter("hits_total") is first
+    assert registry.counter("hits_total").value() == 5
+    with pytest.raises(ObservabilityError, match="already registered"):
+        registry.gauge("hits_total")
+    assert registry.get("hits_total") is first
+    assert registry.get("missing") is None
+    assert len(registry) == 1
+
+
+def test_invalid_names_raise():
+    registry = MetricsRegistry()
+    with pytest.raises(ObservabilityError, match="invalid metric name"):
+        registry.counter("bad-name")
+    counter = registry.counter("ok_total")
+    with pytest.raises(ObservabilityError, match="invalid label name"):
+        counter.inc(**{"0bad": "x"})
+
+
+def test_prometheus_round_trip():
+    registry = MetricsRegistry()
+    nets = registry.counter("buffopt_nets_total", "nets processed")
+    nets.inc(12, mode="buffopt", status="ok")
+    nets.inc(3, mode="buffopt", status="deadline")
+    wall = registry.gauge("buffopt_wall_seconds", "batch wall time")
+    wall.set(1.5)
+    seconds = registry.histogram(
+        "buffopt_net_seconds", "per-net seconds", buckets=(0.5, 2.0)
+    )
+    seconds.observe(0.25, mode="buffopt")
+    seconds.observe(1.0, mode="buffopt")
+
+    text = registry.to_prometheus()
+    assert "# HELP buffopt_nets_total nets processed" in text
+    assert "# TYPE buffopt_net_seconds histogram" in text
+
+    samples = parse_prometheus(text)
+    key = (("mode", "buffopt"), ("status", "ok"))
+    assert samples["buffopt_nets_total"][key] == 12
+    assert samples["buffopt_wall_seconds"][()] == 1.5
+    bucket = samples["buffopt_net_seconds_bucket"]
+    assert bucket[(("le", "0.5"), ("mode", "buffopt"))] == 1
+    assert bucket[(("le", "+Inf"), ("mode", "buffopt"))] == 2
+    assert samples["buffopt_net_seconds_sum"][(("mode", "buffopt"),)] == 1.25
+    assert samples["buffopt_net_seconds_count"][(("mode", "buffopt"),)] == 2
+
+
+def test_prometheus_escaping_round_trip():
+    registry = MetricsRegistry()
+    counter = registry.counter("odd_total")
+    counter.inc(1, path='a"b\\c', note="two\nlines")
+    samples = parse_prometheus(registry.to_prometheus())
+    key = (("note", "two\nlines"), ("path", 'a"b\\c'))
+    assert samples["odd_total"][key] == 1
+
+
+def test_parse_rejects_malformed_lines():
+    with pytest.raises(ObservabilityError, match="unparseable"):
+        parse_prometheus("this is not exposition format\n")
+
+
+def test_parse_handles_infinities():
+    samples = parse_prometheus("edge_bucket{le=\"+Inf\"} 3\nlow -Inf\n")
+    assert samples["edge_bucket"][(("le", "+Inf"),)] == 3
+    assert samples["low"][()] == -math.inf
+
+
+def test_to_json_view():
+    registry = MetricsRegistry()
+    registry.counter("hits_total", "hits").inc(2, kind="a")
+    view = registry.to_json()
+    assert view["hits_total"]["type"] == "counter"
+    assert view["hits_total"]["help"] == "hits"
+    assert view["hits_total"]["samples"] == [
+        {"name": "hits_total", "labels": {"kind": "a"}, "value": 2.0}
+    ]
+
+
+def test_write_prometheus_creates_directories(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("ok_total").inc()
+    target = tmp_path / "out" / "metrics.prom"
+    registry.write_prometheus(target)
+    assert parse_prometheus(target.read_text())["ok_total"][()] == 1

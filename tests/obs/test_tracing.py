@@ -1,0 +1,163 @@
+"""Tracer spans: nesting, timing, stats deltas, journaling, null twin."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    NULL_TRACER,
+    EventSink,
+    NullTracer,
+    Tracer,
+    read_events,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock advancing on demand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_stacked_spans_nest_and_time():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("outer") as outer:
+        clock.advance(1.0)
+        with tracer.span("inner", kind="unit") as inner:
+            clock.advance(0.25)
+        clock.advance(0.5)
+    tracer.close()
+
+    assert [s.name for s in tracer.spans] == ["inner", "outer"]
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert inner.duration == pytest.approx(0.25)
+    assert outer.duration == pytest.approx(1.75)
+    assert inner.attributes["kind"] == "unit"
+    assert not outer.open
+
+
+def test_free_standing_spans_overlap():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("batch"):
+        first = tracer.start_span("attempt", index=0)
+        clock.advance(1.0)
+        second = tracer.start_span("attempt", index=1)
+        clock.advance(1.0)
+        # out-of-order completion: overlapping lifetimes a stack can't model
+        tracer.end_span(first, outcome="ok")
+        clock.advance(1.0)
+        tracer.end_span(second, outcome="crash")
+    tracer.close()
+
+    first_rec, second_rec = tracer.spans[0], tracer.spans[1]
+    assert first_rec.attributes == {"index": 0, "outcome": "ok"}
+    assert first_rec.duration == pytest.approx(2.0)
+    assert second_rec.duration == pytest.approx(2.0)
+    # both attempts parent under the stacked batch span
+    batch = tracer.spans[-1]
+    assert first_rec.parent_id == batch.span_id
+    assert second_rec.parent_id == batch.span_id
+
+
+def test_double_end_raises():
+    tracer = Tracer()
+    span = tracer.start_span("once")
+    tracer.end_span(span)
+    with pytest.raises(ObservabilityError, match="already ended"):
+        tracer.end_span(span)
+
+
+def test_duration_of_open_span_raises():
+    tracer = Tracer()
+    span = tracer.start_span("open")
+    with pytest.raises(ObservabilityError, match="has not ended"):
+        span.duration
+
+
+def test_exception_annotates_error():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    assert tracer.spans[0].attributes["error"] == "ValueError"
+    tracer.close()
+
+
+def test_close_with_open_stacked_span_raises():
+    tracer = Tracer()
+    context = tracer.span("left-open")
+    context.__enter__()
+    with pytest.raises(ObservabilityError, match="open span"):
+        tracer.close()
+    context.__exit__(None, None, None)
+    tracer.close()
+
+
+def test_stats_deltas_captured_at_boundaries():
+    from repro.core.stats import EngineStats
+
+    stats = EngineStats()
+    stats.candidates_generated = 100
+    stats.candidates_pruned = 40
+    tracer = Tracer()
+    with tracer.span("dp", stats=stats):
+        stats.candidates_generated += 250
+        stats.candidates_pruned += 10
+    tracer.close()
+    span = tracer.spans[0]
+    assert span.attributes["candidates_generated"] == 250
+    assert span.attributes["candidates_pruned"] == 10
+    assert span.attributes["candidates_dead"] == 0
+
+
+def test_events_attach_to_current_span():
+    tracer = Tracer()
+    orphan = tracer.event("standalone", n=1)
+    with tracer.span("work") as span:
+        attached = tracer.event("progress", n=2)
+    tracer.close()
+    assert orphan["span_id"] is None
+    assert attached["span_id"] == span.span_id
+    assert attached["attributes"] == {"n": 2}
+
+
+def test_sink_journaling_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(sink=EventSink(path))
+    with tracer.span("outer"):
+        tracer.event("tick", n=1)
+        with tracer.span("inner"):
+            pass
+    tracer.close()
+
+    records = read_events(path)
+    kinds = [(r["type"], r["name"]) for r in records]
+    # journal order: event at emit time, spans at end time (inner first)
+    assert kinds == [
+        ("event", "tick"), ("span", "inner"), ("span", "outer"),
+    ]
+    by_name = {r["name"]: r for r in records if r["type"] == "span"}
+    assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+    assert by_name["outer"]["duration"] >= 0.0
+
+
+def test_null_tracer_is_inert():
+    assert isinstance(NULL_TRACER, NullTracer)
+    assert not NULL_TRACER.enabled
+    with NULL_TRACER.span("anything", stats=object()) as span:
+        span.annotate(ignored=True)
+    free = NULL_TRACER.start_span("free")
+    assert NULL_TRACER.end_span(free, outcome="ok") is free
+    assert NULL_TRACER.event("nothing") == {}
+    assert NULL_TRACER.current is None
+    assert NULL_TRACER.spans == []
+    NULL_TRACER.close()  # never raises

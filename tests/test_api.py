@@ -1,0 +1,207 @@
+"""The repro.api facade: Session, dp_result, and the deprecation shims."""
+
+import pytest
+
+import repro
+from repro.api import OptimizeResult, Session, SessionOptions, dp_result
+from repro.core.noise_delay import buffopt_result
+from repro.core.van_ginneken import delay_opt_result
+from repro.obs import MetricsRegistry, Tracer, parse_prometheus, read_events
+
+
+def test_facade_is_reexported_from_package_root():
+    assert repro.Session is Session
+    assert repro.SessionOptions is SessionOptions
+    assert repro.OptimizeResult is OptimizeResult
+    assert repro.dp_result is dp_result
+
+
+# -- dp_result -------------------------------------------------------------
+
+
+def test_dp_result_rejects_unknown_mode(y_tree, library, coupling):
+    with pytest.raises(ValueError, match="unknown mode"):
+        dp_result(y_tree, library, coupling, mode="noise")
+
+
+def test_dp_result_buffopt_requires_coupling(y_tree, library):
+    with pytest.raises(ValueError, match="requires a coupling model"):
+        dp_result(y_tree, library, mode="buffopt")
+
+
+def test_dp_result_delay_mode_ignores_coupling(y_tree, library, coupling):
+    with_coupling = dp_result(y_tree, library, coupling, mode="delay")
+    without = dp_result(y_tree, library, mode="delay")
+    assert with_coupling.outcomes == without.outcomes
+
+
+# -- deprecation shims -----------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_buffopt_shim_parity(y_tree, library, coupling, engine):
+    with pytest.warns(DeprecationWarning, match="buffopt_result"):
+        legacy = buffopt_result(
+            y_tree, library, coupling, max_buffers=4, engine=engine
+        )
+    modern = dp_result(
+        y_tree, library, coupling, mode="buffopt", max_buffers=4,
+        engine=engine,
+    )
+    assert legacy.outcomes == modern.outcomes
+    assert legacy.candidates_generated == modern.candidates_generated
+
+
+@pytest.mark.parametrize("engine", ["reference", "fast"])
+def test_delay_opt_shim_parity(y_tree, library, engine):
+    with pytest.warns(DeprecationWarning, match="delay_opt_result"):
+        legacy = delay_opt_result(
+            y_tree, library, max_buffers=4, engine=engine
+        )
+    modern = dp_result(
+        y_tree, library, mode="delay", max_buffers=4, engine=engine
+    )
+    assert legacy.outcomes == modern.outcomes
+    assert legacy.candidates_generated == modern.candidates_generated
+
+
+# -- SessionOptions validation ---------------------------------------------
+
+
+def test_session_options_validation():
+    with pytest.raises(ValueError, match="unknown mode"):
+        SessionOptions(mode="noise")
+    with pytest.raises(ValueError, match="unknown engine"):
+        SessionOptions(engine="turbo")
+    with pytest.raises(ValueError, match="unknown prune rule"):
+        SessionOptions(prune="aggressive")
+    with pytest.raises(ValueError, match="max_segment_length"):
+        SessionOptions(max_segment_length=0.0)
+    # None disables segmentation and is valid
+    SessionOptions(max_segment_length=None)
+
+
+# -- Session ---------------------------------------------------------------
+
+
+def test_session_optimize_buffopt(y_tree, library, coupling, tech):
+    with Session(
+        SessionOptions(mode="buffopt", max_buffers=8),
+        library=library, coupling=coupling, technology=tech,
+    ) as session:
+        outcome = session.optimize(y_tree)
+    assert outcome.mode == "buffopt"
+    assert outcome.noise_feasible
+    assert outcome.buffer_count >= 0
+    assert outcome.seconds > 0.0
+    solution = outcome.solution()
+    assert solution.buffer_count == outcome.buffer_count
+    assert "buffer(s)" in outcome.describe()
+
+
+def test_session_optimize_delay_matches_raw_dp(y_tree, library, tech):
+    options = SessionOptions(
+        mode="delay", engine="fast", max_segment_length=None
+    )
+    with Session(options, library=library, technology=tech) as session:
+        outcome = session.optimize(y_tree)
+    raw = dp_result(y_tree, library, mode="delay", engine="fast")
+    assert outcome.result.outcomes == raw.outcomes
+    assert outcome.tree is y_tree  # segmentation disabled: same tree
+    assert outcome.slack == raw.best(require_noise=False).slack
+
+
+def test_session_meters_optimize_calls(y_tree, library, coupling):
+    with Session(
+        SessionOptions(mode="buffopt"), library=library, coupling=coupling
+    ) as session:
+        session.optimize(y_tree)
+        session.optimize(y_tree)
+        nets = session.metrics.get("buffopt_session_nets_total")
+        assert nets.value(
+            mode="buffopt", engine="reference", status="ok"
+        ) == 2
+        seconds = session.metrics.get("buffopt_session_optimize_seconds")
+        assert seconds.count(mode="buffopt", engine="reference") == 2
+
+
+def test_session_profile_phases(y_tree, library, coupling):
+    with Session(
+        SessionOptions(mode="buffopt", profile_phases=True),
+        library=library, coupling=coupling,
+    ) as session:
+        profiled = session.optimize(y_tree)
+    assert profiled.phase_seconds is not None
+    assert set(profiled.phase_seconds) == {
+        "merge", "buffering", "wire", "prune"
+    }
+    # profiling never changes the arithmetic
+    with Session(
+        SessionOptions(mode="buffopt"), library=library, coupling=coupling
+    ) as session:
+        plain = session.optimize(y_tree)
+    assert plain.phase_seconds is None
+    assert plain.result.outcomes == profiled.result.outcomes
+
+
+def test_session_writes_trace_and_metrics_files(
+        tmp_path, y_tree, library, coupling):
+    trace = tmp_path / "session.jsonl"
+    prom = tmp_path / "session.prom"
+    options = SessionOptions(
+        mode="buffopt", trace_path=str(trace), metrics_path=str(prom)
+    )
+    with Session(options, library=library, coupling=coupling) as session:
+        session.optimize(y_tree)
+
+    spans = [r for r in read_events(trace) if r["type"] == "span"]
+    assert [s["name"] for s in spans] == ["session.optimize"]
+    assert spans[0]["attributes"]["net"] == y_tree.name
+    assert spans[0]["duration"] > 0.0
+
+    samples = parse_prometheus(prom.read_text())
+    key = (("engine", "reference"), ("mode", "buffopt"), ("status", "ok"))
+    assert samples["buffopt_session_nets_total"][key] == 1
+
+
+def test_session_external_tracer_not_closed(y_tree, library, coupling):
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    with Session(
+        SessionOptions(mode="delay"),
+        library=library, coupling=coupling,
+        tracer=tracer, metrics=metrics,
+    ) as session:
+        assert session.metrics is metrics
+        session.optimize(y_tree)
+    # the session must not close instrumentation it does not own
+    with tracer.span("still-usable"):
+        pass
+    tracer.close()
+    assert [s.name for s in tracer.spans] == [
+        "session.optimize", "still-usable"
+    ]
+
+
+def test_session_traced_run_is_bit_identical(
+        tmp_path, y_tree, library, coupling):
+    options = dict(mode="buffopt", max_buffers=6)
+    with Session(
+        SessionOptions(**options), library=library, coupling=coupling
+    ) as session:
+        untraced = session.optimize(y_tree)
+    with Session(
+        SessionOptions(
+            **options,
+            trace_path=str(tmp_path / "t.jsonl"),
+            profile_phases=True,
+        ),
+        library=library, coupling=coupling,
+    ) as session:
+        traced = session.optimize(y_tree)
+    assert untraced.result.outcomes == traced.result.outcomes
+    assert untraced.buffer_count == traced.buffer_count
+    assert (
+        untraced.result.candidates_generated
+        == traced.result.candidates_generated
+    )

@@ -1,0 +1,221 @@
+"""CLI surface: uniform options, exit codes, --json, observability flags."""
+
+import json
+
+import pytest
+
+from repro.cli import (
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
+from repro.obs import parse_prometheus, read_events
+
+
+def run_cli(capsys, *argv):
+    """Invoke main() in-process; return (exit_code, stdout, stderr)."""
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def run_json(capsys, *argv):
+    code, out, _ = run_cli(capsys, *argv, "--json")
+    return code, json.loads(out)
+
+
+# -- uniform interface -----------------------------------------------------
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_missing_subcommand_is_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([])
+    assert excinfo.value.code == EXIT_USAGE
+
+
+@pytest.mark.parametrize("argv", [
+    ["table1"],
+    ["fix", "net.json"],
+    ["sensitivity", "net.json"],
+    ["export", "dir"],
+    ["batch"],
+    ["fuzz"],
+    ["trace", "summarize", "t.jsonl"],
+])
+def test_every_subcommand_accepts_the_common_trio(argv):
+    args = build_parser().parse_args(
+        argv + ["--engine", "fast", "--seed", "7", "--json"]
+    )
+    assert args.engine == "fast"
+    assert args.seed == 7
+    assert args.json is True
+
+
+def test_exit_code_constants_are_distinct():
+    assert (EXIT_OK, EXIT_FAILURE, EXIT_USAGE) == (0, 1, 2)
+
+
+# -- exit codes ------------------------------------------------------------
+
+
+def test_batch_resume_without_checkpoint_is_usage_error(capsys):
+    code, _, err = run_cli(capsys, "batch", "--resume")
+    assert code == EXIT_USAGE
+    assert "--resume requires --checkpoint" in err
+
+
+def test_trace_summarize_missing_file_is_usage_error(capsys):
+    code, _, err = run_cli(capsys, "trace", "summarize", "no-such.jsonl")
+    assert code == EXIT_USAGE
+    assert "trace unreadable" in err
+
+
+# -- tables / export / fix -------------------------------------------------
+
+
+def test_table1_json_report(capsys):
+    code, report = run_json(capsys, "table1", "--nets", "6")
+    assert code == EXIT_OK
+    assert report["kind"] == "buffopt-tables-report"
+    assert report["target"] == "table1"
+    assert report["nets"] == 6
+    assert len(report["sections"]) == 1
+
+
+def test_export_then_fix_json_round_trip(capsys, tmp_path):
+    out_dir = tmp_path / "nets"
+    code, export = run_json(
+        capsys, "export", str(out_dir), "--nets", "1"
+    )
+    assert code == EXIT_OK
+    assert export["kind"] == "buffopt-export-report"
+    assert export["nets"] == 1
+    net_files = sorted(out_dir.glob("*.json"))
+    assert len(net_files) == 1
+
+    code, fix = run_json(
+        capsys, "fix", str(net_files[0]), "--engine", "fast"
+    )
+    assert code == EXIT_OK
+    assert fix["kind"] == "buffopt-fix-report"
+    assert fix["mode"] == "buffopt"
+    assert fix["engine"] == "fast"
+    assert fix["after"]["violations"] == 0
+    assert fix["after"]["buffers"] == len(fix["assignment"])
+
+
+# -- batch observability ---------------------------------------------------
+
+
+def test_batch_trace_and_metrics(capsys, tmp_path):
+    trace_path = tmp_path / "batch.jsonl"
+    prom_path = tmp_path / "batch.prom"
+    code, report = run_json(
+        capsys, "batch", "--nets", "4",
+        "--trace", str(trace_path), "--metrics", str(prom_path),
+    )
+    assert code == EXIT_OK
+    assert report["kind"] == "buffopt-batch-report"
+    assert report["nets"] == 4
+    assert report["ok"] == 4
+
+    records = read_events(trace_path)
+    span_names = {r["name"] for r in records if r["type"] == "span"}
+    assert {"batch", "batch.map"} <= span_names
+    net_events = [
+        r for r in records
+        if r["type"] == "event" and r["name"] == "batch.net"
+    ]
+    assert len(net_events) == 4
+    assert all(e["attributes"]["status"] == "ok" for e in net_events)
+
+    samples = parse_prometheus(prom_path.read_text())
+    ok_key = (("mode", "buffopt"), ("status", "ok"))
+    assert samples["buffopt_nets_total"][ok_key] == 4
+    # the exported per-phase seconds must account for the whole batch
+    # wall time (the 5% acceptance criterion; exact by construction)
+    wall = next(iter(samples["buffopt_batch_wall_seconds"].values()))
+    phases = sum(samples["buffopt_batch_phase_seconds"].values())
+    assert phases == pytest.approx(wall, rel=0.05)
+
+
+def test_trace_summarize_on_real_trace(capsys, tmp_path):
+    trace_path = tmp_path / "batch.jsonl"
+    code, _ = run_json(
+        capsys, "batch", "--nets", "2", "--trace", str(trace_path)
+    )
+    assert code == EXIT_OK
+
+    code, out, _ = run_cli(capsys, "trace", "summarize", str(trace_path))
+    assert code == EXIT_OK
+    assert "batch.map" in out
+
+    code, summary = run_json(
+        capsys, "trace", "summarize", str(trace_path)
+    )
+    assert code == EXIT_OK
+    assert summary["path"] == str(trace_path)
+    assert summary["spans"]["batch"]["count"] == 1
+    assert summary["events"]["batch.net"] == 2
+
+
+def test_batch_traced_run_is_bit_identical(capsys, tmp_path):
+    code, plain = run_json(
+        capsys, "batch", "--nets", "3", "--engine", "fast"
+    )
+    assert code == EXIT_OK
+    code, traced = run_json(
+        capsys, "batch", "--nets", "3", "--engine", "fast",
+        "--trace", str(tmp_path / "t.jsonl"),
+        "--metrics", str(tmp_path / "t.prom"),
+    )
+    assert code == EXIT_OK
+    for key in ("total_buffers", "buffer_histogram", "total_candidates"):
+        assert plain[key] == traced[key]
+
+
+# -- fuzz ------------------------------------------------------------------
+
+
+def test_fuzz_json_report_with_observability(capsys, tmp_path):
+    trace_path = tmp_path / "fuzz.jsonl"
+    prom_path = tmp_path / "fuzz.prom"
+    code, report = run_json(
+        capsys, "fuzz", "--iters", "2", "--seed", "3",
+        "--trace", str(trace_path), "--metrics", str(prom_path),
+    )
+    assert code == EXIT_OK
+    assert report["kind"] == "buffopt-fuzz-report"
+    assert report["ok"] is True
+    assert report["iterations_run"] == 2
+    assert report["counterexamples"] == []
+
+    records = read_events(trace_path)
+    campaign = [r for r in records if r["name"] == "fuzz"]
+    assert len(campaign) == 1
+    assert campaign[0]["attributes"]["iterations_run"] == 2
+
+    samples = parse_prometheus(prom_path.read_text())
+    iters = sum(samples["buffopt_fuzz_iterations_total"].values())
+    assert iters == 2
+
+
+def test_fuzz_planted_bug_fails_with_failure_exit(capsys):
+    code, report = run_json(
+        capsys, "fuzz", "--iters", "12", "--seed", "5", "--plant-bug",
+        "--no-shrink", "--max-counterexamples", "1",
+    )
+    assert code == EXIT_FAILURE
+    assert report["ok"] is False
+    assert len(report["counterexamples"]) >= 1
