@@ -1,4 +1,4 @@
-"""Engine bench: reference vs fast DP, head-to-head and at fleet scale.
+"""Engine bench: reference vs fast vs lishi DP, head-to-head and at scale.
 
 Two entry points:
 
@@ -7,17 +7,25 @@ Two entry points:
       PYTHONPATH=src python benchmarks/bench_engines.py           # full
       PYTHONPATH=src python benchmarks/bench_engines.py --smoke   # quick CI
 
-  Two measurements:
+  Three measurements:
 
   1. **Head-to-head** — one 500-sink net (60 in smoke) with an 8-buffer
-     library, timed under both engines in delay and noise-aware modes.
-     Outcomes must be bit-identical; the full run additionally asserts
-     the fast engine is >= 2x faster (the ISSUE acceptance bar).
+     library, timed under all three engines in delay and noise-aware
+     modes.  Fast must stay bit-identical to the reference; lishi is
+     held to *semantic equivalence* (equal outcome sets, slacks within
+     the documented 1e-9 relative tolerance, equal noise verdicts —
+     see ``tests/core/equivalence.py``).  The full run asserts the fast
+     engine is >= 2x over the reference and the lishi engine >= 2x over
+     fast in delay mode (the ISSUE acceptance bars).
   2. **Seeded regression family** — the 200-net generated workload
-     (24 in smoke) run through :class:`~repro.batch.BatchOptimizer`
-     under both engines in both modes with ``certify=True``: every
-     result signature must match between engines and every net must
-     pass independent certification.
+     (24 in smoke) run through :class:`~repro.batch.BatchOptimizer`:
+     reference and fast signatures must match bit-for-bit, and the
+     lishi fleet must come back certificate-clean on every net.
+  3. The **no-overhead-when-off** facade gate (unchanged).
+
+  The full run writes ``BENCH_engines.json`` at the repo root: all
+  three engines' timings, the speedup ratios, and git SHA / seed
+  attribution, so engine-perf trajectories stay diffable across PRs.
 
 * pytest bench (rides the existing suite)::
 
@@ -27,6 +35,9 @@ Two entry points:
 from __future__ import annotations
 
 import argparse
+import json
+import math
+import pathlib
 import random
 import sys
 from time import perf_counter
@@ -48,6 +59,11 @@ EIGHT_BUFFER_NAMES = (
 )
 
 MODES = ("delay", "buffopt")
+ENGINE_ORDER = ("reference", "fast", "lishi")
+
+#: semantic-equivalence tolerance, mirrored from tests/core/equivalence.py.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
 
 
 def chain_net(sinks: int, seed: int = 19981101):
@@ -74,11 +90,39 @@ def chain_net(sinks: int, seed: int = 19981101):
     return builder.build(f"chain{sinks}")
 
 
-def head_to_head(sinks: int, repeats: int):
-    """Best-of-``repeats`` engine timings per mode on one big net.
+def _outcome_map(result):
+    return {
+        o.buffer_count: (o.slack, o.noise_feasible) for o in result.outcomes
+    }
 
-    Returns ``{mode: (reference_s, fast_s)}``; asserts outcome equality
-    (raises AssertionError on divergence — that is the whole point).
+
+def assert_semantically_equal(reference, other, context):
+    """The lishi contract: equal selections within the float tolerance."""
+    ref_map = _outcome_map(reference)
+    other_map = _outcome_map(other)
+    assert ref_map.keys() == other_map.keys(), (
+        f"{context}: outcome count sets differ: "
+        f"{sorted(ref_map)} vs {sorted(other_map)}"
+    )
+    for count, (ref_slack, ref_feasible) in ref_map.items():
+        other_slack, other_feasible = other_map[count]
+        assert math.isclose(
+            ref_slack, other_slack, rel_tol=REL_TOL, abs_tol=ABS_TOL
+        ), (
+            f"{context}: slack diverged at count {count}: "
+            f"{ref_slack!r} vs {other_slack!r}"
+        )
+        assert ref_feasible == other_feasible, (
+            f"{context}: noise feasibility diverged at count {count}"
+        )
+
+
+def head_to_head(sinks: int, repeats: int):
+    """Best-of-``repeats`` timings per (mode, engine) on one big net.
+
+    Returns ``{mode: {engine: seconds}}``; asserts fast's bit-identity
+    and lishi's semantic equivalence (raises AssertionError on
+    divergence — that is the whole point).
     """
     library = default_buffer_library().restricted(list(EIGHT_BUFFER_NAMES))
     coupling = CouplingModel.estimation_mode(default_technology())
@@ -88,7 +132,7 @@ def head_to_head(sinks: int, repeats: int):
         noise_aware = mode == "buffopt"
         results = {}
         seconds = {}
-        for engine in ("reference", "fast"):
+        for engine in ENGINE_ORDER:
             options = DPOptions(
                 noise_aware=noise_aware,
                 track_counts=True,
@@ -103,13 +147,16 @@ def head_to_head(sinks: int, repeats: int):
             results[engine] = result
             seconds[engine] = best
         assert results["reference"].outcomes == results["fast"].outcomes, (
-            f"{mode}: engines disagree on {tree.name}"
+            f"{mode}: fast engine disagrees with reference on {tree.name}"
         )
         assert (
             results["reference"].candidates_generated
             == results["fast"].candidates_generated
         )
-        timings[mode] = (seconds["reference"], seconds["fast"])
+        assert_semantically_equal(
+            results["reference"], results["lishi"], f"{mode} [lishi]"
+        )
+        timings[mode] = seconds
     return timings
 
 
@@ -176,14 +223,21 @@ def overhead_gate(sinks: int, repeats: int, budget: float = 0.02) -> bool:
 
 
 def regression_family(nets: int, seed: int):
-    """Both engines over the seeded fleet, certified; returns True if OK."""
+    """All three engines over the seeded fleet; returns True if OK.
+
+    Reference and fast must produce bit-identical signatures; the lishi
+    fleet is independently certified on every net (its signatures may
+    legally differ in the last float digits, so certification — not
+    signature equality — is its gate here; the semantic-equivalence
+    comparison runs in the head-to-head and the test suite).
+    """
     workload = WorkloadConfig(nets=nets, seed=seed)
     specs = population_specs(workload)
     ok = True
     for mode in MODES:
         signatures = {}
         certified = {}
-        for engine in ("reference", "fast"):
+        for engine in ENGINE_ORDER:
             optimizer = BatchOptimizer(
                 config=BatchConfig(
                     mode=mode,
@@ -205,20 +259,51 @@ def regression_family(nets: int, seed: int):
                 file=sys.stderr,
             )
             ok = False
-        if certified["fast"] != nets or certified["reference"] != nets:
-            print(
-                f"FAIL: {mode}: certification not clean "
-                f"(reference {certified['reference']}/{nets}, "
-                f"fast {certified['fast']}/{nets})",
-                file=sys.stderr,
-            )
-            ok = False
+        for engine in ENGINE_ORDER:
+            if certified[engine] != nets:
+                print(
+                    f"FAIL: {mode}: {engine} certification not clean "
+                    f"({certified[engine]}/{nets})",
+                    file=sys.stderr,
+                )
+                ok = False
         if ok:
             print(
-                f"{mode}: {nets} nets bit-identical across engines, "
-                f"{certified['fast']}/{nets} certificate-clean"
+                f"{mode}: {nets} nets bit-identical reference/fast, "
+                f"all engines {nets}/{nets} certificate-clean"
             )
     return ok
+
+
+def write_artifact(path, sinks, repeats, seed, timings, smoke):
+    """Persist the three-way timings + ratios with git/seed attribution."""
+    from conftest import _git_sha
+
+    modes = {}
+    for mode, seconds in timings.items():
+        reference_s = seconds["reference"]
+        fast_s = seconds["fast"]
+        lishi_s = seconds["lishi"]
+        modes[mode] = {
+            "reference_ms": round(reference_s * 1e3, 3),
+            "fast_ms": round(fast_s * 1e3, 3),
+            "lishi_ms": round(lishi_s * 1e3, 3),
+            "speedup_fast_over_reference": round(reference_s / fast_s, 3),
+            "speedup_lishi_over_fast": round(fast_s / lishi_s, 3),
+            "speedup_lishi_over_reference": round(reference_s / lishi_s, 3),
+        }
+    artifact = {
+        "kind": "engine-bench",
+        "sinks": sinks,
+        "library": list(EIGHT_BUFFER_NAMES),
+        "repeats": repeats,
+        "seed": seed,
+        "smoke": smoke,
+        "git_sha": _git_sha(),
+        "modes": modes,
+    }
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
 
 
 def main(argv=None) -> int:
@@ -228,9 +313,15 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=19981101)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[1]
+        / "BENCH_engines.json",
+        help="where the full run writes its JSON artifact",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="small net + fleet, correctness-only (CI gate, no perf "
-        "assertions)",
+        "assertions, no artifact)",
     )
     args = parser.parse_args(argv)
 
@@ -241,13 +332,22 @@ def main(argv=None) -> int:
     print(f"engine bench: {sinks}-sink chain, 8-buffer library, "
           f"best of {repeats}")
     timings = head_to_head(sinks, repeats)
-    worst = float("inf")
-    for mode, (reference_s, fast_s) in timings.items():
-        speedup = reference_s / fast_s if fast_s > 0 else float("inf")
-        worst = min(worst, speedup)
-        print(f"{mode:8s}: reference {reference_s * 1e3:9.2f} ms   "
-              f"fast {fast_s * 1e3:9.2f} ms   speedup {speedup:.2f}x")
-    print("head-to-head outcomes identical in both modes")
+    worst_fast = worst_lishi_delay = float("inf")
+    for mode, seconds in timings.items():
+        fast_speedup = seconds["reference"] / seconds["fast"]
+        lishi_speedup = seconds["fast"] / seconds["lishi"]
+        worst_fast = min(worst_fast, fast_speedup)
+        if mode == "delay":
+            worst_lishi_delay = lishi_speedup
+        print(
+            f"{mode:8s}: reference {seconds['reference'] * 1e3:9.2f} ms   "
+            f"fast {seconds['fast'] * 1e3:9.2f} ms   "
+            f"lishi {seconds['lishi'] * 1e3:9.2f} ms   "
+            f"(fast {fast_speedup:.2f}x over ref, "
+            f"lishi {lishi_speedup:.2f}x over fast)"
+        )
+    print("head-to-head: fast bit-identical, lishi semantically "
+          "equivalent, both modes")
 
     if not overhead_gate(sinks, max(repeats, 5)):
         return 1
@@ -257,10 +357,19 @@ def main(argv=None) -> int:
 
     if args.smoke:
         return 0
-    if worst < 2.0:
+
+    write_artifact(args.out, sinks, repeats, args.seed, timings, args.smoke)
+    if worst_fast < 2.0:
         print(
-            f"FAIL: fast engine speedup {worst:.2f}x is under the 2x bar "
-            f"on the {sinks}-sink net",
+            f"FAIL: fast engine speedup {worst_fast:.2f}x is under the 2x "
+            f"bar on the {sinks}-sink net",
+            file=sys.stderr,
+        )
+        return 1
+    if worst_lishi_delay < 2.0:
+        print(
+            f"FAIL: lishi engine delay-mode speedup {worst_lishi_delay:.2f}x "
+            f"over fast is under the 2x bar on the {sinks}-sink net",
             file=sys.stderr,
         )
         return 1
@@ -296,6 +405,34 @@ def test_fast_engine_head_to_head(benchmark, results_dir):
         "fast:      see pytest-benchmark stats",
     ])
     write_result(results_dir, "engines.txt", text)
+
+
+def test_lishi_engine_head_to_head(benchmark, results_dir):
+    from conftest import write_result
+
+    library = default_buffer_library().restricted(list(EIGHT_BUFFER_NAMES))
+    coupling = CouplingModel.estimation_mode(default_technology())
+    tree = chain_net(120)
+    options = dict(noise_aware=False, track_counts=True, max_buffers=4)
+
+    lishi = benchmark(
+        lambda: run_dp(
+            tree, library, coupling, DPOptions(engine="lishi", **options)
+        )
+    )
+    start = perf_counter()
+    reference = run_dp(
+        tree, library, coupling, DPOptions(engine="reference", **options)
+    )
+    reference_s = perf_counter() - start
+    assert_semantically_equal(reference, lishi, "bench [lishi]")
+
+    text = "\n".join([
+        "lishi engine bench (120-sink chain, delay, 8-buffer library)",
+        f"reference: {reference_s * 1e3:8.2f} ms (single run)",
+        "lishi:     see pytest-benchmark stats",
+    ])
+    write_result(results_dir, "engines_lishi.txt", text)
 
 
 if __name__ == "__main__":

@@ -34,7 +34,7 @@ from time import perf_counter
 from typing import Dict, Optional
 
 from .core.budget import RunBudget
-from .core.dp import DPOptions, DPOutcome, DPResult, run_dp
+from .core.dp import ENGINE_CHOICES, DPOptions, DPOutcome, DPResult, run_dp
 from .core.solution import BufferSolution
 from .errors import ReproError
 from .library.buffers import BufferLibrary, default_buffer_library
@@ -120,7 +120,9 @@ class SessionOptions:
     #: ``"buffopt"`` (Problem 3: fewest buffers meeting noise + timing)
     #: or ``"delay"`` (DelayOpt: maximum slack, noise ignored).
     mode: str = "buffopt"
-    #: DP implementation, ``"reference"`` or ``"fast"`` (bit-identical).
+    #: DP implementation: ``"reference"``, ``"fast"`` (bit-identical),
+    #: ``"lishi"`` (O(bn²), equivalent within float tolerance), or
+    #: ``"auto"`` (pick fast/lishi per net by size).
     engine: str = "reference"
     #: Lillis count cap (``None`` = uncapped).
     max_buffers: Optional[int] = None
@@ -151,10 +153,10 @@ class SessionOptions:
             raise ValueError(
                 f"unknown mode {self.mode!r} (expected one of {API_MODES})"
             )
-        if self.engine not in ("reference", "fast"):
+        if self.engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"unknown engine {self.engine!r} "
-                "(expected 'reference' or 'fast')"
+                f"(expected one of {ENGINE_CHOICES})"
             )
         if self.prune not in ("timing", "pareto"):
             raise ValueError(f"unknown prune rule {self.prune!r}")

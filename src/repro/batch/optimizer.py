@@ -53,6 +53,7 @@ from typing import (
 
 from ..api import dp_result
 from ..core.budget import RunBudget
+from ..core.dp import ENGINE_CHOICES
 from ..core.solution import BufferSolution
 from ..core.stats import EngineStats
 from ..errors import (
@@ -128,9 +129,13 @@ class BatchConfig:
     #: a structured ``CertificateError`` failure in the ``"certify"``
     #: phase instead of a silently wrong solution.
     certify: bool = False
-    #: DP implementation: ``"reference"`` or ``"fast"`` (bit-identical
-    #: results; see :mod:`repro.core.fast_engine`).  Excluded from the
-    #: checkpoint fingerprint, so a resumed batch may switch engines.
+    #: DP implementation: ``"reference"``, ``"fast"`` (bit-identical
+    #: results; see :mod:`repro.core.fast_engine`), ``"lishi"``
+    #: (semantically equivalent within float tolerance; see
+    #: :mod:`repro.core.lishi_engine`), or ``"auto"`` (per-net pick).
+    #: Excluded from the checkpoint fingerprint — the ``"auto"``
+    #: resolution included, since it never reaches the options — so a
+    #: resumed batch may switch engines.
     engine: str = "reference"
 
     def __post_init__(self) -> None:
@@ -138,10 +143,10 @@ class BatchConfig:
             raise WorkloadError(
                 f"unknown batch mode {self.mode!r} (expected one of {MODES})"
             )
-        if self.engine not in ("reference", "fast"):
+        if self.engine not in ENGINE_CHOICES:
             raise WorkloadError(
                 f"unknown engine {self.engine!r} "
-                "(expected 'reference' or 'fast')"
+                f"(expected one of {ENGINE_CHOICES})"
             )
         if (
             self.max_segment_length is not None

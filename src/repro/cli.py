@@ -73,6 +73,7 @@ import sys
 from typing import List, Optional
 
 from . import __version__
+from .core.dp import ENGINE_CHOICES
 from .experiments import (
     build_all_figures,
     build_table1,
@@ -107,13 +108,15 @@ def _add_common_options(
     seed_default: int = 19981101,
     seed_help: str = "workload seed",
     engine_help: str = (
-        "DP implementation: the readable reference engine or the "
-        "Li-Shi-style fast engine (bit-identical results, ~2-3x faster)"
+        "DP implementation: the readable reference engine, the fast "
+        "engine (bit-identical results, ~2-3x faster), the lishi "
+        "engine (true O(bn^2); equivalent outcomes within float "
+        "tolerance), or auto (pick fast/lishi per net by size)"
     ),
 ) -> None:
     """The uniform trio every subcommand carries."""
     sub.add_argument(
-        "--engine", choices=["reference", "fast"], default="reference",
+        "--engine", choices=list(ENGINE_CHOICES), default="reference",
         help=engine_help,
     )
     sub.add_argument("--seed", type=int, default=seed_default, help=seed_help)
@@ -342,7 +345,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run against a deliberately broken engine (self-test: the "
         "campaign must fail and shrink the counterexample); with "
         "--engine fast the bug is an over-pruning fast-engine rule the "
-        "oracle comparison must catch",
+        "oracle comparison must catch, with --engine lishi an "
+        "over-evicting timing prune only the differential/oracle legs "
+        "can see",
     )
     fuzz.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -654,16 +659,17 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         engine_for,
         planted_buggy_engine,
         planted_buggy_fast_engine,
+        planted_buggy_lishi_engine,
         replay_file,
         run_fuzz,
     )
 
     if args.plant_bug:
-        engine = (
-            planted_buggy_fast_engine()
-            if args.engine == "fast"
-            else planted_buggy_engine()
-        )
+        planted = {
+            "fast": planted_buggy_fast_engine,
+            "lishi": planted_buggy_lishi_engine,
+        }
+        engine = planted.get(args.engine, planted_buggy_engine)()
     else:
         engine = engine_for(args.engine)
     if args.replay:

@@ -1,7 +1,18 @@
 """The paper's algorithms: Theorem 1 closed forms, Algorithms 1–3, DelayOpt."""
 
 from .budget import RunBudget
-from .dp import DPCandidate, DPOptions, DPOutcome, DPResult, Insertion, run_dp
+from .dp import (
+    AUTO_LISHI_THRESHOLD,
+    ENGINE_CHOICES,
+    ENGINES,
+    DPCandidate,
+    DPOptions,
+    DPOutcome,
+    DPResult,
+    Insertion,
+    resolve_auto_engine,
+    run_dp,
+)
 from .noise_delay import buffopt, buffopt_min_buffers, buffopt_result
 from .noise_multi import (
     NoiseCandidate,
@@ -68,6 +79,10 @@ __all__ = [
     "optimize_delay_per_count",
     "prune_noise_candidates",
     "run_dp",
+    "ENGINES",
+    "ENGINE_CHOICES",
+    "AUTO_LISHI_THRESHOLD",
+    "resolve_auto_engine",
     "select_noise_buffer",
     "uniform_line_spacing",
     "uniform_wire_noise",

@@ -81,6 +81,23 @@ class DPCandidate:
         return Chain.to_tuple(self.wire_chain)
 
 
+#: the concrete DP implementations, in the order they landed.
+ENGINES = ("reference", "fast", "lishi")
+#: everything :class:`DPOptions.engine` accepts — the concrete engines
+#: plus the per-net ``"auto"`` heuristic.
+ENGINE_CHOICES = ENGINES + ("auto",)
+
+#: ``engine="auto"`` switches from "fast" to "lishi" when sink count ×
+#: buffer-library size reaches this product.  Below it the frontier is
+#: small enough that the fast engine's lower constants (and its
+#: bit-identity to the reference) win; above it the lishi engine's
+#: O(1) wire updates and hull-walk buffering dominate.  Chosen from the
+#: bench_engines crossover: a 60-sink × 8-buffer smoke net (product
+#: 480) still favors "fast", the 500-sink × 8-buffer gate point
+#: (product 4000) favors "lishi" by well over 2x.
+AUTO_LISHI_THRESHOLD = 512
+
+
 @dataclass(frozen=True)
 class DPOptions:
     """Engine configuration; defaults give the plain Van Ginneken setup."""
@@ -91,11 +108,13 @@ class DPOptions:
     prune: str = "timing"  # "timing" (paper) or "pareto" (4-field ablation)
     enforce_polarity: bool = True
     #: which DP implementation runs the recurrence: ``"reference"`` (this
-    #: module, the readable dataclass-per-candidate engine) or ``"fast"``
-    #: (:mod:`repro.core.fast_engine`, the Li–Shi-style tuple engine).
-    #: Both produce bit-identical :class:`DPOutcome`\ s — asserted by the
-    #: differential suite — so the choice is purely a speed/readability
-    #: trade.
+    #: module, the readable dataclass-per-candidate engine), ``"fast"``
+    #: (:mod:`repro.core.fast_engine`, Li–Shi-style data layout with
+    #: bit-identical outcomes), ``"lishi"``
+    #: (:mod:`repro.core.lishi_engine`, the genuine O(bn²) algorithm —
+    #: semantically equivalent within float tolerance, *not*
+    #: bit-identical), or ``"auto"`` (:func:`resolve_auto_engine` picks
+    #: between "fast" and "lishi" per net by sink count × library size).
     engine: str = "reference"
     #: enable Lillis-style simultaneous wire sizing with this width menu.
     sizing: Optional[WireSizingSpec] = None
@@ -118,10 +137,10 @@ class DPOptions:
     def __post_init__(self) -> None:
         if self.prune not in ("timing", "pareto"):
             raise ValueError(f"unknown prune rule {self.prune!r}")
-        if self.engine not in ("reference", "fast"):
+        if self.engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"unknown engine {self.engine!r} "
-                "(expected 'reference' or 'fast')"
+                f"(expected one of {', '.join(map(repr, ENGINE_CHOICES))})"
             )
         if self.budget is not None and not isinstance(self.budget, RunBudget):
             raise ValueError(
@@ -711,8 +730,11 @@ def run_dp(
     ``coupling`` defaults to the silent model (all noise currents zero),
     which is the right setting for pure DelayOpt; ``driver`` defaults to
     ``tree.driver``.  ``options.engine`` selects the implementation:
-    ``"reference"`` (this module) or ``"fast"``
-    (:mod:`repro.core.fast_engine`); both return bit-identical outcomes.
+    ``"reference"`` (this module), ``"fast"``
+    (:mod:`repro.core.fast_engine`, bit-identical to the reference),
+    ``"lishi"`` (:mod:`repro.core.lishi_engine`, semantically equivalent
+    within float tolerance), or ``"auto"``
+    (:func:`resolve_auto_engine` picks "fast" or "lishi" per net).
     """
     options = options or DPOptions()
     coupling = coupling or CouplingModel.silent()
@@ -722,10 +744,17 @@ def run_dp(
                 f"tree {tree.name!r} has no driver cell; pass driver="
             )
         driver = tree.driver
-    if options.engine == "fast":
+    engine_name = options.engine
+    if engine_name == "auto":
+        engine_name = resolve_auto_engine(tree, library)
+    if engine_name == "fast":
         from .fast_engine import FastEngine
 
         engine = FastEngine(tree, library, coupling, options, driver)
+    elif engine_name == "lishi":
+        from .lishi_engine import LiShiEngine
+
+        engine = LiShiEngine(tree, library, coupling, options, driver)
     else:
         engine = _Engine(tree, library, coupling, options, driver)
     if options.profile is not None:
@@ -733,3 +762,22 @@ def run_dp(
         # the whole branch (the no-overhead-when-off contract).
         options.profile.install(engine)
     return engine.run()
+
+
+def resolve_auto_engine(tree: RoutingTree, library: BufferLibrary) -> str:
+    """Resolve ``engine="auto"`` for one net: ``"fast"`` or ``"lishi"``.
+
+    The heuristic is the product *sink count × buffer-library size* —
+    the factors that size the per-node frontier and the per-node
+    buffering scan — against :data:`AUTO_LISHI_THRESHOLD`.  The
+    resolution is deliberately per-net state-free (no timing, no
+    feedback), so a batch run's checkpoint fingerprint stays independent
+    of it: resuming a journal under a different engine (or a different
+    auto resolution) is always legal, because every engine answers
+    semantically alike.
+    """
+    return (
+        "lishi"
+        if len(tree.sinks) * len(library) >= AUTO_LISHI_THRESHOLD
+        else "fast"
+    )

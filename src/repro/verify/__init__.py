@@ -36,6 +36,7 @@ from .fuzz import (
     engine_for,
     planted_buggy_engine,
     planted_buggy_fast_engine,
+    planted_buggy_lishi_engine,
     replay_file,
     run_fuzz,
     shrink_tree,
@@ -79,6 +80,7 @@ __all__ = [
     "engine_for",
     "planted_buggy_engine",
     "planted_buggy_fast_engine",
+    "planted_buggy_lishi_engine",
     "replay_file",
     "run_fuzz",
     "shrink_tree",

@@ -191,7 +191,7 @@ def evaluate_assignment(
     states: Dict[str, NodeCertificate] = {}
     for node in tree.postorder():
         state = _node_state(node, states, valid, coupling, violations,
-                            noise_tolerance)
+                            noise_tolerance, check_polarity)
         states[node.name] = state
 
     source_state = states[tree.source.name]
@@ -231,6 +231,7 @@ def _node_state(
     coupling: CouplingModel,
     violations: List[CertificateViolation],
     noise_tolerance: float,
+    check_polarity: bool = True,
 ) -> NodeCertificate:
     """One step of the bottom-up recurrence (paper eqs. 1, 5, 7, 12)."""
     if node.is_sink:
@@ -267,10 +268,11 @@ def _node_state(
         )
         if polarity is None:
             polarity = below.polarity
-        elif polarity != below.polarity:
+        elif polarity != below.polarity and check_polarity:
             # children disagree on inversion parity; certify against the
             # worst case and flag it (a legal engine solution never
-            # merges unequal parities).
+            # merges unequal parities while polarity is enforced; with
+            # enforcement off, mixed-parity merges are legal).
             violations.append(CertificateViolation(
                 kind="polarity", node=node.name,
                 message="children present unequal inversion parity",

@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from ..core.dp import DPOptions, DPResult, run_dp
+from ..core.dp import ENGINE_CHOICES, DPOptions, DPResult, run_dp
 from ..errors import InfeasibleError, ReproError
 from ..io import net_from_dict, net_to_dict
 from ..library.buffers import BufferLibrary, default_buffer_library
@@ -52,9 +52,9 @@ def default_engine(
 ) -> DPResult:
     """The real engine, configured the way the fuzzer checks it.
 
-    ``dp_engine`` selects the DP implementation (``"reference"`` or
-    ``"fast"``) — ``buffopt fuzz --engine fast`` points the whole
-    campaign at the fast engine's code paths.
+    ``dp_engine`` selects the DP implementation (any of
+    :data:`repro.core.dp.ENGINE_CHOICES`) — ``buffopt fuzz --engine
+    lishi`` points the whole campaign at the lishi engine's code paths.
     """
     options = DPOptions(
         noise_aware=noise_aware,
@@ -145,6 +145,49 @@ def planted_buggy_fast_engine(min_sinks: int = 2) -> Engine:
     return engine
 
 
+def planted_buggy_lishi_engine(min_sinks: int = 2) -> Engine:
+    """A lishi engine with deliberately over-eager dominance eviction.
+
+    On trees with at least ``min_sinks`` sinks the timing prune keeps
+    only the min-load candidate of every group — the same planted bug
+    as :func:`planted_buggy_fast_engine`, expressed through the lishi
+    engine's prune seam.  Because the lishi engine's claim is *semantic
+    equivalence* rather than bit-identity, this is the mutant the
+    equivalence harness must catch: every surviving candidate is still
+    self-consistent (the certificate passes), only the oracle or a
+    reference comparison notices the evicted optimum.
+    """
+    from ..core.lishi_engine import LiShiEngine
+
+    class _OverEvictingLiShiEngine(LiShiEngine):
+        def _prune_timing(self, candidates, frontier):
+            kept = super()._prune_timing(candidates, frontier)
+            return kept[:1]
+
+    def engine(tree, library, coupling, noise_aware, max_buffers=None):
+        if len(tree.sinks) < min_sinks:
+            return default_engine(
+                tree, library, coupling, noise_aware, max_buffers,
+                dp_engine="lishi",
+            )
+        options = DPOptions(
+            noise_aware=noise_aware,
+            track_counts=True,
+            max_buffers=max_buffers,
+            engine="lishi",
+        )
+        driver = tree.driver
+        if driver is None:
+            raise InfeasibleError(
+                f"tree {tree.name!r} has no driver cell; pass driver="
+            )
+        return _OverEvictingLiShiEngine(
+            tree, library, coupling, options, driver
+        ).run()
+
+    return engine
+
+
 @dataclass(frozen=True)
 class FuzzConfig:
     """One fuzz campaign: sizes, seeds, and which checks run."""
@@ -168,8 +211,9 @@ class FuzzConfig:
     #: directory for counterexample JSON files (None: don't write).
     out_dir: Optional[str] = None
     max_counterexamples: int = 10
-    #: DP implementation under test (``"reference"`` or ``"fast"``) when
-    #: no explicit engine callable is passed to :func:`run_fuzz`.
+    #: DP implementation under test (``"reference"``, ``"fast"``,
+    #: ``"lishi"``, or ``"auto"``) when no explicit engine callable is
+    #: passed to :func:`run_fuzz`.
     engine: str = "reference"
 
     def __post_init__(self) -> None:
@@ -178,10 +222,10 @@ class FuzzConfig:
         for mode in self.modes:
             if mode not in ("delay", "buffopt"):
                 raise ValueError(f"unknown fuzz mode {mode!r}")
-        if self.engine not in ("reference", "fast"):
+        if self.engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"unknown engine {self.engine!r} "
-                "(expected 'reference' or 'fast')"
+                f"(expected one of {ENGINE_CHOICES})"
             )
 
 

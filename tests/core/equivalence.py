@@ -1,0 +1,168 @@
+"""Semantic-equivalence harness for engines that drop bit-identity.
+
+The fast engine is held to *bit-identity* with the reference
+(`test_engine_differential.py`).  The lishi engine deliberately gives
+that up — lazy offsets reassociate float arithmetic, eager eviction and
+hull-mediated buffering change which of several equally-good candidates
+survives — so its correctness bar is **semantic equivalence**, asserted
+by three independent layers:
+
+1. :func:`assert_outcomes_equivalent` — the *selected outcomes* (the
+   per-count frontier the caller actually consumes) must match the
+   reference's: the same buffer-count set, each count's slack equal
+   within :data:`REL_TOL`/:data:`ABS_TOL`, and the same noise
+   feasibility verdicts.  Insertion positions may differ (distinct
+   optimal placements with equal slack are legal), slacks may not.
+2. :func:`assert_certificate_clean` — every claim is re-derived from
+   the physics by the independent certificate checker, so the pair of
+   engines cannot drift together into a shared wrong answer.
+3. :func:`assert_oracle_optimal` — on small nets, exhaustive
+   enumeration confirms nothing optimal was evicted.  This is the layer
+   that catches *over-eviction*, which outcome comparison against a
+   buggy twin and self-consistent certificates both miss.
+
+:func:`assert_semantic_equivalence` composes the three.  The tolerance
+is documented here once: outcome slacks are compared with
+``rel_tol=1e-9, abs_tol=1e-12`` (in the repo's slack units), roughly
+1e6 ULPs of headroom over the ~1e-15 reassociation drift actually
+observed on 500-node chains — tight enough that losing even one
+optimal candidate at the 4th significant digit past the drift floor
+fails the gate, loose enough that legal float reassociation never does.
+
+This module lives in ``tests/core`` (not a package): import it with the
+directory on ``sys.path``, as the engine tests do.
+"""
+
+import math
+
+from repro import CouplingModel, DPOptions, run_dp
+from repro.verify import (
+    certify_result,
+    compare_result_to_oracle,
+    exhaustive_oracle,
+)
+
+#: documented slack tolerance for cross-engine outcome comparison.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+#: nets up to this many feasible sites get the exhaustive-oracle layer.
+ORACLE_MAX_SITES = 6
+
+
+def outcome_map(result):
+    """``{buffer_count: (slack, noise_feasible)}`` for one DP result."""
+    return {
+        o.buffer_count: (o.slack, o.noise_feasible) for o in result.outcomes
+    }
+
+
+def assert_outcomes_equivalent(reference, other, context=""):
+    """Selected outcomes match within the documented float tolerance.
+
+    Candidate *counters* (generated/kept) are deliberately not compared:
+    the lishi engine generates far fewer candidates by construction, so
+    bit-level population equality is not part of the contract.
+    """
+    ref_map = outcome_map(reference)
+    other_map = outcome_map(other)
+    assert ref_map.keys() == other_map.keys(), (
+        f"{context}: outcome count sets differ: "
+        f"{sorted(ref_map)} vs {sorted(other_map)}"
+    )
+    for count, (ref_slack, ref_feasible) in ref_map.items():
+        other_slack, other_feasible = other_map[count]
+        assert math.isclose(
+            ref_slack, other_slack, rel_tol=REL_TOL, abs_tol=ABS_TOL
+        ), (
+            f"{context}: slack diverged at count {count}: "
+            f"{ref_slack!r} vs {other_slack!r}"
+        )
+        assert ref_feasible == other_feasible, (
+            f"{context}: noise feasibility diverged at count {count}: "
+            f"{ref_feasible} vs {other_feasible}"
+        )
+
+
+def assert_certificate_clean(result, coupling, driver, context=""):
+    """The independent certificate re-derives every claim from physics."""
+    certificate = certify_result(result, coupling, driver)
+    assert certificate.ok, f"{context}: {certificate.describe()}"
+
+
+def assert_oracle_optimal(
+    tree, result, library, coupling, noise_aware, context=""
+):
+    """Exhaustive enumeration confirms no optimal candidate was evicted."""
+    oracle = exhaustive_oracle(
+        tree,
+        library,
+        coupling,
+        noise_aware=noise_aware,
+        max_buffers=result.options.max_buffers,
+        enforce_polarity=result.options.enforce_polarity,
+        max_sites=ORACLE_MAX_SITES,
+    )
+    disagreements = compare_result_to_oracle(
+        result, oracle, exact=False, rel_tol=REL_TOL, abs_tol=ABS_TOL
+    )
+    assert not disagreements, (
+        f"{context}: " + "; ".join(d.describe() for d in disagreements)
+    )
+
+
+def oracle_sized(tree):
+    """Whether the net is small enough for the exhaustive-oracle layer."""
+    sites = sum(1 for n in tree.nodes() if n.is_internal and n.feasible)
+    return 1 <= sites <= ORACLE_MAX_SITES
+
+
+def assert_semantic_equivalence(
+    tree,
+    library,
+    coupling=None,
+    engine="lishi",
+    engine_callable=None,
+    context="",
+    **option_kwargs,
+):
+    """Run ``engine`` against the reference and apply all three layers.
+
+    ``engine_callable`` substitutes a custom runner for the non-reference
+    side (the planted-bug self-tests inject broken engines through it);
+    it receives ``(tree, library, coupling, options)`` and must return a
+    :class:`~repro.core.dp.DPResult`.  Returns the engine-side result so
+    callers can stack further checks.
+
+    Delay-mode runs use the silent coupling model regardless of the
+    ``coupling`` argument — the repo-wide convention (see the fuzz
+    campaign and the oracle suite): delay mode ignores noise by
+    construction, so running it under a live coupling model produces
+    noise-infeasible selections that the independent certificate and
+    oracle rightly reject.
+    """
+    if not option_kwargs.get("noise_aware", False):
+        coupling = CouplingModel.silent()
+    coupling = coupling or CouplingModel.silent()
+    context = context or f"{tree.name} [{engine}]"
+    reference = run_dp(
+        tree, library, coupling,
+        DPOptions(engine="reference", **option_kwargs),
+    )
+    options = DPOptions(engine=engine, **option_kwargs)
+    if engine_callable is not None:
+        result = engine_callable(tree, library, coupling, options)
+    else:
+        result = run_dp(tree, library, coupling, options)
+    assert_outcomes_equivalent(reference, result, context)
+    assert_certificate_clean(result, coupling, tree.driver, context)
+    if oracle_sized(tree) and result.options.sizing is None:
+        assert_oracle_optimal(
+            tree,
+            result,
+            library,
+            coupling,
+            option_kwargs.get("noise_aware", False),
+            context,
+        )
+    return result

@@ -7,6 +7,9 @@ essentially linearly with tree size for realistic nets (the O(n^2) bound
 is a worst case).
 """
 
+import importlib.util
+import pathlib
+
 import numpy as np
 import pytest
 
@@ -163,6 +166,93 @@ class TestFastEngineScaling:
         ]
         node_ratio = len(trees[1]) / len(trees[0])
         assert counts[1] / counts[0] <= node_ratio * 2.0
+
+
+def _bench_engines():
+    """Import the benchmark module for its bench-point net constructor."""
+    path = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "benchmarks" / "bench_engines.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_engines", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLiShiEngineScaling:
+    """The lishi engine's empirical growth matches its O(b n^2) story.
+
+    Unlike the fast engine, lishi is *not* population-identical to the
+    reference in count-tracked mode: hull-mediated buffering generates
+    one buffered candidate per (group, buffer) argmax instead of the
+    full cross product, so its generated counter must sit *strictly
+    below* the fast engine's at the benchmark point — that gap is the
+    complexity claim made measurable.
+    """
+
+    @pytest.fixture(scope="class")
+    def bench(self):
+        module = _bench_engines()
+        library = LIBRARY.restricted(list(module.EIGHT_BUFFER_NAMES))
+        return module.chain_net, library
+
+    def _generated(self, tree, library, engine):
+        return run_dp(
+            tree, library, COUPLING,
+            DPOptions(engine=engine, track_counts=True, max_buffers=4),
+        ).candidates_generated
+
+    def test_lishi_growth_consistent_with_quadratic_bound(self, bench):
+        chain_net, library = bench
+        sizes = (60, 125, 250, 500)
+        generated = [
+            self._generated(chain_net(n), library, "lishi") for n in sizes
+        ]
+        # O(b n^2) allows at most ~4x per doubling; measured growth is
+        # ~2x (near-linear after pruning), so 4.2 leaves slack for the
+        # bound while failing any super-quadratic regression.
+        for step in range(len(sizes) - 1):
+            size_ratio = sizes[step + 1] / sizes[step]
+            growth = generated[step + 1] / generated[step]
+            assert growth <= size_ratio ** 2 * 1.05, (
+                f"{sizes[step]}->{sizes[step + 1]}: generated grew "
+                f"{growth:.2f}x, above the quadratic bound"
+            )
+
+    def test_lishi_generates_strictly_below_fast_at_bench_point(self, bench):
+        chain_net, library = bench
+        tree = chain_net(500)
+        lishi = self._generated(tree, library, "lishi")
+        fast = self._generated(tree, library, "fast")
+        assert lishi < fast, (
+            f"lishi generated {lishi} candidates at the 500-sink bench "
+            f"point, not strictly below fast's {fast}"
+        )
+
+    def test_lishi_matches_reference_counts_on_plain_chains(self):
+        # without count tracking the hull argmax degenerates to the same
+        # single-winner population as the reference scan
+        for segments in (16, 64):
+            tree = chain(segments)
+            reference = run_dp(tree, LIBRARY, COUPLING)
+            lishi = run_dp(
+                tree, LIBRARY, COUPLING, DPOptions(engine="lishi")
+            )
+            assert (
+                lishi.candidates_generated == reference.candidates_generated
+            )
+
+    def test_lishi_fanout_generates_no_more_than_fast(self):
+        for sinks in (8, 32):
+            tree = fan(sinks)
+            lishi = run_dp(
+                tree, LIBRARY, COUPLING, DPOptions(engine="lishi")
+            ).candidates_generated
+            fast = run_dp(
+                tree, LIBRARY, COUPLING, DPOptions(engine="fast")
+            ).candidates_generated
+            assert lishi <= fast
 
 
 class TestSizingScaling:

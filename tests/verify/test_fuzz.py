@@ -19,6 +19,7 @@ from repro.verify import (
     engine_for,
     planted_buggy_engine,
     planted_buggy_fast_engine,
+    planted_buggy_lishi_engine,
     replay_file,
     run_fuzz,
     shrink_tree,
@@ -115,6 +116,47 @@ class TestFastEngineCampaign:
     def test_fuzz_config_rejects_unknown_engine(self):
         with pytest.raises(ValueError, match="engine"):
             FuzzConfig(iterations=5, engine="turbo")
+
+
+class TestLiShiEngineCampaign:
+    """The fuzz loop exercised through the lishi engine seam.
+
+    The planted lishi bug over-evicts during the timing prune — every
+    surviving candidate is still a genuine candidate, so the claims
+    self-certify and only the differential/oracle legs can catch the
+    missing optimum.  Same closed loop as the fast seam: detected,
+    shrunk, replayable, and cleanly green on the healthy engines.
+    """
+
+    def test_clean_lishi_engine_survives_seeded_campaign(self):
+        report = run_fuzz(
+            FuzzConfig(iterations=25, seed=11, engine="lishi")
+        )
+        assert report.ok, report.describe()
+        assert report.iterations_run == 25
+
+    def test_planted_lishi_bug_is_caught_and_shrunk(self, tmp_path):
+        config = FuzzConfig(
+            iterations=40, seed=5, out_dir=str(tmp_path),
+            max_counterexamples=2,
+        )
+        report = run_fuzz(config, engine=planted_buggy_lishi_engine())
+        assert not report.ok
+        example = report.counterexamples[0]
+        assert example.shrunk_nodes <= example.original_nodes
+        assert report.written_files
+        # the repro replays against the buggy lishi engine and passes
+        # against the healthy lishi and reference engines
+        path = report.written_files[0]
+        assert replay_file(path, engine=planted_buggy_lishi_engine())
+        assert replay_file(path, engine=engine_for("lishi")) == []
+        assert replay_file(path) == []
+
+    def test_auto_engine_campaign_is_clean(self):
+        report = run_fuzz(
+            FuzzConfig(iterations=15, seed=23, engine="auto")
+        )
+        assert report.ok, report.describe()
 
 
 class TestShrinker:
