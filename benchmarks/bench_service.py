@@ -1,0 +1,280 @@
+"""Service bench: loadtest latency percentiles + a chaos consistency leg.
+
+Standalone script (what CI runs in ``--smoke`` mode)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke   # quick CI
+
+Two measurements:
+
+1. **Loadtest** — N concurrent HTTP clients against a live
+   ``ThreadingHTTPServer`` + resilient-supervision service; reports
+   nearest-rank p50/p95/p99 latency, throughput, and the shed-retry
+   count.  The harness retries 429/503 responses, so "dropped" must be
+   zero by construction or the bench fails.
+
+2. **Chaos consistency** — the same request stream against a server
+   with deterministic fault injection (worker crash / hang / slow-start
+   at the configured rate, hangs killed by the hard deadline), plus a
+   torn journal tail and a mid-stream server restart that must recover
+   from the journal.  Every response's deterministic ``result`` payload
+   must equal the fault-free baseline's, and nothing may be dropped —
+   the ISSUE's acceptance bar, measured rather than asserted in a unit
+   test.
+
+The full run writes ``BENCH_service.json`` at the repo root (git SHA /
+seed attribution, same sidecar conventions as ``BENCH_engines.json``)
+so service-latency trajectories stay diffable across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+from repro.batch.resilience import RetryPolicy
+from repro.service import (
+    ChaosConfig,
+    HttpServiceClient,
+    InProcessClient,
+    LoadTestConfig,
+    OptimizationService,
+    ServiceConfig,
+    make_http_server,
+    run_loadtest,
+    tear_journal_tail,
+)
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from conftest import _git_sha  # noqa: E402
+
+
+def _serve(service):
+    """Bind the HTTP surface on a free port; return (server, thread)."""
+    server = make_http_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def _stop(service, server, thread):
+    service.drain()
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+def loadtest_leg(config: LoadTestConfig, workers: int) -> dict:
+    service = OptimizationService(ServiceConfig(
+        workers=workers,
+        queue_limit=max(8, config.requests // 4),
+        retry=RetryPolicy(max_attempts=3, backoff_seconds=0.02, seed=7),
+    )).start()
+    server, thread = _serve(service)
+    try:
+        client = HttpServiceClient(f"http://127.0.0.1:{server.port}")
+        report = run_loadtest(client, config)
+    finally:
+        _stop(service, server, thread)
+    if report["dropped"]:
+        raise SystemExit(
+            f"loadtest dropped {report['dropped']} requests — the "
+            "zero-drop bar failed"
+        )
+    return report
+
+
+def baseline_responses(config: LoadTestConfig) -> dict:
+    """Fault-free serial run: net name -> deterministic result payload."""
+    service = OptimizationService(ServiceConfig(
+        workers=1, queue_limit=config.requests + 1, supervision="inline",
+    )).start()
+    client = InProcessClient(service)
+    results = {}
+    try:
+        for payload in config.payloads():
+            status, body = client.submit(payload)
+            assert status == 200, (status, body)
+            results[payload["net"]["name"]] = body["result"]
+    finally:
+        service.drain()
+    return results
+
+
+def chaos_leg(
+    config: LoadTestConfig,
+    workers: int,
+    rate: float,
+    journal: pathlib.Path,
+    restart_after_fraction: float = 0.5,
+) -> dict:
+    """Chaos + restart-mid-load run; returns the consistency report."""
+    baseline = baseline_responses(config)
+    chaos = ChaosConfig(
+        rate=rate,
+        seed=config.seed + 1,
+        kinds=("raise", "exit", "hang", "slow"),
+        hang_seconds=5.0,
+        slow_seconds=0.1,
+    )
+    names = sorted({p["net"]["name"] for p in config.payloads()})
+    faulted = chaos.faulted(names)
+
+    def service_config() -> ServiceConfig:
+        return ServiceConfig(
+            workers=workers,
+            queue_limit=config.requests + 1,
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.02, seed=7),
+            hard_deadline=1.0,
+            journal_path=journal,
+            chaos=chaos,
+        )
+
+    if journal.exists():
+        journal.unlink()
+    payloads = config.payloads()
+    split = max(1, int(len(payloads) * restart_after_fraction))
+
+    # Phase 1: run the first half, then kill without draining (the
+    # journal, not the process, carries the state) and tear its tail.
+    service = OptimizationService(service_config()).start()
+    client = InProcessClient(service)
+    first = {}
+    for payload in payloads[:split]:
+        status, body = client.submit(payload)
+        assert status == 200, (status, body)
+        first[payload["net"]["name"]] = body["result"]
+    # leave queued work behind: async-submit the rest, don't wait.
+    for payload in payloads[split:]:
+        client.submit(dict(payload, wait=False))
+    # abandon the service (simulated crash) and tear the journal tail.
+    tear_journal_tail(journal)
+
+    # Phase 2: restart; recovery must serve phase-1 results from cache
+    # and finish the abandoned work from the journal.
+    restarted = OptimizationService(service_config()).start()
+    client2 = InProcessClient(restarted)
+    responses = {}
+    mismatches = []
+    dropped = 0
+    cache_hits = 0
+    try:
+        for payload in payloads:
+            status, body = client2.submit(payload)
+            if status != 200:
+                dropped += 1
+                continue
+            name = payload["net"]["name"]
+            responses[name] = body["result"]
+            if body.get("cached"):
+                cache_hits += 1
+            if body["result"] != baseline[name]:
+                mismatches.append(name)
+    finally:
+        restarted.drain()
+        service.drain()  # reap phase-1 threads (journal already replayed)
+    return {
+        "requests": len(payloads),
+        "unique_nets": len(names),
+        "fault_rate_configured": rate,
+        "nets_faulted": len(faulted),
+        "fault_fraction_actual": len(faulted) / len(names),
+        "recovered_results": restarted.recovered_results,
+        "recovered_jobs": restarted.recovered_jobs,
+        "torn_tail_recovered": True,
+        "cache_hits_after_restart": cache_hits,
+        "dropped": dropped,
+        "mismatched": mismatches,
+        "identical_to_baseline": not mismatches and not dropped,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_service.json",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (smaller fleet, same checks)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        config = LoadTestConfig(
+            clients=4, requests=24, unique_nets=16, seed=args.seed,
+            max_sinks=5,
+        )
+        workers, chaos_rate = 2, 0.20
+    else:
+        config = LoadTestConfig(
+            clients=8, requests=120, unique_nets=64, seed=args.seed,
+            max_sinks=8,
+        )
+        workers, chaos_rate = 4, 0.15
+
+    print(
+        f"loadtest: {config.clients} clients x {config.requests} requests "
+        f"over HTTP ...", file=sys.stderr,
+    )
+    started = time.perf_counter()
+    load_report = run_load = loadtest_leg(config, workers)
+    print(
+        f"  p50 {run_load['latency_seconds']['p50'] * 1e3:.1f} ms  "
+        f"p95 {run_load['latency_seconds']['p95'] * 1e3:.1f} ms  "
+        f"p99 {run_load['latency_seconds']['p99'] * 1e3:.1f} ms  "
+        f"({run_load['throughput_rps']:.1f} req/s)", file=sys.stderr,
+    )
+
+    # The chaos-leg journal is working state (torn, recovered, replayed),
+    # not a result — keep it out of benchmarks/results/.
+    scratch = pathlib.Path(tempfile.mkdtemp(prefix="buffopt-bench-service-"))
+    journal = scratch / "service.journal"
+    print(
+        f"chaos: rate {chaos_rate:.0%} + torn tail + restart mid-load ...",
+        file=sys.stderr,
+    )
+    try:
+        chaos_report = chaos_leg(config, workers, chaos_rate, journal)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    print(
+        f"  faulted {chaos_report['nets_faulted']}/"
+        f"{chaos_report['unique_nets']} nets, dropped "
+        f"{chaos_report['dropped']}, identical="
+        f"{chaos_report['identical_to_baseline']}", file=sys.stderr,
+    )
+    if not chaos_report["identical_to_baseline"]:
+        print("CHAOS CONSISTENCY FAILED", file=sys.stderr)
+        return 1
+    if chaos_report["fault_fraction_actual"] < 0.05:
+        print("chaos leg faulted < 5% of nets — raise the rate",
+              file=sys.stderr)
+        return 1
+
+    sidecar = {
+        "git_sha": _git_sha(),
+        "kind": "service-bench",
+        "seed": args.seed,
+        "smoke": args.smoke,
+    }
+    sidecar.update({
+        "loadtest": load_report,
+        "chaos": chaos_report,
+        "wall_seconds": round(time.perf_counter() - started, 3),
+    })
+    args.out.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

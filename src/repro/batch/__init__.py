@@ -23,8 +23,10 @@ misbehave:
 
 from .checkpoint import (
     CheckpointJournal,
+    TORN_TAIL_COUNTER,
     load_checkpoint,
     read_checkpoint_header,
+    record_torn_tail,
     result_from_json,
     result_to_json,
 )
@@ -72,6 +74,7 @@ __all__ = [
     "ResilientExecutor",
     "RetryPolicy",
     "SerialExecutor",
+    "TORN_TAIL_COUNTER",
     "WorkItemFailure",
     "default_worker_count",
     "failure_net_result",
@@ -80,6 +83,7 @@ __all__ = [
     "make_executor",
     "optimize_net",
     "read_checkpoint_header",
+    "record_torn_tail",
     "result_from_json",
     "result_to_json",
 ]

@@ -30,13 +30,48 @@ import json
 import os
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, Optional, TextIO, Union
+from typing import Any, Dict, List, Optional, TextIO, Union
 
 from ..errors import WorkloadError
 from ..library.buffers import BufferLibrary
 
 #: bump when the journal schema changes incompatibly.
 CHECKPOINT_VERSION = 1
+
+#: counter incremented (on an optional obs registry) whenever a torn
+#: trailing line is recovered from — the observable trace of the
+#: kill-mid-write path actually firing.  Shared by the batch checkpoint
+#: and the service journal, distinguished by the ``journal`` label.
+TORN_TAIL_COUNTER = "buffopt_checkpoint_torn_tail_recovered_total"
+
+
+def record_torn_tail(metrics, journal: str) -> None:
+    """Count one recovered torn tail on ``metrics`` (no-op when None)."""
+    if metrics is None:
+        return
+    metrics.counter(
+        TORN_TAIL_COUNTER,
+        "torn trailing journal lines skipped during recovery",
+    ).inc(journal=journal)
+
+
+def repair_torn_tail(path: Union[str, Path], lines: List[str]) -> None:
+    """Truncate a journal's torn final line off the file.
+
+    Recovery *tolerating* the tear is not enough when the journal will
+    be appended to afterwards: the next record would concatenate onto
+    the unterminated fragment, turning an interrupted write into
+    interior corruption on the incarnation after next.  ``lines`` is
+    the full ``readlines()`` content whose last entry is the torn
+    fragment.  A read-only file (e.g. an archived CI artifact being
+    inspected) is left alone.
+    """
+    keep = sum(len(line.encode("utf-8")) for line in lines[:-1])
+    try:
+        with open(path, "rb+") as handle:
+            handle.truncate(keep)
+    except OSError:
+        pass
 
 
 def result_to_json(result) -> Dict[str, Any]:
@@ -105,21 +140,39 @@ def result_from_json(record: Dict[str, Any], library: BufferLibrary):
 
 
 class CheckpointJournal:
-    """Append-only JSONL writer, flushed (and fsync-able) per record."""
+    """Append-only JSONL writer, flushed (and optionally fsynced) per record.
 
-    def __init__(self, path: Union[str, Path], handle: TextIO):
+    ``fsync=True`` (the default, and the only behavior before the flag
+    existed) forces every record to stable storage, so a machine crash —
+    not just a process kill — loses at most the record in flight.
+    ``fsync=False`` trades that durability for append throughput: the
+    per-line ``flush`` still protects against process death, which is
+    the only fault a same-machine restart can observe anyway.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], handle: TextIO, fsync: bool = True
+    ):
         self.path = Path(path)
         self._handle = handle
+        self._fsync = fsync
 
     @classmethod
     def create(
-        cls, path: Union[str, Path], fingerprint: Dict[str, Any]
+        cls,
+        path: Union[str, Path],
+        fingerprint: Dict[str, Any],
+        fsync: bool = True,
     ) -> "CheckpointJournal":
         """Start a fresh journal (truncating any previous file)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        handle = path.open("w", encoding="utf-8")
-        journal = cls(path, handle)
+        # Truncate, then reopen O_APPEND so flushed lines always land at
+        # the true end of file even if another handle appends in between
+        # (a plain "w" handle would overwrite them at its own position).
+        path.open("w", encoding="utf-8").close()
+        handle = path.open("a", encoding="utf-8")
+        journal = cls(path, handle, fsync=fsync)
         journal._write({
             "kind": "header",
             "version": CHECKPOINT_VERSION,
@@ -129,18 +182,22 @@ class CheckpointJournal:
 
     @classmethod
     def append_to(
-        cls, path: Union[str, Path], fingerprint: Dict[str, Any]
+        cls,
+        path: Union[str, Path],
+        fingerprint: Dict[str, Any],
+        fsync: bool = True,
     ) -> "CheckpointJournal":
         """Reopen an existing journal for appending (header must match)."""
         path = Path(path)
         header = read_checkpoint_header(path)
         check_fingerprint(header["fingerprint"], fingerprint, path)
-        return cls(path, path.open("a", encoding="utf-8"))
+        return cls(path, path.open("a", encoding="utf-8"), fsync=fsync)
 
     def _write(self, record: Dict[str, Any]) -> None:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self._fsync:
+            os.fsync(self._handle.fileno())
 
     def append(self, result) -> None:
         self._write(result_to_json(result))
@@ -199,12 +256,17 @@ def load_checkpoint(
     path: Union[str, Path],
     library: BufferLibrary,
     fingerprint: Optional[Dict[str, Any]] = None,
+    metrics=None,
 ) -> Dict[str, Any]:
     """Load completed results keyed by net name (last line per net wins).
 
     ``fingerprint`` (when given) must match the journal header.  Torn
     trailing lines are skipped; torn *interior* lines raise, because
-    they indicate corruption rather than an interrupted write.
+    they indicate corruption rather than an interrupted write.  When a
+    torn tail is skipped and ``metrics`` (a
+    :class:`~repro.obs.MetricsRegistry`) is given, the recovery is
+    counted on :data:`TORN_TAIL_COUNTER` so crash-recovery paths stay
+    observable in production.
     """
     path = Path(path)
     header = read_checkpoint_header(path)
@@ -220,7 +282,10 @@ def load_checkpoint(
             record = json.loads(line)
         except json.JSONDecodeError:
             if number == len(lines):
-                break  # torn final line: the writer was killed mid-write
+                # torn final line: the writer was killed mid-write
+                record_torn_tail(metrics, journal="batch")
+                repair_torn_tail(path, lines)
+                break
             raise WorkloadError(
                 f"checkpoint {path} line {number} is corrupt"
             ) from None

@@ -11,7 +11,13 @@ chosen attempts, in the three ways a real fleet run fails:
 * ``"hang"`` — the worker sleeps ``seconds`` before proceeding,
   simulating a stuck net that only a hard deadline can reclaim;
 * ``"exit"`` — the worker calls ``os._exit``, simulating a segfault /
-  OOM kill that leaves no Python-level trace.
+  OOM kill that leaves no Python-level trace;
+* ``"slow"`` — the worker sleeps ``seconds`` and then proceeds
+  normally.  Mechanically identical to ``"hang"``; the semantic split
+  matters to the service chaos harness: a hang's ``seconds`` is chosen
+  *past* the supervisor's hard deadline (the kill path must fire), a
+  slow-start's is chosen *under* it (the request must still succeed,
+  just late — exercising queue backpressure, not the kill path).
 
 Everything is deterministic: a :class:`FaultPlan` maps net names to
 :class:`FaultSpec`\\ s, each spec lists the *attempt numbers* on which it
@@ -36,7 +42,7 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 from ..errors import WorkloadError
 
 #: supported fault kinds, in the order the docs discuss them.
-FAULT_KINDS = ("raise", "hang", "exit")
+FAULT_KINDS = ("raise", "hang", "exit", "slow")
 
 
 class InjectedFault(RuntimeError):
@@ -103,8 +109,9 @@ class FaultPlan:
         """Misbehave if ``name`` is scheduled to fail on ``attempt``.
 
         Called at worker entry, before net generation.  ``"raise"``
-        raises, ``"exit"`` never returns, ``"hang"`` sleeps then returns
-        (so a hang without a deadline still completes, just late).
+        raises, ``"exit"`` never returns, ``"hang"`` and ``"slow"``
+        sleep then return (so a hang without a deadline still
+        completes, just late).
         """
         spec = self.faults.get(name)
         if spec is None or attempt not in spec.attempts:
@@ -113,7 +120,7 @@ class FaultPlan:
             raise InjectedFault(
                 f"{spec.message} (net {name!r}, attempt {attempt})"
             )
-        if spec.kind == "hang":
+        if spec.kind in ("hang", "slow"):
             time.sleep(spec.seconds)
             return
         # "exit": bypass every handler, like a segfault would.

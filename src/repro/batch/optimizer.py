@@ -712,6 +712,7 @@ class BatchOptimizer:
         items: Iterable[BatchItem],
         checkpoint: Optional[Union[str, Path]] = None,
         resume: bool = False,
+        checkpoint_fsync: bool = True,
     ) -> BatchReport:
         """Run the configured optimization over every item, in order.
 
@@ -725,6 +726,8 @@ class BatchOptimizer:
         their original positions, so the report's order — and every
         recomputed net's signature — matches an uninterrupted run
         (resumed entries carry no trees or stats).
+        ``checkpoint_fsync=False`` trades fsync-per-record durability
+        for append throughput (see :class:`CheckpointJournal`).
         """
         units = list(items)
         if resume and checkpoint is None:
@@ -735,10 +738,16 @@ class BatchOptimizer:
         if checkpoint is not None:
             path = Path(checkpoint)
             if resume and path.exists():
-                done = load_checkpoint(path, self.library, fingerprint)
-                journal = CheckpointJournal.append_to(path, fingerprint)
+                done = load_checkpoint(
+                    path, self.library, fingerprint, metrics=self.metrics
+                )
+                journal = CheckpointJournal.append_to(
+                    path, fingerprint, fsync=checkpoint_fsync
+                )
             else:
-                journal = CheckpointJournal.create(path, fingerprint)
+                journal = CheckpointJournal.create(
+                    path, fingerprint, fsync=checkpoint_fsync
+                )
 
         names = [item_identity(unit)[0] for unit in units]
         results: List[Optional[NetResult]] = [
@@ -994,14 +1003,20 @@ class BatchOptimizer:
         specs: Optional[Sequence[NetSpec]] = None,
         checkpoint: Optional[Union[str, Path]] = None,
         resume: bool = False,
+        checkpoint_fsync: bool = True,
     ) -> BatchReport:
         """Optimize the workload population from deferred specs.
 
         ``specs`` defaults to :func:`~repro.workloads.population_specs` of
         this optimizer's workload config — generation then happens inside
         the workers, seeded explicitly per net.  ``checkpoint`` /
-        ``resume`` behave as in :meth:`optimize`.
+        ``resume`` / ``checkpoint_fsync`` behave as in :meth:`optimize`.
         """
         if specs is None:
             specs = population_specs(self.workload)
-        return self.optimize(specs, checkpoint=checkpoint, resume=resume)
+        return self.optimize(
+            specs,
+            checkpoint=checkpoint,
+            resume=resume,
+            checkpoint_fsync=checkpoint_fsync,
+        )

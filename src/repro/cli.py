@@ -268,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
         "re-run budget-blown nets with degraded pruning (aggressive)",
     )
     batch.add_argument(
+        "--retry-jitter-seed", type=int, default=0, metavar="SEED",
+        help="seed of the retry backoff jitter stream (default 0); pin it "
+        "to make fault-injected runs reproduce byte-identical schedules",
+    )
+    batch.add_argument(
         "--checkpoint", default=None, metavar="PATH",
         help="journal completed nets to this JSONL file as they finish",
     )
@@ -276,12 +281,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="reload --checkpoint and recompute only unfinished nets",
     )
     batch.add_argument(
+        "--no-checkpoint-fsync", action="store_true",
+        help="skip the per-record fsync on the checkpoint journal "
+        "(faster appends; per-line flush still survives process death)",
+    )
+    batch.add_argument(
         "--inject-faults", type=float, default=None, metavar="RATE",
         help="fault-injection harness: make this fraction of nets "
         "misbehave (testing/demo only)",
     )
     batch.add_argument(
-        "--fault-kind", choices=["raise", "hang", "exit"], default="raise",
+        "--fault-kind", choices=["raise", "hang", "exit", "slow"],
+        default="raise",
         help="what injected faults do (default: raise)",
     )
     batch.add_argument(
@@ -360,6 +371,149 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_options(
         fuzz, seed_default=0, seed_help="campaign seed",
         engine_help="DP implementation under test (default: reference)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the long-lived optimization service (JSON over HTTP, "
+        "or line-delimited JSON on stdio; see docs/service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8723,
+        help="listen port (0 = pick a free one; default 8723)",
+    )
+    serve.add_argument(
+        "--stdio", action="store_true",
+        help="serve line-delimited JSON on stdin/stdout instead of HTTP "
+        "(the embedding mode)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent worker threads, one supervised child process "
+        "each (default 2)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="admission queue bound; beyond it submits shed with 429 "
+        "(default 16)",
+    )
+    serve.add_argument(
+        "--supervision", choices=["resilient", "inline"],
+        default="resilient",
+        help="resilient: process per request, survives crashes and "
+        "hangs; inline: in-thread, for embedding (default: resilient)",
+    )
+    serve.add_argument(
+        "--hard-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock kill for hung workers "
+        "(resilient supervision only)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="retry budget per request (default 3)",
+    )
+    serve.add_argument(
+        "--backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base retry backoff (default 0.05)",
+    )
+    serve.add_argument(
+        "--retry-jitter-seed", type=int, default=0, metavar="SEED",
+        help="seed of the retry backoff jitter stream (default 0); pin "
+        "it so chaos runs reproduce byte-identical schedules",
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal admissions and results to this JSONL file; a "
+        "restarted server serves finished work from it and re-runs "
+        "what was in flight",
+    )
+    serve.add_argument(
+        "--no-journal-fsync", action="store_true",
+        help="skip the per-record fsync on the service journal",
+    )
+    serve.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="emit lifecycle events (accepted/done/recovered) as JSONL",
+    )
+    serve.add_argument(
+        "--wait-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="cap on wait=true synchronous submits (default 60)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="graceful-drain deadline on SIGTERM (default 30)",
+    )
+    serve.add_argument(
+        "--chaos-rate", type=float, default=None, metavar="RATE",
+        help="chaos harness: deterministically fault this fraction of "
+        "requests' workers (testing only)",
+    )
+    serve.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed selecting which nets the chaos harness faults",
+    )
+    serve.add_argument(
+        "--chaos-hang-seconds", type=float, default=30.0,
+        help="injected hang duration (choose past --hard-deadline)",
+    )
+    serve.add_argument(
+        "--chaos-slow-seconds", type=float, default=0.25,
+        help="injected slow-start duration (choose under the deadline)",
+    )
+    _add_common_options(
+        serve,
+        seed_help="workload seed" + _UNUSED,
+        engine_help="DP implementation (per-request via the protocol's "
+        "'engine' field; this flag is accepted for interface uniformity)",
+    )
+
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="drive a service with N concurrent clients and report "
+        "latency percentiles (BENCH_service.json sidecar)",
+    )
+    loadtest.add_argument(
+        "--url", default=None, metavar="URL",
+        help="target a running server (e.g. http://127.0.0.1:8723); "
+        "default: run an in-process service",
+    )
+    loadtest.add_argument(
+        "--clients", type=int, default=4, help="client threads (default 4)"
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=40,
+        help="total requests across all clients (default 40)",
+    )
+    loadtest.add_argument(
+        "--unique-nets", type=int, default=32,
+        help="distinct nets; the rest repeat, exercising the cache "
+        "(default 32)",
+    )
+    loadtest.add_argument(
+        "--mode", choices=["buffopt", "delay"], default="buffopt",
+        help="optimization mode for every request",
+    )
+    loadtest.add_argument(
+        "--workers", type=int, default=2,
+        help="in-process service worker threads (ignored with --url)",
+    )
+    loadtest.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="in-process service queue bound (ignored with --url)",
+    )
+    loadtest.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the BENCH sidecar JSON here (e.g. BENCH_service.json)",
+    )
+    loadtest.add_argument(
+        "--smoke", action="store_true",
+        help="mark the sidecar as a smoke (CI-sized) run",
+    )
+    _add_common_options(
+        loadtest, seed_default=0, seed_help="request-stream seed",
+        engine_help="DP implementation requested for every net "
+        "(default: reference)",
     )
 
     trace = subparsers.add_parser(
@@ -559,11 +713,12 @@ def _run_batch(args: argparse.Namespace) -> int:
 
     retry = None
     if args.max_attempts is not None or args.backoff is not None \
-            or args.fallback is not None:
+            or args.fallback is not None or args.retry_jitter_seed:
         retry = RetryPolicy(
             max_attempts=args.max_attempts or 3,
             backoff_seconds=args.backoff if args.backoff is not None else 0.05,
             fallback=args.fallback,
+            seed=args.retry_jitter_seed,
         )
     workload = WorkloadConfig(nets=args.nets, seed=args.seed)
     executor = make_executor(
@@ -610,7 +765,10 @@ def _run_batch(args: argparse.Namespace) -> int:
     )
     try:
         report = optimizer.optimize_specs(
-            specs, checkpoint=args.checkpoint, resume=args.resume
+            specs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            checkpoint_fsync=not args.no_checkpoint_fsync,
         )
     except WorkloadError as exc:
         print(f"batch failed: {exc}", file=sys.stderr)
@@ -742,6 +900,145 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return EXIT_OK if report.ok else EXIT_FAILURE
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .batch.resilience import RetryPolicy
+    from .errors import ServiceError
+    from .service import (
+        ChaosConfig,
+        OptimizationService,
+        ServiceConfig,
+        run_http_server,
+        run_stdio,
+    )
+
+    events = None
+    if args.events:
+        from .obs import EventSink
+
+        events = EventSink(args.events)
+    chaos = None
+    if args.chaos_rate is not None:
+        chaos = ChaosConfig(
+            rate=args.chaos_rate,
+            seed=args.chaos_seed,
+            hang_seconds=args.chaos_hang_seconds,
+            slow_seconds=args.chaos_slow_seconds,
+        )
+        print(
+            f"chaos: faulting ~{args.chaos_rate:.0%} of requests "
+            f"(seed {args.chaos_seed})",
+            file=sys.stderr,
+        )
+    try:
+        config = ServiceConfig(
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            retry=RetryPolicy(
+                max_attempts=args.max_attempts,
+                backoff_seconds=args.backoff,
+                seed=args.retry_jitter_seed,
+            ),
+            hard_deadline=args.hard_deadline,
+            supervision=args.supervision,
+            journal_path=args.journal,
+            journal_fsync=not args.no_journal_fsync,
+            wait_timeout=args.wait_timeout,
+            drain_timeout=args.drain_timeout,
+            chaos=chaos,
+        )
+        service = OptimizationService(config, events=events).start()
+    except ServiceError as exc:
+        print(f"serve failed to start: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if service.recovered_jobs or service.recovered_results:
+        print(
+            f"recovered {service.recovered_results} cached result(s), "
+            f"re-enqueued {service.recovered_jobs} in-flight request(s) "
+            f"from {args.journal}",
+            file=sys.stderr,
+        )
+    try:
+        if args.stdio:
+            drained = run_stdio(service)
+        else:
+            drained = run_http_server(
+                service,
+                host=args.host,
+                port=args.port,
+                announce=lambda port: print(
+                    f"buffopt service listening on "
+                    f"http://{args.host}:{port}",
+                    file=sys.stderr,
+                ),
+            )
+    finally:
+        if events is not None:
+            events.close()
+    print(
+        "drained cleanly" if drained else "drain timed out with work left",
+        file=sys.stderr,
+    )
+    return EXIT_OK if drained else EXIT_FAILURE
+
+
+def _run_loadtest(args: argparse.Namespace) -> int:
+    from .service import (
+        HttpServiceClient,
+        InProcessClient,
+        LoadTestConfig,
+        OptimizationService,
+        ServiceConfig,
+        run_loadtest,
+        write_bench_sidecar,
+    )
+
+    config = LoadTestConfig(
+        clients=args.clients,
+        requests=args.requests,
+        unique_nets=args.unique_nets,
+        seed=args.seed,
+        mode=args.mode,
+        engine=args.engine,
+    )
+    service = None
+    if args.url:
+        client = HttpServiceClient(args.url)
+    else:
+        service = OptimizationService(ServiceConfig(
+            workers=args.workers, queue_limit=args.queue_limit,
+        )).start()
+        client = InProcessClient(service)
+    print(
+        f"loadtest: {args.clients} clients x {args.requests} requests "
+        f"against {args.url or 'an in-process service'} ...",
+        file=sys.stderr,
+    )
+    try:
+        report = run_loadtest(client, config)
+    finally:
+        if service is not None:
+            service.drain()
+    if args.out:
+        write_bench_sidecar(
+            report, args.out, seed=args.seed, smoke=args.smoke
+        )
+        print(f"sidecar written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        latency = report["latency_seconds"]
+        print(
+            f"{report['completed']}/{report['requests']} completed, "
+            f"{report['dropped']} dropped, "
+            f"{report['shed_retries']} shed retries, "
+            f"{report['throughput_rps']:.1f} req/s | latency p50 "
+            f"{latency['p50'] * 1000:.1f} ms, p95 "
+            f"{latency['p95'] * 1000:.1f} ms, p99 "
+            f"{latency['p99'] * 1000:.1f} ms"
+        )
+    return EXIT_OK if report["dropped"] == 0 else EXIT_FAILURE
+
+
 def _run_trace(args: argparse.Namespace) -> int:
     from .errors import ObservabilityError
     from .obs import summarize_trace
@@ -770,6 +1067,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_batch(args)
     if args.target == "fuzz":
         return _run_fuzz(args)
+    if args.target == "serve":
+        return _run_serve(args)
+    if args.target == "loadtest":
+        return _run_loadtest(args)
     if args.target == "trace":
         return _run_trace(args)
     return _run_tables(args)

@@ -88,6 +88,18 @@ class WorkloadError(ReproError):
     """Workload generation received inconsistent parameters."""
 
 
+class ServiceError(ReproError):
+    """The optimization service hit an operational failure.
+
+    Raised by :mod:`repro.service` for journal corruption (non-torn-tail),
+    protocol-version mismatches on recovery, lifecycle misuse (submitting
+    to a stopped server), and startup failures.  Request-level problems —
+    malformed payloads, shed requests — travel as structured protocol
+    *responses* (HTTP 4xx/5xx with a JSON error body), never as this
+    exception: a bad request must not be able to take the server down.
+    """
+
+
 class ObservabilityError(ReproError):
     """The tracing / metrics layer was misused or hit corrupt data.
 

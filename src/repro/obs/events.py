@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, List, TextIO, Union
 
@@ -33,6 +34,10 @@ class EventSink:
     ``fsync=True`` additionally fsyncs every record (the checkpoint
     journal's durability level); the default leaves durability to the
     OS because traces are diagnostics, not recovery state.
+
+    Writes are serialized by an internal lock, so concurrent server
+    handler threads can share one sink without interleaved or torn
+    lines (the obs concurrency test hammers this).
     """
 
     def __init__(
@@ -44,6 +49,7 @@ class EventSink:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fsync = fsync
+        self._lock = threading.Lock()
         self._handle: TextIO = self.path.open(
             "a" if append else "w", encoding="utf-8"
         )
@@ -51,20 +57,23 @@ class EventSink:
 
     def emit(self, record: Dict[str, Any]) -> None:
         """Write one record as one flushed JSONL line."""
-        if self._handle.closed:
-            raise ObservabilityError(
-                f"event sink {self.path} is closed; no further records "
-                "can be written"
-            )
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
-        if self._fsync:
-            os.fsync(self._handle.fileno())
-        self.emitted += 1
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._handle.closed:
+                raise ObservabilityError(
+                    f"event sink {self.path} is closed; no further records "
+                    "can be written"
+                )
+            self._handle.write(line)
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+            self.emitted += 1
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
 
     @property
     def closed(self) -> bool:

@@ -14,16 +14,20 @@ value (or histogram state) per label set.  Exporters:
 round-trip is pinned by the obs test suite and powers
 ``buffopt trace summarize`` on ``.prom`` files.
 
-Everything is process-local and single-threaded by design: the DP and
-batch layers meter from the supervising process, and worker-side
-telemetry travels through :class:`~repro.core.stats.EngineStats` as it
-always has.
+Everything is process-local, and — since the service layer shares one
+registry across HTTP handler and worker threads — **thread-safe**: each
+metric guards its read-modify-write updates with its own lock, and
+``samples()`` snapshots the state under that lock before yielding, so an
+exporter running concurrently with writers sees a consistent point-in-
+time view.  Worker-*process*-side telemetry still travels through
+:class:`~repro.core.stats.EngineStats` as it always has.
 """
 
 from __future__ import annotations
 
 import math
 import re
+import threading
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ObservabilityError
@@ -79,6 +83,8 @@ class _Metric:
             raise ObservabilityError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
+        #: guards every read-modify-write; exporters snapshot under it.
+        self._lock = threading.Lock()
 
     def samples(self) -> Iterator[Tuple[str, LabelKey, float]]:
         """Yield ``(sample_name, label_key, value)`` triples."""
@@ -100,13 +106,17 @@ class Counter(_Metric):
                 f"counter {self.name} cannot decrease (inc by {amount})"
             )
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
 
     def samples(self) -> Iterator[Tuple[str, LabelKey, float]]:
-        for key, value in self._values.items():
+        with self._lock:
+            snapshot = list(self._values.items())
+        for key, value in snapshot:
             yield self.name, key, value
 
 
@@ -120,22 +130,31 @@ class Gauge(_Metric):
         self._values: Dict[LabelKey, float] = {}
 
     def set(self, value: float, **labels: Any) -> None:
-        self._values[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
 
     def set_max(self, value: float, **labels: Any) -> None:
         """Keep the running maximum (peaks across many runs)."""
         key = _label_key(labels)
-        self._values[key] = max(self._values.get(key, -math.inf), float(value))
+        with self._lock:
+            self._values[key] = max(
+                self._values.get(key, -math.inf), float(value)
+            )
 
     def add(self, amount: float, **labels: Any) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
-        return self._values.get(_label_key(labels), 0.0)
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
 
     def samples(self) -> Iterator[Tuple[str, LabelKey, float]]:
-        for key, value in self._values.items():
+        with self._lock:
+            snapshot = list(self._values.items())
+        for key, value in snapshot:
             yield self.name, key, value
 
 
@@ -175,32 +194,40 @@ class Histogram(_Metric):
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
-        state = self._states.get(key)
-        if state is None:
-            state = self._states[key] = _HistogramState(self.buckets)
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                state.bucket_counts[index] += 1
-        state.sum += value
-        state.count += 1
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = _HistogramState(self.buckets)
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state.bucket_counts[index] += 1
+            state.sum += value
+            state.count += 1
 
     def count(self, **labels: Any) -> int:
-        state = self._states.get(_label_key(labels))
-        return 0 if state is None else state.count
+        with self._lock:
+            state = self._states.get(_label_key(labels))
+            return 0 if state is None else state.count
 
     def sum(self, **labels: Any) -> float:
-        state = self._states.get(_label_key(labels))
-        return 0.0 if state is None else state.sum
+        with self._lock:
+            state = self._states.get(_label_key(labels))
+            return 0.0 if state is None else state.sum
 
     def samples(self) -> Iterator[Tuple[str, LabelKey, float]]:
-        for key, state in self._states.items():
-            for bound, bucket_count in zip(self.buckets, state.bucket_counts):
+        with self._lock:
+            snapshot = [
+                (key, list(state.bucket_counts), state.sum, state.count)
+                for key, state in self._states.items()
+            ]
+        for key, bucket_counts, state_sum, state_count in snapshot:
+            for bound, bucket_count in zip(self.buckets, bucket_counts):
                 le = key + (("le", _format_value(bound)),)
                 yield f"{self.name}_bucket", tuple(sorted(le)), bucket_count
             inf = key + (("le", "+Inf"),)
-            yield f"{self.name}_bucket", tuple(sorted(inf)), state.count
-            yield f"{self.name}_sum", key, state.sum
-            yield f"{self.name}_count", key, state.count
+            yield f"{self.name}_bucket", tuple(sorted(inf)), state_count
+            yield f"{self.name}_sum", key, state_sum
+            yield f"{self.name}_count", key, state_count
 
 
 class MetricsRegistry:
@@ -214,26 +241,29 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._metrics)
 
     def __iter__(self) -> Iterator[_Metric]:
-        return iter(self._metrics.values())
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def _register(self, cls, name: str, help: str, **kwargs) -> Any:
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ObservabilityError(
-                    f"metric {name!r} is already registered as a "
-                    f"{existing.kind}, cannot re-register as a "
-                    f"{cls.kind}"
-                )
-            return existing
-        metric = cls(name, help, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ObservabilityError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind}, cannot re-register as a "
+                        f"{cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._register(Counter, name, help)
@@ -250,14 +280,15 @@ class MetricsRegistry:
         return self._register(Histogram, name, help, buckets=buckets)
 
     def get(self, name: str) -> Optional[_Metric]:
-        return self._metrics.get(name)
+        with self._lock:
+            return self._metrics.get(name)
 
     # -- exporters ---------------------------------------------------------
 
     def to_prometheus(self) -> str:
         """The Prometheus text exposition format (version 0.0.4)."""
         lines: List[str] = []
-        for metric in self._metrics.values():
+        for metric in self:
             if metric.help:
                 lines.append(f"# HELP {metric.name} {metric.help}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
@@ -271,7 +302,7 @@ class MetricsRegistry:
     def to_json(self) -> Dict[str, Any]:
         """A plain-dict view: ``{name: {type, help, samples: [...]}}``."""
         out: Dict[str, Any] = {}
-        for metric in self._metrics.values():
+        for metric in self:
             out[metric.name] = {
                 "type": metric.kind,
                 "help": metric.help,

@@ -1,0 +1,108 @@
+"""Buffopt-as-a-service: a fault-tolerant, long-running optimization server.
+
+The batch layer (:mod:`repro.batch`) optimizes a fleet in one shot; this
+package keeps the same engine available *continuously* — many clients,
+many nets, shared resources — which is the deployment shape the
+multicommodity-flow buffered-routing line assumes.  Everything is
+stdlib-only (``http.server``, ``threading``, ``json``) on top of the
+existing substrate:
+
+* :mod:`repro.service.protocol` — the strict JSON request/response
+  contract, request canonicalization, and the per-request fingerprint
+  (the service twin of the batch checkpoint fingerprint) that keys the
+  result cache;
+* :mod:`repro.service.worker` — the picklable worker body: one request
+  through :func:`repro.batch.optimizer.optimize_net` under the request's
+  own :class:`~repro.core.budget.RunBudget`;
+* :mod:`repro.service.cache` — the journal-backed result cache: every
+  admission and completion is one flushed JSONL line, so a restarted
+  server serves finished work from cache and *re-enqueues* work that was
+  in flight when it died;
+* :mod:`repro.service.server` — the request lifecycle: bounded admission
+  queue with load shedding (429/503 + ``Retry-After``), worker
+  supervision through :class:`~repro.batch.ResilientExecutor` (retries,
+  crash quarantine, hang kills), and graceful drain on SIGTERM;
+* :mod:`repro.service.http` — the JSON-over-HTTP surface (submit /
+  status / result, ``/healthz``, ``/readyz``, ``/metrics``);
+* :mod:`repro.service.stdio` — the stdin/stdout worker mode for
+  embedding (one JSON request per line, one JSON response per line);
+* :mod:`repro.service.chaos` — deterministic service-level fault
+  injection (worker crash / hang / slow-start, torn journal tails,
+  malformed requests) extending :mod:`repro.batch.faults`;
+* :mod:`repro.service.loadtest` — N concurrent clients with latency
+  percentiles into a ``BENCH_service.json`` sidecar.
+
+See ``docs/service.md`` for the protocol, failure semantics, the
+degradation ladder, and the runbook.
+"""
+
+from .cache import (
+    RecoveredState,
+    ResultCache,
+    ServiceJournal,
+    read_journal_header,
+    recover_journal,
+)
+from .chaos import (
+    ChaosConfig,
+    malformed_requests,
+    raw_malformed_bodies,
+    tear_journal_tail,
+)
+from .http import (
+    MAX_BODY_BYTES,
+    ServiceHTTPServer,
+    make_http_server,
+    run_http_server,
+)
+from .loadtest import (
+    HttpServiceClient,
+    InProcessClient,
+    LoadTestConfig,
+    run_loadtest,
+    write_bench_sidecar,
+)
+from .protocol import (
+    PROTOCOL_VERSION,
+    CanonicalRequest,
+    RequestRejected,
+    error_response,
+    parse_request,
+    result_payload,
+)
+from .server import Job, OptimizationService, ServiceConfig
+from .stdio import run_stdio
+from .worker import WorkPayload, execute_request
+
+__all__ = [
+    "CanonicalRequest",
+    "ChaosConfig",
+    "HttpServiceClient",
+    "InProcessClient",
+    "Job",
+    "LoadTestConfig",
+    "MAX_BODY_BYTES",
+    "OptimizationService",
+    "PROTOCOL_VERSION",
+    "RecoveredState",
+    "RequestRejected",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceHTTPServer",
+    "ServiceJournal",
+    "WorkPayload",
+    "error_response",
+    "execute_request",
+    "make_http_server",
+    "malformed_requests",
+    "parse_request",
+    "raw_malformed_bodies",
+    "read_journal_header",
+    "recover_journal",
+    "result_payload",
+    "run_http_server",
+    "run_loadtest",
+    "run_stdio",
+    "tear_journal_tail",
+    "write_bench_sidecar",
+]

@@ -1,0 +1,190 @@
+"""Deterministic service-level fault injection.
+
+The batch fault harness (:mod:`repro.batch.faults`) schedules worker
+misbehavior by net name; this module extends it to the *service* attack
+surface, deciding per request — deterministically, from ``(seed, net
+name)`` alone, so the decision is independent of arrival order and
+thread interleaving — whether a request's worker should raise, die,
+hang past the supervisor's hard deadline, or start slow (sleep under
+the deadline, exercising queue backpressure instead of the kill path).
+
+Two more faults live entirely outside the worker:
+
+* :func:`tear_journal_tail` — truncate/append so the service journal
+  ends in a partial record, exactly what a kill mid-``write`` leaves
+  behind; recovery must skip it (and count it) rather than die.
+* :func:`malformed_requests` — a deterministic family of invalid submit
+  payloads (wrong shapes, unknown keys, bad values) the harness fires
+  at a live server; every one must come back as a structured 400, and
+  none may affect any other request's answer.
+
+The chaos acceptance test drives all of these at once and checks the
+two properties the ISSUE demands: zero dropped requests, and responses
+bit-identical to a fault-free serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..batch.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from ..errors import WorkloadError
+
+#: fault kinds the chaos harness injects into workers.  ``"exit"`` and
+#: ``"hang"`` require resilient (process-per-request) supervision to be
+#: recoverable; inline supervision recovers ``"raise"`` and ``"slow"``.
+DEFAULT_KINDS = ("raise", "exit", "hang", "slow")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Deterministic per-request fault policy for the service layer.
+
+    ``rate`` is the target fraction of requests faulted; each request's
+    decision comes from ``random.Random(f"{seed}:{net_name}")``, so the
+    same (seed, workload) pair faults the same nets no matter how many
+    clients submit them, in what order, or how often (retries of one
+    net see one consistent schedule).  Faults fire on ``attempts`` only
+    (default: the first), modeling transient failures the retry layer
+    must absorb — which is what makes "responses identical to a
+    fault-free run" achievable rather than vacuous.
+    """
+
+    rate: float = 0.05
+    seed: int = 0
+    kinds: Tuple[str, ...] = DEFAULT_KINDS
+    #: sleep for ``"hang"`` — choose well past the server's hard
+    #: deadline so the kill path must fire.
+    hang_seconds: float = 30.0
+    #: sleep for ``"slow"`` — choose under the deadline so the request
+    #: still succeeds, just late.
+    slow_seconds: float = 0.25
+    #: attempt numbers (1-based) on which injected faults fire.
+    attempts: Tuple[int, ...] = (1,)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise WorkloadError(f"rate must be in [0, 1], got {self.rate}")
+        if not self.kinds:
+            raise WorkloadError("kinds must not be empty")
+        unknown = sorted(set(self.kinds) - set(FAULT_KINDS))
+        if unknown:
+            raise WorkloadError(
+                f"unknown fault kind(s) {unknown} "
+                f"(expected a subset of {FAULT_KINDS})"
+            )
+        if not self.attempts or any(a < 1 for a in self.attempts):
+            raise WorkloadError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+
+    def spec_for(self, net_name: str) -> Optional[FaultSpec]:
+        """This net's scripted misbehavior, or ``None`` to run clean."""
+        stream = random.Random(f"{self.seed}:{net_name}")
+        if stream.random() >= self.rate:
+            return None
+        kind = self.kinds[stream.randrange(len(self.kinds))]
+        seconds = (
+            self.hang_seconds if kind == "hang"
+            else self.slow_seconds if kind == "slow"
+            else 3600.0  # unused by "raise"/"exit"; FaultSpec wants > 0
+        )
+        return FaultSpec(
+            kind=kind,
+            attempts=self.attempts,
+            seconds=seconds,
+            message=f"chaos[{self.seed}]: injected {kind}",
+        )
+
+    def plan_for(self, net_name: str) -> Optional[FaultPlan]:
+        """A single-net :class:`~repro.batch.FaultPlan`, or ``None``."""
+        spec = self.spec_for(net_name)
+        if spec is None:
+            return None
+        return FaultPlan({net_name: spec})
+
+    def faulted(self, net_names) -> List[str]:
+        """The subset of ``net_names`` this config would fault (for
+        asserting the injected rate actually cleared a threshold)."""
+        return [name for name in net_names if self.spec_for(name) is not None]
+
+
+def tear_journal_tail(
+    path: Union[str, Path],
+    fragment: str = '{"kind": "result", "fingerprint": "dead',
+) -> None:
+    """Leave ``path`` ending in a torn (unterminated, unparseable) line.
+
+    Mirrors what a kill between ``write`` and the trailing newline
+    reaching disk leaves behind.  If the file already ends mid-line the
+    fragment just extends the tear; recovery must skip it either way.
+    """
+    path = Path(path)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(fragment)
+
+
+def malformed_requests(seed: int = 0) -> List[Tuple[str, Any]]:
+    """Deterministic ``(label, payload)`` attack payloads for submit.
+
+    Every payload must be answered with a structured ``malformed`` 400
+    (never a 5xx, never a hang).  ``seed`` perturbs the values so
+    repeated chaos legs don't probe byte-identical inputs, while the
+    *shapes* stay fixed and documented.
+    """
+    stream = random.Random(f"malformed:{seed}")
+    salt = stream.randrange(1, 10_000)
+    payloads: List[Tuple[str, Any]] = [
+        ("not-an-object", [1, 2, 3]),
+        ("empty-object", {}),
+        ("unknown-top-key", {
+            "net": _net(salt), "max_bufers": 4,
+        }),
+        ("unknown-net-key", {
+            "net": dict(_net(salt), polarity="odd"),
+        }),
+        ("missing-net-field", {
+            "net": {"name": f"m{salt}", "sink_count": 4},
+        }),
+        ("bad-sink-count", {
+            "net": dict(_net(salt), sink_count=0),
+        }),
+        ("bad-span-type", {
+            "net": dict(_net(salt), span="wide"),
+        }),
+        ("negative-span", {
+            "net": dict(_net(salt), span=-1.0),
+        }),
+        ("bad-mode", {"net": _net(salt), "mode": "fastest"}),
+        ("bad-engine", {"net": _net(salt), "engine": "warp"}),
+        ("bool-max-buffers", {"net": _net(salt), "max_buffers": True}),
+        ("nan-min-slack", {"net": _net(salt), "min_slack": float("nan")}),
+        ("zero-deadline", {"net": _net(salt), "deadline_seconds": 0}),
+        ("bad-certify", {"net": _net(salt), "certify": "yes"}),
+        ("bad-wait", {"net": _net(salt), "wait": "true"}),
+    ]
+    return payloads
+
+
+def _net(salt: int) -> Dict[str, Any]:
+    return {
+        "name": f"malformed-{salt}",
+        "sink_count": 4,
+        "span": 1000.0,
+        "seed": salt,
+    }
+
+
+def raw_malformed_bodies(seed: int = 0) -> List[Tuple[str, bytes]]:
+    """Byte-level garbage for the HTTP surface (not even JSON)."""
+    ok = json.dumps({"net": _net(seed + 1)}).encode("utf-8")
+    return [
+        ("empty-body", b""),
+        ("not-json", b"GET me a buffer"),
+        ("truncated-json", ok[: max(1, len(ok) // 2)]),
+        ("binary", bytes(range(32))),
+    ]

@@ -1,0 +1,250 @@
+"""The JSON-over-HTTP surface: a thin, strict shell around the core.
+
+Routes (all bodies JSON; every error is a structured
+:func:`~repro.service.protocol.error_response`):
+
+========================  ======  =============================================
+route                     method  meaning
+========================  ======  =============================================
+``/v1/optimize``          POST    submit (``wait=true`` for a synchronous 200;
+                                  otherwise 202 + job id); 400 malformed,
+                                  413 oversized, 429 shed + ``Retry-After``,
+                                  503 draining + ``Retry-After``
+``/v1/jobs/<id>``         GET     job status (202-shaped body, HTTP 200)
+``/v1/jobs/<id>/result``  GET     result; 409 while pending, 404 unknown
+``/healthz``              GET     liveness — 200 while the process answers
+``/readyz``               GET     readiness — 503 once draining
+``/metrics``              GET     Prometheus text (the exporter from
+                                  :mod:`repro.obs`)
+========================  ======  =============================================
+
+Transport rules: wrong verb on a known route is 405, unknown routes are
+404, anything the handler itself trips over is a 500 with a structured
+body — a request must never take the server down.
+:func:`run_http_server` wires SIGTERM/SIGINT to a graceful drain
+(finish queued + in-flight work, then exit), which is the shutdown path
+the runbook documents.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from .protocol import RequestRejected, error_response, rejection_response
+from .server import OptimizationService
+
+#: request-body size cap (bytes); larger submits are 413s.
+MAX_BODY_BYTES = 1_000_000
+
+#: how much of a refused (413) body the server will still read and discard
+#: so a well-behaved client can finish writing and see the structured
+#: response instead of a broken pipe; bodies claiming more than this are
+#: cut off at the socket.
+DRAIN_CAP_BYTES = 8 * MAX_BODY_BYTES
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns an :class:`OptimizationService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: OptimizationService):
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "buffopt-service"
+
+    # -- plumbing ----------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """HTTP access logging is the obs layer's job, not stderr's."""
+
+    @property
+    def service(self) -> OptimizationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(
+        self,
+        status: int,
+        body: Dict[str, Any],
+        retry_after: Optional[float] = None,
+    ) -> None:
+        encoded = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _send_rejection(self, exc: RequestRejected) -> None:
+        self._send_json(
+            exc.http_status, rejection_response(exc),
+            retry_after=exc.retry_after,
+        )
+
+    def _guarded(self, respond) -> None:
+        """Run one route handler; every failure becomes a structured body."""
+        try:
+            respond()
+        except RequestRejected as exc:
+            self._send_rejection(exc)
+        except BrokenPipeError:
+            pass  # client went away; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - the contract is "no 500-free crashes"
+            self._send_json(500, error_response(
+                "malformed",  # kept in ERROR_CODES; message names the class
+                f"internal error: {type(exc).__name__}: {exc}",
+            ))
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._guarded(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._guarded(self._route_post)
+
+    def _route_get(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            status, body = self.service.health()
+        elif path == "/readyz":
+            status, body = self.service.ready()
+        elif path == "/metrics":
+            text = self.service.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(text)))
+            self.end_headers()
+            self.wfile.write(text)
+            return
+        elif path == "/v1/optimize":
+            raise RequestRejected.method_not_allowed(
+                "submit with POST /v1/optimize"
+            )
+        elif path.startswith("/v1/jobs/"):
+            tail = path[len("/v1/jobs/"):]
+            if tail.endswith("/result"):
+                status, body = self.service.job_result(
+                    tail[: -len("/result")]
+                )
+            elif "/" not in tail and tail:
+                status, body = self.service.job_status(tail)
+            else:
+                raise RequestRejected.not_found(f"no route {self.path!r}")
+        else:
+            raise RequestRejected.not_found(f"no route {self.path!r}")
+        self._send_json(status, body)
+
+    def _route_post(self) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/v1/optimize":
+            if path in ("/healthz", "/readyz", "/metrics") or path.startswith(
+                "/v1/jobs/"
+            ):
+                raise RequestRejected.method_not_allowed(
+                    f"{path} only answers GET"
+                )
+            raise RequestRejected.not_found(f"no route {self.path!r}")
+        payload = self._read_json_body()
+        status, body = self.service.submit(payload)
+        retry_after = None
+        self._send_json(status, body, retry_after=retry_after)
+
+    def _drain_refused_body(self, length: int) -> None:
+        """Discard (up to a cap) the body of a request we are refusing.
+
+        Without this the 413 races the client's own writes: the client
+        blocks stuffing the body into a full socket buffer, hits EPIPE
+        when we close, and never reads the structured response.
+        """
+        remaining = min(length, DRAIN_CAP_BYTES)
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+        self.close_connection = True
+
+    def _read_json_body(self) -> Any:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            raise RequestRejected.malformed(
+                "Content-Length header is required"
+            ) from None
+        if length > MAX_BODY_BYTES:
+            self._drain_refused_body(length)
+            raise RequestRejected.too_large(
+                f"request body is {length} bytes; the cap is "
+                f"{MAX_BODY_BYTES}"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise RequestRejected.malformed(
+                "request body is not valid JSON"
+            ) from None
+
+
+def make_http_server(
+    service: OptimizationService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind (but do not run) the HTTP surface; ``port=0`` picks a free one."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def run_http_server(
+    service: OptimizationService,
+    host: str = "127.0.0.1",
+    port: int = 8723,
+    install_signal_handlers: bool = True,
+    announce=None,
+) -> bool:
+    """Serve until SIGTERM/SIGINT, then drain gracefully.
+
+    Blocks the calling thread.  Returns the drain verdict (``True`` when
+    every queued and in-flight request finished before the drain
+    timeout).  ``announce`` (callable, given the bound port) lets the
+    CLI print the listen address after binding, port-0-safe.
+    """
+    server = make_http_server(service, host, port)
+    if announce is not None:
+        announce(server.port)
+    stop = threading.Event()
+    if install_signal_handlers:
+        def _request_stop(signum, frame):
+            stop.set()
+
+        signal.signal(signal.SIGTERM, _request_stop)
+        signal.signal(signal.SIGINT, _request_stop)
+
+    thread = threading.Thread(
+        target=server.serve_forever, name="buffopt-service-http", daemon=True
+    )
+    thread.start()
+    try:
+        stop.wait()
+    finally:
+        drained = service.drain()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+    return drained

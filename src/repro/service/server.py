@@ -1,0 +1,575 @@
+"""The service core: admission, supervision, recovery, drain.
+
+:class:`OptimizationService` is transport-neutral — the HTTP surface
+(:mod:`repro.service.http`) and the stdio mode
+(:mod:`repro.service.stdio`) both call the same five methods (submit /
+job_status / job_result / health / ready) and relay the ``(status,
+body)`` pairs they return.  The lifecycle, front to back:
+
+1. **Admission.**  :meth:`submit` parses strictly (unknown keys are
+   400s), fingerprints the canonical request, and then takes the first
+   exit that applies: warm **cache hit** (answer immediately, no work),
+   **coalesce** onto an identical in-flight job, **shed** when the
+   bounded queue is full (429 + ``Retry-After``), **drain** refusal
+   when shutdown has begun (503 + ``Retry-After``), or **accept** —
+   journal the promise, enqueue, 202.
+
+2. **Supervision.**  Worker threads feed single-request maps through a
+   shared :class:`~repro.batch.ResilientExecutor` (process per request:
+   crashes, ``os._exit``, and hangs past the hard deadline are
+   contained, retried with deterministic backoff, and quarantined into
+   structured failure *responses* — never dropped requests).  The
+   ``"inline"`` supervision mode runs the worker body in-thread for
+   embedding and tests; it retries raised exceptions but cannot survive
+   exits or kill hangs.
+
+3. **Recovery.**  With a journal configured, a restarted server replays
+   it: finished work becomes the warm cache, accepted-but-unfinished
+   work is re-enqueued before the listener opens.  The restart
+   guarantee is exactly the journal's flush discipline.
+
+4. **Drain.**  :meth:`drain` stops admission (readyz flips to 503),
+   lets queued and in-flight work finish, then stops the workers and
+   closes the journal.  The HTTP layer wires SIGTERM to it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+from ..batch.optimizer import FailureRecord, failure_net_result
+from ..batch.resilience import ResilientExecutor, RetryPolicy, WorkItemFailure
+from ..errors import ServiceError
+from ..obs import MetricsRegistry
+from ..workloads.generator import NetSpec
+from .cache import ResultCache, ServiceJournal, recover_journal
+from .chaos import ChaosConfig
+from .protocol import (
+    PROTOCOL_VERSION,
+    CanonicalRequest,
+    RequestRejected,
+    parse_request,
+    result_payload,
+    wants_wait,
+)
+from .worker import WorkPayload, execute_request
+
+#: supervision modes: process-per-request or in-thread.
+SUPERVISION_MODES = ("resilient", "inline")
+
+#: job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the server's operator decides.
+
+    Defaults are sized for tests and small deployments; the CLI maps
+    ``buffopt serve`` flags straight onto these fields.
+    """
+
+    #: concurrent worker threads (each supervising one child process).
+    workers: int = 2
+    #: queued-request bound beyond which submits shed (429).
+    queue_limit: int = 16
+    #: retry/backoff/quarantine policy for the supervised worker.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: hard per-attempt wall-clock kill (seconds); ``None`` disables.
+    hard_deadline: Optional[float] = None
+    #: ``"resilient"`` (process per request) or ``"inline"`` (in-thread).
+    supervision: str = "resilient"
+    #: journal path; ``None`` runs without crash recovery.
+    journal_path: Optional[Union[str, Path]] = None
+    #: fsync every journal record (the restart guarantee's durability).
+    journal_fsync: bool = True
+    #: ``Retry-After`` hint (seconds) on shed/draining responses.
+    retry_after_seconds: float = 1.0
+    #: cap on ``wait=true`` synchronous submits (then 504, job continues).
+    wait_timeout: float = 60.0
+    #: drain deadline for :meth:`OptimizationService.drain`.
+    drain_timeout: float = 30.0
+    #: deterministic fault injection for chaos runs; ``None`` in prod.
+    chaos: Optional[ChaosConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_limit < 1:
+            raise ServiceError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.supervision not in SUPERVISION_MODES:
+            raise ServiceError(
+                f"unknown supervision {self.supervision!r} "
+                f"(expected one of {SUPERVISION_MODES})"
+            )
+        if self.retry_after_seconds <= 0:
+            raise ServiceError(
+                "retry_after_seconds must be positive, got "
+                f"{self.retry_after_seconds}"
+            )
+
+
+class Job:
+    """One admitted request's lifecycle record."""
+
+    __slots__ = (
+        "id", "fingerprint", "request", "status", "response", "recovered",
+        "done_event",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        fingerprint: str,
+        request: CanonicalRequest,
+        recovered: bool = False,
+    ):
+        self.id = job_id
+        self.fingerprint = fingerprint
+        self.request = request
+        self.status = "queued"
+        #: journal-shaped ``{"result": ..., "meta": ...}`` once done.
+        self.response: Optional[Dict[str, Any]] = None
+        self.recovered = recovered
+        self.done_event = threading.Event()
+
+
+class OptimizationService:
+    """The transport-neutral optimization server core."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        events=None,
+    ):
+        self.config = config or ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = events  # an obs EventSink, or None
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: Deque[Optional[Job]] = deque()
+        self._jobs: Dict[str, Job] = {}
+        self._by_fingerprint: Dict[str, Job] = {}
+        self._cache = ResultCache()
+        self._journal: Optional[ServiceJournal] = None
+        self._threads: List[threading.Thread] = []
+        self._inflight = 0
+        self._next_job = 0
+        self._state = "new"  # new -> running -> draining -> stopped
+        self.recovered_jobs = 0
+        self.recovered_results = 0
+        self._executor = ResilientExecutor(
+            workers=1,
+            retry=self.config.retry,
+            deadline=self.config.hard_deadline,
+            metrics=self.metrics,
+        )
+        registry = self.metrics
+        self._requests_total = registry.counter(
+            "buffopt_service_requests_total",
+            "submit outcomes: accepted / cache_hit / coalesced / shed / "
+            "draining / malformed / recovered",
+        )
+        self._jobs_total = registry.counter(
+            "buffopt_service_jobs_total",
+            "finished jobs by result status (ok / failed)",
+        )
+        self._request_seconds = registry.histogram(
+            "buffopt_service_request_seconds",
+            "wall-clock seconds per executed request (cache hits excluded)",
+        )
+        self._queue_depth = registry.gauge(
+            "buffopt_service_queue_depth", "requests waiting for a worker"
+        )
+        self._inflight_gauge = registry.gauge(
+            "buffopt_service_inflight_jobs", "requests being executed now"
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "OptimizationService":
+        """Recover from the journal (if any), then start the workers."""
+        with self._lock:
+            if self._state != "new":
+                raise ServiceError(
+                    f"service cannot start from state {self._state!r}"
+                )
+            pending: List[Tuple[str, CanonicalRequest]] = []
+            path = self.config.journal_path
+            if path is not None:
+                path = Path(path)
+                if path.exists():
+                    state = recover_journal(path, metrics=self.metrics)
+                    self._cache = ResultCache(state.cache)
+                    self.recovered_results = len(state.cache)
+                    pending = state.pending
+                    self._journal = ServiceJournal.append_to(
+                        path, fsync=self.config.journal_fsync
+                    )
+                else:
+                    self._journal = ServiceJournal.create(
+                        path, fsync=self.config.journal_fsync
+                    )
+            self._state = "running"
+            for fingerprint, request in pending:
+                job = self._admit_locked(
+                    fingerprint, request, recovered=True
+                )
+                self._requests_total.inc(outcome="recovered")
+                self._emit(
+                    "service.recovered",
+                    job_id=job.id,
+                    fingerprint=fingerprint,
+                )
+            self.recovered_jobs = len(pending)
+            for number in range(self.config.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"buffopt-service-worker-{number}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admission, finish queued + in-flight work, stop workers.
+
+        Returns ``True`` when everything finished inside ``timeout``
+        (default: ``config.drain_timeout``).  Safe to call twice; the
+        journal closes only after the workers are gone, so every
+        finished job is journalled.
+        """
+        timeout = self.config.drain_timeout if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        with self._work:
+            if self._state in ("stopped",):
+                return True
+            self._state = "draining"
+            self._work.notify_all()
+            while self._queue_has_jobs() or self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._work.wait(timeout=remaining)
+            drained = not self._queue_has_jobs() and not self._inflight
+            for _ in self._threads:
+                self._queue.append(None)  # stop sentinel
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()) + 1.0)
+        alive = any(thread.is_alive() for thread in self._threads)
+        with self._lock:
+            self._state = "stopped"
+            if self._journal is not None and not alive:
+                self._journal.close()
+        return drained and not alive
+
+    def _queue_has_jobs(self) -> bool:
+        return any(entry is not None for entry in self._queue)
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        """One submit request, end to end.
+
+        Returns ``(http_status, body)``; raises
+        :class:`~repro.service.protocol.RequestRejected` for every
+        refusal (the transports turn those into structured error
+        bodies).
+        """
+        try:
+            request = parse_request(payload)
+        except RequestRejected:
+            self._requests_total.inc(outcome="malformed")
+            raise
+        fingerprint = request.fingerprint()
+        wait = wants_wait(payload)
+        with self._lock:
+            cached = self._cache.peek(fingerprint)
+            if cached is not None:
+                self._requests_total.inc(outcome="cache_hit")
+                self._cache.get(fingerprint)  # count the hit
+                job = self._by_fingerprint.get(fingerprint)
+                job_id = job.id if job is not None else None
+                return 200, self._result_body(
+                    fingerprint, cached, job_id=job_id, cached=True
+                )
+            existing = self._by_fingerprint.get(fingerprint)
+            if existing is not None and existing.status != "done":
+                self._requests_total.inc(outcome="coalesced")
+                job = existing
+            else:
+                if self._state != "running":
+                    self._requests_total.inc(outcome="draining")
+                    raise RequestRejected.draining(
+                        "server is draining; not accepting new work",
+                        retry_after=self.config.retry_after_seconds,
+                    )
+                if self._queued_count() >= self.config.queue_limit:
+                    self._requests_total.inc(outcome="shed")
+                    raise RequestRejected.shed(
+                        f"admission queue is full "
+                        f"({self.config.queue_limit} waiting)",
+                        retry_after=self.config.retry_after_seconds,
+                    )
+                job = self._admit_locked(fingerprint, request)
+                self._requests_total.inc(outcome="accepted")
+                self._emit(
+                    "service.accepted",
+                    job_id=job.id,
+                    fingerprint=fingerprint,
+                    net=request.net_name,
+                )
+        if wait:
+            if not job.done_event.wait(timeout=self.config.wait_timeout):
+                raise RequestRejected.deadline(
+                    f"job {job.id} did not finish within "
+                    f"{self.config.wait_timeout:g} s (it continues; poll "
+                    f"/v1/jobs/{job.id})"
+                )
+            return 200, self._result_body(
+                fingerprint, job.response, job_id=job.id, cached=False
+            )
+        return 202, self._job_body(job)
+
+    def _queued_count(self) -> int:
+        return sum(1 for entry in self._queue if entry is not None)
+
+    def _admit_locked(
+        self,
+        fingerprint: str,
+        request: CanonicalRequest,
+        recovered: bool = False,
+    ) -> Job:
+        self._next_job += 1
+        job = Job(
+            f"job-{self._next_job}", fingerprint, request,
+            recovered=recovered,
+        )
+        self._jobs[job.id] = job
+        self._by_fingerprint[fingerprint] = job
+        if self._journal is not None and not recovered:
+            # recovered jobs were journalled by the previous incarnation.
+            self._journal.record_accepted(fingerprint, request, job.id)
+        self._queue.append(job)
+        self._queue_depth.set(self._queued_count())
+        self._work.notify()
+        return job
+
+    # -- job introspection -------------------------------------------------
+
+    def job_status(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise RequestRejected.not_found(f"unknown job {job_id!r}")
+            return 200, self._job_body(job)
+
+    def job_result(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise RequestRejected.not_found(f"unknown job {job_id!r}")
+            if job.status != "done":
+                raise RequestRejected.pending(
+                    f"job {job_id} is {job.status}; result not ready"
+                )
+            return 200, self._result_body(
+                job.fingerprint, job.response, job_id=job.id, cached=False
+            )
+
+    def health(self) -> Tuple[int, Dict[str, Any]]:
+        """Liveness: 200 whenever the process can answer at all."""
+        return 200, {
+            "kind": "buffopt-service-health",
+            "protocol": PROTOCOL_VERSION,
+            "status": "ok",
+            "state": self._state,
+        }
+
+    def ready(self) -> Tuple[int, Dict[str, Any]]:
+        """Readiness: 200 only while accepting work."""
+        with self._lock:
+            accepting = self._state == "running"
+            body = {
+                "kind": "buffopt-service-ready",
+                "protocol": PROTOCOL_VERSION,
+                "ready": accepting,
+                "state": self._state,
+                "queue_depth": self._queued_count(),
+                "inflight": self._inflight,
+                "cache_size": len(self._cache),
+            }
+        return (200 if accepting else 503), body
+
+    def metrics_text(self) -> str:
+        return self.metrics.to_prometheus()
+
+    # -- body shaping ------------------------------------------------------
+
+    def _job_body(self, job: Job) -> Dict[str, Any]:
+        return {
+            "kind": "buffopt-service-job",
+            "protocol": PROTOCOL_VERSION,
+            "id": job.id,
+            "status": job.status,
+            "fingerprint": job.fingerprint,
+            "recovered": job.recovered,
+        }
+
+    def _result_body(
+        self,
+        fingerprint: str,
+        response: Optional[Dict[str, Any]],
+        job_id: Optional[str],
+        cached: bool,
+    ) -> Dict[str, Any]:
+        assert response is not None, "result body for unfinished job"
+        return {
+            "kind": "buffopt-service-result",
+            "protocol": PROTOCOL_VERSION,
+            "id": job_id,
+            "fingerprint": fingerprint,
+            "cached": cached,
+            # the deterministic payload — chaos runs compare exactly this.
+            "result": response["result"],
+            # everything wall-clock- or retry-shaped.
+            "meta": response.get("meta", {}),
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._queue:
+                    self._work.wait()
+                entry = self._queue.popleft()
+                self._queue_depth.set(self._queued_count())
+                if entry is None:
+                    self._work.notify_all()
+                    return
+                entry.status = "running"
+                self._inflight += 1
+                self._inflight_gauge.set(self._inflight)
+            started = time.monotonic()
+            try:
+                response = self._execute(entry)
+            finally:
+                elapsed = time.monotonic() - started
+            with self._work:
+                entry.response = response
+                entry.status = "done"
+                self._cache.put(entry.fingerprint, response)
+                if self._journal is not None:
+                    self._journal.record_result(entry.fingerprint, response)
+                self._inflight -= 1
+                self._inflight_gauge.set(self._inflight)
+                self._request_seconds.observe(elapsed)
+                ok = bool(response["result"].get("ok"))
+                self._jobs_total.inc(status="ok" if ok else "failed")
+                self._emit(
+                    "service.done",
+                    job_id=entry.id,
+                    fingerprint=entry.fingerprint,
+                    ok=ok,
+                    seconds=elapsed,
+                )
+                entry.done_event.set()
+                self._work.notify_all()
+
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        """Run one job to a journal-ready response, never raising."""
+        request = job.request
+        chaos = self.config.chaos
+        payload = WorkPayload(
+            request=request,
+            faults=None if chaos is None else chaos.plan_for(
+                request.net_name
+            ),
+        )
+        if self.config.supervision == "resilient":
+            outcome = self._executor.map(execute_request, [payload])[0]
+        else:
+            outcome = self._execute_inline(payload)
+        if isinstance(outcome, WorkItemFailure):
+            return self._failure_response(request, outcome)
+        return outcome
+
+    def _execute_inline(self, payload: WorkPayload) -> Any:
+        """In-thread execution with the retry policy's error semantics.
+
+        Cannot survive ``exit`` faults or kill hangs — that is what the
+        resilient mode is for — but keeps the stdio/embedded mode
+        dependency-free of multiprocessing.
+        """
+        retry = self.config.retry
+        key = int(payload.request.fingerprint()[:8], 16)
+        attempt = 1
+        started = time.monotonic()
+        while True:
+            try:
+                return execute_request(payload, attempt=attempt)
+            except Exception as exc:  # noqa: BLE001 - converted to data
+                if not retry.should_retry("error", attempt):
+                    return WorkItemFailure(
+                        index=0,
+                        kind="error",
+                        error=type(exc).__name__,
+                        message=str(exc),
+                        attempts=attempt,
+                        elapsed=time.monotonic() - started,
+                    )
+                attempt += 1
+                time.sleep(retry.delay(attempt, key=key))
+
+    def _failure_response(
+        self, request: CanonicalRequest, sentinel: WorkItemFailure
+    ) -> Dict[str, Any]:
+        """Quarantined work still gets a structured answer (never drop)."""
+        phase = "worker" if sentinel.kind == "error" else "dispatch"
+        error = (
+            "WorkerCrashError" if sentinel.kind == "crash"
+            else "TimeoutError" if sentinel.kind == "hang"
+            else sentinel.error
+        )
+        spec = NetSpec(
+            name=request.net_name,
+            sink_count=request.sink_count,
+            span=request.span,
+            seed=request.seed,
+        )
+        net_result = failure_net_result(spec, FailureRecord(
+            error=error,
+            message=sentinel.message,
+            phase=phase,
+            attempts=sentinel.attempts,
+            elapsed=sentinel.elapsed,
+        ))
+        return {
+            "result": result_payload(net_result),
+            "meta": {
+                "seconds": net_result.seconds,
+                "attempts": net_result.attempts,
+                "error_message": net_result.error,
+            },
+        }
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.events is not None:
+            record = {"event": kind}
+            record.update(fields)
+            self.events.emit(record)

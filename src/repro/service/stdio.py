@@ -1,0 +1,127 @@
+"""The stdin/stdout worker mode: the service without a socket.
+
+For embedding buffopt in a parent process (a router, a test harness, an
+orchestration script) without opening a port: one JSON request per
+input line, one JSON response envelope per output line, in order.
+Every envelope is ``{"kind": "buffopt-service-response", "status":
+<http-equivalent code>, "body": {...}}`` with exactly the body the HTTP
+surface would have sent — the two transports share the core, so the
+contract (and the chaos harness) transfers.
+
+A line is either a bare submit payload (synchronous by default: the
+embedding caller wants an answer, not a job id — pass ``"wait": false``
+to opt out) or an op object:
+
+``{"op": "optimize", "request": {...}}``  submit (same as a bare payload)
+``{"op": "status", "id": "job-3"}``       job status
+``{"op": "result", "id": "job-3"}``       job result
+``{"op": "health"}`` / ``{"op": "ready"}``  probes
+``{"op": "metrics"}``                     Prometheus text, JSON-wrapped
+``{"op": "drain"}``                       graceful drain, then exit
+
+EOF drains and exits.  Malformed lines get a 400 envelope; nothing a
+client writes can end the loop early except ``drain``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+from .protocol import RequestRejected, error_response, rejection_response
+from .server import OptimizationService
+
+STDIO_OPS = ("optimize", "status", "result", "health", "ready", "metrics",
+             "drain")
+
+
+def _respond(service: OptimizationService, line: str) -> Tuple[
+    int, Dict[str, Any], bool
+]:
+    """One input line -> ``(status, body, should_exit)``."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError:
+        raise RequestRejected.malformed("input line is not valid JSON")
+    op = "optimize"
+    payload: Any = message
+    if isinstance(message, dict) and "op" in message:
+        op = message["op"]
+        if not isinstance(op, str) or op not in STDIO_OPS:
+            raise RequestRejected.malformed(
+                f"unknown op {op!r} (expected one of {STDIO_OPS})"
+            )
+        payload = message.get("request")
+    if op == "optimize":
+        if isinstance(payload, dict) and "wait" not in payload:
+            payload = dict(payload, wait=True)
+        status, body = service.submit(payload)
+        return status, body, False
+    if op in ("status", "result"):
+        job_id = message.get("id")
+        if not isinstance(job_id, str):
+            raise RequestRejected.malformed(f"op {op!r} needs a string 'id'")
+        if op == "status":
+            status, body = service.job_status(job_id)
+        else:
+            status, body = service.job_result(job_id)
+        return status, body, False
+    if op == "health":
+        status, body = service.health()
+        return status, body, False
+    if op == "ready":
+        status, body = service.ready()
+        return status, body, False
+    if op == "metrics":
+        return 200, {
+            "kind": "buffopt-service-metrics",
+            "prometheus": service.metrics_text(),
+        }, False
+    # op == "drain"
+    drained = service.drain()
+    return 200, {
+        "kind": "buffopt-service-drained",
+        "drained": drained,
+    }, True
+
+
+def run_stdio(
+    service: OptimizationService,
+    stdin: Optional[TextIO] = None,
+    stdout: Optional[TextIO] = None,
+) -> bool:
+    """Serve line-delimited requests until EOF or a ``drain`` op.
+
+    Returns the drain verdict, like
+    :func:`~repro.service.http.run_http_server`.
+    """
+    stdin = sys.stdin if stdin is None else stdin
+    stdout = sys.stdout if stdout is None else stdout
+    drained: Optional[bool] = None
+    for line in stdin:
+        if not line.strip():
+            continue
+        try:
+            status, body, should_exit = _respond(service, line)
+        except RequestRejected as exc:
+            status, body, should_exit = (
+                exc.http_status, rejection_response(exc), False
+            )
+        except Exception as exc:  # noqa: BLE001 - a line must never kill the loop
+            status, body, should_exit = 500, error_response(
+                "malformed", f"internal error: {type(exc).__name__}: {exc}"
+            ), False
+        envelope = {
+            "kind": "buffopt-service-response",
+            "status": status,
+            "body": body,
+        }
+        stdout.write(json.dumps(envelope, sort_keys=True) + "\n")
+        stdout.flush()
+        if should_exit:
+            drained = bool(body.get("drained"))
+            break
+    if drained is None:
+        drained = service.drain()
+    return drained

@@ -1,0 +1,157 @@
+"""Thread-safety of the obs primitives the service layer shares.
+
+The optimization server funnels every HTTP handler thread and worker
+thread through one :class:`~repro.obs.MetricsRegistry` and (when tracing)
+one :class:`~repro.obs.EventSink`.  These tests hammer both from many
+threads and assert nothing is lost, torn, or interleaved — exactly the
+failure modes unlocked writes would produce.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import EventSink, MetricsRegistry, parse_prometheus, read_events
+
+THREADS = 8
+ROUNDS = 400
+
+
+def _run_threads(worker) -> None:
+    threads = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestMetricsConcurrency:
+    def test_counter_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered_total")
+
+        def worker(index):
+            for _ in range(ROUNDS):
+                counter.inc()
+                counter.inc(2.0, shard=str(index % 2))
+
+        _run_threads(worker)
+        assert counter.value() == THREADS * ROUNDS
+        assert (
+            counter.value(shard="0") + counter.value(shard="1")
+            == 2.0 * THREADS * ROUNDS
+        )
+
+    def test_histogram_observations_are_not_lost(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("hammered_seconds")
+
+        def worker(index):
+            for round_number in range(ROUNDS):
+                histogram.observe(0.001 * (round_number % 7))
+
+        _run_threads(worker)
+        assert histogram.count() == THREADS * ROUNDS
+
+    def test_gauge_add_is_atomic(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("hammered_level")
+
+        def worker(index):
+            for _ in range(ROUNDS):
+                gauge.add(1.0)
+
+        _run_threads(worker)
+        assert gauge.value() == THREADS * ROUNDS
+
+    def test_concurrent_registration_returns_one_metric(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(THREADS)
+
+        def worker(index):
+            barrier.wait()
+            seen.append(registry.counter("contested_total"))
+
+        _run_threads(worker)
+        assert len({id(metric) for metric in seen}) == 1
+        assert len(registry) == 1
+
+    def test_export_while_writing_stays_parseable(self):
+        """An exporter racing the writers sees a consistent snapshot."""
+        registry = MetricsRegistry()
+        counter = registry.counter("raced_total")
+        histogram = registry.histogram("raced_seconds")
+        stop = threading.Event()
+        errors = []
+
+        def writer(index):
+            while not stop.is_set():
+                counter.inc(label=str(index))
+                histogram.observe(0.01)
+
+        def reader(index):
+            for _ in range(50):
+                try:
+                    parsed = parse_prometheus(registry.to_prometheus())
+                    registry.to_json()
+                except Exception as exc:  # noqa: BLE001 - recorded, re-raised
+                    errors.append(exc)
+                    return
+                # bucket counts within one snapshot stay cumulative
+                buckets = parsed.get("raced_seconds_bucket", {})
+                by_bound = sorted(
+                    (float(dict(key)["le"]), value)
+                    for key, value in buckets.items()
+                )
+                counts = [value for _, value in by_bound]
+                assert counts == sorted(counts)
+
+        writers = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        readers = [
+            threading.Thread(target=reader, args=(i,)) for i in range(2)
+        ]
+        for thread in writers + readers:
+            thread.start()
+        for thread in readers:
+            thread.join()
+        stop.set()
+        for thread in writers:
+            thread.join()
+        assert not errors
+
+
+class TestEventSinkConcurrency:
+    def test_concurrent_emits_never_tear_lines(self, tmp_path):
+        path = tmp_path / "hammered.jsonl"
+        sink = EventSink(path)
+
+        def worker(index):
+            for round_number in range(ROUNDS):
+                sink.emit({
+                    "thread": index,
+                    "round": round_number,
+                    # long payload makes interleaving visible if it happens
+                    "padding": "x" * 200,
+                })
+
+        _run_threads(worker)
+        sink.close()
+        assert sink.emitted == THREADS * ROUNDS
+
+        # Every line must parse on its own: no interleaved writes.
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == THREADS * ROUNDS
+        for line in lines:
+            json.loads(line)
+
+        # And every (thread, round) pair arrived exactly once.
+        records = read_events(path)
+        seen = {(r["thread"], r["round"]) for r in records}
+        assert len(seen) == THREADS * ROUNDS

@@ -1,0 +1,61 @@
+"""Shared fixtures for the service-layer tests.
+
+Everything here runs the real DP on tiny nets (2-4 sinks, ~1 mm spans)
+— the service tests exercise the lifecycle, not the optimizer, so the
+work units are kept as small as the engine allows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.batch.resilience import RetryPolicy
+from repro.service import OptimizationService, ServiceConfig
+
+
+def tiny_payload(name, sink_count=3, span=0.001, seed=1, **extra):
+    """A small well-formed submit payload."""
+    body = {
+        "net": {
+            "name": name,
+            "sink_count": sink_count,
+            "span": span,
+            "seed": seed,
+        },
+    }
+    body.update(extra)
+    return body
+
+
+@pytest.fixture
+def make_payload():
+    return tiny_payload
+
+
+@pytest.fixture
+def inline_service():
+    """Factory for started inline-supervision services, drained on exit.
+
+    Inline supervision keeps the lifecycle tests in-process and fast;
+    the resilient (process-per-request) path is covered by the chaos
+    acceptance test.
+    """
+    started = []
+
+    def factory(**overrides):
+        options = dict(
+            workers=1,
+            queue_limit=8,
+            supervision="inline",
+            retry=RetryPolicy(max_attempts=1),
+            wait_timeout=30.0,
+            drain_timeout=15.0,
+        )
+        options.update(overrides)
+        service = OptimizationService(ServiceConfig(**options)).start()
+        started.append(service)
+        return service
+
+    yield factory
+    for service in started:
+        service.drain(timeout=15.0)

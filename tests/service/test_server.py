@@ -1,0 +1,339 @@
+"""The service core: admission order, supervision, recovery, drain."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.batch.resilience import RetryPolicy
+from repro.errors import ServiceError
+from repro.obs import MetricsRegistry
+from repro.service import (
+    ChaosConfig,
+    OptimizationService,
+    RequestRejected,
+    ServiceConfig,
+    ServiceJournal,
+    parse_request,
+    recover_journal,
+)
+
+from .conftest import tiny_payload
+
+#: chaos that slows every request down — the deterministic way to keep
+#: a worker busy while a test inspects queued / running state.
+SLOW = dict(rate=1.0, kinds=("slow",))
+
+
+def _wait_done(service, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = service.job_status(job_id)
+        assert status == 200
+        if body["status"] == "done":
+            return body
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"workers": 0},
+        {"queue_limit": 0},
+        {"supervision": "hope"},
+        {"retry_after_seconds": 0.0},
+    ])
+    def test_bad_config_raises(self, overrides):
+        with pytest.raises(ServiceError):
+            ServiceConfig(**overrides)
+
+    def test_start_twice_raises(self, inline_service):
+        service = inline_service()
+        with pytest.raises(ServiceError, match="cannot start"):
+            service.start()
+
+
+class TestSubmitLifecycle:
+    def test_sync_submit_returns_a_full_result_body(self, inline_service):
+        service = inline_service()
+        status, body = service.submit(tiny_payload("sync", wait=True))
+        assert status == 200
+        assert body["kind"] == "buffopt-service-result"
+        assert body["cached"] is False
+        assert body["result"]["name"] == "sync"
+        assert body["result"]["ok"] is True
+        fingerprint = parse_request(tiny_payload("sync")).fingerprint()
+        assert body["fingerprint"] == fingerprint
+
+    def test_resubmit_is_a_cache_hit_with_the_identical_result(
+        self, inline_service
+    ):
+        service = inline_service()
+        _, first = service.submit(tiny_payload("hit", wait=True))
+        status, second = service.submit(tiny_payload("hit", wait=True))
+        assert status == 200
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+        assert 'outcome="cache_hit"' in service.metrics_text()
+
+    def test_async_submit_returns_202_then_result(self, inline_service):
+        service = inline_service()
+        status, body = service.submit(tiny_payload("async"))
+        assert status == 202
+        assert body["kind"] == "buffopt-service-job"
+        assert body["status"] in ("queued", "running", "done")
+        done = _wait_done(service, body["id"])
+        assert done["fingerprint"] == body["fingerprint"]
+        status, result = service.job_result(body["id"])
+        assert status == 200
+        assert result["result"]["name"] == "async"
+
+    def test_unknown_job_is_404(self, inline_service):
+        service = inline_service()
+        with pytest.raises(RequestRejected) as caught:
+            service.job_status("job-999")
+        assert caught.value.http_status == 404
+        with pytest.raises(RequestRejected):
+            service.job_result("job-999")
+
+    def test_result_before_done_is_409_pending(self, inline_service):
+        service = inline_service(chaos=ChaosConfig(slow_seconds=0.4, **SLOW))
+        _, body = service.submit(tiny_payload("pending"))
+        with pytest.raises(RequestRejected) as caught:
+            service.job_result(body["id"])
+        assert caught.value.code == "pending"
+        assert caught.value.http_status == 409
+        _wait_done(service, body["id"])
+        status, _ = service.job_result(body["id"])
+        assert status == 200
+
+    def test_malformed_submit_raises_and_counts(self, inline_service):
+        service = inline_service()
+        with pytest.raises(RequestRejected) as caught:
+            service.submit({"net": {"name": "x"}})
+        assert caught.value.http_status == 400
+        assert 'outcome="malformed"' in service.metrics_text()
+
+
+class TestAdmissionControl:
+    def test_identical_inflight_submits_coalesce(self, inline_service):
+        service = inline_service(chaos=ChaosConfig(slow_seconds=0.4, **SLOW))
+        _, first = service.submit(tiny_payload("co"))
+        _, second = service.submit(tiny_payload("co"))
+        assert second["id"] == first["id"]
+        assert 'outcome="coalesced"' in service.metrics_text()
+        _wait_done(service, first["id"])
+
+    def test_full_queue_sheds_with_retry_after(self, inline_service):
+        service = inline_service(
+            queue_limit=1, chaos=ChaosConfig(slow_seconds=0.6, **SLOW),
+            retry_after_seconds=2.0,
+        )
+        _, first = service.submit(tiny_payload("shed-a"))
+        # wait until the worker picked the first job up, so the second
+        # lands in the queue rather than being shed itself.
+        deadline = time.monotonic() + 10.0
+        while service.job_status(first["id"])[1]["status"] == "queued":
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        service.submit(tiny_payload("shed-b"))
+        with pytest.raises(RequestRejected) as caught:
+            service.submit(tiny_payload("shed-c"))
+        assert caught.value.code == "shed"
+        assert caught.value.http_status == 429
+        assert caught.value.retry_after == 2.0
+        assert 'outcome="shed"' in service.metrics_text()
+        # the shed request was refused, not half-admitted: it can be
+        # submitted again once the queue clears.
+        _wait_done(service, first["id"])
+        status, body = service.submit(tiny_payload("shed-c", wait=True))
+        assert status == 200
+
+    def test_unstarted_service_refuses_as_draining(self):
+        service = OptimizationService(ServiceConfig(supervision="inline"))
+        with pytest.raises(RequestRejected) as caught:
+            service.submit(tiny_payload("early"))
+        assert caught.value.code == "draining"
+        assert caught.value.http_status == 503
+
+    def test_drained_service_refuses_but_still_serves_cache(
+        self, inline_service
+    ):
+        service = inline_service()
+        _, first = service.submit(tiny_payload("late", wait=True))
+        assert service.drain() is True
+        with pytest.raises(RequestRejected) as caught:
+            service.submit(tiny_payload("other"))
+        assert caught.value.code == "draining"
+        # cache hits outrank the draining refusal: finished work stays
+        # servable through shutdown.
+        status, body = service.submit(tiny_payload("late", wait=True))
+        assert status == 200
+        assert body["cached"] is True
+        assert body["result"] == first["result"]
+
+    def test_wait_timeout_is_504_and_the_job_continues(self, inline_service):
+        service = inline_service(
+            wait_timeout=0.05, chaos=ChaosConfig(slow_seconds=0.5, **SLOW),
+        )
+        with pytest.raises(RequestRejected) as caught:
+            service.submit(tiny_payload("slowpoke", wait=True))
+        assert caught.value.code == "deadline"
+        assert caught.value.http_status == 504
+        # the job it mentions is pollable and finishes.
+        job_id = caught.value.message.split("/v1/jobs/")[-1].rstrip(")")
+        done = _wait_done(service, job_id)
+        assert done["status"] == "done"
+
+
+class TestSupervision:
+    def test_inline_retry_recovers_a_first_attempt_raise(
+        self, inline_service
+    ):
+        service = inline_service(
+            retry=RetryPolicy(max_attempts=3, backoff_seconds=0.01, seed=1),
+            chaos=ChaosConfig(rate=1.0, kinds=("raise",)),
+        )
+        status, body = service.submit(tiny_payload("flaky", wait=True))
+        assert status == 200
+        assert body["result"]["ok"] is True
+        assert body["result"]["failure"] is None
+        assert body["meta"]["attempts"] == 2
+
+    def test_exhausted_retries_quarantine_into_a_structured_failure(
+        self, inline_service
+    ):
+        service = inline_service(
+            retry=RetryPolicy(max_attempts=1),
+            chaos=ChaosConfig(rate=1.0, kinds=("raise",)),
+        )
+        status, body = service.submit(tiny_payload("doomed", wait=True))
+        assert status == 200  # answered, not dropped
+        result = body["result"]
+        assert result["ok"] is False
+        assert result["failure"] == {
+            "error": "InjectedFault", "phase": "worker",
+        }
+        assert result["name"] == "doomed"
+        assert 'status="failed"' in service.metrics_text()
+
+
+class TestRecovery:
+    def test_restart_serves_finished_work_and_reruns_pending(
+        self, inline_service, tmp_path
+    ):
+        journal = tmp_path / "service.jsonl"
+        first = inline_service(journal_path=journal)
+        _, done_a = first.submit(tiny_payload("done-a", wait=True))
+        _, done_b = first.submit(tiny_payload("done-b", wait=True))
+        # abandon `first` without draining (the fixture reaps it later)
+        # and journal a promise it never kept.
+        pending_request = parse_request(tiny_payload("unfinished"))
+        side = ServiceJournal.append_to(journal)
+        side.record_accepted(
+            pending_request.fingerprint(), pending_request, "job-99"
+        )
+        side.close()
+
+        second = inline_service(journal_path=journal)
+        assert second.recovered_results == 2
+        assert second.recovered_jobs == 1
+        assert 'outcome="recovered"' in second.metrics_text()
+
+        status, body = second.submit(tiny_payload("done-a", wait=True))
+        assert status == 200
+        assert body["cached"] is True
+        assert body["result"] == done_a["result"]
+
+        # the recovered promise is kept: waiting on the same payload
+        # coalesces onto the re-enqueued job and gets the real answer.
+        status, body = second.submit(tiny_payload("unfinished", wait=True))
+        assert status == 200
+        assert body["result"]["name"] == "unfinished"
+        assert body["result"]["ok"] is True
+
+    def test_recovered_jobs_are_not_rejournalled(
+        self, inline_service, tmp_path
+    ):
+        journal = tmp_path / "service.jsonl"
+        request = parse_request(tiny_payload("once"))
+        created = ServiceJournal.create(journal)
+        created.record_accepted(request.fingerprint(), request, "job-1")
+        created.close()
+
+        service = inline_service(journal_path=journal)
+        service.submit(tiny_payload("once", wait=True))
+        service.drain()
+        state = recover_journal(journal)
+        lines = journal.read_text().splitlines()
+        accepted = [line for line in lines if '"accepted"' in line]
+        assert len(accepted) == 1
+        assert state.pending == []  # the result record closed it out
+
+
+class TestDrainAndProbes:
+    def test_drain_flips_ready_and_closes_the_journal(
+        self, inline_service, tmp_path
+    ):
+        journal = tmp_path / "service.jsonl"
+        service = inline_service(journal_path=journal)
+        status, body = service.ready()
+        assert status == 200 and body["ready"] is True
+        status, body = service.health()
+        assert status == 200 and body["status"] == "ok"
+
+        assert service.drain() is True
+        assert service.drain() is True  # idempotent
+        status, body = service.ready()
+        assert status == 503 and body["ready"] is False
+        status, _ = service.health()
+        assert status == 200  # liveness never flips
+        assert service._journal.closed
+
+    def test_drain_finishes_queued_work_first(self, inline_service):
+        service = inline_service(chaos=ChaosConfig(slow_seconds=0.3, **SLOW))
+        _, a = service.submit(tiny_payload("drain-a"))
+        _, b = service.submit(tiny_payload("drain-b"))
+        assert service.drain() is True
+        for job in (a, b):
+            status, body = service.job_status(job["id"])
+            assert body["status"] == "done"
+            assert body is not None
+
+    def test_events_are_emitted_when_a_sink_is_attached(self):
+        events = []
+
+        class Sink:
+            def emit(self, record):
+                events.append(record)
+
+        service = OptimizationService(
+            ServiceConfig(
+                workers=1, supervision="inline",
+                retry=RetryPolicy(max_attempts=1),
+            ),
+            events=Sink(),
+        ).start()
+        service.submit(tiny_payload("observed", wait=True))
+        service.drain()
+        kinds = [record["event"] for record in events]
+        assert "service.accepted" in kinds
+        assert "service.done" in kinds
+
+
+class TestMetricsSurface:
+    def test_prometheus_text_names_the_service_metrics(self, inline_service):
+        service = inline_service()
+        service.submit(tiny_payload("metrics", wait=True))
+        text = service.metrics_text()
+        for name in (
+            "buffopt_service_requests_total",
+            "buffopt_service_jobs_total",
+            "buffopt_service_request_seconds",
+            "buffopt_service_queue_depth",
+            "buffopt_service_inflight_jobs",
+        ):
+            assert name in text
+        assert 'outcome="accepted"' in text
+        assert 'status="ok"' in text

@@ -1,0 +1,107 @@
+"""The stdin/stdout worker mode: envelopes, ops, drain-on-EOF."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.batch.resilience import RetryPolicy
+from repro.service import OptimizationService, ServiceConfig, run_stdio
+
+from .conftest import tiny_payload
+
+
+def _service():
+    return OptimizationService(ServiceConfig(
+        workers=1, queue_limit=8, supervision="inline",
+        retry=RetryPolicy(max_attempts=1), wait_timeout=30.0,
+    )).start()
+
+
+def _run(lines):
+    """Feed ``lines`` (objects or raw strings) through a fresh service."""
+    raw = "\n".join(
+        line if isinstance(line, str) else json.dumps(line)
+        for line in lines
+    ) + "\n"
+    stdout = io.StringIO()
+    drained = run_stdio(_service(), stdin=io.StringIO(raw), stdout=stdout)
+    envelopes = [
+        json.loads(line) for line in stdout.getvalue().splitlines()
+    ]
+    assert all(
+        env["kind"] == "buffopt-service-response" for env in envelopes
+    )
+    return drained, envelopes
+
+
+class TestStdioSession:
+    def test_full_session_one_envelope_per_line_in_order(self):
+        net = tiny_payload("stdio-1")
+        drained, envelopes = _run([
+            {"op": "optimize", "request": dict(net, wait=False)},  # 202
+            net,                              # bare line: wait implied, 200
+            {"op": "status", "id": "job-1"},  # 200 done
+            {"op": "result", "id": "job-1"},  # 200
+            {"op": "health"},                 # 200
+            {"op": "ready"},                  # 200
+            {"op": "metrics"},                # 200
+            "this is not json",               # 400, loop survives
+            {"op": "result", "id": "job-9"},  # 404
+            {"op": "result"},                 # 400: id required
+            {"op": "teleport"},               # 400: unknown op
+            {"op": "drain"},                  # 200, exits
+        ])
+        assert drained is True
+        statuses = [env["status"] for env in envelopes]
+        assert statuses == [
+            202, 200, 200, 200, 200, 200, 200, 400, 404, 400, 400, 200,
+        ]
+
+        submitted, waited, status, result = (
+            env["body"] for env in envelopes[:4]
+        )
+        assert submitted["kind"] == "buffopt-service-job"
+        assert submitted["id"] == "job-1"
+        assert waited["kind"] == "buffopt-service-result"
+        assert waited["result"]["ok"] is True
+        assert status["status"] == "done"
+        assert result["result"] == waited["result"]
+
+        metrics = envelopes[6]["body"]
+        assert metrics["kind"] == "buffopt-service-metrics"
+        assert "buffopt_service_requests_total" in metrics["prometheus"]
+
+        final = envelopes[-1]["body"]
+        assert final["kind"] == "buffopt-service-drained"
+        assert final["drained"] is True
+
+    def test_bare_payload_defaults_to_synchronous(self):
+        _, envelopes = _run([tiny_payload("stdio-sync"), {"op": "drain"}])
+        assert envelopes[0]["status"] == 200
+        assert envelopes[0]["body"]["kind"] == "buffopt-service-result"
+
+    def test_explicit_wait_false_stays_async(self):
+        _, envelopes = _run([
+            tiny_payload("stdio-async", wait=False), {"op": "drain"},
+        ])
+        assert envelopes[0]["status"] == 202
+
+    def test_eof_without_drain_still_drains(self):
+        drained, envelopes = _run([tiny_payload("stdio-eof")])
+        assert drained is True
+        assert len(envelopes) == 1
+
+    def test_blank_lines_are_skipped(self):
+        drained, envelopes = _run(["", "   ", {"op": "health"}])
+        assert drained is True
+        assert len(envelopes) == 1
+        assert envelopes[0]["status"] == 200
+
+    def test_malformed_submit_payload_is_a_400_envelope(self):
+        _, envelopes = _run([
+            {"net": {"name": "x"}},  # missing net fields
+            {"op": "drain"},
+        ])
+        assert envelopes[0]["status"] == 400
+        assert envelopes[0]["body"]["error"] == "malformed"
