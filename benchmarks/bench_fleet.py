@@ -1,0 +1,194 @@
+"""Fleet-machinery bench: shard throughput, fold overhead, ECO reuse.
+
+Standalone script (what CI's fleet lane runs in ``--smoke`` mode)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py           # 100k records
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke   # quick CI
+
+Three measurements, none of which run the DP at scale (the DP has its
+own benches — this lane times the *fleet* layer that PR 8 added):
+
+* **shard append + recovery throughput** — synthetic records journaled
+  across 1/4/16 shards (fsync off, the fleet setting), then recovered;
+  prints records/s for both directions.
+* **streaming-fold overhead** — a real small fleet run retained vs
+  streamed; the streamed run must not be materially slower (asserted
+  only against gross regression: > 1.5x).
+* **ECO reuse** — one subtree edit on a segmented tree, cold re-run vs
+  frontier-cache re-run; prints the reuse fraction and the speedup, and
+  asserts the cached run reuses >= 50 % of node visits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+from repro.batch import (
+    BatchConfig,
+    BatchOptimizer,
+    ShardedCheckpoint,
+    load_sharded_checkpoint,
+)
+from repro.library.buffers import default_buffer_library
+from repro.workloads import WorkloadConfig, population_specs
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+from fleet_smoke import synthetic_results  # noqa: E402
+
+
+def shard_throughput(records, shard_counts):
+    library = default_buffer_library()
+    fingerprint = {"bench": "fleet", "records": records}
+    for shards in shard_counts:
+        workdir = Path(tempfile.mkdtemp(prefix="bench-fleet-"))
+        try:
+            directory = workdir / "fleet.ckpt"
+            checkpoint = ShardedCheckpoint.create(
+                directory, shards, fingerprint, fsync=False
+            )
+            start = perf_counter()
+            for result in synthetic_results(records, library):
+                checkpoint.append(result)
+            checkpoint.close()
+            append_s = perf_counter() - start
+
+            start = perf_counter()
+            recovery = load_sharded_checkpoint(
+                directory, library, fingerprint=fingerprint
+            )
+            recover_s = perf_counter() - start
+            assert len(recovery.results) == records
+            print(
+                f"shards={shards:3d}  append {records / append_s:9.0f} "
+                f"rec/s ({append_s:.2f} s)   recover "
+                f"{records / recover_s:9.0f} rec/s ({recover_s:.2f} s)"
+            )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+def fold_overhead(nets, repeats):
+    workload = WorkloadConfig(nets=nets, seed=13)
+    specs = population_specs(workload)
+    config = BatchConfig(max_buffers=4, keep_trees=False)
+
+    def best_of(stream):
+        times = []
+        for _ in range(repeats):
+            start = perf_counter()
+            BatchOptimizer(config=config, workload=workload).optimize(
+                specs, stream_report=stream
+            )
+            times.append(perf_counter() - start)
+        return min(times)
+
+    retained_s, streamed_s = best_of(False), best_of(True)
+    ratio = streamed_s / retained_s
+    print(
+        f"streaming-fold overhead: {ratio:.3f}x "
+        f"({retained_s:.2f} s retained vs {streamed_s:.2f} s streamed, "
+        f"{nets} nets, best of {repeats})"
+    )
+    return ratio
+
+
+def eco_reuse():
+    from repro import (
+        CouplingModel, DriverCell, TreeBuilder, default_technology,
+    )
+    from repro.api import dp_result
+    from repro.core import FrontierCache
+    from repro.tree.segmenting import segment_tree
+    from repro.units import FF, PS, UM
+
+    tech = default_technology()
+    builder = TreeBuilder(tech)
+    builder.add_source(
+        "so",
+        driver=DriverCell("drv", resistance=250.0, intrinsic_delay=30 * PS),
+    )
+    builder.add_internal("root")
+    builder.add_wire("so", "root", length=800 * UM)
+    frontier, serial = ["root"], 0
+    for level in range(5):
+        nxt = []
+        for parent in frontier:
+            for _ in range(2):
+                serial += 1
+                if level == 4:
+                    node = f"s{serial}"
+                    builder.add_sink(
+                        node, capacitance=(10 + (serial % 7) * 3) * FF,
+                        noise_margin=0.8,
+                        required_arrival=(1500 + 100 * (serial % 5)) * PS,
+                    )
+                else:
+                    node = f"i{serial}"
+                    builder.add_internal(node)
+                builder.add_wire(
+                    parent, node, length=(400 + 150 * (serial % 4)) * UM
+                )
+                nxt.append(node)
+        frontier = nxt
+    tree = segment_tree(builder.build("bench_eco"), 500 * UM)
+    library = default_buffer_library()
+    coupling = CouplingModel.estimation_mode(tech)
+
+    cache = FrontierCache()
+    dp_result(tree, library, coupling, frontier_cache=cache)
+    sink = next(n for n in tree.postorder() if n.sink is not None)
+    sink.parent_wire.resistance *= 1.11
+
+    start = perf_counter()
+    dp_result(tree, library, coupling)
+    cold_s = perf_counter() - start
+    reused0, computed0 = cache.reused_nodes, cache.computed_nodes
+    start = perf_counter()
+    dp_result(tree, library, coupling, frontier_cache=cache)
+    warm_s = perf_counter() - start
+    reused = cache.reused_nodes - reused0
+    computed = cache.computed_nodes - computed0
+    fraction = reused / (reused + computed)
+    print(
+        f"ECO after 1-subtree edit: reused {reused}/{reused + computed} "
+        f"node visits ({fraction:.0%}), {cold_s / max(warm_s, 1e-9):.1f}x "
+        f"faster than cold ({cold_s:.2f} s -> {warm_s:.2f} s)"
+    )
+    return fraction
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=100_000)
+    parser.add_argument("--fold-nets", type=int, default=60)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI sizing: 20k records, 16-net fold, single repeat",
+    )
+    args = parser.parse_args(argv)
+
+    records = 20_000 if args.smoke else args.records
+    fold_nets = 16 if args.smoke else args.fold_nets
+    repeats = 1 if args.smoke else 3
+
+    shard_throughput(records, (1, 4, 16))
+    ratio = fold_overhead(fold_nets, repeats)
+    fraction = eco_reuse()
+
+    failures = []
+    if ratio > 1.5:
+        failures.append(f"streaming fold {ratio:.2f}x slower than retained")
+    if fraction < 0.5:
+        failures.append(f"ECO reuse only {fraction:.0%} (target >= 50%)")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Fleet-scale smoke: 50k nets through shards + streaming fold, RSS-capped.
+
+The scaling claim of the sharded-checkpoint/streaming-report stack is
+that fleet size costs disk, not memory: results stream through the
+:class:`~repro.batch.ReportFold` and onto fsync-batched shard journals
+without the process ever holding the fleet.  This script checks that
+claim end to end, CI-gated:
+
+1. **Synthetic 50k-net pass** — deterministic fabricated results (the
+   DP itself is exercised elsewhere; here the fleet *machinery* is the
+   system under test) journaled across ``--shards`` files while a
+   streaming fold aggregates them.  Peak RSS is read immediately after
+   and asserted under ``--rss-cap-mb``.
+2. **Recovery at scale** — the 50k-record shard set is recovered and
+   must hold exactly the fleet.
+3. **Fold identity** — the same synthetic results folded in-memory
+   (retained list → ``BatchReport``) must produce byte-identical
+   ``to_json`` aggregates to the streamed fold.
+4. **Real-DP spot check** — a small real fleet (``--dp-nets``) run
+   twice through ``BatchOptimizer``, streamed vs retained, aggregates
+   compared key for key (timing keys excluded).
+
+Prints one line of strict JSON on stdout; exit code 0 iff every check
+passed.  ``--out DIR`` archives the summary and the streamed report.
+"""
+
+import argparse
+import json
+import resource
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.batch import (  # noqa: E402
+    BatchConfig,
+    BatchOptimizer,
+    BatchReport,
+    ReportFold,
+    ShardedCheckpoint,
+    load_sharded_checkpoint,
+)
+from repro.batch.optimizer import NetResult  # noqa: E402
+from repro.library.buffers import default_buffer_library  # noqa: E402
+from repro.workloads import WorkloadConfig, population_specs  # noqa: E402
+
+#: wall-clock to_json keys — measurements, not aggregates.
+TIMING_KEYS = ("wall_seconds", "net_seconds", "nets_per_second")
+
+
+def peak_rss_mb() -> float:
+    """Lifetime peak RSS of this process in MiB (ru_maxrss is KiB on
+    Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def synthetic_results(nets, library):
+    """Deterministic fabricated fleet: varied, seed-free, cheap."""
+    buffers = sorted(library.buffers, key=lambda b: b.name)
+    for index in range(nets):
+        name = f"syn_{index:06d}"
+        ok = index % 23 != 0  # a sprinkling of failures for the taxonomy
+        buffer_count = index % 5
+        assignment = {
+            f"n{slot}": buffers[(index + slot) % len(buffers)]
+            for slot in range(buffer_count)
+        }
+        if ok:
+            yield NetResult(
+                name=name,
+                sink_count=2 + index % 6,
+                node_count=8 + index % 17,
+                seconds=0.001 * (1 + index % 40),
+                buffer_count=buffer_count,
+                slack=1e-12 * (index % 997),
+                noise_feasible=True,
+                assignment=assignment,
+                candidates_generated=100 + index % 900,
+                candidates_kept_peak=10 + index % 90,
+            )
+        else:
+            yield NetResult(
+                name=name,
+                sink_count=2 + index % 6,
+                node_count=8 + index % 17,
+                seconds=0.001,
+                buffer_count=None,
+                slack=None,
+                noise_feasible=None,
+                assignment=None,
+                candidates_generated=40,
+                candidates_kept_peak=5,
+                error="InfeasibleError: synthetic",
+            )
+
+
+def check_synthetic_fleet(nets, shards, directory, rss_cap_mb, checks):
+    fingerprint = {"smoke": "synthetic-fleet", "nets": nets}
+    started = time.monotonic()
+    fold = ReportFold(mode="buffopt")
+    library = default_buffer_library()
+    checkpoint = ShardedCheckpoint.create(
+        directory, shards, fingerprint, fsync=False
+    )
+    try:
+        for result in synthetic_results(nets, library):
+            checkpoint.append(result)
+            fold.fold(result)
+    finally:
+        checkpoint.close()
+    stream_seconds = time.monotonic() - started
+    peak = peak_rss_mb()
+    checks.append({
+        "name": "streamed-50k-rss-bounded",
+        "ok": peak <= rss_cap_mb,
+        "detail": (
+            f"{nets} nets x {shards} shards in {stream_seconds:.1f}s, "
+            f"peak RSS {peak:.0f} MiB (cap {rss_cap_mb:.0f})"
+        ),
+    })
+
+    recovery = load_sharded_checkpoint(
+        directory, library, fingerprint=fingerprint
+    )
+    checks.append({
+        "name": "recovery-holds-the-fleet",
+        "ok": (
+            len(recovery.results) == nets
+            and recovery.shard_files == shards
+            and recovery.max_seq == nets
+        ),
+        "detail": (
+            f"{len(recovery.results)} nets from "
+            f"{recovery.shard_files} shards, max_seq {recovery.max_seq}"
+        ),
+    })
+    del recovery
+
+    # the identity half: retained fold over the same fleet
+    retained = ReportFold(mode="buffopt")
+    for result in synthetic_results(nets, library):
+        retained.fold(result)
+    streamed_json = BatchReport(
+        results=[], wall_seconds=1.0, executor="synthetic",
+        mode="buffopt", fold=fold,
+    ).to_json()
+    retained_json = BatchReport(
+        results=[], wall_seconds=1.0, executor="synthetic",
+        mode="buffopt", fold=retained,
+    ).to_json()
+    mismatched = [
+        key for key in retained_json
+        if key not in TIMING_KEYS and streamed_json[key] != retained_json[key]
+    ]
+    checks.append({
+        "name": "streamed-equals-inmemory-fold",
+        "ok": not mismatched,
+        "detail": "identical" if not mismatched else f"differs: {mismatched}",
+    })
+    return streamed_json
+
+
+def check_real_dp_spot(nets, checks):
+    workload = WorkloadConfig(nets=nets, seed=77)
+    specs = population_specs(workload)
+    config = BatchConfig(max_buffers=4, keep_trees=False)
+    retained = BatchOptimizer(
+        config=config, workload=workload
+    ).optimize(specs)
+    streamed = BatchOptimizer(
+        config=config, workload=workload
+    ).optimize(specs, stream_report=True)
+    sj, rj = streamed.to_json(), retained.to_json()
+    mismatched = [
+        key for key in rj
+        if key not in TIMING_KEYS and sj[key] != rj[key]
+    ]
+    checks.append({
+        "name": "real-dp-streamed-equals-retained",
+        "ok": not mismatched and len(streamed) == nets,
+        "detail": (
+            f"{nets} real nets"
+            + ("" if not mismatched else f", differs: {mismatched}")
+        ),
+    })
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nets", type=int, default=50_000)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--dp-nets", type=int, default=40,
+                        help="size of the real-DP spot check (0 skips)")
+    parser.add_argument("--rss-cap-mb", type=float, default=400.0)
+    parser.add_argument("--workdir", default=None,
+                        help="shard directory (default: temp, removed)")
+    parser.add_argument("--out", default=None,
+                        help="artifact directory for summary + report JSON")
+    args = parser.parse_args(argv)
+
+    import shutil
+    import tempfile
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="fleet-smoke-")
+    directory = Path(workdir) / "fleet.ckpt"
+    checks = []
+    try:
+        report_json = check_synthetic_fleet(
+            args.nets, args.shards, directory, args.rss_cap_mb, checks
+        )
+        if args.dp_nets:
+            check_real_dp_spot(args.dp_nets, checks)
+    finally:
+        if args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    passed = sum(1 for check in checks if check["ok"])
+    summary = {
+        "kind": "buffopt-fleet-smoke",
+        "nets": args.nets,
+        "shards": args.shards,
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+        "checks": checks,
+        "passed": passed,
+        "failed": len(checks) - passed,
+        "verdict": "PASS" if passed == len(checks) else "FAIL",
+    }
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "fleet-smoke.json").write_text(
+            json.dumps(summary, indent=2) + "\n"
+        )
+        (out / "fleet-report.json").write_text(
+            json.dumps(report_json, indent=2) + "\n"
+        )
+    print(json.dumps(summary, sort_keys=True))
+    return 0 if summary["verdict"] == "PASS" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

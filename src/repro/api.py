@@ -70,6 +70,7 @@ def dp_result(
     budget: Optional[RunBudget] = None,
     engine: str = "reference",
     profile: Optional[PhaseProfiler] = None,
+    frontier_cache=None,
 ) -> DPResult:
     """One count-tracking DP run; the union of the legacy entry points.
 
@@ -79,6 +80,9 @@ def dp_result(
     ``profile`` optionally installs a
     :class:`~repro.obs.PhaseProfiler` on the engine; ``None`` (the
     default) leaves both engines byte-for-byte uninstrumented.
+    ``frontier_cache`` (a :class:`~repro.core.eco.FrontierCache`)
+    enables ECO subtree reuse across repeated runs of locally edited
+    nets; reference engine only.
     """
     if mode not in API_MODES:
         raise ValueError(
@@ -103,6 +107,7 @@ def dp_result(
         budget=budget,
         engine=engine,
         profile=profile,
+        frontier_cache=frontier_cache,
     )
     return run_dp(tree, library, coupling=coupling, options=options,
                   driver=driver)

@@ -16,13 +16,18 @@ misbehave:
   crashes, hangs, and unexpected exceptions with bounded retries,
   quarantine, and optional fallback re-execution.
 * ``optimize(..., checkpoint=path)`` journals finished nets to JSONL so
-  an interrupted run resumes (``resume=True``) without recomputation.
+  an interrupted run resumes (``resume=True``) without recomputation;
+  ``shards=N`` splits the journal into independent shard files
+  (:class:`ShardedCheckpoint`) and ``stream_report=True`` folds results
+  into a constant-memory :class:`ReportFold` instead of retaining them
+  — the 10⁵–10⁶-net posture.
 * :mod:`repro.batch.faults` injects deterministic raise/hang/exit
   faults so every recovery path stays testable.
 """
 
 from .checkpoint import (
     CheckpointJournal,
+    JournalReader,
     TORN_TAIL_COUNTER,
     load_checkpoint,
     read_checkpoint_header,
@@ -31,11 +36,21 @@ from .checkpoint import (
     result_to_json,
 )
 from .executors import (
+    AsyncExecutor,
     ChunkedExecutor,
     MultiprocessExecutor,
     SerialExecutor,
     default_worker_count,
     make_executor,
+)
+from .report import CANDIDATE_BUCKETS, ReportFold
+from .sharding import (
+    SHARDS_RECOVERED_COUNTER,
+    ShardRecovery,
+    ShardedCheckpoint,
+    load_sharded_checkpoint,
+    merge_sharded_checkpoint,
+    net_shard,
 )
 from .faults import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
 from .optimizer import (
@@ -57,10 +72,12 @@ from .resilience import (
 )
 
 __all__ = [
+    "AsyncExecutor",
     "BatchConfig",
     "BatchItem",
     "BatchOptimizer",
     "BatchReport",
+    "CANDIDATE_BUCKETS",
     "CheckpointJournal",
     "ChunkedExecutor",
     "FAILURE_PHASES",
@@ -69,18 +86,26 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "JournalReader",
     "MultiprocessExecutor",
     "NetResult",
+    "ReportFold",
     "ResilientExecutor",
     "RetryPolicy",
+    "SHARDS_RECOVERED_COUNTER",
     "SerialExecutor",
+    "ShardRecovery",
+    "ShardedCheckpoint",
     "TORN_TAIL_COUNTER",
     "WorkItemFailure",
     "default_worker_count",
     "failure_net_result",
     "item_identity",
     "load_checkpoint",
+    "load_sharded_checkpoint",
     "make_executor",
+    "merge_sharded_checkpoint",
+    "net_shard",
     "optimize_net",
     "read_checkpoint_header",
     "record_torn_tail",

@@ -74,6 +74,58 @@ def repair_torn_tail(path: Union[str, Path], lines: List[str]) -> None:
         pass
 
 
+class JournalReader:
+    """Torn-tail-tolerant JSONL body reader shared by every journal.
+
+    The batch checkpoint, the sharded fleet checkpoint, and the service
+    journal all speak the same dialect: one header line, then one JSON
+    record per line, where a torn *final* line means an interrupted
+    write (tolerated, counted, truncated off) and a torn *interior* line
+    means corruption (refused).  This class is that dialect's reader;
+    the callers keep their own header validation and record semantics.
+
+    ``error`` is the exception class corruption raises
+    (:class:`~repro.errors.WorkloadError` for batch journals,
+    ``ServiceError`` for service ones); ``journal`` labels the shared
+    torn-tail counter.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        metrics=None,
+        journal: str = "batch",
+        error: type = WorkloadError,
+    ):
+        self.path = Path(path)
+        self.metrics = metrics
+        self.journal = journal
+        self.error = error
+        #: set when a torn final line was skipped (and truncated off).
+        self.torn_tail = False
+
+    def records(self):
+        """Yield ``(line_number, record)`` for every body record."""
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if number == len(lines):
+                    # torn final line: the writer was killed mid-write
+                    record_torn_tail(self.metrics, journal=self.journal)
+                    repair_torn_tail(self.path, lines)
+                    self.torn_tail = True
+                    return
+                raise self.error(
+                    f"journal {self.path} line {number} is corrupt"
+                ) from None
+            yield number, record
+
+
 def result_to_json(result) -> Dict[str, Any]:
     """Plain-JSON view of a :class:`~repro.batch.NetResult` (no trees/stats)."""
     failure = None if result.failure is None else asdict(result.failure)
@@ -163,8 +215,15 @@ class CheckpointJournal:
         path: Union[str, Path],
         fingerprint: Dict[str, Any],
         fsync: bool = True,
+        header_extra: Optional[Dict[str, Any]] = None,
     ) -> "CheckpointJournal":
-        """Start a fresh journal (truncating any previous file)."""
+        """Start a fresh journal (truncating any previous file).
+
+        ``header_extra`` merges additional keys into the header record —
+        the sharded checkpoint stores its shard topology there, *next
+        to* the fingerprint rather than inside it, so resuming under a
+        different shard count stays legal.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Truncate, then reopen O_APPEND so flushed lines always land at
@@ -173,11 +232,14 @@ class CheckpointJournal:
         path.open("w", encoding="utf-8").close()
         handle = path.open("a", encoding="utf-8")
         journal = cls(path, handle, fsync=fsync)
-        journal._write({
+        header = {
             "kind": "header",
             "version": CHECKPOINT_VERSION,
             "fingerprint": fingerprint,
-        })
+        }
+        if header_extra:
+            header.update(header_extra)
+        journal._write(header)
         return journal
 
     @classmethod
@@ -199,8 +261,15 @@ class CheckpointJournal:
         if self._fsync:
             os.fsync(self._handle.fileno())
 
-    def append(self, result) -> None:
-        self._write(result_to_json(result))
+    def append(self, result, seq: Optional[int] = None) -> None:
+        """Journal one result; ``seq`` (when given) stamps a global
+        write sequence onto the record so loads spanning several shard
+        files can order conflicting lines (within one file, line order
+        already decides)."""
+        record = result_to_json(result)
+        if seq is not None:
+            record["seq"] = seq
+        self._write(record)
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -273,22 +342,8 @@ def load_checkpoint(
     if fingerprint is not None:
         check_fingerprint(header["fingerprint"], fingerprint, path)
     results: Dict[str, Any] = {}
-    with path.open("r", encoding="utf-8") as handle:
-        lines = handle.readlines()
-    for number, line in enumerate(lines[1:], start=2):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            if number == len(lines):
-                # torn final line: the writer was killed mid-write
-                record_torn_tail(metrics, journal="batch")
-                repair_torn_tail(path, lines)
-                break
-            raise WorkloadError(
-                f"checkpoint {path} line {number} is corrupt"
-            ) from None
+    reader = JournalReader(path, metrics=metrics, journal="batch")
+    for number, record in reader.records():
         if record.get("kind") != "result":
             raise WorkloadError(
                 f"checkpoint {path} line {number} has unexpected kind "

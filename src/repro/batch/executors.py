@@ -1,6 +1,6 @@
 """Pluggable map backends for the batch optimizer.
 
-Three executors share one tiny interface — ``map(fn, items) -> list`` with
+The executors share one tiny interface — ``map(fn, items) -> list`` with
 results in input order:
 
 * :class:`SerialExecutor` — a plain loop in the calling process.  Zero
@@ -11,6 +11,12 @@ results in input order:
 * :class:`ChunkedExecutor` — the same pool with a configurable chunk
   size, amortizing task dispatch and pickling over ``chunk_size`` nets
   (best when nets are small and dispatch overhead dominates).
+* :class:`AsyncExecutor` — a ``concurrent.futures`` process pool with a
+  bounded submission window that surfaces each result the moment it
+  settles, *out of order*.  The streaming backend: at fleet scale the
+  batch layer folds results into its report as they arrive, so waiting
+  for input order (as ``pool.imap`` does) just grows the reorder buffer
+  behind one slow net.
 
 ``fn`` and every item must be picklable for the process-backed executors
 (the batch work units are; see :mod:`repro.batch.optimizer`).
@@ -20,6 +26,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
 from ..errors import WorkloadError
@@ -145,6 +152,87 @@ class ChunkedExecutor(MultiprocessExecutor):
         return f"chunked ({self.effective_workers} workers, chunk={chunk})"
 
 
+class AsyncExecutor:
+    """Completion-order streaming over a ``concurrent.futures`` pool.
+
+    ``map`` still *returns* results in input order — the executor
+    contract — but ``on_result`` fires the moment each item settles,
+    whichever it is.  Submission is windowed (``window`` items in
+    flight, default ``4 * workers``): enough lookahead to keep every
+    worker fed through stragglers, bounded so a million-item fleet
+    never materializes a million pickled futures at once.
+
+    Like the plain pool executors this one is fail-fast: a worker
+    exception propagates out of ``map`` (wrap with
+    :class:`~repro.batch.ResilientExecutor` semantics — or record
+    failures as data, as the batch worker does — when one net must not
+    poison the fleet).
+    """
+
+    name = "async"
+
+    def __init__(
+        self, workers: Optional[int] = None, window: Optional[int] = None
+    ):
+        if workers is not None and workers < 1:
+            raise WorkloadError(f"workers must be >= 1, got {workers}")
+        if window is not None and window < 1:
+            raise WorkloadError(f"window must be >= 1, got {window}")
+        self.workers = workers
+        self.window = window
+
+    @property
+    def effective_workers(self) -> int:
+        return self.workers or default_worker_count()
+
+    @property
+    def effective_window(self) -> int:
+        return self.window or 4 * self.effective_workers
+
+    def map(
+        self,
+        fn: Callable[[_Item], _Out],
+        items: Sequence[_Item],
+        on_result: OnResult = None,
+    ) -> List[_Out]:
+        items = list(items)
+        if not items:
+            return []
+        if self.effective_workers == 1:
+            return SerialExecutor().map(fn, items, on_result=on_result)
+        results: List[Any] = [None] * len(items)
+        feed = iter(enumerate(items))
+        in_flight: dict = {}
+        with ProcessPoolExecutor(
+            max_workers=self.effective_workers
+        ) as pool:
+
+            def submit_next() -> bool:
+                for index, item in feed:
+                    in_flight[pool.submit(fn, item)] = index
+                    return True
+                return False
+
+            for _ in range(min(self.effective_window, len(items))):
+                submit_next()
+            while in_flight:
+                settled, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in settled:
+                    index = in_flight.pop(future)
+                    value = future.result()
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+                    submit_next()
+        return results
+
+    def describe(self) -> str:
+        return (
+            f"async ({self.effective_workers} workers, "
+            f"window={self.effective_window}, completion-order streaming)"
+        )
+
+
 def make_executor(
     kind: str,
     workers: Optional[int] = None,
@@ -154,8 +242,8 @@ def make_executor(
 ):
     """Executor factory for the CLI and benchmarks.
 
-    ``kind`` is one of ``"serial"``, ``"process"``, ``"chunked"``, or
-    ``"resilient"``; ``retry`` (a
+    ``kind`` is one of ``"serial"``, ``"process"``, ``"chunked"``,
+    ``"async"``, or ``"resilient"``; ``retry`` (a
     :class:`~repro.batch.resilience.RetryPolicy`) and ``deadline`` only
     apply to the resilient supervisor.
     """
@@ -165,6 +253,8 @@ def make_executor(
         return MultiprocessExecutor(workers=workers)
     if kind == "chunked":
         return ChunkedExecutor(workers=workers, chunk_size=chunk_size)
+    if kind == "async":
+        return AsyncExecutor(workers=workers)
     if kind == "resilient":
         from .resilience import ResilientExecutor  # avoid an import cycle
 
@@ -173,5 +263,5 @@ def make_executor(
         )
     raise WorkloadError(
         f"unknown executor {kind!r} "
-        "(expected serial, process, chunked, or resilient)"
+        "(expected serial, process, chunked, async, or resilient)"
     )

@@ -82,12 +82,31 @@ from ..workloads.generator import (
 from .checkpoint import CheckpointJournal, load_checkpoint
 from .executors import SerialExecutor
 from .faults import FaultPlan
+from .report import ReportFold
 from .resilience import RetryPolicy, WorkItemFailure
+from .sharding import SHARD_GLOB, ShardedCheckpoint, load_sharded_checkpoint
 
 #: accepted item types for :meth:`BatchOptimizer.optimize`.
 BatchItem = Union[RoutingTree, GeneratedNet, NetSpec]
 
 MODES = ("buffopt", "delay")
+
+
+class _FoldedResult:
+    """Placeholder left in the results list once a streaming run has
+    folded a result into its :class:`~repro.batch.report.ReportFold` and
+    dropped the object (the whole point: constant memory at fleet
+    scale).  Failed results are *parked* — left unfolded — until the
+    fallback pass has had its final say, because a fold cannot be
+    undone (histograms only increment)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<folded>"
+
+
+_FOLDED = _FoldedResult()
 
 
 @dataclass(frozen=True)
@@ -304,7 +323,17 @@ class NetResult:
 
 @dataclass
 class BatchReport:
-    """Per-net results plus batch-level aggregates."""
+    """Per-net results plus batch-level aggregates.
+
+    Aggregates always come from a :class:`~repro.batch.report.ReportFold`
+    — retained mode builds one from ``results`` on construction, a
+    streaming run (``optimize(..., stream_report=True)``) passes the
+    fold it maintained and leaves ``results`` empty.  That single code
+    path is what makes a streamed report's :meth:`to_json` identical to
+    the in-memory one.  Per-result views (:attr:`ok_results`,
+    :meth:`signatures`, :meth:`solutions`) exist only in retained mode
+    and raise :class:`~repro.errors.WorkloadError` on a streamed report.
+    """
 
     results: List[NetResult]
     wall_seconds: float
@@ -312,20 +341,40 @@ class BatchReport:
     mode: str
     #: summed single-net optimization time (excludes dispatch/pickling).
     net_seconds: float = field(init=False)
+    fold: Optional[ReportFold] = None
 
     def __post_init__(self) -> None:
-        self.net_seconds = sum(r.seconds for r in self.results)
+        if self.fold is None:
+            fold = ReportFold(mode=self.mode)
+            for result in self.results:
+                fold.fold(result)
+            self.fold = fold
+        self.net_seconds = self.fold.net_seconds
+
+    @property
+    def streamed(self) -> bool:
+        """Whether per-net results were folded away instead of retained."""
+        return len(self.results) != self.fold.nets
+
+    def _require_retained(self, what: str) -> None:
+        if self.streamed:
+            raise WorkloadError(
+                f"{what} requires retained per-net results; this report "
+                "was streamed (stream_report=True) and only carries "
+                "aggregates"
+            )
 
     def __len__(self) -> int:
-        return len(self.results)
+        return self.fold.nets
 
     @property
     def ok_results(self) -> List[NetResult]:
+        self._require_retained("ok_results")
         return [r for r in self.results if r.ok]
 
     @property
     def failure_count(self) -> int:
-        return sum(1 for r in self.results if not r.ok)
+        return self.fold.failed
 
     def failure_taxonomy(self) -> Dict[str, int]:
         """Failed-net counts keyed by error class name.
@@ -334,120 +383,98 @@ class BatchReport:
         error-message-only results count as ``"InfeasibleError"`` (the
         only failure the pre-resilience layer could record).
         """
-        taxonomy: Dict[str, int] = {}
-        for result in self.results:
-            if result.ok:
-                continue
-            key = (
-                result.failure.error
-                if result.failure is not None
-                else "InfeasibleError"
-            )
-            taxonomy[key] = taxonomy.get(key, 0) + 1
-        return dict(sorted(taxonomy.items()))
+        return self.fold.failure_taxonomy()
 
     def retry_count(self) -> int:
         """Total attempts spent beyond each net's first try."""
-        return sum(max(0, r.attempts - 1) for r in self.results)
+        return self.fold.retries
 
     @property
     def certified_count(self) -> int:
         """Nets whose outcome passed independent certification."""
-        return sum(1 for r in self.results if r.certified is True)
+        return self.fold.certified
 
     def nets_per_second(self) -> float:
         if self.wall_seconds <= 0.0:
             return float("inf")
-        return len(self.results) / self.wall_seconds
+        return self.fold.nets / self.wall_seconds
 
     def total_buffers(self) -> int:
-        return sum(r.buffer_count or 0 for r in self.ok_results)
+        return self.fold.total_buffers
 
     def buffer_histogram(self) -> Dict[int, int]:
-        histogram: Dict[int, int] = {}
-        for result in self.ok_results:
-            assert result.buffer_count is not None
-            histogram[result.buffer_count] = (
-                histogram.get(result.buffer_count, 0) + 1
-            )
-        return dict(sorted(histogram.items()))
+        return self.fold.buffer_histogram()
 
     def total_candidates(self) -> int:
-        return sum(r.candidates_generated for r in self.results)
+        return self.fold.total_candidates
 
     def aggregate_stats(self) -> Optional[EngineStats]:
-        """Fold every net's telemetry into one record (None if absent)."""
-        collected = [r.stats for r in self.results if r.stats is not None]
-        if not collected:
-            return None
-        total = EngineStats()
-        for stats in collected:
-            total.merge_with(stats)
-        return total
+        """Every net's telemetry folded into one record (None if absent)."""
+        return self.fold.stats
 
     def solutions(self) -> Dict[str, BufferSolution]:
         """Materialized solutions for every feasible net (needs kept trees)."""
+        self._require_retained("solutions()")
         return {r.name: r.solution() for r in self.ok_results}
 
     def signatures(self) -> Tuple[Tuple, ...]:
+        self._require_retained("signatures()")
         return tuple(r.signature() for r in self.results)
 
     def to_json(self) -> Dict[str, Any]:
         """Machine-readable fleet summary (``buffopt batch --json``)."""
+        fold = self.fold
         return {
             "kind": "buffopt-batch-report",
             "mode": self.mode,
             "executor": self.executor,
-            "nets": len(self.results),
-            "ok": len(self.ok_results),
-            "failed": self.failure_count,
-            "failure_taxonomy": self.failure_taxonomy(),
-            "retries": self.retry_count(),
+            "nets": fold.nets,
+            "ok": fold.ok,
+            "failed": fold.failed,
+            "failure_taxonomy": fold.failure_taxonomy(),
+            "retries": fold.retries,
             "wall_seconds": self.wall_seconds,
             "net_seconds": self.net_seconds,
             "nets_per_second": self.nets_per_second(),
-            "total_buffers": self.total_buffers(),
+            "total_buffers": fold.total_buffers,
             "buffer_histogram": {
                 str(count): nets
-                for count, nets in self.buffer_histogram().items()
+                for count, nets in fold.buffer_histogram().items()
             },
-            "total_candidates": self.total_candidates(),
-            "certified": (
-                self.certified_count
-                if any(r.certified is not None for r in self.results)
-                else None
-            ),
+            "total_candidates": fold.total_candidates,
+            "certified": fold.certified if fold.certified_seen else None,
         }
 
     def describe(self) -> str:
+        fold = self.fold
         lines = [
-            f"batch: {len(self.results)} nets, mode={self.mode}, "
+            f"batch: {fold.nets} nets, mode={self.mode}, "
             f"executor={self.executor}",
             f"throughput: {self.nets_per_second():.2f} nets/s "
             f"({self.wall_seconds:.2f} s wall, {self.net_seconds:.2f} s "
             "summed net time)",
-            f"buffers inserted: {self.total_buffers()} "
-            f"(histogram {self.buffer_histogram()})",
-            f"candidates generated: {self.total_candidates()}",
+            f"buffers inserted: {fold.total_buffers} "
+            f"(histogram {fold.buffer_histogram()})",
+            f"candidates generated: {fold.total_candidates}",
         ]
-        if any(r.certified is not None for r in self.results):
+        if fold.certified_seen:
             lines.append(
-                f"certified: {self.certified_count}/{len(self.results)} "
+                f"certified: {fold.certified}/{fold.nets} "
                 "nets passed independent re-derivation"
             )
-        if self.failure_count:
+        if fold.failed:
             taxonomy = ", ".join(
                 f"{count} {error}"
-                for error, count in self.failure_taxonomy().items()
+                for error, count in fold.failure_taxonomy().items()
             )
-            lines.append(f"failed nets: {self.failure_count} ({taxonomy})")
-        retries = self.retry_count()
-        if retries:
-            lines.append(f"retries: {retries} extra attempt(s)")
-        stats = self.aggregate_stats()
-        if stats is not None:
+            lines.append(f"failed nets: {fold.failed} ({taxonomy})")
+        if fold.retries:
+            lines.append(f"retries: {fold.retries} extra attempt(s)")
+        if fold.stats is not None:
             lines.append("telemetry:")
-            lines.extend("  " + line for line in stats.describe().splitlines())
+            lines.extend(
+                "  " + line for line in fold.stats.describe().splitlines()
+            )
         return "\n".join(lines)
 
 
@@ -713,6 +740,8 @@ class BatchOptimizer:
         checkpoint: Optional[Union[str, Path]] = None,
         resume: bool = False,
         checkpoint_fsync: bool = True,
+        stream_report: bool = False,
+        shards: Optional[int] = None,
     ) -> BatchReport:
         """Run the configured optimization over every item, in order.
 
@@ -728,16 +757,55 @@ class BatchOptimizer:
         (resumed entries carry no trees or stats).
         ``checkpoint_fsync=False`` trades fsync-per-record durability
         for append throughput (see :class:`CheckpointJournal`).
+
+        ``shards`` (with ``checkpoint`` naming a *directory*) splits the
+        journal into that many independent shard files
+        (:class:`~repro.batch.ShardedCheckpoint`); resume reads every
+        shard file present regardless of the current count, so an N→M
+        reshard between incarnations is legal and lands on the same
+        results as a single-journal run.
+
+        ``stream_report=True`` folds each result into a constant-memory
+        :class:`~repro.batch.ReportFold` as it completes instead of
+        retaining it — the memory posture for 10⁵–10⁶-net fleets.  The
+        returned report's aggregates (``to_json``, taxonomy, histograms)
+        are identical to a retained run's; only the per-result views
+        (``solutions()``, ``signatures()``, ``ok_results``) are
+        unavailable and raise.
         """
         units = list(items)
         if resume and checkpoint is None:
             raise WorkloadError("resume=True requires a checkpoint path")
+        if shards is not None and checkpoint is None:
+            raise WorkloadError(
+                "shards requires a checkpoint directory to shard into"
+            )
         fingerprint = self._fingerprint()
         done: Dict[str, NetResult] = {}
-        journal: Optional[CheckpointJournal] = None
+        journal: Optional[
+            Union[CheckpointJournal, ShardedCheckpoint]
+        ] = None
         if checkpoint is not None:
             path = Path(checkpoint)
-            if resume and path.exists():
+            if shards is not None:
+                has_shards = path.is_dir() and any(path.glob(SHARD_GLOB))
+                if resume and has_shards:
+                    recovery = load_sharded_checkpoint(
+                        path, self.library, fingerprint, metrics=self.metrics
+                    )
+                    done = recovery.results
+                    journal = ShardedCheckpoint.append_to(
+                        path,
+                        shards,
+                        fingerprint,
+                        fsync=checkpoint_fsync,
+                        start_seq=recovery.max_seq,
+                    )
+                else:
+                    journal = ShardedCheckpoint.create(
+                        path, shards, fingerprint, fsync=checkpoint_fsync
+                    )
+            elif resume and path.exists():
                 done = load_checkpoint(
                     path, self.library, fingerprint, metrics=self.metrics
                 )
@@ -749,6 +817,7 @@ class BatchOptimizer:
                     path, fingerprint, fsync=checkpoint_fsync
                 )
 
+        fold = ReportFold(mode=self.config.mode) if stream_report else None
         names = [item_identity(unit)[0] for unit in units]
         results: List[Optional[NetResult]] = [
             done.get(name) for name in names
@@ -756,6 +825,13 @@ class BatchOptimizer:
         pending = [
             index for index, name in enumerate(names) if name not in done
         ]
+        if fold is not None:
+            # Resumed successes fold immediately; resumed failures stay
+            # parked so the fallback pass can still upgrade them.
+            for index, result in enumerate(results):
+                if result is not None and result.ok:
+                    fold.fold(result)
+                    results[index] = _FOLDED
         worker = functools.partial(_optimize_item, self._setup())
         executor_name = getattr(
             self.executor, "name", type(self.executor).__name__
@@ -788,7 +864,7 @@ class BatchOptimizer:
                     with self.tracer.span("batch.map", nets=len(pending)):
                         t0 = perf_counter()
                         self._run_pending(
-                            worker, units, pending, results, journal
+                            worker, units, pending, results, journal, fold
                         )
                         phase_seconds["map"] = perf_counter() - t0
                 with self.tracer.span("batch.fallback"):
@@ -817,6 +893,18 @@ class BatchOptimizer:
             for phase, seconds in phase_seconds.items():
                 phase_gauge.set(seconds, phase=phase)
         assert all(result is not None for result in results)
+        if fold is not None:
+            # Fold the parked failures — now final, fallback included.
+            for result in results:
+                if result is not _FOLDED:
+                    fold.fold(result)
+            return BatchReport(
+                results=[],
+                wall_seconds=wall,
+                executor=executor_name,
+                mode=self.config.mode,
+                fold=fold,
+            )
         return BatchReport(
             results=results,
             wall_seconds=wall,
@@ -830,10 +918,13 @@ class BatchOptimizer:
         units: List[BatchItem],
         pending: List[int],
         results: List[Optional[NetResult]],
-        journal: Optional[CheckpointJournal],
+        journal: Optional[Union[CheckpointJournal, ShardedCheckpoint]],
+        fold: Optional[ReportFold] = None,
     ) -> None:
         """Map the outstanding items, recording (and journaling) each
-        result as it completes; executor sentinels become failures."""
+        result as it completes; executor sentinels become failures.
+        With a streaming ``fold``, successes are folded and dropped on
+        arrival; failures are parked for the fallback pass."""
 
         def record(sub_index: int, value) -> None:
             index = pending[sub_index]
@@ -843,6 +934,9 @@ class BatchOptimizer:
             if journal is not None:
                 journal.append(value)
             self._observe_result(value)
+            if fold is not None and value.ok:
+                fold.fold(value)
+                results[index] = _FOLDED
 
         payload = [units[index] for index in pending]
         if "on_result" in inspect.signature(self.executor.map).parameters:
@@ -936,7 +1030,7 @@ class BatchOptimizer:
         self,
         units: List[BatchItem],
         results: List[Optional[NetResult]],
-        journal: Optional[CheckpointJournal],
+        journal: Optional[Union[CheckpointJournal, ShardedCheckpoint]],
     ) -> None:
         """Last-resort recovery after the map, per ``config.retry.fallback``.
 
@@ -971,7 +1065,9 @@ class BatchOptimizer:
             )
             setup = self._setup(degraded)
         for index, result in enumerate(results):
-            if result is None or result.failure is None:
+            if result is None or result is _FOLDED:
+                continue  # streaming already folded this success away
+            if result.failure is None:
                 continue
             failure = result.failure
             if failure.phase not in eligible_phases:
@@ -1004,13 +1100,16 @@ class BatchOptimizer:
         checkpoint: Optional[Union[str, Path]] = None,
         resume: bool = False,
         checkpoint_fsync: bool = True,
+        stream_report: bool = False,
+        shards: Optional[int] = None,
     ) -> BatchReport:
         """Optimize the workload population from deferred specs.
 
         ``specs`` defaults to :func:`~repro.workloads.population_specs` of
         this optimizer's workload config — generation then happens inside
         the workers, seeded explicitly per net.  ``checkpoint`` /
-        ``resume`` / ``checkpoint_fsync`` behave as in :meth:`optimize`.
+        ``resume`` / ``checkpoint_fsync`` / ``stream_report`` / ``shards``
+        behave as in :meth:`optimize`.
         """
         if specs is None:
             specs = population_specs(self.workload)
@@ -1019,4 +1118,6 @@ class BatchOptimizer:
             checkpoint=checkpoint,
             resume=resume,
             checkpoint_fsync=checkpoint_fsync,
+            stream_report=stream_report,
+            shards=shards,
         )

@@ -1,0 +1,137 @@
+"""Constant-memory fleet aggregation: fold results, don't hoard them.
+
+At 10⁵–10⁶ nets, holding every :class:`~repro.batch.NetResult` (each
+with an assignment dict, possibly a tree) just to compute counts at the
+end is the memory bill that kills the run.  :class:`ReportFold` is the
+incremental alternative: ``fold(result)`` updates every aggregate the
+:class:`~repro.batch.BatchReport` JSON schema needs — counts, failure
+taxonomy, retry totals, the buffer histogram — in O(1) state, plus
+latency and candidate-count distributions on
+:class:`~repro.obs.Histogram` instances (the same machinery the metrics
+registry exports, reused here without a registry).
+
+:class:`~repro.batch.BatchReport` *always* aggregates through a fold —
+retained mode builds one from its results list in ``__post_init__`` —
+so a streamed report's ``to_json()`` is identical to the in-memory one
+by construction, not by parallel bookkeeping (the streaming tests pin
+the byte equality anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.stats import EngineStats
+from ..obs.metrics import DEFAULT_BUCKETS, Histogram
+
+#: candidate-count buckets: generated-candidate totals per net span
+#: a few (tiny nets) to hundreds of thousands (the bench gate points).
+CANDIDATE_BUCKETS = (
+    10.0, 30.0, 100.0, 300.0, 1_000.0, 3_000.0, 10_000.0,
+    30_000.0, 100_000.0, 300_000.0, 1_000_000.0,
+)
+
+
+@dataclass
+class ReportFold:
+    """Streaming aggregates over :class:`~repro.batch.NetResult`\\ s.
+
+    One ``fold`` per completed net — *exactly* one: the optimizer parks
+    failed results until the fallback pass has had its say, so an
+    upgraded failure is folded once as its final self, never folded and
+    then "unfolded" (histograms cannot decrement).
+    """
+
+    mode: str = "buffopt"
+    nets: int = 0
+    ok: int = 0
+    failed: int = 0
+    net_seconds: float = 0.0
+    total_buffers: int = 0
+    total_candidates: int = 0
+    retries: int = 0
+    certified: int = 0
+    #: ``True`` once any folded result carried a certification verdict
+    #: (drives the report's ``certified: null`` vs count distinction).
+    certified_seen: bool = False
+    failure_taxonomy_counts: Dict[str, int] = field(default_factory=dict)
+    buffer_counts: Dict[int, int] = field(default_factory=dict)
+    #: merged engine telemetry (``None`` until a result carries stats).
+    stats: Optional[EngineStats] = None
+    #: per-net wall-clock distribution (obs histogram machinery).
+    latency: Histogram = field(default_factory=lambda: Histogram(
+        "buffopt_fold_net_seconds",
+        "single-net wall-clock folded into the streaming report",
+        buckets=DEFAULT_BUCKETS,
+    ))
+    #: per-net generated-candidate distribution.
+    candidates: Histogram = field(default_factory=lambda: Histogram(
+        "buffopt_fold_net_candidates",
+        "per-net generated candidates folded into the streaming report",
+        buckets=CANDIDATE_BUCKETS,
+    ))
+
+    def fold(self, result) -> None:
+        """Absorb one final :class:`~repro.batch.NetResult`."""
+        self.nets += 1
+        self.net_seconds += result.seconds
+        self.total_candidates += result.candidates_generated
+        self.retries += max(0, result.attempts - 1)
+        self.latency.observe(result.seconds, mode=self.mode)
+        self.candidates.observe(
+            float(result.candidates_generated), mode=self.mode
+        )
+        if result.certified is not None:
+            self.certified_seen = True
+            if result.certified is True:
+                self.certified += 1
+        if result.ok:
+            self.ok += 1
+            assert result.buffer_count is not None
+            self.total_buffers += result.buffer_count
+            self.buffer_counts[result.buffer_count] = (
+                self.buffer_counts.get(result.buffer_count, 0) + 1
+            )
+        else:
+            self.failed += 1
+            key = (
+                result.failure.error
+                if result.failure is not None
+                else "InfeasibleError"
+            )
+            self.failure_taxonomy_counts[key] = (
+                self.failure_taxonomy_counts.get(key, 0) + 1
+            )
+        if result.stats is not None:
+            if self.stats is None:
+                self.stats = EngineStats()
+            self.stats.merge_with(result.stats)
+
+    # -- the aggregate views BatchReport delegates to ----------------------
+
+    def failure_taxonomy(self) -> Dict[str, int]:
+        return dict(sorted(self.failure_taxonomy_counts.items()))
+
+    def buffer_histogram(self) -> Dict[int, int]:
+        return dict(sorted(self.buffer_counts.items()))
+
+    def latency_quantile(self, fraction: float) -> float:
+        """Bucket-resolution quantile of per-net seconds (upper bound of
+        the first bucket covering ``fraction`` of folds; +inf when the
+        tail bucket holds it)."""
+        total = self.latency.count(mode=self.mode)
+        if total == 0:
+            return 0.0
+        target = fraction * total
+        # cumulative bucket counts are what Histogram.observe maintains;
+        # walk the exported samples for the first bound covering target.
+        for sample_name, key, value in self.latency.samples():
+            if not sample_name.endswith("_bucket"):
+                continue
+            labels = dict(key)
+            if labels.get("mode") != self.mode:
+                continue
+            if value >= target and labels.get("le") != "+Inf":
+                return float(labels["le"])
+        return float("inf")

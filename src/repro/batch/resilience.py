@@ -42,7 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..errors import WorkloadError
 from ..obs import NULL_TRACER
-from .executors import default_worker_count
+from .executors import OnResult, default_worker_count
 
 #: fallback modes a :class:`RetryPolicy` may request (applied by the
 #: batch optimizer after the map, not by the executor).
@@ -272,7 +272,9 @@ class ResilientExecutor:
         self,
         fn: Callable,
         items: Sequence,
-        on_result: Optional[Callable[[int, Any], None]] = None,
+        # Delivered in settle order (like AsyncExecutor), not input
+        # order — exactly what the streaming report fold wants.
+        on_result: OnResult = None,
     ) -> List[Any]:
         items = list(items)
         if not items:

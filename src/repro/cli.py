@@ -32,6 +32,8 @@ Two families of commands (installed as ``buffopt``; also
       buffopt batch --net-timeout 5 --max-candidates 200000   # per-net budgets
       buffopt batch --checkpoint run.jsonl                    # journal results
       buffopt batch --checkpoint run.jsonl --resume           # finish the rest
+      buffopt batch --checkpoint run.ckpt --shards 8 \\
+          --stream-report --executor async                    # fleet posture
       buffopt batch --inject-faults 0.01 --executor resilient # drill recovery
       buffopt batch --certify                                 # self-audit
 
@@ -212,10 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
         "delay: slack-optimal DelayOpt",
     )
     batch.add_argument(
-        "--executor", choices=["serial", "process", "chunked", "resilient"],
+        "--executor",
+        choices=["serial", "process", "chunked", "async", "resilient"],
         default="serial",
-        help="map backend (default: serial; resilient survives worker "
-        "crashes and hangs)",
+        help="map backend (default: serial; async streams completions "
+        "out of order; resilient survives worker crashes and hangs)",
     )
     batch.add_argument(
         "--workers", type=int, default=None,
@@ -274,11 +277,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--checkpoint", default=None, metavar="PATH",
-        help="journal completed nets to this JSONL file as they finish",
+        help="journal completed nets to this JSONL file as they finish "
+        "(a directory of shard files with --shards)",
     )
     batch.add_argument(
         "--resume", action="store_true",
         help="reload --checkpoint and recompute only unfinished nets",
+    )
+    batch.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the checkpoint into N independent shard journals "
+        "inside the --checkpoint directory; resume reads every shard "
+        "present, so the count may change between runs",
+    )
+    batch.add_argument(
+        "--stream-report", action="store_true",
+        help="fold results into a constant-memory report as they "
+        "complete instead of retaining every per-net result "
+        "(the 10^5-10^6 net posture; aggregates are identical)",
     )
     batch.add_argument(
         "--no-checkpoint-fsync", action="store_true",
@@ -699,6 +715,9 @@ def _run_batch(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
         return EXIT_USAGE
+    if args.shards is not None and not args.checkpoint:
+        print("--shards requires --checkpoint DIR", file=sys.stderr)
+        return EXIT_USAGE
 
     tracer = None
     metrics = None
@@ -769,6 +788,8 @@ def _run_batch(args: argparse.Namespace) -> int:
             checkpoint=args.checkpoint,
             resume=args.resume,
             checkpoint_fsync=not args.no_checkpoint_fsync,
+            stream_report=args.stream_report,
+            shards=args.shards,
         )
     except WorkloadError as exc:
         print(f"batch failed: {exc}", file=sys.stderr)

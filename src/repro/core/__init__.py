@@ -13,6 +13,13 @@ from .dp import (
     resolve_auto_engine,
     run_dp,
 )
+from .eco import (
+    ECO_HITS_COUNTER,
+    ECO_MISSES_COUNTER,
+    FrontierCache,
+    FrontierSnapshot,
+    subtree_fingerprints,
+)
 from .noise_delay import buffopt, buffopt_min_buffers, buffopt_result
 from .noise_multi import (
     NoiseCandidate,
@@ -50,8 +57,13 @@ __all__ = [
     "DPOptions",
     "DPOutcome",
     "DPResult",
+    "ECO_HITS_COUNTER",
+    "ECO_MISSES_COUNTER",
     "EngineStats",
+    "FrontierCache",
+    "FrontierSnapshot",
     "Insertion",
+    "subtree_fingerprints",
     "NodeStats",
     "NoiseCandidate",
     "PlacedBuffer",

@@ -133,6 +133,13 @@ class DPOptions:
     #: overhead gate pins this).  Profiling never changes candidate
     #: arithmetic, so profiled runs stay bit-identical.
     profile: Optional[object] = None
+    #: opt-in ECO frontier cache (:class:`~repro.core.eco.FrontierCache`).
+    #: The engine restores whole unchanged subtrees from it and stores a
+    #: snapshot at every node it does visit, making incremental re-runs
+    #: after a local edit bit-identical to cold runs at a fraction of
+    #: the work.  Reference engine only: the fast and lishi engines use
+    #: incompatible internal frontier representations.
+    frontier_cache: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.prune not in ("timing", "pareto"):
@@ -160,6 +167,28 @@ class DPOptions:
                 "profile must expose an install(engine) method (use "
                 f"repro.obs.PhaseProfiler), got {self.profile!r}"
             )
+        if self.frontier_cache is not None:
+            if self.engine != "reference":
+                raise ValueError(
+                    "frontier_cache requires engine='reference' (the fast "
+                    "and lishi engines cannot snapshot/restore reference "
+                    f"frontiers), got engine={self.engine!r}"
+                )
+            if self.collect_stats:
+                raise ValueError(
+                    "frontier_cache is incompatible with collect_stats "
+                    "(per-node telemetry cannot be recorded for skipped "
+                    "subtrees)"
+                )
+            if not callable(
+                getattr(self.frontier_cache, "lookup", None)
+            ) or not callable(getattr(self.frontier_cache, "store", None)):
+                raise ValueError(
+                    "frontier_cache must expose lookup(fingerprint) and "
+                    "store(fingerprint, snapshot) (use "
+                    f"repro.core.eco.FrontierCache), got "
+                    f"{self.frontier_cache!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -351,6 +380,8 @@ class _Engine:
         return count if self.options.track_counts else 0
 
     def run(self) -> DPResult:
+        if self.options.frontier_cache is not None:
+            return self._run_with_cache(self.options.frontier_cache)
         if self.stats is not None:
             return self._run_instrumented()
         budget = self.options.budget
@@ -369,6 +400,102 @@ class _Engine:
             if budget is not None:
                 budget.charge(self.generated, self.tree.name, node.name)
             lists[node.name] = groups
+        return self._finalize(lists[self.tree.source.name])
+
+    def _counter_state(self) -> Tuple[int, int, int, int, int]:
+        return (
+            self.generated, self.dead, self.merge_forks,
+            self.prune_presorted, self.prune_sorts,
+        )
+
+    def _run_with_cache(self, cache) -> DPResult:
+        """The :meth:`run` visit loop with ECO subtree reuse.
+
+        An explicit DFS stack (deep trees must not recurse) skips whole
+        subtrees whose fingerprint the cache answers, restoring their
+        frontier *and* their candidate-accounting deltas so the result —
+        outcomes, ``candidates_generated``, ``candidates_kept_peak`` —
+        is bit-identical to a cold run.  Every node computed the long
+        way is stored back, so a cold run with an empty cache doubles as
+        the populate pass.
+        """
+        from .eco import FrontierSnapshot, context_key, subtree_fingerprints
+
+        budget = self.options.budget
+        fingerprints = subtree_fingerprints(
+            self.tree,
+            context_key(self.library, self.coupling, self.options),
+        )
+        lists: Dict[str, _Groups] = {}
+        counters_at_start: Dict[str, Tuple[int, int, int, int, int]] = {}
+        subtree_nodes: Dict[str, int] = {}
+        subtree_peak: Dict[str, int] = {}
+        stack: List[Tuple[Node, bool]] = [(self.tree.source, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                snapshot = cache.lookup(fingerprints[node.name])
+                if snapshot is not None:
+                    lists[node.name] = snapshot.restore_groups()
+                    self.generated += snapshot.generated
+                    self.dead += snapshot.dead
+                    self.merge_forks += snapshot.merge_forks
+                    self.prune_presorted += snapshot.prune_presorted
+                    self.prune_sorts += snapshot.prune_sorts
+                    self.kept_peak = max(self.kept_peak, snapshot.kept_peak)
+                    subtree_nodes[node.name] = snapshot.node_count
+                    subtree_peak[node.name] = snapshot.kept_peak
+                    if budget is not None:
+                        budget.charge(
+                            self.generated, self.tree.name, node.name
+                        )
+                    continue
+                counters_at_start[node.name] = self._counter_state()
+                stack.append((node, True))
+                for child in reversed(node.children):
+                    stack.append((child, False))
+                continue
+            if node.is_sink:
+                groups = self._sink_base(node)
+                child_nodes = 0
+                child_peak = 0
+            else:
+                groups = self._merge_children(node, lists)
+                self._insert_buffers(node, groups)
+                child_nodes = 0
+                child_peak = 0
+                for child in node.children:
+                    del lists[child.name]
+                    child_nodes += subtree_nodes.pop(child.name)
+                    child_peak = max(
+                        child_peak, subtree_peak.pop(child.name)
+                    )
+            if node.parent_wire is not None:
+                self._apply_wire(node.parent_wire, groups)
+            _, frontier_total = self._prune(groups)
+            if budget is not None:
+                budget.charge(self.generated, self.tree.name, node.name)
+            lists[node.name] = groups
+            node_count = child_nodes + 1
+            peak = max(child_peak, frontier_total)
+            subtree_nodes[node.name] = node_count
+            subtree_peak[node.name] = peak
+            before = counters_at_start.pop(node.name)
+            # The tuples freeze the list *contents*; the candidates and
+            # their chains are immutable and shared, never copied.
+            cache.store(fingerprints[node.name], FrontierSnapshot(
+                groups=tuple(
+                    (key, tuple(candidates))
+                    for key, candidates in groups.items()
+                ),
+                node_count=node_count,
+                generated=self.generated - before[0],
+                dead=self.dead - before[1],
+                merge_forks=self.merge_forks - before[2],
+                prune_presorted=self.prune_presorted - before[3],
+                prune_sorts=self.prune_sorts - before[4],
+                kept_peak=peak,
+            ))
         return self._finalize(lists[self.tree.source.name])
 
     def _run_instrumented(self) -> DPResult:

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
 
-from ..batch.checkpoint import record_torn_tail, repair_torn_tail
+from ..batch.checkpoint import JournalReader
 from ..errors import ServiceError
 from .protocol import (
     PROTOCOL_VERSION,
@@ -192,29 +192,16 @@ def recover_journal(
     """
     path = Path(path)
     read_journal_header(path)
-    with path.open("r", encoding="utf-8") as handle:
-        lines = handle.readlines()
 
     state = RecoveredState()
     accepted: Dict[str, CanonicalRequest] = {}
     order: List[str] = []
-    for number, line in enumerate(lines[1:], start=2):
-        if not line.strip():
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            if number == len(lines):
-                # torn final line: the writer was killed mid-write.
-                # Truncate it off so the restarted server's appends
-                # start a fresh line instead of garbling the fragment.
-                record_torn_tail(metrics, journal="service")
-                repair_torn_tail(path, lines)
-                state.torn_tail = True
-                break
-            raise ServiceError(
-                f"service journal {path} line {number} is corrupt"
-            ) from None
+    # The shared reader tolerates (counts, truncates) a torn final line
+    # — the writer was killed mid-write — and refuses interior tears.
+    reader = JournalReader(
+        path, metrics=metrics, journal="service", error=ServiceError
+    )
+    for number, record in reader.records():
         kind = record.get("kind")
         if kind == "accepted":
             fingerprint = record.get("fingerprint")
@@ -250,6 +237,7 @@ def recover_journal(
                 f"record kind {kind!r}"
             )
 
+    state.torn_tail = reader.torn_tail
     state.pending = [
         (fingerprint, accepted[fingerprint])
         for fingerprint in order

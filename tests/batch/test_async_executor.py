@@ -1,0 +1,134 @@
+"""AsyncExecutor: completion-order streaming, input-order results.
+
+The executor contract every backend shares — ``map`` returns results in
+input order, signatures match the serial baseline — plus the async
+specifics: out-of-order ``on_result`` delivery and the bounded
+submission window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WorkloadError
+from repro.batch import (
+    AsyncExecutor,
+    BatchConfig,
+    BatchOptimizer,
+    SerialExecutor,
+    make_executor,
+)
+from repro.workloads import WorkloadConfig, population_specs
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _variable_sleep_square(value: int) -> int:
+    import time
+
+    # earlier items sleep longer, so completion order inverts input
+    # order when more than one worker runs
+    time.sleep(0.05 if value < 2 else 0.0)
+    return value * value
+
+
+class TestContract:
+    def test_results_in_input_order(self):
+        executor = AsyncExecutor(workers=3)
+        assert executor.map(_square, list(range(12))) == [
+            n * n for n in range(12)
+        ]
+
+    def test_empty_items(self):
+        assert AsyncExecutor(workers=2).map(_square, []) == []
+
+    def test_single_worker_degenerates_to_serial(self):
+        executor = AsyncExecutor(workers=1)
+        seen = []
+        out = executor.map(
+            _square, [3, 1, 2], on_result=lambda i, v: seen.append(i)
+        )
+        assert out == [9, 1, 4]
+        assert seen == [0, 1, 2]
+
+    def test_on_result_fires_once_per_item_any_order(self):
+        executor = AsyncExecutor(workers=2, window=2)
+        seen = {}
+        executor.map(
+            _variable_sleep_square,
+            list(range(8)),
+            on_result=lambda i, v: seen.__setitem__(i, v),
+        )
+        assert seen == {n: n * n for n in range(8)}
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(Exception):
+            AsyncExecutor(workers=2).map(_raise, [1, 2])
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            AsyncExecutor(workers=0)
+        with pytest.raises(WorkloadError):
+            AsyncExecutor(window=0)
+
+    def test_describe_and_factory(self):
+        executor = make_executor("async", workers=2)
+        assert isinstance(executor, AsyncExecutor)
+        assert "async" in executor.describe()
+        assert executor.effective_window == 8
+
+
+def _raise(value):
+    raise RuntimeError(f"boom {value}")
+
+
+class TestBatchIntegration:
+    def test_signatures_match_serial(self):
+        workload = WorkloadConfig(nets=14, seed=21)
+        specs = population_specs(workload)
+        config = BatchConfig(max_buffers=4, keep_trees=False)
+        serial = BatchOptimizer(
+            config=config, workload=workload, executor=SerialExecutor()
+        ).optimize(specs)
+        parallel = BatchOptimizer(
+            config=config, workload=workload,
+            executor=AsyncExecutor(workers=3),
+        ).optimize(specs)
+        assert parallel.signatures() == serial.signatures()
+        assert parallel.executor == "async"
+
+    def test_streamed_aggregates_match_despite_out_of_order_folds(self):
+        workload = WorkloadConfig(nets=14, seed=21)
+        specs = population_specs(workload)
+        config = BatchConfig(max_buffers=4, keep_trees=False)
+        retained = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs)
+        streamed = BatchOptimizer(
+            config=config, workload=workload,
+            executor=AsyncExecutor(workers=3, window=4),
+        ).optimize(specs, stream_report=True)
+        sj, rj = streamed.to_json(), retained.to_json()
+        for key in rj:
+            if key in (
+                "wall_seconds", "net_seconds", "nets_per_second", "executor"
+            ):
+                continue
+            assert sj[key] == rj[key], key
+
+    def test_checkpoint_journal_is_complete_under_async(self, tmp_path):
+        from repro.batch import load_checkpoint
+
+        workload = WorkloadConfig(nets=10, seed=21)
+        specs = population_specs(workload)
+        path = tmp_path / "async.jsonl"
+        optimizer = BatchOptimizer(
+            config=BatchConfig(max_buffers=4, keep_trees=False),
+            workload=workload,
+            executor=AsyncExecutor(workers=3),
+        )
+        report = optimizer.optimize(specs, checkpoint=path)
+        loaded = load_checkpoint(path, optimizer.library)
+        assert set(loaded) == {r.name for r in report.results}

@@ -1,0 +1,209 @@
+"""Streaming report fold: constant-memory aggregates, identical JSON.
+
+The load-bearing claim: ``optimize(..., stream_report=True)`` returns a
+report whose ``to_json()`` matches the retained run key for key (timing
+keys excluded — they are wall-clock measurements, not aggregates), with
+failures, fallback upgrades, and certification all folded exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WorkloadError
+from repro.batch import (
+    BatchConfig,
+    BatchOptimizer,
+    BatchReport,
+    FaultPlan,
+    ReportFold,
+    ResilientExecutor,
+    RetryPolicy,
+)
+from repro.workloads import WorkloadConfig, population_specs
+
+#: to_json keys that measure wall-clock rather than aggregate results.
+TIMING_KEYS = ("wall_seconds", "net_seconds", "nets_per_second")
+
+
+def assert_same_aggregates(streamed, retained):
+    sj, rj = streamed.to_json(), retained.to_json()
+    assert set(sj) == set(rj)
+    for key in rj:
+        if key in TIMING_KEYS:
+            continue
+        assert sj[key] == rj[key], (key, sj[key], rj[key])
+
+
+class TestStreamedEqualsRetained:
+    def test_happy_fleet(self):
+        workload = WorkloadConfig(nets=18, seed=9)
+        specs = population_specs(workload)
+        config = BatchConfig(max_buffers=4, keep_trees=False)
+        retained = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs)
+        streamed = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs, stream_report=True)
+        assert streamed.streamed
+        assert not retained.streamed
+        assert_same_aggregates(streamed, retained)
+        assert len(streamed) == len(retained) == 18
+
+    def test_with_failures_and_stats(self):
+        workload = WorkloadConfig(nets=12, seed=9)
+        specs = population_specs(workload)
+        # a tiny candidate budget fails some nets -> taxonomy entries
+        config = BatchConfig(
+            max_buffers=4, keep_trees=False, collect_stats=True,
+            net_max_candidates=300,
+        )
+        retained = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs)
+        streamed = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs, stream_report=True)
+        assert retained.failure_count > 0
+        assert_same_aggregates(streamed, retained)
+        assert streamed.failure_taxonomy() == retained.failure_taxonomy()
+        merged = streamed.aggregate_stats()
+        reference = retained.aggregate_stats()
+        assert merged is not None
+        assert merged.candidates_generated == reference.candidates_generated
+
+    def test_with_certification(self):
+        workload = WorkloadConfig(nets=8, seed=9)
+        specs = population_specs(workload)
+        config = BatchConfig(max_buffers=4, keep_trees=False, certify=True)
+        retained = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs)
+        streamed = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs, stream_report=True)
+        assert retained.certified_count == 8
+        assert_same_aggregates(streamed, retained)
+
+    def test_fallback_upgrades_fold_once(self):
+        """A failure the aggressive fallback rescues must be folded as
+        its final (successful) self — the double-fold hazard."""
+        workload = WorkloadConfig(nets=10, seed=9)
+        specs = population_specs(workload)
+        config = BatchConfig(
+            max_buffers=4, keep_trees=False, net_max_candidates=300,
+            retry=RetryPolicy(
+                fallback="aggressive", fallback_max_candidates=100_000
+            ),
+        )
+        retained = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs)
+        streamed = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs, stream_report=True)
+        assert retained.retry_count() > 0  # the fallback actually ran
+        assert_same_aggregates(streamed, retained)
+        assert len(streamed) == 10  # each net folded exactly once
+
+    def test_streamed_resume_folds_journaled_results(self, tmp_path):
+        workload = WorkloadConfig(nets=12, seed=9)
+        specs = population_specs(workload)
+        config = BatchConfig(max_buffers=4, keep_trees=False)
+        path = tmp_path / "fleet.jsonl"
+        BatchOptimizer(config=config, workload=workload).optimize(
+            specs[:7], checkpoint=path
+        )
+        streamed = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs, checkpoint=path, resume=True, stream_report=True)
+        retained = BatchOptimizer(
+            config=config, workload=workload
+        ).optimize(specs)
+        assert_same_aggregates(streamed, retained)
+
+    def test_streamed_with_crash_faults_under_resilient_executor(self):
+        workload = WorkloadConfig(nets=10, seed=9)
+        specs = population_specs(workload)
+        faults = FaultPlan.sample(
+            [s.name for s in specs], rate=0.3, seed=1, kind="raise"
+        )
+        retry = RetryPolicy(max_attempts=1, retry_errors=False)
+
+        def run(stream):
+            return BatchOptimizer(
+                config=BatchConfig(
+                    max_buffers=4, keep_trees=False, retry=retry
+                ),
+                workload=workload,
+                faults=faults,
+                executor=ResilientExecutor(workers=2, retry=retry),
+            ).optimize(specs, stream_report=stream)
+
+        retained, streamed = run(False), run(True)
+        assert retained.failure_count > 0
+        assert_same_aggregates(streamed, retained)
+
+
+class TestStreamedReportSurface:
+    @pytest.fixture(scope="class")
+    def streamed(self):
+        workload = WorkloadConfig(nets=6, seed=9)
+        return BatchOptimizer(
+            config=BatchConfig(max_buffers=4, keep_trees=False),
+            workload=workload,
+        ).optimize(population_specs(workload), stream_report=True)
+
+    def test_per_result_views_raise(self, streamed):
+        for access in (
+            streamed.signatures,
+            streamed.solutions,
+            lambda: streamed.ok_results,
+        ):
+            with pytest.raises(WorkloadError, match="streamed"):
+                access()
+
+    def test_aggregate_views_work(self, streamed):
+        assert len(streamed) == 6
+        assert streamed.failure_count == 0
+        assert streamed.total_buffers() == streamed.fold.total_buffers
+        assert streamed.describe().startswith("batch: 6 nets")
+
+    def test_histograms_populate(self, streamed):
+        fold = streamed.fold
+        assert fold.latency.count(mode="buffopt") == 6
+        assert fold.candidates.count(mode="buffopt") == 6
+        assert fold.latency_quantile(0.5) > 0.0
+
+
+class TestReportFoldUnit:
+    def test_report_always_delegates_to_a_fold(self):
+        workload = WorkloadConfig(nets=5, seed=9)
+        report = BatchOptimizer(
+            config=BatchConfig(max_buffers=4, keep_trees=False),
+            workload=workload,
+        ).optimize(population_specs(workload))
+        assert isinstance(report.fold, ReportFold)
+        assert report.fold.nets == 5
+
+    def test_manual_fold_matches_post_init_fold(self):
+        workload = WorkloadConfig(nets=5, seed=9)
+        report = BatchOptimizer(
+            config=BatchConfig(max_buffers=4, keep_trees=False),
+            workload=workload,
+        ).optimize(population_specs(workload))
+        manual = ReportFold(mode=report.mode)
+        for result in report.results:
+            manual.fold(result)
+        clone = BatchReport(
+            results=[],
+            wall_seconds=report.wall_seconds,
+            executor=report.executor,
+            mode=report.mode,
+            fold=manual,
+        )
+        assert clone.to_json() == report.to_json()
+
+    def test_quantile_of_empty_fold_is_zero(self):
+        assert ReportFold().latency_quantile(0.5) == 0.0
