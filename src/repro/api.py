@@ -71,6 +71,7 @@ def dp_result(
     engine: str = "reference",
     profile: Optional[PhaseProfiler] = None,
     frontier_cache=None,
+    site_prices=None,
 ) -> DPResult:
     """One count-tracking DP run; the union of the legacy entry points.
 
@@ -82,7 +83,12 @@ def dp_result(
     default) leaves both engines byte-for-byte uninstrumented.
     ``frontier_cache`` (a :class:`~repro.core.eco.FrontierCache`)
     enables ECO subtree reuse across repeated runs of locally edited
-    nets; reference engine only.
+    nets; reference engine only.  ``site_prices`` (node name ->
+    nonnegative price) threads Lagrangian shared-site costs into the
+    buffer-insertion cost term (see
+    :attr:`~repro.core.dp.DPOptions.site_prices`); outcome slacks are
+    then *priced* slacks, and ``None``/empty prices are bit-identical
+    to an unpriced run.
     """
     if mode not in API_MODES:
         raise ValueError(
@@ -108,6 +114,7 @@ def dp_result(
         engine=engine,
         profile=profile,
         frontier_cache=frontier_cache,
+        site_prices=site_prices,
     )
     return run_dp(tree, library, coupling=coupling, options=options,
                   driver=driver)

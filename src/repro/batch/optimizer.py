@@ -484,12 +484,21 @@ def optimize_net(
     coupling: CouplingModel,
     config: BatchConfig,
     attempt: int = 1,
+    site_prices: Optional[Mapping[str, float]] = None,
 ) -> NetResult:
     """Optimize one net under ``config`` — the exact per-item worker body.
 
     This is public on purpose: `BatchOptimizer(...).optimize([tree])` and
     `optimize_net(tree, ...)` run the same code path, which is what the
     differential harness pins down.
+
+    ``site_prices`` (node name -> nonnegative Lagrangian price, see
+    :attr:`~repro.core.dp.DPOptions.site_prices`) is how the fleet
+    coordinator threads shared-site congestion costs through this exact
+    worker body; the result's ``slack`` is then the *priced* slack.
+    ``None``/empty is bit-identical to today's unpriced run.  Prices key
+    on the *segmented* tree's node names — pass a pre-segmented tree
+    (and ``max_segment_length=None``) when pricing segmentation nodes.
 
     Engine-level failures — infeasibility, a tripped
     :class:`~repro.core.budget.RunBudget` deadline or candidate budget —
@@ -519,6 +528,7 @@ def optimize_net(
             collect_stats=config.collect_stats,
             budget=budget,
             engine=config.engine,
+            site_prices=site_prices,
         )
         if config.mode == "buffopt":
             outcome = result.fewest_buffers(min_slack=config.min_slack)
@@ -534,19 +544,37 @@ def optimize_net(
         )
     certified: Optional[bool] = None
     if config.certify and outcome is not None:
-        from ..verify.certificate import certify_or_raise
+        from ..verify.certificate import certify_or_raise, evaluate_assignment
 
         # DelayOpt runs the engine with silent coupling; certify against
         # the same physics the claims were computed under.
         cert_coupling = (
             coupling if config.mode == "buffopt" else CouplingModel.silent()
         )
+        # The certificate re-derives *physical* slack; a priced run's
+        # claimed slack carries Lagrangian penalties on each sink path
+        # (non-critical-branch penalties are absorbed by the min at
+        # merges, so they cannot be added back arithmetically).  Derive
+        # the physical claim with the same evaluator — the slack leg is
+        # then tautological for priced runs, but the structural, noise,
+        # and count checks keep their teeth; the fleet audit
+        # (:func:`repro.fleet.verify.audit_fleet`) owns the independent
+        # slack check for priced runs.
+        claimed = outcome.slack
+        if site_prices and any(
+            ins.node in site_prices for ins in outcome.insertions
+        ):
+            claimed = evaluate_assignment(
+                work_tree,
+                {ins.node: ins.buffer for ins in outcome.insertions},
+                cert_coupling,
+            ).slack
         try:
             certify_or_raise(
                 work_tree,
                 {ins.node: ins.buffer for ins in outcome.insertions},
                 cert_coupling,
-                claimed_slack=outcome.slack,
+                claimed_slack=claimed,
                 claimed_noise_feasible=outcome.noise_feasible,
                 claimed_buffer_count=outcome.buffer_count,
                 require_noise=config.mode == "buffopt",

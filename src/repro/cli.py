@@ -332,6 +332,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(batch)
 
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="coordinate a net fleet over shared buffer-site capacities "
+        "with Lagrangian prices (see docs/algorithms.md section 10)",
+    )
+    fleet.add_argument("--nets", type=int, default=50, help="fleet size")
+    fleet.add_argument(
+        "--mode", choices=["buffopt", "delay"], default="buffopt",
+        help="per-net objective (delay mode additionally reports a "
+        "Lagrangian dual bound on the fleet's total slack)",
+    )
+    fleet.add_argument(
+        "--executor",
+        choices=["serial", "process", "chunked", "async"],
+        default="serial",
+        help="map backend for each round's re-optimizations",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: all schedulable CPUs)",
+    )
+    fleet.add_argument(
+        "--segment", type=float, default=500e-6,
+        help="max wire segment length in meters before optimization",
+    )
+    fleet.add_argument(
+        "--sites", type=int, default=8, metavar="N",
+        help="shared buffer sites per net family (default 8)",
+    )
+    fleet.add_argument(
+        "--families", type=int, default=1, metavar="N",
+        help="independent contention domains nets hash into (default 1)",
+    )
+    fleet.add_argument(
+        "--capacity", type=int, default=2, metavar="N",
+        help="buffers each shared site holds (default 2)",
+    )
+    fleet.add_argument(
+        "--capacity-spread", type=int, default=0, metavar="N",
+        help="max salted extra capacity per site (default 0 = uniform)",
+    )
+    fleet.add_argument(
+        "--rounds", type=int, default=25, metavar="N",
+        help="price-update round budget (default 25)",
+    )
+    fleet.add_argument(
+        "--step", type=float, default=1e-12, metavar="SECONDS",
+        help="initial subgradient step on the price scale (default 1e-12)",
+    )
+    fleet.add_argument(
+        "--growth", type=float, default=2.0,
+        help="step multiplier applied after a stall (default 2.0)",
+    )
+    fleet.add_argument(
+        "--patience", type=int, default=2,
+        help="stalled rounds tolerated before the step escalates",
+    )
+    fleet.add_argument(
+        "--no-repair", action="store_true",
+        help="skip the deterministic feasibility repair pass after the "
+        "round budget is spent",
+    )
+    fleet.add_argument(
+        "--tight-bound", action="store_true",
+        help="spend one full-fleet priced pass tightening the dual "
+        "bound at the final prices (delay mode only)",
+    )
+    fleet.add_argument(
+        "--audit", action="store_true",
+        help="independently re-derive every fleet claim with the "
+        "DP-free auditor; violations fail the command",
+    )
+    fleet.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal completed nets and closed rounds to this JSONL "
+        "file as the loop runs",
+    )
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="replay --checkpoint's closed rounds and continue the loop",
+    )
+    fleet.add_argument(
+        "--no-checkpoint-fsync", action="store_true",
+        help="skip the per-record fsync on the checkpoint journal",
+    )
+    fleet.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="journal a JSONL span/event trace of the run to this file",
+    )
+    fleet.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write Prometheus text-format fleet metrics to this file",
+    )
+    _add_common_options(fleet)
+
     fuzz = subparsers.add_parser(
         "fuzz",
         help="fuzz the DP engine against the independent certificate "
@@ -808,6 +903,110 @@ def _run_batch(args: argparse.Namespace) -> int:
     return EXIT_FAILURE if report.failure_count == len(report) else EXIT_OK
 
 
+def _run_fleet(args: argparse.Namespace) -> int:
+    from .batch import make_executor
+    from .batch.optimizer import BatchConfig
+    from .errors import WorkloadError
+    from .fleet import FleetConfig, FleetCoordinator, PriceSchedule
+    from .fleet.verify import audit_fleet
+    from .workloads import WorkloadConfig, population_specs
+
+    if args.resume and not args.checkpoint:
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return EXIT_USAGE
+
+    tracer = None
+    metrics = None
+    if args.trace:
+        from .obs import EventSink, Tracer
+
+        tracer = Tracer(sink=EventSink(args.trace))
+    if args.metrics:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+
+    workload = WorkloadConfig(nets=args.nets, seed=args.seed)
+    executor = make_executor(args.executor, workers=args.workers)
+    try:
+        config = FleetConfig(
+            batch=BatchConfig(
+                mode=args.mode,
+                max_segment_length=args.segment,
+                keep_trees=False,
+                engine=args.engine,
+            ),
+            sites_per_family=args.sites,
+            families=args.families,
+            base_capacity=args.capacity,
+            capacity_spread=args.capacity_spread,
+            max_rounds=args.rounds,
+            schedule=PriceSchedule(
+                step=args.step,
+                growth=args.growth,
+                patience=args.patience,
+            ),
+            repair=not args.no_repair,
+            tight_bound=args.tight_bound,
+        )
+    except WorkloadError as exc:
+        print(f"bad fleet configuration: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    coordinator = FleetCoordinator(
+        config=config,
+        executor=executor,
+        workload=workload,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    specs = population_specs(workload)
+    print(
+        f"coordinating {args.nets} nets over "
+        f"{args.sites * args.families} shared sites ({args.mode}, "
+        f"{executor.describe()}) ...",
+        file=sys.stderr,
+    )
+    try:
+        result = coordinator.coordinate(
+            specs,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            checkpoint_fsync=not args.no_checkpoint_fsync,
+        )
+    except WorkloadError as exc:
+        print(f"fleet failed: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace}", file=sys.stderr)
+    if metrics is not None:
+        metrics.write_prometheus(args.metrics)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+    violations: List[str] = []
+    if args.audit:
+        violations = audit_fleet(
+            result, specs, config=config, workload=workload
+        )
+        for violation in violations:
+            print(f"audit: {violation}", file=sys.stderr)
+    if args.json:
+        report = result.to_json()
+        if args.audit:
+            report["audit_violations"] = violations
+        print(json.dumps(report, indent=2))
+    else:
+        print(result.describe())
+        if args.audit:
+            print(
+                "audit: clean" if not violations
+                else f"audit: {len(violations)} violation(s)"
+            )
+    if violations or not result.feasible:
+        return EXIT_FAILURE
+    return EXIT_OK
+
+
 def _run_export(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -1086,6 +1285,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_export(args)
     if args.target == "batch":
         return _run_batch(args)
+    if args.target == "fleet":
+        return _run_fleet(args)
     if args.target == "fuzz":
         return _run_fuzz(args)
     if args.target == "serve":

@@ -140,6 +140,29 @@ class DPOptions:
     #: the work.  Reference engine only: the fast and lishi engines use
     #: incompatible internal frontier representations.
     frontier_cache: Optional[object] = None
+    #: per-node Lagrangian buffer-site prices (node name -> nonnegative
+    #: finite price, in slack units).  A buffer inserted at a priced node
+    #: pays the price as extra slack cost — exactly like an added
+    #: intrinsic delay — which is how the fleet coordinator
+    #: (:mod:`repro.fleet`) threads shared-site congestion costs into the
+    #: per-net DP.  Because the price is uniform across all candidates
+    #: and buffer types at one node, the per-buffer argmax (and the lishi
+    #: engine's hull walk) is unchanged; only the *buffered* candidate's
+    #: slack shifts, steering competition between buffering at different
+    #: nodes.  ``None``/empty, or a price of exactly ``0.0``, takes the
+    #: original arithmetic path bit-for-bit (``x - 0.0 == x`` in IEEE
+    #: round-to-nearest), so unpriced runs stay bit-identical across all
+    #: three engines.
+    #:
+    #: Semantics caveat: penalties ride the *slack* recurrence, so a
+    #: branch merge (min over children) absorbs penalties paid on the
+    #: non-critical branch.  The engine therefore maximizes the
+    #: min-over-sinks *path-priced* slack ``v(x)``, which satisfies
+    #: ``slack(x) - sum(prices over all buffers) <= v(x) <= slack(x)``
+    #: — enough for valid Lagrangian bounds (see
+    #: :mod:`repro.fleet.pricing`), but the root slack of a priced run
+    #: is *not* simply the physical slack minus the total penalty.
+    site_prices: Optional[Mapping[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.prune not in ("timing", "pareto"):
@@ -189,6 +212,29 @@ class DPOptions:
                     f"repro.core.eco.FrontierCache), got "
                     f"{self.frontier_cache!r}"
                 )
+        if self.site_prices is not None:
+            if not isinstance(self.site_prices, Mapping):
+                raise ValueError(
+                    "site_prices must be a mapping of node name -> price "
+                    f"or None, got {self.site_prices!r}"
+                )
+            for name, price in self.site_prices.items():
+                if not isinstance(name, str):
+                    raise ValueError(
+                        f"site_prices keys must be node names, got {name!r}"
+                    )
+                if not isinstance(price, (int, float)) or isinstance(
+                    price, bool
+                ):
+                    raise ValueError(
+                        f"site_prices[{name!r}] must be a number, "
+                        f"got {price!r}"
+                    )
+                if not math.isfinite(price) or price < 0.0:
+                    raise ValueError(
+                        f"site_prices[{name!r}] must be finite and >= 0, "
+                        f"got {price!r}"
+                    )
 
 
 @dataclass(frozen=True)
@@ -635,6 +681,10 @@ class _Engine:
         track = self.options.track_counts
         noise_aware = self.options.noise_aware
         max_buffers = self.options.max_buffers
+        prices = self.options.site_prices
+        # Uniform across candidates and buffer types at this node, so the
+        # argmax below is unaffected; subtracting 0.0 is bit-identical.
+        penalty = prices.get(node.name, 0.0) if prices else 0.0
         inf = math.inf
         additions: List[Tuple[Tuple[int, int], DPCandidate]] = []
         for (polarity, group_count), candidates in groups.items():
@@ -674,7 +724,7 @@ class _Engine:
                 )
                 new = DPCandidate(
                     load=buffer.input_capacitance,
-                    slack=best_slack - buffer.intrinsic_delay,
+                    slack=best_slack - buffer.intrinsic_delay - penalty,
                     current=0.0,
                     noise_slack=buffer.noise_margin,
                     polarity=new_pol,

@@ -77,6 +77,19 @@ def context_key(
         f"{'~' if options.max_buffers is None else options.max_buffers}:"
         f"{options.prune}:{int(options.enforce_polarity)}:{sizing}"
     )
+    # Site prices shift buffered-candidate slacks, so a priced run must
+    # never reuse frontiers cached under different (or no) prices.  Only
+    # nonzero entries participate: zero prices are bit-identical to
+    # absent ones, so their cache contexts may legitimately coincide.
+    prices = getattr(options, "site_prices", None)
+    if prices:
+        priced = ",".join(
+            f"{name}={_f(price)}"
+            for name, price in sorted(prices.items())
+            if price != 0.0
+        )
+        if priced:
+            parts.append(f"p:{priced}")
     return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
 

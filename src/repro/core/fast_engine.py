@@ -315,6 +315,11 @@ class FastEngine:
         max_buffers = options.max_buffers
         enforce = options.enforce_polarity
         node_name = node.name
+        prices = options.site_prices
+        # Uniform per node, so the per-buffer argmax is untouched; the
+        # subtraction mirrors the reference's operation order exactly
+        # ((best_slack - intrinsic) - penalty) for bit-identity.
+        penalty = prices.get(node_name, 0.0) if prices else 0.0
         buffers = self._buffers
         additions: List[Tuple[Tuple[int, int], _Cand]] = []
         add = additions.append
@@ -359,6 +364,7 @@ class FastEngine:
                         (polarity ^ inv) if enforce else 0,
                         group_count,
                         track,
+                        penalty,
                     )
                 continue
             pairs = [(c[1], c[0]) for c in candidates]
@@ -381,6 +387,7 @@ class FastEngine:
                     (polarity ^ inv) if enforce else 0,
                     group_count,
                     track,
+                    penalty,
                 )
         for key, cand in additions:
             group = groups.get(key)
@@ -402,6 +409,7 @@ class FastEngine:
         new_pol: int,
         group_count: int,
         track: bool,
+        penalty: float = 0.0,
     ) -> None:
         """Queue the buffered variant of ``cand`` (one per buffer type)."""
         chain = cand[4]
@@ -412,7 +420,7 @@ class FastEngine:
                 (new_pol, new_count if track else 0),
                 (
                     in_cap,
-                    best_slack - intrinsic,
+                    best_slack - intrinsic - penalty,
                     0.0,
                     noise_margin,
                     ((node_name, buffer), chain, tail_count + 1),

@@ -685,6 +685,10 @@ class LiShiEngine:
         max_buffers = options.max_buffers
         enforce = options.enforce_polarity
         node_name = node.name
+        prices = options.site_prices
+        # Uniform per node: the hull walk's argmax of q - R*C is
+        # price-independent, so only the stored buffered slack shifts.
+        penalty = prices.get(node_name, 0.0) if prices else 0.0
         groups = frontier.groups
         hulls = frontier.hulls
         meta = frontier.meta
@@ -736,7 +740,8 @@ class LiShiEngine:
                         ),
                         (
                             stored_load,
-                            (best_slack - intrinsic) + r * stored_load + dq,
+                            (best_slack - intrinsic - penalty)
+                            + r * stored_load + dq,
                             -di,
                             noise_margin - r * di + dns,
                             ((node_name, buffer), chain, tail_count + 1),
@@ -778,6 +783,8 @@ class LiShiEngine:
         max_buffers = options.max_buffers
         enforce = options.enforce_polarity
         node_name = node.name
+        prices = options.site_prices
+        penalty = prices.get(node_name, 0.0) if prices else 0.0
         groups = frontier.groups
         r, dq, dc, di, dns = (
             frontier.r, frontier.dq, frontier.dc, frontier.di, frontier.dns,
@@ -833,7 +840,8 @@ class LiShiEngine:
                         ),
                         (
                             stored_load,
-                            (best_slack - intrinsic) + r * stored_load + dq,
+                            (best_slack - intrinsic - penalty)
+                            + r * stored_load + dq,
                             -di,
                             noise_margin - r * di + dns,
                             ((node_name, buffer), chain, tail_count + 1),

@@ -1,0 +1,68 @@
+"""Cross-net congestion-aware fleet optimization (Lagrangian prices).
+
+Batch optimization treats every net as independent; real routing fabric
+does not — buffer sites are shared, and a fleet that drops a repeater
+wherever each net individually prefers oversubscribes the hot spots.
+This package follows the Albrecht–Kahng–Măndoiu–Zelikovsky
+multicommodity-flow direction, solved LP-free: a
+:class:`FleetCoordinator` runs price-update rounds, each round
+re-optimizing the violating nets through the existing per-net DP
+engines with per-site Lagrangian cost offsets threaded in via
+:attr:`~repro.core.dp.DPOptions.site_prices`.
+
+Modules:
+
+* :mod:`~repro.fleet.sites` — deterministic shared-site capacity maps
+  derived from the fleet's :class:`~repro.workloads.NetSpec` seeds;
+* :mod:`~repro.fleet.pricing` — the subgradient price-update recurrence
+  and the Lagrangian dual bound;
+* :mod:`~repro.fleet.coordinator` — the round driver (any batch
+  executor, checkpointable round state, ``buffopt_fleet_*`` telemetry);
+* :mod:`~repro.fleet.oracle` — an exhaustive joint oracle for tiny
+  fleets (brute-force joint site assignments);
+* :mod:`~repro.fleet.verify` — the DP-free fleet audit (capacity
+  feasibility, physics re-derivation, price-consistency re-runs);
+* :mod:`~repro.fleet.mutations` — planted coordinator bugs with a
+  100%-catch-rate self-test, in the style of
+  :mod:`repro.verify.mutations`.
+"""
+
+from .coordinator import (
+    FleetConfig,
+    FleetCoordinator,
+    FleetNetState,
+    FleetResult,
+    RoundRecord,
+)
+from .mutations import (
+    MUTATION_CLASSES,
+    MutationBatteryReport,
+    MutationCatch,
+    run_mutation_battery,
+)
+from .oracle import JointOracleResult, joint_exhaustive_oracle
+from .pricing import PriceSchedule, lagrangian_bound, update_prices
+from .sites import BAN_PRICE, SiteMap, derive_site_map, node_prices_for
+from .verify import audit_fleet
+
+__all__ = [
+    "BAN_PRICE",
+    "FleetConfig",
+    "FleetCoordinator",
+    "FleetNetState",
+    "FleetResult",
+    "JointOracleResult",
+    "MUTATION_CLASSES",
+    "MutationBatteryReport",
+    "MutationCatch",
+    "PriceSchedule",
+    "RoundRecord",
+    "SiteMap",
+    "audit_fleet",
+    "derive_site_map",
+    "joint_exhaustive_oracle",
+    "lagrangian_bound",
+    "node_prices_for",
+    "run_mutation_battery",
+    "update_prices",
+]

@@ -1,0 +1,184 @@
+"""Planted coordinator bugs the fleet audit must catch — all of them.
+
+A verification layer that has never caught a bug proves nothing.  In
+the style of :mod:`repro.verify.mutations`, this module subclasses
+:class:`~repro.fleet.coordinator.FleetCoordinator` through its three
+sanctioned override seams and plants one realistic coordination bug per
+seam:
+
+* :class:`StalePricesFleetCoordinator` — dispatches the *previous*
+  round's prices to the workers while recording the current ones (a
+  classic cache-one-round-behind bug).  Caught by the audit's
+  price-consistency re-run: the recorded prices do not reproduce the
+  recorded outcome.
+* :class:`CapacityOffByOneFleetCoordinator` — checks violations against
+  ``capacity + 1`` (a ``<`` vs ``<=`` slip), converging one buffer too
+  early.  Caught by recomputing true usage against true capacities on a
+  ``feasible=True`` claim.
+* :class:`DroppedNetFleetCoordinator` — silently drops the
+  lexicographically last feasible net from usage accounting and
+  re-optimization targeting (a fencepost in a sharded tally).  Caught
+  because the audit recomputes usage from *every* net's assignment.
+
+:func:`run_mutation_battery` runs honest + mutants over a battery of
+fleets and reports per-mutant catches; the self-test asserts a 100%
+catch rate and a clean honest audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..batch.optimizer import BatchItem
+from .coordinator import FleetCoordinator, FleetNetState
+from .sites import SiteMap
+from .verify import audit_fleet
+
+
+class StalePricesFleetCoordinator(FleetCoordinator):
+    """Dispatches last round's prices; records this round's."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._previous_prices: Optional[Tuple[float, ...]] = None
+
+    def _dispatch_prices(
+        self, prices: Tuple[float, ...]
+    ) -> Tuple[float, ...]:
+        stale = self._previous_prices
+        self._previous_prices = prices
+        if stale is None:
+            return prices  # round 0 has no previous round to be stale from
+        return stale
+
+
+class CapacityOffByOneFleetCoordinator(FleetCoordinator):
+    """Believes every site holds one more buffer than it does."""
+
+    def _capacities(self, site_map: SiteMap) -> Tuple[int, ...]:
+        return tuple(cap + 1 for cap in site_map.capacities)
+
+
+class DroppedNetFleetCoordinator(FleetCoordinator):
+    """Loses the lexicographically last feasible net from the tally."""
+
+    def _accounted(
+        self, ok_states: Dict[str, FleetNetState]
+    ) -> Dict[str, FleetNetState]:
+        if not ok_states:
+            return ok_states
+        dropped = max(ok_states)
+        return {
+            name: state
+            for name, state in ok_states.items()
+            if name != dropped
+        }
+
+
+MUTATION_CLASSES: Tuple[Type[FleetCoordinator], ...] = (
+    StalePricesFleetCoordinator,
+    CapacityOffByOneFleetCoordinator,
+    DroppedNetFleetCoordinator,
+)
+
+
+@dataclass(frozen=True)
+class MutationCatch:
+    """One mutant's fate over the whole battery."""
+
+    mutant: str
+    #: battery instances on which the audit flagged the mutant.
+    caught_on: int
+    instances: int
+    #: first instance's violations (diagnostics for an escape).
+    sample_violations: Tuple[str, ...]
+
+    @property
+    def caught(self) -> bool:
+        return self.caught_on > 0
+
+
+@dataclass(frozen=True)
+class MutationBatteryReport:
+    """Honest-baseline violations plus per-mutant catch records."""
+
+    honest_violations: Tuple[Tuple[str, ...], ...]
+    catches: Tuple[MutationCatch, ...]
+
+    @property
+    def honest_clean(self) -> bool:
+        return all(not v for v in self.honest_violations)
+
+    @property
+    def all_caught(self) -> bool:
+        return all(catch.caught for catch in self.catches)
+
+    def describe(self) -> str:
+        lines = [
+            f"honest audit: "
+            f"{'clean' if self.honest_clean else 'VIOLATIONS'} over "
+            f"{len(self.honest_violations)} instance(s)"
+        ]
+        for catch in self.catches:
+            verdict = (
+                f"caught on {catch.caught_on}/{catch.instances}"
+                if catch.caught
+                else "ESCAPED"
+            )
+            lines.append(f"{catch.mutant}: {verdict}")
+        return "\n".join(lines)
+
+
+def run_mutation_battery(
+    fleets: Sequence[Sequence[BatchItem]],
+    coordinator_kwargs: Optional[dict] = None,
+    mutants: Sequence[Type[FleetCoordinator]] = MUTATION_CLASSES,
+) -> MutationBatteryReport:
+    """Audit honest + every mutant coordinator over each fleet.
+
+    ``fleets`` is a sequence of item lists (one fleet each);
+    ``coordinator_kwargs`` is forwarded to every coordinator
+    construction (config, library, executor, ...).  A mutant counts as
+    *caught* when the audit flags it on at least one instance — planted
+    bugs are latent by design and need contention to surface, which is
+    why the battery runs many seeded instances.
+    """
+    kwargs = dict(coordinator_kwargs or {})
+    honest_violations: List[Tuple[str, ...]] = []
+    audit_context = {
+        key: kwargs[key]
+        for key in ("config", "library", "coupling", "technology",
+                    "cells", "workload")
+        if key in kwargs
+    }
+    for items in fleets:
+        honest = FleetCoordinator(**kwargs)
+        result = honest.coordinate(list(items))
+        honest_violations.append(
+            tuple(audit_fleet(result, list(items), **audit_context))
+        )
+    catches: List[MutationCatch] = []
+    for mutant_cls in mutants:
+        caught_on = 0
+        sample: Tuple[str, ...] = ()
+        for items in fleets:
+            mutant = mutant_cls(**kwargs)
+            result = mutant.coordinate(list(items))
+            violations = audit_fleet(
+                result, list(items), **audit_context
+            )
+            if violations:
+                if not caught_on:
+                    sample = tuple(violations)
+                caught_on += 1
+        catches.append(MutationCatch(
+            mutant=mutant_cls.__name__,
+            caught_on=caught_on,
+            instances=len(fleets),
+            sample_violations=sample,
+        ))
+    return MutationBatteryReport(
+        honest_violations=tuple(honest_violations),
+        catches=tuple(catches),
+    )

@@ -1,0 +1,219 @@
+"""Exhaustive joint oracle for tiny coordinated fleets.
+
+The coordinator's claims are only testable against ground truth if the
+ground truth is computed a *different* way.  For fleets small enough to
+brute-force — a few nets, a handful of shared sites — this module
+computes the exact capacitated joint optimum:
+
+1. per net, enumerate **every** legal buffer assignment through the
+   certificate evaluator (:func:`~repro.verify.certificate
+   .evaluate_assignment`) — the same physics the single-net
+   :func:`~repro.verify.oracle.exhaustive_oracle` trusts, and zero
+   shared code with the DP engines;
+2. collapse each net's assignments to undominated ``(site-usage
+   vector, best slack)`` options (the zero-buffer option is always
+   present, so delay mode is always jointly feasible);
+3. run an exact joint DP over capacity-bounded usage states.
+
+Delay mode only: there the per-net DP is an exact slack maximizer, so
+``primal <= joint optimum <= dual bound`` is the sandwich the battery
+asserts.  The state space is bounded by ``prod(cap_s + 1)`` — tiny for
+battery-sized fabrics — with explicit guards raising
+:class:`~repro.verify.oracle.OracleBoundError` beyond them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..library.buffers import BufferLibrary, BufferType
+from ..noise.coupling import CouplingModel
+from ..tree.topology import RoutingTree
+from ..verify.certificate import evaluate_assignment
+from ..verify.oracle import OracleBoundError
+from .sites import SiteMap
+
+#: combined per-net enumeration guard (|library|+1) ** sites.
+DEFAULT_MAX_ASSIGNMENTS = 300_000
+#: joint-DP state guard (bounded by prod(cap+1) anyway).
+DEFAULT_MAX_STATES = 250_000
+
+
+@dataclass(frozen=True)
+class JointOracleResult:
+    """The exact capacitated joint optimum for a tiny fleet."""
+
+    #: maximum total slack over all jointly capacity-feasible fleets.
+    opt_total: float
+    #: per-net slack contributions of one optimal joint choice.
+    optimal_slacks: Tuple[Tuple[str, float], ...]
+    #: shared-site usage of that optimal choice.
+    optimal_usage: Tuple[int, ...]
+    #: undominated (usage, slack) options that survived per net.
+    options_per_net: Tuple[Tuple[str, int], ...]
+    #: raw assignments evaluated per net.
+    enumerated: int
+    #: joint DP states explored.
+    states_explored: int
+    capacities: Tuple[int, ...]
+
+
+def _net_options(
+    tree: RoutingTree,
+    site_map: SiteMap,
+    library: BufferLibrary,
+    coupling: CouplingModel,
+    max_buffers: Optional[int],
+    enforce_polarity: bool,
+    max_assignments: int,
+) -> Tuple[List[Tuple[Tuple[int, ...], float]], int]:
+    """Undominated ``(usage vector, best slack)`` options for one net."""
+    sites = tuple(sorted(
+        node.name for node in tree.nodes()
+        if node.is_internal and node.feasible
+    ))
+    buffers: Tuple[Optional[BufferType], ...] = (None, *library)
+    total = len(buffers) ** len(sites)
+    if total > max_assignments:
+        raise OracleBoundError(
+            f"net {tree.name!r} implies {total} joint-oracle assignments, "
+            f"above the bound of {max_assignments}"
+        )
+    best_by_usage: Dict[Tuple[int, ...], float] = {}
+    enumerated = 0
+    for combo in itertools.product(buffers, repeat=len(sites)):
+        enumerated += 1
+        assignment = {
+            site: buffer
+            for site, buffer in zip(sites, combo)
+            if buffer is not None
+        }
+        if max_buffers is not None and len(assignment) > max_buffers:
+            continue
+        certificate = evaluate_assignment(
+            tree, assignment, coupling, check_polarity=enforce_polarity
+        )
+        if enforce_polarity and any(
+            v.kind == "polarity" for v in certificate.violations
+        ):
+            continue  # illegal, not merely bad
+        usage = [0] * site_map.sites
+        for node in assignment:
+            usage[site_map.site_of(tree.name, node)] += 1
+        key = tuple(usage)
+        slack = certificate.slack
+        if key not in best_by_usage or slack > best_by_usage[key]:
+            best_by_usage[key] = slack
+    # Pareto reduction: an option is dead if another uses no more of any
+    # site and achieves at least its slack (strictly better somewhere).
+    options = sorted(best_by_usage.items())
+    kept: List[Tuple[Tuple[int, ...], float]] = []
+    for usage, slack in options:
+        dominated = False
+        for other_usage, other_slack in options:
+            if (usage, slack) == (other_usage, other_slack):
+                continue
+            if (
+                all(o <= u for o, u in zip(other_usage, usage))
+                and other_slack >= slack
+            ):
+                dominated = True
+                break
+        if not dominated:
+            kept.append((usage, slack))
+    return kept, enumerated
+
+
+def joint_exhaustive_oracle(
+    trees: Sequence[RoutingTree],
+    site_map: SiteMap,
+    library: BufferLibrary,
+    coupling: Optional[CouplingModel] = None,
+    max_buffers: Optional[int] = None,
+    enforce_polarity: bool = True,
+    max_assignments: int = DEFAULT_MAX_ASSIGNMENTS,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> JointOracleResult:
+    """The exact joint optimum of a tiny capacitated fleet (delay mode).
+
+    ``trees`` must be the exact trees the coordinator optimizes — i.e.
+    already segmented if the fleet's batch config segments (the battery
+    sidesteps this by running with ``max_segment_length=None``).
+    Duplicate net names would alias in the site map and are rejected.
+    """
+    if coupling is None:
+        coupling = CouplingModel.silent()
+    names = [tree.name for tree in trees]
+    if len(set(names)) != len(names):
+        raise OracleBoundError("joint oracle requires unique net names")
+    capacities = site_map.capacities
+
+    per_net: List[Tuple[str, List[Tuple[Tuple[int, ...], float]]]] = []
+    enumerated = 0
+    for tree in trees:
+        options, count = _net_options(
+            tree,
+            site_map,
+            library,
+            coupling,
+            max_buffers,
+            enforce_polarity,
+            max_assignments,
+        )
+        enumerated += count
+        per_net.append((tree.name, options))
+
+    # Exact joint DP over capacity-bounded usage states; back-pointers
+    # recover one optimal per-net slack split for diagnostics.
+    states: Dict[Tuple[int, ...], Tuple[float, Tuple[float, ...]]] = {
+        (0,) * site_map.sites: (0.0, ())
+    }
+    explored = 0
+    for name, options in per_net:
+        next_states: Dict[
+            Tuple[int, ...], Tuple[float, Tuple[float, ...]]
+        ] = {}
+        for usage, (total, slacks) in states.items():
+            for option_usage, slack in options:
+                combined = tuple(
+                    u + o for u, o in zip(usage, option_usage)
+                )
+                if any(c > cap for c, cap in zip(combined, capacities)):
+                    continue
+                explored += 1
+                candidate = (total + slack, slacks + (slack,))
+                best = next_states.get(combined)
+                if best is None or candidate[0] > best[0]:
+                    next_states[combined] = candidate
+        if len(next_states) > max_states:
+            raise OracleBoundError(
+                f"joint oracle exceeded {max_states} DP states after net "
+                f"{name!r}"
+            )
+        if not next_states:
+            # Unreachable in delay mode: the zero-buffer option uses no
+            # capacity, so the all-zero state always survives.
+            raise OracleBoundError(
+                f"no jointly feasible fleet after net {name!r}"
+            )
+        states = next_states
+
+    best_usage, (best_total, best_slacks) = max(
+        states.items(), key=lambda kv: (kv[1][0], kv[0])
+    )
+    return JointOracleResult(
+        opt_total=best_total,
+        optimal_slacks=tuple(
+            (name, slack)
+            for (name, _), slack in zip(per_net, best_slacks)
+        ),
+        optimal_usage=best_usage,
+        options_per_net=tuple(
+            (name, len(options)) for name, options in per_net
+        ),
+        enumerated=enumerated,
+        states_explored=explored,
+        capacities=capacities,
+    )

@@ -1,0 +1,102 @@
+"""Subgradient price updates and the Lagrangian dual bound.
+
+The coordinator relaxes the shared-site capacity constraints into the
+per-net objective: buffering a node of site *s* costs an extra
+``lambda_s`` slack.  Each round the multipliers move along the
+(negative) constraint subgradient and project back onto the
+nonnegative orthant::
+
+    lambda_s  <-  max(0, lambda_s + step * (usage_s - cap_s))
+
+so overloaded sites get pricier, idle ones decay toward free.  For any
+``lambda >= 0`` the relaxed problem upper-bounds the capacitated one::
+
+    L(lambda) = sum_n max_x [slack_n(x) - lambda . use_n(x)]
+                + lambda . cap
+              >= OPT,
+
+because subtracting ``lambda . (use - cap) <= 0`` from any feasible
+``x`` only raises its score.  The per-net maxima are exactly what the
+priced DP returns in delay mode, so the dual bound is free: it is the
+priced slack total of any round plus ``lambda . cap`` (with
+``lambda = 0`` that is just the uncoordinated round-0 total).
+
+One subtlety keeps this sound: penalties ride the *slack* recurrence,
+and branch merges take a min over children, so the DP actually
+maximizes the min-over-sinks *path-priced* slack ``v_n(x)`` — penalties
+on non-critical branches are absorbed by the merge.  That only helps:
+``v_n(x) >= slack_n(x) - lambda . use_n(x)`` for every ``x``, hence
+``sum_n max_x v_n(x) + lambda . cap >= L(lambda) >= OPT`` and the bound
+above survives the absorption.  It does mean a priced root slack is
+*not* simply the physical slack minus the summed prices — physical
+slack must be re-derived on the tree (the fleet worker does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class PriceSchedule:
+    """Step-size policy: constant ``step``, escalated by ``growth`` after
+    ``patience`` consecutive rounds without max-violation progress.
+
+    Escalation-on-stall is the practical fix for the classic constant-step
+    failure mode where the multipliers oscillate around the feasible set
+    without ever entering it.
+    """
+
+    step: float
+    growth: float = 2.0
+    patience: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.step > 0.0:
+            raise WorkloadError(f"price step must be > 0, got {self.step}")
+        if not self.growth >= 1.0:
+            raise WorkloadError(
+                f"step growth must be >= 1, got {self.growth}"
+            )
+        if self.patience < 1:
+            raise WorkloadError(
+                f"stall patience must be >= 1, got {self.patience}"
+            )
+
+
+def update_prices(
+    prices: Sequence[float],
+    usage: Sequence[int],
+    capacities: Sequence[int],
+    step: float,
+) -> Tuple[float, ...]:
+    """One projected-subgradient step over every site."""
+    if not (len(prices) == len(usage) == len(capacities)):
+        raise WorkloadError(
+            f"price/usage/capacity vectors disagree: "
+            f"{len(prices)}/{len(usage)}/{len(capacities)}"
+        )
+    return tuple(
+        max(0.0, price + step * (used - cap))
+        for price, used, cap in zip(prices, usage, capacities)
+    )
+
+
+def lagrangian_bound(
+    priced_total: float,
+    prices: Sequence[float],
+    capacities: Sequence[int],
+) -> float:
+    """``L(lambda)``: an upper bound on any capacity-feasible fleet's
+    total slack, from one priced round's slack total."""
+    if len(prices) != len(capacities):
+        raise WorkloadError(
+            f"price/capacity vectors disagree: "
+            f"{len(prices)}/{len(capacities)}"
+        )
+    return priced_total + sum(
+        price * cap for price, cap in zip(prices, capacities)
+    )

@@ -1,0 +1,215 @@
+"""Deterministic shared buffer-site capacity maps.
+
+A :class:`SiteMap` answers one question — *which shared site does this
+node of this net occupy, and how many buffers does that site hold?* —
+as a pure function of the fleet's identity, so every worker process,
+resumed incarnation, and auditor derives the identical map without any
+coordination:
+
+* the fleet **salt** folds every item's ``(name, seed)`` pair (sorted,
+  so item order is irrelevant) through SHA-256;
+* each net hashes into one of ``families`` net families; only nets in
+  the same family contend for sites (``families=1``, the default, makes
+  the whole fleet one shared fabric);
+* each (net, node) pair hashes into one of the family's
+  ``sites_per_family`` sites, so two nets' nodes can — and at any real
+  contention level do — collide on the same site;
+* site capacities derive from the same salt: ``base_capacity`` plus a
+  salted residue in ``[0, capacity_spread]``.
+
+Only *internal, feasible* nodes are buffer sites (the same eligibility
+rule the DP engines and the exhaustive oracle use); sinks, sources, and
+binarization dummies never consume capacity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..tree.topology import RoutingTree
+from ..workloads import GeneratedNet, NetSpec
+
+#: finite price used to *ban* a site for one net during the repair pass.
+#: Dwarfs any physical slack (seconds-scale arithmetic) while keeping
+#: every candidate float finite, so no engine path ever sees an inf.
+BAN_PRICE = 1e18
+
+
+def _digest(text: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+def item_seed_pairs(items: Iterable) -> Tuple[Tuple[str, int], ...]:
+    """``(name, seed)`` identity pairs for any batch-item mix.
+
+    Specs carry their explicit per-net seed; pre-built trees (and
+    generated nets) contribute seed 0 — their identity is the name.
+    """
+    pairs = []
+    for item in items:
+        if isinstance(item, NetSpec):
+            pairs.append((item.name, item.seed))
+        elif isinstance(item, GeneratedNet):
+            pairs.append((item.tree.name, 0))
+        elif isinstance(item, RoutingTree):
+            pairs.append((item.name, 0))
+        else:
+            raise WorkloadError(
+                f"fleet items must be NetSpec / GeneratedNet / "
+                f"RoutingTree, got {type(item).__name__}"
+            )
+    return tuple(sorted(pairs))
+
+
+def fleet_salt(items: Iterable) -> str:
+    """The fleet's identity digest (order-independent)."""
+    joined = "|".join(f"{name}:{seed}" for name, seed in item_seed_pairs(items))
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SiteMap:
+    """A deterministic (net, node) -> shared-site mapping with capacities.
+
+    ``sites`` is the *total* site count (``families * sites_per_family``);
+    ``capacities`` has one entry per site.
+    """
+
+    families: int
+    sites_per_family: int
+    capacities: Tuple[int, ...]
+    salt: str
+
+    @property
+    def sites(self) -> int:
+        return self.families * self.sites_per_family
+
+    def __post_init__(self) -> None:
+        if self.families < 1:
+            raise WorkloadError(
+                f"families must be >= 1, got {self.families}"
+            )
+        if self.sites_per_family < 1:
+            raise WorkloadError(
+                f"sites_per_family must be >= 1, got {self.sites_per_family}"
+            )
+        if len(self.capacities) != self.sites:
+            raise WorkloadError(
+                f"capacities must cover all {self.sites} sites, got "
+                f"{len(self.capacities)}"
+            )
+        if any(c < 0 for c in self.capacities):
+            raise WorkloadError("site capacities must be >= 0")
+
+    def family_of(self, net_name: str) -> int:
+        if self.families == 1:
+            return 0
+        return _digest(f"{self.salt}|fam|{net_name}") % self.families
+
+    def site_of(self, net_name: str, node_name: str) -> int:
+        local = _digest(
+            f"{self.salt}|site|{net_name}|{node_name}"
+        ) % self.sites_per_family
+        return self.family_of(net_name) * self.sites_per_family + local
+
+    def usage(
+        self, assignments: Mapping[str, Iterable[str]]
+    ) -> Tuple[int, ...]:
+        """Per-site buffer counts for ``{net_name: buffered node names}``."""
+        counts = [0] * self.sites
+        for net_name, nodes in assignments.items():
+            for node_name in nodes:
+                counts[self.site_of(net_name, node_name)] += 1
+        return tuple(counts)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "families": self.families,
+            "sites_per_family": self.sites_per_family,
+            "capacities": list(self.capacities),
+            "salt": self.salt,
+        }
+
+    @classmethod
+    def from_json(cls, record: Mapping[str, object]) -> "SiteMap":
+        return cls(
+            families=int(record["families"]),
+            sites_per_family=int(record["sites_per_family"]),
+            capacities=tuple(int(c) for c in record["capacities"]),
+            salt=str(record["salt"]),
+        )
+
+
+def derive_site_map(
+    items: Iterable,
+    sites_per_family: int,
+    families: int = 1,
+    base_capacity: int = 2,
+    capacity_spread: int = 0,
+) -> SiteMap:
+    """The fleet's canonical :class:`SiteMap` (a pure function of it).
+
+    Capacities are ``base_capacity`` plus a per-site salted residue in
+    ``[0, capacity_spread]``, so heterogeneous fabrics are one knob away
+    while the default stays uniform.
+    """
+    if sites_per_family < 1:
+        raise WorkloadError(
+            f"sites_per_family must be >= 1, got {sites_per_family}"
+        )
+    if families < 1:
+        raise WorkloadError(f"families must be >= 1, got {families}")
+    if base_capacity < 0:
+        raise WorkloadError(
+            f"base_capacity must be >= 0, got {base_capacity}"
+        )
+    if capacity_spread < 0:
+        raise WorkloadError(
+            f"capacity_spread must be >= 0, got {capacity_spread}"
+        )
+    salt = fleet_salt(items)
+    total = families * sites_per_family
+    capacities = tuple(
+        base_capacity + (_digest(f"{salt}|cap|{k}") % (capacity_spread + 1))
+        for k in range(total)
+    )
+    return SiteMap(
+        families=families,
+        sites_per_family=sites_per_family,
+        capacities=capacities,
+        salt=salt,
+    )
+
+
+def node_prices_for(
+    site_map: SiteMap,
+    net_name: str,
+    tree: RoutingTree,
+    prices: Sequence[float],
+    banned: Iterable[int] = (),
+) -> Dict[str, float]:
+    """The per-node ``site_prices`` dict one net's DP run should see.
+
+    Only nonzero entries are emitted, so a zero price vector yields an
+    empty dict — the bit-identity path.  ``banned`` sites (the repair
+    pass) price at :data:`BAN_PRICE`, which no finite-slack alternative
+    ever loses to.
+    """
+    banned_set = frozenset(banned)
+    out: Dict[str, float] = {}
+    for node in tree.nodes():
+        if not node.is_internal or not node.feasible:
+            continue
+        site = site_map.site_of(net_name, node.name)
+        if site in banned_set:
+            out[node.name] = BAN_PRICE
+            continue
+        price = prices[site] if prices else 0.0
+        if price != 0.0:
+            out[node.name] = price
+    return out

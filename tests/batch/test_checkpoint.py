@@ -126,6 +126,27 @@ class TestJournalRoundtrip:
         with pytest.raises(WorkloadError):
             load_checkpoint(path, optimizer.library)
 
+    def test_repair_torn_tail_on_zero_length_journal(self, tmp_path):
+        """A crash before the header write leaves a 0-byte journal;
+        repair must be a no-op on it, not an IndexError on lines[-1]."""
+        from repro.batch.checkpoint import repair_torn_tail
+
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        repair_torn_tail(path, [])
+        assert path.stat().st_size == 0
+
+    def test_repair_torn_tail_with_only_a_torn_fragment(self, tmp_path):
+        """A journal whose entire content is one unterminated fragment
+        (killed mid-header) truncates back to zero bytes, leaving a
+        file the next create() can safely overwrite."""
+        from repro.batch.checkpoint import repair_torn_tail
+
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"kind": "head')
+        repair_torn_tail(path, ['{"kind": "head'])
+        assert path.stat().st_size == 0
+
     def test_resume_requires_checkpoint_path(self, batch):
         _, _, optimizer, specs = batch
         with pytest.raises(WorkloadError):

@@ -207,3 +207,35 @@ class TestReportFoldUnit:
 
     def test_quantile_of_empty_fold_is_zero(self):
         assert ReportFold().latency_quantile(0.5) == 0.0
+
+    def test_quantile_edge_fractions_of_empty_fold(self):
+        # every fraction short-circuits on an empty fold, including the
+        # boundary fractions that would otherwise hit target-0 bucket
+        # walking (q=0) or the +Inf tail (q=1).
+        assert ReportFold().latency_quantile(0.0) == 0.0
+        assert ReportFold().latency_quantile(1.0) == 0.0
+
+    def test_quantile_single_sample(self):
+        # one 3ms observation lands in the (2.5ms, 5ms] bucket: any
+        # fraction > 0 resolves to that bucket's upper bound.
+        fold = ReportFold()
+        fold.latency.observe(0.003, mode=fold.mode)
+        assert fold.latency_quantile(0.5) == 0.005
+        assert fold.latency_quantile(1.0) == 0.005
+
+    def test_quantile_zero_fraction_is_first_occupied_bucket(self):
+        # target = 0 * total = 0, so the walk stops at the first bucket
+        # (cumulative counts are always >= 0) — the distribution's floor.
+        fold = ReportFold()
+        fold.latency.observe(0.003, mode=fold.mode)
+        assert fold.latency_quantile(0.0) == 0.0005
+
+    def test_quantile_beyond_last_bucket_is_inf(self):
+        # a sample past every finite bound lives in the +Inf tail; a
+        # fraction that needs it must report inf, not a finite bound.
+        fold = ReportFold()
+        fold.latency.observe(0.003, mode=fold.mode)
+        fold.latency.observe(120.0, mode=fold.mode)
+        assert fold.latency_quantile(1.0) == float("inf")
+        # ... but the half-point is still covered by the finite bucket.
+        assert fold.latency_quantile(0.5) == 0.005

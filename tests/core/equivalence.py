@@ -41,6 +41,7 @@ from repro.verify import (
     compare_result_to_oracle,
     exhaustive_oracle,
 )
+from repro.verify.certificate import evaluate_assignment
 
 #: documented slack tolerance for cross-engine outcome comparison.
 REL_TOL = 1e-9
@@ -115,6 +116,77 @@ def oracle_sized(tree):
     """Whether the net is small enough for the exhaustive-oracle layer."""
     sites = sum(1 for n in tree.nodes() if n.is_internal and n.feasible)
     return 1 <= sites <= ORACLE_MAX_SITES
+
+
+def assert_priced_equivalence(
+    tree,
+    library,
+    site_prices,
+    coupling=None,
+    engine="lishi",
+    engine_callable=None,
+    context="",
+    **option_kwargs,
+):
+    """Cross-engine equivalence of the *priced* DP (``site_prices``).
+
+    Priced slacks are compared outcome-for-outcome within the same
+    documented tolerance as the unpriced leg; the certificate and
+    oracle layers do not apply as-is (they re-derive *physical* slack,
+    which a priced run deliberately does not report — branch merges
+    absorb non-critical penalties, see ``DPOptions.site_prices``).
+    Instead the priced leg anchors each outcome to the physics through
+    the sandwich the Lagrangian machinery (``repro.fleet``) depends on:
+    the outcome's priced slack ``v`` and the certificate slack of its
+    *own* insertions must satisfy ``v <= physical <= v + posted``,
+    where ``posted`` is the summed price over the inserted nodes.
+
+    ``engine_callable`` plays the same role as in
+    :func:`assert_semantic_equivalence` — the stale-``site_prices``
+    planted mutant injects a broken runner through it and the harness
+    must throw (staleness surfaces in the cross-engine comparison: the
+    honestly-priced reference pays penalties the stale side does not).
+    Returns the engine-side priced result.
+    """
+    if not option_kwargs.get("noise_aware", False):
+        coupling = CouplingModel.silent()
+    coupling = coupling or CouplingModel.silent()
+    context = context or f"{tree.name} [{engine}, priced]"
+    reference = run_dp(
+        tree, library, coupling,
+        DPOptions(
+            engine="reference", site_prices=site_prices, **option_kwargs
+        ),
+    )
+    options = DPOptions(engine=engine, site_prices=site_prices,
+                        **option_kwargs)
+    if engine_callable is not None:
+        result = engine_callable(tree, library, coupling, options)
+    else:
+        result = run_dp(tree, library, coupling, options)
+    assert_outcomes_equivalent(reference, result, context)
+    for side, priced_result in (("reference", reference), (engine, result)):
+        for outcome in priced_result.outcomes:
+            assignment = {i.node: i.buffer for i in outcome.insertions}
+            physical = evaluate_assignment(
+                tree, assignment, coupling,
+                check_polarity=option_kwargs.get("enforce_polarity", True),
+            ).slack
+            posted = sum(
+                site_prices.get(node, 0.0) for node in assignment
+            )
+            slop = ABS_TOL + REL_TOL * abs(physical)
+            assert outcome.slack <= physical + slop, (
+                f"{context} [{side}]: priced slack {outcome.slack!r} "
+                f"exceeds its own assignment's certificate slack "
+                f"{physical!r} at count {outcome.buffer_count}"
+            )
+            assert physical <= outcome.slack + posted + slop, (
+                f"{context} [{side}]: certificate slack {physical!r} "
+                f"exceeds priced slack {outcome.slack!r} plus the "
+                f"posted prices {posted!r} at count {outcome.buffer_count}"
+            )
+    return result
 
 
 def assert_semantic_equivalence(

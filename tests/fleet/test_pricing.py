@@ -1,0 +1,69 @@
+"""Unit contract of the price-update recurrence and the dual bound.
+
+The subgradient machinery is tiny on purpose — a projected update and
+one affine bound — so its whole surface is pinned exactly: projection
+at zero, the step arithmetic, the stall-escalation schedule's
+validation, and the ``L(lambda)`` identity.
+"""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fleet import PriceSchedule, lagrangian_bound, update_prices
+
+
+class TestUpdatePrices:
+    def test_overload_raises_the_price_by_step_times_excess(self):
+        assert update_prices(
+            (1.0, 0.0), usage=(3, 1), capacities=(1, 1), step=0.5
+        ) == (2.0, 0.0)
+
+    def test_slack_capacity_decays_toward_zero_and_projects(self):
+        # site 0: price decays but stays positive; site 1: projected at 0.
+        assert update_prices(
+            (1.0, 0.25), usage=(0, 0), capacities=(1, 1), step=0.5
+        ) == (0.5, 0.0)
+
+    def test_zero_prices_stay_zero_without_violation(self):
+        assert update_prices(
+            (0.0,) * 3, usage=(1, 0, 1), capacities=(1, 1, 1), step=1.0
+        ) == (0.0,) * 3
+
+    def test_vector_length_mismatch_is_rejected(self):
+        with pytest.raises(WorkloadError, match="disagree"):
+            update_prices((0.0,), usage=(1, 2), capacities=(1,), step=1.0)
+
+
+class TestLagrangianBound:
+    def test_bound_is_priced_total_plus_price_dot_capacity(self):
+        assert lagrangian_bound(
+            2.0, prices=(0.5, 1.0), capacities=(2, 3)
+        ) == pytest.approx(2.0 + 0.5 * 2 + 1.0 * 3)
+
+    def test_zero_prices_bound_is_the_clean_total(self):
+        # L(0) — the free dual bound every round-0 pass yields.
+        assert lagrangian_bound(1.5, (0.0, 0.0), (4, 4)) == 1.5
+
+    def test_vector_length_mismatch_is_rejected(self):
+        with pytest.raises(WorkloadError, match="disagree"):
+            lagrangian_bound(0.0, prices=(1.0,), capacities=(1, 2))
+
+
+class TestPriceSchedule:
+    def test_defaults_are_valid(self):
+        schedule = PriceSchedule(step=1e-12)
+        assert schedule.growth >= 1.0
+        assert schedule.patience >= 1
+
+    @pytest.mark.parametrize("step", [0.0, -1e-12])
+    def test_step_must_be_positive(self, step):
+        with pytest.raises(WorkloadError, match="step"):
+            PriceSchedule(step=step)
+
+    def test_growth_must_not_shrink(self):
+        with pytest.raises(WorkloadError, match="growth"):
+            PriceSchedule(step=1e-12, growth=0.5)
+
+    def test_patience_must_be_at_least_one(self):
+        with pytest.raises(WorkloadError, match="patience"):
+            PriceSchedule(step=1e-12, patience=0)

