@@ -51,7 +51,7 @@ Quickstart (low-level single-sink entry point)::
     print(solution.describe())
 """
 
-from .api import OptimizeResult, Session, SessionOptions, dp_result
+from .api import Objective, OptimizeResult, Session, SessionOptions, dp_result
 from .core import (
     BufferSolution,
     ContinuousSolution,
@@ -89,10 +89,12 @@ from .library import (
     BufferType,
     CellLibrary,
     DriverCell,
+    PowerModel,
     SinkCell,
     Technology,
     default_buffer_library,
     default_cell_library,
+    default_power_model,
     default_technology,
 )
 from .noise import (
@@ -132,9 +134,11 @@ __all__ = [
     "DriverCell",
     "InfeasibleError",
     "NoiseReport",
+    "Objective",
     "ObservabilityError",
     "OptimizeResult",
     "PlacedBuffer",
+    "PowerModel",
     "ReproError",
     "RoutingTree",
     "RunBudget",
@@ -158,6 +162,7 @@ __all__ = [
     "decompose_stages",
     "default_buffer_library",
     "default_cell_library",
+    "default_power_model",
     "default_technology",
     "dp_result",
     "has_noise_violation",

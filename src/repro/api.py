@@ -29,16 +29,19 @@ facade overhead with instrumentation disabled).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, Optional
 
 from .core.budget import RunBudget
 from .core.dp import ENGINE_CHOICES, DPOptions, DPOutcome, DPResult, run_dp
+from .core.objective import Objective
 from .core.solution import BufferSolution
 from .errors import ReproError
 from .library.buffers import BufferLibrary, default_buffer_library
 from .library.cells import DriverCell
+from .library.power import PowerModel, default_power_model
 from .library.technology import Technology, default_technology
 from .noise.coupling import CouplingModel
 from .obs import (
@@ -56,12 +59,46 @@ from .units import UM
 API_MODES = ("buffopt", "delay")
 
 
+def resolve_objective(
+    mode: Optional[str],
+    objective: Optional[Objective],
+    *,
+    min_slack: float = 0.0,
+    owner: str,
+) -> Objective:
+    """Resolve the legacy ``mode=`` string and the new ``objective=``.
+
+    Exactly the shim discipline every surface shares: an explicit
+    ``mode`` alongside an explicit ``objective`` is a conflict; a bare
+    ``mode`` warns and maps through :meth:`Objective.legacy` (carrying
+    the caller's ``min_slack``, which the legacy selection consumed);
+    neither defaults to the legacy buffopt objective.
+    """
+    if objective is not None:
+        if mode is not None and mode != objective.mode:
+            raise ValueError(
+                f"{owner}: mode={mode!r} conflicts with "
+                f"objective.mode={objective.mode!r}; pass only objective="
+            )
+        return objective
+    if mode is None:
+        return Objective.legacy("buffopt", min_slack=min_slack)
+    warnings.warn(
+        f"{owner}: mode= is deprecated; pass "
+        "objective=repro.api.Objective(...) instead (see docs/usage.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return Objective.legacy(mode, min_slack=min_slack)
+
+
 def dp_result(
     tree: RoutingTree,
     library: BufferLibrary,
     coupling: Optional[CouplingModel] = None,
     *,
-    mode: str = "buffopt",
+    objective: Optional[Objective] = None,
+    mode: Optional[str] = None,
     driver: Optional[DriverCell] = None,
     max_buffers: Optional[int] = None,
     enforce_polarity: bool = True,
@@ -72,13 +109,24 @@ def dp_result(
     profile: Optional[PhaseProfiler] = None,
     frontier_cache=None,
     site_prices=None,
+    power: Optional[PowerModel] = None,
 ) -> DPResult:
     """One count-tracking DP run; the union of the legacy entry points.
 
-    ``mode="buffopt"`` is the paper's Algorithm 3 (noise-aware; a
-    ``coupling`` model is required), ``mode="delay"`` the DelayOpt
-    baseline (``coupling`` is ignored — the engine runs silent).
-    ``profile`` optionally installs a
+    ``objective`` is the structured spec (:class:`~repro.api.Objective`)
+    naming the DP mode and the downstream selection; pick the outcome
+    with ``dp_result(...).select(objective)``.  A buffopt-mode objective
+    is the paper's Algorithm 3 (noise-aware; a ``coupling`` model is
+    required), a delay-mode one the DelayOpt baseline (``coupling`` is
+    ignored — the engine runs silent).  The legacy ``mode=`` string
+    remains as a parity-pinned deprecation shim over
+    :meth:`Objective.legacy`.
+
+    ``power`` attaches a :class:`~repro.library.PowerModel`, making
+    every outcome carry its accumulated buffer + wire power; when the
+    objective needs power (``min-power`` / ``power-capped`` /
+    ``pareto`` selections) and none is given, the default model is
+    used.  ``profile`` optionally installs a
     :class:`~repro.obs.PhaseProfiler` on the engine; ``None`` (the
     default) leaves both engines byte-for-byte uninstrumented.
     ``frontier_cache`` (a :class:`~repro.core.eco.FrontierCache`)
@@ -90,15 +138,18 @@ def dp_result(
     then *priced* slacks, and ``None``/empty prices are bit-identical
     to an unpriced run.
     """
-    if mode not in API_MODES:
+    if mode is not None and mode not in API_MODES:
         raise ValueError(
             f"unknown mode {mode!r} (expected one of {API_MODES})"
         )
-    noise_aware = mode == "buffopt"
+    objective = resolve_objective(mode, objective, owner="dp_result")
+    if power is None and objective.power_aware:
+        power = default_power_model()
+    noise_aware = objective.noise_aware
     if noise_aware:
         if coupling is None:
             raise ValueError(
-                "mode='buffopt' requires a coupling model (pass "
+                "a buffopt objective requires a coupling model (pass "
                 "CouplingModel.estimation_mode(technology) or similar)"
             )
     else:
@@ -115,6 +166,7 @@ def dp_result(
         profile=profile,
         frontier_cache=frontier_cache,
         site_prices=site_prices,
+        power=power,
     )
     return run_dp(tree, library, coupling=coupling, options=options,
                   driver=driver)
@@ -129,9 +181,11 @@ class SessionOptions:
     alike produce identical solutions.
     """
 
-    #: ``"buffopt"`` (Problem 3: fewest buffers meeting noise + timing)
-    #: or ``"delay"`` (DelayOpt: maximum slack, noise ignored).
-    mode: str = "buffopt"
+    #: deprecated legacy mode string (``"buffopt"`` / ``"delay"``);
+    #: prefer ``objective``.  After construction this always holds the
+    #: resolved objective's mode, so downstream consumers (fingerprints,
+    #: telemetry labels) keep reading a concrete string.
+    mode: Optional[str] = None
     #: DP implementation: ``"reference"``, ``"fast"`` (bit-identical),
     #: ``"lishi"`` (O(bn²), equivalent within float tolerance), or
     #: ``"auto"`` (pick fast/lishi per net by size).
@@ -159,12 +213,35 @@ class SessionOptions:
     trace_path: Optional[str] = None
     #: write Prometheus text metrics here on :meth:`Session.close`.
     metrics_path: Optional[str] = None
+    #: the structured optimization objective; ``None`` resolves the
+    #: legacy ``mode`` (or, with neither given, the default buffopt
+    #: objective).  After construction this is always a concrete
+    #: :class:`~repro.api.Objective` consistent with ``mode`` and
+    #: ``min_slack``.
+    objective: Optional[Objective] = None
 
     def __post_init__(self) -> None:
-        if self.mode not in API_MODES:
+        if self.mode is not None and self.mode not in API_MODES:
             raise ValueError(
                 f"unknown mode {self.mode!r} (expected one of {API_MODES})"
             )
+        resolved = resolve_objective(
+            self.mode,
+            self.objective,
+            min_slack=self.min_slack,
+            owner="SessionOptions",
+        )
+        if resolved.selection == "pareto":
+            raise ValueError(
+                "Session.optimize selects a single outcome; the 'pareto' "
+                "selection returns a frontier — use "
+                "dp_result(...).pareto_outcomes() directly"
+            )
+        # Pin the resolved objective and keep the legacy mirrors (mode,
+        # min_slack) coherent with it for downstream consumers.
+        object.__setattr__(self, "objective", resolved)
+        object.__setattr__(self, "mode", resolved.mode)
+        object.__setattr__(self, "min_slack", resolved.min_slack)
         if self.engine not in ENGINE_CHOICES:
             raise ValueError(
                 f"unknown engine {self.engine!r} "
@@ -200,6 +277,8 @@ class OptimizeResult:
     outcome: DPOutcome
     #: per-phase engine wall time, present when the session profiles.
     phase_seconds: Optional[Dict[str, float]] = None
+    #: the objective the selection answered (provenance).
+    objective: Optional[Objective] = None
 
     @property
     def buffer_count(self) -> int:
@@ -212,6 +291,11 @@ class OptimizeResult:
     @property
     def noise_feasible(self) -> bool:
         return self.outcome.noise_feasible
+
+    @property
+    def power(self) -> float:
+        """Accumulated solution power (0.0 on power-off runs)."""
+        return self.outcome.power
 
     def solution(self) -> BufferSolution:
         """The selected assignment, materialized on the work tree."""
@@ -258,6 +342,7 @@ class Session:
         technology: Optional[Technology] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        power_model: Optional[PowerModel] = None,
     ):
         self.options = options or SessionOptions()
         self.technology = technology or default_technology()
@@ -265,6 +350,12 @@ class Session:
         self.coupling = coupling or CouplingModel.estimation_mode(
             self.technology
         )
+        # A power-aware objective needs a model; the default one rides
+        # the session's technology so overriding the technology is
+        # enough to reparametrize power too.
+        if power_model is None and self.options.objective.power_aware:
+            power_model = default_power_model(self.technology)
+        self.power_model = power_model
         self._owns_tracer = tracer is None
         if tracer is not None:
             self.tracer = tracer
@@ -313,6 +404,7 @@ class Session:
         never failure semantics.
         """
         options = self.options
+        objective = options.objective
         start = perf_counter()
         with self.tracer.span(
             "session.optimize",
@@ -331,8 +423,8 @@ class Session:
                 result = dp_result(
                     work_tree,
                     self.library,
-                    self.coupling if options.mode == "buffopt" else None,
-                    mode=options.mode,
+                    self.coupling if objective.noise_aware else None,
+                    objective=objective,
                     driver=driver,
                     max_buffers=options.max_buffers,
                     enforce_polarity=options.enforce_polarity,
@@ -341,13 +433,9 @@ class Session:
                     budget=budget,
                     engine=options.engine,
                     profile=self.profiler,
+                    power=self.power_model,
                 )
-                if options.mode == "buffopt":
-                    outcome = result.fewest_buffers(
-                        min_slack=options.min_slack
-                    )
-                else:
-                    outcome = result.best(require_noise=False)
+                outcome = result.select(objective)
             except ReproError as exc:
                 self._nets.inc(
                     mode=options.mode, engine=options.engine,
@@ -376,6 +464,7 @@ class Session:
             result=result,
             outcome=outcome,
             phase_seconds=phase_seconds,
+            objective=objective,
         )
 
     def export_metrics(self) -> str:

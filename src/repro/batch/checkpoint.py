@@ -134,7 +134,7 @@ def result_to_json(result) -> Dict[str, Any]:
         if result.assignment is None
         else {node: buffer.name for node, buffer in result.assignment.items()}
     )
-    return {
+    record = {
         "kind": "result",
         "name": result.name,
         "sink_count": result.sink_count,
@@ -151,6 +151,11 @@ def result_to_json(result) -> Dict[str, Any]:
         "failure": failure,
         "certified": result.certified,
     }
+    # power is journaled only when the run computed one, so power-off
+    # journals stay byte-identical to the pre-power schema.
+    if result.power is not None:
+        record["power"] = result.power
+    return record
 
 
 def result_from_json(record: Dict[str, Any], library: BufferLibrary):
@@ -188,6 +193,7 @@ def result_from_json(record: Dict[str, Any], library: BufferLibrary):
         attempts=record.get("attempts", 1),
         failure=failure,
         certified=record.get("certified"),
+        power=record.get("power"),
     )
 
 

@@ -51,9 +51,10 @@ from typing import (
     Union,
 )
 
-from ..api import dp_result
+from ..api import dp_result, resolve_objective
 from ..core.budget import RunBudget
 from ..core.dp import ENGINE_CHOICES
+from ..core.objective import Objective
 from ..core.solution import BufferSolution
 from ..core.stats import EngineStats
 from ..errors import (
@@ -113,9 +114,11 @@ _FOLDED = _FoldedResult()
 class BatchConfig:
     """Per-net optimization policy shared across the whole batch."""
 
-    #: ``"buffopt"`` — Problem 3 (fewest buffers meeting noise + timing);
-    #: ``"delay"`` — DelayOpt (maximum slack, noise ignored).
-    mode: str = "buffopt"
+    #: deprecated legacy mode string (``"buffopt"`` / ``"delay"``);
+    #: prefer ``objective``.  After construction this always holds the
+    #: resolved objective's mode, so fingerprints and telemetry labels
+    #: keep reading a concrete string.
+    mode: Optional[str] = None
     #: wire segmentation applied before the DP; ``None`` skips it (the
     #: trees are then expected to be segmented already).
     max_segment_length: Optional[float] = 500 * UM
@@ -156,12 +159,35 @@ class BatchConfig:
     #: resolution included, since it never reaches the options — so a
     #: resumed batch may switch engines.
     engine: str = "reference"
+    #: the structured optimization objective; ``None`` resolves the
+    #: legacy ``mode`` (or, with neither given, the default buffopt
+    #: objective).  Legacy-shaped objectives keep the pre-objective
+    #: checkpoint fingerprint schema so old journals still resume.
+    objective: Optional[Objective] = None
 
     def __post_init__(self) -> None:
-        if self.mode not in MODES:
+        if self.mode is not None and self.mode not in MODES:
             raise WorkloadError(
                 f"unknown batch mode {self.mode!r} (expected one of {MODES})"
             )
+        try:
+            resolved = resolve_objective(
+                self.mode,
+                self.objective,
+                min_slack=self.min_slack,
+                owner="BatchConfig",
+            )
+        except ValueError as exc:
+            raise WorkloadError(str(exc)) from None
+        if resolved.selection == "pareto":
+            raise WorkloadError(
+                "a batch selects a single outcome per net; the 'pareto' "
+                "selection returns a frontier — use "
+                "dp_result(...).pareto_outcomes() directly"
+            )
+        object.__setattr__(self, "objective", resolved)
+        object.__setattr__(self, "mode", resolved.mode)
+        object.__setattr__(self, "min_slack", resolved.min_slack)
         if self.engine not in ENGINE_CHOICES:
             raise WorkloadError(
                 f"unknown engine {self.engine!r} "
@@ -274,6 +300,10 @@ class NetResult:
     #: ``None`` when certification was not requested (excluded from
     #: :meth:`signature` — it re-derives, never changes, the solution).
     certified: Optional[bool] = None
+    #: accumulated solution power (watts) when the batch ran under a
+    #: power-aware objective; ``None`` on power-off runs (and in every
+    #: journal written before power existed).
+    power: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -318,6 +348,7 @@ class NetResult:
             self.candidates_generated,
             self.candidates_kept_peak,
             self.error,
+            self.power,
         )
 
 
@@ -517,12 +548,13 @@ def optimize_net(
     failure: Optional[FailureRecord] = None
     outcome = None
     result = None
+    objective = config.objective
     try:
         result = dp_result(
             work_tree,
             library,
-            coupling if config.mode == "buffopt" else None,
-            mode=config.mode,
+            coupling if objective.noise_aware else None,
+            objective=objective,
             max_buffers=config.max_buffers,
             prune=config.prune,
             collect_stats=config.collect_stats,
@@ -530,10 +562,7 @@ def optimize_net(
             engine=config.engine,
             site_prices=site_prices,
         )
-        if config.mode == "buffopt":
-            outcome = result.fewest_buffers(min_slack=config.min_slack)
-        else:
-            outcome = result.best(require_noise=False)
+        outcome = result.select(objective)
     except (InfeasibleError, BudgetExceededError, TimeoutError) as exc:
         failure = FailureRecord(
             error=type(exc).__name__,
@@ -544,13 +573,18 @@ def optimize_net(
         )
     certified: Optional[bool] = None
     if config.certify and outcome is not None:
+        from ..library.power import default_power_model
         from ..verify.certificate import certify_or_raise, evaluate_assignment
 
         # DelayOpt runs the engine with silent coupling; certify against
         # the same physics the claims were computed under.
         cert_coupling = (
-            coupling if config.mode == "buffopt" else CouplingModel.silent()
+            coupling if objective.noise_aware else CouplingModel.silent()
         )
+        # Power-aware objectives run under the default model (the same
+        # resolution dp_result applied); the certifier re-derives the
+        # power claim from it independently.
+        power_model = default_power_model() if objective.power_aware else None
         # The certificate re-derives *physical* slack; a priced run's
         # claimed slack carries Lagrangian penalties on each sink path
         # (non-critical-branch penalties are absorbed by the min at
@@ -577,7 +611,11 @@ def optimize_net(
                 claimed_slack=claimed,
                 claimed_noise_feasible=outcome.noise_feasible,
                 claimed_buffer_count=outcome.buffer_count,
-                require_noise=config.mode == "buffopt",
+                require_noise=objective.noise_aware,
+                claimed_power=(
+                    outcome.power if power_model is not None else None
+                ),
+                power_model=power_model,
             )
             certified = True
         except CertificateError as exc:
@@ -612,6 +650,11 @@ def optimize_net(
         attempts=attempt,
         failure=failure,
         certified=certified,
+        power=(
+            outcome.power
+            if outcome is not None and objective.power_aware
+            else None
+        ),
     )
 
 
@@ -750,8 +793,15 @@ class BatchOptimizer:
         )
 
     def _fingerprint(self) -> Dict[str, Any]:
-        """Solution-relevant configuration, for checkpoint compatibility."""
-        return {
+        """Solution-relevant configuration, for checkpoint compatibility.
+
+        Legacy-shaped objectives (exactly what the old ``mode=`` strings
+        meant) deliberately emit the pre-objective schema — no
+        ``"objective"`` key — so journals checkpointed before the
+        Objective API existed still resume; any other objective is part
+        of the solution and must match exactly.
+        """
+        fingerprint = {
             "mode": self.config.mode,
             "max_segment_length": self.config.max_segment_length,
             "max_buffers": self.config.max_buffers,
@@ -761,6 +811,9 @@ class BatchOptimizer:
             "workload_seed": self.workload.seed,
             "workload_nets": self.workload.nets,
         }
+        if not self.config.objective.is_legacy():
+            fingerprint["objective"] = self.config.objective.to_json()
+        return fingerprint
 
     def optimize(
         self,

@@ -14,17 +14,19 @@ Two families of commands (installed as ``buffopt``; also
 
 * single-net optimization from a JSON description (see :mod:`repro.io`)::
 
-      buffopt fix net.json                       # Problem 3 BuffOpt
-      buffopt fix net.json --mode delay          # DelayOpt
-      buffopt fix net.json --mode noise          # Algorithm 2 (noise only)
-      buffopt fix net.json --out solution.json   # write the assignment
+      buffopt fix net.json                            # Problem 3 BuffOpt
+      buffopt fix net.json --objective delay          # DelayOpt
+      buffopt fix net.json --objective buffopt/min-power   # power-aware
+      buffopt fix net.json --mode noise               # Algorithm 2 (noise only)
+      buffopt fix net.json --out solution.json        # write the assignment
 
 * batch optimization of a generated fleet (see :mod:`repro.batch`)::
 
       buffopt batch --nets 200                           # serial BuffOpt
       buffopt batch --nets 200 --executor process        # multiprocessing
       buffopt batch --executor chunked --chunk-size 8    # chunked map
-      buffopt batch --stats --mode delay                 # with telemetry
+      buffopt batch --stats --objective delay            # with telemetry
+      buffopt batch --objective buffopt/power-capped/power_cap=2e-4
 
   and fault-tolerant variants (see ``docs/usage.md``)::
 
@@ -54,6 +56,16 @@ Uniform interface: every subcommand accepts ``--engine``, ``--seed``
 and ``--json`` (commands that have no use for a knob accept and ignore
 it — scripts can set them unconditionally), and ``buffopt --version``
 prints the package version.
+
+Every optimizing subcommand (``fix``/``batch``/``fleet``/``fuzz``/
+``serve``/``loadtest``) additionally speaks the single structured
+``--objective mode[/selection][/key=value...]`` spec
+(:meth:`repro.core.objective.Objective.parse`).  The per-command
+``--mode`` flags remain as deprecated shims — each maps to the
+*identical* legacy objective, prints a one-line note on stderr, and is
+mutually exclusive with ``--objective`` (both at once exits 2).  The
+one survivor is ``fix --mode noise``: Algorithm 2's continuous
+placement is not a DP objective, so it stays a mode.
 
 Exit codes (the single source of truth; pinned by the CLI tests):
 
@@ -129,6 +141,66 @@ def _add_common_options(
     )
 
 
+_OBJECTIVE_HELP = (
+    "structured optimization objective 'mode[/selection][/key=value...]'"
+    " — modes: buffopt, delay; selections include fewest-buffers, "
+    "max-slack, min-power, power-capped, pareto; keys: min_slack, "
+    "power_cap, require_noise (e.g. "
+    "'buffopt/power-capped/power_cap=2e-4'). Replaces the deprecated "
+    "--mode; a bare mode means exactly what --mode meant"
+)
+
+
+def _add_objective_option(
+    sub: argparse.ArgumentParser, *, help_text: str = _OBJECTIVE_HELP
+) -> None:
+    """The one ``--objective`` spelling every optimizing command shares."""
+    sub.add_argument(
+        "--objective", default=None, metavar="SPEC", help=help_text
+    )
+
+
+def _resolve_objective_flags(
+    args: argparse.Namespace, *, command: str
+):
+    """Reconcile ``--objective`` with the deprecated ``--mode``.
+
+    Returns the resolved :class:`~repro.core.objective.Objective`, or
+    ``None`` after printing a usage error (callers exit
+    :data:`EXIT_USAGE`).  An explicit ``--mode`` still works — it maps
+    to the identical legacy objective — but earns a one-line
+    deprecation note on stderr.
+    """
+    from .core.objective import Objective
+
+    spec = getattr(args, "objective", None)
+    mode = getattr(args, "mode", None)
+    if spec is not None and mode is not None:
+        print(
+            f"buffopt {command}: --objective and the deprecated --mode "
+            "are mutually exclusive; pass only --objective",
+            file=sys.stderr,
+        )
+        return None
+    if spec is not None:
+        try:
+            return Objective.parse(spec)
+        except ValueError as exc:
+            print(
+                f"buffopt {command}: bad --objective: {exc}",
+                file=sys.stderr,
+            )
+            return None
+    if mode is not None:
+        print(
+            f"note: --mode is deprecated; use --objective {mode} "
+            "(see docs/usage.md)",
+            file=sys.stderr,
+        )
+        return Objective.legacy(mode)
+    return Objective.legacy("buffopt")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="buffopt",
@@ -159,10 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     fix.add_argument(
         "--mode",
         choices=["buffopt", "delay", "noise"],
-        default="buffopt",
-        help="buffopt: fewest buffers meeting noise+timing (default); "
-        "delay: slack-optimal DelayOpt; noise: Algorithm 2 noise-only",
+        default=None,
+        help="noise: Algorithm 2 continuous noise-only placement (not a "
+        "DP objective, so it stays a mode); buffopt/delay are deprecated "
+        "spellings of --objective buffopt / --objective delay",
     )
+    _add_objective_option(fix)
     fix.add_argument(
         "--segment", type=float, default=500e-6,
         help="max wire segment length in meters before optimization "
@@ -209,10 +283,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--nets", type=int, default=200, help="fleet size")
     batch.add_argument(
-        "--mode", choices=["buffopt", "delay"], default="buffopt",
-        help="buffopt: fewest buffers meeting noise+timing (default); "
-        "delay: slack-optimal DelayOpt",
+        "--mode", choices=["buffopt", "delay"], default=None,
+        help="deprecated: use --objective buffopt / --objective delay",
     )
+    _add_objective_option(batch)
     batch.add_argument(
         "--executor",
         choices=["serial", "process", "chunked", "async", "resilient"],
@@ -339,10 +413,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--nets", type=int, default=50, help="fleet size")
     fleet.add_argument(
-        "--mode", choices=["buffopt", "delay"], default="buffopt",
-        help="per-net objective (delay mode additionally reports a "
-        "Lagrangian dual bound on the fleet's total slack)",
+        "--mode", choices=["buffopt", "delay"], default=None,
+        help="deprecated: use --objective (delay-mode objectives "
+        "additionally report a Lagrangian dual bound on the fleet's "
+        "total slack)",
     )
+    _add_objective_option(fleet)
     fleet.add_argument(
         "--executor",
         choices=["serial", "process", "chunked", "async"],
@@ -469,7 +545,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine fast the bug is an over-pruning fast-engine rule the "
         "oracle comparison must catch, with --engine lishi an "
         "over-evicting timing prune only the differential/oracle legs "
-        "can see",
+        "can see, and with a power-aware --objective a power "
+        "understatement only the certificate's independent power "
+        "re-derivation can see",
+    )
+    _add_objective_option(
+        fuzz,
+        help_text="restrict the campaign to the single fuzz mode this "
+        "objective implies (its mode, plus the power legs when the "
+        "selection is power-aware) — e.g. --objective buffopt/min-power "
+        "runs only the buffopt-power mode; default: the delay and "
+        "buffopt modes",
     )
     fuzz.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -572,6 +658,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos-slow-seconds", type=float, default=0.25,
         help="injected slow-start duration (choose under the deadline)",
     )
+    _add_objective_option(
+        serve,
+        help_text="objective spec (per-request via the protocol's "
+        "'objective' block; this flag is validated, then accepted for "
+        "interface uniformity)",
+    )
     _add_common_options(
         serve,
         seed_help="workload seed" + _UNUSED,
@@ -602,8 +694,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 32)",
     )
     loadtest.add_argument(
-        "--mode", choices=["buffopt", "delay"], default="buffopt",
-        help="optimization mode for every request",
+        "--mode", choices=["buffopt", "delay"], default=None,
+        help="deprecated: use --objective",
+    )
+    _add_objective_option(
+        loadtest,
+        help_text="objective every request carries (non-legacy shapes "
+        "ride the protocol's v2 'objective' block); "
+        + _OBJECTIVE_HELP,
     )
     loadtest.add_argument(
         "--workers", type=int, default=2,
@@ -700,6 +798,22 @@ def _run_fix(args: argparse.Namespace) -> int:
     from .timing import max_sink_delay
     from .units import format_time
 
+    if args.mode == "noise":
+        if args.objective is not None:
+            print(
+                "buffopt fix: --objective and --mode noise are mutually "
+                "exclusive (Algorithm 2 is not a DP objective)",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        objective = None
+        mode_label = "noise"
+    else:
+        objective = _resolve_objective_flags(args, command="fix")
+        if objective is None:
+            return EXIT_USAGE
+        mode_label = objective.describe()
+
     tree, technology = load_net(args.net)
     technology = technology or default_technology()
     library = default_buffer_library()
@@ -713,6 +827,7 @@ def _run_fix(args: argparse.Namespace) -> int:
     print(f"before: {len(before.violations)} noise violations, "
           f"max delay {format_time(before_delay)}", file=out)
 
+    power_total = None
     if args.mode == "noise":
         # Algorithm 2 places buffers continuously; the DP facade (and
         # its --engine switch) does not apply.
@@ -720,7 +835,7 @@ def _run_fix(args: argparse.Namespace) -> int:
         work_tree, solution = continuous.realize()
     else:
         options = SessionOptions(
-            mode=args.mode,
+            objective=objective,
             engine=args.engine,
             max_segment_length=args.segment,
         )
@@ -731,10 +846,12 @@ def _run_fix(args: argparse.Namespace) -> int:
             optimized = session.optimize(tree)
         work_tree = optimized.tree
         solution = optimized.solution()
+        if objective.power_aware:
+            power_total = optimized.power
 
     after = analyze_noise(work_tree, coupling, solution.buffer_map())
     after_delay = max_sink_delay(work_tree, solution.buffer_map())
-    print(f"after ({args.mode}): {solution.buffer_count} buffers, "
+    print(f"after ({mode_label}): {solution.buffer_count} buffers, "
           f"{len(after.violations)} noise violations, "
           f"max delay {format_time(after_delay)}", file=out)
     print(solution.describe(), file=out)
@@ -751,8 +868,11 @@ def _run_fix(args: argparse.Namespace) -> int:
         print(json.dumps({
             "kind": "buffopt-fix-report",
             "net": tree.name,
-            "mode": args.mode,
-            "engine": args.engine if args.mode != "noise" else None,
+            "mode": "noise" if objective is None else objective.mode,
+            "objective": (
+                None if objective is None else objective.describe()
+            ),
+            "engine": args.engine if objective is not None else None,
             "before": {
                 "violations": len(before.violations),
                 "max_delay": before_delay,
@@ -761,6 +881,10 @@ def _run_fix(args: argparse.Namespace) -> int:
                 "violations": len(after.violations),
                 "max_delay": after_delay,
                 "buffers": solution.buffer_count,
+                **(
+                    {} if power_total is None
+                    else {"power": power_total}
+                ),
             },
             "assignment": {
                 node: buffer.name
@@ -813,6 +937,9 @@ def _run_batch(args: argparse.Namespace) -> int:
     if args.shards is not None and not args.checkpoint:
         print("--shards requires --checkpoint DIR", file=sys.stderr)
         return EXIT_USAGE
+    objective = _resolve_objective_flags(args, command="batch")
+    if objective is None:
+        return EXIT_USAGE
 
     tracer = None
     metrics = None
@@ -852,9 +979,9 @@ def _run_batch(args: argparse.Namespace) -> int:
             kind=args.fault_kind,
         )
         print(f"injecting faults: {faults.describe()}", file=sys.stderr)
-    optimizer = BatchOptimizer(
-        config=BatchConfig(
-            mode=args.mode,
+    try:
+        config = BatchConfig(
+            objective=objective,
             max_segment_length=args.segment,
             max_buffers=args.max_buffers or None,
             prune=args.prune,
@@ -865,7 +992,12 @@ def _run_batch(args: argparse.Namespace) -> int:
             retry=retry,
             certify=args.certify,
             engine=args.engine,
-        ),
+        )
+    except WorkloadError as exc:
+        print(f"bad batch configuration: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    optimizer = BatchOptimizer(
+        config=config,
         executor=executor,
         workload=workload,
         faults=faults,
@@ -873,7 +1005,7 @@ def _run_batch(args: argparse.Namespace) -> int:
         metrics=metrics,
     )
     print(
-        f"optimizing {args.nets} nets ({args.mode}, "
+        f"optimizing {args.nets} nets ({objective.describe()}, "
         f"{executor.describe()}) ...",
         file=sys.stderr,
     )
@@ -914,6 +1046,9 @@ def _run_fleet(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("--resume requires --checkpoint PATH", file=sys.stderr)
         return EXIT_USAGE
+    objective = _resolve_objective_flags(args, command="fleet")
+    if objective is None:
+        return EXIT_USAGE
 
     tracer = None
     metrics = None
@@ -931,7 +1066,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
     try:
         config = FleetConfig(
             batch=BatchConfig(
-                mode=args.mode,
+                objective=objective,
                 max_segment_length=args.segment,
                 keep_trees=False,
                 engine=args.engine,
@@ -962,8 +1097,8 @@ def _run_fleet(args: argparse.Namespace) -> int:
     specs = population_specs(workload)
     print(
         f"coordinating {args.nets} nets over "
-        f"{args.sites * args.families} shared sites ({args.mode}, "
-        f"{executor.describe()}) ...",
+        f"{args.sites * args.families} shared sites "
+        f"({objective.describe()}, {executor.describe()}) ...",
         file=sys.stderr,
     )
     try:
@@ -1032,22 +1167,37 @@ def _run_export(args: argparse.Namespace) -> int:
 
 
 def _run_fuzz(args: argparse.Namespace) -> int:
+    from .core.objective import Objective
     from .verify import (
         FuzzConfig,
         engine_for,
         planted_buggy_engine,
         planted_buggy_fast_engine,
         planted_buggy_lishi_engine,
+        planted_buggy_power_engine,
         replay_file,
         run_fuzz,
     )
 
+    modes = None
+    if args.objective is not None:
+        try:
+            objective = Objective.parse(args.objective)
+        except ValueError as exc:
+            print(f"buffopt fuzz: bad --objective: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        modes = (
+            objective.mode + ("-power" if objective.power_aware else ""),
+        )
     if args.plant_bug:
-        planted = {
-            "fast": planted_buggy_fast_engine,
-            "lishi": planted_buggy_lishi_engine,
-        }
-        engine = planted.get(args.engine, planted_buggy_engine)()
+        if modes is not None and modes[0].endswith("-power"):
+            engine = planted_buggy_power_engine()
+        else:
+            planted = {
+                "fast": planted_buggy_fast_engine,
+                "lishi": planted_buggy_lishi_engine,
+            }
+            engine = planted.get(args.engine, planted_buggy_engine)()
     else:
         engine = engine_for(args.engine)
     if args.replay:
@@ -1087,7 +1237,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
 
         metrics = MetricsRegistry()
 
-    config = FuzzConfig(
+    config_kwargs = dict(
         iterations=args.iters,
         seed=args.seed,
         max_internal=args.max_internal,
@@ -1097,10 +1247,13 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         max_counterexamples=args.max_counterexamples,
         engine=args.engine,
     )
+    if modes is not None:
+        config_kwargs["modes"] = modes
+    config = FuzzConfig(**config_kwargs)
     print(
         f"fuzzing {args.iters} random nets (seed {args.seed}, "
-        f"engine {args.engine}, oracle on <= {args.oracle_sites} "
-        "sites) ...",
+        f"engine {args.engine}, modes {'/'.join(config.modes)}, "
+        f"oracle on <= {args.oracle_sites} sites) ...",
         file=sys.stderr,
     )
     try:
@@ -1130,6 +1283,15 @@ def _run_serve(args: argparse.Namespace) -> int:
         run_http_server,
         run_stdio,
     )
+
+    if args.objective is not None:
+        from .core.objective import Objective
+
+        try:
+            Objective.parse(args.objective)
+        except ValueError as exc:
+            print(f"buffopt serve: bad --objective: {exc}", file=sys.stderr)
+            return EXIT_USAGE
 
     events = None
     if args.events:
@@ -1212,12 +1374,22 @@ def _run_loadtest(args: argparse.Namespace) -> int:
         write_bench_sidecar,
     )
 
+    objective = _resolve_objective_flags(args, command="loadtest")
+    if objective is None:
+        return EXIT_USAGE
+    if objective.selection == "pareto":
+        print(
+            "buffopt loadtest: the service answers each request with a "
+            "single outcome; 'pareto' is not a service objective",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     config = LoadTestConfig(
         clients=args.clients,
         requests=args.requests,
         unique_nets=args.unique_nets,
         seed=args.seed,
-        mode=args.mode,
+        objective=objective,
         engine=args.engine,
     )
     service = None

@@ -21,6 +21,7 @@ from .eco import (
     subtree_fingerprints,
 )
 from .noise_delay import buffopt, buffopt_min_buffers, buffopt_result
+from .objective import OBJECTIVE_MODES, SELECTION_RULES, Objective
 from .noise_multi import (
     NoiseCandidate,
     insert_buffers_multi_sink,
@@ -66,6 +67,9 @@ __all__ = [
     "subtree_fingerprints",
     "NodeStats",
     "NoiseCandidate",
+    "OBJECTIVE_MODES",
+    "Objective",
+    "SELECTION_RULES",
     "PlacedBuffer",
     "RunBudget",
     "SpacingPlan",

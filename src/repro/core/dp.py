@@ -29,6 +29,7 @@ the candidate arithmetic (tested).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -36,10 +37,12 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from ..errors import InfeasibleError
 from ..library.buffers import BufferLibrary, BufferType
 from ..library.cells import DriverCell
+from ..library.power import PowerModel
 from ..noise.coupling import CouplingModel
 from ..tree.topology import Node, RoutingTree, Wire
 from ._chain import Chain
 from .budget import RunBudget
+from .objective import Objective
 from .solution import BufferSolution
 from .stats import EngineStats
 from .wire_sizing import WireChoice, WireSizingSpec, apply_wire_widths
@@ -69,6 +72,12 @@ class DPCandidate:
     polarity: int
     chain: Optional[Chain[Insertion]]
     wire_chain: Optional[Chain[WireChoice]] = None
+    #: monotone power accumulator: summed buffer + wire switching power
+    #: of the decisions this candidate committed.  Stays exactly ``0.0``
+    #: when the run carries no :class:`~repro.library.PowerModel`, so
+    #: power-off runs are bit-identical to the pre-power engine (the
+    #: ``site_prices`` zero-cost-identity discipline).
+    power: float = 0.0
 
     @property
     def count(self) -> int:
@@ -163,6 +172,21 @@ class DPOptions:
     #: :mod:`repro.fleet.pricing`), but the root slack of a priced run
     #: is *not* simply the physical slack minus the total penalty.
     site_prices: Optional[Mapping[str, float]] = None
+    #: opt-in power accumulator (:class:`~repro.library.PowerModel`).
+    #: When set, every candidate carries its committed switching +
+    #: short-circuit power, the merge generates the full cross product
+    #: (the staircase walk is 2-D-only), buffering keeps one candidate
+    #: per (drive-slack, power)-Pareto donor instead of the scalar
+    #: argmax, pruning extends dominance with the power axis, and the
+    #: result keeps a per-count (slack, power) frontier — everything
+    #: :meth:`DPResult.min_power` / :meth:`DPResult.power_capped` /
+    #: :meth:`DPResult.pareto_outcomes` need.  ``None`` — the default —
+    #: carries ``0.0`` through arithmetic that is bit-identical to the
+    #: pre-power engine on all three implementations (tested).
+    #: Incompatible with ``sizing``: without sizing the wire power of a
+    #: net is assignment-independent, which is what keeps the
+    #: certificate re-derivation exact.
+    power: Optional[PowerModel] = None
 
     def __post_init__(self) -> None:
         if self.prune not in ("timing", "pareto"):
@@ -235,6 +259,21 @@ class DPOptions:
                         f"site_prices[{name!r}] must be finite and >= 0, "
                         f"got {price!r}"
                     )
+        if self.power is not None:
+            if not callable(
+                getattr(self.power, "buffer_power", None)
+            ) or not callable(getattr(self.power, "wire_power", None)):
+                raise ValueError(
+                    "power must expose buffer_power(buffer) and "
+                    "wire_power(capacitance) (use repro.library.PowerModel), "
+                    f"got {self.power!r}"
+                )
+            if self.sizing is not None:
+                raise ValueError(
+                    "power is incompatible with wire sizing: the power "
+                    "certificate re-derives wire power from the drawn "
+                    "widths, which sizing makes assignment-dependent"
+                )
 
 
 @dataclass(frozen=True)
@@ -246,11 +285,25 @@ class DPOutcome:
     noise_feasible: bool
     insertions: Tuple[Insertion, ...]
     wire_choices: Tuple[WireChoice, ...] = ()
+    #: accumulated buffer + wire power of the inserted solution; exactly
+    #: ``0.0`` when the run carried no power model.
+    power: float = 0.0
 
 
 @dataclass(frozen=True)
 class DPResult:
-    """All finalized outcomes, best-per-buffer-count."""
+    """All finalized outcomes.
+
+    Without a power model: the best outcome per buffer count.  With one
+    (``options.power``): the per-count *(slack, power)* frontier —
+    several outcomes may share a count, ordered by rising power (and
+    hence rising slack) within it.
+
+    Outcome selection is unified behind :meth:`select`, which consumes a
+    structured :class:`~repro.core.objective.Objective`; the historical
+    per-rule methods (:meth:`best`, :meth:`fewest_buffers`,
+    :meth:`minimize_cost`) remain as parity-pinned deprecation shims.
+    """
 
     tree: RoutingTree
     outcomes: Tuple[DPOutcome, ...]
@@ -261,21 +314,67 @@ class DPResult:
     #: telemetry record, present when run with ``collect_stats=True``.
     stats: Optional[EngineStats] = None
 
+    def select(self, objective: Objective):
+        """Pick the outcome(s) the objective asks for.
+
+        Returns one :class:`DPOutcome` for every selection rule except
+        ``"pareto"``, which returns the nondominated tuple from
+        :meth:`pareto_outcomes`.  This is the non-deprecated selection
+        surface; the rule-specific methods below document each rule's
+        exact tie-breaks.
+        """
+        if objective.selection == "max-slack":
+            return self._best(objective.require_noise)
+        if objective.selection == "fewest-buffers":
+            return self._fewest_buffers(
+                objective.min_slack, objective.require_noise
+            )
+        if objective.selection == "min-power":
+            return self.min_power(
+                objective.min_slack, objective.require_noise
+            )
+        if objective.selection == "power-capped":
+            return self.power_capped(
+                objective.power_cap, objective.require_noise
+            )
+        if objective.selection == "pareto":
+            return self.pareto_outcomes(objective.require_noise)
+        raise ValueError(
+            f"unknown objective selection {objective.selection!r}"
+        )
+
     def best(self, require_noise: Optional[bool] = None) -> DPOutcome:
+        """Deprecated shim for ``select(Objective(selection="max-slack"))``."""
+        warnings.warn(
+            "DPResult.best is deprecated; use DPResult.select with an "
+            "Objective(selection='max-slack')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._best(require_noise)
+
+    def _best(self, require_noise: Optional[bool] = None) -> DPOutcome:
         """Maximum-slack outcome (Problem 2 when ``require_noise``).
 
         ``require_noise`` defaults to the engine's ``noise_aware`` flag.
+        Ties go to fewer buffers, then (power runs) to less power.
         """
-        require = self.options.noise_aware if require_noise is None else require_noise
-        pool = [o for o in self.outcomes if o.noise_feasible or not require]
-        if not pool:
-            raise InfeasibleError(
-                f"net {self.tree.name!r}: no noise-feasible solution exists "
-                "for this buffer library and segmentation"
-            )
-        return max(pool, key=lambda o: (o.slack, -o.buffer_count))
+        pool = self._noise_pool(require_noise)
+        return max(pool, key=lambda o: (o.slack, -o.buffer_count, -o.power))
 
     def fewest_buffers(
+        self, min_slack: float = 0.0, require_noise: Optional[bool] = None
+    ) -> DPOutcome:
+        """Deprecated shim for ``select(Objective(selection="fewest-buffers"))``."""
+        warnings.warn(
+            "DPResult.fewest_buffers is deprecated; use DPResult.select "
+            "with an Objective(selection='fewest-buffers')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._fewest_buffers(min_slack, require_noise)
+
+    def _fewest_buffers(
         self, min_slack: float = 0.0, require_noise: Optional[bool] = None
     ) -> DPOutcome:
         """Problem 3: fewest buffers with noise met and slack >= min_slack.
@@ -284,13 +383,7 @@ class DPResult:
         ``min_slack`` (timing-infeasible nets still get their best fix,
         mirroring how BuffOpt is deployed in Section IV-C).
         """
-        require = self.options.noise_aware if require_noise is None else require_noise
-        pool = [o for o in self.outcomes if o.noise_feasible or not require]
-        if not pool:
-            raise InfeasibleError(
-                f"net {self.tree.name!r}: no noise-feasible solution exists "
-                "for this buffer library and segmentation"
-            )
+        pool = self._noise_pool(require_noise)
         meeting = [o for o in pool if o.slack >= min_slack]
         if meeting:
             return min(meeting, key=lambda o: (o.buffer_count, -o.slack))
@@ -302,20 +395,43 @@ class DPResult:
         min_slack: float = 0.0,
         require_noise: Optional[bool] = None,
     ) -> DPOutcome:
-        """Lillis-style power objective over the per-count frontier.
+        """Deprecated shim for the Lillis weighted-cost selection.
+
+        The physical-power successor is ``select`` with a ``min-power``
+        objective on a power-model run; this shim keeps the arbitrary
+        per-buffer weight callback for parity.
+        """
+        warnings.warn(
+            "DPResult.minimize_cost is deprecated; run the DP with "
+            "DPOptions(power=...) and use DPResult.select with an "
+            "Objective(selection='min-power')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._minimize_cost(cost, min_slack, require_noise)
+
+    def _minimize_cost(
+        self,
+        cost,
+        min_slack: float = 0.0,
+        require_noise: Optional[bool] = None,
+    ) -> DPOutcome:
+        """Lillis-style cost objective over the per-count frontier.
 
         ``cost`` maps a :class:`~repro.library.BufferType` to a
         non-negative weight (area, leakage, ...); the outcome minimizing
         the summed weight of its insertions is returned, among outcomes
         meeting ``min_slack`` (falling back to the max-slack outcome when
-        none does, like :meth:`fewest_buffers`).  With ``cost = lambda b:
+        none does, like :meth:`_fewest_buffers`).  With ``cost = lambda b:
         1`` this reduces to Problem 3 exactly.
 
         Note the search runs over the count-indexed best-slack frontier —
         the DP optimizes slack per count, so a same-count solution with
         lower cost but worse (still sufficient) slack is not represented;
         for uniform costs this is exact, for non-uniform costs it is the
-        standard frontier heuristic.
+        standard frontier heuristic.  The ``min-power`` selection over a
+        power-model run does not share this caveat: the engine keeps the
+        per-count (slack, power) frontier.
         """
         require = self.options.noise_aware if require_noise is None else require_noise
         pool = [o for o in self.outcomes if o.noise_feasible or not require]
@@ -331,6 +447,97 @@ class DPResult:
             return sum(cost(ins.buffer) for ins in outcome.insertions)
 
         return min(meeting, key=lambda o: (total(o), -o.slack))
+
+    def min_power(
+        self, min_slack: float = 0.0, require_noise: Optional[bool] = None
+    ) -> DPOutcome:
+        """Least-power outcome meeting ``min_slack`` (power-model runs).
+
+        Ties go to more slack, then fewer buffers.  Falls back to the
+        maximum-slack outcome (ties to less power) when nothing reaches
+        ``min_slack``, mirroring :meth:`_fewest_buffers` — a
+        timing-infeasible net still gets its best fix.
+        """
+        self._require_power_model("min-power")
+        pool = self._noise_pool(require_noise)
+        meeting = [o for o in pool if o.slack >= min_slack]
+        if meeting:
+            return min(
+                meeting, key=lambda o: (o.power, -o.slack, o.buffer_count)
+            )
+        return max(pool, key=lambda o: (o.slack, -o.power, -o.buffer_count))
+
+    def power_capped(
+        self, power_cap: float, require_noise: Optional[bool] = None
+    ) -> DPOutcome:
+        """Best-slack outcome within ``power_cap`` watts (power-model runs).
+
+        Ties go to less power, then fewer buffers.  Unlike the slack
+        floor of the other rules, the cap is hard: when no outcome fits
+        it the net is infeasible under this objective and
+        :class:`~repro.errors.InfeasibleError` is raised.
+        """
+        self._require_power_model("power-capped")
+        pool = self._noise_pool(require_noise)
+        meeting = [o for o in pool if o.power <= power_cap]
+        if not meeting:
+            raise InfeasibleError(
+                f"net {self.tree.name!r}: no solution within power cap "
+                f"{power_cap!r} (least-power outcome needs "
+                f"{min(o.power for o in pool)!r})"
+            )
+        return max(meeting, key=lambda o: (o.slack, -o.power, -o.buffer_count))
+
+    def pareto_outcomes(
+        self, require_noise: Optional[bool] = None
+    ) -> Tuple[DPOutcome, ...]:
+        """The nondominated (slack, power, buffer-count) frontier.
+
+        An outcome survives unless another has >= slack, <= power and
+        <= buffers (one strictly better).  Returned best-slack-first.
+        """
+        self._require_power_model("pareto")
+        pool = self._noise_pool(require_noise)
+        ordered = sorted(
+            pool, key=lambda o: (-o.slack, o.power, o.buffer_count)
+        )
+        kept: List[DPOutcome] = []
+        for outcome in ordered:
+            dominated = any(
+                other.slack >= outcome.slack
+                and other.power <= outcome.power
+                and other.buffer_count <= outcome.buffer_count
+                and (
+                    other.slack > outcome.slack
+                    or other.power < outcome.power
+                    or other.buffer_count < outcome.buffer_count
+                )
+                for other in kept
+            )
+            if not dominated:
+                kept.append(outcome)
+        return tuple(kept)
+
+    def _noise_pool(
+        self, require_noise: Optional[bool]
+    ) -> List[DPOutcome]:
+        require = (
+            self.options.noise_aware if require_noise is None else require_noise
+        )
+        pool = [o for o in self.outcomes if o.noise_feasible or not require]
+        if not pool:
+            raise InfeasibleError(
+                f"net {self.tree.name!r}: no noise-feasible solution exists "
+                "for this buffer library and segmentation"
+            )
+        return pool
+
+    def _require_power_model(self, selection: str) -> None:
+        if self.options.power is None:
+            raise ValueError(
+                f"the {selection!r} selection needs a power-model run: "
+                "pass DPOptions(power=repro.library.default_power_model())"
+            )
 
     def solution(self, outcome: DPOutcome) -> BufferSolution:
         """Materialize an outcome as a :class:`BufferSolution`.
@@ -410,6 +617,7 @@ class _Engine:
         self.coupling = coupling
         self.options = options
         self.driver = driver
+        self.power = options.power
         self.generated = 0
         self.kept_peak = 0
         self.dead = 0
@@ -625,6 +833,7 @@ class _Engine:
 
     def _merge_pair(self, left: _Groups, right: _Groups) -> _Groups:
         merged: _Groups = {}
+        merge = self._cross_merge if self.power is not None else self._linear_merge
         for (pol_l, count_l), list_l in left.items():
             for (pol_r, count_r), list_r in right.items():
                 if self.options.enforce_polarity and pol_l != pol_r:
@@ -639,9 +848,7 @@ class _Engine:
                 polarity = pol_l if self.options.enforce_polarity else 0
                 key = (polarity, self._count_key(count))
                 self.merge_forks += 1
-                merged.setdefault(key, []).extend(
-                    self._linear_merge(list_l, list_r)
-                )
+                merged.setdefault(key, []).extend(merge(list_l, list_r))
         return merged
 
     def _linear_merge(
@@ -675,6 +882,36 @@ class _Engine:
                 j += 1
         return out
 
+    def _cross_merge(
+        self, left: List[DPCandidate], right: List[DPCandidate]
+    ) -> List[DPCandidate]:
+        """Full |L|x|R| merge, used when the power accumulator is live.
+
+        The staircase walk of :meth:`_linear_merge` is only exact for a
+        two-dimensional (load, slack) frontier: it pairs each candidate
+        with the single partner whose slack binds.  With power as a
+        third axis the optimal partner may instead trade slack for
+        power, so every pairing is generated and the following prune
+        pass keeps the three-dimensional frontier.
+        """
+        out: List[DPCandidate] = []
+        for a in left:
+            for b in right:
+                out.append(
+                    DPCandidate(
+                        load=a.load + b.load,
+                        slack=min(a.slack, b.slack),
+                        current=a.current + b.current,
+                        noise_slack=min(a.noise_slack, b.noise_slack),
+                        polarity=a.polarity,
+                        chain=Chain.concat(a.chain, b.chain),
+                        wire_chain=Chain.concat(a.wire_chain, b.wire_chain),
+                        power=a.power + b.power,
+                    )
+                )
+                self.generated += 1
+        return out
+
     def _insert_buffers(self, node: Node, groups: _Groups) -> None:
         if not node.feasible or node.is_source:
             return
@@ -682,6 +919,7 @@ class _Engine:
         noise_aware = self.options.noise_aware
         max_buffers = self.options.max_buffers
         prices = self.options.site_prices
+        power_model = self.power
         # Uniform across candidates and buffer types at this node, so the
         # argmax below is unaffected; subtracting 0.0 is bit-identical.
         penalty = prices.get(node.name, 0.0) if prices else 0.0
@@ -702,43 +940,85 @@ class _Engine:
             else:
                 limits = None
             counts = None if track else [c.count for c in candidates]
+            powers = (
+                [c.power for c in candidates]
+                if power_model is not None
+                else None
+            )
             for buffer in self.library:
                 resistance = buffer.resistance
-                best_slack = -inf
-                best_index = -1
-                for index in range(len(candidates)):
-                    if limits is not None and resistance > limits[index]:
-                        continue  # Step 5: never create a noisy candidate.
-                    slack = slacks[index] - resistance * loads[index]
-                    if slack > best_slack:
-                        best_slack = slack
-                        best_index = index
-                if best_index < 0:
-                    continue
-                cand = candidates[best_index]
-                new_count = (group_count if track else counts[best_index]) + 1
+                if powers is None:
+                    best_slack = -inf
+                    best_index = -1
+                    for index in range(len(candidates)):
+                        if limits is not None and resistance > limits[index]:
+                            continue  # Step 5: never create a noisy candidate.
+                        slack = slacks[index] - resistance * loads[index]
+                        if slack > best_slack:
+                            best_slack = slack
+                            best_index = index
+                    if best_index < 0:
+                        continue
+                    donors: List[Tuple[float, int]] = [(best_slack, best_index)]
+                    buffer_power = 0.0
+                else:
+                    # Power-active: the scalar argmax would discard donors
+                    # that trade slack for power, so keep one buffered
+                    # candidate per (drive-slack, power)-Pareto donor.
+                    entries = []
+                    for index in range(len(candidates)):
+                        if limits is not None and resistance > limits[index]:
+                            continue
+                        entries.append(
+                            (
+                                slacks[index] - resistance * loads[index],
+                                powers[index],
+                                index,
+                            )
+                        )
+                    if not entries:
+                        continue
+                    entries.sort(key=lambda entry: (entry[1], -entry[0]))
+                    donors = []
+                    best_seen = -inf
+                    for drive_slack, _, index in entries:
+                        if drive_slack > best_seen:
+                            donors.append((drive_slack, index))
+                            best_seen = drive_slack
+                    buffer_power = power_model.buffer_power(buffer)
                 new_pol = (
                     polarity ^ (1 if buffer.inverting else 0)
                     if self.options.enforce_polarity
                     else 0
                 )
-                new = DPCandidate(
-                    load=buffer.input_capacitance,
-                    slack=best_slack - buffer.intrinsic_delay - penalty,
-                    current=0.0,
-                    noise_slack=buffer.noise_margin,
-                    polarity=new_pol,
-                    chain=Chain.push(cand.chain, Insertion(node.name, buffer)),
-                    wire_chain=cand.wire_chain,
-                )
-                self.generated += 1
-                additions.append(((new_pol, self._count_key(new_count)), new))
+                for best_slack, best_index in donors:
+                    cand = candidates[best_index]
+                    new_count = (
+                        group_count if track else counts[best_index]
+                    ) + 1
+                    new = DPCandidate(
+                        load=buffer.input_capacitance,
+                        slack=best_slack - buffer.intrinsic_delay - penalty,
+                        current=0.0,
+                        noise_slack=buffer.noise_margin,
+                        polarity=new_pol,
+                        chain=Chain.push(
+                            cand.chain, Insertion(node.name, buffer)
+                        ),
+                        wire_chain=cand.wire_chain,
+                        power=cand.power + buffer_power,
+                    )
+                    self.generated += 1
+                    additions.append(
+                        ((new_pol, self._count_key(new_count)), new)
+                    )
         for key, cand in additions:
             groups.setdefault(key, []).append(cand)
 
     def _apply_wire(self, wire: Wire, groups: _Groups) -> None:
         base_i = self.coupling.wire_current(wire)
         sizing = self.options.sizing
+        power_model = self.power
         if sizing is None:
             variants = [(None, wire.resistance, wire.capacitance, base_i)]
         else:
@@ -755,10 +1035,25 @@ class _Engine:
                         base_i * scale,
                     )
                 )
+        # The segment switches no matter how the subtree is buffered, so
+        # its power is uniform across the node's candidates; it still
+        # rides each accumulator so branch totals merge by addition.
+        variants = [
+            (
+                width,
+                resistance,
+                capacitance,
+                wire_i,
+                power_model.wire_power(capacitance)
+                if power_model is not None
+                else 0.0,
+            )
+            for width, resistance, capacitance, wire_i in variants
+        ]
         for key, candidates in list(groups.items()):
             updated: List[DPCandidate] = []
             for cand in candidates:
-                for width, resistance, capacitance, wire_i in variants:
+                for width, resistance, capacitance, wire_i, wire_power in variants:
                     noise_slack = cand.noise_slack - resistance * (
                         wire_i / 2.0 + cand.current
                     )
@@ -781,6 +1076,7 @@ class _Engine:
                             polarity=cand.polarity,
                             chain=cand.chain,
                             wire_chain=wire_chain,
+                            power=cand.power + wire_power,
                         )
                     )
                     if sizing is not None:
@@ -795,8 +1091,19 @@ class _Engine:
         total = 0
         dropped = 0
         timing = self.options.prune == "timing"
+        power_active = self.power is not None
         for key, candidates in list(groups.items()):
-            if timing:
+            if power_active:
+                # Power joins the dominance key only here — power-off
+                # runs never reach these branches, preserving bit
+                # identity and the presorted-scan fast path.
+                self.prune_sorts += 1
+                kept = (
+                    self._power_timing_frontier(candidates)
+                    if timing
+                    else self._prune_pareto_power(candidates)
+                )
+            elif timing:
                 kept = _presorted_timing_frontier(candidates)
                 if kept is None:
                     self.prune_sorts += 1
@@ -841,6 +1148,55 @@ class _Engine:
         return kept
 
     @staticmethod
+    def _power_timing_frontier(
+        candidates: List[DPCandidate],
+    ) -> List[DPCandidate]:
+        """(load, slack, power) dominance — the timing rule's power axis.
+
+        Sorted by load ascending, every kept candidate already has load
+        <= the scanned one, so dominance reduces to finding a kept
+        candidate with slack >= and power <= (first-seen wins exact
+        ties).  The kept list is scanned linearly: power frontiers stay
+        small enough that this beats fancier structures, mirroring the
+        pareto ablation's shape.
+        """
+        ordered = sorted(
+            candidates, key=lambda c: (c.load, -c.slack, c.power)
+        )
+        kept: List[DPCandidate] = []
+        for cand in ordered:
+            dominated = any(
+                other.slack >= cand.slack and other.power <= cand.power
+                for other in kept
+            )
+            if not dominated:
+                kept.append(cand)
+        return kept
+
+    @staticmethod
+    def _prune_pareto_power(
+        candidates: List[DPCandidate],
+    ) -> List[DPCandidate]:
+        """5-field dominance: the pareto ablation plus the power axis."""
+        ordered = sorted(
+            candidates,
+            key=lambda c: (c.load, -c.slack, c.current, -c.noise_slack, c.power),
+        )
+        kept: List[DPCandidate] = []
+        for cand in ordered:
+            dominated = any(
+                other.load <= cand.load
+                and other.slack >= cand.slack
+                and other.current <= cand.current
+                and other.noise_slack >= cand.noise_slack
+                and other.power <= cand.power
+                for other in kept
+            )
+            if not dominated:
+                kept.append(cand)
+        return kept
+
+    @staticmethod
     def _prune_pareto(candidates: List[DPCandidate]) -> List[DPCandidate]:
         """4-field dominance (load, slack, current, noise slack) — ablation."""
         ordered = sorted(
@@ -861,8 +1217,8 @@ class _Engine:
         return kept
 
     def _finalize(self, groups: _Groups) -> DPResult:
-        outcomes: Dict[int, DPOutcome] = {}
         has_inverters = any(b.inverting for b in self.library)
+        finalized: List[DPOutcome] = []
         for (polarity, _), candidates in groups.items():
             if self.options.enforce_polarity and has_inverters and polarity != 0:
                 continue
@@ -873,18 +1229,39 @@ class _Engine:
                 )
                 if self.options.noise_aware and not noise_ok:
                     continue  # Step 3/4 of Fig. 10: reject noisy finals.
-                count = cand.count
-                outcome = DPOutcome(
-                    buffer_count=count,
-                    slack=slack,
-                    noise_feasible=noise_ok,
-                    insertions=cand.insertions(),
-                    wire_choices=cand.wire_choices(),
+                finalized.append(
+                    DPOutcome(
+                        buffer_count=cand.count,
+                        slack=slack,
+                        noise_feasible=noise_ok,
+                        insertions=cand.insertions(),
+                        wire_choices=cand.wire_choices(),
+                        power=cand.power,
+                    )
                 )
-                kept = outcomes.get(count)
+        if self.power is not None:
+            # Per-count (slack, power) frontier, ordered by rising power
+            # (and hence rising slack) within each count.
+            per_count: Dict[int, List[DPOutcome]] = {}
+            for outcome in finalized:
+                per_count.setdefault(outcome.buffer_count, []).append(outcome)
+            frontier: List[DPOutcome] = []
+            for count in sorted(per_count):
+                best_seen = -math.inf
+                for outcome in sorted(
+                    per_count[count], key=lambda o: (o.power, -o.slack)
+                ):
+                    if outcome.slack > best_seen:
+                        frontier.append(outcome)
+                        best_seen = outcome.slack
+            ordered = tuple(frontier)
+        else:
+            outcomes: Dict[int, DPOutcome] = {}
+            for outcome in finalized:
+                kept = outcomes.get(outcome.buffer_count)
                 if kept is None or outcome.slack > kept.slack:
-                    outcomes[count] = outcome
-        ordered = tuple(outcomes[k] for k in sorted(outcomes))
+                    outcomes[outcome.buffer_count] = outcome
+            ordered = tuple(outcomes[k] for k in sorted(outcomes))
         return DPResult(
             tree=self.tree,
             outcomes=ordered,

@@ -90,6 +90,16 @@ def context_key(
         )
         if priced:
             parts.append(f"p:{priced}")
+    # A live power model changes merge/prune behavior and the stored
+    # power accumulators, so power runs never share frontiers with
+    # power-off runs (or with runs under different model parameters).
+    power = getattr(options, "power", None)
+    if power is not None:
+        parts.append(
+            f"w:{_f(power.activity)}:{_f(power.frequency)}:"
+            f"{_f(power.short_circuit_fraction)}:"
+            f"{_f(power.technology.vdd)}"
+        )
     return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
 

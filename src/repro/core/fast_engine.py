@@ -9,9 +9,14 @@ This module is that engine, adapted to BuffOpt's noise-aware candidate
 tuple ``(C, q, I, NS, M)``:
 
 * **flat tuple candidates** — ``(load, slack, current, noise_slack,
-  chain, wire_chain)`` replaces the frozen-dataclass record of the
-  reference engine.  Building a 6-tuple is several times cheaper than a
-  dataclass, and the DP builds hundreds of thousands of them;
+  chain, wire_chain, power)`` replaces the frozen-dataclass record of
+  the reference engine.  Building a flat tuple is several times cheaper
+  than a dataclass, and the DP builds hundreds of thousands of them.
+  The power slot rides along as ``0.0`` on power-off runs (the same
+  zero-cost-identity discipline as the reference engine: every
+  power-off expression is ``x + 0.0``, which IEEE-754 guarantees equals
+  ``x`` for finite ``x``), and joins the merge/prune/finalize logic
+  only when :attr:`~repro.core.dp.DPOptions.power` is set;
 * **cons-cell tuples** — solution chains are ``(payload, tail, count)``
   tuples instead of :class:`~repro.core._chain.Chain` cells, with the
   same O(1) push / shared-tail semantics;
@@ -62,10 +67,12 @@ from .dp import DPOptions, DPOutcome, DPResult, Insertion
 from .stats import EngineStats
 from .wire_sizing import WireChoice
 
-# A candidate is (load, slack, current, noise_slack, chain, wire_chain);
-# polarity and buffer count live on the group key / chain cell, so the
-# per-candidate record carries only what the arithmetic touches.
-_Cand = Tuple[float, float, float, float, Optional[tuple], Optional[tuple]]
+# A candidate is (load, slack, current, noise_slack, chain, wire_chain,
+# power); polarity and buffer count live on the group key / chain cell,
+# so the per-candidate record carries only what the arithmetic touches.
+_Cand = Tuple[
+    float, float, float, float, Optional[tuple], Optional[tuple], float
+]
 _Groups = Dict[Tuple[int, int], List[_Cand]]
 
 _INF = math.inf
@@ -129,6 +136,7 @@ class FastEngine:
         self.coupling = coupling
         self.options = options
         self.driver = driver
+        self.power = options.power
         self.generated = 0
         self.kept_peak = 0
         self.dead = 0
@@ -241,6 +249,7 @@ class FastEngine:
                     node.sink.noise_margin,
                     None,
                     None,
+                    0.0,
                 )
             ]
         }
@@ -257,6 +266,7 @@ class FastEngine:
         enforce = self.options.enforce_polarity
         track = self.options.track_counts
         max_buffers = self.options.max_buffers
+        power_active = self.power is not None
         merged: _Groups = {}
         made = 0
         for (pol_l, count_l), list_l in left.items():
@@ -273,6 +283,32 @@ class FastEngine:
                 if out is None:
                     merged[key] = out = []
                 append = out.append
+                if power_active:
+                    # Full |L|x|R| merge: with power as a third frontier
+                    # axis the staircase's single binding partner is no
+                    # longer exhaustive (a partner may trade slack for
+                    # power), so every pairing is generated and the
+                    # following prune keeps the 3D frontier — mirroring
+                    # the reference engine's _cross_merge.
+                    for a in list_l:
+                        a_slack = a[1]
+                        a_ns = a[3]
+                        for b in list_r:
+                            b_slack = b[1]
+                            b_ns = b[3]
+                            append(
+                                (
+                                    a[0] + b[0],
+                                    a_slack if a_slack < b_slack else b_slack,
+                                    a[2] + b[2],
+                                    a_ns if a_ns < b_ns else b_ns,
+                                    _chain_concat(a[4], b[4]),
+                                    _chain_concat(a[5], b[5]),
+                                    a[6] + b[6],
+                                )
+                            )
+                            made += 1
+                    continue
                 # Van Ginneken's |L|+|R| merge over two load-sorted
                 # frontiers, inlined.  Advance the side whose slack
                 # binds; it can only improve by paying more load.
@@ -293,6 +329,7 @@ class FastEngine:
                             a_ns if a_ns < b_ns else b_ns,
                             _chain_concat(a[4], b[4]),
                             _chain_concat(a[5], b[5]),
+                            a[6] + b[6],
                         )
                     )
                     made += 1
@@ -320,11 +357,61 @@ class FastEngine:
         # subtraction mirrors the reference's operation order exactly
         # ((best_slack - intrinsic) - penalty) for bit-identity.
         penalty = prices.get(node_name, 0.0) if prices else 0.0
+        power_model = self.power
         buffers = self._buffers
         additions: List[Tuple[Tuple[int, int], _Cand]] = []
         add = additions.append
         for (polarity, group_count), candidates in groups.items():
             if track and max_buffers is not None and group_count + 1 > max_buffers:
+                continue
+            if power_model is not None:
+                # Power-active: the scalar argmax would discard donors
+                # that trade slack for power, so keep one buffered
+                # candidate per (drive-slack, power)-Pareto donor —
+                # mirroring the reference engine's donor frontier.
+                if noise_aware:
+                    limits = [
+                        (c[3] / c[2]) if c[2] > 0 else _INF
+                        for c in candidates
+                    ]
+                else:
+                    limits = None
+                for buffer, resistance, in_cap, intrinsic, noise_margin, inv in buffers:
+                    entries = []
+                    for index, cand in enumerate(candidates):
+                        if limits is not None and resistance > limits[index]:
+                            continue
+                        entries.append(
+                            (
+                                cand[1] - resistance * cand[0],
+                                cand[6],
+                                index,
+                            )
+                        )
+                    if not entries:
+                        continue
+                    entries.sort(key=lambda entry: (entry[1], -entry[0]))
+                    best_seen = -_INF
+                    buffer_power = power_model.buffer_power(buffer)
+                    new_pol = (polarity ^ inv) if enforce else 0
+                    for drive_slack, _, index in entries:
+                        if drive_slack > best_seen:
+                            best_seen = drive_slack
+                            self._add_buffered(
+                                node_name,
+                                add,
+                                candidates[index],
+                                drive_slack,
+                                buffer,
+                                in_cap,
+                                intrinsic,
+                                noise_margin,
+                                new_pol,
+                                group_count,
+                                track,
+                                penalty,
+                                buffer_power,
+                            )
                 continue
             # Pre-extracted scan rows; limit is the largest gate resistance
             # the candidate tolerates (NS / I).  The per-buffer argmax runs
@@ -410,6 +497,7 @@ class FastEngine:
         group_count: int,
         track: bool,
         penalty: float = 0.0,
+        buffer_power: float = 0.0,
     ) -> None:
         """Queue the buffered variant of ``cand`` (one per buffer type)."""
         chain = cand[4]
@@ -425,6 +513,7 @@ class FastEngine:
                     noise_margin,
                     ((node_name, buffer), chain, tail_count + 1),
                     cand[5],
+                    cand[6] + buffer_power,
                 ),
             )
         )
@@ -434,14 +523,23 @@ class FastEngine:
         base_i = self.coupling.wire_current(wire)
         sizing = self.options.sizing
         noise_aware = self.options.noise_aware
+        power_model = self.power
         if sizing is None:
             # The hot path: one width, updates applied per candidate with
             # the halved terms hoisted (exactly `R * (I/2 + i)` and
-            # `q - R * (C/2 + c)` as in the reference engine).
+            # `q - R * (C/2 + c)` as in the reference engine).  The
+            # wire's power is uniform across candidates (the segment
+            # switches however the subtree is buffered); adding 0.0 on
+            # power-off runs is bit-identical.
             resistance = wire.resistance
             capacitance = wire.capacitance
             half_i = base_i / 2.0
             half_cap = capacitance / 2.0
+            wire_power = (
+                power_model.wire_power(capacitance)
+                if power_model is not None
+                else 0.0
+            )
             dead = 0
             for key, candidates in list(groups.items()):
                 if noise_aware:
@@ -455,6 +553,7 @@ class FastEngine:
                             noise_slack,
                             cand[4],
                             cand[5],
+                            cand[6] + wire_power,
                         )
                         for cand in candidates
                         if not (
@@ -475,6 +574,7 @@ class FastEngine:
                             cand[3] - resistance * (half_i + cand[2]),
                             cand[4],
                             cand[5],
+                            cand[6] + wire_power,
                         )
                         for cand in candidates
                     ]
@@ -485,16 +585,22 @@ class FastEngine:
             self.dead += dead
             return
         # Lillis sizing: realize the wire at every menu width; the pruning
-        # pass keeps the (load, slack) frontier of the variants.
+        # pass keeps the (load, slack) frontier of the variants.  (Power
+        # with sizing is rejected by DPOptions, so the 0.0 here is the
+        # only value this path ever sees.)
         variants = []
         for width in sizing.widths:
             scale = sizing.capacitance_scale(width)
+            capacitance = sizing.capacitance(wire.capacitance, width)
             variants.append(
                 (
                     None if width == 1.0 else width,
                     sizing.resistance(wire.resistance, width),
-                    sizing.capacitance(wire.capacitance, width),
+                    capacitance,
                     base_i * scale,
+                    power_model.wire_power(capacitance)
+                    if power_model is not None
+                    else 0.0,
                 )
             )
         parent_name = wire.parent.name
@@ -502,7 +608,7 @@ class FastEngine:
         for key, candidates in list(groups.items()):
             updated = []
             for cand in candidates:
-                for width, resistance, capacitance, wire_i in variants:
+                for width, resistance, capacitance, wire_i, wire_power in variants:
                     noise_slack = cand[3] - resistance * (
                         wire_i / 2.0 + cand[2]
                     )
@@ -525,6 +631,7 @@ class FastEngine:
                             noise_slack,
                             cand[4],
                             wire_chain,
+                            cand[6] + wire_power,
                         )
                     )
                     self.generated += 1
@@ -538,8 +645,19 @@ class FastEngine:
         total = 0
         dropped = 0
         timing = self.options.prune == "timing"
+        power_active = self.power is not None
         for key, candidates in list(groups.items()):
-            if timing:
+            if power_active:
+                # Power joins the dominance key only here — power-off
+                # runs never reach these branches, preserving bit
+                # identity and the presorted-scan fast path.
+                self.prune_sorts += 1
+                kept = (
+                    self._power_timing_frontier(candidates)
+                    if timing
+                    else self._prune_pareto_power(candidates)
+                )
+            elif timing:
                 kept = self._prune_timing(candidates)
             else:
                 kept = self._prune_pareto(candidates)
@@ -589,6 +707,48 @@ class FastEngine:
                 best_slack = slack
         return kept
 
+    @staticmethod
+    def _power_timing_frontier(candidates: List[_Cand]) -> List[_Cand]:
+        """(load, slack, power) dominance — the timing rule's power axis.
+
+        Mirrors the reference engine's ``_power_timing_frontier``: load
+        order makes dominance a scan of the kept list for a candidate
+        with slack >= and power <= (first-seen wins exact ties).
+        """
+        ordered = sorted(candidates, key=lambda c: (c[0], -c[1], c[6]))
+        kept: List[_Cand] = []
+        for cand in ordered:
+            slack = cand[1]
+            power = cand[6]
+            for other in kept:
+                if other[1] >= slack and other[6] <= power:
+                    break
+            else:
+                kept.append(cand)
+        return kept
+
+    @staticmethod
+    def _prune_pareto_power(candidates: List[_Cand]) -> List[_Cand]:
+        """5-field dominance: the pareto ablation plus the power axis."""
+        ordered = sorted(
+            candidates,
+            key=lambda c: (c[0], -c[1], c[2], -c[3], c[6]),
+        )
+        kept: List[_Cand] = []
+        for cand in ordered:
+            for other in kept:
+                if (
+                    other[0] <= cand[0]
+                    and other[1] >= cand[1]
+                    and other[2] <= cand[2]
+                    and other[3] >= cand[3]
+                    and other[6] <= cand[6]
+                ):
+                    break
+            else:
+                kept.append(cand)
+        return kept
+
     def _prune_pareto(self, candidates: List[_Cand]) -> List[_Cand]:
         """4-field dominance (load, slack, current, noise slack) — ablation."""
         kept: List[_Cand] = []
@@ -610,6 +770,8 @@ class FastEngine:
         return kept
 
     def _finalize(self, groups: _Groups) -> DPResult:
+        if self.power is not None:
+            return self._finalize_power(groups)
         # Winner per count is tracked as the raw candidate and only
         # materialized into Insertion/WireChoice tuples once at the end —
         # the selection (strict slack improvement, first wins ties) is the
@@ -635,19 +797,7 @@ class FastEngine:
                     continue
                 winners[count] = (slack, noise_ok, cand)
         ordered = tuple(
-            DPOutcome(
-                buffer_count=count,
-                slack=slack,
-                noise_feasible=noise_ok,
-                insertions=tuple(
-                    Insertion(name, buffer)
-                    for name, buffer in _chain_payloads(cand[4])
-                ),
-                wire_choices=tuple(
-                    WireChoice(parent, child, width)
-                    for parent, child, width in _chain_payloads(cand[5])
-                ),
-            )
+            self._materialize(count, slack, noise_ok, cand)
             for count, (slack, noise_ok, cand) in sorted(winners.items())
         )
         return DPResult(
@@ -657,4 +807,71 @@ class FastEngine:
             candidates_generated=self.generated,
             candidates_kept_peak=self.kept_peak,
             stats=self.stats,
+        )
+
+    def _finalize_power(self, groups: _Groups) -> DPResult:
+        """Power-mode finalize: per-count (slack, power) frontiers.
+
+        Mirrors the reference engine: every surviving candidate is
+        evaluated at the driver, then each count keeps the outcomes
+        ordered by rising power where each extra joule buys strictly
+        more slack.
+        """
+        has_inverters = any(b.inverting for b in self.library)
+        enforce = self.options.enforce_polarity
+        noise_aware = self.options.noise_aware
+        gate_delay = self.driver.gate_delay
+        driver_resistance = self.driver.resistance
+        per_count: Dict[int, List[Tuple[float, bool, _Cand]]] = {}
+        for (polarity, _), candidates in groups.items():
+            if enforce and has_inverters and polarity != 0:
+                continue
+            for cand in candidates:
+                slack = cand[1] - gate_delay(cand[0])
+                noise_ok = driver_resistance * cand[2] <= cand[3]
+                if noise_aware and not noise_ok:
+                    continue
+                chain = cand[4]
+                count = chain[2] if chain is not None else 0
+                per_count.setdefault(count, []).append(
+                    (slack, noise_ok, cand)
+                )
+        frontier: List[DPOutcome] = []
+        for count in sorted(per_count):
+            best_seen = -_INF
+            for slack, noise_ok, cand in sorted(
+                per_count[count], key=lambda entry: (entry[2][6], -entry[0])
+            ):
+                if slack > best_seen:
+                    frontier.append(
+                        self._materialize(count, slack, noise_ok, cand)
+                    )
+                    best_seen = slack
+        return DPResult(
+            tree=self.tree,
+            outcomes=tuple(frontier),
+            options=self.options,
+            candidates_generated=self.generated,
+            candidates_kept_peak=self.kept_peak,
+            stats=self.stats,
+        )
+
+    @staticmethod
+    def _materialize(
+        count: int, slack: float, noise_ok: bool, cand: _Cand
+    ) -> DPOutcome:
+        """Expand a raw winning candidate into a full :class:`DPOutcome`."""
+        return DPOutcome(
+            buffer_count=count,
+            slack=slack,
+            noise_feasible=noise_ok,
+            insertions=tuple(
+                Insertion(name, buffer)
+                for name, buffer in _chain_payloads(cand[4])
+            ),
+            wire_choices=tuple(
+                WireChoice(parent, child, width)
+                for parent, child, width in _chain_payloads(cand[5])
+            ),
+            power=cand[6],
         )

@@ -19,7 +19,15 @@ and ``docs/algorithms.md`` §9):
   and the wire update is ``dq += R*(Cw/2 + dc); dns += R*(Iw/2 + di);
   r += R; dc += Cw; di += Iw``.  The offsets re-associate the float
   sums, which is exactly the last-ulp drift the fast engine refused —
-  hence the tolerance-based equivalence contract.
+  hence the tolerance-based equivalence contract.  Power-active runs
+  (:attr:`~repro.core.dp.DPOptions.power`) add a sixth offset ``dpw``:
+  wire power is uniform across a frontier, so it too folds in O(1)
+  (``dpw += wire_power(Cw)``) and a stored power ``P0`` decodes to
+  ``P0 + dpw``.  Power also disables the eager-eviction/lone-merge/hull
+  machinery below — with power as a third frontier axis a
+  (load, slack)-dominated candidate may still be Pareto-optimal — so
+  power runs use cross-product merges, donor-frontier buffering, and a
+  materializing 3D prune instead.
 
 * **single-sink merges in O(log F)** — merging a frontier with a
   one-candidate chainless group (every sink merge on a trunk topology)
@@ -103,7 +111,9 @@ class _Frontier:
     a stored bound in the safe direction.
     """
 
-    __slots__ = ("groups", "hulls", "meta", "r", "dq", "dc", "di", "dns")
+    __slots__ = (
+        "groups", "hulls", "meta", "r", "dq", "dc", "di", "dns", "dpw",
+    )
 
     def __init__(self, groups: Dict[_Key, List[_Cand]]):
         self.groups = groups
@@ -114,9 +124,17 @@ class _Frontier:
         self.dc = 0.0
         self.di = 0.0
         self.dns = 0.0
+        # Lazy power offset: wire power is uniform across a node's
+        # candidates (the segment switches however the subtree is
+        # buffered), so it accumulates here in O(1) per wire and a
+        # stored power P0 decodes to P0 + dpw.  Stays 0.0 on power-off
+        # runs.
+        self.dpw = 0.0
 
     def pending(self) -> bool:
-        return bool(self.r or self.dq or self.dc or self.di or self.dns)
+        return bool(
+            self.r or self.dq or self.dc or self.di or self.dns or self.dpw
+        )
 
 
 class LiShiEngine:
@@ -163,10 +181,19 @@ class LiShiEngine:
             for b in library
         ]
         self._buffers_desc = sorted(self._buffers, key=lambda row: -row[1])
+        self.power = options.power
         # The lazy/merge/hull shortcuts are only reference-equivalent
         # when the prune is the (load, slack) frontier and nothing can
-        # die of noise between eviction and the node's prune.
-        self._evict = options.prune == "timing" and not options.noise_aware
+        # die of noise between eviction and the node's prune.  Power
+        # adds a third frontier axis, under which eager (load, slack)
+        # eviction discards candidates that trade slack for power — so
+        # power-active runs keep every merge output and prune on the
+        # full 3D frontier instead.
+        self._evict = (
+            options.prune == "timing"
+            and not options.noise_aware
+            and options.power is None
+        )
 
     # -- visit loop ----------------------------------------------------------
 
@@ -259,6 +286,7 @@ class LiShiEngine:
                         node.sink.noise_margin,
                         None,
                         None,
+                        0.0,
                     )
                 ]
             }
@@ -332,6 +360,8 @@ class LiShiEngine:
                 del candidates[w:]
 
     def _merge_pair(self, left: _Frontier, right: _Frontier) -> _Frontier:
+        if self.power is not None:
+            return self._merge_cross(left, right)
         if self._evict:
             self._clean(left)
             self._clean(right)
@@ -342,6 +372,76 @@ class LiShiEngine:
             if lone is not None:
                 return self._merge_lone(right, lone, left)
         return self._merge_general(left, right)
+
+    def _merge_cross(self, left: _Frontier, right: _Frontier) -> _Frontier:
+        """Full |L|x|R| merge for power-active runs (zero-offset output).
+
+        The staircase walk of :meth:`_merge_general` pairs each
+        candidate with the single partner whose slack binds — exact for
+        a 2D (load, slack) frontier, lossy once power is a third axis
+        (the optimal partner may trade slack for power).  Every pairing
+        is materialized out of both offset frames; the node's 3D prune
+        keeps the frontier.
+        """
+        enforce = self.options.enforce_polarity
+        track = self.options.track_counts
+        max_buffers = self.options.max_buffers
+        lr, ldq, ldc, ldi, ldns, ldpw = (
+            left.r, left.dq, left.dc, left.di, left.dns, left.dpw,
+        )
+        rr, rdq, rdc, rdi, rdns, rdpw = (
+            right.r, right.dq, right.dc, right.di, right.dns, right.dpw,
+        )
+        groups: Dict[_Key, List[_Cand]] = {}
+        made = 0
+        for (pol_l, count_l), list_l in left.groups.items():
+            for (pol_r, count_r), list_r in right.groups.items():
+                if enforce and pol_l != pol_r:
+                    continue
+                count = count_l + count_r
+                if max_buffers is not None and track and count > max_buffers:
+                    continue
+                key = (pol_l if enforce else 0, count if track else 0)
+                self.merge_forks += 1
+                out = groups.setdefault(key, [])
+                append = out.append
+                rows_r = [
+                    (
+                        b[0] + rdc,
+                        b[1] - rr * b[0] - rdq,
+                        b[2] + rdi,
+                        b[3] - rr * b[2] - rdns,
+                        b[4],
+                        b[5],
+                        b[6] + rdpw,
+                    )
+                    for b in list_r
+                ]
+                for a in list_l:
+                    a_load = a[0] + ldc
+                    a_q = a[1] - lr * a[0] - ldq
+                    a_i = a[2] + ldi
+                    a_ns = a[3] - lr * a[2] - ldns
+                    a_chain = a[4]
+                    a_wires = a[5]
+                    a_pw = a[6] + ldpw
+                    for b in rows_r:
+                        b_q = b[1]
+                        b_ns = b[3]
+                        append(
+                            (
+                                a_load + b[0],
+                                a_q if a_q < b_q else b_q,
+                                a_i + b[2],
+                                a_ns if a_ns < b_ns else b_ns,
+                                _chain_concat(a_chain, b[4]),
+                                _chain_concat(a_wires, b[5]),
+                                a_pw + b[6],
+                            )
+                        )
+                        made += 1
+        self.generated += made
+        return _Frontier(groups)
 
     def _merge_lone(
         self, main: _Frontier, lone: _Cand, lone_frontier: _Frontier
@@ -412,7 +512,7 @@ class LiShiEngine:
                     lim = cap + r * c[2]
                     if ns0 > lim:
                         ns0 = lim
-                        c = (c[0], c[1], c[2], ns0, c[4], c[5])
+                        c = (c[0], c[1], c[2], ns0, c[4], c[5], c[6])
                     z = ns0 - r * c[2]
                     if z > max_z:
                         max_z = z
@@ -446,6 +546,7 @@ class LiShiEngine:
                     ns + r * a[2] + dns,
                     a[4],
                     a[5],
+                    a[6] + lone[6],
                 )
                 del candidates[lo:]
                 candidates.append(clamp)
@@ -476,6 +577,8 @@ class LiShiEngine:
         rr, rdq, rdc, rdi, rdns = (
             right.r, right.dq, right.dc, right.di, right.dns,
         )
+        ldpw = left.dpw
+        rdpw = right.dpw
         # Several (left key, right key) pairs can land on the same output
         # key (count splits, polarity-free mode); each pair yields one
         # load-sorted run, combined per key afterwards.
@@ -520,6 +623,7 @@ class LiShiEngine:
                             a_ns if a_ns < b_ns else b_ns,
                             _chain_concat(a[4], b[4]),
                             _chain_concat(a[5], b[5]),
+                            (a[6] + ldpw) + (b[6] + rdpw),
                         )
                         if evict and load == last_load:
                             out[-1] = cand
@@ -746,6 +850,7 @@ class LiShiEngine:
                             noise_margin - r * di + dns,
                             ((node_name, buffer), chain, tail_count + 1),
                             h[5],
+                            h[6],
                         ),
                     )
                 )
@@ -789,6 +894,7 @@ class LiShiEngine:
         r, dq, dc, di, dns = (
             frontier.r, frontier.dq, frontier.dc, frontier.di, frontier.dns,
         )
+        power_model = self.power
         additions: List[Tuple[_Key, _Cand]] = []
         add = additions.append
         for (polarity, group_count), candidates in groups.items():
@@ -809,47 +915,81 @@ class LiShiEngine:
             indices = range(len(candidates))
             for row in self._buffers:
                 buffer, resistance, in_cap, intrinsic, noise_margin, inv = row
-                best_slack = -_INF
-                best_idx = -1
-                if limits is None:
-                    for idx in indices:
-                        s = slacks[idx] - resistance * loads[idx]
-                        if s > best_slack:
-                            best_slack = s
-                            best_idx = idx
+                if power_model is None:
+                    best_slack = -_INF
+                    best_idx = -1
+                    if limits is None:
+                        for idx in indices:
+                            s = slacks[idx] - resistance * loads[idx]
+                            if s > best_slack:
+                                best_slack = s
+                                best_idx = idx
+                    else:
+                        for idx in indices:
+                            if limits[idx] < resistance:
+                                continue  # Step 5: never noisy.
+                            s = slacks[idx] - resistance * loads[idx]
+                            if s > best_slack:
+                                best_slack = s
+                                best_idx = idx
+                    if best_idx < 0:
+                        continue
+                    donors = [(best_slack, best_idx)]
+                    buffer_power = 0.0
                 else:
+                    # Power-active: keep one buffered candidate per
+                    # (drive-slack, power)-Pareto donor, as in the
+                    # reference engine — the scalar argmax would
+                    # discard donors that trade slack for power.  The
+                    # shared dpw offset cancels across donors, so the
+                    # stored power slot ranks them directly.
+                    entries = []
                     for idx in indices:
-                        if limits[idx] < resistance:
-                            continue  # Step 5: never noisy.
-                        s = slacks[idx] - resistance * loads[idx]
-                        if s > best_slack:
-                            best_slack = s
-                            best_idx = idx
-                if best_idx < 0:
-                    continue
-                cand = candidates[best_idx]
-                chain = cand[4]
-                tail_count = chain[2] if chain is not None else 0
-                new_count = (group_count if track else tail_count) + 1
-                stored_load = in_cap - dc
-                add(
-                    (
+                        if limits is not None and limits[idx] < resistance:
+                            continue
+                        entries.append(
+                            (
+                                slacks[idx] - resistance * loads[idx],
+                                candidates[idx][6],
+                                idx,
+                            )
+                        )
+                    if not entries:
+                        continue
+                    entries.sort(key=lambda entry: (entry[1], -entry[0]))
+                    donors = []
+                    best_seen = -_INF
+                    for drive_slack, _, idx in entries:
+                        if drive_slack > best_seen:
+                            donors.append((drive_slack, idx))
+                            best_seen = drive_slack
+                    buffer_power = power_model.buffer_power(buffer)
+                new_pol = (polarity ^ inv) if enforce else 0
+                for best_slack, best_idx in donors:
+                    cand = candidates[best_idx]
+                    chain = cand[4]
+                    tail_count = chain[2] if chain is not None else 0
+                    new_count = (group_count if track else tail_count) + 1
+                    stored_load = in_cap - dc
+                    add(
                         (
-                            (polarity ^ inv) if enforce else 0,
-                            new_count if track else 0,
-                        ),
-                        (
-                            stored_load,
-                            (best_slack - intrinsic - penalty)
-                            + r * stored_load + dq,
-                            -di,
-                            noise_margin - r * di + dns,
-                            ((node_name, buffer), chain, tail_count + 1),
-                            cand[5],
-                        ),
+                            (
+                                new_pol,
+                                new_count if track else 0,
+                            ),
+                            (
+                                stored_load,
+                                (best_slack - intrinsic - penalty)
+                                + r * stored_load + dq,
+                                -di,
+                                noise_margin - r * di + dns,
+                                ((node_name, buffer), chain, tail_count + 1),
+                                cand[5],
+                                cand[6] + buffer_power,
+                            ),
+                        )
                     )
-                )
-                self.generated += 1
+                    self.generated += 1
         for key, cand in additions:
             group = groups.get(key)
             if group is None:
@@ -874,6 +1014,10 @@ class LiShiEngine:
             frontier.r += resistance
             frontier.dc += wire.capacitance
             frontier.di += base_i
+            if self.power is not None:
+                # Wire power is uniform across the frontier — one lazy
+                # offset update, the power twin of dc/di.
+                frontier.dpw += self.power.wire_power(wire.capacitance)
             return
         # Lillis sizing forks each candidate per menu width — widths
         # differ per candidate afterwards, which a shared offset frame
@@ -923,6 +1067,9 @@ class LiShiEngine:
                             noise_slack,
                             cand[4],
                             wire_chain,
+                            # power + sizing is rejected by DPOptions,
+                            # so this slot only ever carries 0.0 here.
+                            cand[6],
                         )
                     )
                     self.generated += 1
@@ -940,6 +1087,7 @@ class LiShiEngine:
         r, dq, dc, di, dns = (
             frontier.r, frontier.dq, frontier.dc, frontier.di, frontier.dns,
         )
+        dpw = frontier.dpw
         groups = frontier.groups
         for key, candidates in groups.items():
             groups[key] = [
@@ -950,10 +1098,12 @@ class LiShiEngine:
                     c[3] - r * c[2] - dns,
                     c[4],
                     c[5],
+                    c[6] + dpw,
                 )
                 for c in candidates
             ]
         frontier.r = frontier.dq = frontier.dc = frontier.di = frontier.dns = 0.0
+        frontier.dpw = 0.0
 
     def _prune(self, frontier: _Frontier) -> Tuple[int, int]:
         """Prune every group in place; return (dropped, surviving) counts.
@@ -966,10 +1116,21 @@ class LiShiEngine:
         """
         groups = frontier.groups
         timing = self.options.prune == "timing"
+        power_active = self.power is not None
         total = 0
         dropped = 0
         for key, candidates in list(groups.items()):
-            if timing:
+            if power_active:
+                # Power joins the dominance key only here — power-off
+                # runs never reach these branches, preserving bit
+                # identity and the presorted-scan fast path.
+                self.prune_sorts += 1
+                kept = (
+                    self._prune_power_timing(candidates, frontier)
+                    if timing
+                    else self._prune_pareto_power(candidates, frontier)
+                )
+            elif timing:
                 kept = self._prune_timing(candidates, frontier)
             else:
                 kept = self._prune_pareto(candidates, frontier)
@@ -1080,50 +1241,156 @@ class LiShiEngine:
                 kept.append(row[4])
         return kept
 
+    def _prune_power_timing(
+        self, candidates: List[_Cand], frontier: _Frontier
+    ) -> List[_Cand]:
+        """(load, slack, power) dominance under the offset frame.
+
+        Uniform offsets cancel in comparisons (``dq`` for slack, ``dc``
+        for load, ``dpw`` for power), so the scan ranks by ``q0 − r·C0``
+        and stored power directly; only the noise dead-check needs the
+        absolute noise slack.  Mirrors the reference engine's
+        ``_power_timing_frontier`` (first-seen wins exact ties).
+        """
+        r = frontier.r
+        dns = frontier.dns
+        noise_aware = self.options.noise_aware
+        rows = []
+        dead = 0
+        for cand in candidates:
+            if noise_aware and (cand[3] - r * cand[2] - dns) < 0.0:
+                dead += 1
+                continue
+            rows.append((cand[0], cand[1] - r * cand[0], cand[6], cand))
+        self.dead += dead
+        rows.sort(key=lambda row: (row[0], -row[1], row[2]))
+        kept_rows: List[tuple] = []
+        kept: List[_Cand] = []
+        for row in rows:
+            q = row[1]
+            power = row[2]
+            for other in kept_rows:
+                if other[1] >= q and other[2] <= power:
+                    break
+            else:
+                kept_rows.append(row)
+                kept.append(row[3])
+        return kept
+
+    def _prune_pareto_power(
+        self, candidates: List[_Cand], frontier: _Frontier
+    ) -> List[_Cand]:
+        """5-field dominance: the pareto ablation plus the power axis."""
+        r, dq, dc, di, dns = (
+            frontier.r, frontier.dq, frontier.dc, frontier.di, frontier.dns,
+        )
+        noise_aware = self.options.noise_aware
+        rows = []
+        for cand in candidates:
+            noise_slack = cand[3] - r * cand[2] - dns
+            if noise_aware and noise_slack < 0.0:
+                self.dead += 1
+                continue
+            rows.append(
+                (
+                    cand[0] + dc,
+                    -(cand[1] - r * cand[0] - dq),
+                    cand[2] + di,
+                    -noise_slack,
+                    cand[6],
+                    cand,
+                )
+            )
+        rows.sort(key=lambda row: row[:5])
+        kept_rows: List[tuple] = []
+        kept: List[_Cand] = []
+        for row in rows:
+            for other in kept_rows:
+                if (
+                    other[0] <= row[0]
+                    and other[1] <= row[1]
+                    and other[2] <= row[2]
+                    and other[3] <= row[3]
+                    and other[4] <= row[4]
+                ):
+                    break
+            else:
+                kept_rows.append(row)
+                kept.append(row[5])
+        return kept
+
     def _finalize(self, frontier: _Frontier) -> DPResult:
         r, dq, dc, di, dns = (
             frontier.r, frontier.dq, frontier.dc, frontier.di, frontier.dns,
         )
-        winners: Dict[int, Tuple[float, bool, _Cand]] = {}
+        dpw = frontier.dpw
+        power_active = self.power is not None
         has_inverters = any(b.inverting for b in self.library)
         enforce = self.options.enforce_polarity
         noise_aware = self.options.noise_aware
         gate_delay = self.driver.gate_delay
         driver_resistance = self.driver.resistance
-        for (polarity, _), candidates in frontier.groups.items():
-            if enforce and has_inverters and polarity != 0:
-                continue
-            for cand in candidates:
-                load = cand[0] + dc
-                q = cand[1] - r * cand[0] - dq
-                current = cand[2] + di
-                noise_slack = cand[3] - r * cand[2] - dns
-                slack = q - gate_delay(load)
-                noise_ok = driver_resistance * current <= noise_slack
-                if noise_aware and not noise_ok:
-                    continue  # Step 3/4 of Fig. 10: reject noisy finals.
-                chain = cand[4]
-                count = chain[2] if chain is not None else 0
-                kept = winners.get(count)
-                if kept is not None and not slack > kept[0]:
+        if power_active:
+            # Per-count (slack, power) frontier, ordered by rising
+            # power (and hence rising slack) within each count —
+            # mirroring the reference engine's power finalize.
+            per_count: Dict[int, List[Tuple[float, float, bool, _Cand]]] = {}
+            for (polarity, _), candidates in frontier.groups.items():
+                if enforce and has_inverters and polarity != 0:
                     continue
-                winners[count] = (slack, noise_ok, cand)
-        ordered = tuple(
-            DPOutcome(
-                buffer_count=count,
-                slack=slack,
-                noise_feasible=noise_ok,
-                insertions=tuple(
-                    Insertion(name, buffer)
-                    for name, buffer in _chain_payloads(cand[4])
-                ),
-                wire_choices=tuple(
-                    WireChoice(parent, child, width)
-                    for parent, child, width in _chain_payloads(cand[5])
-                ),
+                for cand in candidates:
+                    load = cand[0] + dc
+                    q = cand[1] - r * cand[0] - dq
+                    current = cand[2] + di
+                    noise_slack = cand[3] - r * cand[2] - dns
+                    slack = q - gate_delay(load)
+                    noise_ok = driver_resistance * current <= noise_slack
+                    if noise_aware and not noise_ok:
+                        continue
+                    chain = cand[4]
+                    count = chain[2] if chain is not None else 0
+                    per_count.setdefault(count, []).append(
+                        (cand[6] + dpw, slack, noise_ok, cand)
+                    )
+            outcomes: List[DPOutcome] = []
+            for count in sorted(per_count):
+                best_seen = -_INF
+                for power, slack, noise_ok, cand in sorted(
+                    per_count[count],
+                    key=lambda entry: (entry[0], -entry[1]),
+                ):
+                    if slack > best_seen:
+                        outcomes.append(
+                            self._materialize(
+                                count, slack, noise_ok, cand, power
+                            )
+                        )
+                        best_seen = slack
+            ordered = tuple(outcomes)
+        else:
+            winners: Dict[int, Tuple[float, bool, _Cand]] = {}
+            for (polarity, _), candidates in frontier.groups.items():
+                if enforce and has_inverters and polarity != 0:
+                    continue
+                for cand in candidates:
+                    load = cand[0] + dc
+                    q = cand[1] - r * cand[0] - dq
+                    current = cand[2] + di
+                    noise_slack = cand[3] - r * cand[2] - dns
+                    slack = q - gate_delay(load)
+                    noise_ok = driver_resistance * current <= noise_slack
+                    if noise_aware and not noise_ok:
+                        continue  # Step 3/4 of Fig. 10: reject noisy finals.
+                    chain = cand[4]
+                    count = chain[2] if chain is not None else 0
+                    kept = winners.get(count)
+                    if kept is not None and not slack > kept[0]:
+                        continue
+                    winners[count] = (slack, noise_ok, cand)
+            ordered = tuple(
+                self._materialize(count, slack, noise_ok, cand, cand[6] + dpw)
+                for count, (slack, noise_ok, cand) in sorted(winners.items())
             )
-            for count, (slack, noise_ok, cand) in sorted(winners.items())
-        )
         return DPResult(
             tree=self.tree,
             outcomes=ordered,
@@ -1131,4 +1398,24 @@ class LiShiEngine:
             candidates_generated=self.generated,
             candidates_kept_peak=self.kept_peak,
             stats=self.stats,
+        )
+
+    @staticmethod
+    def _materialize(
+        count: int, slack: float, noise_ok: bool, cand: _Cand, power: float
+    ) -> DPOutcome:
+        """Expand a raw winning candidate into a full :class:`DPOutcome`."""
+        return DPOutcome(
+            buffer_count=count,
+            slack=slack,
+            noise_feasible=noise_ok,
+            insertions=tuple(
+                Insertion(name, buffer)
+                for name, buffer in _chain_payloads(cand[4])
+            ),
+            wire_choices=tuple(
+                WireChoice(parent, child, width)
+                for parent, child, width in _chain_payloads(cand[5])
+            ),
+            power=power,
         )

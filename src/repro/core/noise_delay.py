@@ -94,7 +94,7 @@ def buffopt(
         options=DPOptions(noise_aware=True, enforce_polarity=enforce_polarity),
         driver=driver,
     )
-    return result.solution(result.best())
+    return result.solution(result._best())
 
 
 def buffopt_min_buffers(
@@ -127,4 +127,4 @@ def buffopt_min_buffers(
         max_buffers=max_buffers,
         enforce_polarity=enforce_polarity,
     )
-    return result.solution(result.fewest_buffers(min_slack=min_slack))
+    return result.solution(result._fewest_buffers(min_slack=min_slack))

@@ -42,7 +42,7 @@ def optimize_delay(
         options=DPOptions(noise_aware=False, enforce_polarity=enforce_polarity),
         driver=driver,
     )
-    return result.solution(result.best())
+    return result.solution(result._best())
 
 
 def delay_opt_result(

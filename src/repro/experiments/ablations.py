@@ -60,7 +60,7 @@ def pruning_ablation(
             seconds[rule] += time.perf_counter() - start
             kept[rule] += results[rule].candidates_kept_peak
         deltas.append(
-            results["pareto"].best().slack - results["timing"].best().slack
+            results["pareto"]._best().slack - results["timing"]._best().slack
         )
     count = len(nets)
     return PruningAblation(
@@ -99,7 +99,7 @@ def segmentation_ablation(
                 tree, experiment.library, experiment.coupling,
                 DPOptions(noise_aware=True),
             )
-            slack_total += result.best().slack
+            slack_total += result._best().slack
         points.append(
             SegmentationPoint(
                 max_segment=granularity,
@@ -140,7 +140,7 @@ def noise_sites_ablation(
                 sited, experiment.library, experiment.coupling,
                 DPOptions(noise_aware=True, track_counts=True, max_buffers=8),
             )
-            best = result.fewest_buffers()
+            best = result._fewest_buffers()
         except InfeasibleError:
             continue
         usable += 1
@@ -183,7 +183,7 @@ def sizing_ablation(
             tree, experiment.library, experiment.coupling,
             DPOptions(noise_aware=True, sizing=spec),
         )
-        gains.append(sized.best().slack - plain.best().slack)
+        gains.append(sized._best().slack - plain._best().slack)
     return SizingAblation(
         nets=len(nets),
         mean_slack_gain=sum(gains) / len(nets),

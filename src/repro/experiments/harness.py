@@ -186,7 +186,7 @@ def _buffopt_fewest(tree: RoutingTree, experiment: Experiment) -> BufferSolution
                 tree, experiment.library, experiment.coupling,
                 mode="buffopt", max_buffers=cap, engine=experiment.engine,
             )
-            return result.solution(result.fewest_buffers())
+            return result.solution(result._fewest_buffers())
         except InfeasibleError:
             if cap is None:
                 raise

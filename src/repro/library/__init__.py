@@ -7,6 +7,7 @@ from .buffers import (
     single_buffer_library,
 )
 from .cells import CellLibrary, DriverCell, SinkCell, default_cell_library
+from .power import PowerModel, default_power_model
 from .technology import Technology, default_technology
 
 __all__ = [
@@ -14,10 +15,12 @@ __all__ = [
     "BufferType",
     "CellLibrary",
     "DriverCell",
+    "PowerModel",
     "SinkCell",
     "Technology",
     "default_buffer_library",
     "default_cell_library",
+    "default_power_model",
     "default_technology",
     "single_buffer_library",
 ]

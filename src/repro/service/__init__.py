@@ -63,6 +63,7 @@ from .loadtest import (
     write_bench_sidecar,
 )
 from .protocol import (
+    COMPATIBLE_PROTOCOLS,
     PROTOCOL_VERSION,
     CanonicalRequest,
     RequestRejected,
@@ -75,6 +76,7 @@ from .stdio import run_stdio
 from .worker import WorkPayload, execute_request
 
 __all__ = [
+    "COMPATIBLE_PROTOCOLS",
     "CanonicalRequest",
     "ChaosConfig",
     "HttpServiceClient",

@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
 from ..batch.checkpoint import JournalReader
 from ..errors import ServiceError
 from .protocol import (
+    COMPATIBLE_PROTOCOLS,
     PROTOCOL_VERSION,
     CanonicalRequest,
     RequestRejected,
@@ -156,11 +157,12 @@ def read_journal_header(path: Union[str, Path]) -> Dict[str, Any]:
             f"service journal {path} does not start with a service "
             "header record"
         )
-    if header.get("protocol") != PROTOCOL_VERSION:
+    if header.get("protocol") not in COMPATIBLE_PROTOCOLS:
         raise ServiceError(
             f"service journal {path} speaks protocol "
             f"{header.get('protocol')!r}; this build speaks "
-            f"{PROTOCOL_VERSION} — refusing to mix result schemas"
+            f"{PROTOCOL_VERSION} (reads {COMPATIBLE_PROTOCOLS}) — "
+            "refusing to mix result schemas"
         )
     return header
 

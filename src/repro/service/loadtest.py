@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..core.objective import Objective
 from ..errors import ServiceError
 from ..units import MM
 from .protocol import RequestRejected, rejection_response
@@ -49,6 +50,10 @@ class LoadTestConfig:
     unique_nets: int = 32
     seed: int = 0
     mode: str = "buffopt"
+    #: structured objective carried by every request; when set it
+    #: overrides ``mode`` (the mirror is pinned to ``objective.mode``)
+    #: and non-legacy shapes ride the protocol-v2 ``objective`` block.
+    objective: Optional[Objective] = None
     engine: str = "reference"
     #: sink counts cycle through this band (kept small: a load test
     #: measures the lifecycle, not the DP).
@@ -61,6 +66,8 @@ class LoadTestConfig:
     max_submit_attempts: int = 200
 
     def __post_init__(self) -> None:
+        if self.objective is not None:
+            object.__setattr__(self, "mode", self.objective.mode)
         if self.clients < 1:
             raise ServiceError(f"clients must be >= 1, got {self.clients}")
         if self.requests < 1:
@@ -81,19 +88,25 @@ class LoadTestConfig:
         out: List[Dict[str, Any]] = []
         for index in range(self.requests):
             net = index % self.unique_nets
-            out.append({
+            payload: Dict[str, Any] = {
                 "net": {
                     "name": f"load-{self.seed}-{net:04d}",
                     "sink_count": self.min_sinks + net % width,
                     "span": (1.0 + (net % 7) * 0.5) * MM,
                     "seed": self.seed * 100_003 + net,
                 },
-                "mode": self.mode,
                 "engine": self.engine,
                 "deadline_seconds": self.deadline_seconds,
                 "max_candidates": self.max_candidates,
                 "wait": True,
-            })
+            }
+            if self.objective is not None and not self.objective.is_legacy():
+                payload["objective"] = self.objective.to_json()
+            else:
+                payload["mode"] = self.mode
+                if self.objective is not None and self.objective.min_slack:
+                    payload["min_slack"] = self.objective.min_slack
+            out.append(payload)
         return out
 
 

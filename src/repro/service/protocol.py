@@ -37,11 +37,20 @@ from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..core.dp import ENGINE_CHOICES
+from ..core.objective import Objective
 from ..units import UM
 
 #: bump when the request/response schema changes incompatibly; echoed in
-#: every response and recorded in the service journal header.
-PROTOCOL_VERSION = 1
+#: every response and recorded in the service journal header.  Version 2
+#: added the ``objective`` block (the unified Objective API).
+PROTOCOL_VERSION = 2
+
+#: journal protocol versions this build can *read*.  Version 1 journals
+#: carry no objective block, which parses as the legacy default — and
+#: legacy-shaped requests canonicalize (and therefore fingerprint) to
+#: the version-1 form, so resuming a v1 journal is exact, not a best
+#: effort.
+COMPATIBLE_PROTOCOLS = (1, 2)
 
 #: optimization modes the service accepts (mirrors the batch layer).
 MODES = ("buffopt", "delay")
@@ -168,10 +177,21 @@ class CanonicalRequest:
     max_candidates: Optional[int] = None
     #: independently certify the outcome before answering.
     certify: bool = False
+    #: structured objective (protocol v2).  ``None`` means the legacy
+    #: ``mode`` semantics; when set, ``mode`` always equals
+    #: ``objective.mode`` (the parser enforces it).
+    objective: Optional[Objective] = None
 
     def to_json(self) -> Dict[str, Any]:
-        """The canonical wire form (also what the journal stores)."""
-        return {
+        """The canonical wire form (also what the journal stores).
+
+        Legacy-shaped objectives (``None``, or exactly what the old
+        ``mode=`` strings meant) deliberately emit the version-1 form —
+        no ``objective`` key — so their fingerprints, and therefore the
+        journal-backed cache entries of every pre-objective deployment,
+        stay valid.
+        """
+        body: Dict[str, Any] = {
             "net": {
                 "name": self.net_name,
                 "sink_count": self.sink_count,
@@ -188,6 +208,15 @@ class CanonicalRequest:
             "max_candidates": self.max_candidates,
             "certify": self.certify,
         }
+        if self.objective is not None and not self.objective.is_legacy():
+            # The objective block carries mode and min_slack itself; the
+            # top-level twins are dropped so the canonical form has one
+            # unambiguous spelling per request (and the parser's
+            # mutual-exclusion rule round-trips).
+            del body["mode"]
+            del body["min_slack"]
+            body["objective"] = self.objective.to_json()
+        return body
 
     def fingerprint(self) -> str:
         """SHA-256 over the canonical JSON form — the cache key."""
@@ -202,7 +231,7 @@ class CanonicalRequest:
 _TOP_KEYS = frozenset({
     "net", "mode", "engine", "max_buffers", "prune", "min_slack",
     "max_segment_length", "deadline_seconds", "max_candidates",
-    "certify", "id", "wait",
+    "certify", "objective", "id", "wait",
 })
 
 _NET_KEYS = frozenset({"name", "sink_count", "span", "seed"})
@@ -289,6 +318,31 @@ def parse_request(payload: Any) -> CanonicalRequest:
         "span": _want_number("net.span", net["span"], positive=True),
         "seed": _want_int("net.seed", net["seed"], 0),
     }
+    if "objective" in payload and payload["objective"] is not None:
+        if "mode" in payload:
+            raise RequestRejected.malformed(
+                "'mode' and 'objective' are mutually exclusive: the "
+                "objective block carries its own mode"
+            )
+        if "min_slack" in payload:
+            raise RequestRejected.malformed(
+                "'min_slack' and 'objective' are mutually exclusive: the "
+                "objective block carries its own min_slack"
+            )
+        try:
+            objective = Objective.from_json(payload["objective"])
+        except ValueError as exc:
+            raise _reject("objective", str(exc)) from None
+        if objective.selection == "pareto":
+            raise _reject(
+                "objective",
+                "the pareto selection returns an outcome *set*; the "
+                "service answers with a single outcome — select "
+                "min-power or power-capped instead",
+            )
+        kwargs["objective"] = objective
+        kwargs["mode"] = objective.mode
+        kwargs["min_slack"] = objective.min_slack
     if "mode" in payload:
         kwargs["mode"] = _want_choice("mode", payload["mode"], MODES)
     if "engine" in payload:

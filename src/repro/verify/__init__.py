@@ -27,8 +27,10 @@ from .certificate import (
     certify_or_raise,
     certify_result,
     evaluate_assignment,
+    recompute_power,
 )
 from .fuzz import (
+    FUZZ_MODES,
     Counterexample,
     FuzzConfig,
     FuzzReport,
@@ -37,6 +39,7 @@ from .fuzz import (
     planted_buggy_engine,
     planted_buggy_fast_engine,
     planted_buggy_lishi_engine,
+    planted_buggy_power_engine,
     replay_file,
     run_fuzz,
     shrink_tree,
@@ -67,12 +70,14 @@ __all__ = [
     "certify_or_raise",
     "certify_result",
     "evaluate_assignment",
+    "recompute_power",
     "OracleBoundError",
     "OracleDisagreement",
     "OracleOutcome",
     "OracleResult",
     "compare_result_to_oracle",
     "exhaustive_oracle",
+    "FUZZ_MODES",
     "FuzzConfig",
     "FuzzReport",
     "Counterexample",
@@ -81,6 +86,7 @@ __all__ = [
     "planted_buggy_engine",
     "planted_buggy_fast_engine",
     "planted_buggy_lishi_engine",
+    "planted_buggy_power_engine",
     "replay_file",
     "run_fuzz",
     "shrink_tree",

@@ -34,8 +34,20 @@ Violation kinds (``CertificateViolation.kind``):
 ``count``          ``buffer_count`` differs from the assignment size
 ``cap``            an outcome exceeds the engine's ``max_buffers`` cap
 ``pareto``         the per-count outcome frontier is malformed
-                   (duplicate or unsorted counts)
+                   (duplicate or unsorted counts; in power mode, a
+                   per-count (slack, power) frontier that is not
+                   strictly improving)
+``power``          the outcome's claimed power differs from the
+                   re-derivation ``sum(buffer powers) + sum(wire
+                   powers over the whole tree)``
 =================  =====================================================
+
+The power re-derivation leans on the model being *separable*: wire
+power depends only on the tree (every wire toggles regardless of where
+buffers land), so total power is a straight sum over tree wires plus a
+sum over inserted buffers — no frontier bookkeeping required, which is
+exactly what makes it an independent check of the engine's monotone
+power accumulator.
 """
 
 from __future__ import annotations
@@ -102,6 +114,9 @@ class SolutionCertificate:
     #: per-node recomputed states (by node name).
     states: Mapping[str, NodeCertificate]
     violations: Tuple[CertificateViolation, ...]
+    #: re-derived total switching power, or ``None`` when no power
+    #: model was supplied (power-off certification).
+    power: Optional[float] = None
 
     @property
     def ok(self) -> bool:
@@ -124,6 +139,25 @@ def _close(a: float, b: float, rel_tol: float) -> bool:
     if math.isinf(a) or math.isinf(b):
         return a == b
     return math.isclose(a, b, rel_tol=rel_tol, abs_tol=ABS_TOL)
+
+
+def recompute_power(
+    tree: RoutingTree,
+    assignment: Mapping[str, BufferType],
+    power_model,
+) -> float:
+    """Re-derive total power from scratch: every tree wire toggles
+    (wire power is assignment-independent under the separable model)
+    plus one buffer term per inserted buffer.  Shares no code with the
+    engines' incremental accumulators."""
+    total = 0.0
+    for node in tree.postorder():
+        wire = node.parent_wire
+        if wire is not None:
+            total += power_model.wire_power(wire.capacitance)
+    for buffer in assignment.values():
+        total += power_model.buffer_power(buffer)
+    return total
 
 
 def _structural_violations(
@@ -159,6 +193,7 @@ def evaluate_assignment(
     driver: Optional[DriverCell] = None,
     check_polarity: bool = True,
     noise_tolerance: float = ABS_TOL,
+    power_model=None,
 ) -> SolutionCertificate:
     """Recompute ``(C, q, I, NS)`` bottom-up for one buffer assignment.
 
@@ -172,7 +207,9 @@ def evaluate_assignment(
     recorded with the offending node.
 
     ``driver`` defaults to ``tree.driver``.  The returned certificate
-    carries recomputed per-node states for deeper inspection.
+    carries recomputed per-node states for deeper inspection.  With a
+    ``power_model`` (a :class:`~repro.library.power.PowerModel`), the
+    certificate also carries the re-derived total power.
     """
     if driver is None:
         driver = tree.driver
@@ -214,6 +251,9 @@ def evaluate_assignment(
 
     # noise feasibility = driver fits AND no buffer-level noise violation
     noisy = any(v.kind == "noise" for v in violations)
+    power = None
+    if power_model is not None:
+        power = recompute_power(tree, valid, power_model)
     return SolutionCertificate(
         tree_name=tree.name,
         slack=slack,
@@ -221,6 +261,7 @@ def evaluate_assignment(
         buffer_count=len(valid),
         states=states,
         violations=tuple(violations),
+        power=power,
     )
 
 
@@ -313,19 +354,35 @@ def certify_claim(
     require_noise: bool = False,
     check_polarity: bool = True,
     rel_tol: float = REL_TOL,
+    claimed_power: Optional[float] = None,
+    power_model=None,
 ) -> SolutionCertificate:
     """Certify an assignment against the claims made about it.
 
     Beyond :func:`evaluate_assignment`'s internal consistency checks,
     this compares the claimed slack / noise flag / buffer count against
     the recomputation, and — with ``require_noise`` — demands actual
-    noise feasibility regardless of any claim.
+    noise feasibility regardless of any claim.  ``claimed_power``
+    (requires ``power_model``) is checked against the independent power
+    re-derivation.
     """
+    if claimed_power is not None and power_model is None:
+        raise CertificateError(
+            "claimed_power requires a power_model to re-derive against"
+        )
     certificate = evaluate_assignment(
         tree, assignment, coupling, driver=driver,
-        check_polarity=check_polarity,
+        check_polarity=check_polarity, power_model=power_model,
     )
     violations = list(certificate.violations)
+    if claimed_power is not None and not _close(
+        certificate.power, claimed_power, rel_tol
+    ):
+        violations.append(CertificateViolation(
+            kind="power", node=tree.source.name,
+            message="claimed power differs from the re-derivation",
+            expected=certificate.power, actual=claimed_power,
+        ))
     if claimed_slack is not None and not _close(
         certificate.slack, claimed_slack, rel_tol
     ):
@@ -366,6 +423,7 @@ def certify_claim(
         buffer_count=certificate.buffer_count,
         states=certificate.states,
         violations=tuple(violations),
+        power=certificate.power,
     )
 
 
@@ -423,16 +481,45 @@ def certify_result(
     """
     options = result.options
     tree = result.tree
+    power_model = getattr(options, "power", None)
     frontier_violations: List[CertificateViolation] = []
     counts = [o.buffer_count for o in result.outcomes]
-    if counts != sorted(set(counts)):
-        frontier_violations.append(CertificateViolation(
-            kind="pareto", node=tree.source.name,
-            message=(
-                "outcome counts are not strictly increasing: "
-                f"{counts}"
-            ),
-        ))
+    if power_model is None:
+        if counts != sorted(set(counts)):
+            frontier_violations.append(CertificateViolation(
+                kind="pareto", node=tree.source.name,
+                message=(
+                    "outcome counts are not strictly increasing: "
+                    f"{counts}"
+                ),
+            ))
+    else:
+        # Power mode keeps a (slack, power) frontier per count, so
+        # duplicate counts are legal — but counts must stay grouped
+        # and non-decreasing, and within a count both slack and power
+        # must be strictly increasing (each extra joule buys slack).
+        if counts != sorted(counts):
+            frontier_violations.append(CertificateViolation(
+                kind="pareto", node=tree.source.name,
+                message=f"outcome counts are not non-decreasing: {counts}",
+            ))
+        else:
+            by_count: Dict[int, List] = {}
+            for outcome in result.outcomes:
+                by_count.setdefault(outcome.buffer_count, []).append(outcome)
+            for count, group in by_count.items():
+                powers = [o.power for o in group]
+                slacks = [o.slack for o in group]
+                if powers != sorted(set(powers)) or (
+                    slacks != sorted(set(slacks))
+                ):
+                    frontier_violations.append(CertificateViolation(
+                        kind="pareto", node=tree.source.name,
+                        message=(
+                            f"count-{count} outcomes do not form a "
+                            "strict (power, slack) frontier"
+                        ),
+                    ))
     if options.max_buffers is not None:
         for outcome in result.outcomes:
             if outcome.buffer_count > options.max_buffers:
@@ -463,6 +550,10 @@ def certify_result(
             require_noise=options.noise_aware,
             check_polarity=options.enforce_polarity,
             rel_tol=rel_tol,
+            claimed_power=(
+                outcome.power if power_model is not None else None
+            ),
+            power_model=power_model,
         )
         violations = list(certificate.violations)
         if options.noise_aware and not outcome.noise_feasible:
@@ -480,6 +571,7 @@ def certify_result(
             buffer_count=certificate.buffer_count,
             states=certificate.states,
             violations=tuple(violations),
+            power=certificate.power,
         ))
     return ResultCertificate(
         tree_name=tree.name,
@@ -498,6 +590,8 @@ def certify_or_raise(
     driver: Optional[DriverCell] = None,
     require_noise: bool = False,
     rel_tol: float = REL_TOL,
+    claimed_power: Optional[float] = None,
+    power_model=None,
 ) -> SolutionCertificate:
     """:func:`certify_claim`, raising :class:`CertificateError` on failure.
 
@@ -514,6 +608,8 @@ def certify_or_raise(
         driver=driver,
         require_noise=require_noise,
         rel_tol=rel_tol,
+        claimed_power=claimed_power,
+        power_model=power_model,
     )
     if not certificate.ok:
         summary = "; ".join(v.describe() for v in certificate.violations)

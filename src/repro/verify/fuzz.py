@@ -28,6 +28,7 @@ from ..core.dp import ENGINE_CHOICES, DPOptions, DPResult, run_dp
 from ..errors import InfeasibleError, ReproError
 from ..io import net_from_dict, net_to_dict
 from ..library.buffers import BufferLibrary, default_buffer_library
+from ..library.power import PowerModel, default_power_model
 from ..library.technology import default_technology
 from ..noise.coupling import CouplingModel
 from ..tree.topology import RoutingTree, Wire
@@ -36,10 +37,18 @@ from .certificate import certify_result
 from .oracle import OracleBoundError, compare_result_to_oracle, exhaustive_oracle
 from .treegen import random_tree
 
-#: an Engine maps (tree, library, coupling, noise_aware, max_buffers)
-#: to a DPResult — the seam where a deliberately broken engine is
+#: an Engine maps (tree, library, coupling, noise_aware, max_buffers,
+#: power) to a DPResult — the seam where a deliberately broken engine is
 #: injected for self-tests.
 Engine = Callable[..., DPResult]
+
+#: fuzz modes: the base pair plus their power-model variants.
+FUZZ_MODES = ("delay", "buffopt", "delay-power", "buffopt-power")
+
+
+def _mode_flags(mode: str) -> Tuple[bool, bool]:
+    """``(noise_aware, power_active)`` for a fuzz mode string."""
+    return mode.startswith("buffopt"), mode.endswith("-power")
 
 
 def default_engine(
@@ -49,18 +58,22 @@ def default_engine(
     noise_aware: bool,
     max_buffers: Optional[int] = None,
     dp_engine: str = "reference",
+    power: Optional[PowerModel] = None,
 ) -> DPResult:
     """The real engine, configured the way the fuzzer checks it.
 
     ``dp_engine`` selects the DP implementation (any of
     :data:`repro.core.dp.ENGINE_CHOICES`) — ``buffopt fuzz --engine
     lishi`` points the whole campaign at the lishi engine's code paths.
+    ``power`` (set in the ``*-power`` fuzz modes) runs the DP with the
+    power accumulator on.
     """
     options = DPOptions(
         noise_aware=noise_aware,
         track_counts=True,
         max_buffers=max_buffers,
         engine=dp_engine,
+        power=power,
     )
     return run_dp(tree, library, coupling=coupling, options=options)
 
@@ -68,10 +81,11 @@ def default_engine(
 def engine_for(dp_engine: str) -> Engine:
     """An :data:`Engine` callable bound to one DP implementation."""
 
-    def engine(tree, library, coupling, noise_aware, max_buffers=None):
+    def engine(tree, library, coupling, noise_aware, max_buffers=None,
+               power=None):
         return default_engine(
             tree, library, coupling, noise_aware, max_buffers,
-            dp_engine=dp_engine,
+            dp_engine=dp_engine, power=power,
         )
 
     return engine
@@ -88,14 +102,46 @@ def planted_buggy_engine(
     ``min_sinks``-sink net (single-sink nets behave correctly).
     """
 
-    def engine(tree, library, coupling, noise_aware, max_buffers=None):
+    def engine(tree, library, coupling, noise_aware, max_buffers=None,
+               power=None):
         result = default_engine(
-            tree, library, coupling, noise_aware, max_buffers
+            tree, library, coupling, noise_aware, max_buffers, power=power
         )
         if len(tree.sinks) < min_sinks:
             return result
         outcomes = tuple(
             replace(o, slack=o.slack + abs(o.slack) * slack_inflation + 1e-12)
+            for o in result.outcomes
+        )
+        return replace(result, outcomes=outcomes)
+
+    return engine
+
+
+def planted_buggy_power_engine(
+    understatement: float = 0.5, min_sinks: int = 2
+) -> Engine:
+    """An engine that under-accumulates power, for fuzzer self-tests.
+
+    On trees with at least ``min_sinks`` sinks every outcome's claimed
+    power is scaled by ``understatement`` — the canonical accumulator
+    bug (a wire or buffer contribution dropped somewhere in the
+    recurrence).  Timing claims stay correct, so only the certificate's
+    *power re-derivation* (:func:`repro.verify.recompute_power`), which
+    shares no code with the engine accumulators, can notice.  The
+    self-test asserts the power fuzz modes catch this; the non-power
+    modes must NOT (the mutant is invisible without a power model).
+    """
+
+    def engine(tree, library, coupling, noise_aware, max_buffers=None,
+               power=None):
+        result = default_engine(
+            tree, library, coupling, noise_aware, max_buffers, power=power
+        )
+        if power is None or len(tree.sinks) < min_sinks:
+            return result
+        outcomes = tuple(
+            replace(o, power=o.power * understatement)
             for o in result.outcomes
         )
         return replace(result, outcomes=outcomes)
@@ -121,17 +167,19 @@ def planted_buggy_fast_engine(min_sinks: int = 2) -> Engine:
             kept = super()._prune_timing(candidates)
             return kept[:1]
 
-    def engine(tree, library, coupling, noise_aware, max_buffers=None):
+    def engine(tree, library, coupling, noise_aware, max_buffers=None,
+               power=None):
         if len(tree.sinks) < min_sinks:
             return default_engine(
                 tree, library, coupling, noise_aware, max_buffers,
-                dp_engine="fast",
+                dp_engine="fast", power=power,
             )
         options = DPOptions(
             noise_aware=noise_aware,
             track_counts=True,
             max_buffers=max_buffers,
             engine="fast",
+            power=power,
         )
         driver = tree.driver
         if driver is None:
@@ -164,17 +212,19 @@ def planted_buggy_lishi_engine(min_sinks: int = 2) -> Engine:
             kept = super()._prune_timing(candidates, frontier)
             return kept[:1]
 
-    def engine(tree, library, coupling, noise_aware, max_buffers=None):
+    def engine(tree, library, coupling, noise_aware, max_buffers=None,
+               power=None):
         if len(tree.sinks) < min_sinks:
             return default_engine(
                 tree, library, coupling, noise_aware, max_buffers,
-                dp_engine="lishi",
+                dp_engine="lishi", power=power,
             )
         options = DPOptions(
             noise_aware=noise_aware,
             track_counts=True,
             max_buffers=max_buffers,
             engine="lishi",
+            power=power,
         )
         driver = tree.driver
         if driver is None:
@@ -198,6 +248,8 @@ class FuzzConfig:
     #: finite sink RATs — without them every slack is ``inf`` and slack
     #: comparisons are vacuous, so fuzzing defaults to finite RATs.
     with_rats: bool = True
+    #: any of :data:`FUZZ_MODES`; the ``*-power`` variants run the DP
+    #: with the default power model and add the power oracle legs.
     modes: Tuple[str, ...] = ("delay", "buffopt")
     max_buffers: Optional[int] = None
     #: run DP-vs-oracle comparisons on nets with at most this many sites
@@ -220,7 +272,7 @@ class FuzzConfig:
         if self.iterations < 1:
             raise ValueError(f"iterations must be >= 1, got {self.iterations}")
         for mode in self.modes:
-            if mode not in ("delay", "buffopt"):
+            if mode not in FUZZ_MODES:
                 raise ValueError(f"unknown fuzz mode {mode!r}")
         if self.engine not in ENGINE_CHOICES:
             raise ValueError(
@@ -354,12 +406,14 @@ def check_tree(
         1 for n in tree.nodes() if n.is_internal and n.feasible
     )
     for mode in config.modes:
-        noise_aware = mode == "buffopt"
+        noise_aware, power_active = _mode_flags(mode)
+        power_model = default_power_model() if power_active else None
         mode_coupling = coupling if noise_aware else CouplingModel.silent()
         try:
             result = engine(
                 tree, library, mode_coupling,
                 noise_aware=noise_aware, max_buffers=config.max_buffers,
+                power=power_model,
             )
         except InfeasibleError:
             skipped += 1
@@ -378,6 +432,7 @@ def check_tree(
                 small_result = engine(
                     tree, small, mode_coupling,
                     noise_aware=noise_aware, max_buffers=config.max_buffers,
+                    power=power_model,
                 )
                 oracle = exhaustive_oracle(
                     tree, small, mode_coupling,
@@ -385,6 +440,7 @@ def check_tree(
                     max_buffers=config.max_buffers,
                     max_sites=config.oracle_sites,
                     max_assignments=config.oracle_max_assignments,
+                    power_model=power_model,
                 )
             except (InfeasibleError, OracleBoundError):
                 skipped += 1

@@ -16,11 +16,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..library.buffers import BufferLibrary, BufferType
+from ..library.power import PowerModel
 from ..noise.coupling import CouplingModel
 from ..tree.topology import RoutingTree
-from .certificate import SolutionCertificate, certify_claim, evaluate_assignment
+from .certificate import (
+    SolutionCertificate,
+    certify_claim,
+    evaluate_assignment,
+    recompute_power,
+)
 
-#: every mutation class this module can generate.
+#: every mutation class this module can generate.  ``understate-power``
+#: is generated only when a power model is supplied.
 MUTATION_CLASSES = (
     "move-buffer",
     "drop-buffer",
@@ -28,6 +35,7 @@ MUTATION_CLASSES = (
     "inflate-slack",
     "flip-noise-claim",
     "illegal-site",
+    "understate-power",
 )
 
 
@@ -41,6 +49,9 @@ class MutatedClaim:
     claimed_slack: float
     claimed_noise_feasible: bool
     claimed_buffer_count: int
+    #: power the mutated claim asserts; ``None`` means no power claim
+    #: (the certifier then skips the power re-derivation).
+    claimed_power: Optional[float] = None
 
 
 def mutate_claims(
@@ -49,6 +60,7 @@ def mutate_claims(
     coupling: CouplingModel,
     library: BufferLibrary,
     driver=None,
+    power_model: Optional[PowerModel] = None,
 ) -> List[MutatedClaim]:
     """All applicable mutations of a known-good solution.
 
@@ -56,7 +68,9 @@ def mutate_claims(
     :func:`~repro.verify.certificate.evaluate_assignment`, so the
     mutations corrupt *verified* claims — each mutated pair keeps the
     original claims while silently changing the assignment (stale-claim
-    bugs), or keeps the assignment while lying about the claims.
+    bugs), or keeps the assignment while lying about the claims.  With
+    ``power_model``, the ``understate-power`` class (an accumulator that
+    silently dropped contributions) is generated as well.
     """
     truth = evaluate_assignment(tree, assignment, coupling, driver=driver)
     slack = truth.slack
@@ -156,6 +170,22 @@ def mutate_claims(
         claimed_noise_feasible=noise_feasible,
         claimed_buffer_count=count,
     ))
+
+    if power_model is not None:
+        true_power = recompute_power(tree, dict(assignment), power_model)
+        understated = true_power * 0.5
+        mutations.append(MutatedClaim(
+            mutation="understate-power",
+            description=(
+                f"claimed power understated {true_power!r} -> "
+                f"{understated!r} (dropped accumulator contributions)"
+            ),
+            assignment=dict(assignment),
+            claimed_slack=slack,
+            claimed_noise_feasible=noise_feasible,
+            claimed_buffer_count=count,
+            claimed_power=understated,
+        ))
     return mutations
 
 
@@ -164,6 +194,7 @@ def certificate_for_mutation(
     mutated: MutatedClaim,
     coupling: CouplingModel,
     driver=None,
+    power_model: Optional[PowerModel] = None,
 ) -> SolutionCertificate:
     """Certify one mutated claim (violations expected)."""
     return certify_claim(
@@ -174,6 +205,8 @@ def certificate_for_mutation(
         claimed_noise_feasible=mutated.claimed_noise_feasible,
         claimed_buffer_count=mutated.claimed_buffer_count,
         driver=driver,
+        claimed_power=mutated.claimed_power,
+        power_model=power_model if mutated.claimed_power is not None else None,
     )
 
 
@@ -183,6 +216,7 @@ def surviving_mutations(
     coupling: CouplingModel,
     library: BufferLibrary,
     driver=None,
+    power_model: Optional[PowerModel] = None,
 ) -> Tuple[List[MutatedClaim], List[MutatedClaim]]:
     """Partition mutations into ``(caught, escaped)`` by the certifier.
 
@@ -191,9 +225,9 @@ def surviving_mutations(
     caught: List[MutatedClaim] = []
     escaped: List[MutatedClaim] = []
     for mutated in mutate_claims(tree, assignment, coupling, library,
-                                 driver=driver):
+                                 driver=driver, power_model=power_model):
         certificate = certificate_for_mutation(
-            tree, mutated, coupling, driver=driver
+            tree, mutated, coupling, driver=driver, power_model=power_model
         )
         (caught if not certificate.ok else escaped).append(mutated)
     return caught, escaped

@@ -32,9 +32,10 @@ from ..core.wire_sizing import WireSizingSpec, apply_wire_widths
 from ..errors import InfeasibleError, ReproError
 from ..library.buffers import BufferLibrary, BufferType
 from ..library.cells import DriverCell
+from ..library.power import PowerModel
 from ..noise.coupling import CouplingModel
 from ..tree.topology import RoutingTree
-from .certificate import evaluate_assignment
+from .certificate import evaluate_assignment, recompute_power
 
 #: hard ceiling on enumerated assignments before the oracle refuses.
 DEFAULT_MAX_ASSIGNMENTS = 500_000
@@ -59,6 +60,8 @@ class OracleOutcome:
     noise_feasible: bool
     #: wire width choices ((parent, child), width) when sizing enumerated.
     wire_widths: Tuple[Tuple[Tuple[str, str], float], ...] = ()
+    #: certificate-recomputed power; None when no power model was given.
+    power: Optional[float] = None
 
     def assignment_dict(self, library: BufferLibrary) -> Dict[str, BufferType]:
         by_name = {b.name: b for b in library}
@@ -137,6 +140,59 @@ class OracleResult:
 
         return min(meeting, key=lambda o: (total(o), -o.slack))
 
+    def min_power(
+        self, min_slack: float = 0.0, require_noise: Optional[bool] = None
+    ) -> OracleOutcome:
+        """Least-power legal outcome meeting ``min_slack``.
+
+        Mirrors :meth:`DPResult.min_power`'s tie-breaks (more slack,
+        then fewer buffers) and its max-slack fallback when nothing
+        reaches the threshold.  Requires the oracle to have been
+        enumerated with a ``power_model``.
+        """
+        pool = self._power_pool(require_noise, "min_power")
+        meeting = [o for o in pool if o.slack >= min_slack]
+        if meeting:
+            return min(
+                meeting, key=lambda o: (o.power, -o.slack, o.buffer_count)
+            )
+        return max(pool, key=lambda o: (o.slack, -o.power, -o.buffer_count))
+
+    def power_capped(
+        self, power_cap: float, require_noise: Optional[bool] = None
+    ) -> OracleOutcome:
+        """Best-slack legal outcome within ``power_cap`` watts.
+
+        Mirrors :meth:`DPResult.power_capped`: the cap is hard — when no
+        enumerated assignment fits it, :class:`InfeasibleError` is
+        raised rather than falling back.
+        """
+        pool = self._power_pool(require_noise, "power_capped")
+        meeting = [o for o in pool if o.power <= power_cap]
+        if not meeting:
+            raise InfeasibleError(
+                f"oracle for {self.tree_name!r}: no assignment within "
+                f"power cap {power_cap!r} (minimum is "
+                f"{min(o.power for o in pool)!r})"
+            )
+        return max(meeting, key=lambda o: (o.slack, -o.power, -o.buffer_count))
+
+    def _power_pool(
+        self, require_noise: Optional[bool], selection: str
+    ) -> List[OracleOutcome]:
+        pool = self._pool(require_noise)
+        if not pool:
+            raise InfeasibleError(
+                f"oracle for {self.tree_name!r}: no noise-feasible "
+                "assignment exists in the enumerated space"
+            )
+        if any(o.power is None for o in pool):
+            raise ValueError(
+                f"the {selection!r} selection needs the oracle enumerated "
+                "with a power_model"
+            )
+        return pool
+
     def best_slack_within(
         self, buffer_count: int, require_noise: bool = False
     ) -> float:
@@ -165,6 +221,7 @@ def exhaustive_oracle(
     sizing: Optional[WireSizingSpec] = None,
     max_sites: int = 8,
     max_assignments: int = DEFAULT_MAX_ASSIGNMENTS,
+    power_model: Optional[PowerModel] = None,
 ) -> OracleResult:
     """Enumerate and evaluate every legal buffer assignment on a net.
 
@@ -236,6 +293,10 @@ def exhaustive_oracle(
                 v.kind == "polarity" for v in certificate.violations
             ):
                 continue  # illegal, not merely bad
+            power = (
+                None if power_model is None
+                else recompute_power(work_tree, assignment, power_model)
+            )
             outcomes.append(OracleOutcome(
                 assignment=tuple(sorted(
                     (node, buffer.name)
@@ -245,6 +306,7 @@ def exhaustive_oracle(
                 slack=certificate.slack,
                 noise_feasible=certificate.noise_feasible,
                 wire_widths=width_record,
+                power=power,
             ))
     return OracleResult(
         tree_name=tree.name,
@@ -306,6 +368,13 @@ def compare_result_to_oracle(
     too: the DP's total can never undercut the exhaustive minimum
     (soundness); with ``cost_exact`` the totals must be equal — only
     assert that for uniform costs, where the frontier search is exact.
+
+    When the DP ran with a power model (``result.options.power``) and
+    the oracle enumerated one, the power selections are compared too:
+    ``min_power`` totals can never undercut the exhaustive minimum and
+    ``power_capped`` slacks can never beat the capped optimum
+    (soundness); with ``exact`` both must match, and cap feasibility
+    must agree in both directions.
     """
     options = result.options
     if exact is None:
@@ -471,4 +540,103 @@ def compare_result_to_oracle(
                     f"DP minimize_cost total {dp_total!r} != exhaustive "
                     f"minimum {oracle_total!r} at min_slack={min_slack!r}",
                 ))
+
+    # -- power selections (power-model runs only) -----------------------
+    power_active = (
+        getattr(options, "power", None) is not None
+        and any(o.power is not None for o in oracle.outcomes)
+    )
+    if power_active:
+        # min_power(min_slack): the DP can never spend less power than
+        # the exhaustive minimum at the same threshold.
+        for min_slack in min_slacks:
+            dp_mp = dp_select(result.min_power, min_slack)
+            oracle_mp = oracle_select(oracle.min_power, min_slack,
+                                      options.noise_aware)
+            if dp_mp is None or oracle_mp is None:
+                continue  # pool emptiness already handled via best()
+            dp_meets = dp_mp.slack >= min_slack
+            oracle_meets = oracle_mp.slack >= min_slack
+            if dp_meets and not oracle_meets:
+                disagreements.append(OracleDisagreement(
+                    "power",
+                    f"DP min_power meets min_slack={min_slack!r} but the "
+                    "oracle says the threshold is unreachable",
+                ))
+            elif dp_meets and oracle_meets:
+                if (dp_mp.power < oracle_mp.power
+                        and not close(dp_mp.power, oracle_mp.power)):
+                    disagreements.append(OracleDisagreement(
+                        "power",
+                        f"DP min_power total {dp_mp.power!r} undercuts the "
+                        f"exhaustive minimum {oracle_mp.power!r} at "
+                        f"min_slack={min_slack!r}",
+                    ))
+                elif exact and not close(dp_mp.power, oracle_mp.power):
+                    disagreements.append(OracleDisagreement(
+                        "power",
+                        f"DP min_power total {dp_mp.power!r} != exhaustive "
+                        f"minimum {oracle_mp.power!r} at "
+                        f"min_slack={min_slack!r}",
+                    ))
+            elif exact and not dp_meets and oracle_meets:
+                disagreements.append(OracleDisagreement(
+                    "power",
+                    f"DP min_power falls back below min_slack={min_slack!r} "
+                    "but the oracle meets it",
+                ))
+
+        # power_capped(cap): probe caps derived from the oracle's own
+        # power range so both reachable and borderline caps are covered.
+        pool_powers = sorted({
+            o.power for o in oracle.outcomes
+            if o.power is not None
+            and (o.noise_feasible or not options.noise_aware)
+        })
+        probe_caps = []
+        if pool_powers:
+            probe_caps = [
+                pool_powers[0],
+                pool_powers[len(pool_powers) // 2],
+                pool_powers[-1],
+            ]
+        for cap in probe_caps:
+            # nudge the cap up an ulp so float-equal powers stay inside
+            probe = cap * (1.0 + 1e-12) if cap > 0 else cap
+            dp_pc = dp_select(result.power_capped, probe)
+            oracle_pc = oracle_select(oracle.power_capped, probe,
+                                      options.noise_aware)
+            if dp_pc is not None and oracle_pc is None:
+                disagreements.append(OracleDisagreement(
+                    "power",
+                    f"DP power_capped({probe!r}) reports a solution but "
+                    "the oracle found none within the cap",
+                ))
+            elif dp_pc is None and oracle_pc is not None and exact:
+                disagreements.append(OracleDisagreement(
+                    "power",
+                    f"DP power_capped({probe!r}) raises InfeasibleError "
+                    f"but the oracle fits the cap with slack "
+                    f"{oracle_pc.slack!r}",
+                ))
+            elif dp_pc is not None and oracle_pc is not None:
+                if not at_most(dp_pc.slack, oracle_pc.slack):
+                    disagreements.append(OracleDisagreement(
+                        "power",
+                        f"DP power_capped({probe!r}) slack {dp_pc.slack!r} "
+                        f"beats the capped exhaustive optimum "
+                        f"{oracle_pc.slack!r}",
+                    ))
+                elif exact and not close(dp_pc.slack, oracle_pc.slack):
+                    disagreements.append(OracleDisagreement(
+                        "power",
+                        f"DP power_capped({probe!r}) slack {dp_pc.slack!r} "
+                        f"!= capped exhaustive optimum {oracle_pc.slack!r}",
+                    ))
+                if dp_pc.power > probe and not close(dp_pc.power, probe):
+                    disagreements.append(OracleDisagreement(
+                        "power",
+                        f"DP power_capped({probe!r}) returned an outcome "
+                        f"claiming power {dp_pc.power!r}, above the cap",
+                    ))
     return disagreements

@@ -17,6 +17,13 @@ from .generator import (
     population_specs,
     total_capacitance_rank,
 )
+from .power import (
+    PowerConstrainedNet,
+    PowerWorkloadConfig,
+    generate_power_population,
+    median_buffer_power,
+    power_cap_for_tree,
+)
 
 __all__ = [
     "DEFAULT_SINK_BUCKETS",
@@ -28,6 +35,11 @@ __all__ = [
     "default_sink_distribution",
     "generate_net_from_spec",
     "generate_population",
+    "generate_power_population",
+    "median_buffer_power",
+    "power_cap_for_tree",
+    "PowerConstrainedNet",
+    "PowerWorkloadConfig",
     "population_sink_histogram",
     "population_specs",
     "realized_histogram",

@@ -1,0 +1,143 @@
+"""Power-constrained global-net workload family.
+
+The paper's population (:mod:`.generator`) makes nets *timing*- and
+*noise*-critical; this family adds the third axis: every net gets a
+hard power cap, sized from its own physics so the cap is always
+*feasible* yet usually *binding*.
+
+The cap construction is deliberately assignment-independent: without
+wire sizing, a net's wire power is fixed — only buffers add power — so
+
+    ``cap = wire_power(net) + buffer_budget * median_buffer_power``
+
+is met by the zero-buffer solution for any ``buffer_budget >= 0``
+(feasibility by construction), while budgets around the typical 1–4
+buffers the population needs make the cap bite exactly where DelayOpt
+would otherwise buffer freely.  Each generated net carries a ready
+``power-capped`` :class:`~repro.core.objective.Objective` so batch runs
+can consume the family directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.objective import Objective
+from ..errors import WorkloadError
+from ..library.buffers import BufferLibrary, default_buffer_library
+from ..library.power import PowerModel, default_power_model
+from ..tree.topology import RoutingTree
+from .generator import GeneratedNet, WorkloadConfig, generate_population
+
+__all__ = [
+    "PowerWorkloadConfig",
+    "PowerConstrainedNet",
+    "generate_power_population",
+    "median_buffer_power",
+    "power_cap_for_tree",
+]
+
+
+def median_buffer_power(
+    library: BufferLibrary, power_model: PowerModel
+) -> float:
+    """Median per-insertion buffer power over a library's cells."""
+    powers = sorted(power_model.buffer_power(b) for b in library)
+    if not powers:
+        raise WorkloadError("cannot price a power cap on an empty library")
+    return powers[len(powers) // 2]
+
+
+def power_cap_for_tree(
+    tree: RoutingTree,
+    power_model: PowerModel,
+    library: BufferLibrary,
+    buffer_budget: float,
+) -> float:
+    """A feasible-by-construction power cap for one net.
+
+    The intrinsic (assignment-independent) wire power plus a budget of
+    ``buffer_budget`` median-library buffers.  ``buffer_budget`` may be
+    fractional — 2.5 means "half-way between affording two and three
+    typical buffers".
+    """
+    if buffer_budget < 0:
+        raise WorkloadError(
+            f"buffer_budget must be >= 0, got {buffer_budget}"
+        )
+    wire_power = sum(
+        power_model.wire_power(wire.capacitance) for wire in tree.wires()
+    )
+    return wire_power + buffer_budget * median_buffer_power(
+        library, power_model
+    )
+
+
+@dataclass(frozen=True)
+class PowerWorkloadConfig:
+    """Knobs of the power-constrained population."""
+
+    #: the underlying timing/noise population.
+    base: WorkloadConfig = field(default_factory=WorkloadConfig)
+    #: buffers' worth of power headroom above each net's wire power.
+    buffer_budget: float = 3.0
+    #: whether the per-net objectives run the noise-aware recurrence
+    #: (``buffopt``) or plain van Ginneken (``delay``).
+    noise_aware: bool = True
+
+    def __post_init__(self) -> None:
+        if self.buffer_budget < 0:
+            raise WorkloadError(
+                f"buffer_budget must be >= 0, got {self.buffer_budget}"
+            )
+
+
+@dataclass(frozen=True)
+class PowerConstrainedNet:
+    """One workload net plus its power cap and ready-made objective."""
+
+    net: GeneratedNet
+    power_cap: float
+    objective: Objective
+
+    @property
+    def tree(self) -> RoutingTree:
+        return self.net.tree
+
+    @property
+    def name(self) -> str:
+        return self.net.name
+
+
+def generate_power_population(
+    config: Optional[PowerWorkloadConfig] = None,
+    library: Optional[BufferLibrary] = None,
+    power_model: Optional[PowerModel] = None,
+) -> List[PowerConstrainedNet]:
+    """The power-constrained population: base nets + per-net caps.
+
+    Deterministic in ``(config, library, power_model)`` — the caps are
+    pure functions of each net's wires, so the family inherits the base
+    generator's seed discipline.
+    """
+    if config is None:
+        config = PowerWorkloadConfig()
+    if library is None:
+        library = default_buffer_library()
+    if power_model is None:
+        power_model = default_power_model()
+    mode = "buffopt" if config.noise_aware else "delay"
+    population = []
+    for net in generate_population(config.base):
+        cap = power_cap_for_tree(
+            net.tree, power_model, library, config.buffer_budget
+        )
+        population.append(PowerConstrainedNet(
+            net=net,
+            power_cap=cap,
+            objective=Objective(
+                mode=mode, selection="power-capped", power_cap=cap
+            ),
+        ))
+    return population

@@ -36,6 +36,7 @@ directory on ``sys.path``, as the engine tests do.
 import math
 
 from repro import CouplingModel, DPOptions, run_dp
+from repro.errors import InfeasibleError
 from repro.verify import (
     certify_result,
     compare_result_to_oracle,
@@ -186,6 +187,131 @@ def assert_priced_equivalence(
                 f"exceeds priced slack {outcome.slack!r} plus the "
                 f"posted prices {posted!r} at count {outcome.buffer_count}"
             )
+    return result
+
+
+def _power_selection(result, picker):
+    """One power selection as comparable data (or the InfeasibleError)."""
+    try:
+        outcome = picker(result)
+    except InfeasibleError:
+        return "infeasible"
+    return (outcome.buffer_count, outcome.slack, outcome.power)
+
+
+def assert_power_selections_equivalent(reference, other, context=""):
+    """The power *selections* match within the documented tolerance.
+
+    Power mode relaxes the frontier-shape contract for the lishi
+    engine: its ``(slack, power)`` dominance key compares ulp-apart
+    values that the reference's merge order collapses, so the raw
+    frontiers may split float ties differently.  What callers consume —
+    ``min_power`` and ``power_capped`` — must still agree: same buffer
+    count, slack and power equal within :data:`REL_TOL`/:data:`ABS_TOL`.
+    Caps are probed at the reference's own outcome powers (min, median,
+    max), each nudged up one part in 1e12 so a float-equal power an ulp
+    above the probe still sits inside the cap on both sides.
+    """
+    if not reference.outcomes or not other.outcomes:
+        assert bool(reference.outcomes) == bool(other.outcomes), (
+            f"{context}: one side has an empty frontier: "
+            f"{len(reference.outcomes)} vs {len(other.outcomes)} outcomes"
+        )
+        return
+    pickers = [("min_power(0)", lambda r: r.min_power(min_slack=0.0))]
+    powers = sorted(o.power for o in reference.outcomes)
+    for cap in {powers[0], powers[len(powers) // 2], powers[-1]}:
+        nudged = cap * (1.0 + 1e-12) if cap > 0 else cap
+        pickers.append((
+            f"power_capped({nudged!r})",
+            lambda r, c=nudged: r.power_capped(c),
+        ))
+    for label, picker in pickers:
+        ref_pick = _power_selection(reference, picker)
+        other_pick = _power_selection(other, picker)
+        if ref_pick == "infeasible" or other_pick == "infeasible":
+            assert ref_pick == other_pick, (
+                f"{context}: {label} feasibility diverged: "
+                f"{ref_pick} vs {other_pick}"
+            )
+            continue
+        ref_count, ref_slack, ref_power = ref_pick
+        other_count, other_slack, other_power = other_pick
+        assert ref_count == other_count, (
+            f"{context}: {label} buffer count diverged: "
+            f"{ref_count} vs {other_count}"
+        )
+        for field, ref_value, other_value in (
+            ("slack", ref_slack, other_slack),
+            ("power", ref_power, other_power),
+        ):
+            assert math.isclose(
+                ref_value, other_value, rel_tol=REL_TOL, abs_tol=ABS_TOL
+            ), (
+                f"{context}: {label} {field} diverged: "
+                f"{ref_value!r} vs {other_value!r}"
+            )
+
+
+def assert_power_equivalence(
+    tree,
+    library,
+    power_model,
+    coupling=None,
+    engine="lishi",
+    engine_callable=None,
+    context="",
+    **option_kwargs,
+):
+    """Cross-engine equivalence of the power-carrying DP.
+
+    Three layers, mirroring :func:`assert_semantic_equivalence` but
+    holding the *selections* rather than the raw frontier to the float
+    tolerance (see :func:`assert_power_selections_equivalent`):
+
+    1. selection equivalence against the reference engine;
+    2. the independent certificate, which re-derives every outcome's
+       power with the separable model (``repro.verify.recompute_power``)
+       — an engine that under-accumulates power cannot pass it;
+    3. on oracle-sized nets, the exhaustive power legs of
+       :func:`~repro.verify.compare_result_to_oracle` (soundness
+       always; exactness in delay mode, where the power DP does a full
+       cross merge).
+
+    Returns the engine-side result.
+    """
+    if not option_kwargs.get("noise_aware", False):
+        coupling = CouplingModel.silent()
+    coupling = coupling or CouplingModel.silent()
+    context = context or f"{tree.name} [{engine}, power]"
+    reference = run_dp(
+        tree, library, coupling,
+        DPOptions(engine="reference", power=power_model, **option_kwargs),
+    )
+    options = DPOptions(engine=engine, power=power_model, **option_kwargs)
+    if engine_callable is not None:
+        result = engine_callable(tree, library, coupling, options)
+    else:
+        result = run_dp(tree, library, coupling, options)
+    assert_power_selections_equivalent(reference, result, context)
+    assert_certificate_clean(result, coupling, tree.driver, context)
+    if oracle_sized(tree) and result.options.sizing is None:
+        oracle = exhaustive_oracle(
+            tree,
+            library,
+            coupling,
+            noise_aware=option_kwargs.get("noise_aware", False),
+            max_buffers=result.options.max_buffers,
+            enforce_polarity=result.options.enforce_polarity,
+            max_sites=ORACLE_MAX_SITES,
+            power_model=power_model,
+        )
+        disagreements = compare_result_to_oracle(
+            result, oracle, exact=False, rel_tol=REL_TOL, abs_tol=ABS_TOL
+        )
+        assert not disagreements, (
+            f"{context}: " + "; ".join(d.describe() for d in disagreements)
+        )
     return result
 
 

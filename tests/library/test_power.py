@@ -1,0 +1,83 @@
+"""The PowerModel: parameter validation and the two CMOS terms."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.library.buffers import default_buffer_library
+from repro.library.power import PowerModel, default_power_model
+from repro.library.technology import default_technology
+
+TECH = default_technology()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("activity", [0.0, -0.1, 1.5])
+    def test_activity_must_lie_in_unit_interval(self, activity):
+        with pytest.raises(TechnologyError, match="activity"):
+            PowerModel(technology=TECH, activity=activity)
+
+    @pytest.mark.parametrize("frequency", [0.0, -1e9, float("inf")])
+    def test_frequency_must_be_positive_finite(self, frequency):
+        with pytest.raises(TechnologyError, match="frequency"):
+            PowerModel(technology=TECH, frequency=frequency)
+
+    def test_short_circuit_fraction_must_be_nonnegative(self):
+        with pytest.raises(TechnologyError, match="short_circuit"):
+            PowerModel(technology=TECH, short_circuit_fraction=-0.1)
+
+
+class TestTerms:
+    def test_wire_power_is_alpha_c_v2_f(self):
+        model = PowerModel(
+            technology=TECH, activity=0.2, frequency=2.0e9,
+            short_circuit_fraction=0.0,
+        )
+        capacitance = 1e-13
+        expected = 0.2 * TECH.vdd**2 * 2.0e9 * capacitance
+        assert model.wire_power(capacitance) == pytest.approx(expected)
+        # linear in C: segmentation cannot change a net's wire power
+        assert model.wire_power(2 * capacitance) == pytest.approx(
+            2 * model.wire_power(capacitance)
+        )
+
+    def test_buffer_power_adds_the_short_circuit_surcharge(self):
+        buffer = next(iter(default_buffer_library()))
+        base = PowerModel(
+            technology=TECH, short_circuit_fraction=0.0
+        ).buffer_power(buffer)
+        surcharged = PowerModel(
+            technology=TECH, short_circuit_fraction=0.25
+        ).buffer_power(buffer)
+        assert surcharged == pytest.approx(base * 1.25)
+        assert base == pytest.approx(
+            PowerModel(technology=TECH, short_circuit_fraction=0.0)
+            .wire_power(buffer.input_capacitance)
+        )
+
+    def test_larger_buffers_cost_more(self):
+        model = default_power_model()
+        powers = [model.buffer_power(b) for b in default_buffer_library()]
+        assert all(p > 0.0 for p in powers)
+        assert len(set(powers)) > 1
+
+
+class TestSerialization:
+    def test_to_json_round_trips_the_parameters(self):
+        model = PowerModel(
+            technology=TECH, activity=0.3, frequency=1.5e9,
+            short_circuit_fraction=0.2,
+        )
+        block = model.to_json()
+        assert block["technology"] == TECH.name
+        rebuilt = PowerModel(
+            technology=TECH,
+            activity=block["activity"],
+            frequency=block["frequency"],
+            short_circuit_fraction=block["short_circuit_fraction"],
+        )
+        assert rebuilt == model
+
+    def test_default_model_rides_the_default_technology(self):
+        assert default_power_model().technology == TECH
+        other = default_power_model(TECH)
+        assert other.technology is TECH

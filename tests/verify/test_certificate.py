@@ -203,3 +203,110 @@ class TestResultCertificate:
         )
         certificate = evaluate_assignment(net, {}, CouplingModel.silent())
         assert math.isinf(certificate.slack)
+
+
+class TestPowerCertification:
+    """The certifier's independent power re-derivation."""
+
+    @pytest.fixture
+    def power_run(self, tech, driver, library):
+        from repro.library.power import default_power_model
+
+        net = two_pin_net(
+            tech, 8000 * UM, driver, sink_capacitance=20 * FF,
+            noise_margin=0.8, required_arrival=2000 * PS, segments=6,
+            name="power_host",
+        )
+        power = default_power_model()
+        result = run_dp(
+            net, library, coupling=CouplingModel.silent(),
+            options=DPOptions(noise_aware=False, power=power),
+        )
+        assert any(o.buffer_count for o in result.outcomes)
+        return net, power, result
+
+    def test_recompute_power_is_the_separable_sum(self, power_run):
+        from repro.verify import recompute_power
+
+        net, power, result = power_run
+        wire_total = sum(
+            power.wire_power(w.capacitance) for w in net.wires()
+        )
+        assert recompute_power(net, {}, power) == pytest.approx(wire_total)
+        outcome = max(result.outcomes, key=lambda o: o.buffer_count)
+        assignment = {i.node: i.buffer for i in outcome.insertions}
+        expected = wire_total + sum(
+            power.buffer_power(b) for b in assignment.values()
+        )
+        assert recompute_power(net, assignment, power) == \
+            pytest.approx(expected)
+
+    def test_true_power_claim_certifies(self, power_run):
+        net, power, result = power_run
+        outcome = max(result.outcomes, key=lambda o: o.buffer_count)
+        certificate = certify_claim(
+            net, {i.node: i.buffer for i in outcome.insertions},
+            CouplingModel.silent(),
+            claimed_slack=outcome.slack,
+            claimed_noise_feasible=outcome.noise_feasible,
+            claimed_buffer_count=outcome.buffer_count,
+            claimed_power=outcome.power,
+            power_model=power,
+        )
+        assert certificate.ok, certificate.describe()
+        assert certificate.power == pytest.approx(outcome.power)
+
+    def test_understated_power_claim_is_flagged(self, power_run):
+        net, power, result = power_run
+        outcome = max(result.outcomes, key=lambda o: o.buffer_count)
+        certificate = certify_claim(
+            net, {i.node: i.buffer for i in outcome.insertions},
+            CouplingModel.silent(),
+            claimed_slack=outcome.slack,
+            claimed_noise_feasible=outcome.noise_feasible,
+            claimed_buffer_count=outcome.buffer_count,
+            claimed_power=outcome.power * 0.5,
+            power_model=power,
+        )
+        assert any(v.kind == "power" for v in certificate.violations)
+
+    def test_claimed_power_requires_a_model(self, power_run):
+        net, _, result = power_run
+        with pytest.raises(CertificateError, match="power_model"):
+            certify_claim(
+                net, {}, CouplingModel.silent(), claimed_power=1.0
+            )
+
+    def test_certify_result_re_derives_every_outcome(self, power_run):
+        import dataclasses
+
+        net, power, result = power_run
+        certificate = certify_result(result, CouplingModel.silent())
+        assert certificate.ok, certificate.describe()
+        # Corrupt a single outcome's accumulated power: the result-level
+        # certificate must localize the lie.
+        victim = max(result.outcomes, key=lambda o: o.buffer_count)
+        broken = dataclasses.replace(result, outcomes=tuple(
+            dataclasses.replace(o, power=o.power * 0.5)
+            if o is victim else o
+            for o in result.outcomes
+        ))
+        corrupt = certify_result(broken, CouplingModel.silent())
+        assert any(
+            v.kind == "power" for v in corrupt.all_violations()
+        ), corrupt.describe()
+
+    def test_power_frontier_shape_is_checked(self, power_run):
+        import dataclasses
+
+        _, power, result = power_run
+        if len(result.outcomes) < 2:
+            pytest.skip("single-outcome frontier cannot be disordered")
+        # Reverse the frontier: counts no longer non-decreasing.
+        broken = dataclasses.replace(
+            result, outcomes=tuple(reversed(result.outcomes))
+        )
+        certificate = certify_result(broken, CouplingModel.silent())
+        assert any(
+            v.kind == "pareto" for v in certificate.all_violations()
+        ), certificate.describe()

@@ -15,11 +15,13 @@ import pytest
 from repro.cli import main
 from repro.io import net_from_dict, net_to_dict
 from repro.verify import (
+    FUZZ_MODES,
     FuzzConfig,
     engine_for,
     planted_buggy_engine,
     planted_buggy_fast_engine,
     planted_buggy_lishi_engine,
+    planted_buggy_power_engine,
     replay_file,
     run_fuzz,
     shrink_tree,
@@ -159,6 +161,52 @@ class TestLiShiEngineCampaign:
         assert report.ok, report.describe()
 
 
+class TestPowerCampaign:
+    """The fuzz loop in the ``*-power`` modes.
+
+    The planted power bug understates accumulated power while leaving
+    timing and noise untouched — it is detectable *only* by the
+    certificate's independent power re-derivation and the oracle's
+    power selections, and *only* when the campaign runs a power mode.
+    """
+
+    def test_power_modes_are_registered(self):
+        assert "delay-power" in FUZZ_MODES
+        assert "buffopt-power" in FUZZ_MODES
+        with pytest.raises(ValueError, match="mode"):
+            FuzzConfig(iterations=5, modes=("delay", "warp-power"))
+
+    def test_clean_power_campaign_is_green(self):
+        report = run_fuzz(FuzzConfig(
+            iterations=15, seed=11,
+            modes=("delay-power", "buffopt-power"),
+        ))
+        assert report.ok, report.describe()
+        assert report.iterations_run == 15
+
+    def test_planted_power_bug_is_caught_and_shrunk(self, tmp_path):
+        config = FuzzConfig(
+            iterations=40, seed=5, out_dir=str(tmp_path),
+            max_counterexamples=1, modes=("delay-power", "buffopt-power"),
+        )
+        report = run_fuzz(config, engine=planted_buggy_power_engine())
+        assert not report.ok
+        assert report.written_files
+        path = report.written_files[0]
+        # repro replays against the buggy engine, passes on the real one
+        assert replay_file(path, engine=planted_buggy_power_engine())
+        assert replay_file(path) == []
+
+    def test_planted_power_bug_is_invisible_without_power(self):
+        """The same mutant survives a power-blind campaign — proof the
+        power legs add discriminating power, not redundant coverage."""
+        report = run_fuzz(
+            FuzzConfig(iterations=40, seed=5, modes=("delay", "buffopt")),
+            engine=planted_buggy_power_engine(),
+        )
+        assert report.ok, report.describe()
+
+
 class TestShrinker:
     def test_shrinks_to_sink_count_predicate(self):
         tree = seeded_tree(0, max_internal=6, with_rats=True)
@@ -231,4 +279,11 @@ class TestNightlyCampaign:
 
     def test_long_campaign_finds_nothing(self):
         report = run_fuzz(FuzzConfig(iterations=400, seed=2026))
+        assert report.ok, report.describe()
+
+    def test_long_power_campaign_finds_nothing(self):
+        report = run_fuzz(FuzzConfig(
+            iterations=400, seed=2027,
+            modes=("delay-power", "buffopt-power"),
+        ))
         assert report.ok, report.describe()

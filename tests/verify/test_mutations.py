@@ -53,8 +53,22 @@ class TestMutationGeneration:
             m.mutation
             for m in mutate_claims(net, assignment, coupling, library)
         }
-        assert produced == set(MUTATION_CLASSES)
+        # ``understate-power`` needs a power model to exist at all.
+        assert produced == set(MUTATION_CLASSES) - {"understate-power"}
         assert len(MUTATION_CLASSES) >= 4
+
+    def test_power_class_appears_with_a_model(self, buffered_solution):
+        from repro.library.power import default_power_model
+
+        net, assignment, coupling, library = buffered_solution
+        produced = {
+            m.mutation
+            for m in mutate_claims(
+                net, assignment, coupling, library,
+                power_model=default_power_model(),
+            )
+        }
+        assert produced == set(MUTATION_CLASSES)
 
     def test_unmutated_claim_still_certifies(self, buffered_solution):
         # sanity: the catch rate below is not explained by a certifier
@@ -74,12 +88,46 @@ class TestMutationGeneration:
 
 class TestCatchRate:
     def test_all_mutations_caught_on_host_net(self, buffered_solution):
+        from repro.library.power import default_power_model
+
         net, assignment, coupling, library = buffered_solution
         caught, escaped = surviving_mutations(
-            net, assignment, coupling, library
+            net, assignment, coupling, library,
+            power_model=default_power_model(),
         )
         assert not escaped, [m.description for m in escaped]
         assert {m.mutation for m in caught} == set(MUTATION_CLASSES)
+
+    def test_power_mutant_needs_the_power_certifier(self, buffered_solution):
+        """The understate-power mutant is invisible without the power
+        re-derivation — timing and noise stay exactly right — so the
+        power-blind battery must not even generate it, while the
+        power-aware battery must catch it."""
+        from repro.library.power import default_power_model
+
+        net, assignment, coupling, library = buffered_solution
+        blind_caught, blind_escaped = surviving_mutations(
+            net, assignment, coupling, library
+        )
+        blind = {m.mutation for m in blind_caught + blind_escaped}
+        assert "understate-power" not in blind
+        caught, escaped = surviving_mutations(
+            net, assignment, coupling, library,
+            power_model=default_power_model(),
+        )
+        assert not escaped, [m.description for m in escaped]
+        power_mutants = [
+            m for m in caught if m.mutation == "understate-power"
+        ]
+        assert power_mutants, "no understate-power mutant generated"
+        for mutant in power_mutants:
+            certificate = certificate_for_mutation(
+                net, mutant, coupling,
+                power_model=default_power_model(),
+            )
+            assert any(
+                v.kind == "power" for v in certificate.violations
+            ), certificate.describe()
 
     def test_all_mutations_caught_in_delay_mode(self, buffered_solution):
         net, assignment, _, library = buffered_solution

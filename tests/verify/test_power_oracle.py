@@ -1,0 +1,83 @@
+"""DP vs the exhaustive oracle in the power modes.
+
+The power twin of ``test_oracle.py``'s seeded battery: 200 seeded
+random nets within the oracle's site bound, run with a live power
+model.  In delay mode the comparison is *exact* — the power-extended DP
+must still select the enumerated optimum, and its ``min_power`` /
+``power_capped`` answers must equal the oracle's.  In noise-aware mode
+the checks are soundness-only (the linear merge is a heuristic): the DP
+can never undercut the exhaustive minimum power, never beat the capped
+optimum, and never claim cap feasibility the enumeration refutes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dp import DPOptions, run_dp
+from repro.library.buffers import default_buffer_library
+from repro.library.power import default_power_model
+from repro.library.technology import default_technology
+from repro.noise.coupling import CouplingModel
+from repro.verify import (
+    compare_result_to_oracle,
+    exhaustive_oracle,
+    random_tree,
+)
+
+ORACLE_SITES = 4
+NET_TARGET = 200
+
+
+@pytest.fixture(scope="module")
+def setup():
+    library = default_buffer_library()
+    inverter = next(b.name for b in library if b.inverting)
+    small = library.restricted(["buf_x1", inverter])
+    technology = default_technology()
+    return small, CouplingModel.estimation_mode(technology)
+
+
+def _seeded_small_nets(count):
+    rng = random.Random(7)
+    produced = 0
+    while produced < count:
+        tree = random_tree(rng, max_internal=4, with_rats=True,
+                           name=f"poracle{produced}")
+        sites = sum(
+            1 for n in tree.nodes() if n.is_internal and n.feasible
+        )
+        if 1 <= sites <= ORACLE_SITES:
+            produced += 1
+            yield tree
+
+
+class TestSeededPowerAgreement:
+    def test_dp_matches_oracle_on_200_nets_power_modes(self, setup):
+        small, coupling = setup
+        power = default_power_model()
+        checked = 0
+        for tree in _seeded_small_nets(NET_TARGET):
+            for noise_aware in (False, True):
+                mode_coupling = (
+                    coupling if noise_aware else CouplingModel.silent()
+                )
+                result = run_dp(
+                    tree, small, coupling=mode_coupling,
+                    options=DPOptions(
+                        noise_aware=noise_aware, power=power,
+                    ),
+                )
+                oracle = exhaustive_oracle(
+                    tree, small, mode_coupling, noise_aware=noise_aware,
+                    max_sites=ORACLE_SITES, power_model=power,
+                )
+                disagreements = compare_result_to_oracle(
+                    result, oracle, exact=not noise_aware,
+                )
+                assert not disagreements, (
+                    f"{tree.name} noise_aware={noise_aware}: "
+                    + "; ".join(d.describe() for d in disagreements)
+                )
+            checked += 1
+        assert checked == NET_TARGET

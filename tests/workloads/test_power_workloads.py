@@ -1,0 +1,90 @@
+"""The power-constrained workload family: feasible caps that bite."""
+
+import pytest
+
+from repro import (
+    CouplingModel,
+    DPOptions,
+    default_buffer_library,
+    default_technology,
+    run_dp,
+)
+from repro.errors import WorkloadError
+from repro.library.power import default_power_model
+from repro.workloads import (
+    PowerConstrainedNet,
+    PowerWorkloadConfig,
+    WorkloadConfig,
+    generate_power_population,
+    median_buffer_power,
+    power_cap_for_tree,
+)
+
+LIBRARY = default_buffer_library()
+POWER = default_power_model()
+COUPLING = CouplingModel.estimation_mode(default_technology())
+
+SMALL = PowerWorkloadConfig(base=WorkloadConfig(nets=12, seed=7))
+
+
+class TestCapConstruction:
+    def test_median_buffer_power_is_a_library_member(self):
+        median = median_buffer_power(LIBRARY, POWER)
+        assert median in {POWER.buffer_power(b) for b in LIBRARY}
+
+    def test_zero_budget_cap_is_the_wire_power(self):
+        population = generate_power_population(SMALL)
+        tree = population[0].tree
+        cap = power_cap_for_tree(tree, POWER, LIBRARY, buffer_budget=0.0)
+        wire_power = sum(
+            POWER.wire_power(w.capacitance) for w in tree.wires()
+        )
+        assert cap == wire_power
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(WorkloadError, match="buffer_budget"):
+            PowerWorkloadConfig(buffer_budget=-1.0)
+
+
+class TestPopulation:
+    def test_deterministic_in_the_seed(self):
+        first = generate_power_population(SMALL)
+        second = generate_power_population(SMALL)
+        assert [(n.name, n.power_cap) for n in first] == \
+            [(n.name, n.power_cap) for n in second]
+
+    def test_nets_carry_ready_power_capped_objectives(self):
+        for net in generate_power_population(SMALL):
+            assert isinstance(net, PowerConstrainedNet)
+            assert net.objective.selection == "power-capped"
+            assert net.objective.power_cap == net.power_cap
+            assert net.objective.mode == "buffopt"
+        delay = PowerWorkloadConfig(
+            base=SMALL.base, noise_aware=False
+        )
+        assert all(
+            n.objective.mode == "delay"
+            for n in generate_power_population(delay)
+        )
+
+    def test_caps_are_feasible_and_usually_binding(self):
+        """Every cap admits a solution (by construction the zero-buffer
+        one); on a noise-silent delay run most caps also *bind* — the
+        capped selection gives up slack against the uncapped optimum."""
+        population = generate_power_population(PowerWorkloadConfig(
+            base=WorkloadConfig(nets=10, seed=3), noise_aware=False,
+        ))
+        silent = CouplingModel.silent()
+        binding = 0
+        for net in population:
+            result = run_dp(net.tree, LIBRARY, silent, DPOptions(
+                power=POWER,
+            ))
+            capped = result.power_capped(net.power_cap)  # must not raise
+            assert capped.power <= net.power_cap
+            best = max(o.slack for o in result.outcomes)
+            if capped.slack < best:
+                binding += 1
+        assert binding >= len(population) // 2, (
+            f"caps bind on only {binding} of {len(population)} nets"
+        )
